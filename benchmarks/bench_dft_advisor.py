@@ -1,0 +1,46 @@
+"""The DfT advisor rediscovers the paper's measures (paper §3.4).
+
+"Analysis of the 6.7% of undetectable faults showed that most of them
+show an elevated IVdd during sampling... A redesign of the flipflop ...
+would make them detectable.  Another important category ... is caused
+by shorts between two bias lines, which carry signals that are only
+marginally different.  A simple solution would be to exchange some bias
+lines."
+
+The advisor classifies every escaped fault class of the standard design
+and must, on its own, produce exactly those two recommendations; after
+full DfT, neither escape category may remain.
+"""
+
+from conftest import emit
+
+from repro.core.advisor import diagnose_escapes, render_advice
+
+
+def escape_categories(analysis):
+    diagnoses = diagnose_escapes(list(analysis.classes),
+                                 list(analysis.result.records))
+    return {d.category for d in diagnoses}, diagnoses
+
+
+def test_dft_advisor(benchmark, std_path_result, dft_path_result):
+    std = std_path_result.macros["comparator"]
+    dft = dft_path_result.macros["comparator"]
+
+    categories_std, _ = benchmark.pedantic(escape_categories, (std,),
+                                           rounds=1, iterations=1)
+    categories_dft, _ = escape_categories(dft)
+
+    advice_std = render_advice(list(std.classes),
+                               list(std.result.records),
+                               std.result.total_faults)
+    advice_dft = render_advice(list(dft.classes),
+                               list(dft.result.records),
+                               dft.result.total_faults)
+    emit("dft_advisor", "STANDARD DESIGN\n" + advice_std +
+         "\n\nFULL DFT\n" + advice_dft)
+
+    # the advisor rediscovers the paper's bias-line measure...
+    assert "similar_signal_bridge" in categories_std
+    # ...and after applying the DfT measures that category is gone
+    assert "similar_signal_bridge" not in categories_dft

@@ -1,0 +1,35 @@
+"""Paper Fig. 4: global detectability of (a) catastrophic and (b)
+non-catastrophic faults.
+
+All five macros area-scaled together.  Paper anchors: total coverage
+93.3 % (cat.) / 93.1 % (non-cat.); current tests beat voltage tests
+(71.8 % vs 60.8 %); 32.5 % of faults are current-only; combining both is
+required for the maximum.
+"""
+
+from conftest import emit
+
+from repro.core.report import render_fig4
+
+
+def test_fig4(benchmark, std_path_result):
+    cat = benchmark.pedantic(std_path_result.global_coverage, rounds=1,
+                             iterations=1)
+    noncat = std_path_result.global_coverage(noncat=True)
+    emit("fig4_global_detectability",
+         render_fig4(cat, noncat,
+                     title="Fig. 4: global detectability (no DfT)"))
+
+    for b in (cat, noncat):
+        # the Venn partition is proper
+        assert abs(b.voltage_only + b.current_only + b.both +
+                   b.undetected - 1.0) < 1e-9
+        # high but imperfect coverage (paper: 93.3 % / 93.1 %)
+        assert 0.80 < b.total < 0.99
+        # combining both mechanisms beats either alone
+        assert b.total > b.voltage
+        assert b.total > b.current
+    # a large current-only share (paper: 32.5 %)
+    assert cat.current_only > 0.05
+    # non-catastrophic faults lean harder on current testing (paper)
+    assert noncat.current_only >= cat.current_only * 0.5

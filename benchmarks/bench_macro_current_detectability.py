@@ -1,0 +1,31 @@
+"""Paper section 3.3 text: per-macro current detectability.
+
+"The high current detectability of faults in some of these cells was
+striking: in the clock generator 93.8% and in the reference ladder even
+99.8% of the faults were current detectable."
+
+Our synthesised ladder layout has more tap-to-tap adjacency than the
+production Philips ladder, so its current figure lands below the paper's
+(documented in EXPERIMENTS.md); the clock generator matches closely.
+"""
+
+from conftest import emit
+
+from repro.core.report import render_macro_current_detectability
+from repro.macrotest import macro_breakdown
+
+
+def test_macro_current_detectability(benchmark, std_path_result):
+    results = benchmark.pedantic(std_path_result.macro_results,
+                                 rounds=1, iterations=1)
+    emit("macro_current_detectability",
+         render_macro_current_detectability(results))
+
+    by_name = {m.name: macro_breakdown(m) for m in results}
+    # clock generator: overwhelmingly current (IDDQ) detectable
+    assert by_name["clockgen"].current > 0.85        # paper: 93.8 %
+    # ladder: high combined coverage; current detectability substantial
+    assert by_name["ladder"].current > 0.35          # paper: 99.8 %
+    assert by_name["ladder"].total > 0.85
+    # decoder bridges: essentially fully IDDQ-detectable
+    assert by_name["decoder"].current > 0.85

@@ -1,0 +1,40 @@
+"""Paper Table 1: catastrophic faults and fault classes (comparator).
+
+Regenerates the defect-simulation + fault-collapsing campaign on the
+comparator layout and checks the published marginals' shape: shorts
+dominate the fault population (>95 % in the paper), opens are a far
+larger share of *classes* than of *faults*, and only ~2 % of sprinkled
+defects cause faults at all.
+"""
+
+from conftest import emit
+
+from repro.adc.comparator import comparator_layout
+from repro.core.report import render_table1
+from repro.defects import analyze_defects, collapse, sprinkle, type_table
+
+
+def campaign(n_defects=25000, seed=1995):
+    cell = comparator_layout()
+    defects = sprinkle(cell, n_defects, seed=seed)
+    faults = analyze_defects(cell, defects)
+    return defects, faults, collapse(faults)
+
+
+def test_table1(benchmark):
+    defects, faults, classes = benchmark.pedantic(campaign, rounds=1,
+                                                  iterations=1)
+    emit("table1_fault_classes", render_table1(classes) + (
+        f"\n\n{len(defects)} defects sprinkled -> {len(faults)} faults "
+        f"-> {len(classes)} classes "
+        f"(paper: 25,000 -> ~585 -> 334)"))
+
+    rows = {r.fault_type: r for r in type_table(classes)}
+    # shape assertions against the paper
+    assert rows["short"].fault_pct > 90.0           # paper: >95 %
+    assert rows["short"].fault_pct > rows["short"].class_pct
+    # opens: rare as faults, over-represented as classes
+    if rows["open"].faults:
+        assert rows["open"].class_pct > rows["open"].fault_pct
+    # the overwhelming majority of defects are harmless
+    assert len(faults) < 0.10 * len(defects)

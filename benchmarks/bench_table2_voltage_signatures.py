@@ -1,0 +1,34 @@
+"""Paper Table 2: voltage fault signatures of the comparator.
+
+Categories: Output Stuck At / Offset (>8 mV) / Mixed / Clock value / No
+deviations, for catastrophic and non-catastrophic faults.  Shape checks:
+stuck-at dominates (the balanced design with small bias currents tips
+easily), and the clock-value signature gains weight for non-catastrophic
+faults (high-ohmic bridges on buffered clock lines only shift levels).
+"""
+
+from conftest import emit
+
+from repro.core.report import (render_table2,
+                               voltage_signature_distribution)
+from repro.faultsim import VoltageSignature
+
+
+def test_table2(benchmark, comparator_analysis):
+    cat = comparator_analysis.result
+    noncat = comparator_analysis.noncat_result
+    dist_cat = benchmark.pedantic(voltage_signature_distribution, (cat,),
+                                  rounds=1, iterations=1)
+    dist_noncat = voltage_signature_distribution(noncat)
+    emit("table2_voltage_signatures", render_table2(cat, noncat))
+
+    # stuck-at is the dominant voltage signature (paper: ~55 % cat.)
+    assert dist_cat[VoltageSignature.OUTPUT_STUCK_AT] == max(
+        dist_cat.values())
+    assert dist_cat[VoltageSignature.OUTPUT_STUCK_AT] > 0.3
+    # distributions are proper
+    assert abs(sum(dist_cat.values()) - 1.0) < 1e-9
+    assert abs(sum(dist_noncat.values()) - 1.0) < 1e-9
+    # clock-value weight grows for non-catastrophic faults (paper)
+    assert dist_noncat[VoltageSignature.CLOCK_VALUE] >= \
+        dist_cat[VoltageSignature.CLOCK_VALUE] - 1e-9

@@ -1,0 +1,34 @@
+"""Paper Table 3: current fault signatures of the comparator.
+
+Categories IVdd / IDDQ / Iinput / No deviations; a fault can carry
+several signatures, so the percentages overlap (sum > 100 % in the
+paper).  Shape checks: a striking share of faults is visible as
+quiescent current of the *clock generator* (paper: 24-26 % IDDQ), and a
+substantial share carries no current signature at all.
+"""
+
+from conftest import emit
+
+from repro.core.report import (current_signature_distribution,
+                               render_table3)
+
+
+def test_table3(benchmark, comparator_analysis):
+    cat = comparator_analysis.result
+    noncat = comparator_analysis.noncat_result
+    dist_cat = benchmark.pedantic(current_signature_distribution, (cat,),
+                                  rounds=1, iterations=1)
+    dist_noncat = current_signature_distribution(noncat)
+    emit("table3_current_signatures", render_table3(cat, noncat))
+
+    # the IDDQ-of-the-clock-generator mechanism is a major contributor
+    assert dist_cat["iddq"] > 0.10
+    # every category is a fraction
+    for dist in (dist_cat, dist_noncat):
+        for value in dist.values():
+            assert 0.0 <= value <= 1.0
+    # detected + undetected partitions: 'none' complements the union,
+    # so none + (any current) == 1 is NOT required, but none must equal
+    # 1 - current-detected fraction
+    covered_cat = 1.0 - dist_cat["none"]
+    assert covered_cat > 0.3

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy work — full defect-oriented path runs — is done once per
+session and shared by every benchmark.  Budgets are moderate by default
+(a few minutes total); set ``REPRO_FULL=1`` for paper-scale campaigns
+(25 000-defect class discovery plus a 2M-defect magnitude recount).
+
+Rendered tables are printed and also written to ``benchmarks/output/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import DefectOrientedTestPath, PathConfig
+from repro.testgen import FULL_DFT, NO_DFT
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_config(dft=NO_DFT) -> PathConfig:
+    if os.environ.get("REPRO_FULL"):
+        return PathConfig(n_defects=25000, magnitude_defects=2_000_000,
+                          dft=dft, include_noncat=True)
+    return PathConfig(n_defects=10000, max_classes=30, dft=dft,
+                      include_noncat=True)
+
+
+@pytest.fixture(scope="session")
+def std_path_result():
+    """Full five-macro path run, no DfT."""
+    path = DefectOrientedTestPath(bench_config(NO_DFT))
+    return path.run()
+
+
+@pytest.fixture(scope="session")
+def dft_path_result():
+    """Full five-macro path run with both DfT measures."""
+    path = DefectOrientedTestPath(bench_config(FULL_DFT))
+    return path.run()
+
+
+@pytest.fixture(scope="session")
+def comparator_analysis(std_path_result):
+    return std_path_result.macros["comparator"]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/output."""
+    print(f"\n===== {name} =====")
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,72 @@
+"""Drive the transistor-level comparator directly with the simulator.
+
+Shows the three-phase operation (sample, amplify, latch), the decision
+for inputs above/below the reference, the class-A supply current per
+phase, and what a 2-kohm gate-oxide pinhole does to all of it.
+
+Usage::
+
+    python examples/comparator_transient.py
+"""
+
+import numpy as np
+
+from repro.adc.comparator import (CLOCK_PERIOD, build_testbench,
+                                  phase_measure_times,
+                                  regeneration_windows)
+from repro.circuit import Resistor, supply_current, transient
+
+T = CLOCK_PERIOD
+
+
+def sparkline(values, width=60) -> str:
+    """Tiny ASCII waveform plot."""
+    blocks = " .:-=+*#%@"
+    v = np.asarray(values)
+    idx = np.linspace(0, len(v) - 1, width).astype(int)
+    v = v[idx]
+    lo, hi = float(v.min()), float(v.max())
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((x - lo) / span * (len(blocks) - 1))]
+                   for x in v)
+
+
+def run(vin: float, fault: bool = False):
+    tb = build_testbench(vin=vin, vref=2.5)
+    circuit = tb.circuit
+    if fault:
+        # gate-oxide pinhole on the input pair: 2 kohm gate-to-source
+        m1 = circuit.element("M1")
+        circuit.add(Resistor("FLT_pinhole", m1.nodes[1], m1.nodes[2],
+                             2000.0))
+    tr = transient(circuit, tstop=T, dt=1e-9,
+                   fine_windows=regeneration_windows(T, 1))
+    return tb, tr
+
+
+def report(label: str, tb, tr) -> None:
+    ivdd = supply_current(tr, "VDD")
+    decision = tr.at_time("ffout", 0.97 * T) > 2.5
+    phases = dict(zip(("sampling", "amplify", "latch"),
+                      phase_measure_times(T, 0)))
+    currents = {name: 1e6 * ivdd[int(np.argmin(np.abs(tr.times - t)))]
+                for name, t in phases.items()}
+    print(f"\n{label}")
+    print(f"  decision: {'ABOVE' if decision else 'below'} reference")
+    print("  IVdd per phase: " + "  ".join(
+        f"{k}={v:7.1f} uA" for k, v in currents.items()))
+    for node in ("phi1", "outp", "outn", "lp", "ffout"):
+        print(f"  {node:6s} |{sparkline(tr.voltage(node))}|")
+
+
+def main() -> None:
+    for vin, name in ((2.6, "fault-free, vin = vref + 100 mV"),
+                      (2.4, "fault-free, vin = vref - 100 mV")):
+        tb, tr = run(vin)
+        report(name, tb, tr)
+    tb, tr = run(2.6, fault=True)
+    report("gate-oxide pinhole on M1, vin = vref + 100 mV", tb, tr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Walkthrough of the reference-ladder macro analysis.
+
+Shows the dual-ladder structure's fault behaviour at circuit level:
+why an internal tap-to-tap short barely moves the terminal currents
+(the coarse ladder carries the current), why a short to a rail lights
+up immediately, and how the faulty tap vector propagates into missing
+codes.  Finishes with the macro's layout rendered in ASCII.
+
+Usage::
+
+    python examples/ladder_analysis.py
+"""
+
+import numpy as np
+
+from repro.adc.ladder import (SEGMENTS_PER_COARSE, ladder_slice_layout,
+                              ladder_testbench, tap_voltages)
+from repro.circuit import Resistor, VoltageSource, operating_point
+from repro.layout.render import render_cell, statistics_report
+from repro.macrotest import propagate_ladder_fault
+
+
+def solve(fault=None):
+    tb = ladder_testbench()
+    tb.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    if fault is not None:
+        tb.add(fault)
+    op = operating_point(tb)
+    taps = np.array([op.voltage(f"tap{k}") for k in range(257)])
+    return {
+        "taps": taps,
+        "irefp": -1000 * op.current("VREFP"),
+        "irefn": 1000 * op.current("VREFN"),
+    }
+
+
+def main() -> None:
+    nominal = solve()
+    print("nominal ladder: I(VREFP)=%.2f mA  I(VREFN)=%.2f mA  "
+          "tap128=%.3f V" % (nominal["irefp"], nominal["irefn"],
+                             nominal["taps"][128]))
+
+    cases = [
+        ("tap130-tap131 short (0.2 ohm, adjacent taps)",
+         Resistor("F1", "tap130", "tap131", 0.2)),
+        ("tap128-tap144 short (full coarse span)",
+         Resistor("F2", "tap128", "tap144", 0.2)),
+        ("tap130 to gnd short (rail bridge)",
+         Resistor("F3", "tap130", "gnd", 0.2)),
+        ("tap130-tap131 near-miss (500 ohm)",
+         Resistor("F4", "tap130", "tap131", 500.0)),
+    ]
+    print(f"\n{'fault':46s} {'dIrefP':>8s} {'dIrefN':>8s} "
+          f"{'missing codes?':>15s}")
+    print("-" * 82)
+    for label, fault in cases:
+        sol = solve(fault)
+        missing = propagate_ladder_fault(sol["taps"])
+        print(f"{label:46s} {sol['irefp'] - nominal['irefp']:+7.2f}m "
+              f"{sol['irefn'] - nominal['irefn']:+7.2f}m "
+              f"{'DETECT' if missing else 'no':>15s}")
+
+    print("\nwhy: the coarse ladder pins every "
+          f"{SEGMENTS_PER_COARSE}th tap at low impedance, so internal "
+          "shorts redistribute microamps (voltage-detected via the tap "
+          "error), while a rail bridge pulls hundreds of mA through "
+          "the reference terminals.")
+
+    cell = ladder_slice_layout()
+    print("\n" + statistics_report([cell]))
+    print("\n" + render_cell(cell, width=100,
+                             layers=["metal1", "poly", "contact"]))
+
+
+if __name__ == "__main__":
+    main()

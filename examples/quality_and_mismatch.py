@@ -1,0 +1,54 @@
+"""Outgoing quality (DPPM) and within-die mismatch analysis.
+
+Two analyses the methodology enables beyond raw coverage numbers:
+
+1. What does the coverage improvement from DfT mean in *shipped
+   defective parts per million*?  (Williams-Brown defect level on top of
+   a Poisson yield model fed by the actual per-macro fault statistics.)
+2. How much input-referred offset do fault-free comparators already
+   have from within-die mismatch (Pelgrom model)?  This bounds how
+   aggressive the "Offset > 8 mV" detection threshold can be.
+
+Takes a few minutes.  Usage::
+
+    python examples/quality_and_mismatch.py
+"""
+
+import numpy as np
+
+from repro.adc.mismatch import offset_distribution
+from repro.core import (DefectOrientedTestPath, PathConfig, dppm,
+                        quality_report)
+from repro.testgen import FULL_DFT, NO_DFT
+
+
+def main() -> None:
+    print("running a reduced-budget path for the fault statistics ...")
+    config = PathConfig(n_defects=6000, max_classes=12,
+                        include_noncat=False)
+    result = DefectOrientedTestPath(config).run(
+        macros=["comparator", "ladder", "clockgen"])
+    macros = result.macro_results()
+
+    report = quality_report(macros)
+    print(f"\nmeasured quality (defect density 1/cm^2): {report}")
+
+    print("\nshipped DPPM vs fault coverage "
+          f"(process yield {100 * report.process_yield:.1f}%):")
+    for coverage in (0.80, 0.933, 0.991, 0.999):
+        print(f"  coverage {100 * coverage:5.1f}%  ->  "
+              f"{dppm(report.process_yield, coverage):8.0f} DPPM")
+    print("  (the paper's DfT step, 93.3% -> 99.1%, is a ~7x DPPM "
+          "reduction)")
+
+    print("\nwithin-die comparator offsets (Pelgrom mismatch), "
+          "5 Monte Carlo instances:")
+    offsets = offset_distribution(n_samples=5, seed=42, resolution=4e-3)
+    for k, off in enumerate(offsets):
+        print(f"  instance {k}: {1000 * off:+6.1f} mV")
+    print(f"  sample sigma ~ {1000 * np.std(offsets):.1f} mV vs the "
+          f"8 mV (1 LSB) offset-signature threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Paper-scale experiment run: every table and figure, full budgets.
+
+Runs the defect-oriented test path twice (standard design and full DfT)
+with the paper's 25 000-defect class-discovery campaign plus a
+2 000 000-defect magnitude recount, simulates *all* fault classes, and
+writes every rendered table/figure to ``benchmarks/output_full/``.
+
+Takes on the order of an hour on a laptop core.  Usage::
+
+    python scripts/run_full_experiments.py [--quick]
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.core import (DefectOrientedTestPath, PathConfig, render_fig3,
+                        render_fig4, render_macro_current_detectability,
+                        render_table1, render_table2, render_table3,
+                        save_path_result)
+from repro.macrotest import macro_breakdown
+from repro.testgen import (FULL_DFT, NO_DFT, defect_oriented_cost,
+                           specification_oriented_cost)
+
+OUTPUT = pathlib.Path(__file__).parents[1] / "benchmarks" / "output_full"
+
+
+def log(msg: str) -> None:
+    print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
+
+
+def emit(name: str, text: str) -> None:
+    OUTPUT.mkdir(exist_ok=True)
+    (OUTPUT / f"{name}.txt").write_text(text + "\n")
+    log(f"wrote {name}")
+    print(text, flush=True)
+
+
+def run_path(dft, quick: bool):
+    if quick:
+        config = PathConfig(n_defects=12000, max_classes=60, dft=dft)
+    else:
+        config = PathConfig(n_defects=25000,
+                            magnitude_defects=2_000_000, dft=dft)
+    path = DefectOrientedTestPath(config)
+    started = time.time()
+
+    def progress(macro, done, total):
+        if done % 25 == 0 or done == total:
+            log(f"  {dft.label} {macro}: {done}/{total} classes "
+                f"({time.time() - started:.0f}s)")
+
+    result = path.run(progress=progress)
+    log(f"{dft.label}: path complete in {time.time() - started:.0f}s")
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced budgets (minutes instead of ~1h)")
+    args = parser.parse_args()
+
+    log("running standard-design path ...")
+    std = run_path(NO_DFT, args.quick)
+    log("running full-DfT path ...")
+    dft = run_path(FULL_DFT, args.quick)
+
+    OUTPUT.mkdir(exist_ok=True)
+    save_path_result(std, OUTPUT / "results_standard.json")
+    save_path_result(dft, OUTPUT / "results_dft.json")
+    log("saved raw results (results_*.json)")
+
+    comparator = std.macros["comparator"]
+    emit("table1_fault_classes", render_table1(comparator.classes))
+    emit("table2_voltage_signatures",
+         render_table2(comparator.result, comparator.noncat_result))
+    emit("table3_current_signatures",
+         render_table3(comparator.result, comparator.noncat_result))
+    emit("fig3_comparator_detectability",
+         render_fig3(comparator.result))
+    emit("fig4_global_detectability",
+         render_fig4(std.global_coverage(),
+                     std.global_coverage(noncat=True),
+                     title="Fig. 4: global detectability (no DfT)"))
+    emit("fig5_dft_detectability",
+         render_fig4(dft.global_coverage(),
+                     dft.global_coverage(noncat=True),
+                     title="Fig. 5: global detectability (full DfT)"))
+    emit("macro_current_detectability",
+         render_macro_current_detectability(std.macro_results()))
+
+    d_cost = defect_oriented_cost()
+    s_cost = specification_oriented_cost()
+    emit("test_cost", "\n".join([
+        f"defect-oriented test: {1000 * d_cost.total:.2f} ms "
+        f"(active {1000 * (d_cost.total - 5e-3):.3f} ms)",
+        f"spec-oriented test:   {1000 * s_cost.total:.2f} ms",
+        f"speedup: {s_cost.total / d_cost.total:.1f}x",
+    ]))
+
+    summary = []
+    for label, res in (("standard", std), ("full DfT", dft)):
+        cat = res.global_coverage()
+        nc = res.global_coverage(noncat=True)
+        summary.append(f"{label:10s} catastrophic {100 * cat.total:5.1f}%"
+                       f"  non-catastrophic {100 * nc.total:5.1f}%")
+        for m in res.macro_results():
+            b = macro_breakdown(m)
+            summary.append(f"    {m.name:12s} current "
+                           f"{100 * b.current:5.1f}%  voltage "
+                           f"{100 * b.voltage:5.1f}%  total "
+                           f"{100 * b.total:5.1f}%")
+    emit("summary", "\n".join(summary))
+    log("all experiments complete")
+
+
+if __name__ == "__main__":
+    main()

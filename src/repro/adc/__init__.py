@@ -1,0 +1,46 @@
+"""The case-study circuit: an 8-bit CMOS full-flash video ADC.
+
+Five macro types, as in the paper: 256 comparators (with flipflops), a
+dual-ladder resistor string, a bias generator, a clock generator, and a
+digital thermometer decoder.  Each macro has a transistor/gate-level
+netlist, a synthesised layout, and a behavioral model for propagation.
+"""
+
+from .behavioral import (ClockBehavior, ComparatorBehavior,
+                         DecoderBehavior, LadderBehavior)
+from .biasgen import (bias_voltages, biasgen_layout, biasgen_testbench,
+                      build_biasgen)
+from .clockgen import (build_clockgen, clock_levels, clockgen_layout,
+                       clockgen_testbench, iddq)
+from .comparator import (CLOCK_PERIOD, ComparatorTestbench,
+                         build_comparator, build_testbench,
+                         comparator_clocks, comparator_layout,
+                         phase_measure_times, regeneration_windows)
+from .decoder import (build_decoder, decode_outputs, decode_thermometer,
+                      thermometer_vector)
+from .flash import FlashADC, nominal_adc
+from .mismatch import (A_VT, apply_mismatch, comparator_offset,
+                       offset_distribution)
+from .ladder import (N_BITS, N_TAPS, VREF_HIGH, VREF_LOW, build_ladder,
+                     build_ladder_slice, ladder_slice_layout,
+                     ladder_testbench, nominal_tap_voltages,
+                     reference_current, tap_voltages)
+from .process import (Process, corner, good_space_corners,
+                      reduced_corners, typical)
+
+__all__ = [
+    "ClockBehavior", "ComparatorBehavior", "DecoderBehavior",
+    "LadderBehavior", "bias_voltages", "biasgen_layout",
+    "biasgen_testbench", "build_biasgen", "build_clockgen",
+    "clock_levels", "clockgen_layout", "clockgen_testbench", "iddq",
+    "CLOCK_PERIOD", "ComparatorTestbench", "build_comparator",
+    "build_testbench", "comparator_clocks", "comparator_layout",
+    "phase_measure_times", "regeneration_windows", "build_decoder",
+    "decode_outputs", "decode_thermometer", "thermometer_vector",
+    "FlashADC", "nominal_adc", "N_BITS", "N_TAPS", "VREF_HIGH",
+    "VREF_LOW", "build_ladder", "build_ladder_slice",
+    "ladder_slice_layout", "ladder_testbench", "nominal_tap_voltages",
+    "reference_current", "tap_voltages", "Process", "corner",
+    "good_space_corners", "reduced_corners", "typical", "A_VT",
+    "apply_mismatch", "comparator_offset", "offset_distribution",
+]

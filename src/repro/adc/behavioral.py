@@ -1,0 +1,118 @@
+"""Behavioral (high-level) macro models for fault propagation.
+
+The methodology's sensitisation/propagation step runs the *circuit-edge*
+test (the missing-code test over the whole ADC) with high-level models of
+every macro, injecting the macro-level fault signature obtained from
+circuit-level fault simulation into the one affected instance.  These are
+those high-level models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .decoder import boundary_decode
+from .ladder import N_TAPS, VREF_HIGH, VREF_LOW, nominal_tap_voltages
+
+
+@dataclass(frozen=True)
+class ComparatorBehavior:
+    """Behavioral comparator: decision = (vin + offset > vref), with
+    optional stuck and 'mixed' (erratic band) behaviours.
+
+    Attributes:
+        offset: input-referred offset in volts.
+        stuck: None for normal operation, else the forced output.
+        mixed_band: half-width of an erratic decision band around the
+            threshold: inside it the decision is wrong (models the
+            paper's 'Mixed' voltage signature).
+        clock_degraded: marks a comparator whose local clocking is
+            degraded (the paper's 'Clock value' signature) — DC decisions
+            stay correct, only high-frequency behaviour suffers, so the
+            missing-code test does not see it.
+    """
+
+    offset: float = 0.0
+    stuck: Optional[bool] = None
+    mixed_band: float = 0.0
+    clock_degraded: bool = False
+
+    def decide(self, vin: float, vref: float,
+               at_speed: bool = False) -> bool:
+        """One clocked comparison.
+
+        Args:
+            at_speed: the conversion runs at the maximum clock rate with
+                no settling margin.  A comparator with degraded local
+                clocking (the 'clock value' signature) still decides
+                correctly at relaxed speed but fails at speed — its
+                reduced clock swing no longer completes the sampling /
+                offset-reduction phases in time.
+        """
+        if self.stuck is not None:
+            return self.stuck
+        if at_speed and self.clock_degraded:
+            return False  # cannot acquire the new sample: stays reset
+        decision = (vin + self.offset) > vref
+        if self.mixed_band > 0.0 and \
+                abs(vin + self.offset - vref) < self.mixed_band:
+            return not decision
+        return decision
+
+
+@dataclass(frozen=True)
+class LadderBehavior:
+    """Behavioral reference ladder: a vector of tap voltages.
+
+    Fault injection happens by handing a modified tap vector (from the
+    circuit-level faulty ladder solution).
+    """
+
+    taps: np.ndarray = field(
+        default_factory=lambda: nominal_tap_voltages(N_TAPS))
+
+    def reference(self, k: int) -> float:
+        """Reference voltage of comparator *k* (1-based, tap k)."""
+        if not 1 <= k <= len(self.taps) - 1:
+            raise ValueError(f"comparator index {k} out of range")
+        return float(self.taps[k])
+
+
+@dataclass(frozen=True)
+class DecoderBehavior:
+    """Behavioral thermometer decoder with optional stuck output bits."""
+
+    n_bits: int = 8
+    stuck_bits: dict = field(default_factory=dict)  # bit index -> value
+
+    def decode(self, levels: Sequence[bool]) -> int:
+        code = boundary_decode(levels, self.n_bits)
+        for bit, value in self.stuck_bits.items():
+            if value:
+                code |= (1 << bit)
+            else:
+                code &= ~(1 << bit)
+        return code
+
+
+@dataclass(frozen=True)
+class ClockBehavior:
+    """Behavioral clock generator: which phases actually function.
+
+    A dead phase breaks every comparator the same way: a dead sampling
+    or latch clock freezes decisions; a degraded (but toggling) clock
+    only harms dynamic performance.
+    """
+
+    phi1_ok: bool = True
+    phi2_ok: bool = True
+    phi3_ok: bool = True
+    degraded: bool = False
+
+    @property
+    def functional(self) -> bool:
+        return self.phi1_ok and self.phi2_ok and self.phi3_ok

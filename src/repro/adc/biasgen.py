@@ -1,0 +1,80 @@
+"""Bias generator macro: class-A bias voltages for the comparator bank.
+
+Two resistor-defined diode branches generate ``vbn1`` and ``vbn2`` — two
+bias lines that carry only *marginally different* voltages and are routed
+side by side through the comparator array in the standard layout.  This
+is deliberately the paper's hard case: a short between them barely moves
+either voltage, so it escapes both voltage and current tests.  The DfT
+layout variant separates the two lines (paper: "exchange some bias
+lines, thereby separating two lines with similar signals").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..circuit.elements import Capacitor, Resistor, VoltageSource
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit
+from ..circuit.dc import operating_point
+from ..layout.synth import SynthOptions, synthesize
+from .process import Process, typical
+
+#: branch resistors: slightly different on purpose (two mirror branches
+#: serving different comparator banks)
+R_BRANCH1 = 77e3
+R_BRANCH2 = 70e3
+
+PORTS = ("vdd", "gnd", "vbn1", "vbn2")
+GLOBAL_NETS_STD = ("gnd", "vbn1", "vbn2", "vdd")
+GLOBAL_NETS_DFT = ("vbn1", "gnd", "vdd", "vbn2")
+
+
+def add_biasgen_devices(circuit: Circuit, process: Optional[Process]
+                        = None, prefix: str = "") -> None:
+    """Add the bias generator's devices (two diode branches)."""
+    p = process or typical()
+
+    def node(name: str) -> str:
+        return "gnd" if name == "gnd" else prefix + name
+
+    circuit.add(Resistor(prefix + "RB1", node("vdd"), node("vbn1"),
+                         R_BRANCH1 * p.r_scale))
+    circuit.add(Mosfet(prefix + "MD1", node("vbn1"), node("vbn1"), "gnd",
+                       "gnd", p.nmos, w=8e-6, l=1e-6))
+    circuit.add(Resistor(prefix + "RB2", node("vdd"), node("vbn2"),
+                         R_BRANCH2 * p.r_scale))
+    circuit.add(Mosfet(prefix + "MD2", node("vbn2"), node("vbn2"), "gnd",
+                       "gnd", p.nmos, w=8e-6, l=1e-6))
+    # decoupling capacitors on the bias lines
+    circuit.add(Capacitor(prefix + "CB1", node("vbn1"), "gnd", 1e-12))
+    circuit.add(Capacitor(prefix + "CB2", node("vbn2"), "gnd", 1e-12))
+
+
+def build_biasgen(process: Optional[Process] = None) -> Circuit:
+    """Bare bias generator netlist."""
+    c = Circuit("biasgen")
+    add_biasgen_devices(c, process)
+    return c
+
+
+def biasgen_layout(dft: bool = False):
+    """Synthesised layout; DfT variant separates the twin bias lines."""
+    order = GLOBAL_NETS_DFT if dft else GLOBAL_NETS_STD
+    return synthesize(build_biasgen(), SynthOptions(
+        global_nets=list(order), ports=list(PORTS)))
+
+
+def biasgen_testbench(process: Optional[Process] = None) -> Circuit:
+    """Bias generator with its supply attached."""
+    p = process or typical()
+    c = build_biasgen(p)
+    c.add(VoltageSource("VDD", "vdd", "gnd", p.vdd))
+    return c
+
+
+def bias_voltages(process: Optional[Process] = None
+                  ) -> Tuple[float, float]:
+    """Solve the generator and return (vbn1, vbn2)."""
+    op = operating_point(biasgen_testbench(process))
+    return op.voltage("vbn1"), op.voltage("vbn2")

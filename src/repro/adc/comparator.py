@@ -1,0 +1,291 @@
+"""The comparator macro: 3-phase balanced comparator + dynamic flipflop.
+
+This is the paper's highlighted macro cell.  Structure (section 3.2):
+
+* a fully balanced comparator comparing the sampled input against the
+  reference in three clock phases — **sampling** (phi1: input and
+  reference sampled onto capacitors, outputs equalised), **amplification**
+  (phi2: class-A differential pair with diode loads develops the
+  decision) and **latching** (phi3: cross-coupled pair regenerates it to
+  a large signal);
+* a flipflop loading the comparator, which transfers the amplified
+  decision to a logic level.  Its quiescent current is zero in the
+  amplification and latching phases but, through a deliberate leakage
+  path enabled during sampling, strongly transistor-parameter-dependent
+  in the sampling phase — the exact property the paper's first DfT
+  measure removes (``dft=True`` builds the redesigned flipflop).
+
+The cell is traversed by the clock distribution lines (phi1..phi3) and
+two bias lines (vbn1, vbn2) that carry only marginally different
+voltages; both facts dominate the defect statistics, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.elements import Capacitor, Resistor, VoltageSource
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit
+from ..circuit.waveforms import Pulse
+from ..layout.synth import SynthOptions, synthesize
+from .process import Process, typical
+
+#: comparator clock period (video-rate ADC: ~20 MHz three-phase cycle)
+CLOCK_PERIOD = 150e-9
+#: clock edge time used in testbenches
+CLOCK_EDGE = 2e-9
+#: phi3 (latch) rises this long after phi2 (amplify) falls; during the
+#: gap the isolated latch nodes hold the developed differential
+LATCH_DELAY = 2e-9
+#: duration of the fine-timestep regeneration window after phi3 rises
+REGEN_WINDOW = 8e-9
+#: timestep inside the regeneration window; must satisfy
+#: dt < C/gm of the latch so backward Euler amplifies (not suppresses)
+#: the regenerative mode
+REGEN_DT = 25e-12
+
+
+def comparator_clocks(period: float = CLOCK_PERIOD, vdd: float = 5.0,
+                      edge: float = CLOCK_EDGE,
+                      latch_delay: float = LATCH_DELAY):
+    """The comparator's three clock phases.
+
+    phi1 (sample) and phi2 (amplify) are non-overlapping thirds of the
+    period; phi3 (latch) rises *latch_delay* after phi2 falls and stays
+    high to the end of the period.
+
+    Returns:
+        Tuple ``(phi1, phi2, phi3)`` of waveforms.
+    """
+    third = period / 3.0
+    width = third - 2.0 * edge
+    if width <= 0 or latch_delay >= width:
+        raise ValueError("period too short for the edges/delay")
+    phi1 = Pulse(0.0, vdd, 0.0, edge, edge, width, period)
+    phi2 = Pulse(0.0, vdd, third, edge, edge, width, period)
+    phi3 = Pulse(0.0, vdd, 2.0 * third + latch_delay, edge, edge,
+                 third - latch_delay - 2.0 * edge, period)
+    return phi1, phi2, phi3
+
+
+def regeneration_windows(period: float = CLOCK_PERIOD, cycles: int = 1,
+                         latch_delay: float = LATCH_DELAY):
+    """Fine-timestep windows covering each cycle's latch regeneration.
+
+    Hand these to :func:`repro.circuit.transient` — without them the
+    implicit integrator freezes the latch at its metastable point for
+    near-LSB inputs (see ``fine_windows`` in the transient docs).
+    """
+    windows = []
+    for k in range(cycles):
+        t0 = k * period + 2.0 * period / 3.0 + latch_delay
+        windows.append((t0 - 0.5e-9, t0 + REGEN_WINDOW, REGEN_DT))
+    return windows
+
+#: macro ports (circuit-edge view)
+PORTS = ("in", "vref", "phi1", "phi2", "phi3", "vbn1", "vbn2", "vdd",
+         "gnd", "ffout")
+
+#: nets that physically traverse the comparator cell (global tracks);
+#: their order is the layout track order — the second DfT measure
+#: re-orders them so the marginally-different vbn1/vbn2 are separated.
+GLOBAL_NETS_STD = ("gnd", "vbn1", "vbn2", "phi1", "phi2", "phi3", "vdd")
+GLOBAL_NETS_DFT = ("gnd", "vbn1", "phi1", "phi2", "vbn2", "phi3", "vdd")
+
+#: nominal bias-line voltages (vbn2 is a second mirror branch carrying a
+#: marginally different voltage, routed through the cell)
+VBN1_NOMINAL = 1.20
+VBN2_NOMINAL = 1.23
+
+#: Thevenin impedances of the surrounding macros' drivers
+BIAS_DRIVER_R = 3e3     # diode-connected mirror node, ~1/gm
+CLOCK_DRIVER_R = 300.0  # clock generator output buffer
+VREF_DRIVER_R = 200.0   # reference ladder tap impedance
+
+
+def add_comparator_devices(circuit: Circuit, process: Optional[Process]
+                           = None, prefix: str = "",
+                           dft: bool = False) -> None:
+    """Add the comparator + flipflop devices to *circuit*.
+
+    Node names are the macro-local names (optionally prefixed), so the
+    same builder serves the standalone testbench, the layout synthesiser
+    and embedded multi-instance netlists.
+    """
+    p = process or typical()
+    n, pm = p.nmos, p.pmos
+
+    def node(name: str) -> str:
+        if name in ("gnd",):
+            return "gnd"
+        return prefix + name
+
+    def nmos(name, d, g, s, w, l):
+        circuit.add(Mosfet(prefix + name, node(d), node(g), node(s),
+                           "gnd", n, w=w, l=l, polarity="n"))
+
+    def pmos(name, d, g, s, w, l):
+        circuit.add(Mosfet(prefix + name, node(d), node(g), node(s),
+                           node("vdd"), pm, w=w, l=l, polarity="p"))
+
+    # input sampling network
+    nmos("MS1", "cin_p", "phi1", "in", w=4e-6, l=1e-6)
+    nmos("MS2", "cin_n", "phi1", "vref", w=4e-6, l=1e-6)
+    circuit.add(Capacitor(prefix + "C1", node("cin_p"), "gnd", 100e-15))
+    circuit.add(Capacitor(prefix + "C2", node("cin_n"), "gnd", 100e-15))
+
+    # class-A differential pair with diode loads; the tail path is
+    # enabled during sampling and amplification (phi1 | phi2) and floats
+    # during latching so the cross-coupled pair can regenerate to full
+    # swing without fighting the pair
+    nmos("M1", "outn", "cin_p", "tail", w=20e-6, l=1.5e-6)
+    nmos("M2", "outp", "cin_n", "tail", w=20e-6, l=1.5e-6)
+    nmos("M5", "tail", "vbn1", "tailsw", w=10e-6, l=2e-6)
+    nmos("M5A", "tailsw", "phi1", "gnd", w=6e-6, l=1e-6)
+    nmos("M5B", "tailsw", "phi2", "gnd", w=6e-6, l=1e-6)
+    pmos("M3", "outn", "outn", "vdd", w=2e-6, l=4e-6)
+    pmos("M4", "outp", "outp", "vdd", w=2e-6, l=4e-6)
+
+    # sampling-phase output equaliser
+    nmos("M9", "outp", "phi1", "outn", w=2e-6, l=1e-6)
+    circuit.add(Capacitor(prefix + "C3", node("outp"), "gnd", 30e-15))
+    circuit.add(Capacitor(prefix + "C4", node("outn"), "gnd", 30e-15))
+
+    # regenerative latch on its own nodes (lp, ln): tracks the amplifier
+    # outputs through phi2 pass devices, regenerates when phi3 rises
+    # (overlapping the end of phi2), and holds rail-to-rail statically
+    # with zero quiescent current once regenerated.  Both latch tails are
+    # clocked — the PMOS side through a locally inverted phi3 — so the
+    # latch is completely passive while tracking (no contention, no
+    # hysteresis).
+    nmos("MI1", "lp", "phi2", "outp", w=3e-6, l=1e-6)
+    nmos("MI2", "ln", "phi2", "outn", w=3e-6, l=1e-6)
+    nmos("M6", "ln", "lp", "ltail", w=8e-6, l=1e-6)
+    nmos("M7", "lp", "ln", "ltail", w=8e-6, l=1e-6)
+    nmos("M8", "ltail", "phi3", "gnd", w=6e-6, l=1e-6)
+    pmos("M10", "lp", "ln", "htail", w=6e-6, l=1e-6)
+    pmos("M11", "ln", "lp", "htail", w=6e-6, l=1e-6)
+    pmos("M13", "htail", "phi3b", "vdd", w=12e-6, l=1e-6)
+    # local phi3 inverter for the PMOS tail
+    pmos("MPB", "phi3b", "phi3", "vdd", w=4e-6, l=1e-6)
+    nmos("MNB", "phi3b", "phi3", "gnd", w=2e-6, l=1e-6)
+    circuit.add(Capacitor(prefix + "C5", node("lp"), "gnd", 10e-15))
+    circuit.add(Capacitor(prefix + "C6", node("ln"), "gnd", 10e-15))
+
+    # flipflop: phi3-clocked dynamic latch, two static inverters; the
+    # dummy branch on ln balances the clock kickback of MF1 (without it
+    # the comparator has a systematic ~10 mV offset)
+    nmos("MF1", "ffin", "phi3", "lp", w=3e-6, l=1e-6)
+    circuit.add(Capacitor(prefix + "CFF", node("ffin"), "gnd", 15e-15))
+    nmos("MF1D", "ffind", "phi3", "ln", w=3e-6, l=1e-6)
+    circuit.add(Capacitor(prefix + "CFFD", node("ffind"), "gnd", 15e-15))
+    # dummy first inverter so ffind's capacitive load matches ffin's —
+    # otherwise charge sharing at the phi3 edge unbalances the latch
+    pmos("MFP1D", "ffmidd", "ffind", "vdd", w=6e-6, l=1e-6)
+    nmos("MFN1D", "ffmidd", "ffind", "gnd", w=3e-6, l=1e-6)
+    pmos("MFP1", "ffmid", "ffin", "vdd", w=6e-6, l=1e-6)
+    nmos("MFN1", "ffmid", "ffin", "gnd", w=3e-6, l=1e-6)
+    pmos("MFP2", "ffout", "ffmid", "vdd", w=6e-6, l=1e-6)
+    nmos("MFN2", "ffout", "ffmid", "gnd", w=3e-6, l=1e-6)
+
+    if not dft:
+        # flipflop leakage path, active during sampling: its current
+        # depends quadratically on (vbn1 - vth) and therefore spreads
+        # hugely over process corners.  The DfT redesign removes it.
+        # sized so the 256 flipflops give the chip-level sampling-phase
+        # supply current a process spread of ~15 mA, as the paper reports
+        nmos("MEN", "vdd", "phi1", "nleak", w=10e-6, l=1e-6)
+        nmos("MLK", "nleak", "vbn1", "gnd", w=5e-6, l=1e-6)
+
+
+def build_comparator(process: Optional[Process] = None,
+                     dft: bool = False) -> Circuit:
+    """Bare comparator macro netlist (devices only, macro-local nodes)."""
+    circuit = Circuit("comparator_dft" if dft else "comparator")
+    add_comparator_devices(circuit, process, dft=dft)
+    return circuit
+
+
+def comparator_layout(dft: bool = False):
+    """Synthesised layout of the comparator macro.
+
+    The DfT variant re-orders the global tracks (bias-line exchange).
+    """
+    order = GLOBAL_NETS_DFT if dft else GLOBAL_NETS_STD
+    return synthesize(build_comparator(dft=dft), SynthOptions(
+        global_nets=list(order), ports=list(PORTS)))
+
+
+@dataclass(frozen=True)
+class ComparatorTestbench:
+    """A comparator instance wired to stimulus and driver models.
+
+    Attributes:
+        circuit: the complete netlist.
+        supply_source: name of the VDD source (IVdd measurements).
+        clock_sources: driver source per clock line (IDDQ measurements).
+        input_sources: sources standing for circuit input terminals
+            (Iinput measurements).
+    """
+
+    circuit: Circuit
+    supply_source: str
+    clock_sources: Tuple[str, ...]
+    input_sources: Tuple[str, ...]
+
+
+def build_testbench(process: Optional[Process] = None, vin: float = 2.6,
+                    vref: float = 2.5, dft: bool = False,
+                    period: float = CLOCK_PERIOD) -> ComparatorTestbench:
+    """Comparator macro in its measurement harness.
+
+    The surrounding macros appear as Thevenin drivers: the clock
+    generator's buffers (low impedance), the bias generator's mirror
+    nodes (kilo-ohm impedance, marginally different voltages) and the
+    reference ladder tap.  All per the methodology: faults inside the
+    comparator that touch these distribution lines load *those* macros,
+    which is how IDDQ-of-the-clock-generator detection arises.
+    """
+    p = process or typical()
+    c = Circuit("comparator_tb")
+    vdd = p.vdd
+
+    c.add(VoltageSource("VDD", "vdd", "gnd", vdd))
+    c.add(VoltageSource("VIN", "in", "gnd", vin))
+    c.add(VoltageSource("VREFS", "vref_src", "gnd", vref))
+    c.add(Resistor("RREF", "vref_src", "vref", VREF_DRIVER_R))
+
+    phi1, phi2, phi3 = comparator_clocks(period, vdd, edge=CLOCK_EDGE)
+    clock_sources = []
+    for name, wave in (("phi1", phi1), ("phi2", phi2), ("phi3", phi3)):
+        c.add(VoltageSource(f"V{name.upper()}", f"{name}_src", "gnd",
+                            wave))
+        c.add(Resistor(f"R{name.upper()}", f"{name}_src", name,
+                       CLOCK_DRIVER_R))
+        clock_sources.append(f"V{name.upper()}")
+
+    scale = vdd / 5.0  # bias lines track the supply to first order
+    c.add(VoltageSource("VBN1S", "vbn1_src", "gnd", VBN1_NOMINAL * scale))
+    c.add(Resistor("RBN1", "vbn1_src", "vbn1", BIAS_DRIVER_R))
+    c.add(VoltageSource("VBN2S", "vbn2_src", "gnd", VBN2_NOMINAL * scale))
+    c.add(Resistor("RBN2", "vbn2_src", "vbn2", BIAS_DRIVER_R))
+
+    add_comparator_devices(c, p, dft=dft)
+    return ComparatorTestbench(
+        circuit=c,
+        supply_source="VDD",
+        clock_sources=tuple(clock_sources),
+        input_sources=("VIN", "VREFS", "VBN1S", "VBN2S"))
+
+
+#: quiescent measurement instants within a period (fraction of T):
+#: late in sampling, late in amplification, late in latching
+PHASE_MEASURE_FRACTIONS = (0.30, 0.63, 0.97)
+
+
+def phase_measure_times(period: float = CLOCK_PERIOD,
+                        cycle: int = 1) -> List[float]:
+    """Measurement instants in the given clock cycle (0-based)."""
+    return [(cycle + f) * period for f in PHASE_MEASURE_FRACTIONS]

@@ -1,0 +1,123 @@
+"""Thermometer-to-binary decoder macro (digital).
+
+The 256 comparator outputs form a thermometer code; a ones-boundary
+detector produces a 1-hot vector and an OR plane encodes it to 8 binary
+bits.  The gate-level netlist feeds the digital fault machinery (stuck-at
+for logic detection, bridging for IDDQ); the behavioral decoder is what
+the missing-code test loop uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..digital.netlist import LogicNetlist
+
+N_BITS_DEFAULT = 8
+
+
+def build_decoder(n_bits: int = N_BITS_DEFAULT) -> LogicNetlist:
+    """Gate-level thermometer -> binary decoder.
+
+    Inputs ``t1 .. t<2^n - 1>`` (t_k = 1 iff code >= k); outputs
+    ``b0 .. b<n-1>``.
+    """
+    n_taps = 2 ** n_bits
+    net = LogicNetlist(f"decoder{n_bits}")
+    for k in range(1, n_taps):
+        net.add_input(f"t{k}")
+
+    # 1-hot row detectors: h_k = t_k AND NOT t_{k+1}; h_0 = NOT t_1
+    net.add_gate("inv_t1", "INV", ["t1"], "nt1")
+    hot: List[str] = ["nt1"]
+    for k in range(1, n_taps):
+        if k < n_taps - 1:
+            net.add_gate(f"inv{k + 1}", "INV", [f"t{k + 1}"],
+                         f"nt{k + 1}")
+            net.add_gate(f"hot{k}", "AND2", [f"t{k}", f"nt{k + 1}"],
+                         f"h{k}")
+            hot.append(f"h{k}")
+        else:
+            hot.append(f"t{k}")  # top row: hot iff t_max set
+
+    # OR planes: bit j = OR of hot rows whose index has bit j set
+    for j in range(n_bits):
+        rows = [hot[k] for k in range(n_taps) if (k >> j) & 1]
+        out = _or_tree(net, rows, f"b{j}")
+        net.add_output(out)
+    return net
+
+
+def _or_tree(net: LogicNetlist, inputs: Sequence[str],
+             out_name: str) -> str:
+    """Balanced OR2 tree reducing *inputs* into net *out_name*."""
+    if not inputs:
+        raise ValueError("OR tree needs at least one input")
+    level = list(inputs)
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            if len(level) == 2:
+                out = out_name
+            else:
+                out = f"{out_name}_s{stage}_{i // 2}"
+            net.add_gate(f"or_{out}", "OR2", [level[i], level[i + 1]],
+                         out)
+            next_level.append(out)
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+        stage += 1
+    if level[0] != out_name:
+        net.add_gate(f"buf_{out_name}", "BUF", [level[0]], out_name)
+        return out_name
+    return level[0]
+
+
+def thermometer_vector(code: int, n_bits: int = N_BITS_DEFAULT
+                       ) -> Dict[str, bool]:
+    """Input vector for a given output code (0 .. 2^n - 1)."""
+    n_taps = 2 ** n_bits
+    if not 0 <= code < n_taps:
+        raise ValueError(f"code {code} out of range")
+    return {f"t{k}": k <= code for k in range(1, n_taps)}
+
+
+def decode_outputs(outputs: Dict[str, bool],
+                   n_bits: int = N_BITS_DEFAULT) -> int:
+    """Binary value from a decoder output dict."""
+    return sum((1 << j) for j in range(n_bits) if outputs[f"b{j}"])
+
+
+def decode_thermometer(levels: Sequence[bool]) -> int:
+    """Ones-count decode (bubble-tolerant averaging behaviour).
+
+    A utility for characterisation; the ADC's decoder macro behaves like
+    :func:`boundary_decode`, the exact behavioral twin of the gate-level
+    OR plane.
+    """
+    return sum(1 for level in levels if level)
+
+
+def boundary_decode(levels: Sequence[bool],
+                    n_bits: int = N_BITS_DEFAULT) -> int:
+    """Exact behavioral twin of :func:`build_decoder`'s OR plane.
+
+    *levels* are the comparator outputs t1..t<2^n - 1> (any extra
+    entries, e.g. an overrange comparator, are ignored).  Every 1->0
+    boundary row is hot and the OR plane merges their indices — which is
+    precisely why a bubble (stuck comparator) produces *missing codes*
+    at the circuit edge rather than being averaged away.
+    """
+    n_rows = 2 ** n_bits - 1
+    t = [bool(v) for v in levels[:n_rows]]
+    if len(t) < n_rows:
+        raise ValueError(f"need at least {n_rows} comparator levels")
+    code = 0
+    for k in range(1, n_rows):
+        if t[k - 1] and not t[k]:
+            code |= k
+    if t[n_rows - 1]:
+        code |= n_rows
+    return code

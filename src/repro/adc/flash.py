@@ -1,0 +1,112 @@
+"""Behavioral 8-bit full-flash ADC (macro-structured assembly).
+
+256 reference taps, 256 clocked comparators, a thermometer decoder — the
+structure of paper Fig. 2.  The model is deliberately macro-shaped so a
+fault signature extracted for one macro instance can be injected into
+exactly that instance, which is what the sensitisation/propagation step
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .behavioral import (ClockBehavior, ComparatorBehavior,
+                         DecoderBehavior, LadderBehavior)
+from .ladder import N_BITS, N_TAPS, VREF_HIGH, VREF_LOW
+
+
+@dataclass(frozen=True)
+class FlashADC:
+    """Behavioral flash ADC.
+
+    Attributes:
+        ladder: reference ladder model.
+        comparators: per-instance comparator models (index 0 serves
+            tap 1 ... index 255 serves tap 256); by default all nominal.
+        decoder: thermometer decoder model.
+        clocks: clock generator model.
+    """
+
+    ladder: LadderBehavior = field(default_factory=LadderBehavior)
+    comparators: tuple = tuple()
+    decoder: DecoderBehavior = field(default_factory=DecoderBehavior)
+    clocks: ClockBehavior = field(default_factory=ClockBehavior)
+    n_bits: int = N_BITS
+
+    def __post_init__(self) -> None:
+        if not self.comparators:
+            object.__setattr__(
+                self, "comparators",
+                tuple(ComparatorBehavior() for _ in range(2 ** self.n_bits)))
+        if len(self.comparators) != 2 ** self.n_bits:
+            raise ValueError("need one comparator per tap")
+
+    # -- fault injection -----------------------------------------------------
+
+    def with_comparator(self, index: int,
+                        behavior: ComparatorBehavior) -> "FlashADC":
+        """Copy of the ADC with comparator *index* (0-based) replaced."""
+        if not 0 <= index < len(self.comparators):
+            raise ValueError(f"comparator index {index} out of range")
+        comps = list(self.comparators)
+        comps[index] = behavior
+        return replace(self, comparators=tuple(comps))
+
+    def with_ladder(self, ladder: LadderBehavior) -> "FlashADC":
+        return replace(self, ladder=ladder)
+
+    def with_decoder(self, decoder: DecoderBehavior) -> "FlashADC":
+        return replace(self, decoder=decoder)
+
+    def with_clocks(self, clocks: ClockBehavior) -> "FlashADC":
+        return replace(self, clocks=clocks)
+
+    # -- conversion -----------------------------------------------------------
+
+    def convert(self, vin: float, at_speed: bool = False) -> int:
+        """One full conversion of a sampled input voltage.
+
+        Args:
+            at_speed: run at maximum clock rate (no settling margin) —
+                exposes dynamically degraded comparators and clock
+                amplitudes (the 'clock value' fault population).
+        """
+        if not self.clocks.functional:
+            # a dead clock phase freezes the whole comparator bank: every
+            # flipflop keeps (or collapses to) a fixed state -> constant
+            # output code
+            return 0
+        if at_speed and self.clocks.degraded:
+            return 0  # degraded global clock amplitude fails at speed
+        levels = [comp.decide(vin, self.ladder.reference(k + 1),
+                              at_speed=at_speed)
+                  for k, comp in enumerate(self.comparators)]
+        return self.decoder.decode(levels)
+
+    def convert_many(self, vins: Sequence[float],
+                     at_speed: bool = False) -> np.ndarray:
+        """Convert a sample sequence."""
+        return np.array([self.convert(v, at_speed=at_speed)
+                         for v in vins], dtype=int)
+
+    # -- characterisation -------------------------------------------------------
+
+    def full_scale(self) -> tuple:
+        """(low, high) analog input range."""
+        return (float(self.ladder.taps[0]), float(self.ladder.taps[-1]))
+
+    def transfer_codes(self, n_points: int = 2048) -> np.ndarray:
+        """Static transfer function over a fine input ramp."""
+        lo, hi = self.full_scale()
+        span = hi - lo
+        vins = np.linspace(lo - 0.02 * span, hi + 0.02 * span, n_points)
+        return self.convert_many(vins)
+
+
+def nominal_adc() -> FlashADC:
+    """Fault-free behavioral ADC at nominal conditions."""
+    return FlashADC()

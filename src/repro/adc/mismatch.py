@@ -1,0 +1,105 @@
+"""Within-die device mismatch (Pelgrom model).
+
+The corner model in :mod:`repro.adc.process` captures die-to-die spread;
+this module adds *within-die* random mismatch: each transistor's
+threshold deviates with a sigma of ``A_VT / sqrt(W * L)`` (Pelgrom's
+law).  Mismatch is what gives the fault-free comparator a random offset,
+which sets how much of the paper's "Offset (> 8 mV)" signature space is
+already occupied by healthy devices — the parametric escape mechanism
+noted in the paper's introduction (Sachdev: "some of the parametric
+faults escaped detection").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit
+from ..circuit.transient import transient
+from .comparator import (CLOCK_PERIOD, build_testbench,
+                         regeneration_windows)
+from .process import Process, typical
+
+#: Pelgrom threshold-mismatch coefficient for a 1-um-class process
+#: (V * m); ~10 mV sigma for a 1 um^2 device
+A_VT = 10e-9
+
+
+def apply_mismatch(circuit: Circuit, rng: np.random.Generator,
+                   a_vt: float = A_VT) -> List[float]:
+    """Perturb every MOSFET's threshold with Pelgrom-law mismatch.
+
+    Mutates *circuit* in place (apply to a copy).
+
+    Returns:
+        The threshold shifts applied, in element order.
+    """
+    shifts: List[float] = []
+    for el in circuit.elements:
+        if not isinstance(el, Mosfet):
+            continue
+        sigma = a_vt / math.sqrt(el.w * el.l)
+        shift = float(rng.normal(0.0, sigma))
+        el.params = el.params.scaled(vto_shift=shift)
+        shifts.append(shift)
+    return shifts
+
+
+def comparator_offset(process: Optional[Process] = None,
+                      rng: Optional[np.random.Generator] = None,
+                      a_vt: float = A_VT, resolution: float = 1e-3,
+                      span: float = 32e-3) -> float:
+    """Input-referred offset of one mismatched comparator instance.
+
+    Bisects the trip point with clocked transients.
+
+    Args:
+        resolution: bisection stops at this input granularity.
+        span: search half-range; offsets beyond it are clamped.
+    """
+    p = process or typical()
+    rng = rng or np.random.default_rng(0)
+    tb = build_testbench(process=p, vin=2.5, vref=2.5)
+    apply_mismatch(tb.circuit, rng, a_vt)
+
+    def decides_high(dv: float) -> bool:
+        circuit = tb.circuit.copy()
+        circuit.element("VIN").value = 2.5 + dv
+        tr = transient(circuit, tstop=CLOCK_PERIOD, dt=1e-9,
+                       fine_windows=regeneration_windows(CLOCK_PERIOD, 1))
+        return tr.at_time("ffout", 0.97 * CLOCK_PERIOD) > p.vdd / 2.0
+
+    lo, hi = -span, span
+    if decides_high(lo):
+        return -span  # trips below the search range
+    if not decides_high(hi):
+        return span
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if decides_high(mid):
+            hi = mid
+        else:
+            lo = mid
+    # trip point at +x means the device needs +x input: offset = -x
+    return -0.5 * (lo + hi)
+
+
+def offset_distribution(n_samples: int = 20,
+                        process: Optional[Process] = None,
+                        a_vt: float = A_VT, seed: int = 0,
+                        resolution: float = 2e-3) -> np.ndarray:
+    """Monte Carlo comparator offset distribution (volts).
+
+    Each sample is one mismatched instance, bisected to *resolution*.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    rng = np.random.default_rng(seed)
+    return np.array([comparator_offset(process, rng, a_vt,
+                                       resolution=resolution)
+                     for _ in range(n_samples)])

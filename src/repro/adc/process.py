@@ -1,0 +1,121 @@
+"""CMOS process definition and environmental corners.
+
+A generic 1-um-class CMOS process (mid-1990s era, 5 V supply) stands in
+for the Philips process the paper used.  The corner model drives the
+*good signature space*: the fault-free circuit response varies with
+process (threshold / transconductance spread), supply voltage and
+temperature, and a fault is only detected when it pushes a measurement
+outside this whole space (the paper's 3-sigma criterion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Tuple
+
+from ..circuit.mosfet import MosParams
+
+VDD_NOMINAL = 5.0
+VDD_TOLERANCE = 0.10  # +/- 10 % supply spread
+TEMP_NOMINAL = 27.0
+TEMP_RANGE = (-20.0, 85.0)
+
+NMOS_TYPICAL = MosParams(kp=60e-6, vto=0.70, lam=0.05, gamma=0.45,
+                         phi=0.60, cox=1.7e-3, cov=3.0e-10)
+PMOS_TYPICAL = MosParams(kp=25e-6, vto=-0.80, lam=0.06, gamma=0.55,
+                         phi=0.60, cox=1.7e-3, cov=3.0e-10)
+
+#: process spread: +/- 3-sigma threshold shift and kp spread
+VTO_SPREAD = 0.10      # volts
+KP_SPREAD = 0.15       # relative
+#: sheet-resistance spread of the poly ladder resistors (+/- 3-sigma);
+#: wide, well-controlled ladder structures track much better than
+#: minimum-width poly
+RSHEET_SPREAD = 0.08
+
+
+@dataclass(frozen=True)
+class Process:
+    """One instance of the process + environment.
+
+    Attributes:
+        nmos, pmos: device parameters at this corner.
+        vdd: supply voltage.
+        temperature: junction temperature (deg C).
+        r_scale: resistor value scale (sheet-resistance corner).
+        name: corner label.
+    """
+
+    nmos: MosParams = NMOS_TYPICAL
+    pmos: MosParams = PMOS_TYPICAL
+    vdd: float = VDD_NOMINAL
+    temperature: float = TEMP_NOMINAL
+    r_scale: float = 1.0
+    name: str = "typical"
+
+    def with_temperature(self, temp: float) -> "Process":
+        """Apply first-order temperature dependence.
+
+        Mobility falls as (T/T0)^-1.5; thresholds drop ~2 mV/K.
+        """
+        t0 = TEMP_NOMINAL + 273.15
+        t = temp + 273.15
+        kp_scale = (t / t0) ** -1.5
+        dvt = -2e-3 * (temp - self.temperature)
+        return replace(
+            self,
+            nmos=self.nmos.scaled(kp_scale=kp_scale, vto_shift=dvt),
+            pmos=self.pmos.scaled(kp_scale=kp_scale, vto_shift=-dvt),
+            temperature=temp,
+            name=f"{self.name}@{temp:g}C")
+
+
+def typical() -> Process:
+    """The nominal process at nominal conditions."""
+    return Process()
+
+
+def corner(process_sigma: float, vdd: float, temperature: float,
+           name: str = "") -> Process:
+    """Build a corner: *process_sigma* in [-1, 1] scales the +/-3-sigma
+    process spread (-1 = slow, +1 = fast)."""
+    s = process_sigma
+    nmos = NMOS_TYPICAL.scaled(kp_scale=1.0 + s * KP_SPREAD,
+                               vto_shift=-s * VTO_SPREAD)
+    pmos = PMOS_TYPICAL.scaled(kp_scale=1.0 + s * KP_SPREAD,
+                               vto_shift=s * VTO_SPREAD)
+    base = Process(nmos=nmos, pmos=pmos, vdd=vdd,
+                   r_scale=1.0 - s * RSHEET_SPREAD,
+                   name=name or f"s{s:+.1f}_v{vdd:.2f}")
+    return base.with_temperature(temperature)
+
+
+def good_space_corners() -> List[Process]:
+    """Corner set over which the good signature space is compiled.
+
+    The full factorial of {slow, typical, fast} process x {low, nominal,
+    high} supply x {cold, nominal, hot} temperature, matching the paper's
+    "process, supply voltage and temperature" environmental conditions.
+    """
+    result = []
+    for s, v, t in itertools.product(
+            (-1.0, 0.0, 1.0),
+            (VDD_NOMINAL * (1 - VDD_TOLERANCE), VDD_NOMINAL,
+             VDD_NOMINAL * (1 + VDD_TOLERANCE)),
+            (TEMP_RANGE[0], TEMP_NOMINAL, TEMP_RANGE[1])):
+        result.append(corner(s, v, t))
+    return result
+
+
+def reduced_corners() -> List[Process]:
+    """Cheap 5-corner set (typ + 4 extremes) for fast analyses."""
+    lo_v = VDD_NOMINAL * (1 - VDD_TOLERANCE)
+    hi_v = VDD_NOMINAL * (1 + VDD_TOLERANCE)
+    return [
+        typical(),
+        corner(-1.0, lo_v, TEMP_RANGE[1], name="slow_lowv_hot"),
+        corner(-1.0, hi_v, TEMP_RANGE[0], name="slow_highv_cold"),
+        corner(+1.0, lo_v, TEMP_RANGE[1], name="fast_lowv_hot"),
+        corner(+1.0, hi_v, TEMP_RANGE[0], name="fast_highv_cold"),
+    ]

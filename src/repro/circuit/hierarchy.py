@@ -1,0 +1,100 @@
+"""Hierarchical subcircuits.
+
+The simulator core deliberately works on flat netlists (as SPICE does
+after expansion); this module provides the expansion.  A
+:class:`Subcircuit` is a reusable netlist template with declared ports;
+:func:`instantiate` stamps a copy into a parent circuit, prefixing
+element names and internal nodes with the instance name and splicing the
+ports onto parent nodes.
+
+The ADC macros use builder functions for historical flexibility; this
+class-based layer formalises the same pattern for library users and
+gives the SPICE reader/writer a ``.subckt`` / ``X`` card target.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .netlist import Circuit, CircuitError, canonical_node
+
+
+@dataclass
+class Subcircuit:
+    """A reusable netlist template.
+
+    Attributes:
+        name: subcircuit (definition) name.
+        ports: ordered port node names (as used inside the template).
+        circuit: the template netlist; ports and ``gnd`` are the only
+            nodes shared with the outside on instantiation.
+    """
+
+    name: str
+    ports: Sequence[str]
+    circuit: Circuit
+
+    def __post_init__(self) -> None:
+        self.ports = [canonical_node(p) for p in self.ports]
+        if len(set(self.ports)) != len(self.ports):
+            raise CircuitError(f"{self.name}: duplicate ports")
+        nodes = set(self.circuit.nodes())
+        missing = [p for p in self.ports
+                   if p != "gnd" and p not in nodes]
+        if missing:
+            raise CircuitError(
+                f"{self.name}: ports not present in template: "
+                f"{missing}")
+
+    def internal_nodes(self) -> List[str]:
+        """Template nodes that are not ports (will be prefixed)."""
+        return [n for n in self.circuit.nodes() if n not in self.ports]
+
+
+def instantiate(parent: Circuit, subcircuit: Subcircuit,
+                instance_name: str,
+                connections: Sequence[str]) -> List[str]:
+    """Stamp one instance of *subcircuit* into *parent*.
+
+    Args:
+        parent: circuit receiving the expanded elements.
+        instance_name: prefix for element names and internal nodes
+            (SPICE ``X`` card name).
+        connections: parent node per subcircuit port, in port order.
+
+    Returns:
+        The names of the added elements.
+
+    Raises:
+        CircuitError: on arity mismatch or name collisions.
+    """
+    if len(connections) != len(subcircuit.ports):
+        raise CircuitError(
+            f"{instance_name}: {subcircuit.name} has "
+            f"{len(subcircuit.ports)} ports, got {len(connections)}")
+    node_map: Dict[str, str] = {
+        port: canonical_node(outside)
+        for port, outside in zip(subcircuit.ports, connections)}
+    for internal in subcircuit.internal_nodes():
+        node_map[internal] = f"{instance_name}.{internal}"
+
+    added = []
+    for element in subcircuit.circuit.elements:
+        clone = copy.deepcopy(element)
+        clone.name = f"{instance_name}.{element.name}"
+        clone.nodes = [node_map.get(n, n) for n in clone.nodes]
+        parent.add(clone)
+        added.append(clone.name)
+    return added
+
+
+def flatten(title: str,
+            instances: Sequence) -> Circuit:
+    """Build a flat circuit from ``(subcircuit, name, connections)``
+    triples."""
+    parent = Circuit(title)
+    for subcircuit, name, connections in instances:
+        instantiate(parent, subcircuit, name, connections)
+    return parent

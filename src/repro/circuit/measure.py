@@ -1,0 +1,162 @@
+"""Waveform measurement utilities.
+
+Post-processing helpers over sampled waveforms (time and value arrays,
+as produced by :class:`~repro.circuit.transient.TransientResult`):
+threshold crossings, rise/fall times, overshoot, settling, period and
+duty cycle, slew rate.  Used by the clock-generator analysis and the
+characterisation examples; all functions interpolate linearly between
+samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MeasurementError(Exception):
+    """The requested feature does not exist in the waveform."""
+
+
+def _as_arrays(times, values) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape or t.ndim != 1:
+        raise ValueError("times and values must be 1-D and equal length")
+    if len(t) < 2:
+        raise ValueError("need at least two samples")
+    return t, v
+
+
+def crossing_times(times, values, threshold: float,
+                   direction: str = "both") -> List[float]:
+    """Interpolated instants where the waveform crosses *threshold*.
+
+    Args:
+        direction: ``"rising"``, ``"falling"`` or ``"both"``.
+    """
+    if direction not in ("rising", "falling", "both"):
+        raise ValueError(f"bad direction {direction!r}")
+    t, v = _as_arrays(times, values)
+    crossings: List[float] = []
+    above = v >= threshold
+    for k in range(1, len(v)):
+        if above[k] == above[k - 1]:
+            continue
+        rising = above[k]
+        if direction == "rising" and not rising:
+            continue
+        if direction == "falling" and rising:
+            continue
+        frac = (threshold - v[k - 1]) / (v[k] - v[k - 1])
+        crossings.append(float(t[k - 1] + frac * (t[k] - t[k - 1])))
+    return crossings
+
+
+def _edge_time(times, values, lo_frac: float, hi_frac: float,
+               rising: bool) -> float:
+    t, v = _as_arrays(times, values)
+    base, top = float(v.min()), float(v.max())
+    if top <= base:
+        raise MeasurementError("waveform has no swing")
+    lo = base + lo_frac * (top - base)
+    hi = base + hi_frac * (top - base)
+    if rising:
+        starts = crossing_times(t, v, lo, "rising")
+        ends = crossing_times(t, v, hi, "rising")
+    else:
+        starts = crossing_times(t, v, hi, "falling")
+        ends = crossing_times(t, v, lo, "falling")
+    for s in starts:
+        later = [e for e in ends if e > s]
+        if later:
+            return later[0] - s
+    raise MeasurementError("no complete edge found")
+
+
+def rise_time(times, values, lo_frac: float = 0.1,
+              hi_frac: float = 0.9) -> float:
+    """10-90 % (by default) rise time of the first complete edge."""
+    return _edge_time(times, values, lo_frac, hi_frac, rising=True)
+
+
+def fall_time(times, values, lo_frac: float = 0.1,
+              hi_frac: float = 0.9) -> float:
+    """90-10 % (by default) fall time of the first complete edge."""
+    return _edge_time(times, values, lo_frac, hi_frac, rising=False)
+
+
+def overshoot(times, values, final_value: Optional[float] = None
+              ) -> float:
+    """Peak overshoot as a fraction of the final value's swing.
+
+    The final value defaults to the last sample; the baseline is the
+    first sample.
+    """
+    t, v = _as_arrays(times, values)
+    final = float(v[-1]) if final_value is None else final_value
+    base = float(v[0])
+    swing = final - base
+    if abs(swing) < 1e-30:
+        raise MeasurementError("no step to measure overshoot against")
+    peak = float(v.max()) if swing > 0 else float(v.min())
+    return max(0.0, (peak - final) / swing)
+
+
+def settling_time(times, values, tolerance: float = 0.01,
+                  final_value: Optional[float] = None) -> float:
+    """Time after which the waveform stays within *tolerance* (fraction
+    of the step) of the final value."""
+    t, v = _as_arrays(times, values)
+    final = float(v[-1]) if final_value is None else final_value
+    swing = abs(final - float(v[0]))
+    if swing < 1e-30:
+        return 0.0
+    band = tolerance * swing
+    outside = np.nonzero(np.abs(v - final) > band)[0]
+    if len(outside) == 0:
+        return 0.0
+    k = outside[-1]
+    if k + 1 >= len(t):
+        raise MeasurementError("waveform never settles")
+    return float(t[k + 1] - t[0])
+
+
+def period(times, values, threshold: Optional[float] = None) -> float:
+    """Average period from rising threshold crossings."""
+    t, v = _as_arrays(times, values)
+    if threshold is None:
+        threshold = 0.5 * (float(v.min()) + float(v.max()))
+    rises = crossing_times(t, v, threshold, "rising")
+    if len(rises) < 2:
+        raise MeasurementError("fewer than two rising crossings")
+    return float(np.mean(np.diff(rises)))
+
+
+def duty_cycle(times, values, threshold: Optional[float] = None
+               ) -> float:
+    """High-time fraction over complete cycles."""
+    t, v = _as_arrays(times, values)
+    if threshold is None:
+        threshold = 0.5 * (float(v.min()) + float(v.max()))
+    rises = crossing_times(t, v, threshold, "rising")
+    falls = crossing_times(t, v, threshold, "falling")
+    if len(rises) < 2:
+        raise MeasurementError("fewer than two rising crossings")
+    total = rises[-1] - rises[0]
+    high = 0.0
+    for r in rises[:-1]:
+        next_falls = [f for f in falls if f > r]
+        if next_falls:
+            high += min(next_falls[0], rises[-1]) - r
+    return high / total
+
+
+def slew_rate(times, values) -> float:
+    """Maximum |dv/dt| of the waveform (V/s)."""
+    t, v = _as_arrays(times, values)
+    dt = np.diff(t)
+    if np.any(dt <= 0):
+        raise ValueError("times must be strictly increasing")
+    return float(np.max(np.abs(np.diff(v) / dt)))

@@ -1,0 +1,171 @@
+"""Circuit netlist container and compilation.
+
+A :class:`Circuit` is a flat bag of elements connected by named nodes.
+Node names are plain strings; the ground node is ``"gnd"`` (the alias
+``"0"`` is accepted and normalised).  Hierarchy is handled by builder
+functions that add elements with a name prefix (see ``repro.adc``), so the
+simulator core only ever sees flat netlists — the same view a SPICE engine
+has after subcircuit expansion.
+
+Compilation assigns matrix indices: one unknown per non-ground node plus
+one branch-current unknown per element that requires it (voltage sources
+and controlled voltage sources).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss!", "VSS!"})
+
+
+def canonical_node(name: str) -> str:
+    """Normalise a node name; all ground aliases map to ``"gnd"``."""
+    if name in GROUND_NAMES:
+        return "gnd"
+    return name
+
+
+class CircuitError(Exception):
+    """Raised for malformed netlists (duplicate names, missing nodes...)."""
+
+
+@dataclass
+class CompiledCircuit:
+    """Index assignment produced by :meth:`Circuit.compile`.
+
+    Attributes:
+        node_index: node name -> row index (ground is absent, index -1).
+        branch_index: element name -> branch-current row index.
+        size: total number of unknowns.
+    """
+
+    node_index: Dict[str, int]
+    branch_index: Dict[str, int]
+    size: int
+
+    def index_of(self, node: str) -> int:
+        """Matrix index of *node*; ground returns -1."""
+        node = canonical_node(node)
+        if node == "gnd":
+            return -1
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}")
+
+
+class Circuit:
+    """A flat netlist of circuit elements.
+
+    Elements are added with :meth:`add` and must have unique names.  The
+    circuit can be deep-copied (``copy()``) so fault injection never
+    mutates the golden netlist.
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._elements: Dict[str, "object"] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, element) -> "object":
+        """Add *element* to the circuit and return it.
+
+        Raises:
+            CircuitError: if an element with the same name already exists.
+        """
+        if element.name in self._elements:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        element.nodes = [canonical_node(n) for n in element.nodes]
+        self._elements[element.name] = element
+        return element
+
+    def remove(self, name: str) -> None:
+        """Remove the element called *name*.
+
+        Raises:
+            CircuitError: if no such element exists.
+        """
+        if name not in self._elements:
+            raise CircuitError(f"no element named {name!r}")
+        del self._elements[name]
+
+    def copy(self) -> "Circuit":
+        """Return an independent deep copy of the circuit."""
+        return copy.deepcopy(self)
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def elements(self) -> List:
+        """Elements in insertion order."""
+        return list(self._elements.values())
+
+    def element(self, name: str):
+        """Look up an element by name.
+
+        Raises:
+            CircuitError: if no such element exists.
+        """
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(f"no element named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def nodes(self) -> List[str]:
+        """All non-ground node names, sorted for determinism."""
+        seen = set()
+        for el in self._elements.values():
+            for n in el.nodes:
+                if n != "gnd":
+                    seen.add(n)
+        return sorted(seen)
+
+    def elements_on_node(self, node: str) -> List:
+        """Elements with at least one terminal on *node*."""
+        node = canonical_node(node)
+        return [el for el in self._elements.values() if node in el.nodes]
+
+    # -- topology edits (used by fault injection) ------------------------
+
+    def rename_terminal(self, element_name: str, terminal: int,
+                        new_node: str) -> None:
+        """Reconnect one terminal of an element to *new_node*.
+
+        Used by open-fault injection to split a node: a subset of the
+        elements formerly on the node is moved to a fresh node name.
+        """
+        el = self.element(element_name)
+        if not 0 <= terminal < len(el.nodes):
+            raise CircuitError(
+                f"element {element_name!r} has no terminal {terminal}")
+        el.nodes[terminal] = canonical_node(new_node)
+
+    # -- compilation -----------------------------------------------------
+
+    def compile(self) -> CompiledCircuit:
+        """Assign matrix indices to nodes and branch currents."""
+        node_index: Dict[str, int] = {}
+        for name in self.nodes():
+            node_index[name] = len(node_index)
+        branch_index: Dict[str, int] = {}
+        next_index = len(node_index)
+        for el in self._elements.values():
+            for _ in range(getattr(el, "branches", 0)):
+                branch_index[el.name] = next_index
+                next_index += 1
+        return CompiledCircuit(node_index=node_index,
+                               branch_index=branch_index, size=next_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Circuit({self.title!r}, {len(self._elements)} elements, "
+                f"{len(self.nodes())} nodes)")

@@ -1,0 +1,425 @@
+"""SPICE-format netlist reader/writer.
+
+Supports the subset of Berkeley-SPICE syntax this library generates and
+consumes: R / C / V / I / E (VCVS) / G (VCCS) / D / M cards, ``.model``
+cards for level-1 MOSFETs and diodes, PULSE / SIN / PWL / DC source
+specifications, engineering suffixes (``2.2u``, ``10k``, ``1MEG``),
+comment lines (``*``) and ``+`` continuations.
+
+This makes the simulator interoperable: macros can be exported for
+cross-checking in ngspice, and externally authored netlists can be fed
+into the defect-oriented flow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .elements import (Capacitor, CurrentSource, Diode, Resistor, VCCS,
+                       VCVS, VoltageSource)
+from .mosfet import Mosfet, MosParams
+from .netlist import Circuit, CircuitError
+from .waveforms import DC, PWL, Pulse, Sin
+
+_SUFFIXES = [
+    ("meg", 1e6), ("mil", 25.4e-6),
+    ("t", 1e12), ("g", 1e9), ("k", 1e3), ("m", 1e-3), ("u", 1e-6),
+    ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+]
+
+
+class SpiceFormatError(Exception):
+    """Raised for unparseable netlist text."""
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with an optional engineering suffix."""
+    token = token.strip().lower()
+    match = re.match(r"^([+-]?[0-9]*\.?[0-9]+(?:e[+-]?[0-9]+)?)"
+                     r"([a-z]*)$", token)
+    if not match:
+        raise SpiceFormatError(f"bad numeric value {token!r}")
+    value = float(match.group(1))
+    suffix = match.group(2)
+    for name, scale in _SUFFIXES:
+        if suffix.startswith(name):
+            return value * scale
+    return value
+
+
+def format_value(value: float) -> str:
+    """Format a float compactly with an engineering suffix."""
+    for name, scale in (("g", 1e9), ("meg", 1e6), ("k", 1e3)):
+        if abs(value) >= scale:
+            return _strip(f"{value / scale:.6g}") + name
+    if value == 0.0 or abs(value) >= 1.0:
+        return _strip(f"{value:.6g}")
+    for name, scale in (("m", 1e-3), ("u", 1e-6), ("n", 1e-9),
+                        ("p", 1e-12), ("f", 1e-15)):
+        if abs(value) >= scale:
+            return _strip(f"{value / scale:.6g}") + name
+    return _strip(f"{value:.6g}")
+
+
+def _strip(text: str) -> str:
+    return text
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _source_spec(value) -> str:
+    if isinstance(value, Pulse):
+        return (f"PULSE({format_value(value.low)} "
+                f"{format_value(value.high)} {format_value(value.delay)}"
+                f" {format_value(value.rise)} {format_value(value.fall)}"
+                f" {format_value(value.width)} "
+                f"{format_value(value.period)})")
+    if isinstance(value, Sin):
+        return (f"SIN({format_value(value.offset)} "
+                f"{format_value(value.amplitude)} "
+                f"{format_value(value.freq)} "
+                f"{format_value(value.delay)})")
+    if isinstance(value, PWL):
+        points = " ".join(f"{format_value(t)} {format_value(v)}"
+                          for t, v in zip(value.times, value.values))
+        return f"PWL({points})"
+    if isinstance(value, DC):
+        return format_value(value.value)
+    if callable(getattr(value, "at", None)):
+        raise SpiceFormatError(
+            f"cannot serialise waveform {type(value).__name__}")
+    return format_value(float(value))
+
+
+def _card_name(prefix: str, name: str) -> str:
+    """SPICE card name: prefix the type letter unless already present."""
+    if name[:1].upper() == prefix:
+        return name
+    return prefix + name
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialise a circuit to SPICE text.
+
+    Element names that already start with their SPICE type letter are
+    kept verbatim (so write/parse round trips preserve them); others get
+    the letter prefixed.
+    """
+    lines: List[str] = [f"* {circuit.title or 'repro netlist'}"]
+    models: Dict[Tuple, str] = {}
+
+    def model_name(params: MosParams, polarity: str) -> str:
+        key = (polarity, params)
+        if key not in models:
+            models[key] = f"{'n' if polarity == 'n' else 'p'}mos" \
+                          f"{len(models)}"
+        return models[key]
+
+    for el in circuit.elements:
+        n = el.nodes
+        if isinstance(el, Resistor):
+            lines.append(f"{_card_name('R', el.name)} {n[0]} {n[1]} "
+                         f"{format_value(el.resistance)}")
+        elif isinstance(el, Capacitor):
+            lines.append(f"{_card_name('C', el.name)} {n[0]} {n[1]} "
+                         f"{format_value(el.capacitance)}")
+        elif isinstance(el, VoltageSource):
+            lines.append(f"{_card_name('V', el.name)} {n[0]} {n[1]} "
+                         f"{_source_spec(el.value)}" +
+                         (f" AC {format_value(el.ac)}" if el.ac else ""))
+        elif isinstance(el, CurrentSource):
+            lines.append(f"{_card_name('I', el.name)} {n[0]} {n[1]} "
+                         f"{_source_spec(el.value)}")
+        elif isinstance(el, VCVS):
+            lines.append(f"{_card_name('E', el.name)} {n[0]} {n[1]} {n[2]} {n[3]} "
+                         f"{format_value(el.gain)}")
+        elif isinstance(el, VCCS):
+            lines.append(f"{_card_name('G', el.name)} {n[0]} {n[1]} {n[2]} {n[3]} "
+                         f"{format_value(el.gm)}")
+        elif isinstance(el, Diode):
+            lines.append(f"{_card_name('D', el.name)} {n[0]} {n[1]} DMOD")
+        elif isinstance(el, Mosfet):
+            name = model_name(el.params, el.polarity)
+            lines.append(f"{_card_name('M', el.name)} {n[0]} {n[1]} {n[2]} {n[3]} "
+                         f"{name} W={format_value(el.w)} "
+                         f"L={format_value(el.l)}")
+        else:
+            raise SpiceFormatError(
+                f"cannot serialise element {type(el).__name__}")
+
+    for (polarity, params), name in models.items():
+        kind = "NMOS" if polarity == "n" else "PMOS"
+        lines.append(
+            f".model {name} {kind} (LEVEL=1 "
+            f"VTO={params.vto:g} KP={params.kp:g} "
+            f"LAMBDA={params.lam:g} GAMMA={params.gamma:g} "
+            f"PHI={params.phi:g} COX={params.cox:g} "
+            f"CGSO={params.cov:g})")
+    if any(isinstance(el, Diode) for el in circuit.elements):
+        lines.append(".model DMOD D (IS=1e-14)")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def _join_continuations(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line or line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not lines:
+                raise SpiceFormatError("continuation with no prior card")
+            lines[-1] += " " + line.lstrip()[1:]
+        else:
+            lines.append(line.strip())
+    return lines
+
+
+_PAREN_FUNCS = ("pulse", "sin", "pwl")
+
+
+def _tokenize_card(line: str) -> List[str]:
+    """Split a card into tokens, keeping func(...) groups together."""
+    line = re.sub(r"\(", " ( ", line)
+    line = re.sub(r"\)", " ) ", line)
+    raw = line.split()
+    tokens: List[str] = []
+    depth = 0
+    for tok in raw:
+        if tok == "(":
+            depth += 1
+            if tokens and tokens[-1].lower() in _PAREN_FUNCS or depth > 1:
+                tokens[-1] += "("
+            continue
+        if tok == ")":
+            depth -= 1
+            if depth >= 0 and tokens and "(" in tokens[-1]:
+                tokens[-1] += ")"
+            continue
+        if depth > 0 and tokens and "(" in tokens[-1] and \
+                not tokens[-1].endswith(")"):
+            tokens[-1] += " " + tok
+        else:
+            tokens.append(tok)
+    return tokens
+
+
+def _parse_source_value(tokens: List[str]):
+    """Interpret the value part of a V/I card."""
+    spec = " ".join(tokens)
+    lower = spec.lower()
+    if lower.startswith("dc"):
+        spec = spec[2:].strip()
+        lower = spec.lower()
+    match = re.match(r"^(pulse|sin|pwl)\((.*)\)$", lower, re.S)
+    if match:
+        func = match.group(1)
+        args = [parse_value(t) for t in match.group(2).split()]
+        if func == "pulse":
+            if len(args) != 7:
+                raise SpiceFormatError("PULSE needs 7 arguments")
+            low, high, delay, rise, fall, width, period = args
+            return Pulse(low, high, delay, rise, fall, width, period)
+        if func == "sin":
+            if len(args) < 3:
+                raise SpiceFormatError("SIN needs >= 3 arguments")
+            delay = args[3] if len(args) > 3 else 0.0
+            return Sin(args[0], args[1], args[2], delay)
+        pairs = list(zip(args[0::2], args[1::2]))
+        return PWL(pairs)
+    return parse_value(spec)
+
+
+def parse_netlist(text: str) -> Circuit:
+    """Parse SPICE text into a flat :class:`Circuit`.
+
+    The first line is treated as the title, per SPICE convention, unless
+    it is itself a valid card; ``.end`` terminates the deck.
+    ``.subckt`` / ``.ends`` definitions and ``X`` instantiation cards
+    are supported and expanded (a subcircuit may instantiate
+    subcircuits defined before it).
+    """
+    lines = _join_continuations(text)
+    circuit = Circuit()
+    models: Dict[str, Tuple[str, MosParams]] = {}
+    cards: List[List[str]] = []
+    subckt_blocks: List[Tuple[str, List[str], List[str]]] = []
+    current_subckt: Optional[Tuple[str, List[str], List[str]]] = None
+
+    for index, line in enumerate(lines):
+        lower = line.lower()
+        if lower.startswith(".ends"):
+            if current_subckt is None:
+                raise SpiceFormatError(".ends without .subckt")
+            subckt_blocks.append(current_subckt)
+            current_subckt = None
+            continue
+        if lower.startswith(".subckt"):
+            if current_subckt is not None:
+                raise SpiceFormatError("nested .subckt definitions")
+            parts = line.split()
+            if len(parts) < 3:
+                raise SpiceFormatError(f"bad .subckt card: {line!r}")
+            current_subckt = (parts[1], parts[2:], [])
+            continue
+        if current_subckt is not None:
+            current_subckt[2].append(line)
+            continue
+        if lower.startswith(".end"):
+            break
+        if lower.startswith(".model"):
+            _parse_model(line, models)
+            continue
+        if lower.startswith("."):
+            continue  # analysis cards are ignored
+        tokens = _tokenize_card(line)
+        if index == 0 and not _card_looks_valid(tokens):
+            # SPICE convention: the first line is the title
+            circuit.title = line
+            continue
+        cards.append(tokens)
+    if current_subckt is not None:
+        raise SpiceFormatError(
+            f".subckt {current_subckt[0]} is never closed")
+
+    subcircuits = _build_subcircuits(subckt_blocks, models)
+    for tokens in cards:
+        _parse_card(circuit, tokens, models, subcircuits)
+    return circuit
+
+
+def _build_subcircuits(blocks, models) -> Dict[str, "object"]:
+    """Parse .subckt bodies into Subcircuit templates, in order."""
+    from .hierarchy import Subcircuit
+    subcircuits: Dict[str, Subcircuit] = {}
+    for name, ports, body_lines in blocks:
+        template = Circuit(name)
+        for line in body_lines:
+            if line.lower().startswith(".model"):
+                _parse_model(line, models)
+                continue
+            if line.lower().startswith("."):
+                continue
+            _parse_card(template, _tokenize_card(line), models,
+                        subcircuits)
+        subcircuits[name.lower()] = Subcircuit(
+            name=name, ports=ports, circuit=template)
+    return subcircuits
+
+
+_MIN_TOKENS = {"R": 4, "C": 4, "V": 4, "I": 4, "E": 6, "G": 6, "D": 4,
+               "M": 6, "X": 2}
+
+
+def _card_looks_valid(tokens: List[str]) -> bool:
+    """Structural check distinguishing a card from a title line."""
+    if not tokens:
+        return False
+    kind = tokens[0][0].upper()
+    if kind not in _MIN_TOKENS or len(tokens) < _MIN_TOKENS[kind]:
+        return False
+    if kind in ("R", "C"):
+        try:
+            parse_value(tokens[3])
+        except SpiceFormatError:
+            return False
+    return True
+
+
+def _parse_model(line: str, models: Dict) -> None:
+    match = re.match(r"\.model\s+(\S+)\s+(\S+)\s*\((.*)\)\s*$", line,
+                     re.I | re.S)
+    if not match:
+        raise SpiceFormatError(f"bad .model card: {line!r}")
+    name, kind = match.group(1).lower(), match.group(2).upper()
+    params = {}
+    for part in re.findall(r"(\w+)\s*=\s*(\S+)", match.group(3)):
+        params[part[0].lower()] = parse_value(part[1])
+    if kind in ("NMOS", "PMOS"):
+        mos = MosParams(kp=params.get("kp", 2e-5),
+                        vto=params.get("vto",
+                                       0.7 if kind == "NMOS" else -0.7),
+                        lam=params.get("lambda", 0.0),
+                        gamma=params.get("gamma", 0.0),
+                        phi=params.get("phi", 0.6),
+                        cox=params.get("cox", 1.7e-3),
+                        cov=params.get("cgso", 0.0))
+        models[name] = ("n" if kind == "NMOS" else "p", mos)
+    elif kind == "D":
+        models[name] = ("d", params.get("is", 1e-14))
+    else:
+        raise SpiceFormatError(f"unsupported model kind {kind!r}")
+
+
+def _parse_card(circuit: Circuit, tokens: List[str], models: Dict,
+                subcircuits: Optional[Dict] = None) -> None:
+    kind = tokens[0][0].upper()
+    name = tokens[0]
+    if kind == "X":
+        from .hierarchy import instantiate
+        if len(tokens) < 2:
+            raise SpiceFormatError(f"bad X card {tokens!r}")
+        subname = tokens[-1].lower()
+        if not subcircuits or subname not in subcircuits:
+            raise SpiceFormatError(
+                f"{name!r} references unknown subcircuit "
+                f"{tokens[-1]!r}")
+        instantiate(circuit, subcircuits[subname], name, tokens[1:-1])
+        return
+    if kind == "R":
+        circuit.add(Resistor(name, tokens[1], tokens[2],
+                             parse_value(tokens[3])))
+    elif kind == "C":
+        circuit.add(Capacitor(name, tokens[1], tokens[2],
+                              parse_value(tokens[3])))
+    elif kind in ("V", "I"):
+        ac = 0.0
+        value_tokens = tokens[3:]
+        for k, tok in enumerate(value_tokens):
+            if tok.lower() == "ac" and k + 1 < len(value_tokens):
+                ac = parse_value(value_tokens[k + 1])
+                value_tokens = value_tokens[:k]
+                break
+        value = _parse_source_value(value_tokens)
+        cls = VoltageSource if kind == "V" else CurrentSource
+        circuit.add(cls(name, tokens[1], tokens[2], value, ac=ac))
+    elif kind == "E":
+        circuit.add(VCVS(name, tokens[1], tokens[2], tokens[3],
+                         tokens[4], parse_value(tokens[5])))
+    elif kind == "G":
+        circuit.add(VCCS(name, tokens[1], tokens[2], tokens[3],
+                         tokens[4], parse_value(tokens[5])))
+    elif kind == "D":
+        model = models.get(tokens[3].lower())
+        isat = model[1] if model and model[0] == "d" else 1e-14
+        circuit.add(Diode(name, tokens[1], tokens[2], isat=isat))
+    elif kind == "M":
+        model = models.get(tokens[5].lower())
+        if model is None or model[0] not in ("n", "p"):
+            raise SpiceFormatError(
+                f"MOSFET {name!r} references unknown model "
+                f"{tokens[5]!r}")
+        w = l = None
+        for tok in tokens[6:]:
+            key, _, val = tok.partition("=")
+            if key.lower() == "w":
+                w = parse_value(val)
+            elif key.lower() == "l":
+                l = parse_value(val)
+        if w is None or l is None:
+            raise SpiceFormatError(f"MOSFET {name!r} needs W= and L=")
+        circuit.add(Mosfet(name, tokens[1], tokens[2], tokens[3],
+                           tokens[4], model[1], w=w, l=l,
+                           polarity=model[0]))
+    else:
+        raise SpiceFormatError(f"unsupported card {tokens[0]!r}")

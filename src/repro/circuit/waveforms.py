@@ -1,0 +1,151 @@
+"""Source waveforms: clocks, triangles, piecewise-linear, sinusoids.
+
+Waveform objects expose ``at(time) -> float`` and can be handed directly
+to :class:`repro.circuit.elements.VoltageSource`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+
+class DC:
+    """Constant value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def at(self, time: float) -> float:
+        return self.value
+
+
+class Pulse:
+    """Periodic pulse (SPICE PULSE): low -> high with linear edges.
+
+    Args:
+        low, high: levels.
+        delay: time before the first rising edge.
+        rise, fall: edge durations.
+        width: time at *high* level.
+        period: repetition period.
+    """
+
+    def __init__(self, low: float, high: float, delay: float, rise: float,
+                 fall: float, width: float, period: float) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if rise < 0 or fall < 0 or width < 0:
+            raise ValueError("rise/fall/width must be non-negative")
+        if rise + width + fall > period:
+            raise ValueError("rise + width + fall must fit in the period")
+        self.low = float(low)
+        self.high = float(high)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def at(self, time: float) -> float:
+        t = time - self.delay
+        if t < 0:
+            return self.low
+        t = math.fmod(t, self.period)
+        if t < self.rise:
+            if self.rise == 0:
+                return self.high
+            return self.low + (self.high - self.low) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.high
+        t -= self.width
+        if t < self.fall:
+            if self.fall == 0:
+                return self.low
+            return self.high - (self.high - self.low) * t / self.fall
+        return self.low
+
+
+class Triangle:
+    """Periodic symmetric triangle sweeping ``low -> high -> low``.
+
+    Used for the missing-code test stimulus: a full-range triangular
+    waveform guarantees every code bin is visited.
+    """
+
+    def __init__(self, low: float, high: float, period: float,
+                 delay: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.low = float(low)
+        self.high = float(high)
+        self.period = float(period)
+        self.delay = float(delay)
+
+    def at(self, time: float) -> float:
+        t = math.fmod(max(time - self.delay, 0.0), self.period)
+        half = 0.5 * self.period
+        frac = t / half if t < half else (self.period - t) / half
+        return self.low + (self.high - self.low) * frac
+
+
+class PWL:
+    """Piecewise-linear waveform from (time, value) breakpoints."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [p[0] for p in points]
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL breakpoints must be strictly increasing")
+        self.times: List[float] = list(times)
+        self.values: List[float] = [p[1] for p in points]
+
+    def at(self, time: float) -> float:
+        if time <= self.times[0]:
+            return self.values[0]
+        if time >= self.times[-1]:
+            return self.values[-1]
+        k = bisect_right(self.times, time)
+        t0, t1 = self.times[k - 1], self.times[k]
+        v0, v1 = self.values[k - 1], self.values[k]
+        return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+
+
+class Sin:
+    """Sinusoid ``offset + amplitude * sin(2*pi*freq*(t-delay))``."""
+
+    def __init__(self, offset: float, amplitude: float, freq: float,
+                 delay: float = 0.0) -> None:
+        if freq <= 0:
+            raise ValueError("frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.freq = float(freq)
+        self.delay = float(delay)
+
+    def at(self, time: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.freq * (time - self.delay))
+
+
+def three_phase_clocks(period: float, vdd: float, edge: float = 1e-9,
+                       gap: float = 0.0):
+    """Non-overlapping three-phase clocks (sample, amplify, latch).
+
+    Each phase occupies one third of the period; *gap* shaves extra
+    non-overlap margin off each phase.
+
+    Returns:
+        Tuple ``(phi1, phi2, phi3)`` of :class:`Pulse` waveforms.
+    """
+    third = period / 3.0
+    width = third - 2.0 * edge - gap
+    if width <= 0:
+        raise ValueError("period too short for the requested edges/gap")
+    phi1 = Pulse(0.0, vdd, 0.0, edge, edge, width, period)
+    phi2 = Pulse(0.0, vdd, third, edge, edge, width, period)
+    phi3 = Pulse(0.0, vdd, 2.0 * third, edge, edge, width, period)
+    return phi1, phi2, phi3

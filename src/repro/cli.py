@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1|table2|table3|fig3|fig4|fig5`` — regenerate a paper artifact.
+* ``macros`` — per-macro current detectability table.
+* ``layout <macro>`` — ASCII rendering of a macro's layout.
+* ``cost`` — defect-oriented vs specification-oriented tester time.
+* ``quality`` — shipped-DPPM estimate for the simple test.
+
+Budgets default to quick (minutes); ``--full`` uses paper-scale
+campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from .core import (DefectOrientedTestPath, PathConfig, quality_report,
+                   render_fig3, render_fig4,
+                   render_macro_current_detectability, render_table1,
+                   render_table2, render_table3)
+from .testgen import (FULL_DFT, NO_DFT, defect_oriented_cost,
+                      specification_oriented_cost)
+
+_PATH_COMMANDS = ("table1", "table2", "table3", "fig3", "fig4", "fig5",
+                  "macros", "quality")
+_MACRO_LAYOUTS = ("comparator", "ladder", "biasgen", "clockgen")
+
+
+def _config(args, dft=NO_DFT) -> PathConfig:
+    if args.full:
+        return PathConfig(n_defects=25000, magnitude_defects=2_000_000,
+                          dft=dft)
+    return PathConfig(n_defects=args.defects, max_classes=args.classes,
+                      dft=dft)
+
+
+def _run_path(args, dft=NO_DFT):
+    path = DefectOrientedTestPath(_config(args, dft))
+    started = time.time()
+
+    def progress(macro, done, total):
+        if done % 10 == 0 or done == total:
+            print(f"  {macro}: {done}/{total} classes "
+                  f"({time.time() - started:.0f}s)", file=sys.stderr,
+                  flush=True)
+
+    macros = None
+    if args.command in ("table1", "table2", "table3", "fig3"):
+        macros = ["comparator"]
+    return path.run(macros=macros, progress=progress)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("command",
+                        choices=_PATH_COMMANDS + ("layout", "cost"))
+    parser.add_argument("macro", nargs="?", default="comparator",
+                        choices=_MACRO_LAYOUTS,
+                        help="macro for the 'layout' command")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale Monte Carlo budgets")
+    parser.add_argument("--defects", type=int, default=10000,
+                        help="quick-mode defect budget")
+    parser.add_argument("--classes", type=int, default=30,
+                        help="quick-mode class cap per macro")
+    args = parser.parse_args(argv)
+
+    if args.command == "cost":
+        defect = defect_oriented_cost()
+        spec = specification_oriented_cost()
+        print(f"defect-oriented test: {1000 * defect.total:.2f} ms")
+        print(f"spec-oriented test:   {1000 * spec.total:.2f} ms")
+        print(f"speedup: {spec.total / defect.total:.1f}x")
+        return 0
+
+    if args.command == "layout":
+        from .adc.biasgen import biasgen_layout
+        from .adc.clockgen import clockgen_layout
+        from .adc.comparator import comparator_layout
+        from .adc.ladder import ladder_slice_layout
+        from .layout.render import render_cell
+        cells = {"comparator": comparator_layout,
+                 "ladder": ladder_slice_layout,
+                 "biasgen": biasgen_layout,
+                 "clockgen": clockgen_layout}
+        print(render_cell(cells[args.macro]()))
+        return 0
+
+    if args.command == "fig5":
+        result = _run_path(args, dft=FULL_DFT)
+        print(render_fig4(result.global_coverage(),
+                          result.global_coverage(noncat=True),
+                          title="Fig. 5: global detectability "
+                                "(full DfT)"))
+        return 0
+
+    result = _run_path(args)
+    comparator = result.macros.get("comparator")
+    if args.command == "table1":
+        print(render_table1(comparator.classes))
+    elif args.command == "table2":
+        print(render_table2(comparator.result,
+                            comparator.noncat_result))
+    elif args.command == "table3":
+        print(render_table3(comparator.result,
+                            comparator.noncat_result))
+    elif args.command == "fig3":
+        print(render_fig3(comparator.result))
+    elif args.command == "fig4":
+        print(render_fig4(result.global_coverage(),
+                          result.global_coverage(noncat=True)))
+    elif args.command == "macros":
+        print(render_macro_current_detectability(
+            result.macro_results()))
+    elif args.command == "quality":
+        report = quality_report(result.macro_results())
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the defect-oriented test path."""
+
+from .advisor import (EscapeDiagnosis, classify_escape,
+                      diagnose_escapes, recommendations, render_advice)
+from .path import (DefectOrientedTestPath, MacroAnalysis, PathConfig,
+                   PathResult, fast_config)
+from .quality import (QualityReport, chip_fault_rate, defect_level,
+                      dppm, poisson_yield, quality_report)
+from .serialize import (SerializeError, load_macro_results,
+                        save_macro_results, save_path_result)
+from .report import (current_signature_distribution, render_fig3,
+                     render_fig4, render_macro_current_detectability,
+                     render_table1, render_table2, render_table3,
+                     voltage_signature_distribution)
+
+__all__ = [
+    "DefectOrientedTestPath", "MacroAnalysis", "PathConfig",
+    "PathResult", "fast_config", "current_signature_distribution",
+    "render_fig3", "render_fig4",
+    "render_macro_current_detectability", "render_table1",
+    "render_table2", "render_table3",
+    "voltage_signature_distribution", "QualityReport",
+    "chip_fault_rate", "defect_level", "dppm", "poisson_yield",
+    "quality_report", "SerializeError", "load_macro_results",
+    "save_macro_results", "save_path_result", "EscapeDiagnosis",
+    "classify_escape", "diagnose_escapes", "recommendations",
+    "render_advice",
+]

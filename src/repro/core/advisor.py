@@ -1,0 +1,142 @@
+"""DfT advisor: diagnose escaped faults and recommend countermeasures.
+
+Paper section 3.4: "The methodology used makes it easy to investigate
+the reasons for the undetectability of faults."  The authors did that
+investigation by hand and derived two DfT measures plus two general
+mixed-signal guidelines (section 4).  This module automates the
+investigation: every undetected fault class is classified into an escape
+category, and each category maps to the corresponding recommendation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..defects.collapse import FaultClass
+from ..faultsim.noncat import NearMissShortFault
+from ..faultsim.signatures import VoltageSignature
+from ..macrotest.coverage import DetectionRecord, MacroResult
+
+#: escape categories and their recommendations
+RECOMMENDATIONS: Dict[str, str] = {
+    "similar_signal_bridge":
+        "separate lines carrying almost identical signals (re-order "
+        "the bias-line tracks)",
+    "masked_supply_current":
+        "remove the quiescent-current spread masking supply "
+        "measurements (redesign the flipflop leakage path)",
+    "dynamic_only":
+        "add an at-speed test: the fault only degrades high-frequency "
+        "behaviour (clock-value signature)",
+    "parametric":
+        "sub-LSB parametric deviation: needs precision parametric "
+        "tests or design margin",
+    "unknown":
+        "no structural explanation found: simulate with finer stimuli",
+}
+
+#: net pairs that nominally carry almost identical signals
+SIMILAR_SIGNAL_PAIRS = (frozenset({"vbn1", "vbn2"}),)
+
+#: supply nets whose loading lands in the (maskable) IVdd measurement
+SUPPLY_NETS = frozenset({"vdd", "gnd"})
+
+
+@dataclass(frozen=True)
+class EscapeDiagnosis:
+    """One undetected fault class, explained.
+
+    Attributes:
+        fault_class: the escaping class.
+        category: escape-category key (see :data:`RECOMMENDATIONS`).
+        recommendation: the countermeasure for this category.
+    """
+
+    fault_class: FaultClass
+    category: str
+
+    @property
+    def recommendation(self) -> str:
+        return RECOMMENDATIONS[self.category]
+
+
+def _fault_nets(fault) -> Set[str]:
+    if hasattr(fault, "nets"):
+        return set(fault.nets)
+    nets: Set[str] = set()
+    if hasattr(fault, "net"):
+        nets.add(fault.net)
+    return nets
+
+
+def classify_escape(fault_class: FaultClass,
+                    record: DetectionRecord) -> str:
+    """Escape category of one undetected fault class."""
+    fault = fault_class.representative
+    nets = frozenset(_fault_nets(fault))
+    if any(nets >= pair for pair in SIMILAR_SIGNAL_PAIRS):
+        return "similar_signal_bridge"
+    if record.voltage_signature == VoltageSignature.CLOCK_VALUE:
+        return "dynamic_only"
+    if nets & SUPPLY_NETS:
+        return "masked_supply_current"
+    if isinstance(fault, NearMissShortFault):
+        return "parametric"
+    if fault.fault_type in ("short",) and len(nets) == 2:
+        # a bridge between electrically close nodes that moved nothing
+        return "parametric"
+    return "unknown"
+
+
+def diagnose_escapes(classes: Sequence[FaultClass],
+                     records: Sequence[DetectionRecord]
+                     ) -> List[EscapeDiagnosis]:
+    """Diagnose every undetected class of a macro analysis.
+
+    Args:
+        classes: fault classes, in the same order as *records* (as the
+            path produces them).
+    """
+    if len(classes) != len(records):
+        raise ValueError("classes and records must align")
+    out: List[EscapeDiagnosis] = []
+    for fc, record in zip(classes, records):
+        if record.detected:
+            continue
+        out.append(EscapeDiagnosis(
+            fault_class=fc, category=classify_escape(fc, record)))
+    return out
+
+
+def recommendations(diagnoses: Sequence[EscapeDiagnosis],
+                    total_faults: int) -> List[Tuple[str, float, str]]:
+    """Aggregate: (category, escaping fault fraction, recommendation),
+    largest population first."""
+    if total_faults <= 0:
+        raise ValueError("total_faults must be positive")
+    weights: Counter = Counter()
+    for d in diagnoses:
+        weights[d.category] += d.fault_class.count
+    out = [(category, count / total_faults,
+            RECOMMENDATIONS[category])
+           for category, count in weights.most_common()]
+    return out
+
+
+def render_advice(classes: Sequence[FaultClass],
+                  records: Sequence[DetectionRecord],
+                  total_faults: int) -> str:
+    """Paper-section-3.4-style escape analysis report."""
+    diagnoses = diagnose_escapes(classes, records)
+    if not diagnoses:
+        return "no escaping fault classes: no DfT action needed"
+    lines = ["escape analysis (undetected fault classes):", ""]
+    for category, fraction, recommendation in \
+            recommendations(diagnoses, total_faults):
+        n = sum(1 for d in diagnoses if d.category == category)
+        lines.append(f"  {100 * fraction:5.1f}% of faults "
+                     f"({n} classes): {category}")
+        lines.append(f"         -> {recommendation}")
+    return "\n".join(lines)

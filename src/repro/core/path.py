@@ -1,0 +1,293 @@
+"""The defect-oriented test path (paper Fig. 1), end to end.
+
+For each macro cell: layout -> Monte Carlo defect sprinkling -> fault
+extraction -> fault collapsing (-> optional large-campaign magnitude
+rescaling) -> circuit-level fault models -> analog fault simulation ->
+fault signatures -> sensitisation / propagation -> detection records.
+The per-macro results are then area-scaled into global coverage.
+
+Runtime knobs: ``n_defects`` sizes the class-discovery campaign,
+``magnitude_defects`` optionally re-sprinkles a larger campaign for
+statistically significant class magnitudes (the paper's 25 000 /
+10 000 000 split), and ``max_classes`` caps how many classes are
+simulated (largest magnitudes first — they dominate the coverage mass).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..adc.comparator import comparator_layout
+from ..adc.ladder import SEGMENTS_PER_COARSE, ladder_slice_layout
+from ..adc.process import Process, typical
+from ..defects.collapse import (FaultClass, collapse, rescale_magnitudes,
+                                type_table)
+from ..defects.analyze import analyze_defects
+from ..defects.sprinkle import sprinkle
+from ..defects.statistics import DefectStatistics
+from ..faultsim.engine import ComparatorFaultEngine, EngineConfig
+from ..faultsim.macro_engines import (BiasgenFaultEngine,
+                                      ClockgenFaultEngine,
+                                      DecoderFaultEngine,
+                                      LadderFaultEngine)
+from ..faultsim.noncat import derive_noncatastrophic
+from ..faultsim.signatures import PHASES
+from ..macrotest.coverage import (DetectionRecord, MacroResult,
+                                  global_breakdown, macro_breakdown)
+from ..macrotest.macro import standard_partition
+from ..macrotest.propagate import propagate_comparator_fault
+from ..testgen.dft import DfTConfig, NO_DFT, comparator_layout_for
+from ..adc.biasgen import biasgen_layout
+from ..adc.clockgen import clockgen_layout
+
+
+@dataclass(frozen=True)
+class PathConfig:
+    """Configuration of one full path run.
+
+    Attributes:
+        n_defects: class-discovery Monte Carlo budget per macro.
+        magnitude_defects: optional larger campaign for magnitudes.
+        seed: RNG seed (defect sprinkling is deterministic per seed).
+        dft: which DfT measures are applied.
+        include_noncat: also derive and simulate non-catastrophic
+            faults.
+        max_classes: cap on simulated classes per macro (largest
+            first); None simulates everything.
+        process: corner for the faulty-instance simulations.
+        dynamic_test: additionally run the at-speed missing-code test
+            during propagation (our extension: catches the 'clock
+            value' fault population at no extra tester time).
+    """
+
+    n_defects: int = 25000
+    magnitude_defects: Optional[int] = None
+    seed: int = 1995
+    dft: DfTConfig = NO_DFT
+    include_noncat: bool = True
+    max_classes: Optional[int] = None
+    process: Process = field(default_factory=typical)
+    statistics: DefectStatistics = field(
+        default_factory=DefectStatistics)
+    dynamic_test: bool = False
+
+
+@dataclass(frozen=True)
+class MacroAnalysis:
+    """Everything the path produced for one macro type.
+
+    Attributes:
+        result: catastrophic-fault MacroResult (records + weights).
+        noncat_result: near-miss MacroResult (None when disabled).
+        classes: the collapsed catastrophic fault classes.
+    """
+
+    result: MacroResult
+    noncat_result: Optional[MacroResult]
+    classes: Tuple[FaultClass, ...]
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Output of a full path run over all macros."""
+
+    config: PathConfig
+    macros: Dict[str, MacroAnalysis]
+
+    def macro_results(self, noncat: bool = False) -> List[MacroResult]:
+        out = []
+        for analysis in self.macros.values():
+            r = analysis.noncat_result if noncat else analysis.result
+            if r is not None and r.total_faults > 0:
+                out.append(r)
+        return out
+
+    def global_coverage(self, noncat: bool = False):
+        return global_breakdown(self.macro_results(noncat))
+
+
+class DefectOrientedTestPath:
+    """Orchestrates the methodology over the five-macro partition."""
+
+    def __init__(self, config: Optional[PathConfig] = None) -> None:
+        self.config = config or PathConfig()
+        self._comparator_engine: Optional[ComparatorFaultEngine] = None
+
+    # -- shared pieces -----------------------------------------------------
+
+    def _classes_for(self, cell) -> List[FaultClass]:
+        cfg = self.config
+        defects = sprinkle(cell, cfg.n_defects, stats=cfg.statistics,
+                           seed=cfg.seed)
+        faults = analyze_defects(cell, defects)
+        classes = collapse(faults)
+        if cfg.magnitude_defects and cfg.magnitude_defects > \
+                cfg.n_defects:
+            large_faults = analyze_defects(
+                cell, sprinkle(cell, cfg.magnitude_defects,
+                               stats=cfg.statistics,
+                               seed=cfg.seed + 1))
+            classes = rescale_magnitudes(classes, collapse(large_faults))
+        if cfg.max_classes is not None:
+            classes = classes[:cfg.max_classes]
+        return classes
+
+    def comparator_engine(self) -> ComparatorFaultEngine:
+        if self._comparator_engine is None:
+            self._comparator_engine = ComparatorFaultEngine(EngineConfig(
+                dft=self.config.dft.flipflop_redesign,
+                process=self.config.process))
+        return self._comparator_engine
+
+    def _ivdd_halfwidth(self) -> float:
+        """Chip-level IVdd acceptance half-width from the comparator
+        good space (worst phase)."""
+        gs = self.comparator_engine().good_space()
+        widths = [(w.hi - w.lo) / 2.0
+                  for key, w in gs.windows.items() if key[0] == "ivdd"]
+        return max(widths)
+
+    # -- per-macro analyses ---------------------------------------------------
+
+    def analyze_comparator(self,
+                           progress: Optional[Callable] = None
+                           ) -> MacroAnalysis:
+        cell = comparator_layout_for(self.config.dft)
+        classes = self._classes_for(cell)
+        engine = self.comparator_engine()
+
+        def records_for(class_list) -> Tuple[DetectionRecord, ...]:
+            records = []
+            for k, fc in enumerate(class_list):
+                res = engine.simulate_class(fc)
+                voltage = propagate_comparator_fault(
+                    res.signature, fc.representative,
+                    at_speed=self.config.dynamic_test)
+                records.append(DetectionRecord(
+                    count=fc.count, voltage_detected=voltage,
+                    mechanisms=res.signature.mechanisms,
+                    voltage_signature=res.signature.voltage,
+                    fault_type=fc.fault_type,
+                    violated_keys=res.signature.violated_keys))
+                if progress is not None:
+                    progress("comparator", k + 1, len(class_list))
+            return tuple(records)
+
+        result = MacroResult(name="comparator", bbox_area=cell.area(),
+                             instances=256,
+                             defects_sprinkled=self.config.n_defects,
+                             records=records_for(classes))
+        noncat_result = None
+        if self.config.include_noncat:
+            noncat_classes = derive_noncatastrophic(classes)
+            if self.config.max_classes is not None:
+                noncat_classes = noncat_classes[:self.config.max_classes]
+            noncat_result = MacroResult(
+                name="comparator", bbox_area=cell.area(), instances=256,
+                defects_sprinkled=self.config.n_defects,
+                records=records_for(noncat_classes))
+        return MacroAnalysis(result=result, noncat_result=noncat_result,
+                             classes=tuple(classes))
+
+    def _analyze_with_engine(self, name: str, cell, instances: int,
+                             engine) -> MacroAnalysis:
+        classes = self._classes_for(cell)
+        records = tuple(engine.simulate_class(fc) for fc in classes)
+        result = MacroResult(name=name, bbox_area=cell.area(),
+                             instances=instances,
+                             defects_sprinkled=self.config.n_defects,
+                             records=records)
+        noncat_result = None
+        if self.config.include_noncat:
+            noncat_classes = derive_noncatastrophic(classes)
+            if self.config.max_classes is not None:
+                noncat_classes = noncat_classes[:self.config.max_classes]
+            noncat_result = MacroResult(
+                name=name, bbox_area=cell.area(), instances=instances,
+                defects_sprinkled=self.config.n_defects,
+                records=tuple(engine.simulate_class(fc)
+                              for fc in noncat_classes))
+        return MacroAnalysis(result=result, noncat_result=noncat_result,
+                             classes=tuple(classes))
+
+    def analyze_ladder(self) -> MacroAnalysis:
+        engine = LadderFaultEngine(
+            process=self.config.process,
+            ivdd_window_halfwidth=self._ivdd_halfwidth())
+        return self._analyze_with_engine(
+            "ladder", ladder_slice_layout(),
+            256 // SEGMENTS_PER_COARSE, engine)
+
+    def analyze_clockgen(self) -> MacroAnalysis:
+        engine = ClockgenFaultEngine(process=self.config.process)
+        return self._analyze_with_engine("clockgen", clockgen_layout(),
+                                         1, engine)
+
+    def analyze_biasgen(self) -> MacroAnalysis:
+        engine = BiasgenFaultEngine(
+            process=self.config.process,
+            ivdd_window_halfwidth=self._ivdd_halfwidth())
+        cell = biasgen_layout(dft=self.config.dft.bias_line_reorder)
+        return self._analyze_with_engine("biasgen", cell, 1, engine)
+
+    def analyze_decoder(self,
+                        comparator_yield: float = 0.025
+                        ) -> MacroAnalysis:
+        """Digital decoder analysis.
+
+        Bridges stand for the short population, stuck-ats for the
+        opens; counts are weighted ~95/5 to match the defect mix.  The
+        decoder's fault yield is approximated by the comparator's (both
+        are dense layouts), via the synthetic ``defects_sprinkled``.
+        """
+        engine = DecoderFaultEngine()
+        bridge_records, stuck_records = engine.run()
+        weighted = [replace(r, count=11) for r in bridge_records] + \
+            list(stuck_records)
+        from ..macrotest.macro import decoder_area
+        total_faults = sum(r.count for r in weighted)
+        pseudo_defects = max(1, int(total_faults / comparator_yield))
+        result = MacroResult(name="decoder", bbox_area=decoder_area(),
+                             instances=1,
+                             defects_sprinkled=pseudo_defects,
+                             records=tuple(weighted))
+        return MacroAnalysis(result=result, noncat_result=result,
+                             classes=tuple())
+
+    # -- full run -----------------------------------------------------------------
+
+    def run(self, macros: Optional[Sequence[str]] = None,
+            progress: Optional[Callable] = None) -> PathResult:
+        """Run the path over the requested macros (default: all five)."""
+        wanted = list(macros) if macros is not None else [
+            "comparator", "ladder", "biasgen", "clockgen", "decoder"]
+        analyses: Dict[str, MacroAnalysis] = {}
+        for name in wanted:
+            if name == "comparator":
+                analyses[name] = self.analyze_comparator(progress)
+            elif name == "ladder":
+                analyses[name] = self.analyze_ladder()
+            elif name == "biasgen":
+                analyses[name] = self.analyze_biasgen()
+            elif name == "clockgen":
+                analyses[name] = self.analyze_clockgen()
+            elif name == "decoder":
+                analyses[name] = self.analyze_decoder()
+            else:
+                raise ValueError(f"unknown macro {name!r}")
+        return PathResult(config=self.config, macros=analyses)
+
+
+def fast_config(dft: DfTConfig = NO_DFT) -> PathConfig:
+    """Reduced-budget configuration for tests and quick benchmarks.
+
+    Controlled by the ``REPRO_FULL`` environment variable: when set, the
+    full paper-scale budgets are used instead.
+    """
+    if os.environ.get("REPRO_FULL"):
+        return PathConfig(n_defects=25000, magnitude_defects=2_000_000,
+                          dft=dft)
+    return PathConfig(n_defects=8000, max_classes=40, dft=dft)

@@ -1,0 +1,118 @@
+"""Outgoing-quality model: fault coverage -> shipped defect level.
+
+The paper's motivation is economic and reliability-driven: limited
+functional verification "does not ensure that all defects are detected,
+causing potential reliability problems".  This module quantifies that
+with the standard models of the IFA literature:
+
+* Poisson yield: a chip with expected fault count ``lambda`` is fault
+  free with probability ``exp(-lambda)``.
+* Williams-Brown defect level: with process yield Y and fault coverage
+  T, the shipped defect level is ``DL = 1 - Y**(1 - T)``.
+
+The chip-level fault rate comes straight from the path results: each
+macro's fault-per-defect yield times its defect exposure (area x
+density).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..macrotest.coverage import MacroResult, global_breakdown
+
+#: spot-defect density of a healthy mid-90s CMOS line (defects / cm^2)
+DEFAULT_DEFECT_DENSITY_CM2 = 1.0
+
+_UM2_PER_CM2 = 1e8
+
+
+def chip_fault_rate(results: Sequence[MacroResult],
+                    defect_density_cm2: float =
+                    DEFAULT_DEFECT_DENSITY_CM2) -> float:
+    """Expected circuit-level fault count per chip (lambda).
+
+    Each macro contributes ``instances * area * density * fault_yield``
+    — the same uniform-defect-density scaling the paper uses for its
+    global coverage numbers.
+
+    Note: ``fault_yield`` is faults per *sprinkled* defect, and the
+    sprinkling density is per macro bounding box, so the product is the
+    expected fault count when the physical defect density applies.
+    """
+    if defect_density_cm2 <= 0:
+        raise ValueError("defect density must be positive")
+    # exposure = expected defect count over the macro's area; faults =
+    # defects * (faults per sprinkled defect)
+    return sum(m.instances * m.bbox_area / _UM2_PER_CM2 *
+               defect_density_cm2 * m.fault_yield for m in results)
+
+
+def poisson_yield(fault_rate: float) -> float:
+    """Probability a chip has no circuit-level fault."""
+    if fault_rate < 0:
+        raise ValueError("fault rate must be non-negative")
+    return math.exp(-fault_rate)
+
+
+def defect_level(process_yield: float, coverage: float) -> float:
+    """Williams-Brown shipped defect level ``1 - Y**(1 - T)``.
+
+    Args:
+        process_yield: fraction of fault-free chips (0, 1].
+        coverage: fault coverage of the applied test [0, 1].
+    """
+    if not 0.0 < process_yield <= 1.0:
+        raise ValueError("yield must be in (0, 1]")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must be in [0, 1]")
+    return 1.0 - process_yield ** (1.0 - coverage)
+
+
+def dppm(process_yield: float, coverage: float) -> float:
+    """Shipped defective parts per million."""
+    return 1e6 * defect_level(process_yield, coverage)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Outgoing quality of one test strategy on one design.
+
+    Attributes:
+        fault_rate: expected faults per chip (lambda).
+        process_yield: Poisson fault-free probability.
+        coverage: fault coverage of the test.
+        shipped_dppm: resulting defective parts per million.
+    """
+
+    fault_rate: float
+    process_yield: float
+    coverage: float
+    shipped_dppm: float
+
+    def __str__(self) -> str:
+        return (f"lambda={self.fault_rate:.3f}  "
+                f"yield={100 * self.process_yield:.1f}%  "
+                f"coverage={100 * self.coverage:.1f}%  "
+                f"DPPM={self.shipped_dppm:.0f}")
+
+
+def quality_report(results: Sequence[MacroResult],
+                   coverage: Optional[float] = None,
+                   defect_density_cm2: float =
+                   DEFAULT_DEFECT_DENSITY_CM2) -> QualityReport:
+    """Full quality picture for a path run.
+
+    Args:
+        results: macro results of a path run.
+        coverage: test fault coverage; defaults to the run's own global
+            detection total.
+    """
+    rate = chip_fault_rate(results, defect_density_cm2)
+    y = poisson_yield(rate)
+    t = coverage if coverage is not None else \
+        global_breakdown(results).total
+    return QualityReport(fault_rate=rate, process_yield=y, coverage=t,
+                         shipped_dppm=dppm(y, t))

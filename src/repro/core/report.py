@@ -1,0 +1,167 @@
+"""Paper-style table and figure renderers.
+
+Each function turns path results into the rows the paper prints, both as
+structured data (for assertions) and as formatted text (for the
+benchmark harness output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..defects.collapse import FaultClass, TypeRow, type_table
+from ..faultsim.signatures import CurrentMechanism, VoltageSignature
+from ..macrotest.coverage import (CoverageBreakdown, MacroResult,
+                                  macro_breakdown, mechanism_overlap)
+
+#: paper-facing labels for the voltage signature categories
+VOLTAGE_LABELS = {
+    VoltageSignature.OUTPUT_STUCK_AT: "Output Stuck At",
+    VoltageSignature.OFFSET: "Offset (> 8mV)",
+    VoltageSignature.MIXED: "Mixed",
+    VoltageSignature.CLOCK_VALUE: "Clock value",
+    VoltageSignature.NONE: "No deviations",
+}
+
+
+def render_table1(classes: Sequence[FaultClass]) -> str:
+    """Paper Table 1: catastrophic faults and fault classes per type."""
+    rows = type_table(list(classes))
+    lines = ["fault type             faults   %faults  classes  %classes",
+             "-" * 58]
+    for row in rows:
+        lines.append(f"{row.fault_type:22s} {row.faults:7d} "
+                     f"{row.fault_pct:8.2f} {row.classes:8d} "
+                     f"{row.class_pct:9.2f}")
+    total_f = sum(r.faults for r in rows)
+    total_c = sum(r.classes for r in rows)
+    lines.append("-" * 58)
+    lines.append(f"{'total':22s} {total_f:7d} {100.0:8.2f} "
+                 f"{total_c:8d} {100.0:9.2f}")
+    return "\n".join(lines)
+
+
+def voltage_signature_distribution(result: MacroResult
+                                   ) -> Dict[VoltageSignature, float]:
+    """Fault-weighted voltage-signature distribution (paper Table 2)."""
+    totals: Dict[VoltageSignature, float] = {
+        sig: 0.0 for sig in VoltageSignature}
+    total = result.total_faults
+    if total == 0:
+        return totals
+    for record in result.records:
+        sig = record.voltage_signature or VoltageSignature.NONE
+        totals[sig] += record.count / total
+    return totals
+
+
+def render_table2(cat: MacroResult,
+                  noncat: Optional[MacroResult]) -> str:
+    """Paper Table 2: voltage fault signatures of the comparator."""
+    cat_dist = voltage_signature_distribution(cat)
+    noncat_dist = voltage_signature_distribution(noncat) if noncat \
+        else None
+    lines = ["fault signature     % cat. faults  % non-cat. faults",
+             "-" * 52]
+    for sig in (VoltageSignature.OUTPUT_STUCK_AT,
+                VoltageSignature.OFFSET, VoltageSignature.MIXED,
+                VoltageSignature.CLOCK_VALUE, VoltageSignature.NONE):
+        nc = f"{100 * noncat_dist[sig]:8.1f}" if noncat_dist else "   n/a"
+        lines.append(f"{VOLTAGE_LABELS[sig]:20s} {100 * cat_dist[sig]:8.1f}"
+                     f"      {nc}")
+    return "\n".join(lines)
+
+
+def current_signature_distribution(result: MacroResult
+                                   ) -> Dict[str, float]:
+    """Fault-weighted current-signature distribution (paper Table 3).
+
+    Percentages overlap (a fault may carry several), so they can sum to
+    more than 100 %.
+    """
+    total = result.total_faults
+    out = {"ivdd": 0.0, "iddq": 0.0, "iinput": 0.0, "none": 0.0}
+    if total == 0:
+        return out
+    for record in result.records:
+        if CurrentMechanism.IVDD in record.mechanisms:
+            out["ivdd"] += record.count / total
+        if CurrentMechanism.IDDQ in record.mechanisms:
+            out["iddq"] += record.count / total
+        if CurrentMechanism.IINPUT in record.mechanisms:
+            out["iinput"] += record.count / total
+        if not record.mechanisms:
+            out["none"] += record.count / total
+    return out
+
+
+def render_table3(cat: MacroResult,
+                  noncat: Optional[MacroResult]) -> str:
+    """Paper Table 3: current fault signatures of the comparator."""
+    cat_dist = current_signature_distribution(cat)
+    noncat_dist = current_signature_distribution(noncat) if noncat \
+        else None
+    labels = {"ivdd": "IVdd", "iddq": "IDDQ", "iinput": "Iinput",
+              "none": "No deviations"}
+    lines = ["current signature   % cat. faults  % non-cat. faults",
+             "-" * 52]
+    for key in ("ivdd", "iddq", "iinput", "none"):
+        nc = f"{100 * noncat_dist[key]:8.1f}" if noncat_dist else "   n/a"
+        lines.append(f"{labels[key]:20s} {100 * cat_dist[key]:8.1f}"
+                     f"      {nc}")
+    return "\n".join(lines)
+
+
+def render_fig3(result: MacroResult) -> str:
+    """Paper Fig. 3: comparator detectability overlap diagram."""
+    overlap = mechanism_overlap(result)
+    breakdown = macro_breakdown(result)
+    lines = ["detection mechanism combination              % faults",
+             "-" * 54]
+    for key in sorted(overlap):
+        if key.startswith("only:"):
+            continue
+        lines.append(f"{key:44s} {100 * overlap[key]:8.1f}")
+    lines.append("-" * 54)
+    for key in ("missing_codes", "ivdd", "iddq", "iinput"):
+        lines.append(f"only {key:39s} "
+                     f"{100 * overlap.get(f'only:{key}', 0.0):8.1f}")
+    lines.append("-" * 54)
+    lines.append(f"{'total detected':44s} "
+                 f"{100 * breakdown.total:8.1f}")
+    return "\n".join(lines)
+
+
+def render_fig4(cat: CoverageBreakdown,
+                noncat: Optional[CoverageBreakdown],
+                title: str = "Fig. 4: global detectability") -> str:
+    """Paper Fig. 4 (and Fig. 5 with DfT): global detectability."""
+    lines = [title,
+             "                       catastrophic   non-catastrophic",
+             "-" * 56]
+    rows = [
+        ("voltage detectable", lambda b: b.voltage),
+        ("current detectable", lambda b: b.current),
+        ("voltage only", lambda b: b.voltage_only),
+        ("current only", lambda b: b.current_only),
+        ("both", lambda b: b.both),
+        ("undetected", lambda b: b.undetected),
+        ("TOTAL COVERAGE", lambda b: b.total),
+    ]
+    for label, fn in rows:
+        nc = f"{100 * fn(noncat):10.1f}" if noncat else "     n/a"
+        lines.append(f"{label:22s} {100 * fn(cat):10.1f}      {nc}")
+    return "\n".join(lines)
+
+
+def render_macro_current_detectability(
+        results: Sequence[MacroResult]) -> str:
+    """Per-macro current detectability (paper section 3.3 text)."""
+    lines = ["macro         % current detectable   % total detected",
+             "-" * 52]
+    for m in results:
+        b = macro_breakdown(m)
+        lines.append(f"{m.name:12s} {100 * b.current:12.1f} "
+                     f"{100 * b.total:19.1f}")
+    return "\n".join(lines)

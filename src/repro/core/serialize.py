@@ -1,0 +1,135 @@
+"""Persistence for path results (JSON).
+
+A paper-scale path run takes tens of minutes; this module saves its
+results so tables can be re-rendered, compared across runs, and diffed
+against the paper without re-simulating.  The serialisation captures the
+detection records, macro bookkeeping and the run configuration summary —
+everything the renderers and the coverage/quality models consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..faultsim.signatures import CurrentMechanism, VoltageSignature
+from ..macrotest.coverage import DetectionRecord, MacroResult
+
+FORMAT_VERSION = 1
+
+
+class SerializeError(Exception):
+    """Raised for malformed or incompatible serialised data."""
+
+
+def record_to_dict(record: DetectionRecord) -> Dict:
+    return {
+        "count": record.count,
+        "voltage_detected": record.voltage_detected,
+        "mechanisms": sorted(m.value for m in record.mechanisms),
+        "voltage_signature": (record.voltage_signature.value
+                              if record.voltage_signature else None),
+        "fault_type": record.fault_type,
+        "violated_keys": sorted(list(k) for k in record.violated_keys),
+    }
+
+
+def record_from_dict(data: Dict) -> DetectionRecord:
+    try:
+        signature = data.get("voltage_signature")
+        return DetectionRecord(
+            count=int(data["count"]),
+            voltage_detected=bool(data["voltage_detected"]),
+            mechanisms=frozenset(CurrentMechanism(m)
+                                 for m in data["mechanisms"]),
+            voltage_signature=(VoltageSignature(signature)
+                               if signature else None),
+            fault_type=data.get("fault_type", "short"),
+            violated_keys=frozenset(
+                tuple(k) for k in data.get("violated_keys", ())))
+    except (KeyError, ValueError) as exc:
+        raise SerializeError(f"bad detection record: {exc}") from exc
+
+
+def macro_to_dict(result: MacroResult) -> Dict:
+    return {
+        "name": result.name,
+        "bbox_area": result.bbox_area,
+        "instances": result.instances,
+        "defects_sprinkled": result.defects_sprinkled,
+        "records": [record_to_dict(r) for r in result.records],
+    }
+
+
+def macro_from_dict(data: Dict) -> MacroResult:
+    try:
+        return MacroResult(
+            name=data["name"],
+            bbox_area=float(data["bbox_area"]),
+            instances=int(data["instances"]),
+            defects_sprinkled=int(data["defects_sprinkled"]),
+            records=tuple(record_from_dict(r)
+                          for r in data["records"]))
+    except KeyError as exc:
+        raise SerializeError(f"missing macro field: {exc}") from exc
+
+
+def save_macro_results(results: Dict[str, Dict[str, Optional[MacroResult]]],
+                       path: Union[str, Path],
+                       metadata: Optional[Dict] = None) -> None:
+    """Save macro results to a JSON file.
+
+    Args:
+        results: ``{macro_name: {"cat": MacroResult,
+            "noncat": MacroResult | None}}``.
+        metadata: free-form run description (budgets, seed, DfT label).
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "macros": {
+            name: {
+                kind: (macro_to_dict(result) if result else None)
+                for kind, result in kinds.items()
+            }
+            for name, kinds in results.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_macro_results(path: Union[str, Path]
+                       ) -> Dict[str, Dict[str, Optional[MacroResult]]]:
+    """Load macro results saved by :func:`save_macro_results`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializeError(f"cannot read {path}: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializeError(f"unsupported format version {version!r}")
+    out: Dict[str, Dict[str, Optional[MacroResult]]] = {}
+    for name, kinds in payload.get("macros", {}).items():
+        out[name] = {kind: (macro_from_dict(data) if data else None)
+                     for kind, data in kinds.items()}
+    return out
+
+
+def save_path_result(result, path: Union[str, Path]) -> None:
+    """Persist a :class:`~repro.core.path.PathResult`'s measurables."""
+    results = {
+        name: {"cat": analysis.result, "noncat": analysis.noncat_result}
+        for name, analysis in result.macros.items()
+    }
+    config = result.config
+    metadata = {
+        "n_defects": config.n_defects,
+        "magnitude_defects": config.magnitude_defects,
+        "seed": config.seed,
+        "dft": config.dft.label,
+        "max_classes": config.max_classes,
+        "include_noncat": config.include_noncat,
+    }
+    save_macro_results(results, path, metadata=metadata)

@@ -1,0 +1,30 @@
+"""VLASIC-equivalent catastrophic defect simulator.
+
+Pipeline: :func:`sprinkle` Monte Carlo defects over a layout cell,
+:func:`analyze_defects` to extract circuit-level faults, :func:`collapse`
+into fault classes, :func:`type_table` for paper Table 1 accounting.
+"""
+
+from .analyze import analyze_defect, analyze_defects
+from .calibrate import (CalibrationResult, calibrate, measure_type_mix)
+from .collapse import (FaultClass, TypeRow, collapse, rescale_magnitudes,
+                       type_table)
+from .faults import (FAULT_TYPES, ExtraContactFault, Fault,
+                     GateOxidePinholeFault, JunctionPinholeFault,
+                     NewDeviceFault, OpenFault, ShortFault,
+                     ShortedDeviceFault, ThickOxidePinholeFault)
+from .mechanisms import MECHANISMS, Defect, DefectMechanism, mechanism
+from .sprinkle import iter_sprinkle, sprinkle
+from .statistics import (DEFAULT_DENSITIES, DefectStatistics,
+                         SizeDistribution)
+
+__all__ = [
+    "analyze_defect", "analyze_defects", "CalibrationResult",
+    "calibrate", "measure_type_mix", "FaultClass", "TypeRow",
+    "collapse", "rescale_magnitudes", "type_table", "FAULT_TYPES",
+    "ExtraContactFault", "Fault", "GateOxidePinholeFault",
+    "JunctionPinholeFault", "NewDeviceFault", "OpenFault", "ShortFault",
+    "ShortedDeviceFault", "ThickOxidePinholeFault", "MECHANISMS",
+    "Defect", "DefectMechanism", "mechanism", "iter_sprinkle", "sprinkle",
+    "DEFAULT_DENSITIES", "DefectStatistics", "SizeDistribution",
+]

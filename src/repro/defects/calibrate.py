@@ -1,0 +1,133 @@
+"""Defect-statistics calibration against target fault-type marginals.
+
+The paper's defect statistics are proprietary fab data; ours are
+synthesized and calibrated so the Monte Carlo reproduces Table 1's
+fault-type mix.  This module automates that calibration: given a layout
+and target fault-type fractions, it estimates each mechanism's
+fault-per-defect yield on that layout and solves for mechanism densities
+that hit the targets.
+
+Because each mechanism produces (almost exclusively) one fault type,
+the calibration is a per-type proportional update iterated a few times —
+no general optimiser needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..layout.cell import LayoutCell
+from ..layout.index import SpatialIndex
+from .analyze import analyze_defect
+from .faults import FAULT_TYPES
+from .mechanisms import MECHANISMS, Defect
+from .sprinkle import sprinkle
+from .statistics import DefectStatistics
+
+#: which fault types each mechanism (mostly) produces
+MECHANISM_FAULT_TYPE: Dict[str, str] = {
+    "extra_metal1": "short", "extra_metal2": "short",
+    "extra_poly": "short", "extra_ndiff": "short",
+    "extra_pdiff": "short",
+    "missing_metal1": "open", "missing_metal2": "open",
+    "missing_poly": "open", "missing_ndiff": "open",
+    "missing_pdiff": "open", "missing_contact": "open",
+    "missing_via": "open",
+    "extra_contact": "extra_contact",
+    "pinhole_gate": "gate_oxide_pinhole",
+    "pinhole_junction": "junction_pinhole",
+    "pinhole_thick": "thick_oxide_pinhole",
+}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration run.
+
+    Attributes:
+        statistics: the calibrated defect statistics.
+        achieved: fault-type fractions the calibrated statistics give.
+        iterations: update rounds performed.
+    """
+
+    statistics: DefectStatistics
+    achieved: Dict[str, float]
+    iterations: int
+
+
+def measure_type_mix(cell: LayoutCell, stats: DefectStatistics,
+                     n_defects: int = 20000, seed: int = 0
+                     ) -> Dict[str, float]:
+    """Fault-type fractions a statistics model produces on a layout."""
+    index = SpatialIndex(cell)
+    counts: Dict[str, int] = {t: 0 for t in FAULT_TYPES}
+    total = 0
+    for defect in sprinkle(cell, n_defects, stats=stats, seed=seed):
+        fault = analyze_defect(cell, defect, index)
+        if fault is None:
+            continue
+        counts[fault.fault_type] += 1
+        total += 1
+    if total == 0:
+        raise ValueError("no faults at all: cannot measure the mix")
+    return {t: c / total for t, c in counts.items()}
+
+
+def calibrate(cell: LayoutCell, targets: Mapping[str, float],
+              base: Optional[DefectStatistics] = None,
+              n_defects: int = 20000, rounds: int = 4,
+              seed: int = 0) -> CalibrationResult:
+    """Solve for mechanism densities matching target type fractions.
+
+    Args:
+        cell: the layout the statistics are calibrated on.
+        targets: fault-type -> desired fraction (types omitted keep
+            whatever they get; fractions are renormalised).
+        base: starting statistics (default: the shipped calibration).
+        rounds: proportional-update iterations.
+
+    Raises:
+        ValueError: for unknown fault types or infeasible targets (a
+            target type whose mechanisms produce no faults at all).
+    """
+    unknown = set(targets) - set(FAULT_TYPES)
+    if unknown:
+        raise ValueError(f"unknown fault types: {sorted(unknown)}")
+    stats = base or DefectStatistics()
+    achieved = measure_type_mix(cell, stats, n_defects, seed)
+    iterations = 0
+    for round_index in range(rounds):
+        updates: Dict[str, float] = {}
+        converged = True
+        for fault_type, wanted in targets.items():
+            got = achieved.get(fault_type, 0.0)
+            producers = [m for m, produces in
+                         MECHANISM_FAULT_TYPE.items()
+                         if produces == fault_type and
+                         stats.densities.get(m, 0.0) > 0]
+            if wanted > 0 and not producers:
+                raise ValueError(
+                    f"target {fault_type!r} is infeasible: no "
+                    f"producing mechanism has a positive density")
+            if got == 0.0:
+                if wanted == 0.0:
+                    continue
+                ratio = 5.0  # none sampled yet: boost and re-measure
+            else:
+                ratio = wanted / got
+            if abs(ratio - 1.0) > 0.1:
+                converged = False
+            for mech in producers:
+                updates[mech] = stats.densities[mech] * ratio
+        if updates:
+            stats = stats.scaled(**updates)
+        iterations = round_index + 1
+        achieved = measure_type_mix(cell, stats, n_defects,
+                                    seed + iterations)
+        if converged:
+            break
+    return CalibrationResult(statistics=stats, achieved=achieved,
+                             iterations=iterations)

@@ -1,0 +1,119 @@
+"""Fault collapsing: circuit-level-equivalent faults -> fault classes.
+
+As in the paper: "the fault collapser collapses these faults into classes
+of circuit-level equivalent faults. The magnitude of a fault class
+determines the likelihood of this particular type of fault."  Two shorts
+between the same node pair are the same class; two opens with the same
+terminal partition are the same class; and so on (the equivalence key is
+each fault's :meth:`collapse_key`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .faults import FAULT_TYPES, Fault
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """A class of circuit-level-equivalent faults.
+
+    Attributes:
+        representative: one member fault (they are all equivalent).
+        count: number of member faults (the class magnitude).
+    """
+
+    representative: Fault
+    count: int
+
+    @property
+    def fault_type(self) -> str:
+        return self.representative.fault_type
+
+    def probability(self, total_faults: int) -> float:
+        """Likelihood of this fault class among all observed faults."""
+        if total_faults <= 0:
+            raise ValueError("total_faults must be positive")
+        return self.count / total_faults
+
+    def __str__(self) -> str:
+        return f"[x{self.count}] {self.representative}"
+
+
+def collapse(faults: Iterable[Fault]) -> List[FaultClass]:
+    """Group faults into classes, largest magnitude first.
+
+    Ties are broken by the collapse key for determinism.
+    """
+    groups: Dict[Tuple, List[Fault]] = defaultdict(list)
+    for fault in faults:
+        groups[fault.collapse_key()].append(fault)
+    classes = [FaultClass(representative=members[0], count=len(members))
+               for members in groups.values()]
+    classes.sort(key=lambda fc: (-fc.count,
+                                 fc.representative.collapse_key()))
+    return classes
+
+
+@dataclass(frozen=True)
+class TypeRow:
+    """One row of the paper's Table 1."""
+
+    fault_type: str
+    faults: int
+    fault_pct: float
+    classes: int
+    class_pct: float
+
+
+def type_table(classes: Sequence[FaultClass]) -> List[TypeRow]:
+    """Per-fault-type counts and percentages (paper Table 1).
+
+    Rows follow the paper's order; types with zero faults are included so
+    the table shape is stable.
+    """
+    fault_counts: Counter = Counter()
+    class_counts: Counter = Counter()
+    for fc in classes:
+        fault_counts[fc.fault_type] += fc.count
+        class_counts[fc.fault_type] += 1
+    total_faults = sum(fault_counts.values())
+    total_classes = sum(class_counts.values())
+    rows = []
+    for ft in FAULT_TYPES:
+        n_f = fault_counts.get(ft, 0)
+        n_c = class_counts.get(ft, 0)
+        rows.append(TypeRow(
+            fault_type=ft,
+            faults=n_f,
+            fault_pct=100.0 * n_f / total_faults if total_faults else 0.0,
+            classes=n_c,
+            class_pct=(100.0 * n_c / total_classes
+                       if total_classes else 0.0)))
+    return rows
+
+
+def rescale_magnitudes(classes: Sequence[FaultClass],
+                       large_classes: Sequence[FaultClass]
+                       ) -> List[FaultClass]:
+    """Re-weight a class list with magnitudes from a larger campaign.
+
+    The paper first collapsed 25 000 defects into 334 classes, then
+    re-sprinkled 10 000 000 defects to get statistically significant
+    magnitudes for those same classes.  This helper transplants the
+    large-campaign counts onto the small-campaign class identities;
+    classes unseen in the large campaign keep their original counts.
+    """
+    large_by_key = {fc.representative.collapse_key(): fc.count
+                    for fc in large_classes}
+    rescaled = []
+    for fc in classes:
+        key = fc.representative.collapse_key()
+        rescaled.append(FaultClass(representative=fc.representative,
+                                   count=large_by_key.get(key, fc.count)))
+    rescaled.sort(key=lambda fc: (-fc.count,
+                                  fc.representative.collapse_key()))
+    return rescaled

@@ -1,0 +1,219 @@
+"""Circuit-level fault taxonomy (the defect simulator's output).
+
+These are exactly the catastrophic fault types of paper Table 1: shorts,
+extra contacts, gate-oxide / junction / thick-oxide pinholes, opens, new
+devices and shorted devices.  Each fault is a frozen, hashable record so
+fault collapsing is a plain ``dict`` grouping on :meth:`collapse_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+#: canonical fault-type names, in paper Table 1 order
+FAULT_TYPES = (
+    "short",
+    "extra_contact",
+    "gate_oxide_pinhole",
+    "junction_pinhole",
+    "thick_oxide_pinhole",
+    "open",
+    "new_device",
+    "shorted_device",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class for circuit-level faults."""
+
+    @property
+    def fault_type(self) -> str:
+        raise NotImplementedError
+
+    def collapse_key(self) -> Tuple:
+        """Key under which circuit-level-equivalent faults collapse."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ShortFault(Fault):
+    """Resistive bridge between two or more nets.
+
+    Attributes:
+        nets: the bridged nets (>= 2).
+        layer: the layer of the extra material.
+        resistance: bridge resistance from the layer model.
+    """
+
+    nets: FrozenSet[str]
+    layer: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if len(self.nets) < 2:
+            raise ValueError("a short needs at least two nets")
+
+    @property
+    def fault_type(self) -> str:
+        return "short"
+
+    def collapse_key(self) -> Tuple:
+        return ("short", tuple(sorted(self.nets)), self.resistance)
+
+    def __str__(self) -> str:
+        return (f"short({','.join(sorted(self.nets))}) "
+                f"{self.resistance:g}ohm[{self.layer}]")
+
+
+@dataclass(frozen=True)
+class ExtraContactFault(Fault):
+    """Spurious contact between two vertically adjacent conductors."""
+
+    nets: FrozenSet[str]
+
+    @property
+    def fault_type(self) -> str:
+        return "extra_contact"
+
+    def collapse_key(self) -> Tuple:
+        return ("extra_contact", tuple(sorted(self.nets)))
+
+    def __str__(self) -> str:
+        return f"extra_contact({','.join(sorted(self.nets))})"
+
+
+@dataclass(frozen=True)
+class GateOxidePinholeFault(Fault):
+    """Gate-oxide puncture of one transistor.
+
+    The paper models it three ways (gate to source / drain / channel) and
+    keeps the worst-case signature; the model variants are produced by
+    ``repro.faultsim.models``.
+    """
+
+    device: str
+
+    @property
+    def fault_type(self) -> str:
+        return "gate_oxide_pinhole"
+
+    def collapse_key(self) -> Tuple:
+        return ("gate_oxide_pinhole", self.device)
+
+    def __str__(self) -> str:
+        return f"gate_oxide_pinhole({self.device})"
+
+
+@dataclass(frozen=True)
+class JunctionPinholeFault(Fault):
+    """Diffusion-to-bulk junction leak."""
+
+    net: str
+    bulk_net: str
+
+    @property
+    def fault_type(self) -> str:
+        return "junction_pinhole"
+
+    def collapse_key(self) -> Tuple:
+        return ("junction_pinhole", self.net, self.bulk_net)
+
+    def __str__(self) -> str:
+        return f"junction_pinhole({self.net}->{self.bulk_net})"
+
+
+@dataclass(frozen=True)
+class ThickOxidePinholeFault(Fault):
+    """Field/inter-level oxide puncture between crossing conductors."""
+
+    nets: FrozenSet[str]
+
+    @property
+    def fault_type(self) -> str:
+        return "thick_oxide_pinhole"
+
+    def collapse_key(self) -> Tuple:
+        return ("thick_oxide_pinhole", tuple(sorted(self.nets)))
+
+    def __str__(self) -> str:
+        return f"thick_oxide_pinhole({','.join(sorted(self.nets))})"
+
+
+@dataclass(frozen=True)
+class OpenFault(Fault):
+    """A net split into disconnected terminal groups.
+
+    Attributes:
+        net: the broken net.
+        partition: frozenset of terminal groups; each group is a
+            frozenset of ``"device:terminal_index"`` labels.
+        layer: the layer on which material went missing.
+    """
+
+    net: str
+    partition: FrozenSet[FrozenSet[str]]
+    layer: str
+
+    def __post_init__(self) -> None:
+        if len(self.partition) < 2:
+            raise ValueError("an open needs at least two islands")
+
+    @property
+    def fault_type(self) -> str:
+        return "open"
+
+    def collapse_key(self) -> Tuple:
+        return ("open", self.net,
+                tuple(sorted(tuple(sorted(g)) for g in self.partition)))
+
+    def __str__(self) -> str:
+        return f"open({self.net}, {len(self.partition)} islands)"
+
+
+@dataclass(frozen=True)
+class NewDeviceFault(Fault):
+    """Parasitic transistor created by extra poly crossing diffusion.
+
+    Attributes:
+        net: the diffusion net turned into a channel.
+        gate_net: net of the poly the defect merged with, or None for a
+            floating parasitic gate.
+        partition: terminal split of the diffusion net (channel sides).
+        polarity: channel polarity from the diffusion layer.
+    """
+
+    net: str
+    gate_net: Optional[str]
+    partition: FrozenSet[FrozenSet[str]]
+    polarity: str
+
+    @property
+    def fault_type(self) -> str:
+        return "new_device"
+
+    def collapse_key(self) -> Tuple:
+        return ("new_device", self.net, self.gate_net,
+                tuple(sorted(tuple(sorted(g)) for g in self.partition)))
+
+    def __str__(self) -> str:
+        gate = self.gate_net or "<floating>"
+        return f"new_device({self.net}, gate={gate})"
+
+
+@dataclass(frozen=True)
+class ShortedDeviceFault(Fault):
+    """Transistor channel permanently conducting (bridged gate area)."""
+
+    device: str
+
+    @property
+    def fault_type(self) -> str:
+        return "shorted_device"
+
+    def collapse_key(self) -> Tuple:
+        return ("shorted_device", self.device)
+
+    def __str__(self) -> str:
+        return f"shorted_device({self.device})"

@@ -1,0 +1,82 @@
+"""Spot-defect mechanisms (what can physically go wrong).
+
+Each mechanism names a physical event — extra or missing material on one
+layer, a spurious contact, or an oxide pinhole — together with the layer
+it acts on.  The analyzer (`repro.defects.analyze`) translates a located,
+sized mechanism instance into a circuit-level fault, or into no fault at
+all when the defect lands on empty silicon (the overwhelmingly common
+case: in the paper only ~2 % of 25 000 sprinkled defects caused faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..layout.geometry import Disk
+
+
+@dataclass(frozen=True)
+class DefectMechanism:
+    """A physical defect mechanism.
+
+    Attributes:
+        name: canonical mechanism name.
+        category: ``"extra"``, ``"missing"``, ``"pinhole"`` or
+            ``"contact"``.
+        layer: acted-on layer (None for pinholes, which act on oxides
+            between layers).
+        sized: whether the defect diameter follows the size
+            distribution (material defects) or is point-like (pinholes).
+    """
+
+    name: str
+    category: str
+    layer: Optional[str]
+    sized: bool
+
+
+def _build() -> Dict[str, DefectMechanism]:
+    mechanisms = {}
+
+    def add(name, category, layer, sized=True):
+        mechanisms[name] = DefectMechanism(name, category, layer, sized)
+
+    for layer in ("metal1", "metal2", "poly", "ndiff", "pdiff"):
+        add(f"extra_{layer}", "extra", layer)
+        add(f"missing_{layer}", "missing", layer)
+    add("missing_contact", "missing", "contact")
+    add("missing_via", "missing", "via")
+    add("extra_contact", "contact", "contact", sized=False)
+    add("pinhole_gate", "pinhole", None, sized=False)
+    add("pinhole_junction", "pinhole", None, sized=False)
+    add("pinhole_thick", "pinhole", None, sized=False)
+    return mechanisms
+
+
+MECHANISMS: Dict[str, DefectMechanism] = _build()
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One sprinkled defect: a mechanism at a location with a size."""
+
+    mechanism: DefectMechanism
+    disk: Disk
+
+    def __str__(self) -> str:
+        return (f"{self.mechanism.name}@({self.disk.cx:.1f},"
+                f"{self.disk.cy:.1f}) d={self.disk.diameter:.2f}um")
+
+
+def mechanism(name: str) -> DefectMechanism:
+    """Look up a mechanism by name.
+
+    Raises:
+        KeyError: unknown mechanism, message lists the catalogue.
+    """
+    try:
+        return MECHANISMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; known: {sorted(MECHANISMS)}")

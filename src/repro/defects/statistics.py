@@ -1,0 +1,130 @@
+"""Synthesized spot-defect statistics.
+
+The paper used proprietary Philips fab statistics as the defect
+simulator's input.  We synthesise an equivalent: per-mechanism relative
+densities and the standard ``1/x^3`` defect-size distribution used
+throughout the IFA literature (Stapper's model: the density of defects of
+diameter x falls off as x^-3 above the resolution limit).
+
+Calibration: the relative densities below were tuned so that Monte Carlo
+sprinkling on our synthesised comparator layout reproduces the *shape* of
+paper Table 1 — extra-material (metallisation) defects dominate, so >95 %
+of the resulting faults are shorts; gate-oxide and junction pinholes
+contribute a few per cent; opens are a tiny fraction of faults but a
+large fraction of fault classes.  See EXPERIMENTS.md for measured-vs-
+paper marginals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from .mechanisms import MECHANISMS, DefectMechanism
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Truncated inverse-cube defect-diameter distribution.
+
+    p(x) ~ 1/x^3 on [d_min, d_max] (um).  Sampling uses the closed-form
+    inverse CDF.
+    """
+
+    d_min: float = 1.0
+    d_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.d_min < self.d_max:
+            raise ValueError("need 0 < d_min < d_max")
+
+    def sample(self, rng: np.random.Generator, n: Optional[int] = None):
+        """Draw defect diameters (um)."""
+        u = rng.random(n)
+        a2 = self.d_min ** -2
+        b2 = self.d_max ** -2
+        return (a2 - u * (a2 - b2)) ** -0.5
+
+    def mean(self) -> float:
+        """Analytic mean diameter."""
+        a, b = self.d_min, self.d_max
+        # E[x] for p(x) = C x^-3: C * int(x^-2) with C = 2/(a^-2 - b^-2)
+        return 2.0 * (1.0 / a - 1.0 / b) / (a ** -2 - b ** -2)
+
+
+#: relative defect densities per mechanism (arbitrary units; only ratios
+#: matter).  Extra metallisation dominates, as in any real CMOS line of
+#: the era — this is what makes >95 % of faults shorts.
+DEFAULT_DENSITIES: Dict[str, float] = {
+    "extra_metal1": 45.0,
+    "extra_metal2": 30.0,
+    "extra_poly": 12.0,
+    "extra_ndiff": 4.0,
+    "extra_pdiff": 4.0,
+    "missing_metal1": 0.06,
+    "missing_metal2": 0.05,
+    "missing_poly": 0.30,
+    "missing_ndiff": 0.02,
+    "missing_pdiff": 0.02,
+    "missing_contact": 0.05,
+    "missing_via": 0.05,
+    "extra_contact": 1.0,
+    "pinhole_gate": 1.6,
+    "pinhole_junction": 1.3,
+    "pinhole_thick": 0.6,
+}
+
+
+@dataclass(frozen=True)
+class DefectStatistics:
+    """Complete statistical model handed to the sprinkler.
+
+    Attributes:
+        densities: relative density per mechanism name.
+        sizes: defect-size distribution for sized (material) defects.
+        pinhole_diameter: nominal diameter of pinhole defects (um) —
+            pinholes are point-like; only their location matters.
+    """
+
+    densities: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DENSITIES))
+    sizes: SizeDistribution = field(default_factory=SizeDistribution)
+    pinhole_diameter: float = 0.4
+
+    def __post_init__(self) -> None:
+        unknown = set(self.densities) - set(MECHANISMS)
+        if unknown:
+            raise ValueError(f"unknown mechanisms: {sorted(unknown)}")
+        if any(d < 0 for d in self.densities.values()):
+            raise ValueError("densities must be non-negative")
+        if not any(self.densities.values()):
+            raise ValueError("at least one density must be positive")
+
+    def mechanism_names(self):
+        return [name for name, d in sorted(self.densities.items()) if d > 0]
+
+    def mechanism_probabilities(self) -> Dict[str, float]:
+        """Normalised probability of each mechanism."""
+        total = sum(self.densities.values())
+        return {name: d / total
+                for name, d in sorted(self.densities.items()) if d > 0}
+
+    def sample_mechanisms(self, rng: np.random.Generator,
+                          n: int) -> np.ndarray:
+        """Draw *n* mechanism names i.i.d. by density."""
+        probs = self.mechanism_probabilities()
+        names = list(probs)
+        p = np.array([probs[k] for k in names])
+        return rng.choice(np.array(names, dtype=object), size=n, p=p)
+
+    def scaled(self, **overrides: float) -> "DefectStatistics":
+        """Copy with some mechanism densities replaced (what-if knob)."""
+        densities = dict(self.densities)
+        unknown = set(overrides) - set(MECHANISMS)
+        if unknown:
+            raise ValueError(f"unknown mechanisms: {sorted(unknown)}")
+        densities.update(overrides)
+        return replace(self, densities=densities)

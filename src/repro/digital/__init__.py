@@ -1,0 +1,22 @@
+"""Gate-level digital substrate (decoder macro analysis).
+
+Public API: :class:`LogicNetlist`, the gate :data:`LIBRARY`, stuck-at and
+bridging fault models with logic/IDDQ detectability.
+"""
+
+from .atpg import TestSet, compact_tests, fault_simulate, generate_tests
+from .faults import (BridgingFault, StuckAtFault, all_stuck_at_faults,
+                     detects_stuck_at, iddq_bridge_coverage,
+                     iddq_detects_bridge, logic_detects_bridge,
+                     neighbouring_bridges, stuck_at_coverage)
+from .gates import LIBRARY, GateType, gate_type
+from .netlist import Gate, LogicError, LogicNetlist
+
+__all__ = [
+    "TestSet", "compact_tests", "fault_simulate", "generate_tests",
+    "BridgingFault", "StuckAtFault", "all_stuck_at_faults",
+    "detects_stuck_at", "iddq_bridge_coverage", "iddq_detects_bridge",
+    "logic_detects_bridge", "neighbouring_bridges", "stuck_at_coverage",
+    "LIBRARY", "GateType", "gate_type", "Gate", "LogicError",
+    "LogicNetlist",
+]

@@ -1,0 +1,75 @@
+"""Gate library for the gate-level substrate.
+
+Each gate type is a named boolean function plus a transistor-count
+estimate (used for area scaling of the digital decoder macro in the
+global coverage compilation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A combinational gate type.
+
+    Attributes:
+        name: type name (``"NAND2"`` ...).
+        arity: number of inputs.
+        func: boolean function of the input tuple.
+        transistors: CMOS transistor count (for area estimates).
+    """
+
+    name: str
+    arity: int
+    func: Callable[[Tuple[bool, ...]], bool]
+    transistors: int
+
+    def evaluate(self, inputs: Sequence[bool]) -> bool:
+        """Evaluate the gate; validates arity."""
+        if len(inputs) != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} inputs, "
+                f"got {len(inputs)}")
+        return self.func(tuple(bool(v) for v in inputs))
+
+
+def _make_library() -> Dict[str, GateType]:
+    lib = {}
+
+    def add(name, arity, func, transistors):
+        lib[name] = GateType(name, arity, func, transistors)
+
+    add("BUF", 1, lambda v: v[0], 4)
+    add("INV", 1, lambda v: not v[0], 2)
+    add("AND2", 2, lambda v: v[0] and v[1], 6)
+    add("AND3", 3, lambda v: all(v), 8)
+    add("OR2", 2, lambda v: v[0] or v[1], 6)
+    add("OR3", 3, lambda v: any(v), 8)
+    add("NAND2", 2, lambda v: not (v[0] and v[1]), 4)
+    add("NAND3", 3, lambda v: not all(v), 6)
+    add("NOR2", 2, lambda v: not (v[0] or v[1]), 4)
+    add("NOR3", 3, lambda v: not any(v), 6)
+    add("XOR2", 2, lambda v: v[0] != v[1], 8)
+    add("XNOR2", 2, lambda v: v[0] == v[1], 8)
+    add("MUX2", 3, lambda v: v[1] if v[2] else v[0], 12)
+    add("AOI21", 3, lambda v: not ((v[0] and v[1]) or v[2]), 6)
+    return lib
+
+
+LIBRARY: Dict[str, GateType] = _make_library()
+
+
+def gate_type(name: str) -> GateType:
+    """Look up a gate type by name.
+
+    Raises:
+        KeyError: for unknown gate names, listing the known library.
+    """
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"unknown gate type {name!r}; known: "
+                       f"{sorted(LIBRARY)}")

@@ -1,0 +1,166 @@
+"""Gate-level netlist with levelised evaluation.
+
+The digital decoder macro of the Flash ADC is combinational
+(thermometer -> binary); we levelise once and evaluate vectors in
+topological order.  Sequential elements (the comparator flipflops) live in
+the analog domain, so the digital substrate stays purely combinational
+plus an optional output register abstraction at the behavioural level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .gates import GateType, gate_type
+
+
+class LogicError(Exception):
+    """Raised for malformed gate-level netlists."""
+
+
+@dataclass
+class Gate:
+    """One gate instance.
+
+    Attributes:
+        name: unique instance name.
+        gtype: the :class:`GateType`.
+        inputs: driving net names, in gate-input order.
+        output: driven net name.
+    """
+
+    name: str
+    gtype: GateType
+    inputs: List[str]
+    output: str
+
+
+class LogicNetlist:
+    """A combinational gate-level netlist.
+
+    Nets are strings; primary inputs are declared explicitly, every other
+    net must be driven by exactly one gate.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self.gates: Dict[str, Gate] = {}
+        self._driver: Dict[str, str] = {}
+        self._order: Optional[List[str]] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_input(self, net: str) -> None:
+        """Declare a primary input net."""
+        if net in self._driver:
+            raise LogicError(f"net {net!r} already driven by a gate")
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+        self._order = None
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output net (may also feed other gates)."""
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+
+    def add_gate(self, name: str, type_name: str, inputs: Sequence[str],
+                 output: str) -> Gate:
+        """Add a gate instance.
+
+        Raises:
+            LogicError: duplicate instance name or multiply-driven net.
+        """
+        if name in self.gates:
+            raise LogicError(f"duplicate gate name {name!r}")
+        if output in self._driver:
+            raise LogicError(f"net {output!r} driven by both "
+                             f"{self._driver[output]!r} and {name!r}")
+        if output in self.primary_inputs:
+            raise LogicError(f"net {output!r} is a primary input")
+        gt = gate_type(type_name)
+        if len(inputs) != gt.arity:
+            raise LogicError(f"{name}: {type_name} needs {gt.arity} inputs")
+        gate = Gate(name=name, gtype=gt, inputs=list(inputs), output=output)
+        self.gates[name] = gate
+        self._driver[output] = name
+        self._order = None
+        return gate
+
+    # -- analysis ------------------------------------------------------------
+
+    def nets(self) -> Set[str]:
+        """All nets referenced by the netlist."""
+        result = set(self.primary_inputs)
+        for g in self.gates.values():
+            result.update(g.inputs)
+            result.add(g.output)
+        return result
+
+    def transistor_count(self) -> int:
+        """Total CMOS transistor estimate."""
+        return sum(g.gtype.transistors for g in self.gates.values())
+
+    def levelize(self) -> List[str]:
+        """Topological gate ordering (cached).
+
+        Raises:
+            LogicError: on combinational loops or undriven nets.
+        """
+        if self._order is not None:
+            return self._order
+        known: Set[str] = set(self.primary_inputs)
+        remaining = dict(self.gates)
+        order: List[str] = []
+        while remaining:
+            ready = [name for name, g in remaining.items()
+                     if all(i in known for i in g.inputs)]
+            if not ready:
+                undriven = {i for g in remaining.values() for i in g.inputs
+                            if i not in known and i not in self._driver}
+                if undriven:
+                    raise LogicError(f"undriven nets: {sorted(undriven)}")
+                raise LogicError(
+                    f"combinational loop among {sorted(remaining)}")
+            for name in ready:
+                order.append(name)
+                known.add(remaining.pop(name).output)
+        self._order = order
+        return order
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, input_values: Dict[str, bool],
+                 forced_nets: Optional[Dict[str, bool]] = None
+                 ) -> Dict[str, bool]:
+        """Evaluate all nets for one input vector.
+
+        Args:
+            input_values: value per primary input (all must be present).
+            forced_nets: optional overrides applied after each gate
+                evaluates (used for stuck-at fault injection).
+
+        Returns:
+            Dict of every net's value.
+        """
+        missing = [i for i in self.primary_inputs if i not in input_values]
+        if missing:
+            raise LogicError(f"missing input values for {missing}")
+        forced = forced_nets or {}
+        values: Dict[str, bool] = {}
+        for net in self.primary_inputs:
+            values[net] = forced.get(net, bool(input_values[net]))
+        for gname in self.levelize():
+            g = self.gates[gname]
+            out = g.gtype.evaluate([values[i] for i in g.inputs])
+            values[g.output] = forced.get(g.output, out)
+        return values
+
+    def outputs(self, input_values: Dict[str, bool],
+                forced_nets: Optional[Dict[str, bool]] = None
+                ) -> Dict[str, bool]:
+        """Primary-output values for one input vector."""
+        values = self.evaluate(input_values, forced_nets)
+        return {net: values[net] for net in self.primary_outputs}

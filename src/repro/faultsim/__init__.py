@@ -1,0 +1,30 @@
+"""Analog fault simulation: models, injection, good space, signatures.
+
+Pipeline: :func:`fault_models` builds circuit-level models per fault,
+:class:`ComparatorFaultEngine` simulates each class against the
+comparator testbench and classifies the macro-level
+:class:`SignatureResult` against the compiled :class:`GoodSpace`.
+"""
+
+from .engine import (ComparatorFaultEngine, EngineConfig,
+                     FaultClassResult)
+from .goodspace import (GoodSpace, N_COMPARATORS, Window,
+                        compile_good_space)
+from .models import (FLOAT_LEAK_RESISTANCE, FaultModel, ModelError,
+                     fault_models, inject)
+from .noncat import (NearMissShortFault, derive_noncatastrophic,
+                     near_miss_model)
+from .signatures import (CLOCK_DEVIATION_THRESHOLD, CurrentMechanism,
+                         Measurement, OFFSET_THRESHOLD, PHASES,
+                         POLARITIES, SignatureResult, VoltageSignature,
+                         classify_voltage)
+
+__all__ = [
+    "ComparatorFaultEngine", "EngineConfig", "FaultClassResult",
+    "GoodSpace", "N_COMPARATORS", "Window", "compile_good_space",
+    "FLOAT_LEAK_RESISTANCE", "FaultModel", "ModelError", "fault_models",
+    "inject", "NearMissShortFault", "derive_noncatastrophic",
+    "near_miss_model", "CLOCK_DEVIATION_THRESHOLD", "CurrentMechanism",
+    "Measurement", "OFFSET_THRESHOLD", "PHASES", "POLARITIES",
+    "SignatureResult", "VoltageSignature", "classify_voltage",
+]

@@ -1,0 +1,235 @@
+"""Analog fault-simulation engine for the comparator macro.
+
+For every fault class: inject each circuit-level model variant into the
+comparator testbench, run clocked transients with the analog input above
+and below the reference (plus +/- 8 mV probes when needed), extract the
+quiescent currents in each clock phase and the flipflop decision, and
+classify the macro-level fault signature.  Gate-oxide pinholes keep the
+*worst-case* (least detectable) of their three variants, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..adc.comparator import (CLOCK_PERIOD, build_testbench,
+                              phase_measure_times, regeneration_windows)
+from ..adc.process import Process, reduced_corners, typical
+from ..circuit.dc import ConvergenceError
+from ..circuit.transient import TransientResult, supply_current, transient
+from ..defects.collapse import FaultClass
+from .goodspace import GoodSpace, compile_good_space
+from .models import FaultModel, fault_models, inject
+from .noncat import NearMissShortFault, near_miss_model
+from .signatures import (CurrentMechanism, Measurement, SignatureResult,
+                         VoltageSignature, classify_voltage)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Fault-simulation engine settings.
+
+    Attributes:
+        dt: coarse transient step.
+        period: clock period.
+        dft: simulate the DfT comparator variant.
+        vref: reference voltage of the instance under test.
+        big_probe: input offset for the main above/below runs (volts).
+        small_probe: input offset for the offset-detection probes.
+        process: the corner the faulty instance is evaluated at.
+    """
+
+    dt: float = 1e-9
+    period: float = CLOCK_PERIOD
+    dft: bool = False
+    vref: float = 2.5
+    big_probe: float = 0.1
+    small_probe: float = 8e-3
+    process: Process = field(default_factory=typical)
+
+
+@dataclass(frozen=True)
+class FaultClassResult:
+    """Signature of one fault class (worst-case over model variants).
+
+    Attributes:
+        fault_class: the simulated class.
+        signature: its macro-level signature.
+        variant: name of the chosen (worst-case) model variant.
+    """
+
+    fault_class: FaultClass
+    signature: SignatureResult
+    variant: str
+
+
+class ComparatorFaultEngine:
+    """Runs the fault-simulation step of the defect-oriented test path."""
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 corners: Optional[Sequence[Process]] = None) -> None:
+        self.config = config or EngineConfig()
+        self._corners = list(corners) if corners is not None \
+            else reduced_corners()
+        self._good_space: Optional[GoodSpace] = None
+        self._good_decisions: Dict[float, bool] = {}
+
+    # -- measurement -------------------------------------------------------
+
+    def _run(self, circuit, process: Process) -> TransientResult:
+        windows = regeneration_windows(self.config.period, 1)
+        return transient(circuit, tstop=self.config.period,
+                         dt=self.config.dt, fine_windows=windows)
+
+    def _measure(self, tb, tr: TransientResult,
+                 process: Process) -> Measurement:
+        times = phase_measure_times(self.config.period, 0)
+
+        def at(array: np.ndarray, t: float) -> float:
+            return float(array[int(np.argmin(np.abs(tr.times - t)))])
+
+        ivdd = supply_current(tr, tb.supply_source)
+        iddq_arrays = [np.abs(tr.current(name))
+                       for name in tb.clock_sources]
+        iin = np.abs(tr.current("VIN"))
+        ivref = np.abs(tr.current("VREFS"))
+        ibias = np.abs(tr.current("VBN1S")) + np.abs(tr.current("VBN2S"))
+
+        decision = tr.at_time("ffout", 0.97 * self.config.period) > \
+            process.vdd / 2.0
+        clock_dev = self._clock_deviation(tr, process)
+        return Measurement(
+            decision=bool(decision),
+            ivdd=tuple(at(ivdd, t) for t in times),
+            iddq=tuple(sum(at(a, t) for a in iddq_arrays) for t in times),
+            iin=tuple(at(iin, t) for t in times),
+            ivref=tuple(at(ivref, t) for t in times),
+            ibias=tuple(at(ibias, t) for t in times),
+            clock_deviation=clock_dev)
+
+    def _clock_deviation(self, tr: TransientResult,
+                         process: Process) -> float:
+        """Worst deviation of the clock lines from their nominal levels
+        at the quiescent instants of each phase."""
+        period = self.config.period
+        expected = {
+            "phi1": (process.vdd, 0.0, 0.0),
+            "phi2": (0.0, process.vdd, 0.0),
+            "phi3": (0.0, 0.0, process.vdd),
+        }
+        worst = 0.0
+        for phase_idx, t in enumerate(phase_measure_times(period, 0)):
+            for line, levels in expected.items():
+                actual = tr.at_time(line, t)
+                worst = max(worst, abs(actual - levels[phase_idx]))
+        return worst
+
+    def _unresolved_measurement(self) -> Measurement:
+        zeros = (0.0, 0.0, 0.0)
+        return Measurement(decision=False, ivdd=zeros, iddq=zeros,
+                           iin=zeros, ivref=zeros, ibias=zeros,
+                           clock_deviation=0.0, resolved=False)
+
+    def measure_polarity(self, model: Optional[FaultModel],
+                         vin_offset: float,
+                         process: Optional[Process] = None
+                         ) -> Measurement:
+        """Measure one (possibly faulty) run at vref + vin_offset."""
+        p = process or self.config.process
+        tb = build_testbench(process=p,
+                             vin=self.config.vref + vin_offset,
+                             vref=self.config.vref, dft=self.config.dft,
+                             period=self.config.period)
+        circuit = tb.circuit if model is None else inject(tb.circuit,
+                                                          model)
+        try:
+            tr = self._run(circuit, p)
+        except ConvergenceError:
+            return self._unresolved_measurement()
+        return self._measure(tb, tr, p)
+
+    # -- good space ---------------------------------------------------------
+
+    def good_space(self) -> GoodSpace:
+        """Compile (and cache) the good signature space over corners."""
+        if self._good_space is None:
+            per_corner: Dict[str, Dict[str, Measurement]] = {}
+            for p in self._corners:
+                per_corner[p.name] = {
+                    "above": self.measure_polarity(
+                        None, +self.config.big_probe, process=p),
+                    "below": self.measure_polarity(
+                        None, -self.config.big_probe, process=p),
+                }
+            name = self._corners[0].name
+            if "typical" in per_corner:
+                name = "typical"
+            self._good_space = compile_good_space(per_corner,
+                                                  typical_name=name)
+        return self._good_space
+
+    # -- fault simulation ------------------------------------------------------
+
+    def simulate_model(self, model: FaultModel) -> SignatureResult:
+        """Signature of one model variant."""
+        good = self.good_space()
+        above = self.measure_polarity(model, +self.config.big_probe)
+        below = self.measure_polarity(model, -self.config.big_probe)
+        unresolved = not (above.resolved and below.resolved)
+
+        small_above: Optional[bool] = None
+        small_below: Optional[bool] = None
+        if not unresolved and above.decision is True and \
+                below.decision is False:
+            small_above = self.measure_polarity(
+                model, +self.config.small_probe).decision
+            small_below = self.measure_polarity(
+                model, -self.config.small_probe).decision
+
+        if unresolved:
+            voltage, sign = VoltageSignature.OUTPUT_STUCK_AT, 0
+        else:
+            clock_dev = max(above.clock_deviation,
+                            below.clock_deviation)
+            voltage, sign = classify_voltage(
+                above.decision, below.decision, small_above,
+                small_below, clock_dev)
+        measurements = {"above": above, "below": below}
+        violated = good.violated_measurements(measurements)
+        from .goodspace import mechanism_of
+        mechanisms = {mechanism_of(key) for key in violated}
+        return SignatureResult(voltage=voltage, offset_sign=sign,
+                               mechanisms=frozenset(mechanisms),
+                               measurements=measurements,
+                               violated_keys=frozenset(violated),
+                               unresolved=unresolved)
+
+    def simulate_class(self, fault_class: FaultClass
+                       ) -> FaultClassResult:
+        """Worst-case signature over the class's model variants."""
+        fault = fault_class.representative
+        if isinstance(fault, NearMissShortFault):
+            variants = [near_miss_model(fault)]
+        else:
+            variants = fault_models(fault, process=self.config.process)
+        results = [(self.simulate_model(v), v.name) for v in variants]
+        results.sort(key=lambda pair: pair[0].detectability_rank())
+        signature, variant = results[0]
+        return FaultClassResult(fault_class=fault_class,
+                                signature=signature, variant=variant)
+
+    def run(self, classes: Sequence[FaultClass],
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> List[FaultClassResult]:
+        """Simulate every class; optional progress callback."""
+        results = []
+        for k, fc in enumerate(classes):
+            results.append(self.simulate_class(fc))
+            if progress is not None:
+                progress(k + 1, len(classes))
+        return results

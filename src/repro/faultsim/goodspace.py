@@ -1,0 +1,178 @@
+"""The good signature space (paper section 2, last paragraph).
+
+"In the analog domain, the output of a fault-free circuit can vary under
+the influence of environmental conditions like process, supply voltage
+and temperature.  Thus the good signature is a multi-dimensional space
+... and the faulty circuit has to have a response outside this space to
+be recognized as faulty."
+
+We compile the space by measuring the fault-free macro at every corner
+and expanding each chip-level measurement to its [min, max] window plus a
+tester floor.  Current detection then asks whether the *chip-level*
+faulty value — nominal chip plus the one faulty instance's deviation —
+escapes the window.  Chip-level scaling is what makes the flipflop-leak
+DfT story work: 256 leaky flipflops give the sampling-phase IVdd window a
+spread of tens of mA that masks single-instance deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..adc.ladder import N_TAPS
+from .signatures import (CurrentMechanism, Measurement, PHASES,
+                         POLARITIES)
+
+#: number of comparator instances on the chip
+N_COMPARATORS = N_TAPS
+
+#: tester floors (amps): a deviation below these is unmeasurable even
+#: with a perfectly tight process window
+FLOOR_IVDD = 100e-6
+FLOOR_IDDQ = 50e-6
+FLOOR_IINPUT = 5e-6
+FLOOR_IVREF = 500e-6
+
+
+@dataclass(frozen=True)
+class Window:
+    """Acceptance interval for one chip-level measurement."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"window hi < lo: {self}")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def expanded(self, margin: float) -> "Window":
+        return Window(self.lo - margin, self.hi + margin)
+
+
+# measurement keys: (quantity, phase, polarity)
+Key = Tuple[str, str, str]
+
+#: which coarse mechanism each measured quantity belongs to
+_QUANTITY_MECHANISM = {
+    "ivdd": CurrentMechanism.IVDD,
+    "iddq": CurrentMechanism.IDDQ,
+    "iin": CurrentMechanism.IINPUT,
+    "ivref": CurrentMechanism.IINPUT,
+}
+
+
+def mechanism_of(key: Key) -> CurrentMechanism:
+    """Coarse detection mechanism of a measurement key."""
+    return _QUANTITY_MECHANISM[key[0]]
+
+
+@dataclass
+class GoodSpace:
+    """Compiled good signature space for the comparator macro.
+
+    Attributes:
+        typical: polarity -> fault-free Measurement at the typical
+            corner (the baseline the fault deviations are taken from).
+        windows: chip-level acceptance window per measurement key.
+    """
+
+    typical: Dict[str, Measurement]
+    windows: Dict[Key, Window]
+
+    def violated_measurements(self, faulty: Dict[str, Measurement]
+                              ) -> Set[Key]:
+        """Individual measurement keys whose chip-level value escapes.
+
+        This is the fine-grained view behind
+        :meth:`current_detection`; the test-plan optimizer consumes it
+        (the paper: "the overlap between different detection mechanisms
+        gives room for the optimization of the test method").
+
+        Args:
+            faulty: polarity -> Measurement of the faulty instance at
+                the typical corner.
+        """
+        violated: Set[Key] = set()
+        for pol in POLARITIES:
+            f = faulty[pol]
+            t = self.typical[pol]
+            if not f.resolved:
+                # a hard-broken circuit: the instance cannot bias up,
+                # so every supply measurement is out
+                for phase in PHASES:
+                    violated.add(("ivdd", phase, pol))
+                continue
+            for k, phase in enumerate(PHASES):
+                # IVdd: all 256 instances plus the bias-line loading,
+                # which the bias generator ultimately draws from vdd
+                d_ivdd = (f.ivdd[k] - t.ivdd[k]) + \
+                    abs(f.ibias[k] - t.ibias[k])
+                chip = N_COMPARATORS * t.ivdd[k] + d_ivdd
+                if not self.windows[("ivdd", phase, pol)].contains(chip):
+                    violated.add(("ivdd", phase, pol))
+                d_iddq = f.iddq[k] - t.iddq[k]
+                if not self.windows[("iddq", phase, pol)].contains(
+                        t.iddq[k] + d_iddq):
+                    violated.add(("iddq", phase, pol))
+                d_iin = f.iin[k] - t.iin[k]
+                if not self.windows[("iin", phase, pol)].contains(
+                        N_COMPARATORS * t.iin[k] + d_iin):
+                    violated.add(("iin", phase, pol))
+                d_ivref = f.ivref[k] - t.ivref[k]
+                if not self.windows[("ivref", phase, pol)].contains(
+                        N_COMPARATORS * t.ivref[k] + d_ivref):
+                    violated.add(("ivref", phase, pol))
+        return violated
+
+    def current_detection(self, faulty: Dict[str, Measurement]
+                          ) -> Set[CurrentMechanism]:
+        """Mechanisms whose chip-level measurement escapes its window."""
+        return {mechanism_of(key)
+                for key in self.violated_measurements(faulty)}
+
+
+def compile_good_space(corner_measurements: Dict[str, Dict[str,
+                                                            Measurement]],
+                       typical_name: str = "typical",
+                       ladder_current_window: Optional[Window] = None
+                       ) -> GoodSpace:
+    """Build the good space from per-corner fault-free measurements.
+
+    Args:
+        corner_measurements: corner name -> polarity -> Measurement.
+        typical_name: which corner is the baseline.
+        ladder_current_window: chip-level reference-terminal window
+            (the ladder current dominates it); default derives it from
+            the comparator's own vref loading spread plus the floor.
+    """
+    if typical_name not in corner_measurements:
+        raise ValueError(f"missing corner {typical_name!r}")
+    windows: Dict[Key, Window] = {}
+    for k, phase in enumerate(PHASES):
+        for pol in POLARITIES:
+            ivdds, iddqs, iins, ivrefs = [], [], [], []
+            for meas in corner_measurements.values():
+                m = meas[pol]
+                ivdds.append(N_COMPARATORS * m.ivdd[k])
+                iddqs.append(m.iddq[k])
+                iins.append(N_COMPARATORS * m.iin[k])
+                ivrefs.append(N_COMPARATORS * m.ivref[k])
+            windows[("ivdd", phase, pol)] = Window(
+                min(ivdds) - FLOOR_IVDD, max(ivdds) + FLOOR_IVDD)
+            windows[("iddq", phase, pol)] = Window(
+                min(iddqs) - FLOOR_IDDQ, max(iddqs) + FLOOR_IDDQ)
+            windows[("iin", phase, pol)] = Window(
+                min(iins) - FLOOR_IINPUT, max(iins) + FLOOR_IINPUT)
+            if ladder_current_window is not None:
+                windows[("ivref", phase, pol)] = ladder_current_window
+            else:
+                windows[("ivref", phase, pol)] = Window(
+                    min(ivrefs) - FLOOR_IVREF, max(ivrefs) + FLOOR_IVREF)
+    return GoodSpace(typical=dict(corner_measurements[typical_name]),
+                     windows=windows)

@@ -1,0 +1,159 @@
+"""High-level (heuristic) fault-signature estimation — the baseline the
+paper argues against.
+
+Harvey et al. [7] tackled the IFA-complexity problem by fault-simulating
+with *high-level models* instead of circuit-level netlists; the paper's
+criticism: "the accuracy of the generated fault models is limited by the
+high-level models used."  To quantify that criticism, this module
+implements a careful rule-based estimator that maps a circuit-level
+fault to a macro signature using only *structural* knowledge (which nets
+the fault touches, their roles) — no analog simulation — so the
+benchmark suite can measure its agreement with the transistor-level
+engine on the same fault population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..defects.faults import (ExtraContactFault, Fault,
+                              GateOxidePinholeFault, JunctionPinholeFault,
+                              NewDeviceFault, OpenFault, ShortFault,
+                              ShortedDeviceFault, ThickOxidePinholeFault)
+from .noncat import NearMissShortFault
+from .signatures import CurrentMechanism, VoltageSignature
+
+#: structural net roles in the comparator macro
+NET_ROLES: Dict[str, str] = {
+    "vdd": "supply", "gnd": "supply",
+    "phi1": "clock", "phi2": "clock", "phi3": "clock",
+    "vbn1": "bias", "vbn2": "bias",
+    "in": "input", "vref": "input",
+    "cin_p": "signal", "cin_n": "signal",
+    "outp": "signal", "outn": "signal",
+    "lp": "signal", "ln": "signal",
+    "tail": "internal", "tailsw": "internal", "ltail": "internal",
+    "htail": "internal", "phi3b": "internal", "nleak": "internal",
+    "ffin": "ff", "ffind": "ff", "ffmid": "ff", "ffmidd": "ff",
+    "ffout": "ff",
+}
+
+
+@dataclass(frozen=True)
+class HighLevelEstimate:
+    """Structurally estimated signature."""
+
+    voltage: VoltageSignature
+    mechanisms: FrozenSet[CurrentMechanism]
+
+
+def _roles(nets) -> Set[str]:
+    return {NET_ROLES.get(net, "internal") for net in nets}
+
+
+def _fault_nets(fault: Fault) -> Set[str]:
+    if hasattr(fault, "nets"):
+        return set(fault.nets)
+    nets: Set[str] = set()
+    if hasattr(fault, "net"):
+        nets.add(fault.net)
+    if hasattr(fault, "bulk_net"):
+        nets.add(fault.bulk_net)
+    return nets
+
+
+def estimate_signature(fault: Fault) -> HighLevelEstimate:
+    """Rule-based signature estimate from structure alone.
+
+    The rules encode exactly what a designer would guess without
+    simulating — which is the point: the benchmark measures how often
+    the guess is wrong.
+    """
+    nets = _fault_nets(fault)
+    roles = _roles(nets)
+    low_ohmic = isinstance(fault, (ShortFault, ExtraContactFault,
+                                   ShortedDeviceFault))
+    mechanisms: Set[CurrentMechanism] = set()
+
+    # current rules
+    if "clock" in roles and len(roles) > 1:
+        mechanisms.add(CurrentMechanism.IDDQ)
+    if roles >= {"supply"} and ("supply" in roles and
+                                ("signal" in roles or "internal" in
+                                 roles or len(nets & {"vdd", "gnd"})
+                                 == 2)):
+        if low_ohmic and len(nets & {"vdd", "gnd"}) == 2:
+            mechanisms.add(CurrentMechanism.IVDD)
+    if "input" in roles and len(roles) > 1 and low_ohmic:
+        mechanisms.add(CurrentMechanism.IINPUT)
+
+    # voltage rules
+    if isinstance(fault, (ShortedDeviceFault, GateOxidePinholeFault)):
+        voltage = VoltageSignature.OUTPUT_STUCK_AT
+    elif isinstance(fault, OpenFault):
+        voltage = VoltageSignature.OUTPUT_STUCK_AT
+    elif isinstance(fault, NewDeviceFault):
+        voltage = VoltageSignature.OFFSET
+    elif isinstance(fault, NearMissShortFault):
+        if roles == {"clock"} or (roles == {"bias"}):
+            voltage = VoltageSignature.CLOCK_VALUE if "clock" in roles \
+                else VoltageSignature.NONE
+        elif "signal" in roles:
+            voltage = VoltageSignature.OFFSET
+        else:
+            voltage = VoltageSignature.CLOCK_VALUE
+    elif low_ohmic or isinstance(fault, (ThickOxidePinholeFault,
+                                         JunctionPinholeFault)):
+        if roles == {"bias"}:
+            voltage = VoltageSignature.NONE
+        elif "signal" in roles or "clock" in roles or \
+                "supply" in roles or "internal" in roles:
+            voltage = VoltageSignature.OUTPUT_STUCK_AT
+        else:
+            voltage = VoltageSignature.MIXED
+    else:
+        voltage = VoltageSignature.MIXED
+    return HighLevelEstimate(voltage=voltage,
+                             mechanisms=frozenset(mechanisms))
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """How well the structural estimate matches circuit-level truth."""
+
+    total: int
+    voltage_agree: int
+    current_agree: int
+    confusion: Dict
+
+    @property
+    def voltage_accuracy(self) -> float:
+        return self.voltage_agree / self.total if self.total else 1.0
+
+    @property
+    def current_accuracy(self) -> float:
+        return self.current_agree / self.total if self.total else 1.0
+
+
+def compare_to_circuit_level(pairs) -> AgreementReport:
+    """Score estimates against circuit-level results.
+
+    Args:
+        pairs: iterable of ``(fault, SignatureResult)`` from the real
+            engine.
+    """
+    total = voltage_agree = current_agree = 0
+    confusion: Dict = {}
+    for fault, truth in pairs:
+        estimate = estimate_signature(fault)
+        total += 1
+        if estimate.voltage == truth.voltage:
+            voltage_agree += 1
+        if estimate.mechanisms == truth.mechanisms:
+            current_agree += 1
+        key = (estimate.voltage.value, truth.voltage.value)
+        confusion[key] = confusion.get(key, 0) + 1
+    return AgreementReport(total=total, voltage_agree=voltage_agree,
+                           current_agree=current_agree,
+                           confusion=confusion)

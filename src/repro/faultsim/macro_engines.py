@@ -1,0 +1,484 @@
+"""Fault-simulation engines for the non-comparator macros.
+
+Each engine mirrors the comparator engine's contract: given collapsed
+fault classes from the defect simulator, produce per-class
+:class:`~repro.macrotest.coverage.DetectionRecord` entries (voltage
+detectability via behavioral propagation, current mechanisms via the
+good-space windows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..adc.biasgen import biasgen_testbench
+from ..adc.clockgen import (PHASES as CLOCK_PHASES, clock_levels,
+                            clockgen_testbench, iddq)
+from ..adc.comparator import CLOCK_PERIOD, build_testbench, \
+    phase_measure_times, regeneration_windows
+from ..adc.ladder import (N_TAPS, SEGMENTS_PER_COARSE, ladder_testbench,
+                          tap_voltages)
+from ..adc.process import Process, reduced_corners, typical
+from ..adc.behavioral import ComparatorBehavior
+from ..circuit.dc import ConvergenceError, operating_point
+from ..circuit.elements import VoltageSource
+from ..circuit.transient import supply_current, transient
+from ..defects.collapse import FaultClass
+from ..defects.faults import (Fault, GateOxidePinholeFault,
+                              JunctionPinholeFault, NewDeviceFault,
+                              OpenFault, ShortedDeviceFault)
+from ..digital.faults import (BridgingFault, StuckAtFault,
+                              iddq_detects_bridge, logic_detects_bridge,
+                              detects_stuck_at, neighbouring_bridges)
+from ..digital.netlist import LogicNetlist
+from ..macrotest.coverage import DetectionRecord
+from ..macrotest.propagate import (propagate_bank_behavior,
+                                   propagate_clock_fault,
+                                   propagate_ladder_fault)
+from .goodspace import FLOOR_IDDQ, FLOOR_IVREF
+from .models import fault_models, inject
+from .noncat import NearMissShortFault, near_miss_model
+from .signatures import CurrentMechanism
+
+
+def translate_fault(fault: Fault, net_map: Dict[str, str],
+                    device_map: Dict[str, str]) -> Fault:
+    """Rename a fault's nets/devices (slice coordinates -> full-circuit
+    coordinates)."""
+    def net(n: str) -> str:
+        return net_map.get(n, n)
+
+    def dev(d: str) -> str:
+        return device_map.get(d, d)
+
+    def group(g):
+        out = []
+        for label in g:
+            device, _, term = label.partition(":")
+            out.append(f"{dev(device)}:{term}")
+        return frozenset(out)
+
+    kwargs = {}
+    if hasattr(fault, "nets"):
+        kwargs["nets"] = frozenset(net(n) for n in fault.nets)
+    if hasattr(fault, "net"):
+        kwargs["net"] = net(fault.net)
+    if hasattr(fault, "bulk_net"):
+        kwargs["bulk_net"] = net(fault.bulk_net)
+    if hasattr(fault, "device"):
+        kwargs["device"] = dev(fault.device)
+    if hasattr(fault, "gate_net") and fault.gate_net is not None:
+        kwargs["gate_net"] = net(fault.gate_net)
+    if hasattr(fault, "partition"):
+        kwargs["partition"] = frozenset(group(g)
+                                        for g in fault.partition)
+    return dataclasses.replace(fault, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# ladder
+# ---------------------------------------------------------------------------
+
+#: the analysed slice stands for the span starting at this tap — it
+#: must be a coarse-pin multiple so the slice's coarse segment lands on
+#: a real coarse segment of the full ladder
+LADDER_SLICE_BASE = 128
+
+
+@dataclass
+class LadderFaultEngine:
+    """DC fault simulation of the ladder macro.
+
+    The defect campaign runs on a one-span slice; its faults are
+    translated into the middle span of the full dual ladder, solved at
+    DC, and judged on reference-terminal current, supply loading and
+    the propagated tap voltages (missing-code test).
+
+    Attributes:
+        ivdd_window_halfwidth: chip-level IVdd acceptance half-width
+            (from the comparator good space) for supply-loading faults.
+    """
+
+    process: Process = field(default_factory=typical)
+    corners: Sequence[Process] = field(default_factory=reduced_corners)
+    ivdd_window_halfwidth: float = 20e-3
+    #: resolution of the terminal-difference current measurement
+    iref_diff_floor: float = 200e-6
+
+    def __post_init__(self) -> None:
+        self._window: Optional[Tuple[float, float]] = None
+        self._typ: Optional[Tuple[float, np.ndarray]] = None
+
+    def _testbench(self, process: Process):
+        tb = ladder_testbench(process)
+        tb.add(VoltageSource("VDD", "vdd", "gnd", process.vdd))
+        return tb
+
+    def _solve(self, circuit):
+        op = operating_point(circuit)
+        taps = np.array([op.voltage(f"tap{k}")
+                         for k in range(N_TAPS + 1)])
+        return {
+            # both reference terminals are measured separately: a short
+            # to a rail pulls extra current from one terminal and
+            # starves the other, which would cancel in a summed metric
+            "ivrefp": -op.current("VREFP"),
+            "ivrefn": op.current("VREFN"),
+            "ivdd": -op.current("VDD"),
+            "taps": taps,
+        }
+
+    def _net_map(self) -> Dict[str, str]:
+        mapping = {f"tap{k}": f"tap{LADDER_SLICE_BASE + k}"
+                   for k in range(SEGMENTS_PER_COARSE + 1)}
+        return mapping
+
+    def _device_map(self) -> Dict[str, str]:
+        mapping = {f"RF{k}": f"RF{LADDER_SLICE_BASE + k}"
+                   for k in range(SEGMENTS_PER_COARSE)}
+        mapping["RC0"] = f"RC{LADDER_SLICE_BASE}"
+        return mapping
+
+    def good(self):
+        """Typical solution plus per-terminal current windows over
+        corners."""
+        if self._typ is None:
+            self._typ = self._solve(self._testbench(self.process))
+            solutions = [self._solve(self._testbench(p))
+                         for p in self.corners]
+            self._window = {}
+            for key in ("ivrefp", "ivrefn"):
+                values = [s[key] for s in solutions]
+                self._window[key] = (min(values) - FLOOR_IVREF,
+                                     max(values) + FLOOR_IVREF)
+        return self._typ, self._window
+
+    def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
+        typ, windows = self.good()
+        fault = translate_fault(fault_class.representative,
+                                self._net_map(), self._device_map())
+        if isinstance(fault, NearMissShortFault):
+            variants = [near_miss_model(fault)]
+        else:
+            variants = fault_models(fault, process=self.process)
+        records = []
+        for model in variants:
+            tb = self._testbench(self.process)
+            try:
+                sol = self._solve(inject(tb, model))
+            except ConvergenceError:
+                records.append((True, {CurrentMechanism.IVDD}))
+                continue
+            mechanisms: Set[CurrentMechanism] = set()
+            for key in ("ivrefp", "ivrefn"):
+                lo, hi = windows[key]
+                if not lo <= sol[key] <= hi:
+                    mechanisms.add(CurrentMechanism.IINPUT)
+            # terminal-difference measurement: the sheet-resistance
+            # spread cancels between the two terminals, so any leak
+            # from the ladder into another net is visible far below
+            # the absolute-current window
+            diff = abs(sol["ivrefp"] - sol["ivrefn"])
+            typ_diff = abs(typ["ivrefp"] - typ["ivrefn"])
+            if abs(diff - typ_diff) > self.iref_diff_floor:
+                mechanisms.add(CurrentMechanism.IINPUT)
+            if abs(sol["ivdd"] - typ["ivdd"]) > \
+                    self.ivdd_window_halfwidth:
+                mechanisms.add(CurrentMechanism.IVDD)
+            voltage = propagate_ladder_fault(sol["taps"])
+            records.append((voltage, mechanisms))
+        # worst case (least detectable) variant, as for the comparator
+        records.sort(key=lambda r: (len(r[1]), r[0]))
+        voltage, mechanisms = records[0]
+        return DetectionRecord(count=fault_class.count,
+                               voltage_detected=voltage,
+                               mechanisms=frozenset(mechanisms),
+                               fault_type=fault_class.fault_type)
+
+    def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
+        return [self.simulate_class(fc) for fc in classes]
+
+
+# ---------------------------------------------------------------------------
+# clock generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClockgenFaultEngine:
+    """Transient fault simulation of the clock generator macro."""
+
+    process: Process = field(default_factory=typical)
+    dt: float = 1e-9
+    period: float = CLOCK_PERIOD
+    iddq_floor: float = FLOOR_IDDQ
+
+    def __post_init__(self) -> None:
+        self._good: Optional[dict] = None
+
+    def _run(self, circuit):
+        tr = transient(circuit, tstop=self.period, dt=self.dt)
+        return {
+            "iddq": iddq(tr, period=self.period),
+            "levels": clock_levels(tr, period=self.period),
+            "lows": {phase: tr.at_time(phase, frac * self.period)
+                     for phase, frac in (("phi1", 0.50), ("phi2", 0.88),
+                                         ("phi3", 0.17))},
+        }
+
+    def good(self) -> dict:
+        if self._good is None:
+            self._good = self._run(clockgen_testbench(self.process,
+                                                      self.period))
+        return self._good
+
+    def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
+        good = self.good()
+        fault = fault_class.representative
+        if isinstance(fault, NearMissShortFault):
+            variants = [near_miss_model(fault)]
+        else:
+            variants = fault_models(fault, process=self.process)
+        outcomes = []
+        for model in variants:
+            tb = clockgen_testbench(self.process, self.period)
+            try:
+                sol = self._run(inject(tb, model))
+            except ConvergenceError:
+                outcomes.append((True, {CurrentMechanism.IDDQ}))
+                continue
+            mechanisms: Set[CurrentMechanism] = set()
+            if sol["iddq"] > good["iddq"] + self.iddq_floor:
+                mechanisms.add(CurrentMechanism.IDDQ)
+            vdd = self.process.vdd
+            alive = {}
+            degraded = False
+            for phase in CLOCK_PHASES:
+                high = sol["levels"][phase]
+                low = sol["lows"][phase]
+                alive[phase] = high > 0.7 * vdd and low < 0.3 * vdd
+                if alive[phase] and (abs(high - vdd) > 0.15 or
+                                     abs(low) > 0.15):
+                    degraded = True
+            voltage = propagate_clock_fault(alive, degraded)
+            outcomes.append((voltage, mechanisms))
+        outcomes.sort(key=lambda r: (len(r[1]), r[0]))
+        voltage, mechanisms = outcomes[0]
+        return DetectionRecord(count=fault_class.count,
+                               voltage_detected=voltage,
+                               mechanisms=frozenset(mechanisms),
+                               fault_type=fault_class.fault_type)
+
+    def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
+        return [self.simulate_class(fc) for fc in classes]
+
+
+# ---------------------------------------------------------------------------
+# bias generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BiasgenFaultEngine:
+    """DC + comparator-bank fault simulation of the bias generator.
+
+    A biasgen fault shifts vbn1/vbn2 for *every* comparator.  Each fault
+    class is DC-solved; when the bias lines move more than a dead-band
+    the comparator testbench is re-run with the faulty bias values to
+    judge the bank's behaviour and the (x256) supply-current shift.
+    """
+
+    process: Process = field(default_factory=typical)
+    dt: float = 1e-9
+    period: float = CLOCK_PERIOD
+    ivdd_window_halfwidth: float = 20e-3
+    #: bias shifts below this provably change nothing measurable
+    dead_band: float = 0.02
+
+    def __post_init__(self) -> None:
+        self._good: Optional[dict] = None
+
+    def _solve_bias(self, circuit) -> dict:
+        op = operating_point(circuit)
+        return {"vbn1": op.voltage("vbn1"), "vbn2": op.voltage("vbn2"),
+                "ivdd": -op.current("VDD")}
+
+    def _comparator_run(self, vbn1: float, vbn2: float, vin_offset: float
+                        ) -> dict:
+        tb = build_testbench(process=self.process,
+                             vin=2.5 + vin_offset, vref=2.5,
+                             period=self.period)
+        tb.circuit.element("VBN1S").value = vbn1
+        tb.circuit.element("VBN2S").value = vbn2
+        tr = transient(tb.circuit, tstop=self.period, dt=self.dt,
+                       fine_windows=regeneration_windows(self.period, 1))
+        times = phase_measure_times(self.period, 0)
+        ivdd = supply_current(tr, "VDD")
+        samples = [float(ivdd[int(np.argmin(np.abs(tr.times - t)))])
+                   for t in times]
+        decision = tr.at_time("ffout", 0.97 * self.period) > \
+            self.process.vdd / 2.0
+        return {"ivdd": samples, "decision": bool(decision)}
+
+    def good(self) -> dict:
+        if self._good is None:
+            bias = self._solve_bias(biasgen_testbench(self.process))
+            above = self._comparator_run(bias["vbn1"], bias["vbn2"], 0.1)
+            below = self._comparator_run(bias["vbn1"], bias["vbn2"],
+                                         -0.1)
+            self._good = {"bias": bias, "above": above, "below": below}
+        return self._good
+
+    def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
+        good = self.good()
+        fault = fault_class.representative
+        if isinstance(fault, NearMissShortFault):
+            variants = [near_miss_model(fault)]
+        else:
+            variants = fault_models(fault, process=self.process)
+        outcomes = []
+        for model in variants:
+            tb = biasgen_testbench(self.process)
+            try:
+                bias = self._solve_bias(inject(tb, model))
+            except ConvergenceError:
+                outcomes.append((True, {CurrentMechanism.IVDD}))
+                continue
+            mechanisms: Set[CurrentMechanism] = set()
+            d_own = bias["ivdd"] - good["bias"]["ivdd"]
+            shift = max(abs(bias["vbn1"] - good["bias"]["vbn1"]),
+                        abs(bias["vbn2"] - good["bias"]["vbn2"]))
+            if shift < self.dead_band:
+                if abs(d_own) > self.ivdd_window_halfwidth:
+                    mechanisms.add(CurrentMechanism.IVDD)
+                outcomes.append((False, mechanisms))
+                continue
+            try:
+                above = self._comparator_run(bias["vbn1"], bias["vbn2"],
+                                             0.1)
+                below = self._comparator_run(bias["vbn1"], bias["vbn2"],
+                                             -0.1)
+            except ConvergenceError:
+                outcomes.append((True, {CurrentMechanism.IVDD}))
+                continue
+            d_bank = max(
+                abs(256 * (a - g))
+                for a, g in zip(above["ivdd"] + below["ivdd"],
+                                good["above"]["ivdd"] +
+                                good["below"]["ivdd"]))
+            if d_bank + abs(d_own) > self.ivdd_window_halfwidth:
+                mechanisms.add(CurrentMechanism.IVDD)
+            behavior = ComparatorBehavior()
+            if above["decision"] == below["decision"]:
+                behavior = ComparatorBehavior(stuck=above["decision"])
+            elif above["decision"] is False:
+                behavior = ComparatorBehavior(mixed_band=0.2)
+            voltage = propagate_bank_behavior(behavior)
+            outcomes.append((voltage, mechanisms))
+        outcomes.sort(key=lambda r: (len(r[1]), r[0]))
+        voltage, mechanisms = outcomes[0]
+        return DetectionRecord(count=fault_class.count,
+                               voltage_detected=voltage,
+                               mechanisms=frozenset(mechanisms),
+                               fault_type=fault_class.fault_type)
+
+    def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
+        return [self.simulate_class(fc) for fc in classes]
+
+
+# ---------------------------------------------------------------------------
+# decoder (digital)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecoderFaultEngine:
+    """Digital fault analysis of the thermometer decoder.
+
+    Universe: bridging faults (the metallisation-short population, IDDQ
+    plus wired-AND logic detection) and a stuck-at sample (the open /
+    pinhole population, logic detection).  Vectors are exactly the 256
+    thermometer codes that the triangular missing-code stimulus applies.
+    """
+
+    netlist: Optional[LogicNetlist] = None
+    n_bridge_sample: int = 400
+    n_stuck_sample: int = 200
+    #: logic detection tries at most this many differing vectors per
+    #: fault (underestimates logic coverage slightly; documented)
+    max_logic_probes: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.netlist is None:
+            from ..adc.decoder import build_decoder
+            self.netlist = build_decoder(8)
+        self._vectors: Optional[List[Dict[str, bool]]] = None
+        self._values: Optional[List[Dict[str, bool]]] = None
+
+    def vectors(self) -> List[Dict[str, bool]]:
+        if self._vectors is None:
+            from ..adc.decoder import thermometer_vector
+            self._vectors = [thermometer_vector(code, 8)
+                             for code in range(256)]
+            self._values = [self.netlist.evaluate(v)
+                            for v in self._vectors]
+        return self._vectors
+
+    def _good_values(self) -> List[Dict[str, bool]]:
+        self.vectors()
+        return self._values
+
+    def run(self) -> Tuple[List[DetectionRecord], List[DetectionRecord]]:
+        """Returns (bridge_records, stuck_records)."""
+        rng = np.random.default_rng(self.seed)
+        vectors = self.vectors()
+        values = self._good_values()
+
+        bridges = neighbouring_bridges(self.netlist)
+        if len(bridges) > self.n_bridge_sample:
+            idx = rng.choice(len(bridges), self.n_bridge_sample,
+                             replace=False)
+            bridges = [bridges[int(i)] for i in sorted(idx)]
+        bridge_records = []
+        for bridge in bridges:
+            differing = [k for k, vals in enumerate(values)
+                         if vals[bridge.net_a] != vals[bridge.net_b]]
+            iddq_det = bool(differing)
+            logic_det = False
+            for k in differing[:self.max_logic_probes]:
+                if logic_detects_bridge(self.netlist, bridge,
+                                        vectors[k]):
+                    logic_det = True
+                    break
+            bridge_records.append(DetectionRecord(
+                count=1, voltage_detected=logic_det,
+                mechanisms=frozenset({CurrentMechanism.IDDQ})
+                if iddq_det else frozenset(),
+                fault_type="short"))
+
+        nets = sorted(self.netlist.nets())
+        stuck_universe = [StuckAtFault(net, value)
+                          for net in nets for value in (False, True)]
+        if len(stuck_universe) > self.n_stuck_sample:
+            idx = rng.choice(len(stuck_universe), self.n_stuck_sample,
+                             replace=False)
+            stuck_universe = [stuck_universe[int(i)]
+                              for i in sorted(idx)]
+        stuck_records = []
+        for fault in stuck_universe:
+            differing = [k for k, vals in enumerate(values)
+                         if vals.get(fault.net) != fault.value]
+            detected = False
+            for k in differing[:self.max_logic_probes]:
+                if detects_stuck_at(self.netlist, fault, vectors[k]):
+                    detected = True
+                    break
+            stuck_records.append(DetectionRecord(
+                count=1, voltage_detected=detected,
+                mechanisms=frozenset(), fault_type="open"))
+        return bridge_records, stuck_records

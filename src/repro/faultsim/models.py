@@ -1,0 +1,223 @@
+"""Circuit-level fault models (paper section 3.2).
+
+Each defect-simulator fault maps to a netlist transformation:
+
+* metal / poly / diffusion shorts -> bridge resistor with the layer's
+  material resistance (0.2 ohm metal; higher for poly and diffusion);
+* extra contacts -> 2 ohm bridge;
+* gate-oxide pinholes -> 2 kohm from the gate to source / drain /
+  channel — three model variants, of which the engine keeps the
+  worst-case (least detectable) signature, as the paper did;
+* junction and thick-oxide pinholes -> 2 kohm leaks;
+* opens -> the net is split according to the extracted terminal
+  partition; split-off islands get a 1 Gohm leak to ground (floating
+  nodes drift to a rail; taking them low is the standard worst case);
+* new devices -> the diffusion net is split and a minimum-size
+  transistor inserted across the split, its gate on the merged poly net
+  (or floating -> leaked to ground);
+* shorted devices -> a resistor across the transistor channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuit.elements import Capacitor, Resistor
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit, CircuitError
+from ..defects.faults import (ExtraContactFault, Fault,
+                              GateOxidePinholeFault, JunctionPinholeFault,
+                              NewDeviceFault, OpenFault, ShortFault,
+                              ShortedDeviceFault, ThickOxidePinholeFault)
+from ..layout.layers import (EXTRA_CONTACT_RESISTANCE, PINHOLE_RESISTANCE,
+                             SHORTED_DEVICE_RESISTANCE)
+
+#: leak tying split-off (floating) islands to ground
+FLOAT_LEAK_RESISTANCE = 1e9
+#: minimum-size parasitic device dimensions
+MIN_DEVICE_W = 2e-6
+MIN_DEVICE_L = 1e-6
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One injectable model variant for a fault.
+
+    Attributes:
+        name: unique variant label (e.g. ``"gate_pinhole:M1:source"``).
+        apply: callable mutating a (copied) circuit in place.
+    """
+
+    name: str
+    apply: Callable[[Circuit], None]
+
+
+class ModelError(Exception):
+    """Fault cannot be modelled against the given netlist."""
+
+
+def fault_models(fault: Fault, process=None) -> List[FaultModel]:
+    """Model variants for *fault* (usually one; three for gate
+    pinholes)."""
+    if isinstance(fault, ShortFault):
+        return [_bridge_model(f"short:{'-'.join(sorted(fault.nets))}",
+                              sorted(fault.nets), fault.resistance)]
+    if isinstance(fault, ExtraContactFault):
+        return [_bridge_model(
+            f"extra_contact:{'-'.join(sorted(fault.nets))}",
+            sorted(fault.nets), EXTRA_CONTACT_RESISTANCE)]
+    if isinstance(fault, ThickOxidePinholeFault):
+        return [_bridge_model(
+            f"thick_pinhole:{'-'.join(sorted(fault.nets))}",
+            sorted(fault.nets), PINHOLE_RESISTANCE)]
+    if isinstance(fault, JunctionPinholeFault):
+        return [_bridge_model(
+            f"junction_pinhole:{fault.net}-{fault.bulk_net}",
+            [fault.net, fault.bulk_net], PINHOLE_RESISTANCE)]
+    if isinstance(fault, GateOxidePinholeFault):
+        return _gate_pinhole_models(fault)
+    if isinstance(fault, ShortedDeviceFault):
+        return [_shorted_device_model(fault)]
+    if isinstance(fault, OpenFault):
+        return [_open_model(fault)]
+    if isinstance(fault, NewDeviceFault):
+        return [_new_device_model(fault, process)]
+    raise ModelError(f"no model for fault type {type(fault).__name__}")
+
+
+# -- bridges -----------------------------------------------------------------
+
+
+def _bridge_model(name: str, nets: List[str], resistance: float
+                  ) -> FaultModel:
+    def apply(circuit: Circuit) -> None:
+        # chain of bridge resistors covers multi-net shorts
+        for k, (a, b) in enumerate(zip(nets, nets[1:])):
+            circuit.add(Resistor(f"FLT_{name}_{k}", a, b, resistance))
+    return FaultModel(name=name, apply=apply)
+
+
+# -- gate pinholes --------------------------------------------------------------
+
+
+def _gate_pinhole_models(fault: GateOxidePinholeFault) -> List[FaultModel]:
+    device = fault.device
+
+    def to_terminal(terminal_index: int, label: str):
+        def apply(circuit: Circuit) -> None:
+            m = _device(circuit, device)
+            gate = m.nodes[1]
+            other = m.nodes[terminal_index]
+            circuit.add(Resistor(f"FLT_gp_{device}_{label}", gate, other,
+                                 PINHOLE_RESISTANCE))
+        return apply
+
+    def to_channel(circuit: Circuit) -> None:
+        m = _device(circuit, device)
+        gate, drain, source = m.nodes[1], m.nodes[0], m.nodes[2]
+        mid = f"{device}__pinhole_ch"
+        circuit.add(Resistor(f"FLT_gp_{device}_ch", gate, mid,
+                             PINHOLE_RESISTANCE))
+        # the channel point sits resistively between source and drain
+        circuit.add(Resistor(f"FLT_gp_{device}_chs", mid, source, 500.0))
+        circuit.add(Resistor(f"FLT_gp_{device}_chd", mid, drain, 500.0))
+
+    return [
+        FaultModel(f"gate_pinhole:{device}:source", to_terminal(2, "s")),
+        FaultModel(f"gate_pinhole:{device}:drain", to_terminal(0, "d")),
+        FaultModel(f"gate_pinhole:{device}:channel", to_channel),
+    ]
+
+
+def _shorted_device_model(fault: ShortedDeviceFault) -> FaultModel:
+    def apply(circuit: Circuit) -> None:
+        m = _device(circuit, fault.device)
+        circuit.add(Resistor(f"FLT_sd_{fault.device}", m.nodes[0],
+                             m.nodes[2], SHORTED_DEVICE_RESISTANCE))
+    return FaultModel(name=f"shorted_device:{fault.device}", apply=apply)
+
+
+# -- opens and new devices ---------------------------------------------------------
+
+
+def _split_net(circuit: Circuit, net: str, partition, name: str
+               ) -> List[str]:
+    """Rewire the net according to the terminal partition.
+
+    The island containing a port anchor (or, failing that, the largest
+    island) keeps the original net name; every other island moves to a
+    fresh node with a leak to ground.
+
+    Returns:
+        The new island node names.
+    """
+    groups = sorted(partition, key=lambda g: (-len(g), sorted(g)))
+    keep = next((g for g in groups
+                 if any(label.startswith("port:") for label in g)),
+                groups[0])
+    new_nodes = []
+    for idx, group in enumerate(g for g in groups if g is not keep):
+        new_node = f"{net}__{name}{idx}"
+        new_nodes.append(new_node)
+        for label in sorted(group):
+            device, _, terminal = label.partition(":")
+            if device.startswith("port:"):
+                continue
+            try:
+                circuit.rename_terminal(device, int(terminal), new_node)
+            except CircuitError:
+                # the defect universe comes from the layout, which may
+                # contain anchors absent from this testbench variant
+                continue
+        circuit.add(Resistor(f"FLT_leak_{new_node}", new_node, "gnd",
+                             FLOAT_LEAK_RESISTANCE))
+    if not circuit.elements_on_node(net):
+        # every device terminal moved off the net (the kept island was
+        # a port-only stub): keep the node alive as a floating stub so
+        # circuit-edge measurements of it remain well-defined
+        circuit.add(Resistor(f"FLT_leak_{net}__stub", net, "gnd",
+                             FLOAT_LEAK_RESISTANCE))
+    return new_nodes
+
+
+def _open_model(fault: OpenFault) -> FaultModel:
+    def apply(circuit: Circuit) -> None:
+        _split_net(circuit, fault.net, fault.partition, "open")
+    return FaultModel(
+        name=f"open:{fault.net}:{len(fault.partition)}way", apply=apply)
+
+
+def _new_device_model(fault: NewDeviceFault, process=None) -> FaultModel:
+    from ..adc.process import typical
+
+    def apply(circuit: Circuit) -> None:
+        p = process or typical()
+        islands = _split_net(circuit, fault.net, fault.partition, "nd")
+        if not islands:
+            return
+        gate = fault.gate_net
+        if gate is None:
+            gate = f"{fault.net}__ndgate"
+            circuit.add(Resistor(f"FLT_ndgate_{fault.net}", gate, "gnd",
+                                 FLOAT_LEAK_RESISTANCE))
+        params = p.nmos if fault.polarity == "n" else p.pmos
+        bulk = "gnd" if fault.polarity == "n" else "vdd"
+        circuit.add(Mosfet(f"FLT_nd_{fault.net}", fault.net, gate,
+                           islands[0], bulk, params, w=MIN_DEVICE_W,
+                           l=MIN_DEVICE_L, polarity=fault.polarity))
+    return FaultModel(name=f"new_device:{fault.net}", apply=apply)
+
+
+def _device(circuit: Circuit, name: str) -> Mosfet:
+    element = circuit.element(name)
+    if not isinstance(element, Mosfet):
+        raise ModelError(f"{name!r} is not a MOSFET")
+    return element
+
+
+def inject(circuit: Circuit, model: FaultModel) -> Circuit:
+    """Return a faulty copy of *circuit* with the model applied."""
+    faulty = circuit.copy()
+    model.apply(faulty)
+    return faulty

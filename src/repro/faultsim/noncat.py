@@ -1,0 +1,77 @@
+"""Non-catastrophic ("near miss") fault derivation.
+
+Paper section 3.2: non-catastrophic faults are evolved from the
+catastrophic shorts and extra contacts — a defect that *almost* bridges
+two conductors behaves as a high-ohmic, slightly capacitive connection,
+modelled as 500 ohm in parallel with 1 fF.  The other catastrophic fault
+types are already high-ohmic and are not evolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from ..circuit.elements import Capacitor, Resistor
+from ..circuit.netlist import Circuit
+from ..defects.collapse import FaultClass
+from ..defects.faults import ExtraContactFault, Fault, ShortFault
+from ..layout.layers import NEAR_MISS_CAPACITANCE, NEAR_MISS_RESISTANCE
+from .models import FaultModel
+
+
+@dataclass(frozen=True)
+class NearMissShortFault(Fault):
+    """High-ohmic near-miss bridge between nets (non-catastrophic)."""
+
+    nets: FrozenSet[str]
+
+    @property
+    def fault_type(self) -> str:
+        return "near_miss_short"
+
+    def collapse_key(self) -> Tuple:
+        return ("near_miss_short", tuple(sorted(self.nets)))
+
+    def __str__(self) -> str:
+        return f"near_miss_short({','.join(sorted(self.nets))})"
+
+
+def derive_noncatastrophic(classes: List[FaultClass]) -> List[FaultClass]:
+    """Evolve near-miss fault classes from catastrophic bridge classes.
+
+    Each short / extra-contact class spawns one near-miss class with the
+    same magnitude (the likelihood of almost-bridging tracks the
+    likelihood of bridging).
+    """
+    derived = {}
+    for fc in classes:
+        fault = fc.representative
+        if isinstance(fault, (ShortFault, ExtraContactFault)):
+            near = NearMissShortFault(nets=fault.nets)
+            key = near.collapse_key()
+            if key in derived:
+                derived[key] = FaultClass(
+                    representative=derived[key].representative,
+                    count=derived[key].count + fc.count)
+            else:
+                derived[key] = FaultClass(representative=near,
+                                          count=fc.count)
+    result = list(derived.values())
+    result.sort(key=lambda fc: (-fc.count,
+                                fc.representative.collapse_key()))
+    return result
+
+
+def near_miss_model(fault: NearMissShortFault) -> FaultModel:
+    """500 ohm || 1 fF bridge chain over the fault's nets."""
+    nets = sorted(fault.nets)
+
+    def apply(circuit: Circuit) -> None:
+        for k, (a, b) in enumerate(zip(nets, nets[1:])):
+            circuit.add(Resistor(f"FLT_nm_r_{k}_{a}_{b}", a, b,
+                                 NEAR_MISS_RESISTANCE))
+            circuit.add(Capacitor(f"FLT_nm_c_{k}_{a}_{b}", a, b,
+                                  NEAR_MISS_CAPACITANCE))
+
+    return FaultModel(name=f"near_miss:{'-'.join(nets)}", apply=apply)

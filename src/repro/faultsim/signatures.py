@@ -1,0 +1,153 @@
+"""Fault signatures: what a fault looks like at the macro boundary.
+
+Voltage signatures (paper Table 2): Output Stuck-At, Offset (> 8 mV),
+Mixed, Clock value, No deviation.  Current signatures (paper Table 3):
+IVdd, IDDQ (clock generator), Iinput, No deviation — a fault can carry
+several current signatures at once (the table's percentages overlap).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+
+class VoltageSignature(enum.Enum):
+    """Macro-level voltage-domain fault signature."""
+
+    OUTPUT_STUCK_AT = "output_stuck_at"
+    OFFSET = "offset"
+    MIXED = "mixed"
+    CLOCK_VALUE = "clock_value"
+    NONE = "no_deviation"
+
+
+class CurrentMechanism(enum.Enum):
+    """Current-based detection mechanisms."""
+
+    IVDD = "ivdd"
+    IDDQ = "iddq"
+    IINPUT = "iinput"
+
+
+#: phase labels in measurement order
+PHASES = ("sampling", "amplification", "latching")
+#: input polarities: analog input above / below the reference
+POLARITIES = ("above", "below")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Quiescent measurements from one comparator transient.
+
+    All current arrays are indexed by phase (sampling, amplification,
+    latching).
+
+    Attributes:
+        decision: flipflop output decision (True = input above ref).
+        ivdd: analog supply current per phase.
+        iddq: clock-generator loading per phase (sum of clock-driver
+            magnitudes — the clock generator's quiescent current).
+        iin: analog input terminal current per phase.
+        ivref: reference terminal current per phase.
+        ibias: bias-line loading per phase (folds into IVdd at chip
+            level: the bias generator draws it from the supply).
+        clock_deviation: worst deviation of any clock line from its
+            nominal level in any phase (volts).
+        resolved: False when the simulation failed to converge (the
+            fault breaks the circuit hard); measurements are zeros.
+    """
+
+    decision: bool
+    ivdd: Tuple[float, float, float]
+    iddq: Tuple[float, float, float]
+    iin: Tuple[float, float, float]
+    ivref: Tuple[float, float, float]
+    ibias: Tuple[float, float, float]
+    clock_deviation: float
+    resolved: bool = True
+
+
+@dataclass(frozen=True)
+class SignatureResult:
+    """Complete macro-level signature of one fault model variant.
+
+    Attributes:
+        voltage: the voltage-domain signature category.
+        offset_sign: +1 / -1 for OFFSET signatures (which side trips).
+        mechanisms: current mechanisms that flag the fault.
+        measurements: polarity -> Measurement (the "above"/"below" runs).
+        violated_keys: the individual (quantity, phase, polarity)
+            measurements that escape the good space — the fine-grained
+            view the test-plan optimizer consumes.
+        unresolved: simulation could not converge for some run.
+    """
+
+    voltage: VoltageSignature
+    offset_sign: int
+    mechanisms: FrozenSet[CurrentMechanism]
+    measurements: Dict[str, Measurement]
+    violated_keys: FrozenSet[Tuple[str, str, str]] = frozenset()
+    unresolved: bool = False
+
+    def detectability_rank(self) -> Tuple[int, int]:
+        """Orders variants from hardest to easiest to detect.
+
+        Used for the paper's worst-case gate-pinhole variant choice:
+        fewer current mechanisms first, then weaker voltage signature.
+        """
+        voltage_rank = {
+            VoltageSignature.NONE: 0,
+            VoltageSignature.CLOCK_VALUE: 1,
+            VoltageSignature.MIXED: 2,
+            VoltageSignature.OFFSET: 3,
+            VoltageSignature.OUTPUT_STUCK_AT: 4,
+        }
+        return (len(self.mechanisms), voltage_rank[self.voltage])
+
+
+#: clock-line deviation beyond which the 'clock value' signature applies
+CLOCK_DEVIATION_THRESHOLD = 0.15
+#: the paper's offset threshold: one LSB of the 8-bit, 2-V-range ADC
+OFFSET_THRESHOLD = 8e-3
+
+
+def classify_voltage(decision_above_big: bool, decision_below_big: bool,
+                     decision_above_small: Optional[bool],
+                     decision_below_small: Optional[bool],
+                     clock_deviation: float) -> Tuple[VoltageSignature,
+                                                      int]:
+    """Derive the voltage signature from probe decisions.
+
+    Args:
+        decision_above_big / below_big: decisions for inputs well above
+            and well below the reference (+/- 100 mV).
+        decision_above_small / below_small: decisions for inputs just
+            above / below the reference (+/- 8 mV); None when the big
+            probes already settle the classification.
+        clock_deviation: worst clock-line deviation (volts).
+
+    Returns:
+        ``(signature, offset_sign)``.
+    """
+    if decision_above_big == decision_below_big:
+        return VoltageSignature.OUTPUT_STUCK_AT, 0
+    if decision_above_big is False and decision_below_big is True:
+        return VoltageSignature.MIXED, 0
+    # big probes correct; consult the small probes
+    above_ok = decision_above_small is True
+    below_ok = decision_below_small is False
+    if above_ok and below_ok:
+        if clock_deviation > CLOCK_DEVIATION_THRESHOLD:
+            return VoltageSignature.CLOCK_VALUE, 0
+        return VoltageSignature.NONE, 0
+    if above_ok != below_ok:
+        # trip point displaced beyond +/- 8 mV: an offset fault.  The
+        # "below" probe tripping True means the decision fires early ->
+        # positive input-referred offset; the "above" probe failing means
+        # it fires late -> negative offset.
+        return VoltageSignature.OFFSET, (+1 if above_ok else -1)
+    return VoltageSignature.MIXED, 0

@@ -1,0 +1,36 @@
+"""Layout substrate: geometry, layer stack, cells, extraction, synthesis.
+
+Public API: :class:`Rect`, :class:`Disk`, :class:`Shape`,
+:class:`LayoutCell`, :class:`DeviceInfo`, :func:`synthesize`,
+:func:`verify_cell`, :func:`net_partition_without`.
+"""
+
+from .cell import DeviceInfo, LayoutCell, Shape
+from .extract import (UnionFind, connected_components, extract_nets,
+                      net_partition_without, verify_cell)
+from .geometry import (Disk, Rect, bounding_box, disk_cuts_rect,
+                       disk_intersects_rect, total_area)
+from .drc import (DrcViolation, check_spacing, check_widths, drc_report,
+                  rect_distance)
+from .index import SpatialIndex
+from .render import cell_statistics, render_cell, statistics_report
+from .layers import (CUT_CONNECTS, EXTRA_CONTACT_RESISTANCE,
+                     EXTRA_MATERIAL_LAYERS, LAYERS,
+                     MISSING_MATERIAL_LAYERS, NEAR_MISS_CAPACITANCE,
+                     NEAR_MISS_RESISTANCE, PINHOLE_RESISTANCE,
+                     SHORTED_DEVICE_RESISTANCE, Layer, layer)
+from .synth import SynthOptions, synthesize
+
+__all__ = [
+    "DeviceInfo", "LayoutCell", "Shape", "UnionFind",
+    "connected_components", "extract_nets", "net_partition_without",
+    "verify_cell", "Disk", "Rect", "bounding_box", "disk_cuts_rect",
+    "disk_intersects_rect", "total_area", "CUT_CONNECTS",
+    "EXTRA_CONTACT_RESISTANCE", "EXTRA_MATERIAL_LAYERS", "LAYERS",
+    "MISSING_MATERIAL_LAYERS", "NEAR_MISS_CAPACITANCE",
+    "NEAR_MISS_RESISTANCE", "PINHOLE_RESISTANCE",
+    "SHORTED_DEVICE_RESISTANCE", "Layer", "layer", "SynthOptions",
+    "synthesize", "SpatialIndex", "cell_statistics", "render_cell",
+    "statistics_report", "DrcViolation", "check_spacing",
+    "check_widths", "drc_report", "rect_distance",
+]

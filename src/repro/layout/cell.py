@@ -1,0 +1,131 @@
+"""Layout cell: net- and device-tagged shapes.
+
+A :class:`LayoutCell` is the defect simulator's world model: every shape
+knows its layer, the net it implements and (optionally) the device it
+belongs to, so a spot defect can be translated directly into a
+circuit-level fault (which nets are bridged, which wire is cut, which
+transistor's gate oxide is punctured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .geometry import Rect, bounding_box
+from .layers import layer as lookup_layer
+
+
+@dataclass(frozen=True)
+class Shape:
+    """One rectangle of layout.
+
+    Attributes:
+        rect: geometry in um.
+        layer: layer name (must exist in the layer stack).
+        net: electrical net the shape implements.
+        device: owning device name, or None for routing.
+        purpose: ``"wire"``, ``"gate"``, ``"sd"`` (source/drain
+            diffusion), ``"cut"`` (contact/via), ``"plate"``
+            (capacitor/resistor body).
+    """
+
+    rect: Rect
+    layer: str
+    net: str
+    device: Optional[str] = None
+    purpose: str = "wire"
+
+    def __post_init__(self) -> None:
+        lookup_layer(self.layer)  # validates
+
+
+@dataclass(frozen=True)
+class DeviceInfo:
+    """Electrical identity of a layout device.
+
+    Attributes:
+        name: netlist element name.
+        kind: ``"mosfet"``, ``"resistor"`` or ``"capacitor"``.
+        terminals: terminal nets in netlist order (mosfet: d, g, s, b).
+        polarity: ``"n"``/``"p"`` for mosfets, "" otherwise.
+        gate_rect: the gate region (mosfets only).
+    """
+
+    name: str
+    kind: str
+    terminals: Tuple[str, ...]
+    polarity: str = ""
+    gate_rect: Optional[Rect] = None
+
+
+class LayoutCell:
+    """Shapes plus device metadata for one macro cell."""
+
+    def __init__(self, name: str, bulk_nets: Optional[Dict[str, str]] = None
+                 ) -> None:
+        self.name = name
+        self.shapes: List[Shape] = []
+        self.devices: Dict[str, DeviceInfo] = {}
+        #: substrate/well net per diffusion layer (junction pinhole target)
+        self.bulk_nets: Dict[str, str] = dict(
+            bulk_nets or {"ndiff": "gnd", "pdiff": "vdd"})
+        #: nets that physically traverse the cell (clock/bias/supply
+        #: distribution) — faults on them disturb other macros too
+        self.global_nets: List[str] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_shape(self, shape: Shape) -> Shape:
+        self.shapes.append(shape)
+        return shape
+
+    def add_rect(self, rect: Rect, layer: str, net: str,
+                 device: Optional[str] = None,
+                 purpose: str = "wire") -> Shape:
+        """Convenience wrapper building and adding a :class:`Shape`."""
+        return self.add_shape(Shape(rect=rect, layer=layer, net=net,
+                                    device=device, purpose=purpose))
+
+    def add_device(self, info: DeviceInfo) -> DeviceInfo:
+        if info.name in self.devices:
+            raise ValueError(f"duplicate device {info.name!r}")
+        self.devices[info.name] = info
+        return info
+
+    # -- queries -------------------------------------------------------------
+
+    def bbox(self) -> Rect:
+        """Cell bounding box.
+
+        Raises:
+            ValueError: for an empty cell.
+        """
+        return bounding_box(s.rect for s in self.shapes)
+
+    def area(self) -> float:
+        """Cell area (bounding-box area, the defect-density measure)."""
+        return self.bbox().area
+
+    def shapes_on(self, layer: str) -> List[Shape]:
+        """Shapes on a given layer."""
+        return [s for s in self.shapes if s.layer == layer]
+
+    def layer_area(self, layer: str) -> float:
+        """Total drawn area on a layer (for pinhole statistics)."""
+        return sum(s.rect.area for s in self.shapes_on(layer))
+
+    def nets(self) -> List[str]:
+        """All nets with at least one shape, sorted."""
+        return sorted({s.net for s in self.shapes})
+
+    def shapes_of_net(self, net: str) -> List[Shape]:
+        return [s for s in self.shapes if s.net == net]
+
+    def gate_shapes(self) -> List[Shape]:
+        """All transistor gate regions."""
+        return [s for s in self.shapes if s.purpose == "gate"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LayoutCell({self.name!r}, {len(self.shapes)} shapes, "
+                f"{len(self.devices)} devices)")

@@ -1,0 +1,176 @@
+"""Connectivity extraction over layout shapes.
+
+Two uses:
+
+1. **Layout verification** — after synthesis, check that the shapes of
+   each net form one electrically connected component and that no two
+   nets touch (the synthesiser must produce LVS-clean layout, otherwise
+   defect analysis would report phantom faults).
+2. **Open-fault analysis** — when a missing-material defect cuts a shape,
+   re-extract that net without the cut shape and report how the net's
+   terminal attachments partition into disconnected groups.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cell import LayoutCell, Shape
+from .layers import CUT_CONNECTS
+
+
+class UnionFind:
+    """Classic disjoint-set with path compression."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        while self.parent[a] != a:
+            self.parent[a] = self.parent[self.parent[a]]
+            a = self.parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def groups(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = defaultdict(list)
+        for k in range(len(self.parent)):
+            out[self.find(k)].append(k)
+        return dict(out)
+
+
+def _shapes_connect(a: Shape, b: Shape) -> bool:
+    """Electrical connection between two overlapping shapes."""
+    if not a.rect.intersects(b.rect):
+        return False
+    if a.layer == b.layer and a.layer not in CUT_CONNECTS:
+        return True
+    # cut layers connect the layers they are allowed to connect
+    for cut, conductors in CUT_CONNECTS.items():
+        if a.layer == cut and b.layer in conductors:
+            return True
+        if b.layer == cut and a.layer in conductors:
+            return True
+    # poly over diffusion is a gate (a capacitor, not a connection), and
+    # unrelated layer overlaps (metal1 over poly without contact) are
+    # isolated by oxide.
+    return False
+
+
+def connected_components(shapes: Sequence[Shape]) -> List[Set[int]]:
+    """Group shape indices into electrically connected components."""
+    uf = UnionFind(len(shapes))
+    for i in range(len(shapes)):
+        for j in range(i + 1, len(shapes)):
+            if _shapes_connect(shapes[i], shapes[j]):
+                uf.union(i, j)
+    return [set(members) for members in uf.groups().values()]
+
+
+def extract_nets(cell: LayoutCell) -> List[Set[int]]:
+    """Connected components over all shapes of the cell."""
+    return connected_components(cell.shapes)
+
+
+def verify_cell(cell: LayoutCell) -> List[str]:
+    """LVS-style checks; returns a list of human-readable violations.
+
+    Checks that every net's shapes are fully connected and that no
+    component mixes nets (i.e. no unintended bridges in the drawn
+    layout).  Gate markers and device plates are excluded: a gate region
+    overlaps poly and diffusion by construction, and a resistor's two
+    half-bodies abut (they are the resistive path itself).
+    """
+    violations: List[str] = []
+    shapes = [s for s in cell.shapes if s.purpose not in ("gate", "plate")]
+    components = connected_components(shapes)
+    comp_of_shape: Dict[int, int] = {}
+    for ci, members in enumerate(components):
+        for m in members:
+            comp_of_shape[m] = ci
+
+    nets_in_comp: Dict[int, Set[str]] = defaultdict(set)
+    comps_of_net: Dict[str, Set[int]] = defaultdict(set)
+    for idx, shape in enumerate(shapes):
+        ci = comp_of_shape[idx]
+        nets_in_comp[ci].add(shape.net)
+        comps_of_net[shape.net].add(ci)
+
+    for ci, nets in sorted(nets_in_comp.items()):
+        if len(nets) > 1:
+            violations.append(
+                f"short in drawn layout: component {ci} carries nets "
+                f"{sorted(nets)}")
+    for net, comps in sorted(comps_of_net.items()):
+        if len(comps) > 1:
+            violations.append(
+                f"open in drawn layout: net {net!r} split into "
+                f"{len(comps)} islands")
+    return violations
+
+
+def net_partition_without(cell: LayoutCell, net: str,
+                          removed: Iterable[Shape]
+                          ) -> List[FrozenSet[str]]:
+    """Partition of a net's device terminals after removing shapes.
+
+    Used for open-fault analysis: remove the defect-cut shape(s) from the
+    net, recompute connectivity among the remaining shapes, and group the
+    net's *terminal attachments* (device names + terminal indices) by
+    island.
+
+    Returns:
+        A list of frozensets of attachment labels ``"device:tindex"``.
+        Length 1 means the net survived (redundant routing); length >= 2
+        is a true open.
+    """
+    removed_ids = {id(s) for s in removed}
+    remaining = [s for s in cell.shapes_of_net(net)
+                 if id(s) not in removed_ids and s.purpose != "gate"]
+    components = connected_components(remaining)
+
+    # attachment points: where does each device terminal touch the net?
+    attachments: List[Tuple[str, int]] = []  # (label, shape index)
+    labels: List[str] = []
+    for dev in cell.devices.values():
+        for t_index, t_net in enumerate(dev.terminals):
+            if t_net != net:
+                continue
+            if dev.kind == "mosfet" and t_index == 3:
+                # bulk connects through the substrate/well, not drawn
+                # wiring: it cannot be opened by a missing-material spot
+                continue
+            label = f"{dev.name}:{t_index}"
+            anchor = _attachment_shape(remaining, dev.name)
+            labels.append(label)
+            attachments.append((label, anchor))
+
+    groups: Dict[int, Set[str]] = defaultdict(set)
+    orphans: Set[str] = set()
+    comp_of_shape = {}
+    for ci, members in enumerate(components):
+        for m in members:
+            comp_of_shape[m] = ci
+    for label, anchor in attachments:
+        if anchor is None:
+            orphans.add(label)
+        else:
+            groups[comp_of_shape[anchor]].add(label)
+    partition = [frozenset(g) for g in groups.values()]
+    for orphan in sorted(orphans):
+        partition.append(frozenset([orphan]))
+    return partition
+
+
+def _attachment_shape(shapes: Sequence[Shape], device: str
+                      ) -> Optional[int]:
+    """Index of a device-owned shape in *shapes* (its terminal anchor)."""
+    for idx, s in enumerate(shapes):
+        if s.device == device:
+            return idx
+    return None

@@ -1,0 +1,147 @@
+"""Planar geometry primitives for layout and spot defects.
+
+All coordinates are in micrometres.  Spot defects are modelled as disks
+(the standard VLASIC abstraction); layout features are axis-aligned
+rectangles.  The two predicates that drive fault extraction are:
+
+* :func:`disk_intersects_rect` — an extra-material defect *bridges* every
+  feature it touches;
+* :func:`disk_cuts_rect` — a missing-material defect *opens* a wire only
+  if it spans the wire's full width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle with x0 <= x1, y0 <= y1."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"malformed rect {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the rectangles overlap (shared edges count)."""
+        return not (self.x1 < other.x0 or other.x1 < self.x0 or
+                    self.y1 < other.y0 or other.y1 < self.y0)
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Overlap rectangle, or None when disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 < x0 or y1 < y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by *margin* on every side."""
+        return Rect(self.x0 - margin, self.y0 - margin,
+                    self.x1 + margin, self.y1 + margin)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(min(self.x0, other.x0), min(self.y0, other.y0),
+                    max(self.x1, other.x1), max(self.y1, other.y1))
+
+
+@dataclass(frozen=True)
+class Disk:
+    """A circular spot defect."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("defect radius must be positive")
+
+    @property
+    def diameter(self) -> float:
+        return 2.0 * self.radius
+
+
+def disk_intersects_rect(disk: Disk, rect: Rect) -> bool:
+    """True if the disk and rectangle share any area."""
+    nx = min(max(disk.cx, rect.x0), rect.x1)
+    ny = min(max(disk.cy, rect.y0), rect.y1)
+    dx = disk.cx - nx
+    dy = disk.cy - ny
+    return dx * dx + dy * dy <= disk.radius * disk.radius
+
+
+def disk_cuts_rect(disk: Disk, rect: Rect) -> bool:
+    """True if the disk severs the rectangle across its narrow dimension.
+
+    A missing-material defect breaks a wire only when it spans the full
+    width; we test whether the disk's chord across the wire covers the
+    wire's cross-section.  The wire's long axis is taken from its aspect
+    ratio; square-ish features (contacts, vias) are cut whenever the disk
+    covers their centre and diameter exceeds their smaller side.
+    """
+    if not disk_intersects_rect(disk, rect):
+        return False
+    if rect.width >= rect.height:
+        # horizontal wire: must cover [y0, y1] at some x within the wire
+        span = rect.height
+        offset = _chord_coverage(disk.cy, disk.radius, rect.y0, rect.y1)
+        across = offset
+        along_ok = rect.x0 - disk.radius <= disk.cx <= rect.x1 + disk.radius
+    else:
+        span = rect.width
+        across = _chord_coverage(disk.cx, disk.radius, rect.x0, rect.x1)
+        along_ok = rect.y0 - disk.radius <= disk.cy <= rect.y1 + disk.radius
+    return across and along_ok and disk.diameter >= span
+
+
+def _chord_coverage(centre: float, radius: float, lo: float,
+                    hi: float) -> bool:
+    """Does [centre - r, centre + r] cover [lo, hi]?"""
+    return centre - radius <= lo and centre + radius >= hi
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Bounding box of a non-empty rectangle collection."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box of empty collection")
+    box = rects[0]
+    for r in rects[1:]:
+        box = box.union_bbox(r)
+    return box
+
+
+def total_area(rects: Iterable[Rect]) -> float:
+    """Sum of rectangle areas (overlaps counted twice — adequate for the
+    sparse, mostly non-overlapping shapes our synthesiser emits)."""
+    return sum(r.area for r in rects)

@@ -1,0 +1,93 @@
+"""Process layer stack for a 1-um-class CMOS process (circa 1994).
+
+Layer electrical properties feed the circuit-level fault models: the
+resistance of an extra-material bridge depends on the layer's sheet
+resistance (the paper: 0.2 ohm for metal shorts, higher for polysilicon
+and diffusion; the exact poly/diffusion values are garbled in the source
+text, so we use representative sheet-resistance-derived values and record
+them in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A conducting (or cut) layout layer.
+
+    Attributes:
+        name: canonical layer name.
+        conductor: True for wiring layers that extra material can bridge.
+        short_resistance: resistance of an extra-material bridge on this
+            layer (ohms).
+        min_width, min_space: design rules in um (drive the synthesiser).
+    """
+
+    name: str
+    conductor: bool
+    short_resistance: float
+    min_width: float
+    min_space: float
+
+
+# Conductors.  Short resistances: metal 0.2 ohm (paper), polysilicon 50
+# ohm and diffusion 100 ohm (paper values garbled; chosen from typical
+# sheet resistances: ~25-50 ohm/sq poly, ~50-100 ohm/sq diffusion).
+METAL1 = Layer("metal1", True, 0.2, min_width=1.2, min_space=1.2)
+METAL2 = Layer("metal2", True, 0.2, min_width=1.4, min_space=1.4)
+POLY = Layer("poly", True, 50.0, min_width=1.0, min_space=1.2)
+NDIFF = Layer("ndiff", True, 100.0, min_width=1.6, min_space=1.6)
+PDIFF = Layer("pdiff", True, 100.0, min_width=1.6, min_space=1.6)
+
+# Cut layers.
+CONTACT = Layer("contact", False, 2.0, min_width=1.0, min_space=1.2)
+VIA = Layer("via", False, 2.0, min_width=1.0, min_space=1.2)
+
+# Derived / marker layers (not conductors by themselves).
+GATE = Layer("gate", False, 0.0, min_width=1.0, min_space=1.2)
+WELL = Layer("nwell", False, 0.0, min_width=4.0, min_space=4.0)
+
+LAYERS: Dict[str, Layer] = {
+    layer.name: layer
+    for layer in (METAL1, METAL2, POLY, NDIFF, PDIFF, CONTACT, VIA, GATE,
+                  WELL)
+}
+
+#: layers an extra-material spot defect can occur on
+EXTRA_MATERIAL_LAYERS: Tuple[str, ...] = (
+    "metal1", "metal2", "poly", "ndiff", "pdiff")
+
+#: layers a missing-material spot defect can occur on
+MISSING_MATERIAL_LAYERS: Tuple[str, ...] = (
+    "metal1", "metal2", "poly", "ndiff", "pdiff", "contact", "via")
+
+#: which conducting layers a contact/via cut connects
+CUT_CONNECTS: Dict[str, Tuple[str, ...]] = {
+    "contact": ("metal1", "poly", "ndiff", "pdiff"),
+    "via": ("metal1", "metal2"),
+}
+
+#: fault-model resistances (ohms) for pinhole mechanisms (paper values)
+PINHOLE_RESISTANCE = 2000.0
+EXTRA_CONTACT_RESISTANCE = 2.0
+#: drain-source resistance of a "shorted device" (paper value garbled;
+#: a punched-through / poly-bridged channel is a few hundred ohms)
+SHORTED_DEVICE_RESISTANCE = 1000.0
+#: near-miss (non-catastrophic) short model: 500 ohm in parallel with 1 fF
+NEAR_MISS_RESISTANCE = 500.0
+NEAR_MISS_CAPACITANCE = 1e-15
+
+
+def layer(name: str) -> Layer:
+    """Look up a layer by name.
+
+    Raises:
+        KeyError: unknown layer, message lists the stack.
+    """
+    try:
+        return LAYERS[name]
+    except KeyError:
+        raise KeyError(f"unknown layer {name!r}; known: {sorted(LAYERS)}")

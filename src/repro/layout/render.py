@@ -1,0 +1,124 @@
+"""Layout rendering and statistics.
+
+ASCII rendering of layout cells (for documentation, debugging and the
+examples) plus per-cell statistics reports.  Layers are drawn bottom-up
+with one character each, so upper layers overprint lower ones — crude,
+but it makes routing order and adjacency (the things that drive the
+bridging-fault statistics) visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .cell import LayoutCell
+from .geometry import Rect
+
+#: draw order (bottom first) and glyph per layer
+LAYER_GLYPHS = [
+    ("nwell", "w"),
+    ("ndiff", "n"),
+    ("pdiff", "p"),
+    ("poly", "|"),
+    ("gate", "G"),
+    ("contact", "x"),
+    ("metal1", "-"),
+    ("via", "o"),
+    ("metal2", "="),
+]
+
+
+def render_cell(cell: LayoutCell, width: int = 100,
+                layers: Optional[Sequence[str]] = None) -> str:
+    """ASCII art of a layout cell.
+
+    Args:
+        width: output width in characters; height follows the aspect
+            ratio (capped at 60 rows).
+        layers: subset of layers to draw (default: all).
+    """
+    bbox = cell.bbox()
+    if bbox.width <= 0 or bbox.height <= 0:
+        raise ValueError("cell has no extent")
+    height = max(4, min(60, int(round(width * bbox.height /
+                                      bbox.width * 0.5))))
+    grid = [[" "] * width for _ in range(height)]
+    wanted = set(layers) if layers is not None else None
+
+    def to_col(x: float) -> int:
+        frac = (x - bbox.x0) / bbox.width
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - bbox.y0) / bbox.height
+        return min(height - 1, max(0, int((1.0 - frac) * (height - 1))))
+
+    for layer, glyph in LAYER_GLYPHS:
+        if wanted is not None and layer not in wanted:
+            continue
+        for shape in cell.shapes_on(layer):
+            c0, c1 = to_col(shape.rect.x0), to_col(shape.rect.x1)
+            r1, r0 = to_row(shape.rect.y0), to_row(shape.rect.y1)
+            for r in range(r0, r1 + 1):
+                for c in range(c0, c1 + 1):
+                    grid[r][c] = glyph
+    header = (f"{cell.name}: {bbox.width:.0f} x {bbox.height:.0f} um, "
+              f"{len(cell.shapes)} shapes")
+    body = "\n".join("".join(row) for row in grid)
+    legend = "  ".join(f"{g}={l}" for l, g in LAYER_GLYPHS
+                       if wanted is None or l in wanted)
+    return f"{header}\n{body}\n[{legend}]"
+
+
+@dataclass(frozen=True)
+class CellStatistics:
+    """Summary numbers for one layout cell.
+
+    Attributes:
+        name: cell name.
+        area: bounding-box area (um^2).
+        shape_count: number of shapes.
+        device_count: number of devices.
+        net_count: number of distinct nets.
+        layer_area: drawn area per layer (um^2).
+        wire_length: total length of wiring shapes per layer (um).
+    """
+
+    name: str
+    area: float
+    shape_count: int
+    device_count: int
+    net_count: int
+    layer_area: Dict[str, float]
+    wire_length: Dict[str, float]
+
+
+def cell_statistics(cell: LayoutCell) -> CellStatistics:
+    """Compute layout statistics for a cell."""
+    layer_area: Dict[str, float] = {}
+    wire_length: Dict[str, float] = {}
+    for shape in cell.shapes:
+        layer_area[shape.layer] = layer_area.get(shape.layer, 0.0) + \
+            shape.rect.area
+        if shape.purpose == "wire":
+            length = max(shape.rect.width, shape.rect.height)
+            wire_length[shape.layer] = \
+                wire_length.get(shape.layer, 0.0) + length
+    return CellStatistics(
+        name=cell.name, area=cell.area(), shape_count=len(cell.shapes),
+        device_count=len(cell.devices), net_count=len(cell.nets()),
+        layer_area=layer_area, wire_length=wire_length)
+
+
+def statistics_report(cells: Sequence[LayoutCell]) -> str:
+    """Tabular statistics over several cells."""
+    lines = [f"{'cell':16s} {'area um^2':>10s} {'shapes':>7s} "
+             f"{'devices':>8s} {'nets':>5s} {'m1 wire um':>11s}"]
+    for cell in cells:
+        stats = cell_statistics(cell)
+        lines.append(f"{stats.name:16s} {stats.area:10.0f} "
+                     f"{stats.shape_count:7d} {stats.device_count:8d} "
+                     f"{stats.net_count:5d} "
+                     f"{stats.wire_length.get('metal1', 0.0):11.0f}")
+    return "\n".join(lines)

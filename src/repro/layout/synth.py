@@ -1,0 +1,277 @@
+"""Layout synthesis: analog netlist -> defect-analyzable layout cell.
+
+The paper analyses production Philips layouts, which we do not have, so
+each macro's layout is synthesised from its transistor-level netlist with
+a deterministic row-and-channel style:
+
+* devices (MOSFETs, resistors, capacitors) are placed left-to-right in a
+  device row;
+* every net gets a horizontal metal1 routing track above the row; *global*
+  nets (supplies, clock and bias distribution) get full-width tracks in a
+  caller-controlled order — the order matters because adjacent tracks
+  dominate the bridging-fault statistics, which is precisely the paper's
+  DfT lever ("exchange some bias lines");
+* terminals connect to their tracks with vertical metal2 stubs and vias.
+
+The result reproduces the structural properties the methodology depends
+on: long parallel distribution lines (most shorts), contacts and gate
+regions (pinholes), and wires whose cut produces genuine net splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.elements import Capacitor, Resistor
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit
+from .cell import DeviceInfo, LayoutCell, Shape
+from .geometry import Rect
+from .layers import METAL1, METAL2
+
+# geometry constants (um)
+DEVICE_ROW_Y0 = 4.0
+DEVICE_PITCH_MARGIN = 4.0
+TRACK_WIDTH = 1.2
+TRACK_PITCH = 3.0
+STUB_WIDTH = 1.4
+VIA_SIZE = 1.0
+CONTACT_SIZE = 1.0
+MAX_DIFF_HEIGHT = 10.0
+MIN_DIFF_HEIGHT = 2.0
+POLY_EXTENSION = 2.0
+
+
+@dataclass
+class SynthOptions:
+    """Synthesis knobs.
+
+    Attributes:
+        global_nets: nets routed as full-width tracks, in track order
+            (bottom-most first).  Order is the DfT lever for bias lines.
+        ports: nets exposed at the cell boundary (get port anchors).
+        scale: multiplies all device sizes (area knob).
+    """
+
+    global_nets: Sequence[str] = field(default_factory=list)
+    ports: Sequence[str] = field(default_factory=list)
+    scale: float = 1.0
+
+
+def synthesize(circuit: Circuit, options: Optional[SynthOptions] = None
+               ) -> LayoutCell:
+    """Generate a :class:`LayoutCell` for an analog netlist.
+
+    Only physical devices (MOSFETs, resistors, capacitors) are drawn;
+    sources are external stimuli.  Every drawn net is routed; the caller
+    should declare supply/clock/bias nets as global.
+    """
+    options = options or SynthOptions()
+    cell = LayoutCell(circuit.title or "cell")
+    placer = _Placer(cell, options)
+    for element in circuit.elements:
+        if isinstance(element, Mosfet):
+            placer.place_mosfet(element)
+        elif isinstance(element, Resistor):
+            placer.place_resistor(element)
+        elif isinstance(element, Capacitor):
+            placer.place_capacitor(element)
+    placer.route()
+    cell.global_nets = list(options.global_nets)
+    return cell
+
+
+@dataclass
+class _Terminal:
+    """A device terminal's metal1 landing patch awaiting routing."""
+
+    net: str
+    x: float
+    y: float
+    device: str
+
+
+class _Placer:
+    """Stateful placement/routing helper for :func:`synthesize`."""
+
+    def __init__(self, cell: LayoutCell, options: SynthOptions) -> None:
+        self.cell = cell
+        self.options = options
+        self.cursor = 2.0
+        self.row_top = DEVICE_ROW_Y0
+        self.terminals: List[_Terminal] = []
+        self.terminal_nets: Dict[str, List[_Terminal]] = {}
+
+    # -- device drawing ------------------------------------------------------
+
+    def _um(self, metres: float) -> float:
+        return metres * 1e6 * self.options.scale
+
+    def _add_terminal(self, net: str, x: float, y: float,
+                      device: str) -> None:
+        term = _Terminal(net=net, x=x, y=y, device=device)
+        self.terminals.append(term)
+        self.terminal_nets.setdefault(net, []).append(term)
+
+    def _contact_with_patch(self, x: float, y: float, net: str,
+                            device: str, bottom_layer: str) -> None:
+        """Contact cut plus metal1 landing patch centred at (x, y)."""
+        half = CONTACT_SIZE / 2.0
+        self.cell.add_rect(Rect(x - half, y - half, x + half, y + half),
+                           "contact", net, device=device, purpose="cut")
+        m_half = CONTACT_SIZE / 2.0 + 0.4
+        self.cell.add_rect(Rect(x - m_half, y - m_half, x + m_half,
+                                y + m_half),
+                           "metal1", net, device=device)
+        self._add_terminal(net, x, y + m_half, device)
+
+    def place_mosfet(self, m: Mosfet) -> None:
+        """Draw one MOSFET: split diffusion, poly gate, S/D/G contacts."""
+        w_um = max(MIN_DIFF_HEIGHT, min(self._um(m.w), MAX_DIFF_HEIGHT))
+        l_um = max(1.0, self._um(m.l))
+        d_net, g_net, s_net, _b_net = m.nodes
+        diff_layer = "ndiff" if m.polarity == "n" else "pdiff"
+
+        sd_len = 3.0  # source/drain diffusion length per side
+        x0 = self.cursor
+        y0 = DEVICE_ROW_Y0
+        y1 = y0 + w_um
+        xg0 = x0 + sd_len
+        xg1 = xg0 + l_um
+        x1 = xg1 + sd_len
+
+        self.cell.add_rect(Rect(x0, y0, xg0, y1), diff_layer, s_net,
+                           device=m.name, purpose="sd")
+        self.cell.add_rect(Rect(xg1, y0, x1, y1), diff_layer, d_net,
+                           device=m.name, purpose="sd")
+        gate_rect = Rect(xg0, y0, xg1, y1)
+        self.cell.add_rect(gate_rect, "gate", g_net, device=m.name,
+                           purpose="gate")
+        # poly gate strip extending above the diffusion for the contact
+        poly_top = y1 + POLY_EXTENSION
+        self.cell.add_rect(Rect(xg0, y0 - 1.0, xg1, poly_top), "poly",
+                           g_net, device=m.name)
+
+        self._contact_with_patch(x0 + 1.0, (y0 + y1) / 2.0, s_net,
+                                 m.name, diff_layer)
+        self._contact_with_patch(x1 - 1.0, (y0 + y1) / 2.0, d_net,
+                                 m.name, diff_layer)
+        gx = (xg0 + xg1) / 2.0
+        self._contact_with_patch(gx, poly_top - 0.6, g_net, m.name, "poly")
+
+        self.row_top = max(self.row_top, poly_top + 1.0)
+        self.cursor = x1 + DEVICE_PITCH_MARGIN
+        self.cell.add_device(DeviceInfo(
+            name=m.name, kind="mosfet", terminals=tuple(m.nodes),
+            polarity=m.polarity, gate_rect=gate_rect))
+
+    def place_resistor(self, r: Resistor) -> None:
+        """Draw a polysilicon resistor as two half-bodies plus contacts.
+
+        Each half carries its terminal's net; the halves abut in the
+        middle, which is electrically the resistive body (excluded from
+        LVS verification via the ``plate`` purpose).
+        """
+        a_net, b_net = r.nodes
+        length = min(24.0, max(6.0, r.resistance / 250.0))
+        height = 1.6
+        x0 = self.cursor
+        y0 = DEVICE_ROW_Y0 + 1.0
+        xm = x0 + length / 2.0
+        x1 = x0 + length
+        self.cell.add_rect(Rect(x0, y0, xm, y0 + height), "poly", a_net,
+                           device=r.name, purpose="plate")
+        self.cell.add_rect(Rect(xm, y0, x1, y0 + height), "poly", b_net,
+                           device=r.name, purpose="plate")
+        yc = y0 + height / 2.0
+        self._contact_with_patch(x0 + 0.8, yc, a_net, r.name, "poly")
+        self._contact_with_patch(x1 - 0.8, yc, b_net, r.name, "poly")
+        self.row_top = max(self.row_top, y0 + height + 1.0)
+        self.cursor = x1 + DEVICE_PITCH_MARGIN
+        self.cell.add_device(DeviceInfo(
+            name=r.name, kind="resistor", terminals=tuple(r.nodes)))
+
+    def place_capacitor(self, c: Capacitor) -> None:
+        """Draw a metal1-over-poly capacitor (thick-oxide dielectric)."""
+        a_net, b_net = c.nodes
+        side = min(16.0, max(4.0, (c.capacitance / 1e-15) ** 0.5))
+        x0 = self.cursor
+        y0 = DEVICE_ROW_Y0 + 1.0
+        bottom = Rect(x0, y0, x0 + side, y0 + side)
+        top = Rect(x0 + 0.6, y0 + 0.6, x0 + side - 0.6, y0 + side - 0.6)
+        self.cell.add_rect(bottom, "poly", b_net, device=c.name,
+                           purpose="plate")
+        self.cell.add_rect(top, "metal1", a_net, device=c.name,
+                           purpose="plate")
+        # bottom plate contact sticks out of the top plate's shadow
+        self._contact_with_patch(x0 + side + 0.8, y0 + side / 2.0, b_net,
+                                 c.name, "poly")
+        self.cell.add_rect(Rect(x0 + side, y0 + side / 2.0 - 0.8,
+                                x0 + side + 1.6, y0 + side / 2.0 + 0.8),
+                           "poly", b_net, device=c.name, purpose="plate")
+        # top plate terminal directly on the metal1 plate
+        self._add_terminal(a_net, x0 + side / 2.0, y0 + side - 0.6, c.name)
+        self.row_top = max(self.row_top, y0 + side + 1.0)
+        self.cursor = x0 + side + 1.6 + DEVICE_PITCH_MARGIN
+        self.cell.add_device(DeviceInfo(
+            name=c.name, kind="capacitor", terminals=tuple(c.nodes)))
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self) -> None:
+        """Assign tracks and draw metal1 tracks + metal2 stubs + vias."""
+        cell_width = max(self.cursor, 10.0)
+        track_y0 = self.row_top + 2.0
+
+        order: List[str] = []
+        for net in self.options.global_nets:
+            if net not in order:
+                order.append(net)
+        for net in sorted(self.terminal_nets):
+            if net not in order:
+                order.append(net)
+
+        track_y: Dict[str, float] = {}
+        for k, net in enumerate(order):
+            track_y[net] = track_y0 + k * TRACK_PITCH
+
+        for net in order:
+            y = track_y[net]
+            terms = self.terminal_nets.get(net, [])
+            if net in self.options.global_nets:
+                x_lo, x_hi = 0.0, cell_width
+            elif terms:
+                x_lo = min(t.x for t in terms) - 2.0
+                x_hi = max(t.x for t in terms) + 2.0
+            else:
+                continue
+            self.cell.add_rect(Rect(x_lo, y, x_hi, y + TRACK_WIDTH),
+                               "metal1", net)
+            if net in self.options.ports:
+                anchor = f"port:{net}"
+                self.cell.add_rect(
+                    Rect(x_lo, y, x_lo + 1.5, y + TRACK_WIDTH), "metal1",
+                    net, device=anchor)
+                if anchor not in self.cell.devices:
+                    self.cell.add_device(DeviceInfo(
+                        name=anchor, kind="port", terminals=(net,)))
+
+        for term in self.terminals:
+            y_track = track_y[term.net]
+            self._draw_stub(term, y_track)
+
+    def _draw_stub(self, term: _Terminal, y_track: float) -> None:
+        """Vertical metal2 stub with vias from a terminal to its track."""
+        half = STUB_WIDTH / 2.0
+        y_top = y_track + TRACK_WIDTH / 2.0
+        self.cell.add_rect(
+            Rect(term.x - half, term.y - 1.0, term.x + half, y_top + half),
+            "metal2", term.net, device=term.device)
+        v = VIA_SIZE / 2.0
+        self.cell.add_rect(
+            Rect(term.x - v, term.y - 1.0, term.x + v, term.y),
+            "via", term.net, device=term.device, purpose="cut")
+        self.cell.add_rect(
+            Rect(term.x - v, y_top - v, term.x + v, y_top + v),
+            "via", term.net, device=term.device, purpose="cut")

@@ -1,0 +1,22 @@
+"""Divide-and-conquer macro-test framework (Beenker-style)."""
+
+from .coverage import (CoverageBreakdown, DetectionRecord, MacroResult,
+                       global_breakdown, macro_breakdown,
+                       mechanism_overlap)
+from .macro import (DECODER_AREA_PER_TRANSISTOR, MacroDescriptor,
+                    decoder_area, standard_partition)
+from .propagate import (INJECTED_OFFSET, SHARED_NETS,
+                        comparator_behavior_for, fault_shared_nets,
+                        propagate_bank_behavior, propagate_clock_fault,
+                        propagate_comparator_fault,
+                        propagate_ladder_fault)
+
+__all__ = [
+    "CoverageBreakdown", "DetectionRecord", "MacroResult",
+    "global_breakdown", "macro_breakdown", "mechanism_overlap",
+    "DECODER_AREA_PER_TRANSISTOR", "MacroDescriptor", "decoder_area",
+    "standard_partition", "INJECTED_OFFSET", "SHARED_NETS",
+    "comparator_behavior_for", "fault_shared_nets",
+    "propagate_bank_behavior", "propagate_clock_fault",
+    "propagate_comparator_fault", "propagate_ladder_fault",
+]

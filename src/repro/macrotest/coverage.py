@@ -1,0 +1,192 @@
+"""Coverage accounting: per-macro detection records -> global figures.
+
+Paper section 3.3: "the fault signature probabilities for macro cells
+have to be scaled into global fault signature probabilities.  This
+scaling is done on the basis that in a real fabrication process, the
+defect density will be approximately equal for all macro cells."
+
+With a uniform defect density D, the expected number of faults in a
+macro type is ``n_instances * D * bbox_area * (faults / defects
+sprinkled)``; the per-class global probability follows by multiplying
+the macro weight by the class's within-macro magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..faultsim.signatures import CurrentMechanism, VoltageSignature
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """Detection outcome of one fault class.
+
+    Attributes:
+        count: class magnitude (fault count within its macro campaign).
+        voltage_detected: the missing-code test catches it.
+        mechanisms: current mechanisms that catch it.
+        voltage_signature: macro-level voltage signature (None for
+            purely digital macros).
+        fault_type: defect-simulator fault type label.
+        violated_keys: fine-grained (quantity, phase, polarity)
+            measurement violations, when the engine recorded them.
+    """
+
+    count: int
+    voltage_detected: bool
+    mechanisms: FrozenSet[CurrentMechanism]
+    voltage_signature: Optional[VoltageSignature] = None
+    fault_type: str = "short"
+    violated_keys: FrozenSet[Tuple[str, str, str]] = frozenset()
+
+    @property
+    def current_detected(self) -> bool:
+        return bool(self.mechanisms)
+
+    @property
+    def detected(self) -> bool:
+        return self.voltage_detected or self.current_detected
+
+
+@dataclass(frozen=True)
+class MacroResult:
+    """Complete defect-oriented analysis result of one macro type.
+
+    Attributes:
+        name: macro name.
+        bbox_area: layout bounding-box area of one instance (um^2).
+        instances: instance count on the chip.
+        defects_sprinkled: Monte Carlo defect count of the campaign.
+        records: per-fault-class detection records.
+    """
+
+    name: str
+    bbox_area: float
+    instances: int
+    defects_sprinkled: int
+    records: Tuple[DetectionRecord, ...]
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.count for r in self.records)
+
+    @property
+    def fault_yield(self) -> float:
+        """Faults per sprinkled defect."""
+        if self.defects_sprinkled <= 0:
+            raise ValueError("defects_sprinkled must be positive")
+        return self.total_faults / self.defects_sprinkled
+
+    @property
+    def weight(self) -> float:
+        """Unnormalised global weight: expected chip fault count."""
+        return self.instances * self.bbox_area * self.fault_yield
+
+    def fraction(self, predicate) -> float:
+        """Weighted fraction of this macro's faults satisfying a
+        predicate over DetectionRecord."""
+        total = self.total_faults
+        if total == 0:
+            return 0.0
+        return sum(r.count for r in self.records if predicate(r)) / total
+
+
+@dataclass(frozen=True)
+class CoverageBreakdown:
+    """The Venn partition of detection (paper Figs. 3-5).
+
+    All values are fractions of the weighted fault population.
+    """
+
+    voltage_only: float
+    current_only: float
+    both: float
+    undetected: float
+
+    @property
+    def voltage(self) -> float:
+        return self.voltage_only + self.both
+
+    @property
+    def current(self) -> float:
+        return self.current_only + self.both
+
+    @property
+    def total(self) -> float:
+        return self.voltage_only + self.current_only + self.both
+
+    def as_percentages(self) -> Dict[str, float]:
+        return {
+            "voltage_only": 100.0 * self.voltage_only,
+            "current_only": 100.0 * self.current_only,
+            "both": 100.0 * self.both,
+            "undetected": 100.0 * self.undetected,
+            "voltage": 100.0 * self.voltage,
+            "current": 100.0 * self.current,
+            "total": 100.0 * self.total,
+        }
+
+
+def macro_breakdown(result: MacroResult) -> CoverageBreakdown:
+    """Detection Venn for one macro."""
+    v_only = result.fraction(
+        lambda r: r.voltage_detected and not r.current_detected)
+    c_only = result.fraction(
+        lambda r: r.current_detected and not r.voltage_detected)
+    both = result.fraction(
+        lambda r: r.voltage_detected and r.current_detected)
+    undet = result.fraction(lambda r: not r.detected)
+    return CoverageBreakdown(voltage_only=v_only, current_only=c_only,
+                             both=both, undetected=undet)
+
+
+def global_breakdown(results: Sequence[MacroResult]
+                     ) -> CoverageBreakdown:
+    """Area-and-yield-weighted global detection Venn (paper Fig. 4)."""
+    weights = [m.weight for m in results]
+    total_w = sum(weights)
+    if total_w <= 0:
+        raise ValueError("no weighted faults to aggregate")
+    v_only = c_only = both = undet = 0.0
+    for m, w in zip(results, weights):
+        b = macro_breakdown(m)
+        v_only += w * b.voltage_only
+        c_only += w * b.current_only
+        both += w * b.both
+        undet += w * b.undetected
+    return CoverageBreakdown(voltage_only=v_only / total_w,
+                             current_only=c_only / total_w,
+                             both=both / total_w,
+                             undetected=undet / total_w)
+
+
+def mechanism_overlap(result: MacroResult) -> Dict[str, float]:
+    """Per-mechanism detection overlap for one macro (paper Fig. 3).
+
+    Returns fractions for every combination of {missing code, IVdd,
+    IDDQ, Iinput} detection, keyed by a '+'-joined label, plus
+    single-mechanism-only entries keyed ``"only:<mech>"``.
+    """
+    combos: Dict[str, float] = {}
+    only: Dict[str, float] = {"missing_codes": 0.0, "ivdd": 0.0,
+                              "iddq": 0.0, "iinput": 0.0}
+    total = result.total_faults
+    if total == 0:
+        return {}
+    for r in result.records:
+        labels = []
+        if r.voltage_detected:
+            labels.append("missing_codes")
+        for mech in (CurrentMechanism.IVDD, CurrentMechanism.IDDQ,
+                     CurrentMechanism.IINPUT):
+            if mech in r.mechanisms:
+                labels.append(mech.value)
+        key = "+".join(labels) if labels else "undetected"
+        combos[key] = combos.get(key, 0.0) + r.count / total
+        if len(labels) == 1:
+            only[labels[0]] += r.count / total
+    for mech, frac in only.items():
+        combos[f"only:{mech}"] = frac
+    return combos

@@ -1,0 +1,76 @@
+"""Macro-cell descriptors: the divide-and-conquer partition.
+
+Paper section 3.1: the ADC is divided into five macro types — 256
+comparators, a resistor ladder, a bias generator, a clock generator and
+a digital decoder — because a circuit-level simulation of the entire
+circuit is not possible.  This module records the partition and each
+macro's area/instance bookkeeping used by the global scaling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..adc.biasgen import biasgen_layout
+from ..adc.clockgen import clockgen_layout
+from ..adc.comparator import comparator_layout
+from ..adc.decoder import build_decoder
+from ..adc.ladder import SEGMENTS_PER_COARSE, ladder_slice_layout
+from ..layout.cell import LayoutCell
+
+#: decoder area estimate: dense digital layout, um^2 per transistor
+DECODER_AREA_PER_TRANSISTOR = 250.0
+
+
+@dataclass(frozen=True)
+class MacroDescriptor:
+    """One macro type of the partition.
+
+    Attributes:
+        name: macro name.
+        instances: how many instances the chip carries.
+        layout_factory: builds the macro's layout cell (None for the
+            digital decoder, whose area is estimated from gate count).
+        area_override: fixed area when no layout exists (um^2).
+    """
+
+    name: str
+    instances: int
+    layout_factory: Optional[Callable[[], LayoutCell]] = None
+    area_override: Optional[float] = None
+
+    def area(self) -> float:
+        """Bounding-box area of one instance (um^2)."""
+        if self.area_override is not None:
+            return self.area_override
+        if self.layout_factory is None:
+            raise ValueError(f"{self.name}: no layout and no area")
+        return self.layout_factory().area()
+
+
+def decoder_area() -> float:
+    """Area estimate of the thermometer decoder from its gate count."""
+    return build_decoder(8).transistor_count() * \
+        DECODER_AREA_PER_TRANSISTOR
+
+
+def standard_partition(dft: bool = False) -> Dict[str, MacroDescriptor]:
+    """The five-macro partition of the case-study ADC."""
+    return {
+        "comparator": MacroDescriptor(
+            name="comparator", instances=256,
+            layout_factory=lambda: comparator_layout(dft=dft)),
+        "ladder": MacroDescriptor(
+            name="ladder", instances=256 // SEGMENTS_PER_COARSE,
+            layout_factory=ladder_slice_layout),
+        "biasgen": MacroDescriptor(
+            name="biasgen", instances=1,
+            layout_factory=lambda: biasgen_layout(dft=dft)),
+        "clockgen": MacroDescriptor(
+            name="clockgen", instances=1,
+            layout_factory=clockgen_layout),
+        "decoder": MacroDescriptor(
+            name="decoder", instances=1,
+            area_override=decoder_area()),
+    }

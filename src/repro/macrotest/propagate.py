@@ -1,0 +1,141 @@
+"""Fault-signature sensitisation / propagation (paper Fig. 1, last box).
+
+The macro-level fault signature is injected into the behavioral model of
+the affected macro instance(s), and the circuit-edge test — the
+missing-code test over the full ADC — decides voltage detectability.
+
+Sensitisation of comparator faults is free (the analog input is a
+circuit terminal and the clock/bias lines run as in normal operation),
+and the current signatures need no propagation at all because they are
+already defined at circuit terminals — the paper calls this out as a
+major advantage of current testing.
+
+One subtlety the paper highlights: 72 % of comparator-area faults also
+touch nodes of *other* macros (clock/bias distribution lines).  Such
+faults disturb every comparator instance at once, so their signature is
+injected into the whole bank, not a single instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..adc.behavioral import (ClockBehavior, ComparatorBehavior,
+                              LadderBehavior)
+from ..adc.flash import FlashADC, nominal_adc
+from ..defects.faults import Fault
+from ..faultsim.noncat import NearMissShortFault
+from ..faultsim.signatures import (OFFSET_THRESHOLD, SignatureResult,
+                                   VoltageSignature)
+from ..testgen.detection import missing_code_test
+
+#: nets whose faults disturb the whole comparator bank
+SHARED_NETS = frozenset({"phi1", "phi2", "phi3", "vbn1", "vbn2", "vdd",
+                         "gnd"})
+
+#: behavioral offset injected for an OFFSET signature: comfortably past
+#: the paper's 8 mV threshold (the classifier only certifies > 8 mV)
+INJECTED_OFFSET = 2.5 * OFFSET_THRESHOLD
+
+#: erratic band injected for a MIXED signature
+INJECTED_MIXED_BAND = 0.02
+
+
+def fault_shared_nets(fault: Fault) -> Set[str]:
+    """Shared distribution nets a fault touches (empty for local
+    faults)."""
+    nets: Set[str] = set()
+    if hasattr(fault, "nets"):
+        nets = set(fault.nets)
+    elif hasattr(fault, "net"):
+        nets = {fault.net}
+        if hasattr(fault, "bulk_net"):
+            nets.add(fault.bulk_net)
+    return nets & SHARED_NETS
+
+
+def comparator_behavior_for(signature: SignatureResult
+                            ) -> ComparatorBehavior:
+    """Behavioral comparator model carrying a macro-level signature."""
+    v = signature.voltage
+    if v == VoltageSignature.OUTPUT_STUCK_AT:
+        stuck = signature.measurements["above"].decision
+        if not signature.measurements["above"].resolved:
+            stuck = False
+        return ComparatorBehavior(stuck=stuck)
+    if v == VoltageSignature.OFFSET:
+        return ComparatorBehavior(
+            offset=signature.offset_sign * INJECTED_OFFSET)
+    if v == VoltageSignature.MIXED:
+        return ComparatorBehavior(mixed_band=INJECTED_MIXED_BAND)
+    if v == VoltageSignature.CLOCK_VALUE:
+        return ComparatorBehavior(clock_degraded=True)
+    return ComparatorBehavior()
+
+
+def propagate_comparator_fault(signature: SignatureResult, fault: Fault,
+                               instance: int = 128,
+                               adc: Optional[FlashADC] = None,
+                               at_speed: bool = False) -> bool:
+    """Voltage detectability of a comparator-macro fault.
+
+    Args:
+        signature: macro-level signature from the fault engine.
+        fault: the underlying fault (decides single- vs all-instance
+            injection via the shared distribution nets).
+        instance: which comparator carries a local fault.
+        adc: base ADC model (nominal by default).
+        at_speed: also run the dynamic (at-speed) missing-code test —
+            our extension that catches the 'clock value' population.
+
+    Returns:
+        True when the missing-code test fails (fault detected).
+    """
+    base = adc or nominal_adc()
+    behavior = comparator_behavior_for(signature)
+    if behavior == ComparatorBehavior():
+        return False
+    if fault_shared_nets(fault):
+        faulty = base
+        for k in range(len(base.comparators)):
+            faulty = faulty.with_comparator(k, behavior)
+    else:
+        faulty = base.with_comparator(instance, behavior)
+    if missing_code_test(faulty).detected:
+        return True
+    if at_speed:
+        return missing_code_test(faulty, at_speed=True).detected
+    return False
+
+
+def propagate_ladder_fault(faulty_taps, adc: Optional[FlashADC] = None
+                           ) -> bool:
+    """Voltage detectability of a ladder fault (faulty tap vector)."""
+    base = adc or nominal_adc()
+    faulty = base.with_ladder(LadderBehavior(taps=faulty_taps))
+    return missing_code_test(faulty).detected
+
+
+def propagate_clock_fault(phase_alive: dict, degraded: bool,
+                          adc: Optional[FlashADC] = None) -> bool:
+    """Voltage detectability of a clock-generator fault."""
+    base = adc or nominal_adc()
+    clocks = ClockBehavior(phi1_ok=phase_alive.get("phi1", True),
+                           phi2_ok=phase_alive.get("phi2", True),
+                           phi3_ok=phase_alive.get("phi3", True),
+                           degraded=degraded)
+    faulty = base.with_clocks(clocks)
+    return missing_code_test(faulty).detected
+
+
+def propagate_bank_behavior(behavior: ComparatorBehavior,
+                            adc: Optional[FlashADC] = None) -> bool:
+    """Voltage detectability when every comparator misbehaves the same
+    way (bias-generator faults)."""
+    base = adc or nominal_adc()
+    if behavior == ComparatorBehavior():
+        return False
+    faulty = base
+    for k in range(len(base.comparators)):
+        faulty = faulty.with_comparator(k, behavior)
+    return missing_code_test(faulty).detected

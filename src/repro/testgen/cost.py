@@ -1,0 +1,71 @@
+"""Test-time / test-cost model.
+
+The paper's argument is economic as much as technical: the simple
+defect-oriented tests (missing code + six DC current measurements) take
+well under a millisecond of tester time, while a specification-oriented
+test (INL/DNL histogram, SNR, full AC characterisation) needs orders of
+magnitude more samples and several instrument reconfigurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .stimuli import (CURRENT_MEASUREMENTS, CurrentTestStimulus,
+                      MissingCodeStimulus, SAMPLE_RATE)
+
+#: tester overhead per instrument reconfiguration (load new setup,
+#: relays, ranging) — a conservative production-ATE figure
+RECONFIGURATION_TIME = 5e-3
+#: samples needed for a statistically solid code-density (INL/DNL) test
+#: of an 8-bit converter (≥ 64 hits/code on 256 codes with margin)
+HISTOGRAM_SAMPLES = 65536
+#: record length for an FFT-based SNR/THD measurement
+SNR_RECORD = 8192
+#: number of distinct configurations in a typical spec test
+#: (histogram, SNR at two frequencies, gain/offset, PSRR)
+SPEC_CONFIGURATIONS = 5
+
+
+@dataclass(frozen=True)
+class TestCost:
+    """Tester-time breakdown in seconds."""
+
+    components: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+
+def defect_oriented_cost(stimulus: MissingCodeStimulus = None,
+                         current: CurrentTestStimulus = None) -> TestCost:
+    """Cost of the paper's simple test (missing code + current test)."""
+    stimulus = stimulus or MissingCodeStimulus()
+    current = current or CurrentTestStimulus()
+    return TestCost(components={
+        "missing_code_sampling": stimulus.test_time(),
+        "current_measurements": current.test_time(),
+        "setup": RECONFIGURATION_TIME,
+    })
+
+
+def current_only_cost(current: CurrentTestStimulus = None) -> TestCost:
+    """Cost of a current-only wafer-sort test (the paper's post-DfT
+    recommendation)."""
+    current = current or CurrentTestStimulus()
+    return TestCost(components={
+        "current_measurements": current.test_time(),
+        "setup": RECONFIGURATION_TIME,
+    })
+
+
+def specification_oriented_cost() -> TestCost:
+    """Cost of a conventional functional/spec test of the same ADC."""
+    return TestCost(components={
+        "histogram_sampling": HISTOGRAM_SAMPLES / SAMPLE_RATE,
+        "snr_records": 2 * SNR_RECORD / SAMPLE_RATE,
+        "gain_offset": 1e-3,
+        "reconfigurations": SPEC_CONFIGURATIONS * RECONFIGURATION_TIME,
+    })

@@ -1,0 +1,68 @@
+"""Design-for-Testability measures (paper section 3.4).
+
+Two measures, both derived from the fault-signature analysis:
+
+1. **Flipflop redesign** — remove the leakage path that makes the
+   sampling-phase supply current spread over process ("A redesign of the
+   flipflop, eliminating the leakage current, would make them
+   detectable").  Implemented as the comparator's ``dft=True`` netlist
+   variant.
+2. **Bias-line reordering** — separate the two bias lines that carry
+   marginally different signals so spot defects can no longer bridge
+   them ("exchange some bias lines, thereby separating two lines with
+   similar signals by another more deviating signal line").  Implemented
+   as the layout's DfT global-track order.
+
+This module packages the two knobs so experiments can switch each one
+independently (the ablation benchmark exercises all four combinations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adc.comparator import GLOBAL_NETS_DFT, GLOBAL_NETS_STD, \
+    build_comparator
+from ..layout.synth import SynthOptions, synthesize
+from ..adc.comparator import PORTS
+
+
+@dataclass(frozen=True)
+class DfTConfig:
+    """Which DfT measures are applied.
+
+    Attributes:
+        flipflop_redesign: remove the flipflop leakage path.
+        bias_line_reorder: separate the twin bias lines in layout.
+    """
+
+    flipflop_redesign: bool = False
+    bias_line_reorder: bool = False
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.flipflop_redesign:
+            parts.append("ff")
+        if self.bias_line_reorder:
+            parts.append("bias")
+        return "dft:" + ("+".join(parts) if parts else "none")
+
+
+NO_DFT = DfTConfig()
+FULL_DFT = DfTConfig(flipflop_redesign=True, bias_line_reorder=True)
+
+
+def comparator_layout_for(config: DfTConfig):
+    """Comparator layout matching a DfT configuration.
+
+    The netlist changes with the flipflop redesign, the track order with
+    the bias reorder — so the defect universe itself shifts, which is
+    the point: DfT here changes what faults *occur*, not just how they
+    are detected.
+    """
+    order = GLOBAL_NETS_DFT if config.bias_line_reorder \
+        else GLOBAL_NETS_STD
+    circuit = build_comparator(dft=config.flipflop_redesign)
+    return synthesize(circuit, SynthOptions(global_nets=list(order),
+                                            ports=list(PORTS)))

@@ -1,0 +1,129 @@
+"""Test-plan optimization (paper section 3.2, closing remark).
+
+"The overlap between different detection mechanisms gives room for the
+optimization of the test method and fault detection."
+
+Given the per-fault-class measurement violations recorded by the fault
+engine, choose the cheapest subset of candidate measurements — the
+missing-code test plus any of the 24 individual current measurements
+(4 quantities × 3 phases × 2 input levels) — that preserves the
+achievable coverage.  Greedy weighted set cover: at each step take the
+measurement with the best newly-covered-fault-probability per second of
+tester time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..macrotest.coverage import DetectionRecord, MacroResult
+from .stimuli import (CURRENT_MEASUREMENT_SETTLE, MissingCodeStimulus)
+
+#: pseudo-measurement representing the whole missing-code test
+MISSING_CODE = ("missing_codes", "*", "*")
+
+Measure = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class TestPlan:
+    """An ordered measurement selection.
+
+    Attributes:
+        measurements: chosen measurements, in selection order.
+        coverage: weighted fault coverage the plan achieves.
+        achievable: coverage with *every* candidate applied.
+        cost: tester time in seconds.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    measurements: Tuple[Measure, ...]
+    coverage: float
+    achievable: float
+    cost: float
+
+    def describe(self) -> str:
+        lines = [f"{'measurement':34s} {'cumulative cost':>16s}"]
+        cost = 0.0
+        for m in self.measurements:
+            cost += measurement_cost(m)
+            label = "missing-code test" if m == MISSING_CODE else \
+                f"{m[0]} @ {m[1]}, input {m[2]}"
+            lines.append(f"{label:34s} {1000 * cost:13.3f} ms")
+        lines.append(f"coverage: {100 * self.coverage:.1f}% of "
+                     f"{100 * self.achievable:.1f}% achievable")
+        return "\n".join(lines)
+
+
+def measurement_cost(measure: Measure) -> float:
+    """Tester time of one candidate measurement (seconds)."""
+    if measure == MISSING_CODE:
+        return MissingCodeStimulus().test_time()
+    return CURRENT_MEASUREMENT_SETTLE
+
+
+def _detections(record: DetectionRecord) -> Set[Measure]:
+    out: Set[Measure] = set(record.violated_keys)
+    if record.voltage_detected:
+        out.add(MISSING_CODE)
+    return out
+
+
+def optimize_test_plan(result: MacroResult,
+                       min_coverage: Optional[float] = None
+                       ) -> TestPlan:
+    """Greedy minimum-cost measurement selection for one macro.
+
+    Args:
+        result: macro result whose records carry ``violated_keys``.
+        min_coverage: stop once this weighted coverage is reached
+            (default: everything achievable).
+    """
+    weights: Dict[int, float] = {}
+    detections: Dict[int, Set[Measure]] = {}
+    total = result.total_faults
+    if total == 0:
+        raise ValueError("macro has no faults to cover")
+    for idx, record in enumerate(result.records):
+        weights[idx] = record.count / total
+        detections[idx] = _detections(record)
+
+    candidates: Set[Measure] = set()
+    for dets in detections.values():
+        candidates |= dets
+    achievable = sum(w for idx, w in weights.items() if detections[idx])
+    target = achievable if min_coverage is None \
+        else min(min_coverage, achievable)
+
+    chosen: List[Measure] = []
+    covered: Set[int] = set()
+    coverage = 0.0
+    remaining = set(candidates)
+    while coverage < target - 1e-12 and remaining:
+        def gain(measure: Measure) -> float:
+            g = sum(weights[idx] for idx in weights
+                    if idx not in covered and
+                    measure in detections[idx])
+            return g / measurement_cost(measure)
+
+        best = max(sorted(remaining), key=gain)
+        newly = {idx for idx in weights
+                 if idx not in covered and best in detections[idx]}
+        if not newly:
+            break
+        remaining.discard(best)
+        chosen.append(best)
+        covered |= newly
+        coverage = sum(weights[idx] for idx in covered)
+
+    cost = sum(measurement_cost(m) for m in chosen)
+    return TestPlan(measurements=tuple(chosen), coverage=coverage,
+                    achievable=achievable, cost=cost)
+
+
+def full_plan_cost() -> float:
+    """Cost of applying every candidate measurement (the naive plan)."""
+    return MissingCodeStimulus().test_time() + \
+        24 * CURRENT_MEASUREMENT_SETTLE

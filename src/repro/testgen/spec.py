@@ -1,0 +1,96 @@
+"""Specification-oriented (functional) test baseline.
+
+The conventional alternative the paper argues against: measure the
+converter's datasheet parameters — offset, gain, INL, DNL — and reject
+parts that violate their limits.  Implemented over the behavioral ADC so
+its defect coverage can be compared against the defect-oriented test on
+the *same* fault population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..adc.flash import FlashADC
+
+#: datasheet limits for the 8-bit video ADC
+MAX_DNL_LSB = 0.9
+MAX_INL_LSB = 1.5
+MAX_OFFSET_LSB = 2.0
+MAX_GAIN_ERROR_FRACTION = 0.03
+
+
+@dataclass(frozen=True)
+class SpecMeasurement:
+    """Static-performance measurement of one device.
+
+    Attributes:
+        dnl: worst |DNL| in LSB.
+        inl: worst |INL| in LSB.
+        offset_lsb: zero-crossing offset in LSB.
+        gain_error: full-scale gain error (fraction).
+    """
+
+    dnl: float
+    inl: float
+    offset_lsb: float
+    gain_error: float
+
+    def passes(self) -> bool:
+        return (self.dnl <= MAX_DNL_LSB and self.inl <= MAX_INL_LSB and
+                abs(self.offset_lsb) <= MAX_OFFSET_LSB and
+                abs(self.gain_error) <= MAX_GAIN_ERROR_FRACTION)
+
+
+def measure_static(adc: FlashADC, n_points: int = 16384
+                   ) -> SpecMeasurement:
+    """Ramp-based static characterisation (code transition levels)."""
+    lo, hi = adc.full_scale()
+    span = hi - lo
+    n_codes = 2 ** adc.n_bits
+    lsb = span / n_codes
+    vins = np.linspace(lo - 0.05 * span, hi + 0.05 * span, n_points)
+    codes = adc.convert_many(vins)
+
+    # transition level T[k]: first input producing a code >= k
+    transitions = np.full(n_codes, np.nan)
+    for k in range(1, n_codes):
+        idx = np.argmax(codes >= k)
+        if codes[idx] >= k:
+            transitions[k] = vins[idx]
+
+    ideal = lo + lsb * np.arange(n_codes)
+    valid = ~np.isnan(transitions[1:])
+    if not np.any(valid):
+        # completely dead converter: everything out of spec
+        return SpecMeasurement(dnl=float("inf"), inl=float("inf"),
+                               offset_lsb=float("inf"),
+                               gain_error=float("inf"))
+
+    t = transitions[1:][valid]
+    ideal_t = ideal[1:][valid]
+    inl = np.max(np.abs(t - ideal_t)) / lsb
+
+    widths = np.diff(transitions[1:])
+    widths = widths[~np.isnan(widths)]
+    if len(widths):
+        dnl = float(np.max(np.abs(widths / lsb - 1.0)))
+    else:
+        dnl = float("inf")
+
+    offset_lsb = float((t[0] - ideal_t[0]) / lsb)
+    gain_error = float((t[-1] - t[0]) / max(ideal_t[-1] - ideal_t[0],
+                                            1e-12) - 1.0)
+    # a missing transition anywhere is itself a gross DNL violation
+    if np.any(~valid):
+        dnl = float("inf")
+    return SpecMeasurement(dnl=dnl, inl=inl, offset_lsb=offset_lsb,
+                           gain_error=gain_error)
+
+
+def spec_test_detects(adc: FlashADC) -> bool:
+    """True when the spec test rejects the (faulty) device."""
+    return not measure_static(adc).passes()

@@ -1,0 +1,74 @@
+"""Test stimuli (paper section 3.2, "Input stimuli and detection
+mechanisms").
+
+* **Missing-code test**: a full-range triangular waveform sampled 1000
+  times at the ADC's full conversion rate; every 8-bit output code must
+  occur.  Sampling the triangle guarantees each code bin is visited.
+* **Current test**: an input above the highest reference and one below
+  the lowest, with the three DC currents (IVdd, IDDQ, Iinput) measured
+  in each of the three comparator clock phases — six quiescent
+  measurements, each needing ~100 us for transients to die out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..adc.ladder import VREF_HIGH, VREF_LOW
+from ..circuit.waveforms import Triangle
+
+#: number of samples in the missing-code test (paper: 1,000)
+MISSING_CODE_SAMPLES = 1000
+#: ADC conversion rate (video ADC, one conversion per 3-phase cycle)
+SAMPLE_RATE = 1.0 / 150e-9
+#: settle time per quiescent current measurement (paper: ~100 us)
+CURRENT_MEASUREMENT_SETTLE = 100e-6
+#: number of current measurements (3 phases x 2 input levels)
+CURRENT_MEASUREMENTS = 6
+
+
+@dataclass(frozen=True)
+class MissingCodeStimulus:
+    """The triangular-wave sample set for the missing-code test.
+
+    Attributes:
+        n_samples: number of conversions taken.
+        low, high: triangle extremes; slightly beyond the reference
+            range so the end codes are guaranteed to be exercised.
+    """
+
+    n_samples: int = MISSING_CODE_SAMPLES
+    low: float = VREF_LOW - 0.05
+    high: float = VREF_HIGH + 0.05
+
+    def samples(self) -> np.ndarray:
+        """Input voltages of the sampled triangle (one full period)."""
+        tri = Triangle(low=self.low, high=self.high, period=1.0)
+        times = np.arange(self.n_samples) / self.n_samples
+        return np.array([tri.at(t) for t in times])
+
+    def test_time(self) -> float:
+        """Seconds of tester time (full-speed sampling)."""
+        return self.n_samples / SAMPLE_RATE
+
+
+@dataclass(frozen=True)
+class CurrentTestStimulus:
+    """Input levels and measurement plan for the DC current test."""
+
+    above_all: float = VREF_HIGH + 0.1
+    below_all: float = VREF_LOW - 0.1
+    settle: float = CURRENT_MEASUREMENT_SETTLE
+
+    def measurement_points(self) -> List[Tuple[str, str]]:
+        """(input level, phase) pairs: 2 levels x 3 phases."""
+        return [(level, phase)
+                for level in ("above", "below")
+                for phase in ("sampling", "amplification", "latching")]
+
+    def test_time(self) -> float:
+        """Seconds of tester time (settle per measurement)."""
+        return len(self.measurement_points()) * self.settle

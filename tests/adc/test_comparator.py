@@ -1,0 +1,127 @@
+"""Tests for the comparator macro (circuit-level)."""
+
+import numpy as np
+import pytest
+
+from repro.adc.comparator import (CLOCK_PERIOD, build_comparator,
+                                  build_testbench, comparator_clocks,
+                                  comparator_layout, phase_measure_times,
+                                  regeneration_windows)
+from repro.adc.process import corner, typical
+from repro.circuit import supply_current, transient
+from repro.layout import verify_cell
+
+T = CLOCK_PERIOD
+
+
+def decide(vin, vref=2.5, process=None, dft=False):
+    tb = build_testbench(process=process, vin=vin, vref=vref, dft=dft)
+    tr = transient(tb.circuit, tstop=T, dt=1e-9,
+                   fine_windows=regeneration_windows(T, 1))
+    p = process or typical()
+    return tr.at_time("ffout", 0.97 * T) > p.vdd / 2.0, tr
+
+
+class TestDecision:
+    @pytest.mark.parametrize("dv", [0.1, 0.008, 0.004])
+    def test_positive_inputs(self, dv):
+        out, _ = decide(2.5 + dv)
+        assert out is True
+
+    @pytest.mark.parametrize("dv", [0.1, 0.008, 0.004])
+    def test_negative_inputs(self, dv):
+        out, _ = decide(2.5 - dv)
+        assert out is False
+
+    def test_decision_at_corners(self):
+        for p in (corner(-1.0, 4.5, 85.0), corner(1.0, 5.5, -20.0)):
+            assert decide(2.508, process=p)[0] is True
+            assert decide(2.492, process=p)[0] is False
+
+    def test_dft_variant_still_decides(self):
+        assert decide(2.6, dft=True)[0] is True
+        assert decide(2.4, dft=True)[0] is False
+
+    def test_works_at_other_references(self):
+        assert decide(1.6, vref=1.55)[0] is True
+        assert decide(3.3, vref=3.45)[0] is False
+
+
+class TestCurrents:
+    def test_supply_current_class_a(self):
+        """Sampling and amplification draw bias current; the latch phase
+        draws (almost) nothing once regenerated."""
+        _, tr = decide(2.6)
+        ivdd = supply_current(tr, "VDD")
+        t_samp, t_amp, t_latch = phase_measure_times(T, 0)
+        at = lambda t: ivdd[int(np.argmin(np.abs(tr.times - t)))]
+        assert 20e-6 < at(t_samp) < 500e-6
+        assert 10e-6 < at(t_amp) < 300e-6
+        assert at(t_latch) < 60e-6
+
+    def test_leak_spread_removed_by_dft(self):
+        """Paper DfT measure 1: the flipflop leak dominates the
+        process spread of the sampling-phase supply current."""
+        def sampling_current(process, dft):
+            _, tr = decide(2.6, process=process, dft=dft)
+            ivdd = supply_current(tr, "VDD")
+            t_samp = phase_measure_times(T, 0)[0]
+            return ivdd[int(np.argmin(np.abs(tr.times - t_samp)))]
+
+        spread_std = abs(
+            sampling_current(corner(1.0, 5.0, 27.0), False) -
+            sampling_current(corner(-1.0, 5.0, 27.0), False))
+        spread_dft = abs(
+            sampling_current(corner(1.0, 5.0, 27.0), True) -
+            sampling_current(corner(-1.0, 5.0, 27.0), True))
+        assert spread_dft < spread_std / 2.0
+
+
+class TestClocksAndLayout:
+    def test_clock_phases_ordered(self):
+        phi1, phi2, phi3 = comparator_clocks(T, 5.0)
+        assert phi1.at(0.15 * T) == 5.0
+        assert phi2.at(0.5 * T) == 5.0
+        assert phi3.at(0.9 * T) == 5.0
+        # non-overlap of phi2/phi3 around the latch gap
+        t_gap = 2 * T / 3.0 + 0.5e-9
+        assert phi2.at(t_gap) < 0.5
+        assert phi3.at(t_gap) < 0.5
+
+    def test_clock_validation(self):
+        with pytest.raises(ValueError):
+            comparator_clocks(period=1e-9, vdd=5.0)
+
+    def test_regeneration_windows(self):
+        w = regeneration_windows(T, cycles=2)
+        assert len(w) == 2
+        assert w[0][0] < 2 * T / 3.0 + 2e-9 < w[0][1]
+        assert w[1][0] > T
+
+    def test_netlist_device_count(self):
+        std = build_comparator()
+        dft = build_comparator(dft=True)
+        assert len(std) - len(dft) == 2  # leak path = 2 devices
+
+    def test_layouts_clean_and_ordered(self):
+        std = comparator_layout(dft=False)
+        dft = comparator_layout(dft=True)
+        assert verify_cell(std) == []
+        assert verify_cell(dft) == []
+
+        def track_y(cell, net):
+            return min(s.rect.y0 for s in cell.shapes_on("metal1")
+                       if s.net == net and s.rect.width > 100)
+
+        # standard routing: vbn1 next to vbn2; DfT: separated
+        assert abs(track_y(std, "vbn1") - track_y(std, "vbn2")) == \
+            pytest.approx(3.0)
+        assert abs(track_y(dft, "vbn1") - track_y(dft, "vbn2")) > 3.0
+
+    def test_global_lines_traverse_cell(self):
+        cell = comparator_layout()
+        width = cell.bbox().width
+        for net in ("phi1", "phi2", "phi3", "vbn1", "vbn2"):
+            tracks = [s for s in cell.shapes_on("metal1")
+                      if s.net == net and s.rect.width > 0.9 * width]
+            assert tracks, f"{net} must traverse the cell"

@@ -1,0 +1,142 @@
+"""Tests for the decoder macro and the behavioral flash ADC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.behavioral import (ClockBehavior, ComparatorBehavior,
+                                  DecoderBehavior, LadderBehavior)
+from repro.adc.decoder import (build_decoder, decode_outputs,
+                               decode_thermometer, thermometer_vector)
+from repro.adc.flash import FlashADC, nominal_adc
+from repro.adc.ladder import nominal_tap_voltages
+
+
+class TestDecoderGateLevel:
+    @pytest.fixture(scope="class")
+    def dec4(self):
+        return build_decoder(4)
+
+    def test_exhaustive_4bit(self, dec4):
+        for code in range(16):
+            out = dec4.outputs(thermometer_vector(code, 4))
+            assert decode_outputs(out, 4) == code
+
+    def test_vector_validation(self):
+        with pytest.raises(ValueError):
+            thermometer_vector(16, 4)
+        with pytest.raises(ValueError):
+            thermometer_vector(-1, 4)
+
+    def test_8bit_spot_codes(self):
+        dec8 = build_decoder(8)
+        for code in (0, 1, 127, 128, 200, 255):
+            out = dec8.outputs(thermometer_vector(code, 8))
+            assert decode_outputs(out, 8) == code
+
+    @given(st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_property_4bit(self, code):
+        dec = build_decoder(4)
+        assert decode_outputs(dec.outputs(thermometer_vector(code, 4)),
+                              4) == code
+
+
+class TestDecodeThermometer:
+    def test_counts_ones(self):
+        assert decode_thermometer([True, True, False]) == 2
+        assert decode_thermometer([]) == 0
+
+    def test_bubble_tolerant(self):
+        # a bubble (stuck-at-0 in the middle) shifts the count by one
+        levels = [True] * 100 + [False] + [True] * 27 + [False] * 127
+        assert decode_thermometer(levels) == 127
+
+
+class TestComparatorBehavior:
+    def test_nominal_decision(self):
+        c = ComparatorBehavior()
+        assert c.decide(2.51, 2.5) is True
+        assert c.decide(2.49, 2.5) is False
+
+    def test_offset(self):
+        c = ComparatorBehavior(offset=0.05)
+        assert c.decide(2.46, 2.5) is True
+
+    def test_stuck(self):
+        assert ComparatorBehavior(stuck=True).decide(0.0, 2.5) is True
+        assert ComparatorBehavior(stuck=False).decide(5.0, 2.5) is False
+
+    def test_mixed_band(self):
+        c = ComparatorBehavior(mixed_band=0.02)
+        assert c.decide(2.51, 2.5) is False   # inside band: wrong
+        assert c.decide(2.6, 2.5) is True     # outside band: correct
+
+
+class TestFlashADC:
+    def test_nominal_conversion(self):
+        a = nominal_adc()
+        lo, hi = a.full_scale()
+        assert a.convert(lo - 0.1) == 0
+        assert a.convert(hi + 0.1) == 255
+        assert a.convert((lo + hi) / 2) in (127, 128)
+
+    def test_all_codes_reachable_and_monotone(self):
+        a = nominal_adc()
+        codes = a.transfer_codes(4096)
+        assert set(codes.tolist()) == set(range(256))
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_stuck_comparator_missing_code(self):
+        a = nominal_adc().with_comparator(100, ComparatorBehavior(
+            stuck=False))
+        codes = set(a.transfer_codes(8192).tolist())
+        # the bubble makes the OR plane merge boundary rows: codes above
+        # the stuck row get ORed with its index and many codes vanish
+        assert len(codes) < 256
+        # comparator 100 drives thermometer row 101; with it stuck the
+        # clean boundary that produces code 101 can never form
+        assert 101 not in codes
+
+    def test_stuck_high_comparator_missing_code_zero(self):
+        a = nominal_adc().with_comparator(100, ComparatorBehavior(
+            stuck=True))
+        codes = set(a.transfer_codes(8192).tolist())
+        assert 0 not in codes
+
+    def test_small_offset_no_missing_code(self):
+        a = nominal_adc().with_comparator(100, ComparatorBehavior(
+            offset=0.003))  # < 1 LSB (7.8 mV)
+        codes = set(a.transfer_codes(8192).tolist())
+        assert len(codes) == 256
+
+    def test_large_offset_missing_code(self):
+        a = nominal_adc().with_comparator(100, ComparatorBehavior(
+            offset=0.020))  # > 2 LSB
+        codes = set(a.transfer_codes(8192).tolist())
+        assert len(codes) < 256
+
+    def test_dead_clock_collapses_output(self):
+        a = nominal_adc().with_clocks(ClockBehavior(phi2_ok=False))
+        assert len(set(a.transfer_codes(512).tolist())) == 1
+
+    def test_degraded_clock_no_static_effect(self):
+        a = nominal_adc().with_clocks(ClockBehavior(degraded=True))
+        assert set(a.transfer_codes(4096).tolist()) == set(range(256))
+
+    def test_faulty_ladder_injection(self):
+        taps = nominal_tap_voltages().copy()
+        taps[50:60] = taps[50]  # collapsed span (shorted segments)
+        a = nominal_adc().with_ladder(LadderBehavior(taps=taps))
+        codes = set(a.transfer_codes(8192).tolist())
+        assert len(codes) < 256
+
+    def test_decoder_stuck_bit(self):
+        a = nominal_adc().with_decoder(DecoderBehavior(
+            stuck_bits={7: False}))
+        codes = set(a.transfer_codes(4096).tolist())
+        assert max(codes) < 128
+
+    def test_injection_bounds_checked(self):
+        with pytest.raises(ValueError):
+            nominal_adc().with_comparator(256, ComparatorBehavior())

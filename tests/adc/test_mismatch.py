@@ -1,0 +1,63 @@
+"""Tests for within-die mismatch analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adc.comparator import build_comparator
+from repro.adc.mismatch import (A_VT, apply_mismatch, comparator_offset,
+                                offset_distribution)
+from repro.circuit import Mosfet
+
+
+class TestApplyMismatch:
+    def test_shifts_every_mosfet(self):
+        c = build_comparator()
+        n_mos = sum(1 for el in c.elements if isinstance(el, Mosfet))
+        shifts = apply_mismatch(c, np.random.default_rng(1))
+        assert len(shifts) == n_mos
+        assert any(abs(s) > 1e-4 for s in shifts)
+
+    def test_sigma_scales_with_area(self):
+        """Pelgrom: bigger devices match better."""
+        rng = np.random.default_rng(2)
+        c = build_comparator()
+        small = [el for el in c.elements if isinstance(el, Mosfet)
+                 and el.w * el.l < 5e-12]
+        big = [el for el in c.elements if isinstance(el, Mosfet)
+               and el.w * el.l > 20e-12]
+        assert small and big
+        # expected sigmas from the law
+        sig_small = A_VT / math.sqrt(small[0].w * small[0].l)
+        sig_big = A_VT / math.sqrt(big[0].w * big[0].l)
+        assert sig_big < sig_small
+
+    def test_deterministic_per_seed(self):
+        a = apply_mismatch(build_comparator(), np.random.default_rng(7))
+        b = apply_mismatch(build_comparator(), np.random.default_rng(7))
+        assert a == b
+
+
+class TestOffset:
+    def test_zero_mismatch_zero_offset(self):
+        off = comparator_offset(a_vt=1e-15, resolution=2e-3)
+        assert abs(off) <= 3e-3
+
+    def test_mismatched_instance_has_finite_offset(self):
+        off = comparator_offset(rng=np.random.default_rng(3),
+                                resolution=4e-3)
+        assert -32e-3 <= off <= 32e-3
+
+    def test_distribution_spread(self):
+        """A handful of samples: offsets spread over a few mV but stay
+        within the search span."""
+        offsets = offset_distribution(n_samples=4, seed=5,
+                                      resolution=8e-3)
+        assert len(offsets) == 4
+        assert np.all(np.abs(offsets) <= 32e-3)
+        assert np.std(offsets) > 0.0
+
+    def test_bad_sample_count(self):
+        with pytest.raises(ValueError):
+            offset_distribution(n_samples=0)

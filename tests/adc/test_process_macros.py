@@ -1,0 +1,139 @@
+"""Tests for the process model, ladder, bias generator and clock
+generator macros."""
+
+import numpy as np
+import pytest
+
+import repro.adc as adc
+from repro.adc.process import (VDD_NOMINAL, corner, good_space_corners,
+                               reduced_corners, typical)
+from repro.circuit import operating_point, supply_current, transient
+from repro.layout import verify_cell
+
+
+class TestProcess:
+    def test_typical(self):
+        p = typical()
+        assert p.vdd == VDD_NOMINAL
+        assert p.nmos.vto == pytest.approx(0.70)
+        assert p.pmos.vto == pytest.approx(-0.80)
+
+    def test_corner_shifts(self):
+        slow = corner(-1.0, 4.5, 27.0)
+        fast = corner(+1.0, 5.5, 27.0)
+        assert slow.nmos.vto > typical().nmos.vto
+        assert fast.nmos.vto < typical().nmos.vto
+        assert slow.nmos.kp < fast.nmos.kp
+        assert slow.vdd == 4.5 and fast.vdd == 5.5
+
+    def test_temperature_dependence(self):
+        hot = typical().with_temperature(85.0)
+        assert hot.nmos.kp < typical().nmos.kp       # mobility drops
+        assert hot.nmos.vto < typical().nmos.vto     # vth drops
+
+    def test_corner_sets(self):
+        assert len(good_space_corners()) == 27
+        assert len(reduced_corners()) == 5
+        names = [p.name for p in reduced_corners()]
+        assert len(set(names)) == 5
+
+
+class TestLadder:
+    def test_taps_monotone_and_centred(self):
+        tb = adc.ladder_testbench()
+        taps = adc.tap_voltages(tb)
+        assert np.all(np.diff(taps) > 0)
+        assert taps[128] == pytest.approx(2.5, abs=0.01)
+
+    def test_dual_ladder_redundancy(self):
+        """Removing one fine segment barely disturbs the taps because
+        the coarse ladder pins every 16th node."""
+        tb = adc.ladder_testbench()
+        nominal = adc.tap_voltages(tb)
+        tb2 = adc.ladder_testbench()
+        tb2.element("RF100").resistance = 1e9  # open fine segment
+        perturbed = adc.tap_voltages(tb2)
+        # disturbance confined to the affected coarse span
+        outside = np.concatenate([np.abs(perturbed[:96] - nominal[:96]),
+                                  np.abs(perturbed[113:] - nominal[113:])])
+        assert outside.max() < 1e-3
+
+    def test_reference_current_scale(self):
+        i = adc.reference_current(adc.ladder_testbench())
+        assert 0.01 < i < 0.1  # tens of mA through the dual ladder
+
+    def test_short_changes_reference_current(self):
+        """The property behind 99.8 % current detectability."""
+        tb = adc.ladder_testbench()
+        i_nom = adc.reference_current(tb)
+        tb2 = adc.ladder_testbench()
+        from repro.circuit import Resistor
+        tb2.add(Resistor("FSHORT", "tap128", "tap144", 0.2))
+        i_faulty = adc.reference_current(tb2)
+        assert abs(i_faulty - i_nom) / i_nom > 0.02
+
+    def test_slice_layout_clean(self):
+        cell = adc.ladder_slice_layout()
+        assert verify_cell(cell) == []
+
+    def test_bad_tap_count_rejected(self):
+        with pytest.raises(ValueError):
+            adc.build_ladder(n_taps=100)  # not a multiple of 16
+
+    def test_nominal_taps(self):
+        taps = adc.nominal_tap_voltages()
+        assert len(taps) == 257
+        assert taps[0] == adc.VREF_LOW
+        assert taps[-1] == adc.VREF_HIGH
+
+
+class TestBiasgen:
+    def test_bias_voltages_marginally_different(self):
+        v1, v2 = adc.bias_voltages()
+        assert 1.0 < v1 < 1.4
+        assert 0.005 < abs(v2 - v1) < 0.05  # marginally different
+
+    def test_bias_tracks_process(self):
+        v1_slow, _ = adc.bias_voltages(corner(-1.0, 5.0, 27.0))
+        v1_fast, _ = adc.bias_voltages(corner(+1.0, 5.0, 27.0))
+        assert v1_slow > v1_fast  # higher vth -> higher diode voltage
+
+    def test_layout_variants(self):
+        std = adc.biasgen_layout(dft=False)
+        dft = adc.biasgen_layout(dft=True)
+        assert verify_cell(std) == []
+        assert verify_cell(dft) == []
+
+        def track_y(cell, net):
+            return min(s.rect.y0 for s in cell.shapes_on("metal1")
+                       if s.net == net and s.rect.width > 20)
+
+        # standard: vbn1 and vbn2 adjacent; DfT: separated
+        assert abs(track_y(std, "vbn1") - track_y(std, "vbn2")) == \
+            pytest.approx(3.0)
+        assert abs(track_y(dft, "vbn1") - track_y(dft, "vbn2")) > 3.0
+
+
+class TestClockgen:
+    def test_phases_buffered_full_swing(self):
+        tb = adc.clockgen_testbench()
+        tr = transient(tb, tstop=adc.CLOCK_PERIOD, dt=1e-9)
+        levels = adc.clock_levels(tr)
+        for phase, level in levels.items():
+            assert level == pytest.approx(5.0, abs=0.05), phase
+
+    def test_iddq_negligible_when_fault_free(self):
+        """The defining property of the digital macro: near-zero IDDQ."""
+        tb = adc.clockgen_testbench()
+        tr = transient(tb, tstop=adc.CLOCK_PERIOD, dt=1e-9)
+        assert adc.iddq(tr) < 1e-6
+
+    def test_iddq_elevated_by_clock_line_short(self):
+        from repro.circuit import Resistor
+        tb = adc.clockgen_testbench()
+        tb.add(Resistor("FBRIDGE", "phi1", "gnd", 500.0))
+        tr = transient(tb, tstop=adc.CLOCK_PERIOD, dt=1e-9)
+        assert adc.iddq(tr) > 1e-3
+
+    def test_layout_clean(self):
+        assert verify_cell(adc.clockgen_layout()) == []

@@ -1,0 +1,202 @@
+"""Tests for DC operating-point analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Circuit, CurrentSource, Diode, Mosfet, MosParams,
+                           Resistor, Switch, VCCS, VCVS, VoltageSource,
+                           dc_sweep, operating_point)
+
+NMOS = MosParams(kp=60e-6, vto=0.7, lam=0.05, gamma=0.4, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+PMOS = MosParams(kp=25e-6, vto=-0.8, lam=0.06, gamma=0.5, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+
+
+def divider(r1=1000.0, r2=1000.0, v=10.0):
+    c = Circuit("div")
+    c.add(VoltageSource("V1", "in", "gnd", v))
+    c.add(Resistor("R1", "in", "mid", r1))
+    c.add(Resistor("R2", "mid", "gnd", r2))
+    return c
+
+
+def test_resistor_divider():
+    op = operating_point(divider())
+    assert op.voltage("mid") == pytest.approx(5.0)
+    assert op.voltage("in") == pytest.approx(10.0)
+
+
+def test_source_branch_current_sign():
+    op = operating_point(divider())
+    # 10 V across 2 kOhm: 5 mA sourced, SPICE convention -> negative
+    assert op.current("V1") == pytest.approx(-5e-3)
+
+
+def test_current_source_into_resistor():
+    c = Circuit()
+    c.add(CurrentSource("I1", "gnd", "out", 1e-3))
+    c.add(Resistor("R1", "out", "gnd", 2000.0))
+    op = operating_point(c)
+    assert op.voltage("out") == pytest.approx(2.0)
+
+
+def test_vccs():
+    c = Circuit()
+    c.add(VoltageSource("V1", "c", "gnd", 2.0))
+    c.add(VCCS("G1", "out", "gnd", "c", "gnd", gm=1e-3))
+    c.add(Resistor("R1", "out", "gnd", 1000.0))
+    op = operating_point(c)
+    # i = gm*v flows out of "out" into gnd -> out is pulled negative
+    assert op.voltage("out") == pytest.approx(-2.0)
+
+
+def test_vcvs():
+    c = Circuit()
+    c.add(VoltageSource("V1", "c", "gnd", 1.5))
+    c.add(VCVS("E1", "out", "gnd", "c", "gnd", gain=4.0))
+    c.add(Resistor("R1", "out", "gnd", 1000.0))
+    op = operating_point(c)
+    assert op.voltage("out") == pytest.approx(6.0)
+
+
+def test_voltages_dict():
+    op = operating_point(divider())
+    v = op.voltages()
+    assert set(v) == {"in", "mid"}
+    assert v["mid"] == pytest.approx(5.0)
+
+
+def test_nmos_saturation_current():
+    c = Circuit()
+    c.add(VoltageSource("VD", "d", "gnd", 5.0))
+    c.add(VoltageSource("VG", "g", "gnd", 1.7))
+    c.add(Mosfet("M1", "d", "g", "gnd", "gnd", NMOS, w=10e-6, l=1e-6))
+    op = operating_point(c)
+    beta = NMOS.kp * 10.0
+    expected = 0.5 * beta * (1.7 - 0.7) ** 2 * (1 + NMOS.lam * 5.0)
+    assert -op.current("VD") == pytest.approx(expected, rel=1e-4)
+
+
+def test_nmos_triode_current():
+    c = Circuit()
+    c.add(VoltageSource("VD", "d", "gnd", 0.1))
+    c.add(VoltageSource("VG", "g", "gnd", 3.0))
+    c.add(Mosfet("M1", "d", "g", "gnd", "gnd", NMOS, w=10e-6, l=1e-6))
+    op = operating_point(c)
+    beta = NMOS.kp * 10.0
+    expected = beta * ((3.0 - 0.7) - 0.05) * 0.1 * (1 + NMOS.lam * 0.1)
+    assert -op.current("VD") == pytest.approx(expected, rel=1e-4)
+
+
+def test_nmos_cutoff():
+    c = Circuit()
+    c.add(VoltageSource("VD", "d", "gnd", 5.0))
+    c.add(VoltageSource("VG", "g", "gnd", 0.3))
+    c.add(Mosfet("M1", "d", "g", "gnd", "gnd", NMOS, w=10e-6, l=1e-6))
+    op = operating_point(c)
+    assert abs(op.current("VD")) < 1e-9
+
+
+def test_pmos_mirror_of_nmos():
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VG", "g", "gnd", 3.2))  # Vsg = 1.8, |vto|=0.8
+    c.add(Resistor("RD", "d", "gnd", 1.0))
+    c.add(Mosfet("M1", "d", "g", "vdd", "vdd", PMOS, w=10e-6, l=1e-6,
+                 polarity="p"))
+    op = operating_point(c)
+    beta = PMOS.kp * 10.0
+    vds = abs(op.voltage("d") - 5.0)
+    expected = 0.5 * beta * (1.8 - 0.8) ** 2 * (1 + PMOS.lam * vds)
+    # current flows from vdd through PMOS into RD into gnd
+    assert op.voltage("d") == pytest.approx(expected * 1.0, rel=1e-3)
+
+
+def test_mosfet_source_drain_swap_symmetry():
+    """A MOSFET pass device conducts identically in both directions."""
+    def conduct(swap_terminals):
+        c = Circuit()
+        c.add(VoltageSource("VL", "a", "gnd", 1.0))
+        c.add(VoltageSource("VG", "g", "gnd", 5.0))
+        c.add(Resistor("RL", "b", "gnd", 10e3))
+        d, s = ("b", "a") if swap_terminals else ("a", "b")
+        c.add(Mosfet("M1", d, "g", s, "gnd", NMOS, w=4e-6, l=1e-6))
+        op = operating_point(c)
+        return op.voltage("b")
+
+    v_fwd = conduct(False)
+    v_rev = conduct(True)
+    # The device conducts (output close to the driven side through the
+    # on-resistance / load divider) and is direction-symmetric.
+    assert 0.7 < v_fwd < 1.0
+    assert v_fwd == pytest.approx(v_rev, rel=1e-6)
+
+
+def test_body_effect_raises_threshold():
+    m = Mosfet("M1", "d", "g", "s", "b", NMOS, w=1e-6, l=1e-6)
+    assert m.threshold(0.0) == pytest.approx(0.7)
+    assert m.threshold(2.0) > 0.7 + 0.2
+
+
+def test_mosfet_region_classification():
+    m = Mosfet("M1", "d", "g", "s", "b", NMOS, w=1e-6, l=1e-6)
+    assert m.operating_point(5.0, 0.0, 0.0, 0.0)[1] == "off"
+    assert m.operating_point(0.05, 3.0, 0.0, 0.0)[1] == "triode"
+    assert m.operating_point(5.0, 1.5, 0.0, 0.0)[1] == "sat"
+
+
+def test_diode_forward_drop():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", 5.0))
+    c.add(Resistor("R1", "in", "a", 1000.0))
+    c.add(Diode("D1", "a", "gnd"))
+    op = operating_point(c)
+    assert 0.5 < op.voltage("a") < 0.8
+
+
+def test_diode_reverse_blocks():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", -5.0))
+    c.add(Resistor("R1", "in", "a", 1000.0))
+    c.add(Diode("D1", "a", "gnd"))
+    op = operating_point(c)
+    assert op.voltage("a") == pytest.approx(-5.0, abs=1e-3)
+
+
+def test_switch_on_off():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", 1.0))
+    c.add(VoltageSource("VC", "ctrl", "gnd", 5.0))
+    c.add(Switch("S1", "in", "out", "ctrl", vt=2.5, ron=100.0, roff=1e9))
+    c.add(Resistor("RL", "out", "gnd", 100.0))
+    op = operating_point(c)
+    assert op.voltage("out") == pytest.approx(0.5, abs=1e-3)
+    c.element("VC").value = 0.0
+    op = operating_point(c)
+    assert op.voltage("out") < 1e-3
+
+
+def test_dc_sweep_restores_source_and_tracks():
+    c = divider()
+    src = c.element("V1")
+    results = dc_sweep(c, "V1", [0.0, 2.0, 4.0])
+    assert [r.voltage("mid") for r in results] == pytest.approx(
+        [0.0, 1.0, 2.0])
+    assert src.value == 10.0
+
+
+def test_cmos_inverter_dc_transfer_monotone():
+    c = Circuit("cmosinv")
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd", 0.0))
+    c.add(Mosfet("MN", "out", "in", "gnd", "gnd", NMOS, w=4e-6, l=1e-6))
+    c.add(Mosfet("MP", "out", "in", "vdd", "vdd", PMOS, w=8e-6, l=1e-6,
+                 polarity="p"))
+    vouts = [r.voltage("out")
+             for r in dc_sweep(c, "VIN", np.linspace(0, 5, 21))]
+    assert vouts[0] == pytest.approx(5.0, abs=0.01)
+    assert vouts[-1] == pytest.approx(0.0, abs=0.01)
+    assert all(a >= b - 1e-6 for a, b in zip(vouts, vouts[1:]))

@@ -1,0 +1,135 @@
+"""Tests for hierarchical subcircuits and SPICE .subckt support."""
+
+import pytest
+
+from repro.circuit import (Circuit, CircuitError, Resistor,
+                           VoltageSource, operating_point, parse_netlist)
+from repro.circuit.hierarchy import Subcircuit, flatten, instantiate
+from repro.circuit.spicefmt import SpiceFormatError
+
+
+def divider_template():
+    c = Circuit("div")
+    c.add(Resistor("RT", "top", "mid", 1000.0))
+    c.add(Resistor("RB", "mid", "gnd", 1000.0))
+    return Subcircuit(name="div", ports=["top", "mid"], circuit=c)
+
+
+class TestSubcircuit:
+    def test_internal_nodes(self):
+        sub = divider_template()
+        assert sub.internal_nodes() == []
+        c = Circuit()
+        c.add(Resistor("R1", "a", "x", 1.0))
+        c.add(Resistor("R2", "x", "gnd", 1.0))
+        sub2 = Subcircuit(name="s", ports=["a"], circuit=c)
+        assert sub2.internal_nodes() == ["x"]
+
+    def test_missing_port_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "gnd", 1.0))
+        with pytest.raises(CircuitError):
+            Subcircuit(name="s", ports=["a", "ghost"], circuit=c)
+
+    def test_duplicate_ports_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "gnd", 1.0))
+        with pytest.raises(CircuitError):
+            Subcircuit(name="s", ports=["a", "a"], circuit=c)
+
+
+class TestInstantiate:
+    def test_two_instances_stack(self):
+        parent = Circuit("stack")
+        parent.add(VoltageSource("V1", "in", "gnd", 8.0))
+        sub = divider_template()
+        instantiate(parent, sub, "X1", ["in", "n1"])
+        instantiate(parent, sub, "X2", ["n1", "n2"])
+        op = operating_point(parent)
+        # n1 loads: X1.RB (1k) || X2's 2k chain = 2/3 k; with X1.RT (1k)
+        # above: v(n1) = 8 * (2/3) / (1 + 2/3) = 3.2 V
+        assert op.voltage("n1") == pytest.approx(3.2, rel=1e-6)
+        assert op.voltage("n2") == pytest.approx(1.6, rel=1e-6)
+
+    def test_names_prefixed_no_collisions(self):
+        parent = Circuit()
+        sub = divider_template()
+        instantiate(parent, sub, "A", ["p", "q"])
+        instantiate(parent, sub, "B", ["p", "r"])
+        assert "A.RT" in parent and "B.RT" in parent
+
+    def test_internal_nodes_isolated(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "x", 1.0))
+        c.add(Resistor("R2", "x", "gnd", 1.0))
+        sub = Subcircuit(name="s", ports=["a"], circuit=c)
+        parent = Circuit()
+        instantiate(parent, sub, "U1", ["n"])
+        instantiate(parent, sub, "U2", ["n"])
+        assert "U1.x" in parent.nodes()
+        assert "U2.x" in parent.nodes()
+
+    def test_arity_checked(self):
+        parent = Circuit()
+        with pytest.raises(CircuitError):
+            instantiate(parent, divider_template(), "X1", ["only_one"])
+
+    def test_template_unmodified(self):
+        sub = divider_template()
+        parent = Circuit()
+        instantiate(parent, sub, "X1", ["a", "b"])
+        assert sub.circuit.element("RT").nodes == ["top", "mid"]
+
+    def test_flatten(self):
+        sub = divider_template()
+        parent = flatten("two", [(sub, "X1", ["a", "b"]),
+                                 (sub, "X2", ["b", "c"])])
+        assert len(parent) == 4
+
+
+class TestSpiceSubckt:
+    DECK = """hierarchy test
+.subckt div top mid
+RT top mid 1k
+RB mid 0 1k
+.ends
+V1 in 0 8
+Xa in n1 div
+Xb n1 n2 div
+.end
+"""
+
+    def test_parse_and_solve(self):
+        c = parse_netlist(self.DECK)
+        assert "Xa.RT" in c
+        op = operating_point(c)
+        assert op.voltage("n1") == pytest.approx(3.2, rel=1e-6)
+
+    def test_unknown_subckt_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            parse_netlist("t\nX1 a b ghost\n.end\n")
+
+    def test_unclosed_subckt_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            parse_netlist("t\n.subckt s a\nR1 a 0 1k\n.end\n")
+
+    def test_ends_without_subckt_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            parse_netlist("t\n.ends\n.end\n")
+
+    def test_subckt_using_earlier_subckt(self):
+        deck = """nested
+.subckt half top mid
+R1 top mid 1k
+.ends
+.subckt full a b
+X1 a m half
+X2 m b half
+.ends
+V1 in 0 2
+Xtop in 0 full
+.end
+"""
+        c = parse_netlist(deck)
+        op = operating_point(c)
+        assert -op.current("V1") == pytest.approx(1e-3, rel=1e-6)

@@ -1,0 +1,123 @@
+"""Tests for waveform measurement utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.measure import (MeasurementError, crossing_times,
+                                   duty_cycle, fall_time, overshoot,
+                                   period, rise_time, settling_time,
+                                   slew_rate)
+
+
+def ramp_step(tau=1e-6, tstop=10e-6, n=2000):
+    """First-order step response 0 -> 1."""
+    t = np.linspace(0, tstop, n)
+    return t, 1.0 - np.exp(-t / tau)
+
+
+def square_wave(period_s=1e-6, duty=0.25, cycles=5, n=5000):
+    t = np.linspace(0, cycles * period_s, n)
+    v = ((t % period_s) < duty * period_s).astype(float)
+    return t, v
+
+
+class TestCrossings:
+    def test_single_rising(self):
+        t, v = ramp_step()
+        rises = crossing_times(t, v, 0.5, "rising")
+        assert len(rises) == 1
+        assert rises[0] == pytest.approx(1e-6 * math.log(2), rel=0.01)
+
+    def test_direction_filter(self):
+        t, v = square_wave()
+        rising = crossing_times(t, v, 0.5, "rising")
+        falling = crossing_times(t, v, 0.5, "falling")
+        both = crossing_times(t, v, 0.5, "both")
+        assert len(both) == len(rising) + len(falling)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            crossing_times([0, 1], [0, 1], 0.5, "sideways")
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            crossing_times([0.0], [1.0], 0.5)
+
+
+class TestEdges:
+    def test_rise_time_exponential(self):
+        """10-90 % rise of a first-order step is tau * ln 9."""
+        t, v = ramp_step(tau=1e-6)
+        assert rise_time(t, v) == pytest.approx(1e-6 * math.log(9),
+                                                rel=0.02)
+
+    def test_fall_time(self):
+        t, v = ramp_step(tau=1e-6)
+        assert fall_time(t, 1.0 - v) == pytest.approx(
+            1e-6 * math.log(9), rel=0.02)
+
+    def test_no_edge_raises(self):
+        with pytest.raises(MeasurementError):
+            rise_time([0, 1, 2], [1.0, 1.0, 1.0])
+
+
+class TestStepMetrics:
+    def test_no_overshoot_first_order(self):
+        t, v = ramp_step()
+        assert overshoot(t, v) == pytest.approx(0.0, abs=1e-6)
+
+    def test_overshoot_second_order(self):
+        t = np.linspace(0, 20, 4000)
+        v = 1 - np.exp(-0.3 * t) * np.cos(2 * t)
+        # zeta/wn chosen for a visible peak
+        assert overshoot(t, v, final_value=1.0) > 0.3
+
+    def test_settling_time(self):
+        t, v = ramp_step(tau=1e-6, tstop=20e-6, n=8000)
+        ts = settling_time(t, v, tolerance=0.01, final_value=1.0)
+        assert ts == pytest.approx(1e-6 * math.log(100), rel=0.05)
+
+    def test_flat_waveform_settles_immediately(self):
+        assert settling_time([0, 1, 2], [1.0, 1.0, 1.0]) == 0.0
+
+
+class TestPeriodic:
+    def test_period(self):
+        t, v = square_wave(period_s=2e-6)
+        assert period(t, v) == pytest.approx(2e-6, rel=0.01)
+
+    def test_duty_cycle(self):
+        t, v = square_wave(duty=0.25)
+        assert duty_cycle(t, v) == pytest.approx(0.25, abs=0.02)
+
+    def test_period_needs_two_crossings(self):
+        t, v = ramp_step()
+        with pytest.raises(MeasurementError):
+            period(t, v)
+
+
+class TestSlewRate:
+    def test_linear_ramp(self):
+        t = np.linspace(0, 1e-6, 100)
+        v = 5.0 * t / 1e-6
+        assert slew_rate(t, v) == pytest.approx(5.0 / 1e-6, rel=1e-6)
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError):
+            slew_rate([0, 2, 1], [0, 1, 2])
+
+
+class TestOnRealSimulation:
+    def test_clock_buffer_edges(self):
+        """Measure the clock generator's output edges."""
+        from repro.adc.clockgen import clockgen_testbench
+        from repro.adc.comparator import CLOCK_PERIOD
+        from repro.circuit import transient
+
+        tb = clockgen_testbench()
+        tr = transient(tb, tstop=2.5 * CLOCK_PERIOD, dt=0.5e-9)
+        tr_rise = rise_time(tr.times, tr.voltage("phi1"))
+        assert 0.1e-9 < tr_rise < 10e-9
+        assert duty_cycle(tr.times, tr.voltage("phi1")) < 0.5

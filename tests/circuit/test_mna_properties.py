@@ -1,0 +1,105 @@
+"""Property-based tests for MNA assembly and solve.
+
+The key physical invariants: Kirchhoff's current law holds at every node
+of the solved system, resistive networks obey superposition, and random
+resistor ladders match their analytic series/parallel reduction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (Circuit, MNASystem, Resistor, StampContext,
+                           VoltageSource, operating_point)
+
+resistances = st.floats(min_value=1.0, max_value=1e6)
+
+
+@given(st.lists(resistances, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_series_resistors_reduce(values):
+    """A series chain driven by 1 V carries V/sum(R)."""
+    c = Circuit()
+    c.add(VoltageSource("V1", "n0", "gnd", 1.0))
+    for k, r in enumerate(values):
+        bottom = "gnd" if k == len(values) - 1 else f"n{k + 1}"
+        c.add(Resistor(f"R{k}", f"n{k}", bottom, r))
+    op = operating_point(c)
+    assert -op.current("V1") == pytest.approx(1.0 / sum(values), rel=1e-8)
+
+
+@given(st.lists(resistances, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_parallel_resistors_reduce(values):
+    c = Circuit()
+    c.add(VoltageSource("V1", "top", "gnd", 1.0))
+    for k, r in enumerate(values):
+        c.add(Resistor(f"R{k}", "top", "gnd", r))
+    op = operating_point(c)
+    g_total = sum(1.0 / r for r in values)
+    assert -op.current("V1") == pytest.approx(g_total, rel=1e-8)
+
+
+@given(st.lists(resistances, min_size=2, max_size=6),
+       st.floats(min_value=-10, max_value=10),
+       st.floats(min_value=-10, max_value=10))
+@settings(max_examples=30, deadline=None)
+def test_superposition(values, v1, v2):
+    """Linear network: response to (v1 + v2) = response(v1) + response(v2)."""
+    def solve(va, vb):
+        c = Circuit()
+        c.add(VoltageSource("VA", "a", "gnd", va))
+        c.add(VoltageSource("VB", "b", "gnd", vb))
+        for k, r in enumerate(values):
+            left = "a" if k % 2 == 0 else "b"
+            c.add(Resistor(f"R{k}", left, "mid", r))
+        c.add(Resistor("RL", "mid", "gnd", 1000.0))
+        return operating_point(c).voltage("mid")
+
+    lhs = solve(v1, v2)
+    rhs = solve(v1, 0.0) + solve(0.0, v2)
+    assert lhs == pytest.approx(rhs, abs=1e-8)
+
+
+@given(st.lists(resistances, min_size=2, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_kcl_residual_zero(values):
+    """G @ x - b vanishes at the solution (assembled residual check)."""
+    c = Circuit()
+    c.add(VoltageSource("V1", "n0", "gnd", 5.0))
+    for k, r in enumerate(values):
+        bottom = "gnd" if k == len(values) - 1 else f"n{k + 1}"
+        c.add(Resistor(f"R{k}", f"n{k}", bottom, r))
+    op = operating_point(c)
+    system = MNASystem(op.compiled)
+    system.assemble(c, op.x, StampContext(mode="dc"))
+    residual = system.G @ op.x - system.b
+    assert np.max(np.abs(residual)) < 1e-9
+
+
+@given(st.integers(min_value=2, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_voltage_ladder_monotone(n):
+    """An n-tap equal-resistor ladder produces monotone tap voltages -
+    the invariant the ADC reference ladder depends on."""
+    c = Circuit()
+    c.add(VoltageSource("VREF", "t0", "gnd", 2.0))
+    for k in range(n):
+        bottom = "gnd" if k == n - 1 else f"t{k + 1}"
+        c.add(Resistor(f"R{k}", f"t{k}", bottom, 100.0))
+    op = operating_point(c)
+    taps = [op.voltage(f"t{k}") for k in range(n)]
+    assert all(a > b for a, b in zip(taps, taps[1:]))
+    assert taps[0] == pytest.approx(2.0)
+
+
+def test_ground_row_dropped():
+    """Stamps touching ground must not corrupt the system."""
+    c = Circuit()
+    c.add(VoltageSource("V1", "a", "gnd", 1.0))
+    c.add(Resistor("R1", "a", "gnd", 10.0))
+    comp = c.compile()
+    system = MNASystem(comp)
+    system.assemble(c, np.zeros(comp.size), StampContext())
+    x = system.solve()
+    assert x[comp.index_of("a")] == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the netlist container and compilation."""
+
+import pytest
+
+from repro.circuit import (Circuit, CircuitError, Resistor, VoltageSource,
+                           canonical_node)
+
+
+def test_ground_aliases_normalise():
+    assert canonical_node("0") == "gnd"
+    assert canonical_node("GND") == "gnd"
+    assert canonical_node("vss!") == "gnd"
+    assert canonical_node("a") == "a"
+
+
+def test_add_and_lookup_element():
+    c = Circuit()
+    r = c.add(Resistor("R1", "a", "b", 100.0))
+    assert c.element("R1") is r
+    assert "R1" in c
+    assert len(c) == 1
+
+
+def test_duplicate_name_rejected():
+    c = Circuit()
+    c.add(Resistor("R1", "a", "b", 100.0))
+    with pytest.raises(CircuitError):
+        c.add(Resistor("R1", "b", "c", 200.0))
+
+
+def test_remove_element():
+    c = Circuit()
+    c.add(Resistor("R1", "a", "b", 100.0))
+    c.remove("R1")
+    assert "R1" not in c
+    with pytest.raises(CircuitError):
+        c.remove("R1")
+
+
+def test_nodes_exclude_ground_and_sorted():
+    c = Circuit()
+    c.add(Resistor("R1", "b", "0", 1.0))
+    c.add(Resistor("R2", "a", "b", 1.0))
+    assert c.nodes() == ["a", "b"]
+
+
+def test_elements_on_node():
+    c = Circuit()
+    r1 = c.add(Resistor("R1", "a", "b", 1.0))
+    r2 = c.add(Resistor("R2", "b", "c", 1.0))
+    c.add(Resistor("R3", "c", "gnd", 1.0))
+    on_b = c.elements_on_node("b")
+    assert r1 in on_b and r2 in on_b and len(on_b) == 2
+
+
+def test_rename_terminal_splits_node():
+    c = Circuit()
+    c.add(Resistor("R1", "a", "b", 1.0))
+    c.add(Resistor("R2", "b", "c", 1.0))
+    c.rename_terminal("R2", 0, "b_split")
+    assert c.element("R2").nodes[0] == "b_split"
+    assert "b_split" in c.nodes()
+
+
+def test_rename_terminal_bad_index():
+    c = Circuit()
+    c.add(Resistor("R1", "a", "b", 1.0))
+    with pytest.raises(CircuitError):
+        c.rename_terminal("R1", 5, "x")
+
+
+def test_compile_assigns_indices():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", 1.0))
+    c.add(Resistor("R1", "in", "out", 1.0))
+    c.add(Resistor("R2", "out", "gnd", 1.0))
+    comp = c.compile()
+    assert comp.size == 3  # two nodes + one branch
+    assert comp.index_of("gnd") == -1
+    assert comp.index_of("in") != comp.index_of("out")
+    assert comp.branch_index["V1"] == 2
+
+
+def test_compile_unknown_node_raises():
+    c = Circuit()
+    c.add(Resistor("R1", "a", "gnd", 1.0))
+    comp = c.compile()
+    with pytest.raises(CircuitError):
+        comp.index_of("nope")
+
+
+def test_copy_is_independent():
+    c = Circuit("orig")
+    c.add(Resistor("R1", "a", "b", 100.0))
+    c2 = c.copy()
+    c2.element("R1").resistance = 5.0
+    c2.rename_terminal("R1", 0, "z")
+    assert c.element("R1").resistance == 100.0
+    assert c.element("R1").nodes[0] == "a"
+
+
+def test_resistor_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Resistor("R1", "a", "b", 0.0)
+    with pytest.raises(ValueError):
+        Resistor("R1", "a", "b", -1.0)

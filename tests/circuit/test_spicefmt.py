@@ -1,0 +1,155 @@
+"""Tests for the SPICE netlist reader/writer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.comparator import build_comparator
+from repro.adc.process import typical
+from repro.circuit import (Capacitor, Circuit, CurrentSource, Diode,
+                           Mosfet, Pulse, Resistor, Sin, VCCS, VCVS,
+                           VoltageSource, operating_point)
+from repro.circuit.spicefmt import (SpiceFormatError, format_value,
+                                    parse_netlist, parse_value,
+                                    write_netlist)
+
+
+class TestValues:
+    def test_suffixes(self):
+        assert parse_value("1k") == pytest.approx(1e3)
+        assert parse_value("2.2u") == pytest.approx(2.2e-6)
+        assert parse_value("100n") == pytest.approx(100e-9)
+        assert parse_value("1MEG") == pytest.approx(1e6)
+        assert parse_value("3m") == pytest.approx(3e-3)
+        assert parse_value("1.5e-12") == pytest.approx(1.5e-12)
+        assert parse_value("-4.7k") == pytest.approx(-4700)
+
+    def test_trailing_units_ignored(self):
+        # SPICE tradition: "10kohm" == "10k"
+        assert parse_value("10kohm") == pytest.approx(1e4)
+
+    def test_bad_value(self):
+        with pytest.raises(SpiceFormatError):
+            parse_value("abc")
+
+    @given(st.floats(min_value=1e-15, max_value=1e9))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert parse_value(format_value(value)) == \
+            pytest.approx(value, rel=1e-5)
+
+
+def full_featured_circuit():
+    p = typical()
+    c = Circuit("every element kind")
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd",
+                        Pulse(0, 5, 1e-9, 1e-9, 1e-9, 10e-9, 40e-9),
+                        ac=1.0))
+    c.add(VoltageSource("VS", "s", "gnd", Sin(2.5, 0.1, 1e6)))
+    c.add(CurrentSource("IB", "vdd", "bias", 10e-6))
+    c.add(Resistor("R1", "vdd", "out", 10e3))
+    c.add(Capacitor("CL", "out", "gnd", 100e-15))
+    c.add(Mosfet("MN1", "out", "in", "gnd", "gnd", p.nmos, w=4e-6,
+                 l=1e-6))
+    c.add(Mosfet("MP1", "out", "in", "vdd", "vdd", p.pmos, w=8e-6,
+                 l=1e-6, polarity="p"))
+    c.add(VCVS("EA", "e_out", "gnd", "out", "gnd", 2.0))
+    c.add(VCCS("GM1", "g_out", "gnd", "out", "gnd", 1e-3))
+    c.add(Resistor("RE", "e_out", "gnd", 1e3))
+    c.add(Resistor("RG", "g_out", "gnd", 1e3))
+    c.add(Diode("DCLMP", "bias", "gnd"))
+    return c
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_structure(self):
+        original = full_featured_circuit()
+        text = write_netlist(original)
+        parsed = parse_netlist(text)
+        assert len(parsed) == len(original)
+        assert sorted(parsed.nodes()) == sorted(original.nodes())
+
+    def test_roundtrip_preserves_dc_solution(self):
+        original = full_featured_circuit()
+        parsed = parse_netlist(write_netlist(original))
+        op_a = operating_point(original)
+        op_b = operating_point(parsed)
+        for node in original.nodes():
+            assert op_b.voltage(node) == pytest.approx(
+                op_a.voltage(node), abs=1e-6), node
+
+    def test_comparator_roundtrip(self):
+        """The real macro netlist survives a round trip."""
+        original = build_comparator()
+        parsed = parse_netlist(write_netlist(original))
+        assert len(parsed) == len(original)
+        mosfets_a = sorted(el.name for el in original.elements
+                           if isinstance(el, Mosfet))
+        mosfets_b = sorted(el.name for el in parsed.elements
+                           if isinstance(el, Mosfet))
+        assert mosfets_a == mosfets_b
+
+    def test_pulse_waveform_roundtrip(self):
+        parsed = parse_netlist(write_netlist(full_featured_circuit()))
+        pulse = parsed.element("VIN").value
+        assert isinstance(pulse, Pulse)
+        assert pulse.high == pytest.approx(5.0)
+        assert pulse.period == pytest.approx(40e-9)
+        assert parsed.element("VIN").ac == pytest.approx(1.0)
+
+
+class TestParsing:
+    def test_title_comments_continuation(self):
+        text = """my divider
+* a comment
+R1 in out 1k
+R2 out
++ gnd 1k
+V1 in gnd 10
+.end
+"""
+        c = parse_netlist(text)
+        assert c.title == "my divider"
+        assert len(c) == 3
+        op = operating_point(c)
+        assert op.voltage("out") == pytest.approx(5.0)
+
+    def test_model_card_and_mosfet(self):
+        text = """test
+.model mynmos NMOS (LEVEL=1 VTO=0.7 KP=60u LAMBDA=0.05 GAMMA=0.4
++ PHI=0.6 COX=1.7m CGSO=0.3n)
+M1 d g 0 0 mynmos W=10u L=1u
+V1 d 0 5
+V2 g 0 1.7
+.end
+"""
+        c = parse_netlist(text)
+        m = c.element("M1")
+        assert isinstance(m, Mosfet)
+        assert m.w == pytest.approx(10e-6)
+        assert m.params.vto == pytest.approx(0.7)
+        op = operating_point(c)
+        expected = 0.5 * 60e-6 * 10 * (1.0 ** 2) * (1 + 0.05 * 5)
+        assert -op.current("V1") == pytest.approx(expected, rel=1e-3)
+
+    def test_pwl_source(self):
+        text = """t
+V1 a 0 PWL(0 0 1u 5 2u 0)
+R1 a 0 1k
+.end
+"""
+        c = parse_netlist(text)
+        wave = c.element("V1").value
+        assert wave.at(0.5e-6) == pytest.approx(2.5)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            parse_netlist("t\nM1 d g s b ghost W=1u L=1u\n.end\n")
+
+    def test_unsupported_card_rejected(self):
+        with pytest.raises(SpiceFormatError):
+            parse_netlist("t\nXsub a b mysub\n.end\n")
+
+    def test_cards_after_end_ignored(self):
+        c = parse_netlist("t\nR1 a 0 1k\n.end\nR2 b 0 1k\n")
+        assert len(c) == 1

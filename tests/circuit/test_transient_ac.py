@@ -1,0 +1,152 @@
+"""Tests for transient and AC analyses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, Mosfet, MosParams, Pulse,
+                           Resistor, Sin, VoltageSource, ac_analysis,
+                           bandwidth_3db, log_frequencies, operating_point,
+                           supply_current, transient)
+
+NMOS = MosParams(kp=60e-6, vto=0.7, lam=0.05, gamma=0.4, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+PMOS = MosParams(kp=25e-6, vto=-0.8, lam=0.06, gamma=0.5, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+
+
+def rc_circuit(tau_r=1e3, tau_c=1e-6):
+    c = Circuit("rc")
+    c.add(VoltageSource("V1", "in", "gnd",
+                        Pulse(0, 1, 0, 1e-9, 1e-9, 10e-3, 20e-3)))
+    c.add(Resistor("R1", "in", "out", tau_r))
+    c.add(Capacitor("C1", "out", "gnd", tau_c))
+    return c
+
+
+def test_rc_step_response_be():
+    tr = transient(rc_circuit(), tstop=3e-3, dt=10e-6)
+    # tau = 1 ms
+    assert tr.at_time("out", 1e-3) == pytest.approx(1 - math.exp(-1),
+                                                    abs=0.01)
+    assert tr.at_time("out", 2e-3) == pytest.approx(1 - math.exp(-2),
+                                                    abs=0.01)
+
+
+def test_rc_ramp_response_trap_more_accurate():
+    """With a smooth ramp input, trapezoidal integration beats backward
+    Euler (second vs first order)."""
+    from repro.circuit import PWL
+
+    def build():
+        c = Circuit("rc_ramp")
+        c.add(VoltageSource("V1", "in", "gnd",
+                            PWL([(0.0, 0.0), (1e-3, 1.0)])))
+        c.add(Resistor("R1", "in", "out", 1e3))
+        c.add(Capacitor("C1", "out", "gnd", 1e-6))
+        return c
+
+    # exact response of RC (tau = 1 ms) to a unit ramp over T = 1 ms:
+    # v(T) = 1 - (tau/T) * (1 - exp(-T/tau))
+    exact = 1.0 - (1.0 - math.exp(-1.0))
+    tr_be = transient(build(), tstop=1e-3, dt=50e-6, method="be")
+    tr_trap = transient(build(), tstop=1e-3, dt=50e-6, method="trap")
+    err_be = abs(tr_be.at_time("out", 1e-3) - exact)
+    err_trap = abs(tr_trap.at_time("out", 1e-3) - exact)
+    assert err_trap < err_be / 5.0
+
+
+def test_transient_rejects_bad_args():
+    with pytest.raises(ValueError):
+        transient(rc_circuit(), tstop=-1.0, dt=1e-6)
+    with pytest.raises(ValueError):
+        transient(rc_circuit(), tstop=1e-3, dt=1e-6, method="rk4")
+
+
+def test_transient_record_every():
+    tr_full = transient(rc_circuit(), tstop=1e-3, dt=10e-6)
+    tr_thin = transient(rc_circuit(), tstop=1e-3, dt=10e-6, record_every=5)
+    assert len(tr_thin.times) < len(tr_full.times)
+    assert tr_thin.times[-1] == pytest.approx(1e-3)
+
+
+def test_supply_current_sign_and_value():
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(Resistor("R1", "vdd", "gnd", 1000.0))
+    op = operating_point(c)
+    assert supply_current(op, "VDD") == pytest.approx(5e-3)
+
+
+def test_cmos_inverter_switches_in_transient():
+    c = Circuit("inv")
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd",
+                        Pulse(0, 5, 10e-9, 1e-9, 1e-9, 40e-9, 100e-9)))
+    c.add(Mosfet("MN", "out", "in", "gnd", "gnd", NMOS, w=4e-6, l=1e-6))
+    c.add(Mosfet("MP", "out", "in", "vdd", "vdd", PMOS, w=8e-6, l=1e-6,
+                 polarity="p"))
+    c.add(Capacitor("CL", "out", "gnd", 50e-15))
+    tr = transient(c, tstop=100e-9, dt=0.5e-9)
+    assert tr.at_time("out", 5e-9) > 4.5     # input low -> output high
+    assert tr.at_time("out", 40e-9) < 0.5    # input high -> output low
+    assert tr.at_time("out", 90e-9) > 4.5    # back low -> output high
+
+
+def test_transient_branch_current_waveform():
+    c = rc_circuit()
+    tr = transient(c, tstop=0.2e-3, dt=5e-6)
+    i = supply_current(tr, "V1")
+    # charging current starts near 1 V / 1 kOhm and decays
+    assert i[2] > 0.8e-3
+    assert i[-1] < i[2]
+
+
+def test_ac_rc_lowpass_pole():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", 0.0, ac=1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Capacitor("C1", "out", "gnd", 1e-9))
+    res = ac_analysis(c, log_frequencies(1e3, 1e8, 20))
+    f3 = bandwidth_3db(res, "out")
+    assert f3 == pytest.approx(1.0 / (2 * math.pi * 1e3 * 1e-9), rel=0.05)
+
+
+def test_ac_magnitude_and_phase():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "gnd", 0.0, ac=1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Capacitor("C1", "out", "gnd", 1e-9))
+    fc = 1.0 / (2 * math.pi * 1e3 * 1e-9)
+    res = ac_analysis(c, [fc])
+    assert res.magnitude_db("out")[0] == pytest.approx(-3.01, abs=0.1)
+    assert res.phase_deg("out")[0] == pytest.approx(-45.0, abs=1.0)
+
+
+def test_ac_common_source_gain():
+    """Small-signal gain of a resistively loaded common-source stage
+    matches -gm*(RL || ro)."""
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd", 1.5, ac=1.0))
+    c.add(Resistor("RL", "vdd", "out", 20e3))
+    m = c.add(Mosfet("M1", "out", "in", "gnd", "gnd", NMOS, w=10e-6, l=1e-6))
+    op = operating_point(c)
+    vout = op.voltage("out")
+    _, gm, gds, _ = m.ids(1.5, vout, 0.0)
+    ro = 1.0 / gds
+    expected_gain = gm * (20e3 * ro) / (20e3 + ro)
+    res = ac_analysis(c, [100.0], op=op)
+    assert abs(res.response("out")[0]) == pytest.approx(expected_gain,
+                                                        rel=0.02)
+
+
+def test_log_frequencies_validation():
+    with pytest.raises(ValueError):
+        log_frequencies(0.0, 1e3)
+    with pytest.raises(ValueError):
+        log_frequencies(1e6, 1e3)
+    f = log_frequencies(1e3, 1e6, 10)
+    assert f[0] == pytest.approx(1e3)
+    assert f[-1] == pytest.approx(1e6)

@@ -1,0 +1,113 @@
+"""Tests for waveform generators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import (DC, PWL, Pulse, Sin, Triangle,
+                           three_phase_clocks)
+
+
+def test_dc_constant():
+    w = DC(3.3)
+    assert w.at(0.0) == 3.3
+    assert w.at(1e9) == 3.3
+
+
+class TestPulse:
+    def test_levels_and_edges(self):
+        p = Pulse(0, 5, delay=10e-9, rise=1e-9, fall=1e-9, width=20e-9,
+                  period=100e-9)
+        assert p.at(0.0) == 0.0
+        assert p.at(9e-9) == 0.0
+        assert p.at(10.5e-9) == pytest.approx(2.5)
+        assert p.at(15e-9) == 5.0
+        assert p.at(30e-9) == 5.0
+        assert p.at(31.5e-9) == pytest.approx(2.5)
+        assert p.at(50e-9) == 0.0
+
+    def test_periodicity(self):
+        p = Pulse(0, 5, 0, 1e-9, 1e-9, 20e-9, 100e-9)
+        assert p.at(15e-9) == p.at(115e-9)
+        assert p.at(60e-9) == p.at(260e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 5, 0, 1e-9, 1e-9, 20e-9, period=0.0)
+        with pytest.raises(ValueError):
+            Pulse(0, 5, 0, 60e-9, 1e-9, 50e-9, period=100e-9)
+
+
+class TestTriangle:
+    def test_extremes(self):
+        t = Triangle(low=0.0, high=2.0, period=1.0)
+        assert t.at(0.0) == pytest.approx(0.0)
+        assert t.at(0.5) == pytest.approx(2.0)
+        assert t.at(1.0) == pytest.approx(0.0)
+        assert t.at(0.25) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_always_in_range(self, time):
+        t = Triangle(low=-1.0, high=3.0, period=0.7)
+        assert -1.0 - 1e-9 <= t.at(time) <= 3.0 + 1e-9
+
+    def test_covers_full_range(self):
+        """Sampling one period hits values arbitrarily near both rails -
+        the property the missing-code stimulus relies on."""
+        t = Triangle(low=0.0, high=1.0, period=1.0)
+        samples = [t.at(k / 1000.0) for k in range(1000)]
+        assert min(samples) < 0.005
+        assert max(samples) > 0.995
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PWL([(0.0, 0.0), (1.0, 10.0), (2.0, -10.0)])
+        assert w.at(-1.0) == 0.0
+        assert w.at(0.5) == pytest.approx(5.0)
+        assert w.at(1.5) == pytest.approx(0.0)
+        assert w.at(5.0) == -10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PWL([])
+        with pytest.raises(ValueError):
+            PWL([(0.0, 1.0), (0.0, 2.0)])
+
+
+def test_sin():
+    s = Sin(offset=1.0, amplitude=0.5, freq=1.0)
+    assert s.at(0.0) == pytest.approx(1.0)
+    assert s.at(0.25) == pytest.approx(1.5)
+    assert s.at(0.75) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        Sin(0, 1, freq=0.0)
+
+
+class TestThreePhaseClocks:
+    def test_non_overlap(self):
+        """At no time are two phases simultaneously above half rail."""
+        period = 50e-9
+        phis = three_phase_clocks(period, vdd=5.0, edge=0.5e-9)
+        for k in range(500):
+            t = k * period / 500.0
+            high = [p.at(t) > 2.5 for p in phis]
+            assert sum(high) <= 1
+
+    def test_each_phase_occurs(self):
+        period = 50e-9
+        phis = three_phase_clocks(period, vdd=5.0, edge=0.5e-9)
+        for p in phis:
+            values = [p.at(k * period / 300.0) for k in range(300)]
+            assert max(values) == pytest.approx(5.0)
+            assert min(values) == pytest.approx(0.0)
+
+    def test_phase_ordering(self):
+        period = 30e-9
+        phi1, phi2, phi3 = three_phase_clocks(period, vdd=5.0, edge=0.1e-9)
+        assert phi1.at(5e-9) > 4.9 and phi2.at(5e-9) < 0.1
+        assert phi2.at(15e-9) > 4.9 and phi3.at(15e-9) < 0.1
+        assert phi3.at(25e-9) > 4.9 and phi1.at(25e-9) < 0.1
+
+    def test_too_short_period_rejected(self):
+        with pytest.raises(ValueError):
+            three_phase_clocks(1e-9, vdd=5.0, edge=1e-9)

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface (cheap commands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cost_command(capsys):
+    assert main(["cost"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_layout_command(capsys):
+    assert main(["layout", "biasgen"]) == 0
+    out = capsys.readouterr().out
+    assert "biasgen" in out
+    assert "-" in out  # metal1 glyphs
+
+
+def test_layout_default_macro(capsys):
+    assert main(["layout"]) == 0
+    assert "comparator" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig9"])
+
+
+def test_table1_tiny_budget(capsys):
+    assert main(["table1", "--defects", "1500", "--classes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fault type" in out
+    assert "short" in out

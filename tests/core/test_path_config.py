@@ -1,0 +1,41 @@
+"""Tests for path configuration helpers."""
+
+import pytest
+
+from repro.core.path import PathConfig, fast_config
+from repro.testgen import DfTConfig, FULL_DFT, NO_DFT
+
+
+class TestFastConfig:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        config = fast_config()
+        assert config.max_classes is not None
+        assert config.n_defects < 25000
+        assert config.magnitude_defects is None
+
+    def test_full_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        config = fast_config()
+        assert config.n_defects == 25000
+        assert config.magnitude_defects == 2_000_000
+        assert config.max_classes is None
+
+    def test_dft_passed_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert fast_config(FULL_DFT).dft == FULL_DFT
+
+
+class TestPathConfig:
+    def test_defaults_are_paper_scale(self):
+        config = PathConfig()
+        assert config.n_defects == 25000
+        assert config.seed == 1995
+        assert config.include_noncat
+        assert config.dft == NO_DFT
+        assert not config.dynamic_test
+
+    def test_frozen(self):
+        config = PathConfig()
+        with pytest.raises(Exception):
+            config.n_defects = 1

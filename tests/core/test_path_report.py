@@ -1,0 +1,110 @@
+"""Tests for the path orchestrator and the report renderers."""
+
+import pytest
+
+from repro.core import (DefectOrientedTestPath, PathConfig,
+                        current_signature_distribution, render_fig3,
+                        render_fig4, render_macro_current_detectability,
+                        render_table1, render_table2, render_table3,
+                        voltage_signature_distribution)
+from repro.defects import ShortFault, collapse
+from repro.faultsim import CurrentMechanism, VoltageSignature
+from repro.macrotest import CoverageBreakdown, DetectionRecord, MacroResult
+
+
+def rec(count, voltage, mechs, sig=None, ftype="short"):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           mechanisms=frozenset(mechs),
+                           voltage_signature=sig, fault_type=ftype)
+
+
+def sample_macro():
+    return MacroResult(
+        name="comparator", bbox_area=1000.0, instances=256,
+        defects_sprinkled=10000,
+        records=(
+            rec(60, True, [CurrentMechanism.IVDD],
+                VoltageSignature.OUTPUT_STUCK_AT),
+            rec(20, False, [CurrentMechanism.IDDQ],
+                VoltageSignature.CLOCK_VALUE),
+            rec(10, True, [], VoltageSignature.OFFSET),
+            rec(10, False, [], VoltageSignature.NONE),
+        ))
+
+
+class TestDistributions:
+    def test_voltage_distribution_sums_to_one(self):
+        dist = voltage_signature_distribution(sample_macro())
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist[VoltageSignature.OUTPUT_STUCK_AT] == \
+            pytest.approx(0.6)
+
+    def test_current_distribution_overlapping(self):
+        dist = current_signature_distribution(sample_macro())
+        assert dist["ivdd"] == pytest.approx(0.6)
+        assert dist["iddq"] == pytest.approx(0.2)
+        assert dist["none"] == pytest.approx(0.2)
+
+
+class TestRenderers:
+    def test_table1(self):
+        classes = collapse([ShortFault(nets=frozenset({"a", "b"}),
+                                       layer="metal1", resistance=0.2)])
+        text = render_table1(classes)
+        assert "short" in text and "100.00" in text
+
+    def test_table2_table3(self):
+        m = sample_macro()
+        t2 = render_table2(m, m)
+        assert "Output Stuck At" in t2 and "60.0" in t2
+        t3 = render_table3(m, None)
+        assert "IDDQ" in t3 and "n/a" in t3
+
+    def test_fig3(self):
+        text = render_fig3(sample_macro())
+        assert "missing_codes+ivdd" in text
+        assert "total detected" in text
+
+    def test_fig4(self):
+        b = CoverageBreakdown(voltage_only=0.2, current_only=0.3,
+                              both=0.4, undetected=0.1)
+        text = render_fig4(b, b)
+        assert "TOTAL COVERAGE" in text
+        assert "90.0" in text
+
+    def test_macro_table(self):
+        text = render_macro_current_detectability([sample_macro()])
+        assert "comparator" in text
+
+
+class TestPathSmoke:
+    """One very small end-to-end run exercising the orchestration."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = PathConfig(n_defects=2500, max_classes=6,
+                            include_noncat=True)
+        return DefectOrientedTestPath(config).run(
+            macros=["comparator", "ladder"])
+
+    def test_macros_present(self, result):
+        assert set(result.macros) == {"comparator", "ladder"}
+
+    def test_classes_nonempty(self, result):
+        assert len(result.macros["comparator"].classes) > 0
+
+    def test_global_coverage_sane(self, result):
+        cov = result.global_coverage()
+        assert 0.3 <= cov.total <= 1.0
+        assert cov.voltage_only + cov.current_only + cov.both + \
+            cov.undetected == pytest.approx(1.0)
+
+    def test_noncat_present(self, result):
+        assert result.macros["comparator"].noncat_result is not None
+        cov = result.global_coverage(noncat=True)
+        assert 0.0 <= cov.total <= 1.0
+
+    def test_unknown_macro_rejected(self):
+        path = DefectOrientedTestPath(PathConfig(n_defects=100))
+        with pytest.raises(ValueError):
+            path.run(macros=["fpga"])

@@ -1,0 +1,93 @@
+"""Tests for the outgoing-quality (DPPM) model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quality import (QualityReport, chip_fault_rate,
+                                defect_level, dppm, poisson_yield,
+                                quality_report)
+from repro.faultsim import CurrentMechanism
+from repro.macrotest import DetectionRecord, MacroResult
+
+
+def macro(area=1e6, instances=1, yield_=0.02, defects=10000,
+          detected_fraction=0.9):
+    n_det = int(round(yield_ * defects * detected_fraction))
+    n_esc = int(round(yield_ * defects)) - n_det
+    records = []
+    if n_det:
+        records.append(DetectionRecord(
+            count=n_det, voltage_detected=True, mechanisms=frozenset()))
+    if n_esc:
+        records.append(DetectionRecord(
+            count=n_esc, voltage_detected=False,
+            mechanisms=frozenset()))
+    return MacroResult(name="m", bbox_area=area, instances=instances,
+                       defects_sprinkled=defects, records=tuple(records))
+
+
+class TestFaultRate:
+    def test_scaling(self):
+        # 1e6 um^2 = 0.01 cm^2; density 1/cm^2; yield 0.02 faults/defect
+        m = macro()
+        rate = chip_fault_rate([m], defect_density_cm2=1.0)
+        assert rate == pytest.approx(0.01 * 1.0 * 0.02)
+
+    def test_instances_multiply(self):
+        one = chip_fault_rate([macro(instances=1)])
+        many = chip_fault_rate([macro(instances=256)])
+        assert many == pytest.approx(256 * one)
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            chip_fault_rate([macro()], defect_density_cm2=0.0)
+
+
+class TestYieldAndDefectLevel:
+    def test_poisson(self):
+        assert poisson_yield(0.0) == 1.0
+        assert poisson_yield(1.0) == pytest.approx(math.exp(-1))
+        with pytest.raises(ValueError):
+            poisson_yield(-1.0)
+
+    def test_williams_brown_extremes(self):
+        assert defect_level(0.9, 1.0) == pytest.approx(0.0)
+        assert defect_level(0.9, 0.0) == pytest.approx(0.1)
+
+    def test_paper_scale_improvement(self):
+        """93.3 % -> 99.1 % coverage cuts shipped DPPM by ~7x."""
+        y = 0.8
+        before = dppm(y, 0.933)
+        after = dppm(y, 0.991)
+        assert before / after == pytest.approx(0.067 / 0.009, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            defect_level(0.0, 0.5)
+        with pytest.raises(ValueError):
+            defect_level(0.9, 1.5)
+
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_coverage(self, y, t):
+        """More coverage never ships more defects."""
+        assert defect_level(y, t) <= defect_level(y, max(0.0, t - 0.1)) \
+            + 1e-12
+
+
+class TestQualityReport:
+    def test_uses_run_coverage_by_default(self):
+        report = quality_report([macro(detected_fraction=0.9)])
+        assert report.coverage == pytest.approx(0.9, abs=0.01)
+        assert report.shipped_dppm > 0
+
+    def test_explicit_coverage(self):
+        report = quality_report([macro()], coverage=1.0)
+        assert report.shipped_dppm == pytest.approx(0.0)
+
+    def test_str(self):
+        text = str(quality_report([macro()]))
+        assert "DPPM" in text and "coverage" in text

@@ -1,0 +1,110 @@
+"""Tests for path-result serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import (SerializeError, load_macro_results,
+                                  macro_from_dict, macro_to_dict,
+                                  record_from_dict, record_to_dict,
+                                  save_macro_results, save_path_result)
+from repro.faultsim import CurrentMechanism, VoltageSignature
+from repro.macrotest import (DetectionRecord, MacroResult,
+                             global_breakdown, macro_breakdown)
+
+
+def sample_record():
+    return DetectionRecord(
+        count=7, voltage_detected=True,
+        mechanisms=frozenset({CurrentMechanism.IDDQ,
+                              CurrentMechanism.IVDD}),
+        voltage_signature=VoltageSignature.OUTPUT_STUCK_AT,
+        fault_type="short")
+
+
+def sample_macro():
+    return MacroResult(name="comparator", bbox_area=40000.0,
+                       instances=256, defects_sprinkled=25000,
+                       records=(sample_record(),
+                                DetectionRecord(
+                                    count=3, voltage_detected=False,
+                                    mechanisms=frozenset())))
+
+
+class TestRecordRoundTrip:
+    def test_roundtrip(self):
+        rec = sample_record()
+        assert record_from_dict(record_to_dict(rec)) == rec
+
+    def test_none_signature(self):
+        rec = DetectionRecord(count=1, voltage_detected=False,
+                              mechanisms=frozenset())
+        assert record_from_dict(record_to_dict(rec)) == rec
+
+    def test_bad_mechanism_rejected(self):
+        data = record_to_dict(sample_record())
+        data["mechanisms"] = ["teleport"]
+        with pytest.raises(SerializeError):
+            record_from_dict(data)
+
+
+class TestMacroRoundTrip:
+    def test_roundtrip_preserves_breakdown(self):
+        m = sample_macro()
+        restored = macro_from_dict(macro_to_dict(m))
+        assert restored == m
+        assert macro_breakdown(restored) == macro_breakdown(m)
+
+    def test_missing_field_rejected(self):
+        data = macro_to_dict(sample_macro())
+        del data["instances"]
+        with pytest.raises(SerializeError):
+            macro_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "run.json"
+        results = {"comparator": {"cat": sample_macro(), "noncat": None}}
+        save_macro_results(results, path, metadata={"seed": 1995})
+        loaded = load_macro_results(path)
+        assert loaded["comparator"]["cat"] == sample_macro()
+        assert loaded["comparator"]["noncat"] is None
+
+    def test_metadata_persisted(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_macro_results({"m": {"cat": sample_macro()}}, path,
+                           metadata={"dft": "dft:none"})
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["dft"] == "dft:none"
+        assert payload["format_version"] == 1
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"format_version": 99, "macros": {}}))
+        with pytest.raises(SerializeError):
+            load_macro_results(path)
+
+    def test_unreadable_rejected(self, tmp_path):
+        with pytest.raises(SerializeError):
+            load_macro_results(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializeError):
+            load_macro_results(bad)
+
+
+class TestPathResultSave:
+    def test_save_path_result(self, tmp_path):
+        from repro.core import DefectOrientedTestPath, PathConfig
+        config = PathConfig(n_defects=1500, max_classes=2,
+                            include_noncat=False)
+        result = DefectOrientedTestPath(config).run(macros=["ladder"])
+        path = tmp_path / "run.json"
+        save_path_result(result, path)
+        loaded = load_macro_results(path)
+        original = result.macros["ladder"].result
+        assert loaded["ladder"]["cat"] == original
+        # coverage recomputed from the loaded data matches
+        assert global_breakdown([loaded["ladder"]["cat"]]) == \
+            global_breakdown([original])

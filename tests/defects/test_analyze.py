@@ -1,0 +1,217 @@
+"""Tests for defect-to-fault analysis on hand-built layouts."""
+
+import pytest
+
+from repro.defects import (Defect, ExtraContactFault, GateOxidePinholeFault,
+                           JunctionPinholeFault, NewDeviceFault, OpenFault,
+                           ShortFault, ShortedDeviceFault,
+                           ThickOxidePinholeFault, analyze_defect,
+                           analyze_defects, mechanism)
+from repro.layout import DeviceInfo, Disk, LayoutCell, Rect
+
+
+def make_defect(name, cx, cy, diameter):
+    return Defect(mechanism=mechanism(name),
+                  disk=Disk(cx, cy, diameter / 2.0))
+
+
+def two_track_cell():
+    """Two parallel metal1 tracks 2 um apart plus device anchors."""
+    cell = LayoutCell("tracks")
+    cell.add_rect(Rect(0, 0, 50, 1.2), "metal1", "a")
+    cell.add_rect(Rect(0, 3.2, 50, 4.4), "metal1", "b")
+    return cell
+
+
+class TestExtraMaterial:
+    def test_bridge_two_tracks(self):
+        cell = two_track_cell()
+        d = make_defect("extra_metal1", 25, 2.2, 4.0)
+        fault = analyze_defect(cell, d)
+        assert isinstance(fault, ShortFault)
+        assert fault.nets == frozenset({"a", "b"})
+        assert fault.resistance == pytest.approx(0.2)
+
+    def test_small_defect_no_bridge(self):
+        cell = two_track_cell()
+        d = make_defect("extra_metal1", 25, 2.2, 1.0)
+        assert analyze_defect(cell, d) is None
+
+    def test_defect_on_single_net_harmless(self):
+        cell = two_track_cell()
+        d = make_defect("extra_metal1", 25, 0.6, 1.0)
+        assert analyze_defect(cell, d) is None
+
+    def test_wrong_layer_no_fault(self):
+        cell = two_track_cell()
+        d = make_defect("extra_metal2", 25, 2.2, 4.0)
+        assert analyze_defect(cell, d) is None
+
+    def test_poly_short_resistance(self):
+        cell = LayoutCell("poly")
+        cell.add_rect(Rect(0, 0, 50, 1.0), "poly", "a")
+        cell.add_rect(Rect(0, 3, 50, 4.0), "poly", "b")
+        fault = analyze_defect(cell, make_defect("extra_poly", 25, 2, 4.0))
+        assert isinstance(fault, ShortFault)
+        assert fault.resistance == pytest.approx(50.0)
+
+    def test_multi_net_short(self):
+        cell = two_track_cell()
+        cell.add_rect(Rect(0, 6.4, 50, 7.6), "metal1", "c")
+        fault = analyze_defect(cell,
+                               make_defect("extra_metal1", 25, 3.8, 9.0))
+        assert isinstance(fault, ShortFault)
+        assert fault.nets == frozenset({"a", "b", "c"})
+
+
+class TestNewDevice:
+    def cell_with_diff_wire(self):
+        cell = LayoutCell("diff")
+        cell.add_rect(Rect(0, 0, 30, 2), "ndiff", "n1", device="D1")
+        cell.add_rect(Rect(28, 0, 30, 2), "ndiff", "n1", device="D2")
+        cell.add_device(DeviceInfo("D1", "resistor", ("n1", "x")))
+        cell.add_device(DeviceInfo("D2", "resistor", ("n1", "y")))
+        return cell
+
+    def test_extra_poly_across_diff_makes_device(self):
+        cell = self.cell_with_diff_wire()
+        # sever the long diff wire left of D2's anchor
+        fault = analyze_defect(cell, make_defect("extra_poly", 14, 1, 4.0))
+        assert isinstance(fault, NewDeviceFault)
+        assert fault.net == "n1"
+        assert fault.polarity == "n"
+        assert fault.gate_net is None
+
+    def test_gate_net_attached_when_poly_touched(self):
+        cell = self.cell_with_diff_wire()
+        cell.add_rect(Rect(12, -4, 16, -1), "poly", "clk")
+        fault = analyze_defect(cell, make_defect("extra_poly", 14, 0, 4.0))
+        # disk reaches both the diff wire and the clk poly
+        assert isinstance(fault, NewDeviceFault)
+        assert fault.gate_net == "clk"
+
+
+class TestMissingMaterial:
+    def open_cell(self):
+        """A net with two device anchors joined by one thin wire."""
+        cell = LayoutCell("open")
+        cell.add_rect(Rect(0, 0, 2, 2), "metal1", "n", device="A")
+        cell.add_rect(Rect(28, 0, 30, 2), "metal1", "n", device="B")
+        cell.add_rect(Rect(0, 0.4, 30, 1.6), "metal1", "n")
+        cell.add_device(DeviceInfo("A", "resistor", ("n", "p")))
+        cell.add_device(DeviceInfo("B", "resistor", ("n", "q")))
+        return cell
+
+    def test_cut_wire_opens_net(self):
+        cell = self.open_cell()
+        fault = analyze_defect(cell,
+                               make_defect("missing_metal1", 15, 1, 3.0))
+        assert isinstance(fault, OpenFault)
+        assert fault.net == "n"
+        groups = sorted(sorted(g) for g in fault.partition)
+        assert groups == [["A:0"], ["B:0"]]
+
+    def test_narrow_defect_no_open(self):
+        cell = self.open_cell()
+        assert analyze_defect(
+            cell, make_defect("missing_metal1", 15, 1, 0.5)) is None
+
+    def test_redundant_routing_survives(self):
+        cell = self.open_cell()
+        # add a second, redundant wire path
+        cell.add_rect(Rect(0, 4, 30, 5.2), "metal1", "n")
+        cell.add_rect(Rect(0, 0, 1, 5.2), "metal1", "n")
+        cell.add_rect(Rect(29, 0, 30, 5.2), "metal1", "n")
+        fault = analyze_defect(cell,
+                               make_defect("missing_metal1", 15, 1, 3.0))
+        assert fault is None
+
+    def test_missing_contact_opens(self):
+        cell = LayoutCell("ct")
+        cell.add_rect(Rect(0, 0, 10, 2), "metal1", "n", device="A")
+        cell.add_rect(Rect(0, 0, 10, 2), "poly", "n", device="B")
+        cell.add_rect(Rect(4, 0.5, 5, 1.5), "contact", "n", purpose="cut")
+        cell.add_device(DeviceInfo("A", "resistor", ("n", "p")))
+        cell.add_device(DeviceInfo("B", "resistor", ("n", "q")))
+        fault = analyze_defect(cell,
+                               make_defect("missing_contact", 4.5, 1, 1.5))
+        assert isinstance(fault, OpenFault)
+
+    def test_missing_poly_over_gate_shorts_device(self):
+        cell = LayoutCell("gate")
+        gate_rect = Rect(10, 0, 12, 6)
+        cell.add_rect(Rect(10, -2, 12, 8), "poly", "g", device="M1")
+        cell.add_rect(gate_rect, "gate", "g", device="M1", purpose="gate")
+        cell.add_device(DeviceInfo("M1", "mosfet", ("d", "g", "s", "b"),
+                                   polarity="n", gate_rect=gate_rect))
+        fault = analyze_defect(cell,
+                               make_defect("missing_poly", 11, 3, 3.0))
+        assert isinstance(fault, ShortedDeviceFault)
+        assert fault.device == "M1"
+
+
+class TestContactsAndPinholes:
+    def stacked_cell(self):
+        cell = LayoutCell("stack")
+        cell.add_rect(Rect(0, 0, 10, 2), "metal1", "a")
+        cell.add_rect(Rect(0, 0, 10, 2), "poly", "b")
+        return cell
+
+    def test_extra_contact_shorts_stack(self):
+        cell = self.stacked_cell()
+        fault = analyze_defect(cell, make_defect("extra_contact", 5, 1, 1))
+        assert isinstance(fault, ExtraContactFault)
+        assert fault.nets == frozenset({"a", "b"})
+
+    def test_extra_contact_same_net_harmless(self):
+        cell = LayoutCell("stack")
+        cell.add_rect(Rect(0, 0, 10, 2), "metal1", "a")
+        cell.add_rect(Rect(0, 0, 10, 2), "poly", "a")
+        assert analyze_defect(
+            cell, make_defect("extra_contact", 5, 1, 1)) is None
+
+    def test_thick_oxide_pinhole(self):
+        cell = self.stacked_cell()
+        fault = analyze_defect(cell, make_defect("pinhole_thick", 5, 1, 1))
+        assert isinstance(fault, ThickOxidePinholeFault)
+        assert fault.nets == frozenset({"a", "b"})
+
+    def test_gate_pinhole(self):
+        cell = LayoutCell("g")
+        gate_rect = Rect(0, 0, 2, 6)
+        cell.add_rect(gate_rect, "gate", "g", device="M1", purpose="gate")
+        cell.add_device(DeviceInfo("M1", "mosfet", ("d", "g", "s", "b"),
+                                   polarity="n", gate_rect=gate_rect))
+        fault = analyze_defect(cell, make_defect("pinhole_gate", 1, 3, 1))
+        assert isinstance(fault, GateOxidePinholeFault)
+        assert fault.device == "M1"
+
+    def test_junction_pinhole(self):
+        cell = LayoutCell("j")
+        cell.add_rect(Rect(0, 0, 5, 2), "ndiff", "out")
+        fault = analyze_defect(cell,
+                               make_defect("pinhole_junction", 2, 1, 1))
+        assert isinstance(fault, JunctionPinholeFault)
+        assert fault.net == "out"
+        assert fault.bulk_net == "gnd"
+
+    def test_junction_pinhole_to_own_rail_harmless(self):
+        cell = LayoutCell("j")
+        cell.add_rect(Rect(0, 0, 5, 2), "ndiff", "gnd")
+        assert analyze_defect(
+            cell, make_defect("pinhole_junction", 2, 1, 1)) is None
+
+    def test_pinhole_missing_geometry_harmless(self):
+        cell = self.stacked_cell()
+        assert analyze_defect(
+            cell, make_defect("pinhole_gate", 5, 1, 1)) is None
+        assert analyze_defect(
+            cell, make_defect("pinhole_junction", 5, 1, 1)) is None
+
+
+def test_analyze_defects_filters_harmless():
+    cell = two_track_cell()
+    defects = [make_defect("extra_metal1", 25, 2.2, 4.0),
+               make_defect("extra_metal1", 25, 2.2, 0.5)]
+    faults = analyze_defects(cell, defects)
+    assert len(faults) == 1

@@ -1,0 +1,73 @@
+"""Tests for defect-statistics calibration."""
+
+import pytest
+
+from repro.adc.comparator import comparator_layout
+from repro.defects import DefectStatistics
+from repro.defects.calibrate import (CalibrationResult,
+                                     MECHANISM_FAULT_TYPE, calibrate,
+                                     measure_type_mix)
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return comparator_layout()
+
+
+class TestMeasureTypeMix:
+    def test_fractions_sum_to_one(self, cell):
+        mix = measure_type_mix(cell, DefectStatistics(),
+                               n_defects=8000, seed=1)
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["short"] > 0.8
+
+    def test_no_faults_rejected(self, cell):
+        # a statistics model whose only mechanism cannot land anywhere
+        stats = DefectStatistics(densities={"missing_via": 1.0})
+        with pytest.raises(ValueError):
+            # vias exist, but almost never get cut by tiny budgets; use
+            # a mechanism/size combo that yields nothing
+            measure_type_mix(cell, DefectStatistics(
+                densities={"pinhole_gate": 1.0},
+                pinhole_diameter=0.0001), n_defects=3, seed=2)
+
+
+class TestMechanismMap:
+    def test_every_mechanism_mapped(self):
+        assert set(MECHANISM_FAULT_TYPE) == set(
+            m for m in MECHANISM_FAULT_TYPE)
+        from repro.defects import MECHANISMS
+        assert set(MECHANISM_FAULT_TYPE) == set(MECHANISMS)
+
+
+class TestCalibrate:
+    def test_unknown_target_rejected(self, cell):
+        with pytest.raises(ValueError):
+            calibrate(cell, {"wormhole": 0.5}, n_defects=1000)
+
+    def test_calibration_moves_toward_target(self, cell):
+        """Ask for far more junction pinholes than the default gives:
+        the calibrated statistics must deliver a much larger share."""
+        base = DefectStatistics()
+        before = measure_type_mix(cell, base, n_defects=10000, seed=3)
+        result = calibrate(cell, {"junction_pinhole": 0.15},
+                           base=base, n_defects=10000, rounds=3, seed=3)
+        assert isinstance(result, CalibrationResult)
+        assert result.achieved["junction_pinhole"] > \
+            2 * before["junction_pinhole"]
+        assert result.achieved["junction_pinhole"] == \
+            pytest.approx(0.15, abs=0.08)
+
+    def test_calibrated_density_changed(self, cell):
+        result = calibrate(cell, {"junction_pinhole": 0.10},
+                           n_defects=8000, rounds=2, seed=4)
+        assert result.statistics.densities["pinhole_junction"] > \
+            DefectStatistics().densities["pinhole_junction"]
+
+    def test_shipped_calibration_matches_paper_shape(self, cell):
+        """The repo's default statistics already satisfy Table 1's
+        shape on the comparator layout."""
+        mix = measure_type_mix(cell, DefectStatistics(),
+                               n_defects=20000, seed=5)
+        assert mix["short"] > 0.9
+        assert mix["open"] < 0.05

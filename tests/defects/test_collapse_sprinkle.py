@@ -1,0 +1,139 @@
+"""Tests for fault collapsing, Table-1 accounting and the sprinkler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.defects import (Defect, DefectStatistics, FaultClass,
+                           JunctionPinholeFault, OpenFault, ShortFault,
+                           collapse, mechanism, rescale_magnitudes,
+                           sprinkle, type_table)
+from repro.layout import LayoutCell, Rect
+
+
+def short(a, b, r=0.2, layer="metal1"):
+    return ShortFault(nets=frozenset({a, b}), layer=layer, resistance=r)
+
+
+class TestCollapse:
+    def test_equivalent_shorts_collapse(self):
+        faults = [short("a", "b"), short("b", "a"), short("a", "c")]
+        classes = collapse(faults)
+        assert len(classes) == 2
+        assert classes[0].count == 2  # largest first
+        assert classes[0].representative.nets == frozenset({"a", "b"})
+
+    def test_different_resistance_distinct_class(self):
+        faults = [short("a", "b", r=0.2), short("a", "b", r=50.0,
+                                                layer="poly")]
+        assert len(collapse(faults)) == 2
+
+    def test_metal1_metal2_same_class(self):
+        """Same node pair, same bridge resistance -> circuit-equivalent
+        regardless of which metal layer the material landed on."""
+        faults = [short("a", "b", layer="metal1"),
+                  short("a", "b", layer="metal2")]
+        assert len(collapse(faults)) == 1
+
+    def test_probability(self):
+        fc = FaultClass(representative=short("a", "b"), count=5)
+        assert fc.probability(50) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            fc.probability(0)
+
+    def test_deterministic_ordering(self):
+        faults = [short("a", "b"), short("c", "d")]
+        a = collapse(faults)
+        b = collapse(list(reversed(faults)))
+        assert [fc.representative.collapse_key() for fc in a] == \
+               [fc.representative.collapse_key() for fc in b]
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdef"),
+                              st.sampled_from("abcdef")),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariant(self, pairs):
+        """Collapsing partitions the fault list: counts sum to the
+        total and every class is non-empty."""
+        faults = [short(a, b) for a, b in pairs if a != b]
+        if not faults:
+            return
+        classes = collapse(faults)
+        assert sum(fc.count for fc in classes) == len(faults)
+        assert all(fc.count >= 1 for fc in classes)
+        keys = [fc.representative.collapse_key() for fc in classes]
+        assert len(keys) == len(set(keys))
+
+
+class TestTypeTable:
+    def test_rows_cover_all_types(self):
+        classes = collapse([short("a", "b"),
+                            JunctionPinholeFault("x", "gnd")])
+        rows = type_table(classes)
+        assert len(rows) == 8
+        by_type = {r.fault_type: r for r in rows}
+        assert by_type["short"].faults == 1
+        assert by_type["junction_pinhole"].fault_pct == pytest.approx(50.0)
+        assert by_type["open"].faults == 0
+
+    def test_percentages_sum_to_100(self):
+        classes = collapse([short("a", "b")] * 3 +
+                           [JunctionPinholeFault("x", "gnd")])
+        rows = type_table(classes)
+        assert sum(r.fault_pct for r in rows) == pytest.approx(100.0)
+        assert sum(r.class_pct for r in rows) == pytest.approx(100.0)
+
+
+class TestRescale:
+    def test_magnitudes_transplanted(self):
+        small = collapse([short("a", "b"), short("c", "d")])
+        large = collapse([short("a", "b")] * 100 + [short("c", "d")] * 7)
+        rescaled = rescale_magnitudes(small, large)
+        counts = {fc.representative.collapse_key(): fc.count
+                  for fc in rescaled}
+        assert counts[("short", ("a", "b"), 0.2)] == 100
+        assert counts[("short", ("c", "d"), 0.2)] == 7
+
+    def test_unseen_class_keeps_count(self):
+        small = collapse([short("a", "b"), short("e", "f")])
+        large = collapse([short("a", "b")] * 10)
+        rescaled = rescale_magnitudes(small, large)
+        counts = {fc.representative.collapse_key(): fc.count
+                  for fc in rescaled}
+        assert counts[("short", ("e", "f"), 0.2)] == 1
+
+
+class TestSprinkle:
+    def cell(self):
+        cell = LayoutCell("c")
+        cell.add_rect(Rect(0, 0, 100, 50), "metal1", "a")
+        return cell
+
+    def test_count_and_determinism(self):
+        cell = self.cell()
+        a = sprinkle(cell, 500, seed=7)
+        b = sprinkle(cell, 500, seed=7)
+        assert len(a) == 500
+        assert [(d.mechanism.name, d.disk) for d in a] == \
+               [(d.mechanism.name, d.disk) for d in b]
+
+    def test_different_seeds_differ(self):
+        cell = self.cell()
+        a = sprinkle(cell, 100, seed=1)
+        b = sprinkle(cell, 100, seed=2)
+        assert [(d.disk.cx, d.disk.cy) for d in a] != \
+               [(d.disk.cx, d.disk.cy) for d in b]
+
+    def test_locations_within_margin(self):
+        cell = self.cell()
+        for d in sprinkle(cell, 300, seed=3):
+            assert -2.0 <= d.disk.cx <= 102.0
+            assert -2.0 <= d.disk.cy <= 52.0
+
+    def test_pinholes_are_point_like(self):
+        stats = DefectStatistics(densities={"pinhole_gate": 1.0})
+        for d in sprinkle(self.cell(), 50, stats=stats, seed=4):
+            assert d.disk.diameter == pytest.approx(stats.pinhole_diameter)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            sprinkle(self.cell(), -1)

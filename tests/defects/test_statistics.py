@@ -1,0 +1,93 @@
+"""Tests for defect statistics and the size distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.defects import (DEFAULT_DENSITIES, DefectStatistics,
+                           SizeDistribution)
+
+
+class TestSizeDistribution:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeDistribution(d_min=2.0, d_max=1.0)
+        with pytest.raises(ValueError):
+            SizeDistribution(d_min=0.0, d_max=1.0)
+
+    def test_samples_within_bounds(self):
+        dist = SizeDistribution(d_min=1.0, d_max=30.0)
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, 10000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 30.0
+
+    def test_inverse_cube_shape(self):
+        """Small defects dominate: P(d < 2) for 1/x^3 on [1, 30] is
+        analytically (1 - 2^-2) / (1 - 30^-2) ~ 0.75."""
+        dist = SizeDistribution(d_min=1.0, d_max=30.0)
+        rng = np.random.default_rng(2)
+        samples = dist.sample(rng, 50000)
+        frac_small = np.mean(samples < 2.0)
+        expected = (1 - 2.0 ** -2) / (1 - 30.0 ** -2)
+        assert frac_small == pytest.approx(expected, abs=0.01)
+
+    def test_mean_matches_montecarlo(self):
+        dist = SizeDistribution(d_min=1.0, d_max=30.0)
+        rng = np.random.default_rng(3)
+        samples = dist.sample(rng, 200000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.01)
+
+    @given(st.floats(min_value=0.1, max_value=5.0),
+           st.floats(min_value=6.0, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_property(self, d_min, d_max):
+        dist = SizeDistribution(d_min=d_min, d_max=d_max)
+        rng = np.random.default_rng(0)
+        s = dist.sample(rng, 100)
+        assert np.all(s >= d_min - 1e-9)
+        assert np.all(s <= d_max + 1e-9)
+
+
+class TestDefectStatistics:
+    def test_default_valid(self):
+        stats = DefectStatistics()
+        probs = stats.mechanism_probabilities()
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert all(p > 0 for p in probs.values())
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            DefectStatistics(densities={"extra_teflon": 1.0})
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            DefectStatistics(densities={"extra_metal1": -1.0})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DefectStatistics(densities={"extra_metal1": 0.0})
+
+    def test_extra_metal_dominates(self):
+        """Calibration invariant behind 'shorts are >95% of faults'."""
+        probs = DefectStatistics().mechanism_probabilities()
+        extra = sum(p for name, p in probs.items()
+                    if name.startswith("extra_") and name != "extra_contact")
+        missing = sum(p for name, p in probs.items()
+                      if name.startswith("missing_"))
+        assert extra > 0.9
+        assert missing < 0.01
+
+    def test_sample_mechanisms_distribution(self):
+        stats = DefectStatistics()
+        rng = np.random.default_rng(4)
+        names = stats.sample_mechanisms(rng, 20000)
+        frac_m1 = np.mean(names == "extra_metal1")
+        expected = stats.mechanism_probabilities()["extra_metal1"]
+        assert frac_m1 == pytest.approx(expected, abs=0.02)
+
+    def test_scaled_override(self):
+        stats = DefectStatistics().scaled(extra_metal1=0.0)
+        assert "extra_metal1" not in stats.mechanism_probabilities()
+        with pytest.raises(ValueError):
+            DefectStatistics().scaled(bogus=1.0)

@@ -1,0 +1,106 @@
+"""Tests for the stuck-at test generator."""
+
+import itertools
+
+import pytest
+
+from repro.adc.decoder import build_decoder, thermometer_vector
+from repro.digital import (LogicNetlist, StuckAtFault,
+                           all_stuck_at_faults, stuck_at_coverage)
+from repro.digital.atpg import (TestSet, compact_tests, fault_simulate,
+                                generate_tests)
+
+
+def half_adder():
+    n = LogicNetlist("ha")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("gx", "XOR2", ["a", "b"], "sum")
+    n.add_gate("ga", "AND2", ["a", "b"], "carry")
+    n.add_output("sum")
+    n.add_output("carry")
+    return n
+
+
+class TestFaultSimulate:
+    def test_first_detection_index(self):
+        n = half_adder()
+        vectors = [{"a": False, "b": False}, {"a": True, "b": True}]
+        result = fault_simulate(n, vectors,
+                                [StuckAtFault("carry", False)])
+        assert result[StuckAtFault("carry", False)] == 1
+
+    def test_escape_is_none(self):
+        n = half_adder()
+        result = fault_simulate(n, [{"a": False, "b": False}],
+                                [StuckAtFault("carry", False)])
+        assert result[StuckAtFault("carry", False)] is None
+
+
+class TestGenerateTests:
+    def test_full_coverage_half_adder(self):
+        ts = generate_tests(half_adder(), seed=1)
+        assert ts.coverage == 1.0
+        assert ts.undetected == ()
+        assert 1 <= len(ts.vectors) <= 4
+
+    def test_vectors_actually_cover(self):
+        n = half_adder()
+        ts = generate_tests(n, seed=2)
+        cov, undet = stuck_at_coverage(n, ts.vectors)
+        assert cov == 1.0
+
+    def test_budget_respected(self):
+        ts = generate_tests(build_decoder(4), max_candidates=5, seed=0)
+        assert ts.candidates_tried <= 5
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            generate_tests(half_adder(), target_coverage=0.0)
+
+    def test_decoder4_high_coverage(self):
+        """Random ATPG reaches the structural ceiling (code 0's hot row
+        never drives any output bit, so its faults are redundant)."""
+        ts = generate_tests(build_decoder(4), max_candidates=128, seed=3)
+        assert ts.coverage > 0.90
+        assert all("nt" in str(f) or "h" in str(f)
+                   for f in ts.undetected)
+
+
+class TestCompaction:
+    def test_removes_redundant_vectors(self):
+        n = half_adder()
+        exhaustive = [dict(zip(("a", "b"), bits))
+                      for bits in itertools.product([False, True],
+                                                    repeat=2)]
+        redundant = exhaustive + exhaustive  # duplicated set
+        compacted = compact_tests(n, redundant)
+        assert len(compacted) < len(redundant)
+        cov, _ = stuck_at_coverage(n, compacted)
+        assert cov == 1.0
+
+
+class TestFunctionalVsATPG:
+    def test_functional_vectors_beat_random(self):
+        """Random patterns rarely reproduce the monotone inputs the OR
+        plane needs; the functional thermometer set is a strong seed."""
+        n = build_decoder(4)
+        faults = all_stuck_at_faults(n)
+        functional = [thermometer_vector(code, 4) for code in range(16)]
+        func_detected = sum(
+            1 for d in fault_simulate(n, functional, faults).values()
+            if d is not None)
+        random_only = generate_tests(n, faults=faults,
+                                     max_candidates=64, seed=4)
+        assert func_detected / len(faults) > random_only.coverage - 0.05
+
+    def test_seeded_atpg_tops_up_functional(self):
+        n = build_decoder(4)
+        faults = all_stuck_at_faults(n)
+        functional = [thermometer_vector(code, 4) for code in range(16)]
+        func_detected = sum(
+            1 for d in fault_simulate(n, functional, faults).values()
+            if d is not None)
+        seeded = generate_tests(n, faults=faults, max_candidates=256,
+                                seed=4, seed_vectors=functional)
+        assert seeded.coverage >= func_detected / len(faults)

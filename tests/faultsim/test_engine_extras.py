@@ -1,0 +1,70 @@
+"""Additional engine-behaviour tests (worst-case selection, near-miss
+classes, measurement sanity)."""
+
+import pytest
+
+from repro.defects import GateOxidePinholeFault, ShortFault
+from repro.defects.collapse import FaultClass
+from repro.faultsim import (ComparatorFaultEngine, EngineConfig,
+                            NearMissShortFault, VoltageSignature)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ComparatorFaultEngine(EngineConfig())
+
+
+class TestNearMissClasses:
+    def test_near_miss_clock_bridge(self, engine):
+        """A 500-ohm bridge between clock lines is weaker than the
+        0.2-ohm catastrophic version: the comparator may keep working,
+        but the clock generator still sees the load."""
+        near = FaultClass(representative=NearMissShortFault(
+            nets=frozenset({"phi1", "phi2"})), count=3)
+        result = engine.simulate_class(near)
+        assert result.variant.startswith("near_miss")
+        from repro.faultsim import CurrentMechanism
+        assert CurrentMechanism.IDDQ in result.signature.mechanisms
+
+    def test_near_miss_twin_bias_invisible(self, engine):
+        near = FaultClass(representative=NearMissShortFault(
+            nets=frozenset({"vbn1", "vbn2"})), count=3)
+        result = engine.simulate_class(near)
+        assert result.signature.voltage in (
+            VoltageSignature.NONE, VoltageSignature.CLOCK_VALUE)
+
+
+class TestWorstCaseSelection:
+    def test_gate_pinhole_picks_least_detectable(self, engine):
+        """All three pinhole variants are simulated; the chosen one
+        must rank hardest to detect among them."""
+        fc = FaultClass(representative=GateOxidePinholeFault(
+            device="MS1"), count=1)
+        chosen = engine.simulate_class(fc)
+        from repro.faultsim.models import fault_models
+        variants = fault_models(fc.representative)
+        ranks = []
+        for v in variants:
+            sig = engine.simulate_model(v)
+            ranks.append((sig.detectability_rank(), v.name))
+        best_rank = min(r for r, _ in ranks)
+        assert chosen.signature.detectability_rank() == best_rank
+
+
+class TestMeasurementSanity:
+    def test_good_measurements_physical(self, engine):
+        gs = engine.good_space()
+        for pol in ("above", "below"):
+            m = gs.typical[pol]
+            assert m.resolved
+            # class-A bias currents: tens to hundreds of uA
+            assert 0 < m.ivdd[0] < 1e-3
+            assert 0 < m.ivdd[1] < 1e-3
+            # clock-line loading nearly zero when fault free
+            assert all(i < 50e-6 for i in m.iddq)
+            assert m.clock_deviation < 0.15
+
+    def test_decisions_differ_by_polarity(self, engine):
+        gs = engine.good_space()
+        assert gs.typical["above"].decision is True
+        assert gs.typical["below"].decision is False

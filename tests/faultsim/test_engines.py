@@ -1,0 +1,123 @@
+"""Integration-ish tests for the fault-simulation engines.
+
+These run real transients, so each uses a single representative fault.
+"""
+
+import pytest
+
+from repro.defects import ShortFault, collapse
+from repro.defects.collapse import FaultClass
+from repro.faultsim import (ComparatorFaultEngine, CurrentMechanism,
+                            EngineConfig, VoltageSignature)
+from repro.faultsim.macro_engines import (ClockgenFaultEngine,
+                                          DecoderFaultEngine,
+                                          LadderFaultEngine,
+                                          translate_fault)
+
+
+def short_class(a, b, layer="metal1", r=0.2, count=5):
+    fault = ShortFault(nets=frozenset({a, b}), layer=layer, resistance=r)
+    return FaultClass(representative=fault, count=count)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ComparatorFaultEngine(EngineConfig())
+
+
+class TestComparatorEngine:
+    def test_good_space_nominal_clean(self, engine):
+        gs = engine.good_space()
+        detected = gs.current_detection(gs.typical)
+        assert detected == set()
+
+    def test_output_short_is_stuck(self, engine):
+        result = engine.simulate_class(short_class("lp", "ln"))
+        assert result.signature.voltage == \
+            VoltageSignature.OUTPUT_STUCK_AT
+
+    def test_clock_short_flags_iddq(self, engine):
+        result = engine.simulate_class(short_class("phi1", "phi2"))
+        assert CurrentMechanism.IDDQ in result.signature.mechanisms
+
+    def test_bias_bias_short_escapes(self, engine):
+        """The paper's hard case: the two marginally different bias
+        lines shorted together change almost nothing."""
+        result = engine.simulate_class(short_class("vbn1", "vbn2"))
+        assert result.signature.voltage in (VoltageSignature.NONE,
+                                            VoltageSignature.CLOCK_VALUE)
+        assert CurrentMechanism.IVDD not in result.signature.mechanisms
+
+    def test_vdd_gnd_short_current_detected(self, engine):
+        result = engine.simulate_class(short_class("vdd", "gnd"))
+        assert CurrentMechanism.IVDD in result.signature.mechanisms
+
+
+class TestTranslateFault:
+    def test_nets_and_devices_renamed(self):
+        fault = ShortFault(nets=frozenset({"tap0", "tap3"}),
+                           layer="metal1", resistance=0.2)
+        out = translate_fault(fault, {"tap0": "tap128",
+                                      "tap3": "tap131"}, {})
+        assert out.nets == frozenset({"tap128", "tap131"})
+
+    def test_partition_labels_renamed(self):
+        from repro.defects import OpenFault
+        fault = OpenFault(net="tap1", partition=frozenset([
+            frozenset(["RF0:1"]), frozenset(["RF1:0"])]),
+            layer="metal1")
+        out = translate_fault(fault, {"tap1": "tap129"},
+                              {"RF0": "RF128", "RF1": "RF129"})
+        assert out.net == "tap129"
+        labels = {l for g in out.partition for l in g}
+        assert labels == {"RF128:1", "RF129:0"}
+
+
+class TestLadderEngine:
+    @pytest.fixture(scope="class")
+    def ladder_engine(self):
+        return LadderFaultEngine(ivdd_window_halfwidth=20e-3)
+
+    def test_rail_short_current_detected(self, ladder_engine):
+        rec = ladder_engine.simulate_class(short_class("tap4", "gnd"))
+        assert CurrentMechanism.IINPUT in rec.mechanisms
+
+    def test_adjacent_tap_short_voltage_detected(self, ladder_engine):
+        rec = ladder_engine.simulate_class(short_class("tap4", "tap5"))
+        assert rec.voltage_detected
+
+    def test_vdd_short_flags_supply(self, ladder_engine):
+        rec = ladder_engine.simulate_class(short_class("tap8", "vdd"))
+        assert CurrentMechanism.IVDD in rec.mechanisms or \
+            CurrentMechanism.IINPUT in rec.mechanisms
+
+
+class TestClockgenEngine:
+    @pytest.fixture(scope="class")
+    def clk_engine(self):
+        return ClockgenFaultEngine()
+
+    def test_phase_line_short_iddq(self, clk_engine):
+        rec = clk_engine.simulate_class(short_class("phi1", "gnd"))
+        assert CurrentMechanism.IDDQ in rec.mechanisms
+        assert rec.voltage_detected  # dead phase -> missing codes
+
+    def test_phase_phase_short(self, clk_engine):
+        rec = clk_engine.simulate_class(short_class("phi1", "phi3"))
+        assert CurrentMechanism.IDDQ in rec.mechanisms
+
+
+class TestDecoderEngine:
+    def test_small_sample_runs(self):
+        engine = DecoderFaultEngine(n_bridge_sample=30,
+                                    n_stuck_sample=20, seed=3)
+        bridges, stucks = engine.run()
+        assert len(bridges) == 30
+        assert len(stucks) == 20
+        # IDDQ catches essentially every sampled bridge
+        iddq_frac = sum(1 for r in bridges
+                        if CurrentMechanism.IDDQ in r.mechanisms) / 30
+        assert iddq_frac > 0.9
+        # a decent share of stuck-ats is logic-detectable
+        logic_frac = sum(1 for r in stucks if r.voltage_detected) / 20
+        assert logic_frac > 0.5

@@ -1,0 +1,172 @@
+"""Tests for circuit-level fault models and injection."""
+
+import pytest
+
+from repro.adc.process import typical
+from repro.circuit import (Circuit, Mosfet, Resistor, VoltageSource,
+                           operating_point)
+from repro.defects import (ExtraContactFault, GateOxidePinholeFault,
+                           JunctionPinholeFault, NewDeviceFault,
+                           OpenFault, ShortFault, ShortedDeviceFault,
+                           ThickOxidePinholeFault)
+from repro.faultsim import (FaultModel, NearMissShortFault, fault_models,
+                            inject, near_miss_model)
+
+
+def simple_circuit():
+    p = typical()
+    c = Circuit("ut")
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd", 2.0))
+    c.add(Resistor("R1", "vdd", "out", 10e3))
+    c.add(Mosfet("M1", "out", "in", "gnd", "gnd", p.nmos, w=4e-6,
+                 l=1e-6))
+    c.add(Resistor("R2", "out", "load", 1e3))
+    c.add(Resistor("R3", "load", "gnd", 1e3))
+    return c
+
+
+def short(a, b, r=0.2):
+    return ShortFault(nets=frozenset({a, b}), layer="metal1",
+                      resistance=r)
+
+
+class TestBridges:
+    def test_short_model_adds_resistor(self):
+        models = fault_models(short("out", "gnd"))
+        assert len(models) == 1
+        faulty = inject(simple_circuit(), models[0])
+        assert len(faulty) == len(simple_circuit()) + 1
+        op = operating_point(faulty)
+        assert op.voltage("out") < 0.01
+
+    def test_injection_preserves_original(self):
+        c = simple_circuit()
+        n = len(c)
+        inject(c, fault_models(short("out", "gnd"))[0])
+        assert len(c) == n
+
+    def test_multi_net_short_chain(self):
+        f = ShortFault(nets=frozenset({"out", "load", "gnd"}),
+                       layer="metal1", resistance=0.2)
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        op = operating_point(faulty)
+        assert op.voltage("out") == pytest.approx(op.voltage("load"),
+                                                  abs=0.01)
+
+    def test_extra_contact_resistance(self):
+        f = ExtraContactFault(nets=frozenset({"out", "gnd"}))
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        bridges = [el for el in faulty.elements
+                   if el.name.startswith("FLT_")]
+        assert bridges[0].resistance == pytest.approx(2.0)
+
+    def test_pinhole_resistances(self):
+        for f in (ThickOxidePinholeFault(nets=frozenset({"out", "gnd"})),
+                  JunctionPinholeFault(net="out", bulk_net="gnd")):
+            faulty = inject(simple_circuit(), fault_models(f)[0])
+            bridges = [el for el in faulty.elements
+                       if el.name.startswith("FLT_")]
+            assert bridges[0].resistance == pytest.approx(2000.0)
+
+    def test_near_miss_model(self):
+        f = NearMissShortFault(nets=frozenset({"out", "gnd"}))
+        faulty = inject(simple_circuit(), near_miss_model(f))
+        rs = [el for el in faulty.elements
+              if el.name.startswith("FLT_nm_r")]
+        cs = [el for el in faulty.elements
+              if el.name.startswith("FLT_nm_c")]
+        assert rs[0].resistance == pytest.approx(500.0)
+        assert cs[0].capacitance == pytest.approx(1e-15)
+
+
+class TestGatePinhole:
+    def test_three_variants(self):
+        models = fault_models(GateOxidePinholeFault(device="M1"))
+        assert len(models) == 3
+        names = {m.name for m in models}
+        assert any("source" in n for n in names)
+        assert any("drain" in n for n in names)
+        assert any("channel" in n for n in names)
+
+    def test_gate_to_source_pulls_gate(self):
+        models = fault_models(GateOxidePinholeFault(device="M1"))
+        source_variant = next(m for m in models if "source" in m.name)
+        faulty = inject(simple_circuit(), source_variant)
+        op = operating_point(faulty)
+        # the 2 kohm to the grounded source loads the driven gate
+        # through nothing (VIN is stiff), but the bridge itself exists
+        bridge = faulty.element("FLT_gp_M1_s")
+        assert bridge.resistance == pytest.approx(2000.0)
+
+    def test_channel_variant_creates_midpoint(self):
+        models = fault_models(GateOxidePinholeFault(device="M1"))
+        channel = next(m for m in models if "channel" in m.name)
+        faulty = inject(simple_circuit(), channel)
+        assert "M1__pinhole_ch" in faulty.nodes()
+
+
+class TestShortedDevice:
+    def test_drain_source_resistor(self):
+        f = ShortedDeviceFault(device="M1")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        op = operating_point(faulty)
+        # M1 off (vin=2.0 > vth, actually on; force off)
+        faulty.element("VIN").value = 0.0
+        op = operating_point(faulty)
+        # with the channel bridged, "out" is pulled low despite M1 off
+        assert op.voltage("out") < 3.0
+
+
+class TestOpens:
+    def partition(self):
+        return frozenset([frozenset(["M1:0", "R1:1"]),
+                          frozenset(["R2:0"])])
+
+    def test_open_splits_net(self):
+        f = OpenFault(net="out", partition=self.partition(),
+                      layer="metal1")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        # R2's terminal moved to a split node with a leak to ground
+        assert faulty.element("R2").nodes[0].startswith("out__open")
+        assert faulty.element("M1").nodes[0] == "out"
+        op = operating_point(faulty)
+        assert op.voltage("load") < 0.01  # load side floats to ground
+
+    def test_port_island_keeps_name(self):
+        partition = frozenset([frozenset(["port:out", "M1:0"]),
+                               frozenset(["R1:1", "R2:0"])])
+        f = OpenFault(net="out", partition=partition, layer="metal1")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        assert faulty.element("M1").nodes[0] == "out"
+        assert faulty.element("R1").nodes[1].startswith("out__open")
+
+    def test_missing_device_tolerated(self):
+        partition = frozenset([frozenset(["M1:0"]),
+                               frozenset(["GHOST:1"])])
+        f = OpenFault(net="out", partition=partition, layer="metal1")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        operating_point(faulty)  # must not raise
+
+
+class TestNewDevice:
+    def test_inserts_transistor(self):
+        partition = frozenset([frozenset(["R2:1"]),
+                               frozenset(["R3:0"])])
+        f = NewDeviceFault(net="load", gate_net="in",
+                           partition=partition, polarity="n")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        new = [el for el in faulty.elements
+               if el.name.startswith("FLT_nd_")]
+        assert len(new) == 1
+        assert isinstance(new[0], Mosfet)
+
+    def test_floating_gate_leaked(self):
+        partition = frozenset([frozenset(["R2:1"]),
+                               frozenset(["R3:0"])])
+        f = NewDeviceFault(net="load", gate_net=None,
+                           partition=partition, polarity="n")
+        faulty = inject(simple_circuit(), fault_models(f)[0])
+        assert "load__ndgate" in faulty.nodes()
+        op = operating_point(faulty)
+        assert op.voltage("load__ndgate") == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,62 @@
+"""Regression test: opens that strip every device off a net must keep
+the net measurable (found by the DfT benchmark run)."""
+
+import pytest
+
+from repro.adc.process import typical
+from repro.circuit import (Circuit, Resistor, VoltageSource,
+                           operating_point)
+from repro.defects import OpenFault
+from repro.faultsim import fault_models, inject
+
+
+def test_port_only_island_keeps_node_alive():
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(Resistor("RB2", "vdd", "vbn2", 70e3))
+    c.add(Resistor("RL", "vbn2", "gnd", 30e3))
+    # partition: the port anchor alone on one island, both resistor
+    # terminals on others -> every element leaves the net
+    partition = frozenset([frozenset(["port:vbn2"]),
+                           frozenset(["RB2:1"]),
+                           frozenset(["RL:0"])])
+    fault = OpenFault(net="vbn2", partition=partition, layer="metal1")
+    faulty = inject(c, fault_models(fault)[0])
+    op = operating_point(faulty)
+    # the stub floats to ground through its leak; it must be measurable
+    assert op.voltage("vbn2") == pytest.approx(0.0, abs=1e-6)
+
+
+def test_port_island_preferred_even_when_smaller():
+    """The circuit edge measures the port side, so the port island
+    keeps the net name even when a device island is larger."""
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(Resistor("RB2", "vdd", "vbn2", 70e3))
+    c.add(Resistor("RL", "vbn2", "gnd", 30e3))
+    partition = frozenset([frozenset(["RB2:1", "RL:0"]),
+                           frozenset(["port:vbn2"])])
+    fault = OpenFault(net="vbn2", partition=partition, layer="metal1")
+    faulty = inject(c, fault_models(fault)[0])
+    op = operating_point(faulty)
+    # devices moved together to a split island (divider intact there),
+    # while the measured port stub floats to ground
+    assert op.voltage("vbn2") == pytest.approx(0.0, abs=1e-6)
+    split = [n for n in faulty.nodes() if n.startswith("vbn2__open")]
+    assert len(split) == 1
+    assert op.voltage(split[0]) == pytest.approx(1.5, abs=0.01)
+
+
+def test_largest_island_kept_without_ports():
+    c = Circuit()
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(Resistor("RB2", "vdd", "vbn2", 70e3))
+    c.add(Resistor("RL", "vbn2", "gnd", 30e3))
+    c.add(Resistor("RX", "vbn2", "gnd", 1e6))
+    partition = frozenset([frozenset(["RB2:1", "RL:0"]),
+                           frozenset(["RX:0"])])
+    fault = OpenFault(net="vbn2", partition=partition, layer="metal1")
+    faulty = inject(c, fault_models(fault)[0])
+    # the larger island keeps the name: RB2/RL stay on vbn2
+    assert faulty.element("RB2").nodes[1] == "vbn2"
+    assert faulty.element("RX").nodes[0].startswith("vbn2__open")

@@ -1,0 +1,183 @@
+"""Tests for signature classification, non-cat derivation and the good
+signature space."""
+
+import pytest
+
+from repro.defects import ExtraContactFault, OpenFault, ShortFault, collapse
+from repro.faultsim import (CurrentMechanism, Measurement,
+                            NearMissShortFault, SignatureResult,
+                            VoltageSignature, Window, classify_voltage,
+                            compile_good_space, derive_noncatastrophic)
+from repro.faultsim.goodspace import N_COMPARATORS
+
+
+def short(a, b):
+    return ShortFault(nets=frozenset({a, b}), layer="metal1",
+                      resistance=0.2)
+
+
+class TestClassifyVoltage:
+    def test_stuck(self):
+        assert classify_voltage(True, True, None, None, 0.0)[0] == \
+            VoltageSignature.OUTPUT_STUCK_AT
+        assert classify_voltage(False, False, None, None, 0.0)[0] == \
+            VoltageSignature.OUTPUT_STUCK_AT
+
+    def test_inverted_is_mixed(self):
+        assert classify_voltage(False, True, None, None, 0.0)[0] == \
+            VoltageSignature.MIXED
+
+    def test_clean(self):
+        sig, _ = classify_voltage(True, False, True, False, 0.0)
+        assert sig == VoltageSignature.NONE
+
+    def test_clock_value(self):
+        sig, _ = classify_voltage(True, False, True, False, 0.5)
+        assert sig == VoltageSignature.CLOCK_VALUE
+
+    def test_positive_offset(self):
+        # fires early: below-probe already True
+        sig, sign = classify_voltage(True, False, True, True, 0.0)
+        assert sig == VoltageSignature.OFFSET
+        assert sign == +1
+
+    def test_negative_offset(self):
+        # fires late: above-probe still False
+        sig, sign = classify_voltage(True, False, False, False, 0.0)
+        assert sig == VoltageSignature.OFFSET
+        assert sign == -1
+
+    def test_erratic_band_is_mixed(self):
+        sig, _ = classify_voltage(True, False, False, True, 0.0)
+        assert sig == VoltageSignature.MIXED
+
+
+class TestNonCatDerivation:
+    def test_shorts_and_contacts_evolve(self):
+        classes = collapse([
+            short("a", "b"), short("a", "b"),
+            ExtraContactFault(nets=frozenset({"c", "d"})),
+        ])
+        derived = derive_noncatastrophic(classes)
+        assert len(derived) == 2
+        assert all(isinstance(fc.representative, NearMissShortFault)
+                   for fc in derived)
+        counts = {tuple(sorted(fc.representative.nets)): fc.count
+                  for fc in derived}
+        assert counts[("a", "b")] == 2
+
+    def test_high_ohmic_faults_not_evolved(self):
+        classes = collapse([OpenFault(
+            net="x", partition=frozenset([frozenset(["A:0"]),
+                                          frozenset(["B:0"])]),
+            layer="metal1")])
+        assert derive_noncatastrophic(classes) == []
+
+    def test_same_nets_merge(self):
+        classes = collapse([short("a", "b"),
+                            ExtraContactFault(nets=frozenset({"a", "b"}))])
+        derived = derive_noncatastrophic(classes)
+        assert len(derived) == 1
+        assert derived[0].count == 2
+
+
+def meas(decision=True, ivdd=(1e-4, 1e-4, 1e-4), iddq=(0., 0., 0.),
+         iin=(0., 0., 0.), ivref=(0., 0., 0.), ibias=(0., 0., 0.),
+         clock=0.0, resolved=True):
+    return Measurement(decision=decision, ivdd=ivdd, iddq=iddq, iin=iin,
+                       ivref=ivref, ibias=ibias, clock_deviation=clock,
+                       resolved=resolved)
+
+
+class TestWindow:
+    def test_contains(self):
+        w = Window(1.0, 2.0)
+        assert w.contains(1.5)
+        assert not w.contains(2.5)
+        assert w.contains(1.0) and w.contains(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Window(2.0, 1.0)
+
+    def test_expanded(self):
+        assert Window(1.0, 2.0).expanded(0.5) == Window(0.5, 2.5)
+
+
+class TestGoodSpace:
+    def build(self):
+        corners = {
+            "typical": {"above": meas(True), "below": meas(False)},
+            "slow": {"above": meas(True, ivdd=(0.8e-4,) * 3),
+                     "below": meas(False, ivdd=(0.8e-4,) * 3)},
+            "fast": {"above": meas(True, ivdd=(1.3e-4,) * 3),
+                     "below": meas(False, ivdd=(1.3e-4,) * 3)},
+        }
+        return compile_good_space(corners)
+
+    def test_nominal_inside(self):
+        gs = self.build()
+        detected = gs.current_detection({"above": meas(True),
+                                         "below": meas(False)})
+        assert detected == set()
+
+    def test_large_ivdd_delta_detected(self):
+        gs = self.build()
+        hot = meas(True, ivdd=(1e-4 + 50e-3, 1e-4, 1e-4))
+        detected = gs.current_detection({"above": hot,
+                                         "below": meas(False)})
+        assert CurrentMechanism.IVDD in detected
+
+    def test_small_delta_masked_by_corner_spread(self):
+        """A single-instance deviation smaller than the chip-level
+        corner spread escapes — the pre-DfT masking mechanism."""
+        gs = self.build()
+        # chip window spans 256 * (0.8..1.3)e-4 ~= 20..33 mA; a 2 mA
+        # single-instance shift stays inside
+        warm = meas(True, ivdd=(1e-4 + 2e-3, 1e-4, 1e-4))
+        detected = gs.current_detection({"above": warm,
+                                         "below": meas(False)})
+        assert CurrentMechanism.IVDD not in detected
+
+    def test_iddq_detection(self):
+        gs = self.build()
+        leaky = meas(True, iddq=(5e-3, 0.0, 0.0))
+        detected = gs.current_detection({"above": leaky,
+                                         "below": meas(False)})
+        assert CurrentMechanism.IDDQ in detected
+
+    def test_iinput_detection(self):
+        gs = self.build()
+        loaded = meas(True, iin=(1e-3, 0.0, 0.0))
+        detected = gs.current_detection({"above": loaded,
+                                         "below": meas(False)})
+        assert CurrentMechanism.IINPUT in detected
+
+    def test_unresolved_flags_ivdd(self):
+        gs = self.build()
+        detected = gs.current_detection({
+            "above": meas(resolved=False), "below": meas(False)})
+        assert CurrentMechanism.IVDD in detected
+
+    def test_missing_typical_corner_rejected(self):
+        with pytest.raises(ValueError):
+            compile_good_space({"slow": {"above": meas(),
+                                         "below": meas(False)}})
+
+
+class TestDetectabilityRank:
+    def test_ordering(self):
+        def result(voltage, mechs):
+            return SignatureResult(voltage=voltage, offset_sign=0,
+                                   mechanisms=frozenset(mechs),
+                                   measurements={})
+
+        hard = result(VoltageSignature.NONE, set())
+        medium = result(VoltageSignature.CLOCK_VALUE,
+                        {CurrentMechanism.IDDQ})
+        easy = result(VoltageSignature.OUTPUT_STUCK_AT,
+                      {CurrentMechanism.IVDD, CurrentMechanism.IDDQ})
+        ranked = sorted([easy, hard, medium],
+                        key=lambda r: r.detectability_rank())
+        assert ranked[0] is hard
+        assert ranked[-1] is easy

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+The scripts are executed in-process (import + main) with their heaviest
+knobs monkeypatched down where needed, so this file stays fast.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name, monkeypatch, capsys):
+    """Execute an example as __main__ and return its stdout."""
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_exist():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 6
+
+
+def test_spice_export_example(monkeypatch, capsys, tmp_path):
+    monkeypatch.setattr("sys.argv",
+                        ["spice_export.py", str(tmp_path / "sp")])
+    out = run_example("spice_export.py", monkeypatch, capsys)
+    assert "two diode drops" in out
+    assert (tmp_path / "sp" / "comparator.sp").exists()
+
+
+def test_ladder_analysis_example(monkeypatch, capsys):
+    out = run_example("ladder_analysis.py", monkeypatch, capsys)
+    assert "rail bridge" in out
+    assert "DETECT" in out
+
+
+def test_missing_code_vs_spec_example(monkeypatch, capsys):
+    out = run_example("missing_code_vs_spec_test.py", monkeypatch,
+                      capsys)
+    assert "DETECT" in out
+    assert "speedup" in out
+
+
+def test_comparator_transient_example(monkeypatch, capsys):
+    out = run_example("comparator_transient.py", monkeypatch, capsys)
+    assert "decision: ABOVE" in out
+    assert "decision: below" in out
+    assert "gate-oxide pinhole" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example(monkeypatch, capsys):
+    import repro.defects
+    original = repro.defects.sprinkle
+
+    def small_sprinkle(cell, n_defects, stats=None, seed=0):
+        return original(cell, min(n_defects, 2000), stats=stats,
+                        seed=seed)
+
+    monkeypatch.setattr(repro.defects, "sprinkle", small_sprinkle)
+    out = run_example("quickstart.py", monkeypatch, capsys)
+    assert "fault classes" in out
+    assert "->" in out

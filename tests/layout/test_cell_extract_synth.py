@@ -1,0 +1,175 @@
+"""Tests for layout cells, extraction and synthesis."""
+
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, Mosfet, MosParams, Resistor)
+from repro.layout import (DeviceInfo, LayoutCell, Rect, Shape, SynthOptions,
+                          UnionFind, connected_components,
+                          net_partition_without, synthesize, verify_cell)
+
+NMOS = MosParams(kp=60e-6, vto=0.7, lam=0.05, gamma=0.4, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+PMOS = MosParams(kp=25e-6, vto=-0.8, lam=0.06, gamma=0.5, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+
+
+def small_netlist():
+    c = Circuit("cellut")
+    c.add(Mosfet("M1", "out", "in", "gnd", "gnd", NMOS, w=4e-6, l=1e-6))
+    c.add(Mosfet("M2", "out", "in", "vdd", "vdd", PMOS, w=8e-6, l=1e-6,
+                 polarity="p"))
+    c.add(Resistor("R1", "out", "mid", 5000.0))
+    c.add(Capacitor("C1", "mid", "gnd", 100e-15))
+    return c
+
+
+def synth_small(**kwargs):
+    opts = SynthOptions(global_nets=["vdd", "gnd"],
+                        ports=["in", "out", "vdd", "gnd"], **kwargs)
+    return synthesize(small_netlist(), opts)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(3) == uf.find(4)
+        assert uf.find(0) != uf.find(3)
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [[0, 2], [1], [3]]
+
+
+class TestLayoutCell:
+    def test_layer_validation(self):
+        with pytest.raises(KeyError):
+            Shape(Rect(0, 0, 1, 1), "metal9", "a")
+
+    def test_area_and_layer_area(self):
+        cell = LayoutCell("c")
+        cell.add_rect(Rect(0, 0, 10, 10), "metal1", "a")
+        cell.add_rect(Rect(0, 0, 2, 2), "poly", "b")
+        assert cell.area() == 100.0
+        assert cell.layer_area("metal1") == 100.0
+        assert cell.layer_area("poly") == 4.0
+
+    def test_duplicate_device_rejected(self):
+        cell = LayoutCell("c")
+        cell.add_device(DeviceInfo("M1", "mosfet", ("d", "g", "s", "b")))
+        with pytest.raises(ValueError):
+            cell.add_device(DeviceInfo("M1", "mosfet",
+                                       ("d", "g", "s", "b")))
+
+    def test_nets_and_shapes_of_net(self):
+        cell = LayoutCell("c")
+        cell.add_rect(Rect(0, 0, 1, 1), "metal1", "a")
+        cell.add_rect(Rect(2, 0, 3, 1), "metal1", "b")
+        assert cell.nets() == ["a", "b"]
+        assert len(cell.shapes_of_net("a")) == 1
+
+
+class TestConnectivity:
+    def test_same_layer_overlap_connects(self):
+        shapes = [Shape(Rect(0, 0, 2, 1), "metal1", "a"),
+                  Shape(Rect(1, 0, 3, 1), "metal1", "a")]
+        comps = connected_components(shapes)
+        assert len(comps) == 1
+
+    def test_different_layer_no_connect_without_cut(self):
+        shapes = [Shape(Rect(0, 0, 2, 1), "metal1", "a"),
+                  Shape(Rect(0, 0, 2, 1), "poly", "b")]
+        assert len(connected_components(shapes)) == 2
+
+    def test_contact_connects_metal1_to_poly(self):
+        shapes = [Shape(Rect(0, 0, 2, 1), "metal1", "a"),
+                  Shape(Rect(0, 0, 2, 1), "poly", "a"),
+                  Shape(Rect(0.5, 0.2, 1.0, 0.7), "contact", "a",
+                        purpose="cut")]
+        assert len(connected_components(shapes)) == 1
+
+    def test_via_connects_metal1_to_metal2_only(self):
+        shapes = [Shape(Rect(0, 0, 2, 1), "metal2", "a"),
+                  Shape(Rect(0, 0, 2, 1), "poly", "b"),
+                  Shape(Rect(0.5, 0.2, 1.0, 0.7), "via", "a",
+                        purpose="cut")]
+        comps = connected_components(shapes)
+        assert len(comps) == 2  # via touches poly but does not connect it
+
+
+class TestSynthesis:
+    def test_lvs_clean(self):
+        assert verify_cell(synth_small()) == []
+
+    def test_devices_registered(self):
+        cell = synth_small()
+        assert set(cell.devices) >= {"M1", "M2", "R1", "C1"}
+        m1 = cell.devices["M1"]
+        assert m1.kind == "mosfet"
+        assert m1.terminals == ("out", "in", "gnd", "gnd")
+        assert m1.gate_rect is not None
+
+    def test_mosfet_layers_by_polarity(self):
+        cell = synth_small()
+        assert cell.layer_area("ndiff") > 0
+        assert cell.layer_area("pdiff") > 0
+
+    def test_global_nets_full_width(self):
+        cell = synth_small()
+        bbox = cell.bbox()
+        vdd_tracks = [s for s in cell.shapes_on("metal1")
+                      if s.net == "vdd" and s.rect.width > 0.8 *
+                      bbox.width]
+        assert vdd_tracks, "vdd should have a full-width track"
+
+    def test_port_anchors_created(self):
+        cell = synth_small()
+        assert "port:in" in cell.devices
+        assert cell.devices["port:in"].kind == "port"
+
+    def test_global_net_order_controls_track_y(self):
+        """Reordering global nets reorders their tracks - the DfT lever."""
+        def track_y(cell, net):
+            rows = [s.rect.y0 for s in cell.shapes_on("metal1")
+                    if s.net == net and s.rect.width > 30]
+            return min(rows)
+
+        a = synthesize(small_netlist(),
+                       SynthOptions(global_nets=["vdd", "gnd"]))
+        b = synthesize(small_netlist(),
+                       SynthOptions(global_nets=["gnd", "vdd"]))
+        assert track_y(a, "vdd") < track_y(a, "gnd")
+        assert track_y(b, "gnd") < track_y(b, "vdd")
+
+    def test_deterministic(self):
+        a, b = synth_small(), synth_small()
+        assert len(a.shapes) == len(b.shapes)
+        assert [s.rect for s in a.shapes] == [s.rect for s in b.shapes]
+
+
+class TestNetPartition:
+    def test_cutting_track_splits_terminals(self):
+        cell = synth_small()
+        # the "out" net joins M1 drain, M2 drain and R1's left terminal:
+        # removing its full track must split something
+        track = [s for s in cell.shapes_on("metal1")
+                 if s.net == "out" and s.device is None]
+        assert track
+        partition = net_partition_without(cell, "out", track)
+        assert len(partition) >= 2
+
+    def test_removing_nothing_keeps_net_whole(self):
+        cell = synth_small()
+        partition = net_partition_without(cell, "out", [])
+        assert len(partition) == 1
+
+    def test_bulk_terminals_excluded(self):
+        cell = synth_small()
+        partition = net_partition_without(cell, "gnd", [])
+        labels = {label for group in partition for label in group}
+        assert "M1:3" not in labels  # bulk terminal not an attachment
+        assert "M1:2" in labels      # source terminal is

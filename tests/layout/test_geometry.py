@@ -1,0 +1,128 @@
+"""Tests for geometry primitives, including property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout import (Disk, Rect, bounding_box, disk_cuts_rect,
+                          disk_intersects_rect, total_area)
+
+coords = st.floats(min_value=-100.0, max_value=100.0)
+positive = st.floats(min_value=0.1, max_value=50.0)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h),
+        coords, coords, positive, positive)
+
+
+class TestRect:
+    def test_properties(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.center == (2.0, 1.0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        c = Rect(5, 5, 6, 6)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert a.intersection(b) == Rect(1, 1, 2, 2)
+        assert a.intersection(c) is None
+
+    def test_shared_edge_counts_as_intersection(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert a.intersects(b)
+        assert a.intersection(b).area == 0.0
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(1, 1)
+        assert r.contains_point(0, 0)  # boundary
+        assert not r.contains_point(3, 1)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 1, 1).expanded(1.0) == Rect(-1, -1, 2, 2)
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert inter.x0 >= max(a.x0, b.x0) - 1e-9
+            assert inter.x1 <= min(a.x1, b.x1) + 1e-9
+            assert a.intersects(b)
+
+
+class TestDisk:
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            Disk(0, 0, 0.0)
+
+    def test_diameter(self):
+        assert Disk(0, 0, 1.5).diameter == 3.0
+
+
+class TestDiskRectPredicates:
+    def test_disk_inside_rect_intersects(self):
+        assert disk_intersects_rect(Disk(1, 1, 0.1), Rect(0, 0, 2, 2))
+
+    def test_disk_far_away(self):
+        assert not disk_intersects_rect(Disk(10, 10, 1), Rect(0, 0, 2, 2))
+
+    def test_disk_touching_corner(self):
+        # corner at (2,2); disk centred at (3,3) with r = sqrt(2)
+        assert disk_intersects_rect(Disk(3, 3, math.sqrt(2) + 1e-9),
+                                    Rect(0, 0, 2, 2))
+        assert not disk_intersects_rect(Disk(3, 3, math.sqrt(2) - 1e-2),
+                                        Rect(0, 0, 2, 2))
+
+    def test_cut_requires_spanning_width(self):
+        wire = Rect(0, 0, 20, 2)  # horizontal wire, 2 um wide
+        assert disk_cuts_rect(Disk(10, 1, 1.5), wire)      # d=3 > 2, spans
+        assert not disk_cuts_rect(Disk(10, 1, 0.8), wire)  # d=1.6 < 2
+
+    def test_cut_offcentre_misses(self):
+        wire = Rect(0, 0, 20, 2)
+        # big disk but centred too high to cover y in [0, 2]
+        assert not disk_cuts_rect(Disk(10, 2.5, 1.5), wire)
+
+    def test_cut_vertical_wire(self):
+        wire = Rect(0, 0, 2, 20)
+        assert disk_cuts_rect(Disk(1, 10, 1.5), wire)
+        assert not disk_cuts_rect(Disk(1, 10, 0.9), wire)
+
+    @given(st.floats(min_value=-30, max_value=30),
+           st.floats(min_value=-5, max_value=8),
+           st.floats(min_value=0.1, max_value=10))
+    def test_cut_implies_intersect(self, cx, cy, r):
+        wire = Rect(0, 0, 20, 2)
+        disk = Disk(cx, cy, r)
+        if disk_cuts_rect(disk, wire):
+            assert disk_intersects_rect(disk, wire)
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert box == Rect(0, -1, 3, 1)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_total_area(self):
+        assert total_area([Rect(0, 0, 1, 1), Rect(0, 0, 2, 2)]) == 5.0

@@ -1,0 +1,102 @@
+"""Tests for the spatial index: identical results, faster campaigns."""
+
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.comparator import comparator_layout
+from repro.defects import analyze_defect, analyze_defects, sprinkle
+from repro.layout import Disk, LayoutCell, Rect
+from repro.layout.index import SpatialIndex
+
+
+def grid_cell(n=6, pitch=20.0):
+    cell = LayoutCell("grid")
+    for k in range(n):
+        cell.add_rect(Rect(0, k * pitch, 200, k * pitch + 2), "metal1",
+                      f"h{k}")
+        cell.add_rect(Rect(k * pitch, 0, k * pitch + 2, 120), "metal2",
+                      f"v{k}")
+    return cell
+
+
+class TestSpatialIndex:
+    def test_candidates_superset_of_hits(self):
+        cell = grid_cell()
+        index = SpatialIndex(cell)
+        disk = Disk(50, 21, 3)
+        candidates = index.candidates_for_disk("metal1", disk)
+        from repro.layout import disk_intersects_rect
+        true_hits = [s for s in cell.shapes_on("metal1")
+                     if disk_intersects_rect(disk, s.rect)]
+        assert set(id(s) for s in true_hits) <= \
+            set(id(s) for s in candidates)
+
+    def test_point_query(self):
+        cell = grid_cell()
+        index = SpatialIndex(cell)
+        hits = [s for s in index.candidates_at_point("metal1", 50, 21)
+                if s.rect.contains_point(50, 21)]
+        assert len(hits) == 1
+        assert hits[0].net == "h1"
+
+    def test_unknown_layer_empty(self):
+        index = SpatialIndex(grid_cell())
+        assert index.candidates_for_disk("poly", Disk(0, 0, 1)) == []
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(grid_cell(), bucket=0.0)
+
+    def test_no_duplicates_for_spanning_shape(self):
+        cell = LayoutCell("one")
+        cell.add_rect(Rect(0, 0, 100, 100), "metal1", "big")
+        index = SpatialIndex(cell, bucket=10.0)
+        candidates = index.candidates_for_disk("metal1",
+                                               Disk(50, 50, 30))
+        assert len(candidates) == 1
+
+    @given(st.floats(min_value=-10, max_value=210),
+           st.floats(min_value=-10, max_value=130),
+           st.floats(min_value=0.3, max_value=25))
+    @settings(max_examples=60, deadline=None)
+    def test_narrowing_never_loses_hits(self, cx, cy, r):
+        """Property: every true geometric hit is among the candidates."""
+        from repro.layout import disk_intersects_rect
+        cell = grid_cell()
+        index = SpatialIndex(cell, bucket=13.0)
+        disk = Disk(cx, cy, r)
+        for layer in ("metal1", "metal2"):
+            truth = {id(s) for s in cell.shapes_on(layer)
+                     if disk_intersects_rect(disk, s.rect)}
+            cand = {id(s) for s in index.candidates_for_disk(layer, disk)}
+            assert truth <= cand
+
+
+class TestIndexedAnalysisEquivalence:
+    def test_identical_fault_lists(self):
+        """The index is purely a speedup: byte-identical fault output."""
+        cell = comparator_layout()
+        defects = sprinkle(cell, 6000, seed=33)
+        with_index = analyze_defects(cell, defects)
+        without = [f for f in (analyze_defect(cell, d, None)
+                               for d in defects) if f is not None]
+        assert [f.collapse_key() for f in with_index] == \
+            [f.collapse_key() for f in without]
+
+    def test_index_is_faster_on_large_campaign(self):
+        cell = comparator_layout()
+        defects = sprinkle(cell, 15000, seed=44)
+        index = SpatialIndex(cell)
+
+        start = time.perf_counter()
+        analyze_defects(cell, defects, index=index)
+        indexed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for d in defects:
+            analyze_defect(cell, d, None)
+        linear = time.perf_counter() - start
+
+        assert indexed < linear

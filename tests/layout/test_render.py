@@ -1,0 +1,62 @@
+"""Tests for layout rendering and statistics."""
+
+import pytest
+
+from repro.adc.comparator import comparator_layout
+from repro.layout import LayoutCell, Rect
+from repro.layout.render import (cell_statistics, render_cell,
+                                 statistics_report)
+
+
+def tiny_cell():
+    cell = LayoutCell("tiny")
+    cell.add_rect(Rect(0, 0, 50, 2), "metal1", "a")
+    cell.add_rect(Rect(0, 5, 50, 7), "metal1", "b")
+    cell.add_rect(Rect(20, -2, 22, 9), "metal2", "c")
+    return cell
+
+
+class TestRender:
+    def test_renders_tracks(self):
+        art = render_cell(tiny_cell(), width=60)
+        assert "-" in art     # metal1
+        assert "=" in art     # metal2 overprints
+        assert "tiny" in art
+        assert "[" in art     # legend
+
+    def test_layer_filter(self):
+        art = render_cell(tiny_cell(), width=60, layers=["metal2"])
+        assert "=" in art
+        assert "-" not in art.splitlines()[1]
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            render_cell(LayoutCell("void"))
+
+    def test_comparator_renders(self):
+        art = render_cell(comparator_layout(), width=120)
+        lines = art.splitlines()
+        assert len(lines) > 10
+        # drawn alone, the global tracks appear as long metal1 runs
+        m1_only = render_cell(comparator_layout(), width=120,
+                              layers=["metal1"])
+        assert any(line.count("-") > 100 for line in m1_only.splitlines())
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = cell_statistics(tiny_cell())
+        assert stats.shape_count == 3
+        assert stats.net_count == 3
+        assert stats.layer_area["metal1"] == pytest.approx(200.0)
+        assert stats.wire_length["metal1"] == pytest.approx(100.0)
+
+    def test_comparator_statistics(self):
+        stats = cell_statistics(comparator_layout())
+        assert stats.device_count > 25
+        assert stats.wire_length["metal1"] > 1000.0
+
+    def test_report_table(self):
+        report = statistics_report([tiny_cell(), comparator_layout()])
+        assert "tiny" in report and "comparator" in report
+        assert len(report.splitlines()) == 3

@@ -1,0 +1,132 @@
+"""Tests for coverage accounting and global scaling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faultsim import CurrentMechanism, VoltageSignature
+from repro.macrotest import (CoverageBreakdown, DetectionRecord,
+                             MacroResult, global_breakdown,
+                             macro_breakdown, mechanism_overlap,
+                             standard_partition)
+
+
+def rec(count=1, voltage=False, mechs=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           mechanisms=frozenset(mechs))
+
+
+def macro(name="m", records=(), area=100.0, instances=1, defects=1000):
+    return MacroResult(name=name, bbox_area=area, instances=instances,
+                       defects_sprinkled=defects, records=tuple(records))
+
+
+class TestDetectionRecord:
+    def test_flags(self):
+        r = rec(voltage=True, mechs=[CurrentMechanism.IVDD])
+        assert r.voltage_detected and r.current_detected and r.detected
+        assert not rec().detected
+
+
+class TestMacroResult:
+    def test_fault_yield_and_weight(self):
+        m = macro(records=[rec(count=10), rec(count=15)], area=200.0,
+                  instances=4, defects=1000)
+        assert m.total_faults == 25
+        assert m.fault_yield == pytest.approx(0.025)
+        assert m.weight == pytest.approx(4 * 200.0 * 0.025)
+
+    def test_zero_defects_rejected(self):
+        m = macro(defects=0, records=[rec()])
+        with pytest.raises(ValueError):
+            m.fault_yield
+
+
+class TestBreakdown:
+    def sample(self):
+        return macro(records=[
+            rec(count=30, voltage=True),                       # v only
+            rec(count=20, mechs=[CurrentMechanism.IVDD]),      # c only
+            rec(count=40, voltage=True,
+                mechs=[CurrentMechanism.IDDQ]),                # both
+            rec(count=10),                                     # escape
+        ])
+
+    def test_partition_sums_to_one(self):
+        b = macro_breakdown(self.sample())
+        assert b.voltage_only + b.current_only + b.both + \
+            b.undetected == pytest.approx(1.0)
+
+    def test_values(self):
+        b = macro_breakdown(self.sample())
+        assert b.voltage_only == pytest.approx(0.30)
+        assert b.current_only == pytest.approx(0.20)
+        assert b.both == pytest.approx(0.40)
+        assert b.voltage == pytest.approx(0.70)
+        assert b.current == pytest.approx(0.60)
+        assert b.total == pytest.approx(0.90)
+
+    def test_percentages(self):
+        pct = macro_breakdown(self.sample()).as_percentages()
+        assert pct["total"] == pytest.approx(90.0)
+
+    @given(st.lists(st.tuples(st.integers(1, 50), st.booleans(),
+                              st.booleans()), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariant(self, entries):
+        records = [rec(count=c, voltage=v,
+                       mechs=[CurrentMechanism.IVDD] if cur else [])
+                   for c, v, cur in entries]
+        b = macro_breakdown(macro(records=records))
+        assert b.voltage_only + b.current_only + b.both + \
+            b.undetected == pytest.approx(1.0)
+        assert 0.0 <= b.total <= 1.0 + 1e-9
+
+
+class TestGlobalBreakdown:
+    def test_weighting(self):
+        # macro A: everything detected, weight 3x; macro B: nothing
+        a = macro(name="a", records=[rec(count=10, voltage=True)],
+                  area=300.0, instances=1, defects=1000)
+        b = macro(name="b", records=[rec(count=10)], area=100.0,
+                  instances=1, defects=1000)
+        g = global_breakdown([a, b])
+        assert g.total == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            global_breakdown([])
+
+
+class TestMechanismOverlap:
+    def test_combination_keys(self):
+        m = macro(records=[
+            rec(count=50, voltage=True, mechs=[CurrentMechanism.IVDD]),
+            rec(count=30, mechs=[CurrentMechanism.IDDQ]),
+            rec(count=20),
+        ])
+        overlap = mechanism_overlap(m)
+        assert overlap["missing_codes+ivdd"] == pytest.approx(0.5)
+        assert overlap["iddq"] == pytest.approx(0.3)
+        assert overlap["undetected"] == pytest.approx(0.2)
+        assert overlap["only:iddq"] == pytest.approx(0.3)
+        assert overlap["only:missing_codes"] == pytest.approx(0.0)
+
+
+class TestPartition:
+    def test_standard_partition_macros(self):
+        p = standard_partition()
+        assert set(p) == {"comparator", "ladder", "biasgen", "clockgen",
+                          "decoder"}
+        assert p["comparator"].instances == 256
+        assert p["ladder"].instances == 16
+
+    def test_areas_positive(self):
+        p = standard_partition()
+        for descriptor in p.values():
+            assert descriptor.area() > 0
+
+    def test_comparators_dominate_area(self):
+        """Paper: 'most of the ADC area is covered by these cells'."""
+        p = standard_partition()
+        areas = {name: d.area() * d.instances for name, d in p.items()}
+        assert areas["comparator"] > 0.5 * sum(areas.values())

@@ -1,0 +1,117 @@
+"""Tests for fault-signature propagation through the behavioral ADC."""
+
+import pytest
+
+from repro.adc.behavioral import ComparatorBehavior
+from repro.defects import ShortFault
+from repro.faultsim import (CurrentMechanism, Measurement,
+                            SignatureResult, VoltageSignature)
+from repro.macrotest import (comparator_behavior_for, fault_shared_nets,
+                             propagate_bank_behavior,
+                             propagate_clock_fault,
+                             propagate_comparator_fault,
+                             propagate_ladder_fault)
+from repro.adc.ladder import nominal_tap_voltages
+
+
+def meas(decision=True, resolved=True):
+    z = (0.0, 0.0, 0.0)
+    return Measurement(decision=decision, ivdd=z, iddq=z, iin=z,
+                       ivref=z, ibias=z, clock_deviation=0.0,
+                       resolved=resolved)
+
+
+def sig(voltage, decision=True, offset_sign=0):
+    return SignatureResult(voltage=voltage, offset_sign=offset_sign,
+                           mechanisms=frozenset(),
+                           measurements={"above": meas(decision),
+                                         "below": meas(decision)})
+
+
+def local_fault():
+    return ShortFault(nets=frozenset({"outp", "outn"}), layer="metal1",
+                      resistance=0.2)
+
+
+def shared_fault():
+    return ShortFault(nets=frozenset({"phi1", "outp"}), layer="metal1",
+                      resistance=0.2)
+
+
+class TestSharedNets:
+    def test_local(self):
+        assert fault_shared_nets(local_fault()) == set()
+
+    def test_shared(self):
+        assert fault_shared_nets(shared_fault()) == {"phi1"}
+
+
+class TestBehaviorMapping:
+    def test_stuck(self):
+        b = comparator_behavior_for(sig(VoltageSignature.OUTPUT_STUCK_AT,
+                                        decision=True))
+        assert b.stuck is True
+
+    def test_offset_sign(self):
+        b = comparator_behavior_for(sig(VoltageSignature.OFFSET,
+                                        offset_sign=-1))
+        assert b.offset < -0.008
+
+    def test_clock_value_is_benign_statically(self):
+        b = comparator_behavior_for(sig(VoltageSignature.CLOCK_VALUE))
+        assert b.stuck is None and b.offset == 0.0
+        assert b.clock_degraded
+
+    def test_none_is_nominal(self):
+        assert comparator_behavior_for(sig(VoltageSignature.NONE)) == \
+            ComparatorBehavior()
+
+
+class TestComparatorPropagation:
+    def test_stuck_local_detected(self):
+        detected = propagate_comparator_fault(
+            sig(VoltageSignature.OUTPUT_STUCK_AT), local_fault())
+        assert detected
+
+    def test_offset_detected(self):
+        detected = propagate_comparator_fault(
+            sig(VoltageSignature.OFFSET, offset_sign=+1), local_fault())
+        assert detected
+
+    def test_clock_value_not_detected(self):
+        """The paper's point: clock-value faults degrade dynamics only,
+        so the static missing-code test cannot see them."""
+        detected = propagate_comparator_fault(
+            sig(VoltageSignature.CLOCK_VALUE), local_fault())
+        assert not detected
+
+    def test_none_not_detected(self):
+        assert not propagate_comparator_fault(
+            sig(VoltageSignature.NONE), local_fault())
+
+    def test_shared_fault_hits_whole_bank(self):
+        detected = propagate_comparator_fault(
+            sig(VoltageSignature.OUTPUT_STUCK_AT), shared_fault())
+        assert detected
+
+
+class TestOtherMacroPropagation:
+    def test_ladder_collapsed_span(self):
+        taps = nominal_tap_voltages().copy()
+        taps[100:110] = taps[100]
+        assert propagate_ladder_fault(taps)
+
+    def test_ladder_nominal_clean(self):
+        assert not propagate_ladder_fault(nominal_tap_voltages())
+
+    def test_dead_clock_detected(self):
+        assert propagate_clock_fault({"phi2": False}, degraded=False)
+
+    def test_degraded_clock_not_detected(self):
+        assert not propagate_clock_fault({}, degraded=True)
+
+    def test_bank_stuck_detected(self):
+        assert propagate_bank_behavior(ComparatorBehavior(stuck=True))
+
+    def test_bank_nominal_clean(self):
+        assert not propagate_bank_behavior(ComparatorBehavior())

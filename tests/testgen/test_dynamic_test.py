@@ -1,0 +1,60 @@
+"""Tests for the at-speed (dynamic) missing-code test extension."""
+
+import pytest
+
+from repro.adc.behavioral import ClockBehavior, ComparatorBehavior
+from repro.adc.flash import nominal_adc
+from repro.faultsim import Measurement, SignatureResult, VoltageSignature
+from repro.macrotest import propagate_comparator_fault
+from repro.testgen.detection import (dynamic_missing_code_test,
+                                     missing_code_test)
+from repro.defects import ShortFault
+
+
+def degraded_adc(instance=128):
+    return nominal_adc().with_comparator(
+        instance, ComparatorBehavior(clock_degraded=True))
+
+
+class TestDynamicMissingCode:
+    def test_nominal_passes_at_speed(self):
+        assert not dynamic_missing_code_test(nominal_adc()).detected
+
+    def test_clock_degraded_escapes_static(self):
+        """Baseline: the paper's static test cannot see these."""
+        assert not missing_code_test(degraded_adc()).detected
+
+    def test_clock_degraded_caught_at_speed(self):
+        assert dynamic_missing_code_test(degraded_adc()).detected
+
+    def test_globally_degraded_clock_caught_at_speed(self):
+        adc = nominal_adc().with_clocks(ClockBehavior(degraded=True))
+        assert not missing_code_test(adc).detected
+        assert dynamic_missing_code_test(adc).detected
+
+    def test_static_faults_still_caught(self):
+        adc = nominal_adc().with_comparator(
+            10, ComparatorBehavior(stuck=True))
+        assert dynamic_missing_code_test(adc).detected
+
+
+class TestPropagationWithDynamicTest:
+    def make_signature(self):
+        z = (0.0, 0.0, 0.0)
+        m = Measurement(decision=True, ivdd=z, iddq=z, iin=z, ivref=z,
+                        ibias=z, clock_deviation=0.5)
+        return SignatureResult(voltage=VoltageSignature.CLOCK_VALUE,
+                               offset_sign=0, mechanisms=frozenset(),
+                               measurements={"above": m, "below": m})
+
+    def fault(self):
+        return ShortFault(nets=frozenset({"outp", "outn"}),
+                          layer="metal1", resistance=0.2)
+
+    def test_clock_value_undetected_statically(self):
+        assert not propagate_comparator_fault(self.make_signature(),
+                                              self.fault())
+
+    def test_clock_value_detected_with_dynamic_test(self):
+        assert propagate_comparator_fault(self.make_signature(),
+                                          self.fault(), at_speed=True)

@@ -1,0 +1,111 @@
+"""Tests for the test-plan optimizer."""
+
+import pytest
+
+from repro.faultsim import CurrentMechanism
+from repro.macrotest import DetectionRecord, MacroResult
+from repro.testgen.optimize import (MISSING_CODE, TestPlan, full_plan_cost,
+                                    measurement_cost, optimize_test_plan)
+
+IVDD_S = ("ivdd", "sampling", "above")
+IDDQ_S = ("iddq", "sampling", "above")
+IDDQ_L = ("iddq", "latching", "below")
+
+
+def rec(count, voltage=False, keys=()):
+    mechs = set()
+    for k in keys:
+        mechs.add(CurrentMechanism.IVDD if k[0] == "ivdd"
+                  else CurrentMechanism.IDDQ)
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+def macro(records):
+    return MacroResult(name="m", bbox_area=1.0, instances=1,
+                       defects_sprinkled=1000, records=tuple(records))
+
+
+class TestOptimize:
+    def test_single_measurement_suffices(self):
+        m = macro([rec(10, keys=[IVDD_S]), rec(5, keys=[IVDD_S])])
+        plan = optimize_test_plan(m)
+        assert plan.measurements == (IVDD_S,)
+        assert plan.coverage == pytest.approx(1.0)
+
+    def test_overlap_collapses_to_one(self):
+        """Two mechanisms covering the same faults: pick only one."""
+        m = macro([rec(10, keys=[IVDD_S, IDDQ_S])])
+        plan = optimize_test_plan(m)
+        assert len(plan.measurements) == 1
+
+    def test_complementary_measurements_both_chosen(self):
+        m = macro([rec(10, keys=[IVDD_S]), rec(10, keys=[IDDQ_L])])
+        plan = optimize_test_plan(m)
+        assert set(plan.measurements) == {IVDD_S, IDDQ_L}
+
+    def test_missing_code_included_when_needed(self):
+        m = macro([rec(10, voltage=True), rec(5, keys=[IDDQ_S])])
+        plan = optimize_test_plan(m)
+        assert MISSING_CODE in plan.measurements
+        assert plan.coverage == pytest.approx(1.0)
+
+    def test_cost_weighting_prefers_current(self):
+        """A fault caught by both: the cheaper current measurement wins
+        (100 us vs the 150 us missing-code test)."""
+        m = macro([rec(10, voltage=True, keys=[IDDQ_S])])
+        plan = optimize_test_plan(m)
+        assert plan.measurements == (IDDQ_S,)
+
+    def test_undetectable_faults_bound_achievable(self):
+        m = macro([rec(8, keys=[IVDD_S]), rec(2)])
+        plan = optimize_test_plan(m)
+        assert plan.achievable == pytest.approx(0.8)
+        assert plan.coverage == pytest.approx(0.8)
+
+    def test_min_coverage_stops_early(self):
+        m = macro([rec(90, keys=[IVDD_S]), rec(10, keys=[IDDQ_L])])
+        plan = optimize_test_plan(m, min_coverage=0.9)
+        assert plan.measurements == (IVDD_S,)
+
+    def test_empty_macro_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_test_plan(macro([]))
+
+    def test_plan_is_cheaper_than_naive(self):
+        m = macro([rec(10, voltage=True, keys=[IVDD_S, IDDQ_S])])
+        plan = optimize_test_plan(m)
+        assert plan.cost < full_plan_cost()
+
+    def test_describe(self):
+        m = macro([rec(10, voltage=True), rec(5, keys=[IDDQ_S])])
+        text = optimize_test_plan(m).describe()
+        assert "missing-code test" in text
+        assert "coverage" in text
+
+
+class TestCosts:
+    def test_measurement_costs(self):
+        assert measurement_cost(IVDD_S) == pytest.approx(100e-6)
+        assert measurement_cost(MISSING_CODE) == pytest.approx(150e-6)
+        assert full_plan_cost() == pytest.approx(150e-6 + 24 * 100e-6)
+
+
+class TestOnRealEngine:
+    def test_plan_from_real_run(self):
+        """Small real run: the optimizer reproduces the aggregate
+        coverage with a handful of measurements."""
+        from repro.core import DefectOrientedTestPath, PathConfig
+        from repro.macrotest import macro_breakdown
+
+        config = PathConfig(n_defects=4000, max_classes=8,
+                            include_noncat=False)
+        result = DefectOrientedTestPath(config).run(
+            macros=["comparator"])
+        comparator = result.macros["comparator"].result
+        plan = optimize_test_plan(comparator)
+        breakdown = macro_breakdown(comparator)
+        assert plan.coverage == pytest.approx(breakdown.total, abs=1e-9)
+        assert plan.cost < full_plan_cost()
+        assert 1 <= len(plan.measurements) <= 25

@@ -1,0 +1,119 @@
+"""Tests for stimuli, detection, cost model, spec baseline and DfT."""
+
+import numpy as np
+import pytest
+
+from repro.adc.behavioral import ComparatorBehavior
+from repro.adc.flash import nominal_adc
+from repro.testgen import (CurrentTestStimulus, DfTConfig, FULL_DFT,
+                           MissingCodeStimulus, NO_DFT,
+                           comparator_layout_for, current_only_cost,
+                           defect_oriented_cost, histogram,
+                           measure_static, missing_code_test,
+                           spec_test_detects,
+                           specification_oriented_cost)
+
+
+class TestStimuli:
+    def test_triangle_covers_all_codes(self):
+        samples = MissingCodeStimulus().samples()
+        assert len(samples) == 1000
+        adc = nominal_adc()
+        codes = set(adc.convert_many(samples).tolist())
+        assert codes == set(range(256))
+
+    def test_current_plan_six_points(self):
+        plan = CurrentTestStimulus().measurement_points()
+        assert len(plan) == 6
+        assert ("above", "sampling") in plan
+        assert ("below", "latching") in plan
+
+    def test_test_times(self):
+        assert MissingCodeStimulus().test_time() == pytest.approx(
+            1000 * 150e-9)
+        assert CurrentTestStimulus().test_time() == pytest.approx(
+            6 * 100e-6)
+
+
+class TestMissingCodeTest:
+    def test_nominal_passes(self):
+        result = missing_code_test(nominal_adc())
+        assert result.passed and not result.detected
+
+    def test_stuck_comparator_fails(self):
+        adc = nominal_adc().with_comparator(
+            77, ComparatorBehavior(stuck=True))
+        result = missing_code_test(adc)
+        assert result.detected
+        assert len(result.missing) >= 1
+
+    def test_histogram_shape(self):
+        h = histogram(nominal_adc())
+        assert len(h) == 256
+        assert h.sum() == 1000
+        assert np.all(h[1:255] > 0)
+
+
+class TestSpecBaseline:
+    def test_nominal_passes(self):
+        m = measure_static(nominal_adc())
+        assert m.passes()
+        assert m.dnl < 0.5
+        assert abs(m.offset_lsb) < 1.0
+
+    def test_gross_fault_rejected(self):
+        adc = nominal_adc().with_comparator(
+            128, ComparatorBehavior(stuck=False))
+        assert spec_test_detects(adc)
+
+    def test_small_offset_accepted(self):
+        """Key asymmetry: a sub-LSB shift passes the spec test even
+        though it is a real defect-induced deviation."""
+        adc = nominal_adc().with_comparator(
+            128, ComparatorBehavior(offset=0.002))
+        assert not spec_test_detects(adc)
+
+    def test_dead_converter_everything_inf(self):
+        from repro.adc.behavioral import ClockBehavior
+        adc = nominal_adc().with_clocks(ClockBehavior(phi1_ok=False))
+        m = measure_static(adc)
+        assert not m.passes()
+
+
+class TestCostModel:
+    def test_defect_test_sub_millisecond(self):
+        cost = defect_oriented_cost()
+        assert cost.total < 10e-3
+        # the current measurements dominate the active test time
+        assert cost.components["current_measurements"] > \
+            cost.components["missing_code_sampling"]
+
+    def test_spec_test_much_more_expensive(self):
+        """The paper's economic claim: defect-oriented tests compare
+        favourably with functional tests."""
+        defect = defect_oriented_cost()
+        spec = specification_oriented_cost()
+        assert spec.total > 5 * defect.total
+
+    def test_current_only_cheapest(self):
+        assert current_only_cost().total < defect_oriented_cost().total
+
+
+class TestDfTConfig:
+    def test_labels(self):
+        assert NO_DFT.label == "dft:none"
+        assert FULL_DFT.label == "dft:ff+bias"
+        assert DfTConfig(flipflop_redesign=True).label == "dft:ff"
+
+    def test_layout_variants_differ(self):
+        std = comparator_layout_for(NO_DFT)
+        full = comparator_layout_for(FULL_DFT)
+        assert len(full.devices) < len(std.devices)  # leak removed
+
+        def track_y(cell, net):
+            return min(s.rect.y0 for s in cell.shapes_on("metal1")
+                       if s.net == net and s.rect.width > 100)
+
+        assert abs(track_y(std, "vbn1") - track_y(std, "vbn2")) == \
+            pytest.approx(3.0)
+        assert abs(track_y(full, "vbn1") - track_y(full, "vbn2")) > 3.0
