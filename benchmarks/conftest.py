@@ -1,22 +1,36 @@
 """Shared fixtures for the benchmark harness.
 
 The heavy work — full defect-oriented path runs — is done once per
-session and shared by every benchmark.  Budgets are moderate by default
-(a few minutes total); set ``REPRO_FULL=1`` for paper-scale campaigns
-(25 000-defect class discovery plus a 2M-defect magnitude recount).
+session via the campaign runner and shared by every benchmark.  Budgets
+are moderate by default (a few minutes total); set ``REPRO_FULL=1`` for
+paper-scale campaigns (25 000-defect class discovery plus a 2M-defect
+magnitude recount).  ``REPRO_BENCH_JOBS`` sets the runner's worker
+count, ``REPRO_BENCH_CACHE`` points the content-addressed results
+store at a persistent directory so repeat benchmark sessions skip
+already-simulated classes.
 
 Rendered tables are printed and also written to ``benchmarks/output/``.
+Campaign accounting (wall time, per-macro simulation time, cache-hit
+stats) is persisted machine-readable to
+``benchmarks/output/BENCH_campaign.json`` so the performance
+trajectory is tracked across PRs.
 """
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
-from repro.core import DefectOrientedTestPath, PathConfig
+from repro.campaign import CampaignOptions, CampaignRunner
+from repro.core import PathConfig
 from repro.testgen import FULL_DFT, NO_DFT
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: campaign metrics collected this session, keyed by run label
+_CAMPAIGN_STATS = {}
 
 
 def bench_config(dft=NO_DFT) -> PathConfig:
@@ -27,18 +41,34 @@ def bench_config(dft=NO_DFT) -> PathConfig:
                       include_noncat=True)
 
 
+def _bench_options() -> CampaignOptions:
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    return CampaignOptions(
+        jobs=int(jobs) if jobs else 1,
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE"))
+
+
+def _run_campaign(label: str, dft):
+    runner = CampaignRunner(bench_config(dft), _bench_options())
+    started = time.perf_counter()
+    campaign = runner.run()
+    wall = time.perf_counter() - started
+    stats = campaign.metrics.as_dict()
+    stats["bench_wall_time"] = wall
+    _CAMPAIGN_STATS[label] = stats
+    return campaign.path_result
+
+
 @pytest.fixture(scope="session")
 def std_path_result():
     """Full five-macro path run, no DfT."""
-    path = DefectOrientedTestPath(bench_config(NO_DFT))
-    return path.run()
+    return _run_campaign("standard", NO_DFT)
 
 
 @pytest.fixture(scope="session")
 def dft_path_result():
     """Full five-macro path run with both DfT measures."""
-    path = DefectOrientedTestPath(bench_config(FULL_DFT))
-    return path.run()
+    return _run_campaign("full_dft", FULL_DFT)
 
 
 @pytest.fixture(scope="session")
@@ -52,3 +82,17 @@ def emit(name: str, text: str) -> None:
     print(text)
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist machine-readable campaign stats for cross-PR tracking."""
+    if not _CAMPAIGN_STATS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "repro_full": bool(os.environ.get("REPRO_FULL")),
+        "jobs": _bench_options().resolved_jobs(),
+        "campaigns": _CAMPAIGN_STATS,
+    }
+    (OUTPUT_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")

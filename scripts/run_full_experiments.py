@@ -5,17 +5,26 @@ with the paper's 25 000-defect class-discovery campaign plus a
 2 000 000-defect magnitude recount, simulates *all* fault classes, and
 writes every rendered table/figure to ``benchmarks/output_full/``.
 
+Execution goes through the campaign runner: ``--jobs N`` parallelises
+fault-class simulations, results are cached content-addressed under
+``benchmarks/output_full/cache`` (re-runs only simulate what changed),
+and a killed run continues where it stopped with ``--resume``.
+
 Takes on the order of an hour on a laptop core.  Usage::
 
-    python scripts/run_full_experiments.py [--quick]
+    python scripts/run_full_experiments.py [--quick] [--jobs N]
+        [--resume]
 """
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 
-from repro.core import (DefectOrientedTestPath, PathConfig, render_fig3,
+from repro.campaign import (CampaignOptions, CampaignRunner,
+                            ConsoleReporter, EventBus)
+from repro.core import (PathConfig, render_fig3,
                         render_fig4, render_macro_current_detectability,
                         render_table1, render_table2, render_table3,
                         save_path_result)
@@ -37,35 +46,58 @@ def emit(name: str, text: str) -> None:
     print(text, flush=True)
 
 
-def run_path(dft, quick: bool):
-    if quick:
+def run_path(dft, args):
+    if args.quick:
         config = PathConfig(n_defects=12000, max_classes=60, dft=dft)
     else:
         config = PathConfig(n_defects=25000,
                             magnitude_defects=2_000_000, dft=dft)
-    path = DefectOrientedTestPath(config)
+    options = CampaignOptions(jobs=args.jobs,
+                              cache_dir=args.cache_dir,
+                              resume=args.resume)
+    bus = EventBus()
+    runner = CampaignRunner(config, options, bus=bus)
+    bus.subscribe(ConsoleReporter(every=25,
+                                  collector=runner.collector,
+                                  jobs=options.resolved_jobs()))
     started = time.time()
-
-    def progress(macro, done, total):
-        if done % 25 == 0 or done == total:
-            log(f"  {dft.label} {macro}: {done}/{total} classes "
-                f"({time.time() - started:.0f}s)")
-
-    result = path.run(progress=progress)
-    log(f"{dft.label}: path complete in {time.time() - started:.0f}s")
-    return result
+    campaign = runner.run()
+    metrics = campaign.metrics
+    log(f"{dft.label}: campaign complete in "
+        f"{time.time() - started:.0f}s ({metrics.computed} computed, "
+        f"{metrics.cache_hits} cache hits, {metrics.journal_hits} "
+        f"resumed, {metrics.degraded} degraded)")
+    return campaign
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="reduced budgets (minutes instead of ~1h)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--cache-dir", default=str(OUTPUT / "cache"),
+                        help="results store root (content-addressed)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted run from its "
+                             "journal")
     args = parser.parse_args()
 
-    log("running standard-design path ...")
-    std = run_path(NO_DFT, args.quick)
-    log("running full-DfT path ...")
-    dft = run_path(FULL_DFT, args.quick)
+    log("running standard-design campaign ...")
+    std_campaign = run_path(NO_DFT, args)
+    std = std_campaign.path_result
+    log("running full-DfT campaign ...")
+    dft_campaign = run_path(FULL_DFT, args)
+    dft = dft_campaign.path_result
+
+    OUTPUT.mkdir(exist_ok=True)
+    metrics_payload = {
+        "standard": std_campaign.metrics.as_dict(),
+        "full_dft": dft_campaign.metrics.as_dict(),
+    }
+    (OUTPUT / "campaign_metrics.json").write_text(
+        json.dumps(metrics_payload, indent=1, sort_keys=True))
+    log("saved campaign metrics (campaign_metrics.json)")
 
     OUTPUT.mkdir(exist_ok=True)
     save_path_result(std, OUTPUT / "results_standard.json")

@@ -1,0 +1,48 @@
+"""Campaign orchestration: parallel, resumable fault-simulation runs.
+
+This package turns the per-macro defect-oriented experiment into a
+managed campaign:
+
+* :mod:`~repro.campaign.tasks` — the pure, picklable unit of work
+  (:func:`~repro.campaign.tasks.simulate_class`);
+* :mod:`~repro.campaign.plan` — config -> per-macro class lists and
+  engine specs;
+* :mod:`~repro.campaign.store` — content-addressed on-disk results
+  store (re-runs hit cache instead of re-simulating);
+* :mod:`~repro.campaign.journal` — append-only JSONL checkpoint
+  making campaigns crash-safe and resumable;
+* :mod:`~repro.campaign.events` — structured progress events and
+  live metrics (wall time, cache-hit rate, ETA);
+* :mod:`~repro.campaign.runner` — the
+  :class:`~repro.campaign.runner.CampaignRunner` tying it together
+  over a process pool.
+
+See ``docs/CAMPAIGNS.md`` for the operational guide.
+"""
+
+from .events import (CampaignEvent, CampaignFinished, CampaignMetrics,
+                     CampaignStarted, ClassCompleted, ConsoleReporter,
+                     EventBus, MacroPlanned, MetricsCollector)
+from .journal import CampaignJournal, JournalEntry
+from .plan import (ALL_MACROS, MacroPlan, discover_classes,
+                   ivdd_halfwidth, plan_macro, validate_macros)
+from .runner import (CampaignOptions, CampaignResult, CampaignRunner,
+                     DEFAULT_CACHE_DIR)
+from .store import (STORE_VERSION, ResultsStore, canonical,
+                    content_key)
+from .tasks import (ANALOG_MACROS, ClassTask, EngineSpec, TaskOutcome,
+                    build_engine, clear_engine_cache, degraded_record,
+                    get_engine, run_task, simulate_class)
+
+__all__ = [
+    "CampaignEvent", "CampaignFinished", "CampaignMetrics",
+    "CampaignStarted", "ClassCompleted", "ConsoleReporter", "EventBus",
+    "MacroPlanned", "MetricsCollector", "CampaignJournal",
+    "JournalEntry", "ALL_MACROS", "MacroPlan", "discover_classes",
+    "ivdd_halfwidth", "plan_macro", "validate_macros",
+    "CampaignOptions", "CampaignResult", "CampaignRunner",
+    "DEFAULT_CACHE_DIR", "STORE_VERSION", "ResultsStore", "canonical",
+    "content_key", "ANALOG_MACROS", "ClassTask", "EngineSpec",
+    "TaskOutcome", "build_engine", "clear_engine_cache",
+    "degraded_record", "get_engine", "run_task", "simulate_class",
+]

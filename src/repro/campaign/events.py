@@ -1,0 +1,288 @@
+"""Structured campaign events and live metrics.
+
+The runner emits typed events on an :class:`EventBus`; subscribers —
+the CLI's :class:`ConsoleReporter`, the benchmark harness, tests —
+consume them without touching the runner.  A :class:`MetricsCollector`
+subscriber aggregates the stream into a :class:`CampaignMetrics`
+snapshot (per-class wall time, cache-hit rate, convergence failures,
+ETA) that the CLI prints and the benchmarks persist as JSON.
+
+All subscriber dispatch happens under a lock, so reporters that write
+to a shared stream never interleave lines even when pool callbacks
+fire from multiple threads.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """Base class of all campaign events."""
+
+
+@dataclass(frozen=True)
+class CampaignStarted(CampaignEvent):
+    """The runner resolved its plan and is about to dispatch.
+
+    Attributes:
+        macros: macro names in the plan.
+        total_tasks: fault-class simulations the campaign owns.
+        jobs: worker processes (1 = in-process serial).
+        resumed: journal entries adopted from a previous run.
+    """
+
+    macros: Tuple[str, ...]
+    total_tasks: int
+    jobs: int
+    resumed: int = 0
+
+
+@dataclass(frozen=True)
+class MacroPlanned(CampaignEvent):
+    """Class discovery finished for one macro."""
+
+    macro: str
+    n_classes: int
+    n_noncat: int
+
+
+@dataclass(frozen=True)
+class ClassCompleted(CampaignEvent):
+    """One fault-class simulation finished (from any source).
+
+    Attributes:
+        macro: macro the class belongs to.
+        kind: ``"cat"`` or ``"noncat"``.
+        index: class index within (macro, kind).
+        source: ``"computed"``, ``"cache"`` or ``"journal"``.
+        wall: simulation wall time in seconds (0 for cache/journal).
+        degraded: the class failed twice and carries a pessimistic
+            record instead of a simulated one.
+        error: the attached error message for degraded results.
+        retried: the class was retried before succeeding or degrading.
+        done: campaign-wide completion count including this event.
+        total: campaign-wide task count.
+    """
+
+    macro: str
+    kind: str
+    index: int
+    source: str
+    wall: float = 0.0
+    degraded: bool = False
+    error: Optional[str] = None
+    retried: bool = False
+    done: int = 0
+    total: int = 0
+
+
+@dataclass(frozen=True)
+class CampaignFinished(CampaignEvent):
+    """The campaign completed; carries the final metrics snapshot."""
+
+    metrics: "CampaignMetrics"
+
+
+class EventBus:
+    """Thread-safe fan-out of campaign events to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[CampaignEvent], None]] = []
+        self._lock = threading.Lock()
+
+    def subscribe(self, fn: Callable[[CampaignEvent], None]) -> None:
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def emit(self, event: CampaignEvent) -> None:
+        with self._lock:
+            for fn in self._subscribers:
+                fn(event)
+
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Aggregated accounting of one campaign run.
+
+    Attributes:
+        total_tasks: fault-class simulations in the plan.
+        completed: finished so far (any source).
+        computed: simulated in this run.
+        cache_hits: served from the results store.
+        journal_hits: adopted from a resume journal.
+        degraded: recorded as degraded after retry.
+        retries: extra attempts made.
+        convergence_failures: simulator convergence failures observed
+            inside computed classes.
+        wall_time: campaign wall-clock seconds so far.
+        simulated_time: summed per-class wall time of computed classes.
+        macro_wall: summed computed wall time per macro.
+        eta: estimated remaining seconds (None before any computed
+            class or when nothing remains).
+    """
+
+    total_tasks: int = 0
+    completed: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    journal_hits: int = 0
+    degraded: int = 0
+    retries: int = 0
+    convergence_failures: int = 0
+    wall_time: float = 0.0
+    simulated_time: float = 0.0
+    macro_wall: Dict[str, float] = field(default_factory=dict)
+    eta: Optional[float] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed classes not simulated in this run."""
+        if self.completed == 0:
+            return 0.0
+        return (self.cache_hits + self.journal_hits) / self.completed
+
+    def as_dict(self) -> Dict:
+        return {
+            "total_tasks": self.total_tasks,
+            "completed": self.completed,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "journal_hits": self.journal_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "convergence_failures": self.convergence_failures,
+            "wall_time": self.wall_time,
+            "simulated_time": self.simulated_time,
+            "macro_wall": dict(self.macro_wall),
+        }
+
+
+class MetricsCollector:
+    """EventBus subscriber that folds events into CampaignMetrics."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started: Optional[float] = None
+        self._total = 0
+        self._completed = 0
+        self._computed = 0
+        self._cache_hits = 0
+        self._journal_hits = 0
+        self._degraded = 0
+        self._retries = 0
+        self._convergence_failures = 0
+        self._simulated = 0.0
+        self._macro_wall: Dict[str, float] = {}
+
+    def __call__(self, event: CampaignEvent) -> None:
+        with self._lock:
+            if isinstance(event, CampaignStarted):
+                self._started = self._clock()
+                self._total = event.total_tasks
+            elif isinstance(event, ClassCompleted):
+                self._completed += 1
+                self._degraded += event.degraded
+                self._retries += event.retried
+                if event.source == "cache":
+                    self._cache_hits += 1
+                elif event.source == "journal":
+                    self._journal_hits += 1
+                else:
+                    self._computed += 1
+                    self._simulated += event.wall
+                    self._macro_wall[event.macro] = \
+                        self._macro_wall.get(event.macro, 0.0) + \
+                        event.wall
+
+    def add_convergence_failures(self, n: int) -> None:
+        with self._lock:
+            self._convergence_failures += max(0, n)
+
+    def snapshot(self, jobs: int = 1) -> CampaignMetrics:
+        """Current metrics with wall time and ETA filled in."""
+        with self._lock:
+            wall = 0.0
+            if self._started is not None:
+                wall = self._clock() - self._started
+            eta: Optional[float] = None
+            remaining = self._total - self._completed
+            if self._computed > 0 and remaining > 0:
+                per_class = self._simulated / self._computed
+                eta = remaining * per_class / max(1, jobs)
+            return CampaignMetrics(
+                total_tasks=self._total, completed=self._completed,
+                computed=self._computed, cache_hits=self._cache_hits,
+                journal_hits=self._journal_hits,
+                degraded=self._degraded, retries=self._retries,
+                convergence_failures=self._convergence_failures,
+                wall_time=wall, simulated_time=self._simulated,
+                macro_wall=dict(self._macro_wall), eta=eta)
+
+
+class ConsoleReporter:
+    """Prints campaign progress, one whole line per write.
+
+    Each event becomes at most one ``stream.write`` of a complete
+    ``\\n``-terminated line, so interleaved updates from parallel
+    macro streams can never mangle each other — the failure mode of
+    the old per-macro ``print`` progress callback.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, every: int = 10,
+                 collector: Optional[MetricsCollector] = None,
+                 jobs: int = 1) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = max(1, every)
+        self._collector = collector
+        self._jobs = jobs
+        self._started = time.monotonic()
+
+    def _write(self, line: str) -> None:
+        self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def __call__(self, event: CampaignEvent) -> None:
+        if isinstance(event, CampaignStarted):
+            self._started = time.monotonic()
+            resumed = (f", {event.resumed} resumed"
+                       if event.resumed else "")
+            self._write(
+                f"campaign: {event.total_tasks} classes over "
+                f"{len(event.macros)} macros, jobs={event.jobs}"
+                f"{resumed}")
+        elif isinstance(event, ClassCompleted):
+            notable = event.degraded or event.error
+            if not notable and event.done % self._every != 0 and \
+                    event.done != event.total:
+                return
+            elapsed = time.monotonic() - self._started
+            suffix = ""
+            if self._collector is not None:
+                m = self._collector.snapshot(jobs=self._jobs)
+                if m.eta is not None:
+                    suffix = f", eta {m.eta:.0f}s"
+                if m.cache_hits or m.journal_hits:
+                    suffix += (f", {m.cache_hits + m.journal_hits} "
+                               f"cached")
+            flag = " DEGRADED" if event.degraded else ""
+            self._write(
+                f"  {event.macro}/{event.kind}: {event.done}/"
+                f"{event.total} classes ({elapsed:.0f}s{suffix})"
+                f"{flag}")
+        elif isinstance(event, CampaignFinished):
+            m = event.metrics
+            self._write(
+                f"campaign done: {m.completed}/{m.total_tasks} classes "
+                f"in {m.wall_time:.0f}s ({m.computed} computed, "
+                f"{m.cache_hits} cache hits, {m.journal_hits} from "
+                f"journal, {m.degraded} degraded, "
+                f"{m.convergence_failures} convergence failures)")

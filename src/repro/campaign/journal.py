@@ -1,0 +1,145 @@
+"""Append-only JSONL journal: crash-safe campaign checkpointing.
+
+Every completed class appends one self-contained JSON line (record +
+provenance), flushed and fsync'd, so a campaign killed at any instant
+loses at most the line being written.  The first line is a header
+binding the journal to a campaign *fingerprint* (a digest of the
+resolved plan); on resume, a journal whose fingerprint does not match
+is ignored rather than half-trusted.
+
+Loading tolerates a torn final line — the expected artefact of a kill
+mid-append — by discarding any line that fails to parse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..core.serialize import (SerializeError, record_from_dict,
+                              record_to_dict)
+from ..macrotest.coverage import DetectionRecord
+
+JOURNAL_VERSION = 1
+
+
+class JournalEntry:
+    """One completed class as recorded in the journal."""
+
+    __slots__ = ("task_id", "record", "degraded", "error", "source")
+
+    def __init__(self, task_id: str, record: DetectionRecord,
+                 degraded: bool = False, error: Optional[str] = None,
+                 source: str = "computed") -> None:
+        self.task_id = task_id
+        self.record = record
+        self.degraded = degraded
+        self.error = error
+        self.source = source
+
+
+class CampaignJournal:
+    """JSONL journal of completed classes for one campaign."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing -----------------------------------------------------------
+
+    def open(self, fingerprint: str, fresh: bool = False) -> None:
+        """Open for appending; write the header when new or `fresh`."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        exists = self.path.exists() and \
+            self.path.stat().st_size > 0 and not fresh
+        if exists:
+            # a kill mid-append leaves a torn tail with no newline;
+            # terminate it so the next append starts a fresh line
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                torn = handle.read(1) != b"\n"
+        self._handle = open(self.path, "a" if exists else "w")
+        if not exists:
+            self._append_line({"journal_version": JOURNAL_VERSION,
+                               "fingerprint": fingerprint})
+        elif torn:
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def _append_line(self, payload: Dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, entry: JournalEntry) -> None:
+        self._append_line({
+            "task_id": entry.task_id,
+            "record": record_to_dict(entry.record),
+            "degraded": entry.degraded,
+            "error": entry.error,
+            "source": entry.source,
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def _lines(self) -> Iterator[Dict]:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # torn tail line from a kill mid-append: discard
+                continue
+
+    def load(self, fingerprint: Optional[str] = None
+             ) -> Dict[str, JournalEntry]:
+        """Completed entries keyed by task id.
+
+        When a fingerprint is given, a journal written for a different
+        campaign (different plan digest) yields nothing.
+        """
+        entries: Dict[str, JournalEntry] = {}
+        header_seen = False
+        for payload in self._lines():
+            if not header_seen:
+                header_seen = True
+                if payload.get("journal_version") != JOURNAL_VERSION:
+                    return {}
+                if fingerprint is not None and \
+                        payload.get("fingerprint") != fingerprint:
+                    return {}
+                continue
+            task_id = payload.get("task_id")
+            if not task_id:
+                continue
+            try:
+                record = record_from_dict(payload["record"])
+            except (KeyError, SerializeError):
+                continue
+            entries[task_id] = JournalEntry(
+                task_id=task_id, record=record,
+                degraded=bool(payload.get("degraded", False)),
+                error=payload.get("error"),
+                source=payload.get("source", "computed"))
+        return entries

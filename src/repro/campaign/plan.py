@@ -1,0 +1,144 @@
+"""Campaign planning: config -> per-macro class lists + engine specs.
+
+Planning is the serial front half of the defect-oriented path — layout,
+Monte Carlo sprinkling, fault extraction, collapsing, optional
+magnitude rescaling — everything that must happen before fault-class
+simulations can fan out.  It is deterministic in the
+:class:`~repro.core.path.PathConfig` (the sprinkler is seeded), which
+is what makes campaign fingerprints and content-addressed result keys
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..adc.biasgen import biasgen_layout
+from ..adc.clockgen import clockgen_layout
+from ..adc.ladder import SEGMENTS_PER_COARSE, ladder_slice_layout
+from ..core.path import PathConfig
+from ..defects.analyze import analyze_defects
+from ..defects.collapse import FaultClass, collapse, rescale_magnitudes
+from ..defects.sprinkle import sprinkle
+from ..faultsim.noncat import derive_noncatastrophic
+from ..testgen.dft import comparator_layout_for
+from .tasks import ANALOG_MACROS, EngineSpec, get_engine
+
+#: all macros a campaign can cover (analog pool tasks + the digital
+#: decoder, which is analysed whole in the parent process)
+ALL_MACROS = ANALOG_MACROS + ("decoder",)
+
+
+@dataclass(frozen=True)
+class MacroPlan:
+    """One analog macro's share of a campaign.
+
+    Attributes:
+        name: macro name.
+        bbox_area: layout bounding-box area of one instance.
+        instances: chip instance count.
+        defects_sprinkled: Monte Carlo budget of the discovery
+            campaign.
+        classes: collapsed catastrophic fault classes, in simulation
+            order.
+        noncat_classes: derived near-miss classes (empty when
+            disabled).
+        spec: engine spec every class of this macro is simulated
+            against.
+    """
+
+    name: str
+    bbox_area: float
+    instances: int
+    defects_sprinkled: int
+    classes: Tuple[FaultClass, ...]
+    noncat_classes: Tuple[FaultClass, ...]
+    spec: EngineSpec
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.classes) + len(self.noncat_classes)
+
+
+def discover_classes(cell, config: PathConfig) -> List[FaultClass]:
+    """Sprinkle, extract, collapse (and optionally rescale) one cell."""
+    defects = sprinkle(cell, config.n_defects, stats=config.statistics,
+                       seed=config.seed)
+    classes = collapse(analyze_defects(cell, defects))
+    if config.magnitude_defects and \
+            config.magnitude_defects > config.n_defects:
+        large_faults = analyze_defects(
+            cell, sprinkle(cell, config.magnitude_defects,
+                           stats=config.statistics,
+                           seed=config.seed + 1))
+        classes = rescale_magnitudes(classes, collapse(large_faults))
+    if config.max_classes is not None:
+        classes = classes[:config.max_classes]
+    return classes
+
+
+def comparator_spec(config: PathConfig) -> EngineSpec:
+    return EngineSpec(macro="comparator", process=config.process,
+                      dft_flipflop=config.dft.flipflop_redesign,
+                      dynamic_test=config.dynamic_test)
+
+
+def ivdd_halfwidth(config: PathConfig) -> float:
+    """Chip-level IVdd acceptance half-width from the comparator good
+    space (worst phase).  Compiled once per process via the engine
+    cache; workers forked from the parent inherit it for free."""
+    engine = get_engine(comparator_spec(config))
+    gs = engine.good_space()
+    return max((w.hi - w.lo) / 2.0
+               for key, w in gs.windows.items() if key[0] == "ivdd")
+
+
+def _noncat(classes: Sequence[FaultClass],
+            config: PathConfig) -> Tuple[FaultClass, ...]:
+    if not config.include_noncat:
+        return tuple()
+    noncat = derive_noncatastrophic(list(classes))
+    if config.max_classes is not None:
+        noncat = noncat[:config.max_classes]
+    return tuple(noncat)
+
+
+def plan_macro(name: str, config: PathConfig) -> MacroPlan:
+    """Plan one analog macro: cell, classes and engine spec."""
+    if name == "comparator":
+        cell = comparator_layout_for(config.dft)
+        instances = 256
+        spec = comparator_spec(config)
+    elif name == "ladder":
+        cell = ladder_slice_layout()
+        instances = 256 // SEGMENTS_PER_COARSE
+        spec = EngineSpec(macro="ladder", process=config.process,
+                          ivdd_window_halfwidth=ivdd_halfwidth(config))
+    elif name == "clockgen":
+        cell = clockgen_layout()
+        instances = 1
+        spec = EngineSpec(macro="clockgen", process=config.process)
+    elif name == "biasgen":
+        cell = biasgen_layout(dft=config.dft.bias_line_reorder)
+        instances = 1
+        spec = EngineSpec(macro="biasgen", process=config.process,
+                          ivdd_window_halfwidth=ivdd_halfwidth(config))
+    else:
+        raise ValueError(f"unknown analog macro {name!r}")
+    classes = tuple(discover_classes(cell, config))
+    return MacroPlan(name=name, bbox_area=cell.area(),
+                     instances=instances,
+                     defects_sprinkled=config.n_defects,
+                     classes=classes,
+                     noncat_classes=_noncat(classes, config),
+                     spec=spec)
+
+
+def validate_macros(macros: Optional[Sequence[str]]) -> List[str]:
+    """Requested macro list -> validated ordered list (default: all)."""
+    wanted = list(macros) if macros is not None else list(ALL_MACROS)
+    for name in wanted:
+        if name not in ALL_MACROS:
+            raise ValueError(f"unknown macro {name!r}")
+    return wanted

@@ -1,0 +1,386 @@
+"""The campaign runner: parallel, resumable fault-class execution.
+
+``CampaignRunner`` turns a :class:`~repro.core.path.PathConfig` into a
+:class:`~repro.core.path.PathResult` by
+
+1. planning (serial): class discovery per macro
+   (:mod:`repro.campaign.plan`);
+2. resolving: already-finished classes are adopted from the resume
+   journal, then from the content-addressed results store;
+3. dispatching: everything left fans out over a
+   ``concurrent.futures.ProcessPoolExecutor`` (``jobs=1`` runs
+   in-process, same code path, no pool overhead);
+4. recording: every completion is journaled (crash safety), stored
+   (re-run economy) and emitted as an event (live metrics).
+
+Failure contract: a class whose simulation raises — including worker
+death taking the whole pool down — is retried once, then recorded as a
+*degraded* (counted undetected) result with the error attached.  A
+campaign finishes; it does not abort.
+
+Results are assembled in plan order, so the output is bit-identical at
+any ``jobs`` value and across resumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, \
+    ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.path import (MacroAnalysis, PathConfig, PathResult)
+from ..macrotest.coverage import DetectionRecord, MacroResult
+from .events import (CampaignFinished, CampaignStarted, ClassCompleted,
+                     EventBus, MacroPlanned, MetricsCollector)
+from .journal import CampaignJournal, JournalEntry
+from .plan import ANALOG_MACROS, MacroPlan, plan_macro, validate_macros
+from .store import STORE_VERSION, ResultsStore, content_key
+from .tasks import (ClassTask, TaskOutcome, degraded_record, run_task)
+
+#: default on-disk location for store + journal when resuming without
+#: an explicit --cache-dir
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """How a campaign executes (orthogonal to *what* it simulates).
+
+    Attributes:
+        jobs: worker processes; None means ``os.cpu_count()``.
+        cache_dir: root for the results store and journal; None
+            disables both (pure in-memory run).
+        resume: adopt finished classes from a matching journal
+            instead of re-simulating them.
+        retries: extra attempts per failing class before degrading.
+        store_version: results-store version tag (bump to invalidate).
+    """
+
+    jobs: Optional[int] = None
+    cache_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+    retries: int = 1
+    store_version: str = STORE_VERSION
+
+    def resolved_jobs(self) -> int:
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        return max(1, os.cpu_count() or 1)
+
+    def resolved_cache_dir(self) -> Optional[Path]:
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        if self.resume:
+            return Path(DEFAULT_CACHE_DIR)
+        return None
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A finished campaign: the path result plus its accounting."""
+
+    path_result: PathResult
+    metrics: "object"  # CampaignMetrics (kept loose for serialization)
+
+
+@dataclass
+class _Pending:
+    task: ClassTask
+    attempts: int = 0
+    first_error: Optional[str] = None
+
+
+class CampaignRunner:
+    """Executes a campaign described by a PathConfig."""
+
+    def __init__(self, config: Optional[PathConfig] = None,
+                 options: Optional[CampaignOptions] = None,
+                 bus: Optional[EventBus] = None) -> None:
+        self.config = config or PathConfig()
+        self.options = options or CampaignOptions()
+        self.bus = bus or EventBus()
+        self.collector = MetricsCollector()
+        self.bus.subscribe(self.collector)
+
+    # -- plan / identity ---------------------------------------------------
+
+    def _plan(self, wanted: Sequence[str]) -> List[MacroPlan]:
+        plans = []
+        for name in wanted:
+            if name not in ANALOG_MACROS:
+                continue
+            plan = plan_macro(name, self.config)
+            plans.append(plan)
+            self.bus.emit(MacroPlanned(
+                macro=name, n_classes=len(plan.classes),
+                n_noncat=len(plan.noncat_classes)))
+        return plans
+
+    def _tasks(self, plans: Sequence[MacroPlan]) -> List[ClassTask]:
+        tasks = []
+        for plan in plans:
+            for kind, classes in (("cat", plan.classes),
+                                  ("noncat", plan.noncat_classes)):
+                for index, fc in enumerate(classes):
+                    key = content_key(
+                        fc, plan.spec,
+                        version=self.options.store_version)
+                    tasks.append(ClassTask(
+                        task_id=f"{plan.name}:{kind}:{index}",
+                        macro=plan.name, kind=kind, index=index,
+                        fault_class=fc, spec=plan.spec,
+                        store_key=key))
+        return tasks
+
+    @staticmethod
+    def fingerprint(tasks: Sequence[ClassTask]) -> str:
+        """Campaign identity: digest over the ordered task keys.
+
+        Two campaigns share a fingerprint exactly when they would
+        simulate the same classes against the same engines with the
+        same code version — the resume-safety criterion.
+        """
+        payload = json.dumps([[t.task_id, t.store_key] for t in tasks],
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, macros: Optional[Sequence[str]] = None
+            ) -> CampaignResult:
+        wanted = validate_macros(macros)
+        jobs = self.options.resolved_jobs()
+        cache_dir = self.options.resolved_cache_dir()
+
+        plans = self._plan(wanted)
+        tasks = self._tasks(plans)
+        fingerprint = self.fingerprint(tasks)
+
+        store: Optional[ResultsStore] = None
+        journal: Optional[CampaignJournal] = None
+        if cache_dir is not None:
+            store = ResultsStore(cache_dir,
+                                 version=self.options.store_version)
+            # one journal per campaign identity: concurrent or
+            # back-to-back campaigns with different configs sharing a
+            # cache dir never clobber each other's checkpoints
+            journal = CampaignJournal(
+                Path(cache_dir) / "journals" /
+                f"{fingerprint[:16]}.jsonl")
+
+        results: Dict[str, DetectionRecord] = {}
+        degraded: Dict[str, str] = {}
+
+        # 1. resume from the journal
+        adopted: Dict[str, JournalEntry] = {}
+        if journal is not None and self.options.resume:
+            entries = journal.load(fingerprint)
+            for task in tasks:
+                entry = entries.get(task.task_id)
+                if entry is not None:
+                    adopted[task.task_id] = entry
+        if journal is not None:
+            journal.open(fingerprint,
+                         fresh=not (self.options.resume and adopted))
+
+        self.bus.emit(CampaignStarted(
+            macros=tuple(p.name for p in plans) +
+            (("decoder",) if "decoder" in wanted else ()),
+            total_tasks=len(tasks), jobs=jobs, resumed=len(adopted)))
+
+        done = 0
+        total = len(tasks)
+
+        def complete(task: ClassTask, record: DetectionRecord,
+                     source: str, wall: float = 0.0,
+                     error: Optional[str] = None,
+                     retried: bool = False) -> None:
+            nonlocal done
+            done += 1
+            results[task.task_id] = record
+            is_degraded = error is not None
+            if is_degraded:
+                degraded[task.task_id] = error
+            if journal is not None and source != "journal":
+                journal.append(JournalEntry(
+                    task_id=task.task_id, record=record,
+                    degraded=is_degraded, error=error, source=source))
+            if store is not None and source == "computed" and \
+                    not is_degraded:
+                store.put(task.store_key, record,
+                          meta={"task_id": task.task_id,
+                                "macro": task.macro})
+            self.bus.emit(ClassCompleted(
+                macro=task.macro, kind=task.kind, index=task.index,
+                source=source, wall=wall, degraded=is_degraded,
+                error=error, retried=retried, done=done, total=total))
+
+        # 2. resolve journal + store before dispatching
+        to_run: List[_Pending] = []
+        for task in tasks:
+            entry = adopted.get(task.task_id)
+            if entry is not None:
+                record = replace(entry.record,
+                                 count=task.fault_class.count)
+                complete(task, record, "journal", error=entry.error
+                         if entry.degraded else None)
+                continue
+            if store is not None:
+                cached = store.get(task.store_key,
+                                   count=task.fault_class.count)
+                if cached is not None:
+                    complete(task, cached, "cache")
+                    continue
+            to_run.append(_Pending(task=task))
+
+        # 3. dispatch
+        try:
+            if to_run:
+                if jobs == 1:
+                    self._run_serial(to_run, complete)
+                else:
+                    self._run_pool(to_run, complete, jobs)
+            # 4. decoder runs whole in the parent (one logic pass)
+            analyses = self._assemble(wanted, plans, results)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        metrics = self.collector.snapshot(jobs=jobs)
+        self.bus.emit(CampaignFinished(metrics=metrics))
+        return CampaignResult(
+            path_result=PathResult(config=self.config, macros=analyses),
+            metrics=metrics)
+
+    def _handle_outcome(self, pending: _Pending, outcome: TaskOutcome,
+                        complete) -> bool:
+        """Process one attempt; returns True when the task is done."""
+        pending.attempts += 1
+        if outcome.convergence_failure:
+            self.collector.add_convergence_failures(1)
+        if outcome.ok:
+            complete(pending.task, outcome.record, "computed",
+                     wall=outcome.wall,
+                     retried=pending.attempts > 1)
+            return True
+        pending.first_error = pending.first_error or outcome.error
+        if pending.attempts > self.options.retries:
+            complete(pending.task,
+                     degraded_record(pending.task.fault_class),
+                     "computed", wall=outcome.wall,
+                     error=outcome.error or pending.first_error,
+                     retried=pending.attempts > 1)
+            return True
+        return False
+
+    def _run_serial(self, to_run: List[_Pending], complete) -> None:
+        for pending in to_run:
+            while True:
+                outcome = run_task(pending.task)
+                if self._handle_outcome(pending, outcome, complete):
+                    break
+
+    def _run_pool(self, to_run: List[_Pending], complete,
+                  jobs: int) -> None:
+        """Fan out over a process pool, surviving worker death.
+
+        A ``BrokenProcessPool`` (a worker was OOM-killed or segfaulted)
+        charges an attempt to every in-flight task and restarts the
+        pool; tasks that exhaust their retries degrade as usual.
+        """
+        remaining = {p.task.task_id: p for p in to_run}
+        pool_restarts = 0
+        while remaining:
+            executor = ProcessPoolExecutor(max_workers=jobs)
+            futures: Dict[Future, _Pending] = {
+                executor.submit(run_task, p.task): p
+                for p in remaining.values()}
+            try:
+                while futures:
+                    finished, _ = wait(list(futures),
+                                       return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        pending = futures.pop(future)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:  # unpicklable, etc.
+                            outcome = TaskOutcome(
+                                task_id=pending.task.task_id,
+                                error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__)
+                        if self._handle_outcome(pending, outcome,
+                                                complete):
+                            remaining.pop(pending.task.task_id, None)
+                        else:
+                            futures[executor.submit(
+                                run_task, pending.task)] = pending
+            except BrokenProcessPool:
+                pool_restarts += 1
+                for pending in futures.values():
+                    if self._handle_outcome(
+                            pending,
+                            TaskOutcome(task_id=pending.task.task_id,
+                                        error="worker process died "
+                                              "(broken pool)",
+                                        error_type="BrokenProcessPool"),
+                            complete):
+                        remaining.pop(pending.task.task_id, None)
+                executor.shutdown(wait=False, cancel_futures=True)
+                if pool_restarts > len(to_run):
+                    for pending in list(remaining.values()):
+                        complete(pending.task,
+                                 degraded_record(pending.task.fault_class),
+                                 "computed",
+                                 error="process pool kept dying")
+                        remaining.pop(pending.task.task_id, None)
+                continue
+            else:
+                executor.shutdown(wait=True)
+
+    # -- assembly ----------------------------------------------------------
+
+    def _assemble(self, wanted: Sequence[str],
+                  plans: Sequence[MacroPlan],
+                  results: Dict[str, DetectionRecord]
+                  ) -> Dict[str, MacroAnalysis]:
+        by_name = {p.name: p for p in plans}
+        analyses: Dict[str, MacroAnalysis] = {}
+        for name in wanted:
+            if name == "decoder":
+                analyses[name] = self._analyze_decoder()
+                continue
+            plan = by_name[name]
+
+            def records(kind: str, classes) -> Tuple[DetectionRecord,
+                                                     ...]:
+                return tuple(results[f"{plan.name}:{kind}:{k}"]
+                             for k in range(len(classes)))
+
+            result = MacroResult(
+                name=plan.name, bbox_area=plan.bbox_area,
+                instances=plan.instances,
+                defects_sprinkled=plan.defects_sprinkled,
+                records=records("cat", plan.classes))
+            noncat_result = None
+            if self.config.include_noncat:
+                noncat_result = MacroResult(
+                    name=plan.name, bbox_area=plan.bbox_area,
+                    instances=plan.instances,
+                    defects_sprinkled=plan.defects_sprinkled,
+                    records=records("noncat", plan.noncat_classes))
+            analyses[name] = MacroAnalysis(
+                result=result, noncat_result=noncat_result,
+                classes=plan.classes)
+        return analyses
+
+    def _analyze_decoder(self) -> MacroAnalysis:
+        from ..core.path import DefectOrientedTestPath
+        return DefectOrientedTestPath(self.config).analyze_decoder()

@@ -1,0 +1,155 @@
+"""Content-addressed on-disk store of fault-class results.
+
+A class's detection record is a pure function of (fault-class model,
+engine spec, simulation code).  The store keys each record by a SHA-256
+digest over a canonical JSON encoding of exactly those three things —
+the representative fault, the :class:`~repro.campaign.tasks.EngineSpec`
+and :data:`STORE_VERSION` — so re-running an identical campaign is all
+cache hits, while changing the engine configuration, the fault model
+*or* the simulation code (bump the version tag) misses cleanly.
+
+The class magnitude (``count``) is deliberately *not* part of the key:
+a magnitude recount re-weights classes without changing their physics,
+and the stored signature is re-hydrated with the caller's count on
+load.  Writes are atomic (temp file + ``os.replace``), so a campaign
+killed mid-write never leaves a torn object behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.serialize import (SerializeError, record_from_dict,
+                              record_to_dict)
+from ..defects.collapse import FaultClass
+from ..macrotest.coverage import DetectionRecord
+from .tasks import EngineSpec
+
+#: bump when a change to the simulation code invalidates old results
+STORE_VERSION = "1"
+
+
+def canonical(obj) -> object:
+    """JSON-able canonical form with deterministic ordering.
+
+    ``repr`` of a frozenset depends on hash order (randomised per
+    process for strings), so anything set-like is sorted by its own
+    canonical JSON encoding; dataclasses become ``(type, fields)``
+    pairs, floats go through ``repr`` to survive JSON round-trips
+    bit-exactly.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonical(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__type__": type(obj).__name__, **fields}
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if isinstance(obj, (frozenset, set)):
+        items = [canonical(x) for x in obj]
+        return sorted(items, key=lambda x: json.dumps(x, sort_keys=True))
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__}")
+
+
+def content_key(fault_class: FaultClass, spec: EngineSpec,
+                version: str = STORE_VERSION) -> str:
+    """SHA-256 digest identifying one class simulation's inputs."""
+    payload = {
+        "store_version": version,
+        "spec": canonical(spec),
+        "fault": canonical(fault_class.representative),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultsStore:
+    """Content-addressed store of detection records under one root.
+
+    Layout: ``<root>/objects/<k[:2]>/<k>.json`` — two-level fan-out so
+    paper-scale campaigns (thousands of classes x configs) don't pile
+    every object into one directory.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 version: str = STORE_VERSION) -> None:
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, fault_class: FaultClass, spec: EngineSpec) -> str:
+        return content_key(fault_class, spec, version=self.version)
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str, count: Optional[int] = None
+            ) -> Optional[DetectionRecord]:
+        """Load a record; ``count`` re-hydrates the class magnitude.
+
+        Returns None (a miss) for absent, torn or incompatible
+        objects — a corrupt cache entry costs a re-simulation, never
+        a crash.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            record = record_from_dict(payload["record"])
+        except (OSError, json.JSONDecodeError, KeyError,
+                SerializeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        if count is not None and count != record.count:
+            record = dataclasses.replace(record, count=count)
+        return record
+
+    def put(self, key: str, record: DetectionRecord,
+            meta: Optional[Dict] = None) -> None:
+        payload = {
+            "store_version": self.version,
+            "key": key,
+            "record": record_to_dict(record),
+            "meta": meta or {},
+        }
+        _atomic_write_text(self._path(key),
+                           json.dumps(payload, sort_keys=True))
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))

@@ -1,0 +1,199 @@
+"""Pure, picklable per-class simulation tasks.
+
+:func:`simulate_class` is the unit of work a campaign dispatches: one
+collapsed fault class plus an :class:`EngineSpec` in, one
+:class:`~repro.macrotest.coverage.DetectionRecord` out.  It holds no
+references to the planner or runner, so a
+``concurrent.futures.ProcessPoolExecutor`` can ship it to worker
+processes; the (expensive, good-space-compiling) engines are built
+lazily and cached per worker process keyed by their spec.
+
+:func:`run_task` wraps it with the campaign's failure contract: any
+exception — a :class:`~repro.circuit.dc.ConvergenceError` escaping an
+engine, a bad fault model, a crashed solver — is captured into the
+returned :class:`TaskOutcome` instead of propagating, so one sick
+class can never take the campaign down.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..adc.process import Process, typical
+from ..circuit.dc import ConvergenceError
+from ..defects.collapse import FaultClass
+from ..faultsim.engine import ComparatorFaultEngine, EngineConfig
+from ..faultsim.macro_engines import (BiasgenFaultEngine,
+                                      ClockgenFaultEngine,
+                                      LadderFaultEngine)
+from ..macrotest.coverage import DetectionRecord
+from ..macrotest.propagate import propagate_comparator_fault
+
+#: macros whose classes are dispatched as pool tasks (the digital
+#: decoder is analysed whole in the parent — it is one cheap logic
+#: pass, not thousands of analog transients)
+ANALOG_MACROS = ("comparator", "ladder", "biasgen", "clockgen")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to rebuild a macro's fault engine anywhere.
+
+    Attributes:
+        macro: one of :data:`ANALOG_MACROS`.
+        process: corner the faulty instances are evaluated at.
+        dft_flipflop: comparator flipflop-redesign DfT variant.
+        dynamic_test: run the at-speed missing-code test during
+            comparator propagation.
+        ivdd_window_halfwidth: chip-level IVdd acceptance half-width
+            (ladder / biasgen engines; derived from the comparator
+            good space by the planner).
+    """
+
+    macro: str
+    process: Process = field(default_factory=typical)
+    dft_flipflop: bool = False
+    dynamic_test: bool = False
+    ivdd_window_halfwidth: float = 0.0
+
+
+def build_engine(spec: EngineSpec):
+    """Construct the fault engine described by a spec."""
+    if spec.macro == "comparator":
+        return ComparatorFaultEngine(EngineConfig(
+            dft=spec.dft_flipflop, process=spec.process))
+    if spec.macro == "ladder":
+        return LadderFaultEngine(
+            process=spec.process,
+            ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
+    if spec.macro == "clockgen":
+        return ClockgenFaultEngine(process=spec.process)
+    if spec.macro == "biasgen":
+        return BiasgenFaultEngine(
+            process=spec.process,
+            ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
+    raise ValueError(f"no engine for macro {spec.macro!r}")
+
+
+#: per-process engine cache — workers compile each good space once
+_ENGINES: Dict[EngineSpec, object] = {}
+
+
+def get_engine(spec: EngineSpec):
+    """Engine for a spec, cached per process."""
+    engine = _ENGINES.get(spec)
+    if engine is None:
+        engine = build_engine(spec)
+        _ENGINES[spec] = engine
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop cached engines (tests / memory pressure)."""
+    _ENGINES.clear()
+
+
+def simulate_class(fault_class: FaultClass,
+                   spec: EngineSpec) -> DetectionRecord:
+    """Simulate one fault class: the campaign's pure unit of work.
+
+    Deterministic in its arguments, independent of global state (apart
+    from the per-process engine cache, which only memoises), and
+    picklable end to end.
+    """
+    engine = get_engine(spec)
+    if spec.macro == "comparator":
+        res = engine.simulate_class(fault_class)
+        voltage = propagate_comparator_fault(
+            res.signature, fault_class.representative,
+            at_speed=spec.dynamic_test)
+        return DetectionRecord(
+            count=fault_class.count, voltage_detected=voltage,
+            mechanisms=res.signature.mechanisms,
+            voltage_signature=res.signature.voltage,
+            fault_type=fault_class.fault_type,
+            violated_keys=res.signature.violated_keys)
+    return engine.simulate_class(fault_class)
+
+
+@dataclass(frozen=True)
+class ClassTask:
+    """One dispatchable simulation.
+
+    Attributes:
+        task_id: stable identity, ``"<macro>:<kind>:<index>"``.
+        macro: macro name.
+        kind: ``"cat"`` or ``"noncat"``.
+        index: class index within (macro, kind).
+        fault_class: the class to simulate.
+        spec: engine specification.
+        store_key: content hash for the results store (empty when no
+            store is configured).
+    """
+
+    task_id: str
+    macro: str
+    kind: str
+    index: int
+    fault_class: FaultClass
+    spec: EngineSpec
+    store_key: str = ""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What came back from one attempt at a task.
+
+    Attributes:
+        task_id: the task's identity.
+        record: the detection record (None when the attempt failed).
+        error: captured traceback text of a failed attempt.
+        error_type: exception class name of a failed attempt.
+        wall: attempt wall time in seconds.
+    """
+
+    task_id: str
+    record: Optional[DetectionRecord] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    wall: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+    @property
+    def convergence_failure(self) -> bool:
+        return self.error_type == ConvergenceError.__name__
+
+
+def run_task(task: ClassTask) -> TaskOutcome:
+    """Execute one task, trapping any failure into the outcome."""
+    started = time.perf_counter()
+    try:
+        record = simulate_class(task.fault_class, task.spec)
+    except BaseException as exc:  # noqa: BLE001 — the contract
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return TaskOutcome(task_id=task.task_id,
+                           error=traceback.format_exc(),
+                           error_type=type(exc).__name__,
+                           wall=time.perf_counter() - started)
+    return TaskOutcome(task_id=task.task_id, record=record,
+                       wall=time.perf_counter() - started)
+
+
+def degraded_record(fault_class: FaultClass) -> DetectionRecord:
+    """Pessimistic record for a class that failed twice.
+
+    The class is counted as undetected — degrading coverage rather
+    than inflating it — so a sick simulation can only make the
+    reported test look worse, never better.
+    """
+    return DetectionRecord(count=fault_class.count,
+                           voltage_detected=False,
+                           mechanisms=frozenset(),
+                           fault_type=fault_class.fault_type)

@@ -3,56 +3,118 @@
 Commands:
 
 * ``table1|table2|table3|fig3|fig4|fig5`` — regenerate a paper artifact.
+* ``campaign`` — run a full managed campaign (all macros), print the
+  coverage summary and campaign metrics, optionally save results.
 * ``macros`` — per-macro current detectability table.
 * ``layout <macro>`` — ASCII rendering of a macro's layout.
 * ``cost`` — defect-oriented vs specification-oriented tester time.
 * ``quality`` — shipped-DPPM estimate for the simple test.
 
 Budgets default to quick (minutes); ``--full`` uses paper-scale
-campaigns.
+campaigns.  Execution is managed by the campaign runner: ``--jobs N``
+fans fault-class simulations out over worker processes (default: all
+cores), ``--cache-dir`` enables the content-addressed results store so
+identical re-runs hit cache, and ``--resume`` continues an interrupted
+campaign from its journal instead of starting over.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import Optional
 
-from .core import (DefectOrientedTestPath, PathConfig, quality_report,
-                   render_fig3, render_fig4,
+from .campaign import (CampaignOptions, CampaignRunner, ConsoleReporter,
+                       DEFAULT_CACHE_DIR, EventBus)
+from .core import (PathConfig, quality_report, render_fig3, render_fig4,
                    render_macro_current_detectability, render_table1,
-                   render_table2, render_table3)
+                   render_table2, render_table3, save_path_result)
 from .testgen import (FULL_DFT, NO_DFT, defect_oriented_cost,
                       specification_oriented_cost)
 
 _PATH_COMMANDS = ("table1", "table2", "table3", "fig3", "fig4", "fig5",
-                  "macros", "quality")
+                  "macros", "quality", "campaign")
 _MACRO_LAYOUTS = ("comparator", "ladder", "biasgen", "clockgen")
+#: artifacts that only need the comparator macro
+_COMPARATOR_ONLY = ("table1", "table2", "table3", "fig3")
 
 
 def _config(args, dft=NO_DFT) -> PathConfig:
     if args.full:
         return PathConfig(n_defects=25000, magnitude_defects=2_000_000,
-                          dft=dft)
+                          dft=dft, seed=args.seed)
     return PathConfig(n_defects=args.defects, max_classes=args.classes,
-                      dft=dft)
+                      dft=dft, seed=args.seed)
+
+
+def _options(args, default_cache: Optional[str] = None
+             ) -> CampaignOptions:
+    cache_dir = args.cache_dir
+    if cache_dir is None and default_cache is not None:
+        cache_dir = default_cache
+    return CampaignOptions(jobs=args.jobs, cache_dir=cache_dir,
+                           resume=args.resume)
+
+
+def _runner(args, dft=NO_DFT,
+            default_cache: Optional[str] = None) -> CampaignRunner:
+    """Campaign runner with live stderr reporting wired up.
+
+    The runner's metrics collector subscribes first, then the console
+    reporter — so every progress line can include up-to-date ETA and
+    cache-hit figures.  The reporter writes one whole line per event
+    under the bus lock, so interleaved updates from parallel macro
+    streams never mangle stderr.
+    """
+    options = _options(args, default_cache=default_cache)
+    bus = EventBus()
+    runner = CampaignRunner(_config(args, dft), options, bus=bus)
+    bus.subscribe(ConsoleReporter(every=10, collector=runner.collector,
+                                  jobs=options.resolved_jobs()))
+    return runner
 
 
 def _run_path(args, dft=NO_DFT):
-    path = DefectOrientedTestPath(_config(args, dft))
-    started = time.time()
-
-    def progress(macro, done, total):
-        if done % 10 == 0 or done == total:
-            print(f"  {macro}: {done}/{total} classes "
-                  f"({time.time() - started:.0f}s)", file=sys.stderr,
-                  flush=True)
-
-    macros = None
-    if args.command in ("table1", "table2", "table3", "fig3"):
+    macros = list(_MACRO_LAYOUTS) + ["decoder"]
+    if args.command in _COMPARATOR_ONLY:
         macros = ["comparator"]
-    return path.run(macros=macros, progress=progress)
+    return _runner(args, dft).run(macros=macros).path_result
+
+
+def _run_campaign(args) -> int:
+    """The ``campaign`` command: full managed run + metrics report."""
+    dft = FULL_DFT if args.dft else NO_DFT
+    runner = _runner(args, dft, default_cache=DEFAULT_CACHE_DIR)
+    campaign = runner.run()
+    result, metrics = campaign.path_result, campaign.metrics
+
+    if args.out:
+        save_path_result(result, args.out)
+        print(f"results saved to {args.out}", file=sys.stderr)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(metrics.as_dict(), handle, indent=1,
+                      sort_keys=True)
+        print(f"metrics saved to {args.metrics_out}", file=sys.stderr)
+
+    cat = result.global_coverage()
+    noncat = result.global_coverage(noncat=True)
+    lines = [
+        f"campaign ({result.config.dft.label}, "
+        f"seed {result.config.seed})",
+        f"  classes:   {metrics.completed} total, "
+        f"{metrics.computed} computed, {metrics.cache_hits} cache "
+        f"hits, {metrics.journal_hits} resumed, "
+        f"{metrics.degraded} degraded",
+        f"  wall time: {metrics.wall_time:.1f}s "
+        f"(simulated {metrics.simulated_time:.1f}s, cache-hit rate "
+        f"{100 * metrics.cache_hit_rate:.0f}%)",
+        f"  coverage:  catastrophic {100 * cat.total:.1f}%  "
+        f"non-catastrophic {100 * noncat.total:.1f}%",
+    ]
+    print("\n".join(lines))
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -70,6 +132,23 @@ def main(argv: Optional[list] = None) -> int:
                         help="quick-mode defect budget")
     parser.add_argument("--classes", type=int, default=30,
                         help="quick-mode class cap per macro")
+    parser.add_argument("--seed", type=int, default=1995,
+                        help="Monte Carlo seed (campaigns are "
+                             "bit-reproducible per seed)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="results-store root; enables caching and "
+                             "journaling")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted campaign from "
+                             "its journal")
+    parser.add_argument("--dft", action="store_true",
+                        help="campaign command: apply full DfT")
+    parser.add_argument("--out", default=None,
+                        help="campaign command: save results JSON here")
+    parser.add_argument("--metrics-out", default=None,
+                        help="campaign command: save metrics JSON here")
     args = parser.parse_args(argv)
 
     if args.command == "cost":
@@ -92,6 +171,9 @@ def main(argv: Optional[list] = None) -> int:
                  "clockgen": clockgen_layout}
         print(render_cell(cells[args.macro]()))
         return 0
+
+    if args.command == "campaign":
+        return _run_campaign(args)
 
     if args.command == "fig5":
         result = _run_path(args, dft=FULL_DFT)

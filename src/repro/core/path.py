@@ -15,20 +15,15 @@ simulated (largest magnitudes first — they dominate the coverage mass).
 
 from __future__ import annotations
 
-import functools
 import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..adc.comparator import comparator_layout
 from ..adc.ladder import SEGMENTS_PER_COARSE, ladder_slice_layout
 from ..adc.process import Process, typical
-from ..defects.collapse import (FaultClass, collapse, rescale_magnitudes,
-                                type_table)
-from ..defects.analyze import analyze_defects
-from ..defects.sprinkle import sprinkle
+from ..defects.collapse import FaultClass
 from ..defects.statistics import DefectStatistics
-from ..faultsim.engine import ComparatorFaultEngine, EngineConfig
+from ..faultsim.engine import ComparatorFaultEngine
 from ..faultsim.macro_engines import (BiasgenFaultEngine,
                                       ClockgenFaultEngine,
                                       DecoderFaultEngine,
@@ -119,36 +114,28 @@ class DefectOrientedTestPath:
     # -- shared pieces -----------------------------------------------------
 
     def _classes_for(self, cell) -> List[FaultClass]:
-        cfg = self.config
-        defects = sprinkle(cell, cfg.n_defects, stats=cfg.statistics,
-                           seed=cfg.seed)
-        faults = analyze_defects(cell, defects)
-        classes = collapse(faults)
-        if cfg.magnitude_defects and cfg.magnitude_defects > \
-                cfg.n_defects:
-            large_faults = analyze_defects(
-                cell, sprinkle(cell, cfg.magnitude_defects,
-                               stats=cfg.statistics,
-                               seed=cfg.seed + 1))
-            classes = rescale_magnitudes(classes, collapse(large_faults))
-        if cfg.max_classes is not None:
-            classes = classes[:cfg.max_classes]
-        return classes
+        from ..campaign.plan import discover_classes
+        return discover_classes(cell, self.config)
 
     def comparator_engine(self) -> ComparatorFaultEngine:
+        """Comparator engine for this config, shared per process.
+
+        The engine (and its compiled good space) lives in the campaign
+        task cache, so path instances, serial campaign runs and forked
+        pool workers all reuse one compilation per process.
+        """
         if self._comparator_engine is None:
-            self._comparator_engine = ComparatorFaultEngine(EngineConfig(
-                dft=self.config.dft.flipflop_redesign,
-                process=self.config.process))
+            from ..campaign.plan import comparator_spec
+            from ..campaign.tasks import get_engine
+            self._comparator_engine = get_engine(
+                comparator_spec(self.config))
         return self._comparator_engine
 
     def _ivdd_halfwidth(self) -> float:
         """Chip-level IVdd acceptance half-width from the comparator
         good space (worst phase)."""
-        gs = self.comparator_engine().good_space()
-        widths = [(w.hi - w.lo) / 2.0
-                  for key, w in gs.windows.items() if key[0] == "ivdd"]
-        return max(widths)
+        from ..campaign.plan import ivdd_halfwidth
+        return ivdd_halfwidth(self.config)
 
     # -- per-macro analyses ---------------------------------------------------
 
@@ -260,25 +247,43 @@ class DefectOrientedTestPath:
     # -- full run -----------------------------------------------------------------
 
     def run(self, macros: Optional[Sequence[str]] = None,
-            progress: Optional[Callable] = None) -> PathResult:
-        """Run the path over the requested macros (default: all five)."""
-        wanted = list(macros) if macros is not None else [
-            "comparator", "ladder", "biasgen", "clockgen", "decoder"]
-        analyses: Dict[str, MacroAnalysis] = {}
-        for name in wanted:
-            if name == "comparator":
-                analyses[name] = self.analyze_comparator(progress)
-            elif name == "ladder":
-                analyses[name] = self.analyze_ladder()
-            elif name == "biasgen":
-                analyses[name] = self.analyze_biasgen()
-            elif name == "clockgen":
-                analyses[name] = self.analyze_clockgen()
-            elif name == "decoder":
-                analyses[name] = self.analyze_decoder()
-            else:
-                raise ValueError(f"unknown macro {name!r}")
-        return PathResult(config=self.config, macros=analyses)
+            progress: Optional[Callable] = None,
+            options=None, bus=None) -> PathResult:
+        """Run the path over the requested macros (default: all five).
+
+        Execution is delegated to the campaign runner
+        (:class:`~repro.campaign.runner.CampaignRunner`): serial and
+        in-memory by default, parallel / cached / resumable when
+        ``options`` (a
+        :class:`~repro.campaign.runner.CampaignOptions`) says so.
+        ``progress(macro, done, total)`` is kept for backwards
+        compatibility and is fed from the campaign event stream.
+        """
+        from ..campaign.events import (ClassCompleted, EventBus,
+                                       MacroPlanned)
+        from ..campaign.runner import CampaignOptions, CampaignRunner
+
+        if options is None:
+            options = CampaignOptions(jobs=1)
+        if bus is None:
+            bus = EventBus()
+        if progress is not None:
+            totals: Dict[Tuple[str, str], int] = {}
+            counts: Dict[Tuple[str, str], int] = {}
+
+            def adapter(event) -> None:
+                if isinstance(event, MacroPlanned):
+                    totals[(event.macro, "cat")] = event.n_classes
+                    totals[(event.macro, "noncat")] = event.n_noncat
+                elif isinstance(event, ClassCompleted):
+                    key = (event.macro, event.kind)
+                    counts[key] = counts.get(key, 0) + 1
+                    progress(event.macro, counts[key],
+                             totals.get(key, event.total))
+
+            bus.subscribe(adapter)
+        runner = CampaignRunner(self.config, options, bus=bus)
+        return runner.run(macros).path_result
 
 
 def fast_config(dft: DfTConfig = NO_DFT) -> PathConfig:

@@ -1,0 +1,140 @@
+"""Tests for the campaign event bus, metrics and console reporter."""
+
+import io
+import threading
+
+from repro.campaign.events import (CampaignFinished, CampaignStarted,
+                                   ClassCompleted, ConsoleReporter,
+                                   EventBus, MetricsCollector)
+
+
+def completed(source="computed", wall=1.0, done=1, total=4, **kwargs):
+    return ClassCompleted(macro="ladder", kind="cat", index=done - 1,
+                          source=source, wall=wall, done=done,
+                          total=total, **kwargs)
+
+
+class TestEventBus:
+    def test_fan_out_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e)))
+        bus.subscribe(lambda e: seen.append(("b", e)))
+        event = completed()
+        bus.emit(event)
+        assert seen == [("a", event), ("b", event)]
+
+    def test_concurrent_emit_delivers_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        threads = [threading.Thread(
+            target=lambda: [bus.emit(completed()) for _ in range(50)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 200
+
+
+class TestMetricsCollector:
+    def test_folds_sources(self):
+        collector = MetricsCollector()
+        collector(CampaignStarted(macros=("ladder",), total_tasks=4,
+                                  jobs=1))
+        collector(completed(source="computed", wall=2.0, done=1))
+        collector(completed(source="cache", wall=0.0, done=2))
+        collector(completed(source="journal", wall=0.0, done=3))
+        collector(completed(source="computed", wall=4.0, done=4,
+                            degraded=True, retried=True,
+                            error="boom"))
+        m = collector.snapshot()
+        assert m.completed == 4
+        assert m.computed == 2
+        assert m.cache_hits == 1
+        assert m.journal_hits == 1
+        assert m.degraded == 1
+        assert m.retries == 1
+        assert m.simulated_time == 6.0
+        assert m.macro_wall == {"ladder": 6.0}
+        assert m.cache_hit_rate == 0.5
+
+    def test_eta_scales_with_jobs(self):
+        collector = MetricsCollector()
+        collector(CampaignStarted(macros=("ladder",), total_tasks=10,
+                                  jobs=1))
+        collector(completed(source="computed", wall=2.0, done=1,
+                            total=10))
+        collector(completed(source="computed", wall=4.0, done=2,
+                            total=10))
+        serial = collector.snapshot(jobs=1)
+        quad = collector.snapshot(jobs=4)
+        assert serial.eta == 8 * 3.0  # 8 remaining at 3 s/class mean
+        assert quad.eta == serial.eta / 4
+
+    def test_eta_none_before_any_computed(self):
+        collector = MetricsCollector()
+        collector(CampaignStarted(macros=("ladder",), total_tasks=4,
+                                  jobs=1))
+        collector(completed(source="cache", done=1))
+        assert collector.snapshot().eta is None
+
+    def test_convergence_failures_counted(self):
+        collector = MetricsCollector()
+        collector(CampaignStarted(macros=(), total_tasks=0, jobs=1))
+        collector.add_convergence_failures(2)
+        assert collector.snapshot().convergence_failures == 2
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+        json.dumps(MetricsCollector().snapshot().as_dict())
+
+
+class TestConsoleReporter:
+    def test_one_whole_line_per_write(self):
+        """The thread-safety contract: every write is one complete
+        newline-terminated line, so parallel macro streams can never
+        interleave mid-line on stderr."""
+        writes = []
+
+        class Capture(io.StringIO):
+            def write(self, text):
+                writes.append(text)
+                return len(text)
+
+        reporter = ConsoleReporter(stream=Capture(), every=1)
+        reporter(CampaignStarted(macros=("ladder", "clockgen"),
+                                 total_tasks=8, jobs=4, resumed=2))
+        reporter(completed(done=1, total=8))
+        assert all(w.endswith("\n") and w.count("\n") == 1
+                   for w in writes)
+
+    def test_throttles_to_every_n(self):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(stream=stream, every=10)
+        for done in range(1, 20):
+            reporter(completed(done=done, total=20))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1 and "10/20" in lines[0]
+
+    def test_degraded_always_reported(self):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(stream=stream, every=100)
+        reporter(completed(done=1, total=50, degraded=True,
+                           error="boom"))
+        assert "DEGRADED" in stream.getvalue()
+
+    def test_final_summary(self):
+        stream = io.StringIO()
+        collector = MetricsCollector()
+        collector(CampaignStarted(macros=("ladder",), total_tasks=2,
+                                  jobs=1))
+        collector(completed(done=1, total=2))
+        collector(completed(source="cache", done=2, total=2))
+        reporter = ConsoleReporter(stream=stream, every=1,
+                                   collector=collector)
+        reporter(CampaignFinished(metrics=collector.snapshot()))
+        out = stream.getvalue()
+        assert "2/2 classes" in out
+        assert "1 cache hits" in out

@@ -1,0 +1,92 @@
+"""Tests for the crash-safe campaign journal."""
+
+from repro.campaign.journal import CampaignJournal, JournalEntry
+from repro.faultsim.signatures import CurrentMechanism
+from repro.macrotest.coverage import DetectionRecord
+
+
+def record(count=2) -> DetectionRecord:
+    return DetectionRecord(
+        count=count, voltage_detected=False,
+        mechanisms=frozenset({CurrentMechanism.IDDQ}),
+        fault_type="open")
+
+
+def entry(task_id="ladder:cat:0", **kwargs) -> JournalEntry:
+    return JournalEntry(task_id=task_id, record=record(), **kwargs)
+
+
+class TestJournalRoundtrip:
+    def test_append_load(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        with journal:
+            journal.open("fp1")
+            journal.append(entry("ladder:cat:0"))
+            journal.append(entry("ladder:cat:1", degraded=True,
+                                 error="ConvergenceError: boom"))
+        loaded = CampaignJournal(tmp_path / "j.jsonl").load("fp1")
+        assert set(loaded) == {"ladder:cat:0", "ladder:cat:1"}
+        assert loaded["ladder:cat:0"].record == record()
+        assert loaded["ladder:cat:1"].degraded
+        assert "ConvergenceError" in loaded["ladder:cat:1"].error
+
+    def test_fingerprint_mismatch_yields_nothing(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        with journal:
+            journal.open("fp1")
+            journal.append(entry())
+        assert CampaignJournal(tmp_path / "j.jsonl").load("fp2") == {}
+
+    def test_no_fingerprint_check_loads_all(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        with journal:
+            journal.open("fp1")
+            journal.append(entry())
+        assert len(CampaignJournal(tmp_path / "j.jsonl").load()) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CampaignJournal(tmp_path / "absent.jsonl").load() == {}
+
+    def test_fresh_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+        with CampaignJournal(path) as journal:
+            journal.open("fp1", fresh=True)
+            journal.append(entry("a:cat:1"))
+        assert set(CampaignJournal(path).load("fp1")) == {"a:cat:1"}
+
+
+class TestCrashTolerance:
+    def test_torn_tail_line_discarded(self, tmp_path):
+        """A kill mid-append leaves a half-written last line; loading
+        must keep every complete entry before it."""
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+            journal.append(entry("a:cat:1"))
+        text = path.read_text().splitlines()
+        path.write_text("\n".join(text[:-1]) + "\n" + text[-1][:19])
+        loaded = CampaignJournal(path).load("fp1")
+        assert set(loaded) == {"a:cat:0"}
+
+    def test_append_after_torn_tail_starts_clean_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+        with open(path, "a") as handle:
+            handle.write('{"task_id": "a:cat:1", "rec')  # torn append
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:2"))
+        loaded = CampaignJournal(path).load("fp1")
+        assert set(loaded) == {"a:cat:0", "a:cat:2"}
+
+    def test_bad_version_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"journal_version": 999, "fingerprint": '
+                        '"fp1"}\n')
+        assert CampaignJournal(path).load("fp1") == {}

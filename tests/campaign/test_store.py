@@ -1,0 +1,155 @@
+"""Tests for the content-addressed results store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign.store import (ResultsStore, STORE_VERSION, canonical,
+                                  content_key)
+from repro.campaign.tasks import EngineSpec
+from repro.defects.collapse import FaultClass
+from repro.defects.faults import OpenFault, ShortFault
+from repro.faultsim.signatures import CurrentMechanism, VoltageSignature
+from repro.macrotest.coverage import DetectionRecord
+
+
+def short_class(nets=("a", "b"), resistance=0.5, count=3) -> FaultClass:
+    return FaultClass(
+        representative=ShortFault(nets=frozenset(nets), layer="metal1",
+                                  resistance=resistance),
+        count=count)
+
+
+def spec(**kwargs) -> EngineSpec:
+    return EngineSpec(macro="ladder", ivdd_window_halfwidth=0.02,
+                      **kwargs)
+
+
+def record(count=3) -> DetectionRecord:
+    return DetectionRecord(
+        count=count, voltage_detected=True,
+        mechanisms=frozenset({CurrentMechanism.IVDD}),
+        voltage_signature=VoltageSignature.OFFSET,
+        violated_keys=frozenset({("ivdd", "phi1", "above")}))
+
+
+class TestCanonical:
+    def test_frozenset_order_independent(self):
+        a = canonical(frozenset({"vbn1", "gnd", "phi1"}))
+        b = canonical(frozenset({"phi1", "vbn1", "gnd"}))
+        assert a == b
+
+    def test_dataclass_includes_type_and_fields(self):
+        out = canonical(short_class().representative)
+        assert out["__type__"] == "ShortFault"
+        assert out["nets"] == ["a", "b"]
+
+    def test_floats_roundtrip_bit_exact(self):
+        assert canonical(0.1 + 0.2) == {"__float__": repr(0.1 + 0.2)}
+
+    def test_json_serializable(self):
+        json.dumps(canonical(spec()))
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestContentKey:
+    def test_stable_for_identical_inputs(self):
+        assert content_key(short_class(), spec()) == \
+            content_key(short_class(), spec())
+
+    def test_count_excluded_from_key(self):
+        """A magnitude recount re-weights classes without changing
+        their physics — it must not invalidate the cache."""
+        assert content_key(short_class(count=3), spec()) == \
+            content_key(short_class(count=999), spec())
+
+    def test_fault_model_changes_key(self):
+        assert content_key(short_class(resistance=0.5), spec()) != \
+            content_key(short_class(resistance=5.0), spec())
+        assert content_key(short_class(nets=("a", "b")), spec()) != \
+            content_key(short_class(nets=("a", "c")), spec())
+
+    def test_engine_config_changes_key(self):
+        assert content_key(short_class(), spec()) != \
+            content_key(short_class(),
+                        spec(dynamic_test=True))
+        assert content_key(short_class(), spec()) != \
+            content_key(
+                short_class(),
+                dataclasses.replace(spec(),
+                                    ivdd_window_halfwidth=0.03))
+        assert content_key(short_class(), spec()) != \
+            content_key(short_class(),
+                        dataclasses.replace(spec(), macro="clockgen"))
+
+    def test_version_tag_changes_key(self):
+        assert content_key(short_class(), spec(), version="1") != \
+            content_key(short_class(), spec(), version="2")
+
+    def test_distinct_fault_shapes_distinct_keys(self):
+        open_class = FaultClass(
+            representative=OpenFault(
+                net="a", layer="metal1", partition=frozenset(
+                    {frozenset({"M1:0"}), frozenset({"M1:1"})})),
+            count=1)
+        assert content_key(open_class, spec()) != \
+            content_key(short_class(), spec())
+
+
+class TestResultsStore:
+    def test_hit_on_identical_config(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = store.key(short_class(), spec())
+        store.put(key, record())
+        assert store.get(key) == record()
+        assert store.hits == 1 and store.misses == 0
+
+    def test_miss_when_absent(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert store.misses == 1
+
+    def test_miss_on_engine_config_change(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.put(store.key(short_class(), spec()), record())
+        changed = dataclasses.replace(spec(),
+                                      ivdd_window_halfwidth=0.05)
+        assert store.get(store.key(short_class(), changed)) is None
+
+    def test_miss_on_fault_model_change(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.put(store.key(short_class(), spec()), record())
+        other = short_class(resistance=7.5)
+        assert store.get(store.key(other, spec())) is None
+
+    def test_count_rehydrated_on_load(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = store.key(short_class(count=3), spec())
+        store.put(key, record(count=3))
+        loaded = store.get(key, count=42)
+        assert loaded.count == 42
+        assert loaded.voltage_detected
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = store.key(short_class(), spec())
+        store.put(key, record())
+        path = store._path(key)
+        path.write_text("{ torn json")
+        assert store.get(key) is None
+
+    def test_len_counts_objects(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert len(store) == 0
+        store.put(store.key(short_class(), spec()), record())
+        assert len(store) == 1
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultsStore(tmp_path, version=STORE_VERSION)
+        old.put(old.key(short_class(), spec()), record())
+        new = ResultsStore(tmp_path, version=STORE_VERSION + "-next")
+        assert new.get(new.key(short_class(), spec())) is None

@@ -33,3 +33,56 @@ def test_table1_tiny_budget(capsys):
     out = capsys.readouterr().out
     assert "fault type" in out
     assert "short" in out
+
+
+def test_table1_parallel_jobs_same_artifact(capsys):
+    """--jobs must not change the rendered artifact, only the wall
+    time; this drives the real pool dispatch end to end."""
+    assert main(["table1", "--defects", "1500", "--classes", "2",
+                 "--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["table1", "--defects", "1500", "--classes", "2",
+                 "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_seed_plumbed_into_config():
+    from repro.cli import _config
+
+    class Args:
+        full = False
+        defects = 1500
+        classes = 2
+        seed = 42
+
+    config = _config(Args())
+    assert config.seed == 42
+    Args.full = True
+    assert _config(Args()).seed == 42
+
+
+def test_jobs_and_cache_flags_plumbed():
+    from repro.cli import _options
+
+    class Args:
+        jobs = 3
+        cache_dir = "/tmp/somewhere"
+        resume = True
+
+    options = _options(Args())
+    assert options.resolved_jobs() == 3
+    assert str(options.resolved_cache_dir()) == "/tmp/somewhere"
+    assert options.resume
+
+
+def test_campaign_command_reports_metrics(capsys, tmp_path):
+    assert main(["campaign", "--defects", "1200", "--classes", "2",
+                 "--cache-dir", str(tmp_path),
+                 "--metrics-out", str(tmp_path / "metrics.json")]) == 0
+    out = capsys.readouterr().out
+    assert "coverage:" in out
+    assert "cache-hit rate" in out
+    import json
+    metrics = json.loads((tmp_path / "metrics.json").read_text())
+    assert metrics["completed"] == metrics["total_tasks"] > 0
