@@ -24,7 +24,7 @@ import time
 import pytest
 
 from repro.campaign import CampaignOptions, CampaignRunner
-from repro.core import PathConfig
+from repro.core import PathConfig, save_path_result
 from repro.testgen import FULL_DFT, NO_DFT
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -56,6 +56,10 @@ def _run_campaign(label: str, dft):
     stats = campaign.metrics.as_dict()
     stats["bench_wall_time"] = wall
     _CAMPAIGN_STATS[label] = stats
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    # measurables persisted via the PathResult.to_dict contract
+    save_path_result(campaign.path_result,
+                     OUTPUT_DIR / f"BENCH_result_{label}.json")
     return campaign.path_result
 
 

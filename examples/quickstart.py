@@ -40,7 +40,7 @@ def main() -> None:
     print("\nfault signatures of the top classes:")
     engine = ComparatorFaultEngine()
     for fc in classes[:5]:
-        result = engine.simulate_class(fc)
+        result = engine.simulate_class_signature(fc)
         mechanisms = ",".join(sorted(m.value
                                      for m in result.signature.mechanisms))
         print(f"  {str(fc):48s} -> {result.signature.voltage.value:16s}"

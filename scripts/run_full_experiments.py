@@ -24,8 +24,9 @@ import time
 
 from repro.campaign import (CampaignOptions, CampaignRunner,
                             ConsoleReporter, EventBus)
-from repro.core import (PathConfig, render_fig3,
-                        render_fig4, render_macro_current_detectability,
+from repro.core import (PathConfig, add_engine_arguments, engine_knobs,
+                        render_fig3, render_fig4,
+                        render_macro_current_detectability,
                         render_table1, render_table2, render_table3,
                         save_path_result)
 from repro.macrotest import macro_breakdown
@@ -47,11 +48,14 @@ def emit(name: str, text: str) -> None:
 
 
 def run_path(dft, args):
+    knobs = engine_knobs(args)
     if args.quick:
-        config = PathConfig(n_defects=12000, max_classes=60, dft=dft)
+        config = PathConfig(n_defects=12000, max_classes=60, dft=dft,
+                            **knobs)
     else:
         config = PathConfig(n_defects=25000,
-                            magnitude_defects=2_000_000, dft=dft)
+                            magnitude_defects=2_000_000, dft=dft,
+                            **knobs)
     options = CampaignOptions(jobs=args.jobs,
                               cache_dir=args.cache_dir,
                               resume=args.resume)
@@ -81,6 +85,7 @@ def main() -> None:
     parser.add_argument("--resume", action="store_true",
                         help="continue an interrupted run from its "
                              "journal")
+    add_engine_arguments(parser)
     args = parser.parse_args()
 
     log("running standard-design campaign ...")

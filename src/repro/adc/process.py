@@ -108,6 +108,27 @@ def good_space_corners() -> List[Process]:
     return result
 
 
+#: named corner sets selectable from the command line
+CORNER_SETS = ("reduced", "full", "typical")
+
+
+def corner_set(name: str) -> List[Process]:
+    """Named corner set for CLI selection.
+
+    ``reduced`` is the cheap 5-corner set, ``full`` the 27-corner
+    process x supply x temperature factorial, ``typical`` the nominal
+    point alone (fast smoke runs).
+    """
+    if name == "reduced":
+        return reduced_corners()
+    if name == "full":
+        return good_space_corners()
+    if name == "typical":
+        return [typical()]
+    raise ValueError(f"unknown corner set {name!r}; "
+                     f"expected one of {CORNER_SETS}")
+
+
 def reduced_corners() -> List[Process]:
     """Cheap 5-corner set (typ + 4 extremes) for fast analyses."""
     lo_v = VDD_NOMINAL * (1 - VDD_TOLERANCE)

@@ -81,7 +81,10 @@ def discover_classes(cell, config: PathConfig) -> List[FaultClass]:
 def comparator_spec(config: PathConfig) -> EngineSpec:
     return EngineSpec(macro="comparator", process=config.process,
                       dft_flipflop=config.dft.flipflop_redesign,
-                      dynamic_test=config.dynamic_test)
+                      dynamic_test=config.dynamic_test,
+                      dt=config.dt, big_probe=config.big_probe,
+                      small_probe=config.small_probe,
+                      corners=config.corners)
 
 
 def ivdd_halfwidth(config: PathConfig) -> float:
@@ -114,15 +117,18 @@ def plan_macro(name: str, config: PathConfig) -> MacroPlan:
         cell = ladder_slice_layout()
         instances = 256 // SEGMENTS_PER_COARSE
         spec = EngineSpec(macro="ladder", process=config.process,
-                          ivdd_window_halfwidth=ivdd_halfwidth(config))
+                          ivdd_window_halfwidth=ivdd_halfwidth(config),
+                          corners=config.corners)
     elif name == "clockgen":
         cell = clockgen_layout()
         instances = 1
-        spec = EngineSpec(macro="clockgen", process=config.process)
+        spec = EngineSpec(macro="clockgen", process=config.process,
+                          dt=config.dt)
     elif name == "biasgen":
         cell = biasgen_layout(dft=config.dft.bias_line_reorder)
         instances = 1
         spec = EngineSpec(macro="biasgen", process=config.process,
+                          dt=config.dt,
                           ivdd_window_halfwidth=ivdd_halfwidth(config))
     else:
         raise ValueError(f"unknown analog macro {name!r}")

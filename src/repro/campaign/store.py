@@ -33,7 +33,8 @@ from ..macrotest.coverage import DetectionRecord
 from .tasks import EngineSpec
 
 #: bump when a change to the simulation code invalidates old results
-STORE_VERSION = "1"
+#: ("2": batched transient kernel + EngineSpec dt/probe/corner knobs)
+STORE_VERSION = "2"
 
 
 def canonical(obj) -> object:

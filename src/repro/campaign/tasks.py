@@ -20,9 +20,10 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..adc.process import Process, typical
+from ..circuit.batch import clear_kernel_cache
 from ..circuit.dc import ConvergenceError
 from ..defects.collapse import FaultClass
 from ..faultsim.engine import ComparatorFaultEngine, EngineConfig
@@ -30,7 +31,6 @@ from ..faultsim.macro_engines import (BiasgenFaultEngine,
                                       ClockgenFaultEngine,
                                       LadderFaultEngine)
 from ..macrotest.coverage import DetectionRecord
-from ..macrotest.propagate import propagate_comparator_fault
 
 #: macros whose classes are dispatched as pool tasks (the digital
 #: decoder is analysed whole in the parent — it is one cheap logic
@@ -51,6 +51,11 @@ class EngineSpec:
         ivdd_window_halfwidth: chip-level IVdd acceptance half-width
             (ladder / biasgen engines; derived from the comparator
             good space by the planner).
+        dt: transient timestep of the comparator / clockgen / biasgen
+            engines.
+        big_probe: comparator above/below input offset (volts).
+        small_probe: comparator offset-detection probe (volts).
+        corners: good-space corner set (None: the reduced corners).
     """
 
     macro: str
@@ -58,24 +63,42 @@ class EngineSpec:
     dft_flipflop: bool = False
     dynamic_test: bool = False
     ivdd_window_halfwidth: float = 0.0
+    dt: float = 1e-9
+    big_probe: float = 0.1
+    small_probe: float = 8e-3
+    corners: Optional[Tuple[Process, ...]] = None
 
 
 def build_engine(spec: EngineSpec):
-    """Construct the fault engine described by a spec."""
+    """Construct the fault engine described by a spec.
+
+    Every engine satisfies the :class:`~repro.faultsim.FaultEngine`
+    protocol, so callers dispatch classes without per-macro cases.
+    """
     if spec.macro == "comparator":
         return ComparatorFaultEngine(EngineConfig(
-            dft=spec.dft_flipflop, process=spec.process))
+            dft=spec.dft_flipflop, process=spec.process,
+            dynamic_test=spec.dynamic_test, dt=spec.dt,
+            big_probe=spec.big_probe, small_probe=spec.small_probe,
+            corners=spec.corners))
     if spec.macro == "ladder":
         return LadderFaultEngine(
             process=spec.process,
+            corners=list(spec.corners) if spec.corners else
+            _default_corners(),
             ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
     if spec.macro == "clockgen":
-        return ClockgenFaultEngine(process=spec.process)
+        return ClockgenFaultEngine(process=spec.process, dt=spec.dt)
     if spec.macro == "biasgen":
         return BiasgenFaultEngine(
-            process=spec.process,
+            process=spec.process, dt=spec.dt,
             ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
     raise ValueError(f"no engine for macro {spec.macro!r}")
+
+
+def _default_corners():
+    from ..adc.process import reduced_corners
+    return reduced_corners()
 
 
 #: per-process engine cache — workers compile each good space once
@@ -92,8 +115,10 @@ def get_engine(spec: EngineSpec):
 
 
 def clear_engine_cache() -> None:
-    """Drop cached engines (tests / memory pressure)."""
+    """Drop cached engines and kernel buffers (tests / memory
+    pressure)."""
     _ENGINES.clear()
+    clear_kernel_cache()
 
 
 def simulate_class(fault_class: FaultClass,
@@ -102,21 +127,12 @@ def simulate_class(fault_class: FaultClass,
 
     Deterministic in its arguments, independent of global state (apart
     from the per-process engine cache, which only memoises), and
-    picklable end to end.
+    picklable end to end.  Every engine implements the
+    :class:`~repro.faultsim.FaultEngine` protocol, so no macro needs a
+    special case here — the comparator engine propagates its own
+    signature to the missing-code verdict.
     """
-    engine = get_engine(spec)
-    if spec.macro == "comparator":
-        res = engine.simulate_class(fault_class)
-        voltage = propagate_comparator_fault(
-            res.signature, fault_class.representative,
-            at_speed=spec.dynamic_test)
-        return DetectionRecord(
-            count=fault_class.count, voltage_detected=voltage,
-            mechanisms=res.signature.mechanisms,
-            voltage_signature=res.signature.voltage,
-            fault_type=fault_class.fault_type,
-            violated_keys=res.signature.violated_keys)
-    return engine.simulate_class(fault_class)
+    return get_engine(spec).simulate_class(fault_class)
 
 
 @dataclass(frozen=True)

@@ -8,11 +8,17 @@ Public API:
   :class:`Diode`, :class:`Mosfet` / :class:`MosParams`.
 * Analyses: :func:`operating_point`, :func:`dc_sweep`, :func:`transient`,
   :func:`ac_analysis`.
+* Batched kernel: :func:`transient_lanes`, :func:`transient_batch`,
+  :func:`operating_point_lanes`, :func:`structure_signature` (see
+  ``docs/ENGINE.md``).
 * Waveforms: :class:`DC`, :class:`Pulse`, :class:`Triangle`, :class:`PWL`,
   :class:`Sin`, :func:`three_phase_clocks`.
 """
 
 from .ac import ACResult, ac_analysis, bandwidth_3db, log_frequencies
+from .batch import (BatchUnsupported, LaneResult, clear_kernel_cache,
+                    operating_point_lanes, structure_signature,
+                    transient_batch, transient_lanes)
 from .dc import ConvergenceError, DCResult, dc_sweep, operating_point
 from .elements import (Capacitor, CurrentSource, Diode, Element, Resistor,
                        Switch, VCCS, VCVS, VoltageSource)
@@ -30,6 +36,9 @@ from .waveforms import DC, PWL, Pulse, Sin, Triangle, three_phase_clocks
 
 __all__ = [
     "ACResult", "ac_analysis", "bandwidth_3db", "log_frequencies",
+    "BatchUnsupported", "LaneResult", "clear_kernel_cache",
+    "operating_point_lanes", "structure_signature", "transient_batch",
+    "transient_lanes",
     "ConvergenceError", "DCResult", "dc_sweep", "operating_point",
     "Capacitor", "CurrentSource", "Diode", "Element", "Resistor", "Switch",
     "VCCS", "VCVS", "VoltageSource", "MNASystem", "StampContext",

@@ -22,6 +22,22 @@ class ConvergenceError(Exception):
     """Newton iteration failed to converge after all continuation steps."""
 
 
+#: voltage-step limit of the damped Newton iteration (volts).  The
+#: batched kernel (:mod:`repro.circuit.batch`) replicates the scalar
+#: iteration lane by lane, so both must read the same constants.
+MAX_NEWTON_STEP = 1.0
+#: convergence tolerance on the damped voltage step (volts)
+NEWTON_VTOL = 1e-6
+#: gmin continuation ladder tried when plain Newton fails (the final
+#: step is always the caller's target gmin).  Shared with the batched
+#: kernel's :func:`~repro.circuit.batch.operating_point_lanes`.
+GMIN_LADDER = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10)
+#: number of source-stepping continuation points (0.05 .. 1.0)
+SOURCE_STEPS = 20
+#: relaxed gmin ladder tried at each source step (plus the target gmin)
+SOURCE_GMIN_LADDER = (1e-4, 1e-8)
+
+
 @dataclass
 class DCResult:
     """Solved DC operating point.
@@ -51,7 +67,7 @@ class DCResult:
 
 
 def _newton(circuit: Circuit, system: MNASystem, ctx: StampContext,
-            x0: np.ndarray, max_iter: int = 120, vtol: float = 1e-6,
+            x0: np.ndarray, max_iter: int = 120, vtol: float = NEWTON_VTOL,
             damping: float = 1.0) -> Optional[np.ndarray]:
     """One Newton-Raphson run; returns the solution or None."""
     x = x0.copy()
@@ -66,7 +82,7 @@ def _newton(circuit: Circuit, system: MNASystem, ctx: StampContext,
         delta = x_new - x
         # Voltage-step limiting keeps exponential/square-law devices from
         # overshooting into non-physical regions.
-        max_step = 1.0
+        max_step = MAX_NEWTON_STEP
         scale = damping
         biggest = np.max(np.abs(delta)) if delta.size else 0.0
         if biggest > max_step:
@@ -107,7 +123,7 @@ def operating_point(circuit: Circuit, x0: Optional[np.ndarray] = None,
     # 2. gmin stepping
     x_cont = x0.copy()
     ok = True
-    for g in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, gmin):
+    for g in GMIN_LADDER + (gmin,):
         ctx = StampContext(mode="dc", time=time, gmin=g)
         x_next = _newton(circuit, system, ctx, x_cont, max_iter=max_iter)
         if x_next is None:
@@ -119,9 +135,9 @@ def operating_point(circuit: Circuit, x0: Optional[np.ndarray] = None,
 
     # 3. source stepping (with a relaxed gmin ladder at each step)
     x_cont = np.zeros(compiled.size)
-    for scale in np.linspace(0.05, 1.0, 20):
+    for scale in np.linspace(0.05, 1.0, SOURCE_STEPS):
         solved = None
-        for g in (1e-4, 1e-8, gmin):
+        for g in SOURCE_GMIN_LADDER + (gmin,):
             ctx = StampContext(mode="dc", time=time, gmin=g,
                                source_scale=float(scale))
             attempt = _newton(circuit, system, ctx, x_cont,

@@ -17,7 +17,17 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence, Union
 
+import numpy as np
+
 ValueOrWaveform = Union[float, "object"]
+
+
+class BatchUnsupported(Exception):
+    """This element (or lane combination) cannot be stamped batched.
+
+    The batched kernel treats it as a soft failure and falls back to
+    the scalar per-lane path.
+    """
 
 
 def _value_at(value: ValueOrWaveform, time: float) -> float:
@@ -27,6 +37,20 @@ def _value_at(value: ValueOrWaveform, time: float) -> float:
     if callable(value):
         return value(time)
     return float(value)
+
+
+def _batch_values(lanes) -> Callable[[float], np.ndarray]:
+    """Per-lane source evaluator for the batched kernel.
+
+    Constant sources are folded into one array up front; waveform lanes
+    are evaluated per call through the very same :func:`_value_at` the
+    scalar stamp uses, keeping the values bit-identical.
+    """
+    if all(not hasattr(lane.value, "at") and not callable(lane.value)
+           for lane in lanes):
+        const = np.array([float(lane.value) for lane in lanes])
+        return lambda time: const
+    return lambda time: np.array([lane.value_at(time) for lane in lanes])
 
 
 class Element:
@@ -43,6 +67,24 @@ class Element:
 
     def stamp_ac(self, system, x_op, ctx) -> None:
         """Default small-signal stamp: nothing (open circuit)."""
+
+    # -- batched stamping --------------------------------------------------
+    #
+    # The batched transient kernel (:mod:`repro.circuit.batch`) runs B
+    # structurally identical circuits in lockstep.  ``batch_slot`` is
+    # called once per element position with the B per-lane sibling
+    # elements and precomputes index tuples and per-lane parameter
+    # arrays; ``stamp_batch`` is then called every Newton iteration with
+    # the batched system, the (B, n) iterate and that slot.  Each
+    # ``stamp_batch`` MUST perform per lane exactly the floating-point
+    # operations of ``stamp`` in the same order — that is what makes
+    # batched results bit-identical to the scalar path.
+
+    def batch_slot(self, system, lanes) -> dict:
+        raise BatchUnsupported(type(self).__name__)
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        raise BatchUnsupported(type(self).__name__)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, {self.nodes})"
@@ -71,6 +113,15 @@ class Resistor(Element):
     def stamp_ac(self, system, x_op, ctx) -> None:
         i, j = system.indices(self.nodes)
         system.add_conductance(i, j, 1.0 / self.resistance)
+
+    def batch_slot(self, system, lanes) -> dict:
+        i, j = system.indices(self.nodes)
+        return {"ij": (i, j),
+                "g": np.array([1.0 / lane.resistance for lane in lanes])}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        i, j = slot["ij"]
+        system.add_conductance(i, j, slot["g"])
 
 
 class Capacitor(Element):
@@ -116,6 +167,41 @@ class Capacitor(Element):
         i, j = system.indices(self.nodes)
         system.add_susceptance(i, j, self.capacitance)
 
+    def batch_slot(self, system, lanes) -> dict:
+        i, j = system.indices(self.nodes)
+        return {"ij": (i, j),
+                "c": np.array([lane.capacitance for lane in lanes])}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        c = slot["c"]
+        if ctx.mode != "tran" or ctx.dt is None or not c.any():
+            return
+        # Lanes with zero capacitance add exact zeros, matching the
+        # scalar path's skip bit for bit (0.0 + ±0.0 == 0.0).
+        i, j = slot["ij"]
+        geq = c / ctx.dt
+        v_prev = system.voltage(ctx.x_prev, i, j)
+        if ctx.method == "trap":
+            geq = geq * 2.0
+            i_prev = ctx.cap_currents.get(self.name, 0.0)
+            ieq = geq * v_prev + i_prev
+        else:
+            ieq = geq * v_prev
+        system.add_conductance(i, j, geq)
+        system.add_current(i, ieq)
+        system.add_current(j, -ieq)
+
+    def charge_current_batch(self, system, X_new, X_prev, ctx, slot):
+        """Per-lane capacitor currents at the accepted timepoint."""
+        i, j = slot["ij"]
+        v_new = system.voltage(X_new, i, j)
+        v_prev = system.voltage(X_prev, i, j)
+        c = slot["c"]
+        if ctx.method == "trap":
+            i_prev = ctx.cap_currents.get(self.name, 0.0)
+            return (2.0 * c / ctx.dt) * (v_new - v_prev) - i_prev
+        return c * (v_new - v_prev) / ctx.dt
+
 
 class VoltageSource(Element):
     """Independent voltage source; value may be a constant or waveform.
@@ -154,6 +240,20 @@ class VoltageSource(Element):
         system.add_entry(br, n, -1.0)
         system.add_rhs(br, self.ac)
 
+    def batch_slot(self, system, lanes) -> dict:
+        p, n = system.indices(self.nodes)
+        return {"pn": (p, n), "br": system.branch(self.name),
+                "values": _batch_values(lanes)}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        p, n = slot["pn"]
+        br = slot["br"]
+        system.add_entry(p, br, 1.0)
+        system.add_entry(n, br, -1.0)
+        system.add_entry(br, p, 1.0)
+        system.add_entry(br, n, -1.0)
+        system.add_rhs(br, slot["values"](ctx.time) * ctx.source_scale)
+
 
 class CurrentSource(Element):
     """Independent current source flowing from *pos* to *neg* externally.
@@ -183,6 +283,16 @@ class CurrentSource(Element):
         system.add_rhs(p, -self.ac)
         system.add_rhs(n, self.ac)
 
+    def batch_slot(self, system, lanes) -> dict:
+        p, n = system.indices(self.nodes)
+        return {"pn": (p, n), "values": _batch_values(lanes)}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        p, n = slot["pn"]
+        i = slot["values"](ctx.time) * ctx.source_scale
+        system.add_current(p, -i)
+        system.add_current(n, i)
+
 
 class VCCS(Element):
     """Voltage-controlled current source: ``i(out) = gm * v(cp, cn)``."""
@@ -199,6 +309,14 @@ class VCCS(Element):
     def stamp_ac(self, system, x_op, ctx) -> None:
         p, n, cp, cn = system.indices(self.nodes)
         system.add_transconductance(p, n, cp, cn, self.gm)
+
+    def batch_slot(self, system, lanes) -> dict:
+        return {"idx": tuple(system.indices(self.nodes)),
+                "gm": np.array([lane.gm for lane in lanes])}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        p, n, cp, cn = slot["idx"]
+        system.add_transconductance(p, n, cp, cn, slot["gm"])
 
 
 class VCVS(Element):
@@ -222,6 +340,22 @@ class VCVS(Element):
         system.add_entry(br, cn, self.gain)
 
     stamp_ac = stamp
+
+    def batch_slot(self, system, lanes) -> dict:
+        return {"idx": tuple(system.indices(self.nodes)),
+                "br": system.branch(self.name),
+                "gain": np.array([lane.gain for lane in lanes])}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        p, n, cp, cn = slot["idx"]
+        br = slot["br"]
+        gain = slot["gain"]
+        system.add_entry(p, br, 1.0)
+        system.add_entry(n, br, -1.0)
+        system.add_entry(br, p, 1.0)
+        system.add_entry(br, n, -1.0)
+        system.add_entry(br, cp, -gain)
+        system.add_entry(br, cn, gain)
 
 
 class Switch(Element):
@@ -258,6 +392,20 @@ class Switch(Element):
         i, j, c = system.indices(self.nodes)
         v_ctrl = system.voltage(x_op, c, -1)
         system.add_conductance(i, j, self.conductance(v_ctrl))
+
+    def batch_slot(self, system, lanes) -> dict:
+        return {"idx": tuple(system.indices(self.nodes)),
+                "lanes": list(lanes)}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        # The logistic uses math.exp, whose libm result is not
+        # guaranteed bit-identical to numpy's vectorised exp — so each
+        # lane evaluates through its own scalar conductance().
+        i, j, c = slot["idx"]
+        v_ctrl = system.voltage(X, c, -1)
+        g = np.array([lane.conductance(float(v_ctrl[k]))
+                      for k, lane in enumerate(slot["lanes"])])
+        system.add_conductance(i, j, g)
 
 
 class Diode(Element):
@@ -298,3 +446,21 @@ class Diode(Element):
         vd = system.voltage(x_op, a, c)
         _, g = self._iv(vd)
         system.add_conductance(a, c, g)
+
+    def batch_slot(self, system, lanes) -> dict:
+        a, c = system.indices(self.nodes)
+        return {"ac": (a, c), "lanes": list(lanes)}
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        # Exponential via each lane's scalar _iv (math.exp) for bit
+        # parity with the scalar stamp; see Switch.stamp_batch.
+        a, c = slot["ac"]
+        vd = system.voltage(X, a, c)
+        lanes = slot["lanes"]
+        iv = [lane._iv(float(vd[k])) for k, lane in enumerate(lanes)]
+        i = np.array([pair[0] for pair in iv])
+        g = np.array([pair[1] for pair in iv])
+        ieq = i - g * vd
+        system.add_conductance(a, c, g)
+        system.add_current(a, -ieq)
+        system.add_current(c, ieq)

@@ -20,7 +20,9 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from .elements import Element
+import numpy as np
+
+from .elements import BatchUnsupported, Element
 
 
 @dataclass(frozen=True)
@@ -252,3 +254,115 @@ class Mosfet(Element):
         cgs, cgd = self._gate_caps()
         system.add_susceptance(ng, ns, cgs)
         system.add_susceptance(ng, nd, cgd)
+
+    # -- batched stamps -----------------------------------------------------
+
+    def batch_slot(self, system, lanes) -> dict:
+        if any(lane.polarity != self.polarity for lane in lanes):
+            raise BatchUnsupported(f"{self.name}: mixed polarity lanes")
+        caps = [lane._gate_caps() for lane in lanes]
+        # Per-lane derived parameters are computed with the same scalar
+        # Python arithmetic the scalar stamp uses (beta property,
+        # math.sqrt(phi)), so the vectorised model evaluates every lane
+        # bit-identically to Mosfet.ids.
+        return {
+            "idx": tuple(system.indices(self.nodes)),
+            "sign": 1.0 if self.polarity == "n" else -1.0,
+            "beta": np.array([lane.params.kp * lane.w / lane.l
+                              for lane in lanes]),
+            "vto": np.array([abs(lane.params.vto) for lane in lanes]),
+            "lam": np.array([lane.params.lam for lane in lanes]),
+            "gamma": np.array([lane.params.gamma for lane in lanes]),
+            "phi": np.array([lane.params.phi for lane in lanes]),
+            "sqrt_phi": np.array([math.sqrt(lane.params.phi)
+                                  for lane in lanes]),
+            "cgs": np.array([c[0] for c in caps]),
+            "cgd": np.array([c[1] for c in caps]),
+        }
+
+    def stamp_batch(self, system, X, ctx, slot) -> None:
+        nd, ng, ns, nb = slot["idx"]
+        vd = system.voltage(X, nd, -1)
+        vg = system.voltage(X, ng, -1)
+        vs = system.voltage(X, ns, -1)
+        vb = system.voltage(X, nb, -1)
+
+        sign = slot["sign"]
+        swapped = sign * (vd - vs) < 0.0
+        vdx = np.where(swapped, vs, vd)
+        vsx = np.where(swapped, vd, vs)
+        vgs = sign * (vg - vsx)
+        vds = sign * (vdx - vsx)
+        vbs = sign * (vb - vsx)
+        i, gm, gds, gmb = _ids_batch(slot, vgs, vds, vbs)
+        ieq = i - gm * vgs - gds * vds - gmb * vbs
+        ieq_ext = sign * ieq
+
+        # The source/drain swap changes which matrix indices a lane
+        # writes to, so lanes split into (at most) two masked groups.
+        # Within each lane the add order is exactly the scalar stamp's.
+        for flag, group in ((False, ~swapped), (True, swapped)):
+            if not group.any():
+                continue
+            mask = None if group.all() else group
+            d_idx, s_idx = (ns, nd) if flag else (nd, ns)
+            system.add_transconductance(d_idx, s_idx, ng, s_idx, gm,
+                                        mask=mask)
+            system.add_conductance(d_idx, s_idx, gds, mask=mask)
+            system.add_transconductance(d_idx, s_idx, nb, s_idx, gmb,
+                                        mask=mask)
+            system.add_current(d_idx, -ieq_ext, mask=mask)
+            system.add_current(s_idx, ieq_ext, mask=mask)
+
+        if ctx.gmin > 0.0:
+            system.add_conductance(nd, -1, ctx.gmin)
+            system.add_conductance(ns, -1, ctx.gmin)
+
+        if ctx.mode == "tran" and ctx.dt is not None:
+            for (a, b, c) in ((ng, ns, slot["cgs"]), (ng, nd, slot["cgd"])):
+                geq = c / ctx.dt
+                v_prev = system.voltage(ctx.x_prev, a, b)
+                ieq_cap = geq * v_prev
+                system.add_conductance(a, b, geq)
+                system.add_current(a, ieq_cap)
+                system.add_current(b, -ieq_cap)
+
+
+def _ids_batch(slot, vgs, vds, vbs):
+    """Vectorised :meth:`Mosfet.ids` over lanes (see :func:`_ids_arrays`)."""
+    return _ids_arrays(slot["beta"], slot["vto"], slot["lam"],
+                       slot["gamma"], slot["phi"], slot["sqrt_phi"],
+                       vgs, vds, vbs)
+
+
+def _ids_arrays(beta, vto, lam, gamma, phi, sqrt_phi, vgs, vds, vbs):
+    """Vectorised :meth:`Mosfet.ids` over any broadcastable shape.
+
+    The batched kernel calls this with ``(B, n_devices)`` arrays — all
+    lanes of all MOSFETs in one evaluation.  Every expression mirrors
+    the scalar model's operation order exactly (IEEE sqrt/mul/add are
+    deterministic), so each lane's result is bit-identical to the scalar
+    evaluation at the same voltages.
+    """
+    vsb = -vbs
+    arg = phi + np.maximum(vsb, 0.0)
+    sq = np.sqrt(arg)
+    vth = vto + gamma * (sq - sqrt_phi)
+    vov = vgs - vth
+    dvth_dvsb = np.where(gamma > 0.0, 0.5 * gamma / sq, 0.0)
+    clm = 1.0 + lam * vds
+    triode = vds < vov
+    i_tri = beta * (vov - 0.5 * vds) * vds * clm
+    gm_tri = beta * vds * clm
+    gds_tri = beta * (vov - vds) * clm + beta * (
+        vov - 0.5 * vds) * vds * lam
+    i_sat = 0.5 * beta * vov * vov * clm
+    gm_sat = beta * vov * clm
+    gds_sat = 0.5 * beta * vov * vov * lam
+    i = np.where(triode, i_tri, i_sat)
+    gm = np.where(triode, gm_tri, gm_sat)
+    gds = np.where(triode, gds_tri, gds_sat)
+    gmb = gm * dvth_dvsb
+    off = vov <= 0.0
+    return (np.where(off, 0.0, i), np.where(off, 0.0, gm),
+            np.where(off, 0.0, gds), np.where(off, 0.0, gmb))

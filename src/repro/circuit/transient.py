@@ -159,6 +159,14 @@ def transient(circuit: Circuit, tstop: float, dt: float,
                            xs=np.array(xs))
 
 
+#: Newton retry ladder for one implicit timepoint, as ``(gmin,
+#: max_iter, damping)`` stages.  The batched kernel
+#: (:mod:`repro.circuit.batch`) re-runs stalled lanes through the same
+#: ladder, so scalar and batched paths must share these values for the
+#: bit-identical-fallback guarantee to hold.
+TIMEPOINT_STAGES = ((1e-12, 80, 1.0), (1e-9, 120, 0.7))
+
+
 def _step_at(t: float, dt: float, windows) -> float:
     """Timestep at time *t*: the finest window covering t, else *dt*.
 
@@ -178,10 +186,14 @@ def _step_at(t: float, dt: float, windows) -> float:
 def _solve_timepoint(circuit, system, x_prev, t, h, method, cap_currents):
     """Newton solve for one implicit timepoint; None on failure."""
     ctx = StampContext(mode="tran", time=t + h, dt=h, x_prev=x_prev,
-                       gmin=1e-12, method=method, cap_currents=cap_currents)
-    x = _newton(circuit, system, ctx, x_prev, max_iter=80)
+                       gmin=TIMEPOINT_STAGES[0][0], method=method,
+                       cap_currents=cap_currents)
+    x = _newton(circuit, system, ctx, x_prev,
+                max_iter=TIMEPOINT_STAGES[0][1])
     if x is None:
         # retry with a stronger gmin, then without a warm start
-        ctx.gmin = 1e-9
-        x = _newton(circuit, system, ctx, x_prev, max_iter=120, damping=0.7)
+        ctx.gmin = TIMEPOINT_STAGES[1][0]
+        x = _newton(circuit, system, ctx, x_prev,
+                    max_iter=TIMEPOINT_STAGES[1][1],
+                    damping=TIMEPOINT_STAGES[1][2])
     return x

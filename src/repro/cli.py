@@ -27,7 +27,8 @@ from typing import Optional
 
 from .campaign import (CampaignOptions, CampaignRunner, ConsoleReporter,
                        DEFAULT_CACHE_DIR, EventBus)
-from .core import (PathConfig, quality_report, render_fig3, render_fig4,
+from .core import (PathConfig, add_engine_arguments, engine_knobs,
+                   quality_report, render_fig3, render_fig4,
                    render_macro_current_detectability, render_table1,
                    render_table2, render_table3, save_path_result)
 from .testgen import (FULL_DFT, NO_DFT, defect_oriented_cost,
@@ -41,11 +42,12 @@ _COMPARATOR_ONLY = ("table1", "table2", "table3", "fig3")
 
 
 def _config(args, dft=NO_DFT) -> PathConfig:
+    knobs = engine_knobs(args)
     if args.full:
         return PathConfig(n_defects=25000, magnitude_defects=2_000_000,
-                          dft=dft, seed=args.seed)
+                          dft=dft, seed=args.seed, **knobs)
     return PathConfig(n_defects=args.defects, max_classes=args.classes,
-                      dft=dft, seed=args.seed)
+                      dft=dft, seed=args.seed, **knobs)
 
 
 def _options(args, default_cache: Optional[str] = None
@@ -149,6 +151,7 @@ def main(argv: Optional[list] = None) -> int:
                         help="campaign command: save results JSON here")
     parser.add_argument("--metrics-out", default=None,
                         help="campaign command: save metrics JSON here")
+    add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.command == "cost":

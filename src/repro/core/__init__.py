@@ -4,10 +4,12 @@ from .advisor import (EscapeDiagnosis, classify_escape,
                       diagnose_escapes, recommendations, render_advice)
 from .path import (DefectOrientedTestPath, MacroAnalysis, PathConfig,
                    PathResult, fast_config)
+from .options import add_engine_arguments, engine_knobs
 from .quality import (QualityReport, chip_fault_rate, defect_level,
                       dppm, poisson_yield, quality_report)
 from .serialize import (SerializeError, load_macro_results,
-                        save_macro_results, save_path_result)
+                        load_path_result, save_macro_results,
+                        save_path_result)
 from .report import (current_signature_distribution, render_fig3,
                      render_fig4, render_macro_current_detectability,
                      render_table1, render_table2, render_table3,
@@ -22,7 +24,8 @@ __all__ = [
     "voltage_signature_distribution", "QualityReport",
     "chip_fault_rate", "defect_level", "dppm", "poisson_yield",
     "quality_report", "SerializeError", "load_macro_results",
-    "save_macro_results", "save_path_result", "EscapeDiagnosis",
+    "load_path_result", "save_macro_results", "save_path_result",
+    "EscapeDiagnosis",
     "classify_escape", "diagnose_escapes", "recommendations",
-    "render_advice",
+    "render_advice", "add_engine_arguments", "engine_knobs",
 ]

@@ -33,7 +33,6 @@ from ..faultsim.signatures import PHASES
 from ..macrotest.coverage import (DetectionRecord, MacroResult,
                                   global_breakdown, macro_breakdown)
 from ..macrotest.macro import standard_partition
-from ..macrotest.propagate import propagate_comparator_fault
 from ..testgen.dft import DfTConfig, NO_DFT, comparator_layout_for
 from ..adc.biasgen import biasgen_layout
 from ..adc.clockgen import clockgen_layout
@@ -56,6 +55,10 @@ class PathConfig:
         dynamic_test: additionally run the at-speed missing-code test
             during propagation (our extension: catches the 'clock
             value' fault population at no extra tester time).
+        dt: transient timestep of the analog fault engines.
+        big_probe: comparator above/below input offset (volts).
+        small_probe: comparator offset-detection probe (volts).
+        corners: good-space corner set (None: the reduced corners).
     """
 
     n_defects: int = 25000
@@ -68,6 +71,56 @@ class PathConfig:
     statistics: DefectStatistics = field(
         default_factory=DefectStatistics)
     dynamic_test: bool = False
+    dt: float = 1e-9
+    big_probe: float = 0.1
+    small_probe: float = 8e-3
+    corners: Optional[Tuple[Process, ...]] = None
+
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form of the run's knobs.
+
+        ``process``, ``statistics`` and ``corners`` are not encoded —
+        they revert to their defaults on :meth:`from_dict` — so the
+        dictionary stays flat, diffable and version-stable.
+        """
+        return {
+            "n_defects": self.n_defects,
+            "magnitude_defects": self.magnitude_defects,
+            "seed": self.seed,
+            "dft": {"flipflop_redesign": self.dft.flipflop_redesign,
+                    "bias_line_reorder": self.dft.bias_line_reorder,
+                    "label": self.dft.label},
+            "include_noncat": self.include_noncat,
+            "max_classes": self.max_classes,
+            "dynamic_test": self.dynamic_test,
+            "dt": self.dt,
+            "big_probe": self.big_probe,
+            "small_probe": self.small_probe,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PathConfig":
+        """Inverse of :meth:`to_dict` (defaults fill absent knobs)."""
+        dft = data.get("dft") or {}
+        magnitude = data.get("magnitude_defects")
+        max_classes = data.get("max_classes")
+        return cls(
+            n_defects=int(data["n_defects"]),
+            magnitude_defects=(int(magnitude)
+                               if magnitude is not None else None),
+            seed=int(data.get("seed", 1995)),
+            dft=DfTConfig(
+                flipflop_redesign=bool(dft.get("flipflop_redesign",
+                                               False)),
+                bias_line_reorder=bool(dft.get("bias_line_reorder",
+                                               False))),
+            include_noncat=bool(data.get("include_noncat", True)),
+            max_classes=(int(max_classes)
+                         if max_classes is not None else None),
+            dynamic_test=bool(data.get("dynamic_test", False)),
+            dt=float(data.get("dt", 1e-9)),
+            big_probe=float(data.get("big_probe", 0.1)),
+            small_probe=float(data.get("small_probe", 8e-3)))
 
 
 @dataclass(frozen=True)
@@ -83,6 +136,28 @@ class MacroAnalysis:
     result: MacroResult
     noncat_result: Optional[MacroResult]
     classes: Tuple[FaultClass, ...]
+
+    def to_dict(self) -> Dict:
+        """Measurables only, keyed ``cat`` / ``noncat`` (the layout
+        :func:`~repro.core.serialize.load_macro_results` reads).  The
+        FaultClass list is not serialised: classes are re-derivable
+        from the config via the campaign planner."""
+        return {
+            "cat": self.result.to_dict(),
+            "noncat": (self.noncat_result.to_dict()
+                       if self.noncat_result else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MacroAnalysis":
+        """Inverse of :meth:`to_dict` (``classes`` comes back
+        empty)."""
+        noncat = data.get("noncat")
+        return cls(
+            result=MacroResult.from_dict(data["cat"]),
+            noncat_result=(MacroResult.from_dict(noncat)
+                           if noncat else None),
+            classes=tuple())
 
 
 @dataclass(frozen=True)
@@ -102,6 +177,25 @@ class PathResult:
 
     def global_coverage(self, noncat: bool = False):
         return global_breakdown(self.macro_results(noncat))
+
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form: config knobs + per-macro
+        measurables.  This is the one encoding every persistence path
+        (CLI ``--out``, campaign exports, ``BENCH_*.json``) goes
+        through."""
+        return {
+            "config": self.config.to_dict(),
+            "macros": {name: analysis.to_dict()
+                       for name, analysis in self.macros.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PathResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            config=PathConfig.from_dict(data["config"]),
+            macros={name: MacroAnalysis.from_dict(d)
+                    for name, d in data["macros"].items()})
 
 
 class DefectOrientedTestPath:
@@ -146,19 +240,12 @@ class DefectOrientedTestPath:
         classes = self._classes_for(cell)
         engine = self.comparator_engine()
 
+        # the engine satisfies the FaultEngine protocol (it propagates
+        # its own signature), so the comparator needs no special-casing
         def records_for(class_list) -> Tuple[DetectionRecord, ...]:
             records = []
             for k, fc in enumerate(class_list):
-                res = engine.simulate_class(fc)
-                voltage = propagate_comparator_fault(
-                    res.signature, fc.representative,
-                    at_speed=self.config.dynamic_test)
-                records.append(DetectionRecord(
-                    count=fc.count, voltage_detected=voltage,
-                    mechanisms=res.signature.mechanisms,
-                    voltage_signature=res.signature.voltage,
-                    fault_type=fc.fault_type,
-                    violated_keys=res.signature.violated_keys))
+                records.append(engine.simulate_class(fc))
                 if progress is not None:
                     progress("comparator", k + 1, len(class_list))
             return tuple(records)

@@ -10,11 +10,9 @@ everything the renderers and the coverage/quality models consume.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
-from ..faultsim.signatures import CurrentMechanism, VoltageSignature
 from ..macrotest.coverage import DetectionRecord, MacroResult
 
 FORMAT_VERSION = 1
@@ -25,55 +23,31 @@ class SerializeError(Exception):
 
 
 def record_to_dict(record: DetectionRecord) -> Dict:
-    return {
-        "count": record.count,
-        "voltage_detected": record.voltage_detected,
-        "mechanisms": sorted(m.value for m in record.mechanisms),
-        "voltage_signature": (record.voltage_signature.value
-                              if record.voltage_signature else None),
-        "fault_type": record.fault_type,
-        "violated_keys": sorted(list(k) for k in record.violated_keys),
-    }
+    """Thin wrapper over :meth:`DetectionRecord.to_dict`."""
+    return record.to_dict()
 
 
 def record_from_dict(data: Dict) -> DetectionRecord:
+    """:meth:`DetectionRecord.from_dict` with the SerializeError
+    contract."""
     try:
-        signature = data.get("voltage_signature")
-        return DetectionRecord(
-            count=int(data["count"]),
-            voltage_detected=bool(data["voltage_detected"]),
-            mechanisms=frozenset(CurrentMechanism(m)
-                                 for m in data["mechanisms"]),
-            voltage_signature=(VoltageSignature(signature)
-                               if signature else None),
-            fault_type=data.get("fault_type", "short"),
-            violated_keys=frozenset(
-                tuple(k) for k in data.get("violated_keys", ())))
+        return DetectionRecord.from_dict(data)
     except (KeyError, ValueError) as exc:
         raise SerializeError(f"bad detection record: {exc}") from exc
 
 
 def macro_to_dict(result: MacroResult) -> Dict:
-    return {
-        "name": result.name,
-        "bbox_area": result.bbox_area,
-        "instances": result.instances,
-        "defects_sprinkled": result.defects_sprinkled,
-        "records": [record_to_dict(r) for r in result.records],
-    }
+    """Thin wrapper over :meth:`MacroResult.to_dict`."""
+    return result.to_dict()
 
 
 def macro_from_dict(data: Dict) -> MacroResult:
+    """:meth:`MacroResult.from_dict` with the SerializeError
+    contract."""
     try:
-        return MacroResult(
-            name=data["name"],
-            bbox_area=float(data["bbox_area"]),
-            instances=int(data["instances"]),
-            defects_sprinkled=int(data["defects_sprinkled"]),
-            records=tuple(record_from_dict(r)
-                          for r in data["records"]))
-    except KeyError as exc:
-        raise SerializeError(f"missing macro field: {exc}") from exc
+        return MacroResult.from_dict(data)
+    except (KeyError, ValueError) as exc:
+        raise SerializeError(f"bad macro result: {exc}") from exc
 
 
 def save_macro_results(results: Dict[str, Dict[str, Optional[MacroResult]]],
@@ -118,18 +92,35 @@ def load_macro_results(path: Union[str, Path]
 
 
 def save_path_result(result, path: Union[str, Path]) -> None:
-    """Persist a :class:`~repro.core.path.PathResult`'s measurables."""
-    results = {
-        name: {"cat": analysis.result, "noncat": analysis.noncat_result}
-        for name, analysis in result.macros.items()
+    """Persist a :class:`~repro.core.path.PathResult`'s measurables.
+
+    Routed through :meth:`PathResult.to_dict` — the config knobs land
+    in ``metadata`` and the per-macro measurables in ``macros``, in
+    the same ``cat`` / ``noncat`` layout :func:`load_macro_results`
+    reads.
+    """
+    data = result.to_dict()
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": data["config"],
+        "macros": data["macros"],
     }
-    config = result.config
-    metadata = {
-        "n_defects": config.n_defects,
-        "magnitude_defects": config.magnitude_defects,
-        "seed": config.seed,
-        "dft": config.dft.label,
-        "max_classes": config.max_classes,
-        "include_noncat": config.include_noncat,
-    }
-    save_macro_results(results, path, metadata=metadata)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_path_result(path: Union[str, Path]):
+    """Load a :class:`~repro.core.path.PathResult` saved by
+    :func:`save_path_result` (``classes`` comes back empty)."""
+    from .path import PathResult
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializeError(f"cannot read {path}: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializeError(f"unsupported format version {version!r}")
+    try:
+        return PathResult.from_dict({"config": payload["metadata"],
+                                     "macros": payload["macros"]})
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SerializeError(f"bad path result: {exc}") from exc

@@ -4,7 +4,16 @@ Pipeline: :func:`fault_models` builds circuit-level models per fault,
 :class:`ComparatorFaultEngine` simulates each class against the
 comparator testbench and classifies the macro-level
 :class:`SignatureResult` against the compiled :class:`GoodSpace`.
+
+Every macro's engine implements the :class:`FaultEngine` protocol —
+one contract, ``simulate_class(fault_class) -> DetectionRecord`` — so
+the campaign runner and the test path drive all of them identically
+(no per-macro special cases).
 """
+
+from __future__ import annotations
+
+from typing import Protocol, TYPE_CHECKING, runtime_checkable
 
 from .engine import (ComparatorFaultEngine, EngineConfig,
                      FaultClassResult)
@@ -19,7 +28,35 @@ from .signatures import (CLOCK_DEVIATION_THRESHOLD, CurrentMechanism,
                          POLARITIES, SignatureResult, VoltageSignature,
                          classify_voltage)
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..defects.collapse import FaultClass
+    from ..macrotest.coverage import DetectionRecord
+
+
+@runtime_checkable
+class FaultEngine(Protocol):
+    """The one contract every macro fault engine satisfies.
+
+    A fault engine turns one collapsed fault class into one
+    :class:`~repro.macrotest.coverage.DetectionRecord`.  The comparator,
+    ladder, clock-generator and bias-generator engines all implement
+    it, which lets :mod:`repro.campaign.tasks` and
+    :mod:`repro.core.path` dispatch any macro's classes through the
+    same code path.
+
+    ``runtime_checkable`` only verifies the method exists — it cannot
+    check the signature — but that is enough for the isinstance guards
+    in tests and the campaign planner.
+    """
+
+    def simulate_class(self, fault_class: "FaultClass"
+                       ) -> "DetectionRecord":
+        """Simulate one fault class and report how it is detected."""
+        ...
+
+
 __all__ = [
+    "FaultEngine",
     "ComparatorFaultEngine", "EngineConfig", "FaultClassResult",
     "GoodSpace", "N_COMPARATORS", "Window", "compile_good_space",
     "FLOAT_LEAK_RESISTANCE", "FaultModel", "ModelError", "fault_models",

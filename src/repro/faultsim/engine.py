@@ -7,27 +7,40 @@ quiescent currents in each clock phase and the flipflop decision, and
 classify the macro-level fault signature.  Gate-oxide pinholes keep the
 *worst-case* (least detectable) of their three variants, as in the
 paper.
+
+All transients go through the batched MNA kernel
+(:func:`~repro.circuit.batch.transient_lanes`): the good-space corner
+sweep and a fault class's variant runs are structurally identical
+circuits differing only in source values and device parameters, so they
+solve as one stacked Newton iteration.  Lanes the kernel cannot finish
+re-run scalar, keeping every measurement bit-identical to an all-scalar
+run (see ``docs/ENGINE.md``).
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, TYPE_CHECKING,
+                    Tuple)
 
 import numpy as np
 
 from ..adc.comparator import (CLOCK_PERIOD, build_testbench,
                               phase_measure_times, regeneration_windows)
 from ..adc.process import Process, reduced_corners, typical
+from ..circuit.batch import transient_lanes
 from ..circuit.dc import ConvergenceError
-from ..circuit.transient import TransientResult, supply_current, transient
+from ..circuit.transient import TransientResult, supply_current
 from ..defects.collapse import FaultClass
 from .goodspace import GoodSpace, compile_good_space
 from .models import FaultModel, fault_models, inject
 from .noncat import NearMissShortFault, near_miss_model
 from .signatures import (CurrentMechanism, Measurement, SignatureResult,
                          VoltageSignature, classify_voltage)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..macrotest.coverage import DetectionRecord
 
 
 @dataclass(frozen=True)
@@ -42,6 +55,13 @@ class EngineConfig:
         big_probe: input offset for the main above/below runs (volts).
         small_probe: input offset for the offset-detection probes.
         process: the corner the faulty instance is evaluated at.
+        corners: corners the good space is compiled over (None: the
+            reduced corner set).
+        dynamic_test: run the at-speed missing-code test during
+            propagation (consumed by :meth:`simulate_class`).
+        batch: solve structurally identical runs through the batched
+            kernel (False forces every run scalar; results are
+            bit-identical either way).
     """
 
     dt: float = 1e-9
@@ -51,6 +71,9 @@ class EngineConfig:
     big_probe: float = 0.1
     small_probe: float = 8e-3
     process: Process = field(default_factory=typical)
+    corners: Optional[Tuple[Process, ...]] = None
+    dynamic_test: bool = False
+    batch: bool = True
 
 
 @dataclass(frozen=True)
@@ -68,23 +91,67 @@ class FaultClassResult:
     variant: str
 
 
+#: one requested measurement run: (fault model or None, input offset,
+#: process corner)
+_Run = Tuple[Optional[FaultModel], float, Process]
+
+
 class ComparatorFaultEngine:
-    """Runs the fault-simulation step of the defect-oriented test path."""
+    """Runs the fault-simulation step of the defect-oriented test path.
+
+    Implements the :class:`~repro.faultsim.FaultEngine` protocol:
+    :meth:`simulate_class` takes a collapsed fault class and returns a
+    :class:`~repro.macrotest.coverage.DetectionRecord`.  The richer
+    per-class signature is available via
+    :meth:`simulate_class_signature`.
+    """
 
     def __init__(self, config: Optional[EngineConfig] = None,
                  corners: Optional[Sequence[Process]] = None) -> None:
         self.config = config or EngineConfig()
-        self._corners = list(corners) if corners is not None \
-            else reduced_corners()
+        if corners is not None:
+            self._corners = list(corners)
+        elif self.config.corners is not None:
+            self._corners = list(self.config.corners)
+        else:
+            self._corners = reduced_corners()
         self._good_space: Optional[GoodSpace] = None
         self._good_decisions: Dict[float, bool] = {}
 
     # -- measurement -------------------------------------------------------
 
-    def _run(self, circuit, process: Process) -> TransientResult:
+    def _measure_runs(self, runs: Sequence[_Run]) -> List[Measurement]:
+        """Measure a batch of runs through the batched kernel.
+
+        Builds one testbench per run; structurally identical lanes (the
+        corner sweep, a class's model variants) stack into one batched
+        transient, the rest run scalar.  A lane that fails to converge
+        measures as unresolved, exactly as the scalar path reported it.
+        """
+        tbs = []
+        circuits = []
+        for model, offset, process in runs:
+            tb = build_testbench(process=process,
+                                 vin=self.config.vref + offset,
+                                 vref=self.config.vref,
+                                 dft=self.config.dft,
+                                 period=self.config.period)
+            tbs.append(tb)
+            circuits.append(tb.circuit if model is None
+                            else inject(tb.circuit, model))
         windows = regeneration_windows(self.config.period, 1)
-        return transient(circuit, tstop=self.config.period,
-                         dt=self.config.dt, fine_windows=windows)
+        outcomes = transient_lanes(circuits, tstop=self.config.period,
+                                   dt=self.config.dt,
+                                   fine_windows=windows,
+                                   batch=self.config.batch)
+        measurements = []
+        for (model, offset, process), tb, outcome in zip(runs, tbs,
+                                                         outcomes):
+            if isinstance(outcome, ConvergenceError):
+                measurements.append(self._unresolved_measurement())
+            else:
+                measurements.append(self._measure(tb, outcome, process))
+        return measurements
 
     def _measure(self, tb, tr: TransientResult,
                  process: Process) -> Measurement:
@@ -141,31 +208,26 @@ class ComparatorFaultEngine:
                          ) -> Measurement:
         """Measure one (possibly faulty) run at vref + vin_offset."""
         p = process or self.config.process
-        tb = build_testbench(process=p,
-                             vin=self.config.vref + vin_offset,
-                             vref=self.config.vref, dft=self.config.dft,
-                             period=self.config.period)
-        circuit = tb.circuit if model is None else inject(tb.circuit,
-                                                          model)
-        try:
-            tr = self._run(circuit, p)
-        except ConvergenceError:
-            return self._unresolved_measurement()
-        return self._measure(tb, tr, p)
+        return self._measure_runs([(model, vin_offset, p)])[0]
 
     # -- good space ---------------------------------------------------------
 
     def good_space(self) -> GoodSpace:
-        """Compile (and cache) the good signature space over corners."""
+        """Compile (and cache) the good signature space over corners.
+
+        All ``len(corners) * 2`` fault-free runs share one circuit
+        structure, so the whole sweep is a single batched transient.
+        """
         if self._good_space is None:
-            per_corner: Dict[str, Dict[str, Measurement]] = {}
+            runs: List[_Run] = []
             for p in self._corners:
-                per_corner[p.name] = {
-                    "above": self.measure_polarity(
-                        None, +self.config.big_probe, process=p),
-                    "below": self.measure_polarity(
-                        None, -self.config.big_probe, process=p),
-                }
+                runs.append((None, +self.config.big_probe, p))
+                runs.append((None, -self.config.big_probe, p))
+            measured = self._measure_runs(runs)
+            per_corner: Dict[str, Dict[str, Measurement]] = {}
+            for k, p in enumerate(self._corners):
+                per_corner[p.name] = {"above": measured[2 * k],
+                                      "below": measured[2 * k + 1]}
             name = self._corners[0].name
             if "typical" in per_corner:
                 name = "typical"
@@ -173,59 +235,134 @@ class ComparatorFaultEngine:
                                                   typical_name=name)
         return self._good_space
 
-    # -- fault simulation ------------------------------------------------------
+    # -- fault simulation ---------------------------------------------------
+
+    def _variants(self, fault_class: FaultClass) -> List[FaultModel]:
+        fault = fault_class.representative
+        if isinstance(fault, NearMissShortFault):
+            return [near_miss_model(fault)]
+        return fault_models(fault, process=self.config.process)
+
+    def _signatures(self, models: Sequence[FaultModel]
+                    ) -> List[SignatureResult]:
+        """Signatures of several model variants, batched.
+
+        Phase one runs every variant's above/below pair in one
+        :func:`transient_lanes` call (variants that share a topology —
+        e.g. the three pinhole conductances — stack into one batch).
+        Variants that still resolve correctly get a second, smaller
+        batch at the +/- ``small_probe`` offsets.
+        """
+        good = self.good_space()
+        runs: List[_Run] = []
+        for model in models:
+            runs.append((model, +self.config.big_probe,
+                         self.config.process))
+            runs.append((model, -self.config.big_probe,
+                         self.config.process))
+        measured = self._measure_runs(runs)
+
+        # second pass: offset probes for variants that behave correctly
+        # at the big probes (offset faults hide there)
+        need_small = []
+        for k, model in enumerate(models):
+            above, below = measured[2 * k], measured[2 * k + 1]
+            if above.resolved and below.resolved and \
+                    above.decision is True and below.decision is False:
+                need_small.append(k)
+        small_runs: List[_Run] = []
+        for k in need_small:
+            small_runs.append((models[k], +self.config.small_probe,
+                               self.config.process))
+            small_runs.append((models[k], -self.config.small_probe,
+                               self.config.process))
+        small_measured = self._measure_runs(small_runs) if small_runs \
+            else []
+        small_by_variant = {
+            k: (small_measured[2 * j].decision,
+                small_measured[2 * j + 1].decision)
+            for j, k in enumerate(need_small)}
+
+        results = []
+        for k, model in enumerate(models):
+            above, below = measured[2 * k], measured[2 * k + 1]
+            unresolved = not (above.resolved and below.resolved)
+            small_above, small_below = small_by_variant.get(k,
+                                                            (None, None))
+            if unresolved:
+                voltage, sign = VoltageSignature.OUTPUT_STUCK_AT, 0
+            else:
+                clock_dev = max(above.clock_deviation,
+                                below.clock_deviation)
+                voltage, sign = classify_voltage(
+                    above.decision, below.decision, small_above,
+                    small_below, clock_dev)
+            measurements = {"above": above, "below": below}
+            violated = good.violated_measurements(measurements)
+            from .goodspace import mechanism_of
+            mechanisms = {mechanism_of(key) for key in violated}
+            results.append(SignatureResult(
+                voltage=voltage, offset_sign=sign,
+                mechanisms=frozenset(mechanisms),
+                measurements=measurements,
+                violated_keys=frozenset(violated),
+                unresolved=unresolved))
+        return results
 
     def simulate_model(self, model: FaultModel) -> SignatureResult:
         """Signature of one model variant."""
-        good = self.good_space()
-        above = self.measure_polarity(model, +self.config.big_probe)
-        below = self.measure_polarity(model, -self.config.big_probe)
-        unresolved = not (above.resolved and below.resolved)
+        return self._signatures([model])[0]
 
-        small_above: Optional[bool] = None
-        small_below: Optional[bool] = None
-        if not unresolved and above.decision is True and \
-                below.decision is False:
-            small_above = self.measure_polarity(
-                model, +self.config.small_probe).decision
-            small_below = self.measure_polarity(
-                model, -self.config.small_probe).decision
-
-        if unresolved:
-            voltage, sign = VoltageSignature.OUTPUT_STUCK_AT, 0
-        else:
-            clock_dev = max(above.clock_deviation,
-                            below.clock_deviation)
-            voltage, sign = classify_voltage(
-                above.decision, below.decision, small_above,
-                small_below, clock_dev)
-        measurements = {"above": above, "below": below}
-        violated = good.violated_measurements(measurements)
-        from .goodspace import mechanism_of
-        mechanisms = {mechanism_of(key) for key in violated}
-        return SignatureResult(voltage=voltage, offset_sign=sign,
-                               mechanisms=frozenset(mechanisms),
-                               measurements=measurements,
-                               violated_keys=frozenset(violated),
-                               unresolved=unresolved)
-
-    def simulate_class(self, fault_class: FaultClass
-                       ) -> FaultClassResult:
+    def simulate_class_signature(self, fault_class: FaultClass
+                                 ) -> FaultClassResult:
         """Worst-case signature over the class's model variants."""
-        fault = fault_class.representative
-        if isinstance(fault, NearMissShortFault):
-            variants = [near_miss_model(fault)]
-        else:
-            variants = fault_models(fault, process=self.config.process)
-        results = [(self.simulate_model(v), v.name) for v in variants]
+        variants = self._variants(fault_class)
+        signatures = self._signatures(variants)
+        results = [(sig, v.name)
+                   for sig, v in zip(signatures, variants)]
         results.sort(key=lambda pair: pair[0].detectability_rank())
         signature, variant = results[0]
         return FaultClassResult(fault_class=fault_class,
                                 signature=signature, variant=variant)
 
+    def simulate_class(self, fault_class: FaultClass
+                       ) -> "DetectionRecord":
+        """Detection record of one fault class (the
+        :class:`~repro.faultsim.FaultEngine` contract).
+
+        Simulates the class's worst-case signature and propagates it to
+        the macro-level missing-code verdict, honouring
+        ``config.dynamic_test``.
+        """
+        from ..macrotest.coverage import DetectionRecord
+        from ..macrotest.propagate import propagate_comparator_fault
+
+        res = self.simulate_class_signature(fault_class)
+        voltage = propagate_comparator_fault(
+            res.signature, fault_class.representative,
+            at_speed=self.config.dynamic_test)
+        return DetectionRecord(
+            count=fault_class.count, voltage_detected=voltage,
+            mechanisms=res.signature.mechanisms,
+            voltage_signature=res.signature.voltage,
+            fault_type=fault_class.fault_type,
+            violated_keys=res.signature.violated_keys)
+
+    def simulate_class_legacy(self, fault_class: FaultClass
+                              ) -> FaultClassResult:
+        """Deprecated pre-protocol name for
+        :meth:`simulate_class_signature` (``simulate_class`` used to
+        return a :class:`FaultClassResult`)."""
+        warnings.warn(
+            "simulate_class_legacy() is deprecated; use "
+            "simulate_class() for a DetectionRecord or "
+            "simulate_class_signature() for the full FaultClassResult",
+            DeprecationWarning, stacklevel=2)
+        return self.simulate_class_signature(fault_class)
+
     def run(self, classes: Sequence[FaultClass],
             progress: Optional[Callable[[int, int], None]] = None
-            ) -> List[FaultClassResult]:
+            ) -> List["DetectionRecord"]:
         """Simulate every class; optional progress callback."""
         results = []
         for k, fc in enumerate(classes):

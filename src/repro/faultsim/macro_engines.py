@@ -24,9 +24,10 @@ from ..adc.ladder import (N_TAPS, SEGMENTS_PER_COARSE, ladder_testbench,
                           tap_voltages)
 from ..adc.process import Process, reduced_corners, typical
 from ..adc.behavioral import ComparatorBehavior
-from ..circuit.dc import ConvergenceError, operating_point
+from ..circuit.batch import operating_point_lanes, transient_lanes
+from ..circuit.dc import ConvergenceError, DCResult
 from ..circuit.elements import VoltageSource
-from ..circuit.transient import supply_current, transient
+from ..circuit.transient import TransientResult, supply_current
 from ..defects.collapse import FaultClass
 from ..defects.faults import (Fault, GateOxidePinholeFault,
                               JunctionPinholeFault, NewDeviceFault,
@@ -108,6 +109,8 @@ class LadderFaultEngine:
     ivdd_window_halfwidth: float = 20e-3
     #: resolution of the terminal-difference current measurement
     iref_diff_floor: float = 200e-6
+    #: solve structurally identical circuits through the batched kernel
+    batch: bool = True
 
     def __post_init__(self) -> None:
         self._window: Optional[Tuple[float, float]] = None
@@ -118,8 +121,7 @@ class LadderFaultEngine:
         tb.add(VoltageSource("VDD", "vdd", "gnd", process.vdd))
         return tb
 
-    def _solve(self, circuit):
-        op = operating_point(circuit)
+    def _extract(self, op: DCResult) -> dict:
         taps = np.array([op.voltage(f"tap{k}")
                          for k in range(N_TAPS + 1)])
         return {
@@ -131,6 +133,22 @@ class LadderFaultEngine:
             "ivdd": -op.current("VDD"),
             "taps": taps,
         }
+
+    def _solve_many(self, circuits):
+        """Solve several circuits, batching identical structures.
+
+        Returns per-circuit dicts, or the lane's
+        :class:`ConvergenceError` where the solve failed.
+        """
+        outcomes = operating_point_lanes(circuits, batch=self.batch)
+        return [out if isinstance(out, ConvergenceError)
+                else self._extract(out) for out in outcomes]
+
+    def _solve(self, circuit):
+        sol = self._solve_many([circuit])[0]
+        if isinstance(sol, ConvergenceError):
+            raise sol
+        return sol
 
     def _net_map(self) -> Dict[str, str]:
         mapping = {f"tap{k}": f"tap{LADDER_SLICE_BASE + k}"
@@ -145,11 +163,20 @@ class LadderFaultEngine:
 
     def good(self):
         """Typical solution plus per-terminal current windows over
-        corners."""
+        corners.
+
+        The typical and corner testbenches are structurally identical,
+        so the whole fault-free sweep solves as one batched DC ladder.
+        """
         if self._typ is None:
-            self._typ = self._solve(self._testbench(self.process))
-            solutions = [self._solve(self._testbench(p))
-                         for p in self.corners]
+            circuits = [self._testbench(self.process)] + \
+                [self._testbench(p) for p in self.corners]
+            solved = self._solve_many(circuits)
+            for sol in solved:
+                if isinstance(sol, ConvergenceError):
+                    raise sol
+            self._typ = solved[0]
+            solutions = solved[1:]
             self._window = {}
             for key in ("ivrefp", "ivrefn"):
                 values = [s[key] for s in solutions]
@@ -165,12 +192,12 @@ class LadderFaultEngine:
             variants = [near_miss_model(fault)]
         else:
             variants = fault_models(fault, process=self.process)
+        solutions = self._solve_many(
+            [inject(self._testbench(self.process), model)
+             for model in variants])
         records = []
-        for model in variants:
-            tb = self._testbench(self.process)
-            try:
-                sol = self._solve(inject(tb, model))
-            except ConvergenceError:
+        for sol in solutions:
+            if isinstance(sol, ConvergenceError):
                 records.append((True, {CurrentMechanism.IVDD}))
                 continue
             mechanisms: Set[CurrentMechanism] = set()
@@ -216,12 +243,13 @@ class ClockgenFaultEngine:
     dt: float = 1e-9
     period: float = CLOCK_PERIOD
     iddq_floor: float = FLOOR_IDDQ
+    #: solve structurally identical circuits through the batched kernel
+    batch: bool = True
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
 
-    def _run(self, circuit):
-        tr = transient(circuit, tstop=self.period, dt=self.dt)
+    def _extract(self, tr: TransientResult) -> dict:
         return {
             "iddq": iddq(tr, period=self.period),
             "levels": clock_levels(tr, period=self.period),
@@ -229,6 +257,20 @@ class ClockgenFaultEngine:
                      for phase, frac in (("phi1", 0.50), ("phi2", 0.88),
                                          ("phi3", 0.17))},
         }
+
+    def _run_many(self, circuits):
+        """Transients for several circuits, batching identical
+        structures (e.g. a class's conductance-only model variants)."""
+        outcomes = transient_lanes(circuits, tstop=self.period,
+                                   dt=self.dt, batch=self.batch)
+        return [out if isinstance(out, ConvergenceError)
+                else self._extract(out) for out in outcomes]
+
+    def _run(self, circuit):
+        sol = self._run_many([circuit])[0]
+        if isinstance(sol, ConvergenceError):
+            raise sol
+        return sol
 
     def good(self) -> dict:
         if self._good is None:
@@ -243,12 +285,12 @@ class ClockgenFaultEngine:
             variants = [near_miss_model(fault)]
         else:
             variants = fault_models(fault, process=self.process)
+        solutions = self._run_many(
+            [inject(clockgen_testbench(self.process, self.period), model)
+             for model in variants])
         outcomes = []
-        for model in variants:
-            tb = clockgen_testbench(self.process, self.period)
-            try:
-                sol = self._run(inject(tb, model))
-            except ConvergenceError:
+        for sol in solutions:
+            if isinstance(sol, ConvergenceError):
                 outcomes.append((True, {CurrentMechanism.IDDQ}))
                 continue
             mechanisms: Set[CurrentMechanism] = set()
@@ -298,38 +340,60 @@ class BiasgenFaultEngine:
     ivdd_window_halfwidth: float = 20e-3
     #: bias shifts below this provably change nothing measurable
     dead_band: float = 0.02
+    #: solve structurally identical circuits through the batched kernel
+    batch: bool = True
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
 
     def _solve_bias(self, circuit) -> dict:
-        op = operating_point(circuit)
-        return {"vbn1": op.voltage("vbn1"), "vbn2": op.voltage("vbn2"),
-                "ivdd": -op.current("VDD")}
+        out = operating_point_lanes([circuit], batch=self.batch)[0]
+        if isinstance(out, ConvergenceError):
+            raise out
+        return {"vbn1": out.voltage("vbn1"), "vbn2": out.voltage("vbn2"),
+                "ivdd": -out.current("VDD")}
+
+    def _comparator_runs(self, vbn1: float, vbn2: float,
+                         vin_offsets: Sequence[float]) -> List[dict]:
+        """Re-run the comparator testbench at several input offsets with
+        shifted bias lines — one batched transient (the lanes differ
+        only in source values)."""
+        circuits = []
+        for off in vin_offsets:
+            tb = build_testbench(process=self.process,
+                                 vin=2.5 + off, vref=2.5,
+                                 period=self.period)
+            tb.circuit.element("VBN1S").value = vbn1
+            tb.circuit.element("VBN2S").value = vbn2
+            circuits.append(tb.circuit)
+        outcomes = transient_lanes(
+            circuits, tstop=self.period, dt=self.dt,
+            fine_windows=regeneration_windows(self.period, 1),
+            batch=self.batch)
+        results = []
+        for tr in outcomes:
+            if isinstance(tr, ConvergenceError):
+                raise tr
+            times = phase_measure_times(self.period, 0)
+            ivdd = supply_current(tr, "VDD")
+            samples = [float(ivdd[int(np.argmin(np.abs(tr.times - t)))])
+                       for t in times]
+            decision = tr.at_time("ffout", 0.97 * self.period) > \
+                self.process.vdd / 2.0
+            results.append({"ivdd": samples,
+                            "decision": bool(decision)})
+        return results
 
     def _comparator_run(self, vbn1: float, vbn2: float, vin_offset: float
                         ) -> dict:
-        tb = build_testbench(process=self.process,
-                             vin=2.5 + vin_offset, vref=2.5,
-                             period=self.period)
-        tb.circuit.element("VBN1S").value = vbn1
-        tb.circuit.element("VBN2S").value = vbn2
-        tr = transient(tb.circuit, tstop=self.period, dt=self.dt,
-                       fine_windows=regeneration_windows(self.period, 1))
-        times = phase_measure_times(self.period, 0)
-        ivdd = supply_current(tr, "VDD")
-        samples = [float(ivdd[int(np.argmin(np.abs(tr.times - t)))])
-                   for t in times]
-        decision = tr.at_time("ffout", 0.97 * self.period) > \
-            self.process.vdd / 2.0
-        return {"ivdd": samples, "decision": bool(decision)}
+        return self._comparator_runs(vbn1, vbn2, [vin_offset])[0]
 
     def good(self) -> dict:
         if self._good is None:
             bias = self._solve_bias(biasgen_testbench(self.process))
-            above = self._comparator_run(bias["vbn1"], bias["vbn2"], 0.1)
-            below = self._comparator_run(bias["vbn1"], bias["vbn2"],
-                                         -0.1)
+            above, below = self._comparator_runs(bias["vbn1"],
+                                                 bias["vbn2"],
+                                                 [0.1, -0.1])
             self._good = {"bias": bias, "above": above, "below": below}
         return self._good
 
@@ -358,10 +422,8 @@ class BiasgenFaultEngine:
                 outcomes.append((False, mechanisms))
                 continue
             try:
-                above = self._comparator_run(bias["vbn1"], bias["vbn2"],
-                                             0.1)
-                below = self._comparator_run(bias["vbn1"], bias["vbn2"],
-                                             -0.1)
+                above, below = self._comparator_runs(
+                    bias["vbn1"], bias["vbn2"], [0.1, -0.1])
             except ConvergenceError:
                 outcomes.append((True, {CurrentMechanism.IVDD}))
                 continue
@@ -433,33 +495,54 @@ class DecoderFaultEngine:
         self.vectors()
         return self._values
 
+    def simulate_class(self, fault) -> DetectionRecord:
+        """Detection record of one digital fault (the
+        :class:`~repro.faultsim.FaultEngine` contract).
+
+        Accepts a :class:`~repro.digital.faults.BridgingFault` or
+        :class:`~repro.digital.faults.StuckAtFault` (the decoder's
+        fault universe is digital, not a collapsed analog class).
+        """
+        vectors = self.vectors()
+        values = self._good_values()
+        if isinstance(fault, BridgingFault):
+            differing = [k for k, vals in enumerate(values)
+                         if vals[fault.net_a] != vals[fault.net_b]]
+            iddq_det = bool(differing)
+            logic_det = False
+            for k in differing[:self.max_logic_probes]:
+                if logic_detects_bridge(self.netlist, fault,
+                                        vectors[k]):
+                    logic_det = True
+                    break
+            return DetectionRecord(
+                count=1, voltage_detected=logic_det,
+                mechanisms=frozenset({CurrentMechanism.IDDQ})
+                if iddq_det else frozenset(),
+                fault_type="short")
+        if isinstance(fault, StuckAtFault):
+            differing = [k for k, vals in enumerate(values)
+                         if vals.get(fault.net) != fault.value]
+            detected = False
+            for k in differing[:self.max_logic_probes]:
+                if detects_stuck_at(self.netlist, fault, vectors[k]):
+                    detected = True
+                    break
+            return DetectionRecord(
+                count=1, voltage_detected=detected,
+                mechanisms=frozenset(), fault_type="open")
+        raise TypeError(f"unsupported decoder fault {fault!r}")
+
     def run(self) -> Tuple[List[DetectionRecord], List[DetectionRecord]]:
         """Returns (bridge_records, stuck_records)."""
         rng = np.random.default_rng(self.seed)
-        vectors = self.vectors()
-        values = self._good_values()
 
         bridges = neighbouring_bridges(self.netlist)
         if len(bridges) > self.n_bridge_sample:
             idx = rng.choice(len(bridges), self.n_bridge_sample,
                              replace=False)
             bridges = [bridges[int(i)] for i in sorted(idx)]
-        bridge_records = []
-        for bridge in bridges:
-            differing = [k for k, vals in enumerate(values)
-                         if vals[bridge.net_a] != vals[bridge.net_b]]
-            iddq_det = bool(differing)
-            logic_det = False
-            for k in differing[:self.max_logic_probes]:
-                if logic_detects_bridge(self.netlist, bridge,
-                                        vectors[k]):
-                    logic_det = True
-                    break
-            bridge_records.append(DetectionRecord(
-                count=1, voltage_detected=logic_det,
-                mechanisms=frozenset({CurrentMechanism.IDDQ})
-                if iddq_det else frozenset(),
-                fault_type="short"))
+        bridge_records = [self.simulate_class(b) for b in bridges]
 
         nets = sorted(self.netlist.nets())
         stuck_universe = [StuckAtFault(net, value)
@@ -469,16 +552,5 @@ class DecoderFaultEngine:
                              replace=False)
             stuck_universe = [stuck_universe[int(i)]
                               for i in sorted(idx)]
-        stuck_records = []
-        for fault in stuck_universe:
-            differing = [k for k, vals in enumerate(values)
-                         if vals.get(fault.net) != fault.value]
-            detected = False
-            for k in differing[:self.max_logic_probes]:
-                if detects_stuck_at(self.netlist, fault, vectors[k]):
-                    detected = True
-                    break
-            stuck_records.append(DetectionRecord(
-                count=1, voltage_detected=detected,
-                mechanisms=frozenset(), fault_type="open"))
+        stuck_records = [self.simulate_class(f) for f in stuck_universe]
         return bridge_records, stuck_records

@@ -49,6 +49,43 @@ class DetectionRecord:
     def detected(self) -> bool:
         return self.voltage_detected or self.current_detected
 
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form (the serialisation contract).
+
+        Collections are sorted so equal records always encode to the
+        same dictionary — the campaign store hashes this encoding.
+        """
+        return {
+            "count": self.count,
+            "voltage_detected": self.voltage_detected,
+            "mechanisms": sorted(m.value for m in self.mechanisms),
+            "voltage_signature": (self.voltage_signature.value
+                                  if self.voltage_signature else None),
+            "fault_type": self.fault_type,
+            "violated_keys": sorted(list(k)
+                                    for k in self.violated_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DetectionRecord":
+        """Inverse of :meth:`to_dict`.
+
+        Raises KeyError/ValueError on malformed input; callers wanting
+        one exception type use
+        :func:`repro.core.serialize.record_from_dict`.
+        """
+        signature = data.get("voltage_signature")
+        return cls(
+            count=int(data["count"]),
+            voltage_detected=bool(data["voltage_detected"]),
+            mechanisms=frozenset(CurrentMechanism(m)
+                                 for m in data["mechanisms"]),
+            voltage_signature=(VoltageSignature(signature)
+                               if signature else None),
+            fault_type=data.get("fault_type", "short"),
+            violated_keys=frozenset(
+                tuple(k) for k in data.get("violated_keys", ())))
+
 
 @dataclass(frozen=True)
 class MacroResult:
@@ -91,6 +128,28 @@ class MacroResult:
         if total == 0:
             return 0.0
         return sum(r.count for r in self.records if predicate(r)) / total
+
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form (the serialisation contract)."""
+        return {
+            "name": self.name,
+            "bbox_area": self.bbox_area,
+            "instances": self.instances,
+            "defects_sprinkled": self.defects_sprinkled,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MacroResult":
+        """Inverse of :meth:`to_dict` (raises KeyError/ValueError on
+        malformed input)."""
+        return cls(
+            name=data["name"],
+            bbox_area=float(data["bbox_area"]),
+            instances=int(data["instances"]),
+            defects_sprinkled=int(data["defects_sprinkled"]),
+            records=tuple(DetectionRecord.from_dict(r)
+                          for r in data["records"]))
 
 
 @dataclass(frozen=True)

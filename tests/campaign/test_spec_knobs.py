@@ -1,0 +1,85 @@
+"""Tests for the unified engine knobs: EngineSpec fields, the shared
+CLI argument group, and their effect on the content-addressed store
+key."""
+
+import argparse
+
+from repro.adc.process import corner_set, typical
+from repro.campaign.store import content_key
+from repro.campaign.tasks import EngineSpec, build_engine
+from repro.core import add_engine_arguments, engine_knobs
+from repro.defects import ShortFault
+from repro.defects.collapse import FaultClass
+
+
+def short_class():
+    fault = ShortFault(nets=frozenset({"lp", "ln"}), layer="metal1",
+                       resistance=0.2)
+    return FaultClass(representative=fault, count=2)
+
+
+class TestSpecKnobsKeyTheStore:
+    def test_knob_changes_miss_cleanly(self):
+        fc = short_class()
+        base = EngineSpec(macro="comparator")
+        keys = {content_key(fc, base)}
+        for spec in (
+                EngineSpec(macro="comparator", dt=2e-9),
+                EngineSpec(macro="comparator", big_probe=0.2),
+                EngineSpec(macro="comparator", small_probe=4e-3),
+                EngineSpec(macro="comparator",
+                           corners=tuple(corner_set("typical")))):
+            keys.add(content_key(fc, spec))
+        assert len(keys) == 5  # every knob participates in the key
+
+    def test_same_spec_same_key(self):
+        fc = short_class()
+        assert content_key(fc, EngineSpec(macro="comparator")) == \
+            content_key(fc, EngineSpec(macro="comparator"))
+
+
+class TestBuildEnginePlumbing:
+    def test_comparator_receives_knobs(self):
+        spec = EngineSpec(macro="comparator", dt=2e-9, big_probe=0.25,
+                          small_probe=5e-3,
+                          corners=(typical(),))
+        engine = build_engine(spec)
+        assert engine.config.dt == 2e-9
+        assert engine.config.big_probe == 0.25
+        assert engine.config.small_probe == 5e-3
+        assert engine._corners == [typical()]
+
+    def test_clockgen_receives_dt(self):
+        engine = build_engine(EngineSpec(macro="clockgen", dt=3e-9))
+        assert engine.dt == 3e-9
+
+
+class TestSharedArgumentGroup:
+    def _parse(self, argv):
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        return parser.parse_args(argv)
+
+    def test_defaults_match_engine_config(self):
+        from repro.faultsim import EngineConfig
+        knobs = engine_knobs(self._parse([]))
+        default = EngineConfig()
+        assert knobs["dt"] == default.dt
+        assert knobs["big_probe"] == default.big_probe
+        assert knobs["small_probe"] == default.small_probe
+        assert knobs["corners"] is None
+
+    def test_overrides_flow_through(self):
+        args = self._parse(["--dt", "2e-9", "--big-probe", "0.2",
+                            "--small-probe", "4e-3",
+                            "--corners", "typical"])
+        knobs = engine_knobs(args)
+        assert knobs["dt"] == 2e-9
+        assert knobs["big_probe"] == 0.2
+        assert knobs["small_probe"] == 4e-3
+        assert knobs["corners"] == (typical(),)
+
+    def test_corner_set_names(self):
+        assert len(corner_set("reduced")) == 5
+        assert len(corner_set("full")) == 27
+        assert corner_set("typical") == [typical()]

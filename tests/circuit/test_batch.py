@@ -1,0 +1,260 @@
+"""Tests for the batched MNA kernel.
+
+The kernel's contract is *bit-identity*: a batched run produces exactly
+the bytes an all-scalar run would, for every lane, including which
+lanes fail and with what error.  These tests exercise that contract on
+linear lanes (property-based), on the real nonlinear comparator
+testbench, on mixed-structure lane sets, on a sabotaged kernel (scalar
+fallback), and at the assembly level (compiled contribution program vs
+reference element-by-element stamping).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.comparator import (CLOCK_PERIOD, build_testbench,
+                                  regeneration_windows)
+from repro.adc.process import reduced_corners
+from repro.circuit import (Capacitor, Circuit, Mosfet, MosParams, Pulse,
+                           Resistor, VoltageSource, operating_point,
+                           transient)
+from repro.circuit import batch as batch_mod
+from repro.circuit.batch import (BatchedMNASystem, BatchUnsupported,
+                                 operating_point_lanes,
+                                 structure_signature, transient_batch,
+                                 transient_lanes)
+from repro.circuit.batch import _assemble, _BatchProgram, _build_slots
+from repro.circuit.dc import ConvergenceError
+from repro.circuit.mna import StampContext
+from repro.circuit.transient import TransientResult
+
+NMOS = MosParams(kp=60e-6, vto=0.7, lam=0.05, gamma=0.4, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+PMOS = MosParams(kp=25e-6, vto=-0.8, lam=0.06, gamma=0.5, phi=0.6,
+                 cox=1.7e-3, cov=3e-10)
+
+
+def rc_lane(r, c_val, amp):
+    c = Circuit("rc")
+    c.add(VoltageSource("V1", "in", "gnd",
+                        Pulse(0, amp, 0, 1e-9, 1e-9, 10e-3, 20e-3)))
+    c.add(Resistor("R1", "in", "out", r))
+    c.add(Capacitor("C1", "out", "gnd", c_val))
+    return c
+
+
+def inverter_lane(nmos=NMOS, pmos=PMOS, load=50e-15):
+    c = Circuit("inv")
+    c.add(VoltageSource("VDD", "vdd", "gnd", 5.0))
+    c.add(VoltageSource("VIN", "in", "gnd",
+                        Pulse(0, 5.0, 2e-9, 1e-9, 1e-9, 10e-9, 20e-9)))
+    c.add(Mosfet("MN", "out", "in", "gnd", "gnd", nmos, w=4e-6,
+                 l=1e-6))
+    c.add(Mosfet("MP", "out", "in", "vdd", "vdd", pmos, w=8e-6,
+                 l=1e-6))
+    c.add(Capacitor("CL", "out", "gnd", load))
+    return c
+
+
+def assert_lanes_identical(batched, scalar):
+    assert len(batched) == len(scalar)
+    for b, s in zip(batched, scalar):
+        if isinstance(s, ConvergenceError):
+            assert isinstance(b, ConvergenceError)
+            assert str(b) == str(s)
+            continue
+        assert isinstance(b, TransientResult)
+        assert b.times.tobytes() == s.times.tobytes()
+        assert b.xs.tobytes() == s.xs.tobytes()
+
+
+class TestLinearLanesBitIdentical:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=100.0, max_value=1e5),
+        st.floats(min_value=1e-9, max_value=1e-6),
+        st.floats(min_value=-5.0, max_value=5.0)),
+        min_size=2, max_size=6))
+    @settings(max_examples=10, deadline=None)
+    def test_random_rc_lanes(self, lanes):
+        """Same topology, random per-lane values: batched == scalar,
+        bit for bit."""
+        circuits = [rc_lane(*lane) for lane in lanes]
+        batched = transient_lanes(circuits, tstop=2e-4, dt=2e-6,
+                                  batch=True)
+        scalar = transient_lanes(circuits, tstop=2e-4, dt=2e-6,
+                                 batch=False)
+        assert_lanes_identical(batched, scalar)
+
+    def test_trap_method(self):
+        circuits = [rc_lane(1e3, 1e-7, a) for a in (1.0, -2.0, 0.5)]
+        batched = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                  method="trap", batch=True)
+        scalar = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                 method="trap", batch=False)
+        assert_lanes_identical(batched, scalar)
+
+
+class TestNonlinearLanesBitIdentical:
+    def test_inverter_model_variants(self):
+        """Mosfet lanes with per-lane model parameters (the reduced
+        corner sweep's shape) stay bit-identical through the sharp
+        switching transients."""
+        variants = [
+            inverter_lane(),
+            inverter_lane(nmos=NMOS.scaled(kp_scale=1.3,
+                                           vto_shift=-0.1)),
+            inverter_lane(pmos=PMOS.scaled(kp_scale=0.8,
+                                           vto_shift=0.1)),
+            inverter_lane(load=200e-15),
+        ]
+        batched = transient_lanes(variants, tstop=20e-9, dt=0.2e-9,
+                                  batch=True)
+        scalar = transient_lanes(variants, tstop=20e-9, dt=0.2e-9,
+                                 batch=False)
+        assert_lanes_identical(batched, scalar)
+
+    def test_comparator_corner_sweep(self):
+        """The engine's real workload: comparator testbenches over
+        corners x polarities, with regeneration fine windows."""
+        circuits = []
+        for process in reduced_corners()[:2]:
+            for offset in (0.1, -0.1):
+                tb = build_testbench(process=process, vin=2.5 + offset,
+                                     vref=2.5)
+                circuits.append(tb.circuit)
+        windows = regeneration_windows(CLOCK_PERIOD, 1)
+        batched = transient_lanes(circuits, tstop=CLOCK_PERIOD,
+                                  dt=1e-9, fine_windows=windows,
+                                  batch=True)
+        scalar = transient_lanes(circuits, tstop=CLOCK_PERIOD,
+                                 dt=1e-9, fine_windows=windows,
+                                 batch=False)
+        assert_lanes_identical(batched, scalar)
+
+
+class TestConvergenceMasking:
+    def test_stiff_lane_masks_independently(self):
+        """One lane orders of magnitude stiffer than the rest: its
+        Newton iterations converge later, and per-lane masking must
+        keep every lane identical to its scalar run."""
+        circuits = [rc_lane(1e3, 1e-7, 1.0),
+                    rc_lane(1e3, 1e-12, 1.0),  # tau 1e5 x smaller
+                    rc_lane(1e5, 1e-6, -3.0)]
+        batched = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                  batch=True)
+        scalar = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                 batch=False)
+        assert_lanes_identical(batched, scalar)
+
+    def test_failed_lane_falls_back_to_scalar(self, monkeypatch):
+        """A lane the kernel gives up on is re-run scalar, so the
+        batched output still equals the all-scalar output."""
+        real = batch_mod._solve_timepoint_batch
+
+        def sabotaged(program, system, X_prev, t, h, method,
+                      cap_currents, want):
+            X_next, solved = real(program, system, X_prev, t, h,
+                                  method, cap_currents, want)
+            solved = solved.copy()
+            solved[0] = False  # lane 0 never converges in the kernel
+            return X_next, solved
+
+        monkeypatch.setattr(batch_mod, "_solve_timepoint_batch",
+                            sabotaged)
+        circuits = [rc_lane(1e3, 1e-7, a) for a in (1.0, 2.0, -1.0)]
+        batched = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                  batch=True)
+        monkeypatch.undo()
+        scalar = transient_lanes(circuits, tstop=1e-4, dt=1e-6,
+                                 batch=False)
+        assert all(isinstance(b, TransientResult) for b in batched)
+        assert_lanes_identical(batched, scalar)
+
+
+class TestLaneGrouping:
+    def test_mixed_structures_keep_order(self):
+        """Lanes of different topologies group independently and come
+        back in submission order."""
+        circuits = [rc_lane(1e3, 1e-7, 1.0), inverter_lane(),
+                    rc_lane(2e3, 2e-7, -1.0), inverter_lane(load=1e-13),
+                    rc_lane(5e2, 1e-8, 2.0)]
+        batched = transient_lanes(circuits, tstop=5e-9, dt=0.5e-9,
+                                  batch=True)
+        scalar = transient_lanes(circuits, tstop=5e-9, dt=0.5e-9,
+                                 batch=False)
+        assert_lanes_identical(batched, scalar)
+
+    def test_structure_signature_values_irrelevant(self):
+        assert structure_signature(rc_lane(1e3, 1e-7, 1.0)) == \
+            structure_signature(rc_lane(9e4, 3e-8, -2.0))
+        assert structure_signature(rc_lane(1e3, 1e-7, 1.0)) != \
+            structure_signature(inverter_lane())
+
+    def test_batch_rejects_mixed_structures(self):
+        with pytest.raises(ValueError):
+            transient_batch([rc_lane(1e3, 1e-7, 1.0), inverter_lane()],
+                            tstop=1e-6, dt=1e-7)
+
+
+class TestOperatingPointLanes:
+    def test_dc_parity_with_scalar(self):
+        circuits = [inverter_lane(),
+                    inverter_lane(nmos=NMOS.scaled(kp_scale=1.2,
+                                                   vto_shift=-0.05)),
+                    inverter_lane(load=1e-13)]
+        lanes = operating_point_lanes(circuits, batch=True)
+        for c, lane in zip(circuits, lanes):
+            ref = operating_point(c)
+            assert lane.x.tobytes() == ref.x.tobytes()
+
+
+class TestProgramAssembly:
+    def test_program_matches_reference_stamping(self):
+        """The compiled contribution program reproduces the reference
+        element-by-element stamping bit for bit, dc and tran."""
+        circuits = []
+        for process in reduced_corners()[:2]:
+            tb = build_testbench(process=process, vin=2.6, vref=2.5)
+            circuits.append(tb.circuit)
+        compiled = circuits[0].compile()
+        nlanes, n = len(circuits), compiled.size
+        system_ref = BatchedMNASystem(compiled, nlanes)
+        system_prog = BatchedMNASystem(compiled, nlanes)
+        slots = _build_slots(circuits, system_ref)
+        rng = np.random.default_rng(7)
+        for tran in (False, True):
+            program = _BatchProgram(circuits, system_prog, tran=tran)
+            for _ in range(3):
+                X = rng.normal(scale=2.0, size=(nlanes, n))
+                if tran:
+                    cap_currents = {
+                        el.name: rng.normal(size=nlanes) * 1e-6
+                        for el, _ in slots
+                        if type(el) is Capacitor}
+                    ctx = StampContext(
+                        mode="tran", time=3.7e-8, dt=1e-9,
+                        x_prev=rng.normal(scale=2.0, size=(nlanes, n)),
+                        gmin=1e-12, method="trap",
+                        cap_currents=cap_currents)
+                else:
+                    ctx = StampContext(mode="dc", time=0.0, gmin=1e-4,
+                                       source_scale=0.6)
+                _assemble(system_ref, slots, X, ctx)
+                G_ref = system_ref.G.copy()
+                b_ref = system_ref.b.copy()
+                program.assemble(system_prog, X, ctx)
+                assert G_ref.tobytes() == system_prog.G.tobytes()
+                assert b_ref.tobytes() == system_prog.b.tobytes()
+
+    def test_unknown_element_unsupported(self):
+        class Weird(Resistor):
+            pass
+
+        c = Circuit("weird")
+        c.add(VoltageSource("V1", "a", "gnd", 1.0))
+        c.add(Weird("R1", "a", "gnd", 1e3))
+        compiled = c.compile()
+        system = BatchedMNASystem(compiled, 2)
+        with pytest.raises(BatchUnsupported):
+            _BatchProgram([c, c], system, tran=False)

@@ -108,3 +108,61 @@ class TestPathResultSave:
         # coverage recomputed from the loaded data matches
         assert global_breakdown([loaded["ladder"]["cat"]]) == \
             global_breakdown([original])
+
+
+class TestDictContract:
+    """The dataclasses own their serialisation; serialize.py only adds
+    the SerializeError contract on top."""
+
+    def test_record_methods_are_canonical(self):
+        rec = sample_record()
+        assert record_to_dict(rec) == rec.to_dict()
+        assert DetectionRecord.from_dict(rec.to_dict()) == rec
+
+    def test_macro_methods_are_canonical(self):
+        m = sample_macro()
+        assert macro_to_dict(m) == m.to_dict()
+        assert MacroResult.from_dict(m.to_dict()) == m
+
+    def test_path_config_roundtrip(self):
+        from repro.core import PathConfig
+        from repro.testgen import FULL_DFT
+        config = PathConfig(n_defects=1234, magnitude_defects=9999,
+                            seed=7, dft=FULL_DFT, include_noncat=False,
+                            max_classes=11, dynamic_test=True,
+                            dt=2e-9, big_probe=0.2, small_probe=4e-3)
+        assert PathConfig.from_dict(config.to_dict()) == config
+
+    def test_path_config_json_stable(self):
+        from repro.core import PathConfig
+        blob = json.dumps(PathConfig().to_dict(), sort_keys=True)
+        restored = PathConfig.from_dict(json.loads(blob))
+        assert restored == PathConfig()
+
+
+class TestPathResultRoundTrip:
+    def test_load_path_result(self, tmp_path):
+        from repro.core import (DefectOrientedTestPath, PathConfig,
+                                load_path_result)
+        config = PathConfig(n_defects=1500, max_classes=2,
+                            include_noncat=False)
+        result = DefectOrientedTestPath(config).run(macros=["ladder"])
+        path = tmp_path / "run.json"
+        save_path_result(result, path)
+        loaded = load_path_result(path)
+        assert loaded.config == config
+        assert loaded.macros["ladder"].result == \
+            result.macros["ladder"].result
+        assert loaded.macros["ladder"].noncat_result is None
+        # classes are not round-tripped (re-derivable from config)
+        assert loaded.macros["ladder"].classes == ()
+        assert loaded.global_coverage() == result.global_coverage()
+
+    def test_load_rejects_bad_payload(self, tmp_path):
+        from repro.core import load_path_result
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format_version": 1,
+                                   "metadata": {},
+                                   "macros": {"x": {"cat": {}}}}))
+        with pytest.raises(SerializeError):
+            load_path_result(bad)

@@ -21,7 +21,7 @@ class TestNearMissClasses:
         but the clock generator still sees the load."""
         near = FaultClass(representative=NearMissShortFault(
             nets=frozenset({"phi1", "phi2"})), count=3)
-        result = engine.simulate_class(near)
+        result = engine.simulate_class_signature(near)
         assert result.variant.startswith("near_miss")
         from repro.faultsim import CurrentMechanism
         assert CurrentMechanism.IDDQ in result.signature.mechanisms
@@ -29,7 +29,7 @@ class TestNearMissClasses:
     def test_near_miss_twin_bias_invisible(self, engine):
         near = FaultClass(representative=NearMissShortFault(
             nets=frozenset({"vbn1", "vbn2"})), count=3)
-        result = engine.simulate_class(near)
+        result = engine.simulate_class_signature(near)
         assert result.signature.voltage in (
             VoltageSignature.NONE, VoltageSignature.CLOCK_VALUE)
 
@@ -40,7 +40,7 @@ class TestWorstCaseSelection:
         must rank hardest to detect among them."""
         fc = FaultClass(representative=GateOxidePinholeFault(
             device="MS1"), count=1)
-        chosen = engine.simulate_class(fc)
+        chosen = engine.simulate_class_signature(fc)
         from repro.faultsim.models import fault_models
         variants = fault_models(fc.representative)
         ranks = []

@@ -32,24 +32,27 @@ class TestComparatorEngine:
         assert detected == set()
 
     def test_output_short_is_stuck(self, engine):
-        result = engine.simulate_class(short_class("lp", "ln"))
+        result = engine.simulate_class_signature(short_class("lp", "ln"))
         assert result.signature.voltage == \
             VoltageSignature.OUTPUT_STUCK_AT
 
     def test_clock_short_flags_iddq(self, engine):
-        result = engine.simulate_class(short_class("phi1", "phi2"))
+        result = engine.simulate_class_signature(
+            short_class("phi1", "phi2"))
         assert CurrentMechanism.IDDQ in result.signature.mechanisms
 
     def test_bias_bias_short_escapes(self, engine):
         """The paper's hard case: the two marginally different bias
         lines shorted together change almost nothing."""
-        result = engine.simulate_class(short_class("vbn1", "vbn2"))
+        result = engine.simulate_class_signature(
+            short_class("vbn1", "vbn2"))
         assert result.signature.voltage in (VoltageSignature.NONE,
                                             VoltageSignature.CLOCK_VALUE)
         assert CurrentMechanism.IVDD not in result.signature.mechanisms
 
     def test_vdd_gnd_short_current_detected(self, engine):
-        result = engine.simulate_class(short_class("vdd", "gnd"))
+        result = engine.simulate_class_signature(
+            short_class("vdd", "gnd"))
         assert CurrentMechanism.IVDD in result.signature.mechanisms
 
 

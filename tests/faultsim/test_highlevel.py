@@ -85,7 +85,7 @@ class TestAgainstRealEngine:
                   short("phi3", "vdd")]
         pairs = []
         for fault in trials:
-            res = engine.simulate_class(
+            res = engine.simulate_class_signature(
                 FaultClass(representative=fault, count=1))
             pairs.append((fault, res.signature))
         report = compare_to_circuit_level(pairs)

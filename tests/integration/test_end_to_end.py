@@ -67,7 +67,7 @@ class TestSignatureChain:
         fault = ShortFault(nets=frozenset({"phi1", "gnd"}),
                            layer="metal1", resistance=0.2)
         engine = ComparatorFaultEngine()
-        result = engine.simulate_class(
+        result = engine.simulate_class_signature(
             FaultClass(representative=fault, count=1))
         # a grounded sampling clock freezes the comparator
         assert result.signature.voltage == \
