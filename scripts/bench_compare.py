@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Compare two BENCH_*.json files and fail on performance regression.
+
+CI runs each benchmark on the PR branch and (when available) on the
+base branch, then diffs the machine-readable outputs with this script:
+
+    python scripts/bench_compare.py base/BENCH_kernel.json \\
+        pr/BENCH_kernel.json
+
+Every shared numeric metric is compared.  Keys ending in ``_wall`` or
+``_time`` are wall-clock measurements (lower is better); keys named or
+ending in ``speedup`` are ratios (higher is better).  Other numeric
+keys are informational and only reported.  A tracked metric that moves
+more than ``--threshold`` (default 20%) in the bad direction fails the
+comparison with exit code 1; missing files or metrics are reported but
+never fail, so the script is safe on first-run CI where no base
+snapshot exists yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: default tolerated relative regression before the script fails
+DEFAULT_THRESHOLD = 0.20
+
+
+def _is_wall(key: str) -> bool:
+    return key.endswith("_wall") or key.endswith("_time") or \
+        key == "wall"
+
+
+def _is_speedup(key: str) -> bool:
+    return key == "speedup" or key.endswith("_speedup")
+
+
+def _numeric_items(payload: dict, prefix: str = "") -> dict:
+    """Flatten nested dicts to dotted keys, numbers only (bools are
+    flags, not metrics)."""
+    items = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            items[name] = float(value)
+        elif isinstance(value, dict):
+            items.update(_numeric_items(value, prefix=f"{name}."))
+    return items
+
+
+def compare(base: dict, new: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Diff two benchmark payloads.
+
+    Returns a list of ``(metric, base, new, change, regressed)``
+    tuples for every tracked (direction-carrying) metric present in
+    both payloads.
+    """
+    base_items = _numeric_items(base)
+    new_items = _numeric_items(new)
+    rows = []
+    for key in sorted(set(base_items) & set(new_items)):
+        lower_better = _is_wall(key.rsplit(".", 1)[-1])
+        higher_better = _is_speedup(key.rsplit(".", 1)[-1])
+        if not (lower_better or higher_better):
+            continue
+        b, n = base_items[key], new_items[key]
+        if b <= 0:
+            continue
+        change = (n - b) / b
+        regressed = (change > threshold if lower_better
+                     else change < -threshold)
+        rows.append((key, b, n, change, regressed))
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base", type=Path,
+                        help="baseline BENCH_*.json (e.g. from the "
+                             "main branch)")
+    parser.add_argument("new", type=Path,
+                        help="candidate BENCH_*.json (from this PR)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated relative regression "
+                             "(default: %(default).2f)")
+    args = parser.parse_args()
+
+    if not args.base.is_file():
+        print(f"no baseline at {args.base}; nothing to compare "
+              f"(first run?)")
+        return 0
+    if not args.new.is_file():
+        print(f"no candidate at {args.new}; nothing to compare")
+        return 0
+    try:
+        base = json.loads(args.base.read_text())
+        new = json.loads(args.new.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable benchmark file: {exc}")
+        return 0
+
+    rows = compare(base, new, threshold=args.threshold)
+    if not rows:
+        print("no shared tracked metrics between the two files")
+        return 0
+
+    failed = False
+    for key, b, n, change, regressed in rows:
+        flag = "  REGRESSION" if regressed else ""
+        print(f"{key}: {b:.4g} -> {n:.4g} ({change:+.1%}){flag}")
+        failed = failed or regressed
+    if failed:
+        print(f"FAIL: regression beyond {args.threshold:.0%} "
+              f"threshold", file=sys.stderr)
+        return 1
+    print("ok: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .decoder import boundary_decode
+from .decoder import boundary_decode, boundary_decode_many
 from .ladder import N_TAPS, VREF_HIGH, VREF_LOW, nominal_tap_voltages
 
 
@@ -97,6 +97,17 @@ class DecoderBehavior:
             else:
                 code &= ~(1 << bit)
         return code
+
+    def decode_many(self, levels: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decode` over ``(n_samples, n_comparators)``
+        level rows."""
+        codes = boundary_decode_many(levels, self.n_bits)
+        for bit, value in self.stuck_bits.items():
+            if value:
+                codes = codes | (1 << bit)
+            else:
+                codes = codes & ~(1 << bit)
+        return codes
 
 
 @dataclass(frozen=True)

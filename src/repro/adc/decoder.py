@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..digital.netlist import LogicNetlist
 
 N_BITS_DEFAULT = 8
@@ -121,3 +123,23 @@ def boundary_decode(levels: Sequence[bool],
     if t[n_rows - 1]:
         code |= n_rows
     return code
+
+
+def boundary_decode_many(levels: np.ndarray,
+                         n_bits: int = N_BITS_DEFAULT) -> np.ndarray:
+    """Vectorised :func:`boundary_decode` over a batch of level rows.
+
+    *levels* is an ``(n_samples, n_comparators)`` boolean array; returns
+    the ``(n_samples,)`` integer codes, identical to running
+    :func:`boundary_decode` row by row.
+    """
+    n_rows = 2 ** n_bits - 1
+    t = np.asarray(levels, dtype=bool)
+    if t.ndim != 2 or t.shape[1] < n_rows:
+        raise ValueError(f"need at least {n_rows} comparator levels")
+    t = t[:, :n_rows]
+    # hot row k (1 <= k < n_rows) fires on the 1->0 boundary t[k-1]&~t[k]
+    hot = t[:, :-1] & ~t[:, 1:]
+    rows = np.arange(1, n_rows, dtype=np.int64)
+    codes = np.bitwise_or.reduce(np.where(hot, rows, 0), axis=1)
+    return codes | np.where(t[:, -1], np.int64(n_rows), np.int64(0))

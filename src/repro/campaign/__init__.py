@@ -25,24 +25,27 @@ from .events import (CampaignEvent, CampaignFinished, CampaignMetrics,
                      EventBus, MacroPlanned, MetricsCollector)
 from .journal import CampaignJournal, JournalEntry
 from .plan import (ALL_MACROS, MacroPlan, discover_classes,
-                   ivdd_halfwidth, plan_macro, validate_macros)
+                   ivdd_halfwidth, likelihood_order, plan_macro,
+                   validate_macros)
 from .runner import (CampaignOptions, CampaignResult, CampaignRunner,
                      DEFAULT_CACHE_DIR)
-from .store import (STORE_VERSION, ResultsStore, canonical,
-                    content_key)
+from .store import (STORE_VERSION, ResultsStore, baseline_key,
+                    canonical, content_key)
 from .tasks import (ANALOG_MACROS, ClassTask, EngineSpec, TaskOutcome,
-                    build_engine, clear_engine_cache, degraded_record,
-                    get_engine, run_task, simulate_class)
+                    adopt_baselines, build_engine, clear_engine_cache,
+                    degraded_record, get_engine, run_task,
+                    simulate_class)
 
 __all__ = [
     "CampaignEvent", "CampaignFinished", "CampaignMetrics",
     "CampaignStarted", "ClassCompleted", "ConsoleReporter", "EventBus",
     "MacroPlanned", "MetricsCollector", "CampaignJournal",
     "JournalEntry", "ALL_MACROS", "MacroPlan", "discover_classes",
-    "ivdd_halfwidth", "plan_macro", "validate_macros",
-    "CampaignOptions", "CampaignResult", "CampaignRunner",
-    "DEFAULT_CACHE_DIR", "STORE_VERSION", "ResultsStore", "canonical",
-    "content_key", "ANALOG_MACROS", "ClassTask", "EngineSpec",
-    "TaskOutcome", "build_engine", "clear_engine_cache",
+    "ivdd_halfwidth", "likelihood_order", "plan_macro",
+    "validate_macros", "CampaignOptions", "CampaignResult",
+    "CampaignRunner", "DEFAULT_CACHE_DIR", "STORE_VERSION",
+    "ResultsStore", "baseline_key", "canonical", "content_key",
+    "ANALOG_MACROS", "ClassTask", "EngineSpec", "TaskOutcome",
+    "adopt_baselines", "build_engine", "clear_engine_cache",
     "degraded_record", "get_engine", "run_task", "simulate_class",
 ]

@@ -35,12 +35,15 @@ class CampaignStarted(CampaignEvent):
         total_tasks: fault-class simulations the campaign owns.
         jobs: worker processes (1 = in-process serial).
         resumed: journal entries adopted from a previous run.
+        total_weight: summed fault-class magnitudes (defect
+            likelihood) across the plan; 0 when not tracked.
     """
 
     macros: Tuple[str, ...]
     total_tasks: int
     jobs: int
     resumed: int = 0
+    total_weight: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,8 @@ class ClassCompleted(CampaignEvent):
         retried: the class was retried before succeeding or degrading.
         done: campaign-wide completion count including this event.
         total: campaign-wide task count.
+        weight: the class's magnitude (defect likelihood); 0 when not
+            tracked.
     """
 
     macro: str
@@ -80,6 +85,7 @@ class ClassCompleted(CampaignEvent):
     retried: bool = False
     done: int = 0
     total: int = 0
+    weight: int = 0
 
 
 @dataclass(frozen=True)
@@ -124,7 +130,15 @@ class CampaignMetrics:
         simulated_time: summed per-class wall time of computed classes.
         macro_wall: summed computed wall time per macro.
         eta: estimated remaining seconds (None before any computed
-            class or when nothing remains).
+            class or when nothing remains).  Weighted by class
+            magnitude when the runner tracks weights — with the
+            likelihood-ordered schedule the heavy classes land first,
+            so a task-count ETA would be badly pessimistic late in the
+            run.
+        total_weight: summed fault-class magnitudes across the plan.
+        weight_done: magnitude already completed (any source).
+        baseline_hits: macro baselines served from the store.
+        baseline_misses: macro baselines recomputed this run.
     """
 
     total_tasks: int = 0
@@ -139,6 +153,10 @@ class CampaignMetrics:
     simulated_time: float = 0.0
     macro_wall: Dict[str, float] = field(default_factory=dict)
     eta: Optional[float] = None
+    total_weight: int = 0
+    weight_done: int = 0
+    baseline_hits: int = 0
+    baseline_misses: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -146,6 +164,13 @@ class CampaignMetrics:
         if self.completed == 0:
             return 0.0
         return (self.cache_hits + self.journal_hits) / self.completed
+
+    @property
+    def weight_fraction(self) -> float:
+        """Completed fraction of the weighted fault population."""
+        if self.total_weight <= 0:
+            return 0.0
+        return self.weight_done / self.total_weight
 
     def as_dict(self) -> Dict:
         return {
@@ -161,6 +186,11 @@ class CampaignMetrics:
             "wall_time": self.wall_time,
             "simulated_time": self.simulated_time,
             "macro_wall": dict(self.macro_wall),
+            "total_weight": self.total_weight,
+            "weight_done": self.weight_done,
+            "weight_fraction": self.weight_fraction,
+            "baseline_hits": self.baseline_hits,
+            "baseline_misses": self.baseline_misses,
         }
 
 
@@ -182,16 +212,23 @@ class MetricsCollector:
         self._convergence_failures = 0
         self._simulated = 0.0
         self._macro_wall: Dict[str, float] = {}
+        self._total_weight = 0
+        self._weight_done = 0
+        self._weight_computed = 0
+        self._baseline_hits = 0
+        self._baseline_misses = 0
 
     def __call__(self, event: CampaignEvent) -> None:
         with self._lock:
             if isinstance(event, CampaignStarted):
                 self._started = self._clock()
                 self._total = event.total_tasks
+                self._total_weight = event.total_weight
             elif isinstance(event, ClassCompleted):
                 self._completed += 1
                 self._degraded += event.degraded
                 self._retries += event.retried
+                self._weight_done += event.weight
                 if event.source == "cache":
                     self._cache_hits += 1
                 elif event.source == "journal":
@@ -199,6 +236,7 @@ class MetricsCollector:
                 else:
                     self._computed += 1
                     self._simulated += event.wall
+                    self._weight_computed += event.weight
                     self._macro_wall[event.macro] = \
                         self._macro_wall.get(event.macro, 0.0) + \
                         event.wall
@@ -207,15 +245,32 @@ class MetricsCollector:
         with self._lock:
             self._convergence_failures += max(0, n)
 
+    def add_baseline_counts(self, hits: int, misses: int) -> None:
+        """Record the store's baseline-cache accounting."""
+        with self._lock:
+            self._baseline_hits += max(0, hits)
+            self._baseline_misses += max(0, misses)
+
     def snapshot(self, jobs: int = 1) -> CampaignMetrics:
-        """Current metrics with wall time and ETA filled in."""
+        """Current metrics with wall time and ETA filled in.
+
+        ETA scales remaining *weight* by the observed
+        seconds-per-unit-weight when weights are tracked (the
+        likelihood-ordered schedule front-loads heavy classes, so a
+        task-count ETA would overshoot late in the run); it falls back
+        to seconds-per-class otherwise.
+        """
         with self._lock:
             wall = 0.0
             if self._started is not None:
                 wall = self._clock() - self._started
             eta: Optional[float] = None
             remaining = self._total - self._completed
-            if self._computed > 0 and remaining > 0:
+            remaining_w = self._total_weight - self._weight_done
+            if self._weight_computed > 0 and remaining_w > 0:
+                per_unit = self._simulated / self._weight_computed
+                eta = remaining_w * per_unit / max(1, jobs)
+            elif self._computed > 0 and remaining > 0:
                 per_class = self._simulated / self._computed
                 eta = remaining * per_class / max(1, jobs)
             return CampaignMetrics(
@@ -225,7 +280,11 @@ class MetricsCollector:
                 degraded=self._degraded, retries=self._retries,
                 convergence_failures=self._convergence_failures,
                 wall_time=wall, simulated_time=self._simulated,
-                macro_wall=dict(self._macro_wall), eta=eta)
+                macro_wall=dict(self._macro_wall), eta=eta,
+                total_weight=self._total_weight,
+                weight_done=self._weight_done,
+                baseline_hits=self._baseline_hits,
+                baseline_misses=self._baseline_misses)
 
 
 class ConsoleReporter:
@@ -268,8 +327,11 @@ class ConsoleReporter:
             suffix = ""
             if self._collector is not None:
                 m = self._collector.snapshot(jobs=self._jobs)
+                if m.total_weight > 0:
+                    suffix = (f", {100.0 * m.weight_fraction:.0f}% "
+                              f"weighted")
                 if m.eta is not None:
-                    suffix = f", eta {m.eta:.0f}s"
+                    suffix += f", eta {m.eta:.0f}s"
                 if m.cache_hits or m.journal_hits:
                     suffix += (f", {m.cache_hits + m.journal_hits} "
                                f"cached")
@@ -280,9 +342,14 @@ class ConsoleReporter:
                 f"{flag}")
         elif isinstance(event, CampaignFinished):
             m = event.metrics
+            baselines = ""
+            if m.baseline_hits or m.baseline_misses:
+                baselines = (f", baselines {m.baseline_hits} reused/"
+                             f"{m.baseline_misses} computed")
             self._write(
                 f"campaign done: {m.completed}/{m.total_tasks} classes "
                 f"in {m.wall_time:.0f}s ({m.computed} computed, "
                 f"{m.cache_hits} cache hits, {m.journal_hits} from "
                 f"journal, {m.degraded} degraded, "
-                f"{m.convergence_failures} convergence failures)")
+                f"{m.convergence_failures} convergence failures"
+                f"{baselines})")

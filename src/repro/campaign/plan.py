@@ -84,7 +84,8 @@ def comparator_spec(config: PathConfig) -> EngineSpec:
                       dynamic_test=config.dynamic_test,
                       dt=config.dt, big_probe=config.big_probe,
                       small_probe=config.small_probe,
-                      corners=config.corners)
+                      corners=config.corners,
+                      warm_start=config.warm_start, drop=config.drop)
 
 
 def ivdd_halfwidth(config: PathConfig) -> float:
@@ -118,18 +119,24 @@ def plan_macro(name: str, config: PathConfig) -> MacroPlan:
         instances = 256 // SEGMENTS_PER_COARSE
         spec = EngineSpec(macro="ladder", process=config.process,
                           ivdd_window_halfwidth=ivdd_halfwidth(config),
-                          corners=config.corners)
+                          corners=config.corners,
+                          warm_start=config.warm_start,
+                          drop=config.drop)
     elif name == "clockgen":
         cell = clockgen_layout()
         instances = 1
         spec = EngineSpec(macro="clockgen", process=config.process,
-                          dt=config.dt)
+                          dt=config.dt,
+                          warm_start=config.warm_start,
+                          drop=config.drop)
     elif name == "biasgen":
         cell = biasgen_layout(dft=config.dft.bias_line_reorder)
         instances = 1
         spec = EngineSpec(macro="biasgen", process=config.process,
                           dt=config.dt,
-                          ivdd_window_halfwidth=ivdd_halfwidth(config))
+                          ivdd_window_halfwidth=ivdd_halfwidth(config),
+                          warm_start=config.warm_start,
+                          drop=config.drop)
     else:
         raise ValueError(f"unknown analog macro {name!r}")
     classes = tuple(discover_classes(cell, config))
@@ -139,6 +146,20 @@ def plan_macro(name: str, config: PathConfig) -> MacroPlan:
                      classes=classes,
                      noncat_classes=_noncat(classes, config),
                      spec=spec)
+
+
+def likelihood_order(tasks: Sequence) -> List:
+    """Dispatch order: most-likely (largest) fault classes first.
+
+    A class's ``count`` is its within-macro fault magnitude — the
+    paper's defect-likelihood weight — so simulating heavy classes
+    first makes the weighted-coverage figure converge early and the
+    weighted ETA meaningful.  Ties keep the deterministic task-id
+    order; results are assembled by task id, so dispatch order never
+    changes campaign output.
+    """
+    return sorted(tasks,
+                  key=lambda t: (-t.fault_class.count, t.task_id))
 
 
 def validate_macros(macros: Optional[Sequence[str]]) -> List[str]:

@@ -5,12 +5,16 @@
 
 1. planning (serial): class discovery per macro
    (:mod:`repro.campaign.plan`);
-2. resolving: already-finished classes are adopted from the resume
+2. baselining: each macro's fault-free circuit is computed once (or
+   loaded from the store's baseline cache) and shared with every
+   worker, so no fault class ever pays for a good-circuit simulation;
+3. resolving: already-finished classes are adopted from the resume
    journal, then from the content-addressed results store;
-3. dispatching: everything left fans out over a
+4. dispatching: everything left — ordered most-likely class first, so
+   weighted coverage converges early — fans out over a
    ``concurrent.futures.ProcessPoolExecutor`` (``jobs=1`` runs
    in-process, same code path, no pool overhead);
-4. recording: every completion is journaled (crash safety), stored
+5. recording: every completion is journaled (crash safety), stored
    (re-run economy) and emitted as an event (live metrics).
 
 Failure contract: a class whose simulation raises — including worker
@@ -39,9 +43,12 @@ from ..macrotest.coverage import DetectionRecord, MacroResult
 from .events import (CampaignFinished, CampaignStarted, ClassCompleted,
                      EventBus, MacroPlanned, MetricsCollector)
 from .journal import CampaignJournal, JournalEntry
-from .plan import ANALOG_MACROS, MacroPlan, plan_macro, validate_macros
-from .store import STORE_VERSION, ResultsStore, content_key
-from .tasks import (ClassTask, TaskOutcome, degraded_record, run_task)
+from .plan import (ANALOG_MACROS, MacroPlan, comparator_spec,
+                   likelihood_order, plan_macro, validate_macros)
+from .store import (STORE_VERSION, ResultsStore, baseline_key,
+                    content_key)
+from .tasks import (ClassTask, TaskOutcome, adopt_baselines,
+                    degraded_record, get_engine, run_task)
 
 #: default on-disk location for store + journal when resuming without
 #: an explicit --cache-dir
@@ -150,6 +157,69 @@ class CampaignRunner:
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    # -- baselines ---------------------------------------------------------
+
+    def _preload_comparator_baseline(
+            self, store: Optional[ResultsStore]) -> Dict[str, Dict]:
+        """Adopt a stored comparator baseline before planning runs.
+
+        Planning derives the chip IVdd window from the comparator good
+        space, so a cache hit here saves that corner sweep too.  With
+        ``--cold-start`` (``config.warm_start`` False) nothing is
+        reused and every good circuit is re-simulated.
+        """
+        if store is None or not self.config.warm_start:
+            return {}
+        spec = comparator_spec(self.config)
+        payload = store.get_blob(
+            baseline_key(spec, version=self.options.store_version))
+        if payload is None:
+            # undo the miss: _resolve_baselines will compute and
+            # account for it once the plan exists
+            store.baseline_misses -= 1
+            return {}
+        # registry keys use the default-version digest — what
+        # get_engine computes when it looks a spec's baseline up
+        baselines = {baseline_key(spec): payload}
+        adopt_baselines(baselines)
+        return baselines
+
+    def _resolve_baselines(self, plans: Sequence[MacroPlan],
+                           store: Optional[ResultsStore],
+                           found: Dict[str, Dict]) -> Dict[str, Dict]:
+        """Load-or-compute every planned macro's good-circuit baseline.
+
+        Computed baselines are persisted as store blobs (keyed by the
+        normalised spec) so ``--resume`` and repeat campaigns start
+        warm; all of them are adopted into this process's engine
+        registry and later shipped to pool workers.  Disabled by
+        ``--cold-start``.
+        """
+        if not self.config.warm_start:
+            return {}
+        baselines = dict(found)
+        computed = 0
+        for plan in plans:
+            reg_key = baseline_key(plan.spec)
+            if reg_key in baselines:
+                continue
+            key = baseline_key(plan.spec,
+                               version=self.options.store_version)
+            payload = store.get_blob(key) if store is not None else None
+            if payload is None:
+                payload = get_engine(plan.spec).export_baseline() \
+                    .to_dict()
+                computed += 1
+                if store is not None:
+                    store.put_blob(key, payload)
+            baselines[reg_key] = payload
+        hits = store.baseline_hits if store is not None else 0
+        misses = (store.baseline_misses if store is not None
+                  else computed)
+        self.collector.add_baseline_counts(hits, misses)
+        adopt_baselines(baselines)
+        return baselines
+
     # -- execution ---------------------------------------------------------
 
     def run(self, macros: Optional[Sequence[str]] = None
@@ -158,15 +228,27 @@ class CampaignRunner:
         jobs = self.options.resolved_jobs()
         cache_dir = self.options.resolved_cache_dir()
 
-        plans = self._plan(wanted)
-        tasks = self._tasks(plans)
-        fingerprint = self.fingerprint(tasks)
-
         store: Optional[ResultsStore] = None
-        journal: Optional[CampaignJournal] = None
         if cache_dir is not None:
             store = ResultsStore(cache_dir,
                                  version=self.options.store_version)
+
+        # a stored comparator baseline saves the good-space sweep that
+        # planning itself triggers (the ladder / biasgen IVdd window is
+        # derived from it), so it is adopted before planning starts
+        baselines = self._preload_comparator_baseline(store)
+
+        plans = self._plan(wanted)
+        # in-process serial runs without a store gain nothing from the
+        # baseline stage (the engine cache already computes each good
+        # circuit once), so only pools and stored campaigns pay for it
+        if store is not None or jobs > 1:
+            baselines = self._resolve_baselines(plans, store, baselines)
+        tasks = self._tasks(plans)
+        fingerprint = self.fingerprint(tasks)
+
+        journal: Optional[CampaignJournal] = None
+        if cache_dir is not None:
             # one journal per campaign identity: concurrent or
             # back-to-back campaigns with different configs sharing a
             # cache dir never clobber each other's checkpoints
@@ -192,7 +274,8 @@ class CampaignRunner:
         self.bus.emit(CampaignStarted(
             macros=tuple(p.name for p in plans) +
             (("decoder",) if "decoder" in wanted else ()),
-            total_tasks=len(tasks), jobs=jobs, resumed=len(adopted)))
+            total_tasks=len(tasks), jobs=jobs, resumed=len(adopted),
+            total_weight=sum(t.fault_class.count for t in tasks)))
 
         done = 0
         total = len(tasks)
@@ -219,7 +302,8 @@ class CampaignRunner:
             self.bus.emit(ClassCompleted(
                 macro=task.macro, kind=task.kind, index=task.index,
                 source=source, wall=wall, degraded=is_degraded,
-                error=error, retried=retried, done=done, total=total))
+                error=error, retried=retried, done=done, total=total,
+                weight=task.fault_class.count))
 
         # 2. resolve journal + store before dispatching
         to_run: List[_Pending] = []
@@ -239,13 +323,16 @@ class CampaignRunner:
                     continue
             to_run.append(_Pending(task=task))
 
-        # 3. dispatch
+        # 3. dispatch, most-likely class first (results are assembled
+        # by task id, so ordering never changes the output)
+        to_run = [_Pending(task=t) for t in
+                  likelihood_order([p.task for p in to_run])]
         try:
             if to_run:
                 if jobs == 1:
                     self._run_serial(to_run, complete)
                 else:
-                    self._run_pool(to_run, complete, jobs)
+                    self._run_pool(to_run, complete, jobs, baselines)
             # 4. decoder runs whole in the parent (one logic pass)
             analyses = self._assemble(wanted, plans, results)
         finally:
@@ -287,8 +374,14 @@ class CampaignRunner:
                     break
 
     def _run_pool(self, to_run: List[_Pending], complete,
-                  jobs: int) -> None:
+                  jobs: int,
+                  baselines: Optional[Dict[str, Dict]] = None) -> None:
         """Fan out over a process pool, surviving worker death.
+
+        Every worker is initialised with the campaign's macro
+        baselines, so engines built in workers adopt the fault-free
+        results instead of re-simulating them (works under spawn as
+        well as fork).
 
         A ``BrokenProcessPool`` (a worker was OOM-killed or segfaulted)
         charges an attempt to every in-flight task and restarts the
@@ -297,7 +390,9 @@ class CampaignRunner:
         remaining = {p.task.task_id: p for p in to_run}
         pool_restarts = 0
         while remaining:
-            executor = ProcessPoolExecutor(max_workers=jobs)
+            executor = ProcessPoolExecutor(
+                max_workers=jobs, initializer=adopt_baselines,
+                initargs=(baselines or {},))
             futures: Dict[Future, _Pending] = {
                 executor.submit(run_task, p.task): p
                 for p in remaining.values()}

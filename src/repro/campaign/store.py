@@ -33,8 +33,9 @@ from ..macrotest.coverage import DetectionRecord
 from .tasks import EngineSpec
 
 #: bump when a change to the simulation code invalidates old results
-#: ("2": batched transient kernel + EngineSpec dt/probe/corner knobs)
-STORE_VERSION = "2"
+#: ("2": batched transient kernel + EngineSpec dt/probe/corner knobs;
+#: "3": incremental engine — baselines, detected_by on records)
+STORE_VERSION = "3"
 
 
 def canonical(obj) -> object:
@@ -66,13 +67,40 @@ def canonical(obj) -> object:
     raise TypeError(f"cannot canonicalise {type(obj).__name__}")
 
 
+def _normalized_spec(spec: EngineSpec) -> EngineSpec:
+    """Spec with the result-invariant performance knobs stripped.
+
+    ``warm_start`` and ``drop`` change how fast a record is computed,
+    never what it says, so campaigns run with different settings share
+    cache entries (and an incremental run can adopt an exhaustive
+    run's results verbatim).
+    """
+    return dataclasses.replace(spec, warm_start=True, drop=True)
+
+
 def content_key(fault_class: FaultClass, spec: EngineSpec,
                 version: str = STORE_VERSION) -> str:
     """SHA-256 digest identifying one class simulation's inputs."""
     payload = {
         "store_version": version,
-        "spec": canonical(spec),
+        "spec": canonical(_normalized_spec(spec)),
         "fault": canonical(fault_class.representative),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def baseline_key(spec: EngineSpec, version: str = STORE_VERSION) -> str:
+    """SHA-256 digest identifying a macro's good-circuit baseline.
+
+    Keyed by the normalised spec alone — every fault class of a macro
+    shares one fault-free circuit — so ``--resume`` and repeat runs
+    reuse the baseline exactly when they would reuse records.
+    """
+    payload = {
+        "store_version": version,
+        "kind": "baseline",
+        "spec": canonical(_normalized_spec(spec)),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -110,6 +138,8 @@ class ResultsStore:
         self.version = version
         self.hits = 0
         self.misses = 0
+        self.baseline_hits = 0
+        self.baseline_misses = 0
 
     def key(self, fault_class: FaultClass, spec: EngineSpec) -> str:
         return content_key(fault_class, spec, version=self.version)
@@ -147,6 +177,33 @@ class ResultsStore:
             "meta": meta or {},
         }
         _atomic_write_text(self._path(key),
+                           json.dumps(payload, sort_keys=True))
+
+    # -- baseline blobs -----------------------------------------------------
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / "baselines" / f"{key}.json"
+
+    def get_blob(self, key: str) -> Optional[Dict]:
+        """Load an opaque JSON blob (a macro baseline) by key.
+
+        Returns None (a miss) for absent, torn or non-dict objects —
+        a corrupt baseline costs a recompute, never a crash.
+        """
+        try:
+            payload = json.loads(self._blob_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            self.baseline_misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.baseline_misses += 1
+            return None
+        self.baseline_hits += 1
+        return payload
+
+    def put_blob(self, key: str, payload: Dict) -> None:
+        """Atomically persist an opaque JSON blob under a key."""
+        _atomic_write_text(self._blob_path(key),
                            json.dumps(payload, sort_keys=True))
 
     def __len__(self) -> int:

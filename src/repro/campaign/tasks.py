@@ -56,6 +56,12 @@ class EngineSpec:
         big_probe: comparator above/below input offset (volts).
         small_probe: comparator offset-detection probe (volts).
         corners: good-space corner set (None: the reduced corners).
+        warm_start: seed faulty Newton solves from the good-circuit
+            baseline (results identical; performance knob only —
+            excluded from content keys).
+        drop: stop a class's stimulus schedule once its signature has
+            left the good space (results identical; performance knob
+            only — excluded from content keys).
     """
 
     macro: str
@@ -67,6 +73,8 @@ class EngineSpec:
     big_probe: float = 0.1
     small_probe: float = 8e-3
     corners: Optional[Tuple[Process, ...]] = None
+    warm_start: bool = True
+    drop: bool = True
 
 
 def build_engine(spec: EngineSpec):
@@ -80,19 +88,24 @@ def build_engine(spec: EngineSpec):
             dft=spec.dft_flipflop, process=spec.process,
             dynamic_test=spec.dynamic_test, dt=spec.dt,
             big_probe=spec.big_probe, small_probe=spec.small_probe,
-            corners=spec.corners))
+            corners=spec.corners, warm_start=spec.warm_start,
+            drop=spec.drop))
     if spec.macro == "ladder":
         return LadderFaultEngine(
             process=spec.process,
             corners=list(spec.corners) if spec.corners else
             _default_corners(),
-            ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
+            ivdd_window_halfwidth=spec.ivdd_window_halfwidth,
+            warm_start=spec.warm_start, drop=spec.drop)
     if spec.macro == "clockgen":
-        return ClockgenFaultEngine(process=spec.process, dt=spec.dt)
+        return ClockgenFaultEngine(process=spec.process, dt=spec.dt,
+                                   warm_start=spec.warm_start,
+                                   drop=spec.drop)
     if spec.macro == "biasgen":
         return BiasgenFaultEngine(
             process=spec.process, dt=spec.dt,
-            ivdd_window_halfwidth=spec.ivdd_window_halfwidth)
+            ivdd_window_halfwidth=spec.ivdd_window_halfwidth,
+            warm_start=spec.warm_start, drop=spec.drop)
     raise ValueError(f"no engine for macro {spec.macro!r}")
 
 
@@ -104,20 +117,59 @@ def _default_corners():
 #: per-process engine cache — workers compile each good space once
 _ENGINES: Dict[EngineSpec, object] = {}
 
+#: per-process good-circuit baselines, baseline key (the store's
+#: normalised-spec digest) -> payload dict.  Keyed by the full spec
+#: digest, not the macro name, so a baseline can only ever reach an
+#: engine whose spec it was computed for — a DfT comparator never
+#: adopts the standard comparator's good space.  Installed by
+#: :func:`adopt_baselines` (the runner's pool initializer ships them
+#: to every worker); engines built afterwards adopt them instead of
+#: re-simulating the fault-free circuit.
+_BASELINES: Dict[str, Dict] = {}
+
+
+def _baseline_for(spec: EngineSpec):
+    if not _BASELINES:
+        return None
+    from .store import baseline_key
+    return _BASELINES.get(baseline_key(spec))
+
+
+def adopt_baselines(payloads: Dict[str, Dict]) -> None:
+    """Install spec-keyed baselines for this process's future engines.
+
+    Picklable (plain dicts), so it doubles as a
+    ``ProcessPoolExecutor`` initializer argument.  Engines already in
+    the cache are updated in place when they support adoption.
+    """
+    _BASELINES.update(payloads or {})
+    for spec, engine in _ENGINES.items():
+        payload = _baseline_for(spec)
+        if payload is not None and hasattr(engine, "adopt_baseline"):
+            engine.adopt_baseline(payload)
+
 
 def get_engine(spec: EngineSpec):
-    """Engine for a spec, cached per process."""
+    """Engine for a spec, cached per process.
+
+    A freshly built engine adopts the process's baseline for its spec
+    (when one was installed), skipping the good-circuit simulation.
+    """
     engine = _ENGINES.get(spec)
     if engine is None:
         engine = build_engine(spec)
+        payload = _baseline_for(spec)
+        if payload is not None and hasattr(engine, "adopt_baseline"):
+            engine.adopt_baseline(payload)
         _ENGINES[spec] = engine
     return engine
 
 
 def clear_engine_cache() -> None:
-    """Drop cached engines and kernel buffers (tests / memory
-    pressure)."""
+    """Drop cached engines, baselines and kernel buffers (tests /
+    memory pressure)."""
     _ENGINES.clear()
+    _BASELINES.clear()
     clear_kernel_cache()
 
 

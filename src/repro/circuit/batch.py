@@ -879,18 +879,22 @@ def _newton_batch(program: _BatchProgram, system: BatchedMNASystem,
 
 
 def _solve_timepoint_batch(program, system, X_prev, t, h, method,
-                           cap_currents, want: np.ndarray):
+                           cap_currents, want: np.ndarray,
+                           X_seed: Optional[np.ndarray] = None):
     """Batched twin of ``transient._solve_timepoint``.
 
-    Returns ``(X_next, solved)``; unsolved lanes keep their previous
-    iterate in ``X_next``.
+    ``X_seed`` optionally replaces ``X_prev`` as the first stage's
+    Newton start (warm-start guides); the retry stage always restarts
+    from ``X_prev``.  Returns ``(X_next, solved)``; unsolved lanes keep
+    their previous iterate in ``X_next``.
     """
     gmin0, iters0, damp0 = TIMEPOINT_STAGES[0]
     ctx = StampContext(mode="tran", time=t + h, dt=h, x_prev=X_prev,
                        gmin=gmin0, method=method,
                        cap_currents=cap_currents)
-    X1, conv1, fail1 = _newton_batch(program, system, ctx, X_prev, want,
-                                     max_iter=iters0, damping=damp0)
+    X1, conv1, fail1 = _newton_batch(program, system, ctx,
+                                     X_prev if X_seed is None else X_seed,
+                                     want, max_iter=iters0, damping=damp0)
     X_next = X_prev.copy()
     X_next[conv1] = X1[conv1]
     solved = conv1
@@ -911,11 +915,17 @@ def _solve_timepoint_batch(program, system, X_prev, t, h, method,
 
 def _operating_point_batch(program: _BatchProgram, system: BatchedMNASystem,
                            circuits: Sequence[Circuit], gmin: float = 1e-12,
-                           time: float = 0.0, max_iter: int = 120):
+                           time: float = 0.0, max_iter: int = 120,
+                           X0: Optional[np.ndarray] = None):
     """Per-lane replication of ``dc.operating_point``'s continuation
     ladder: plain Newton, then gmin stepping, then source stepping with a
     relaxed gmin ladder at each step (keeping the *last* gmin that
     converges, as the scalar code does).
+
+    ``X0`` optionally warm-starts the plain-Newton stage (mirroring the
+    scalar ``operating_point(x0=...)``); the gmin and source ladders
+    always restart cold from zeros, so a bad guess costs nothing but
+    the first stage.
 
     Returns ``(X, errors)`` where ``errors[k]`` is the
     :class:`ConvergenceError` lane *k* would have raised, or None.
@@ -927,7 +937,9 @@ def _operating_point_batch(program: _BatchProgram, system: BatchedMNASystem,
 
     ctx = StampContext(mode="dc", time=time, gmin=gmin)
     X1, conv1, fail1 = _newton_batch(program, system, ctx,
-                                     np.zeros((nlanes, nsize)),
+                                     np.zeros((nlanes, nsize))
+                                     if X0 is None
+                                     else np.array(X0, dtype=float),
                                      np.ones(nlanes, dtype=bool),
                                      max_iter=max_iter)
     X_out[conv1] = X1[conv1]
@@ -935,8 +947,10 @@ def _operating_point_batch(program: _BatchProgram, system: BatchedMNASystem,
         return X_out, errors
 
     # gmin stepping; a lane drops to source stepping at its first
-    # failed rung, exactly like the scalar ladder's break
-    Xc = np.zeros((nlanes, nsize))
+    # failed rung, exactly like the scalar ladder's break (which also
+    # starts from the caller's guess when one is given)
+    Xc = np.zeros((nlanes, nsize)) if X0 is None \
+        else np.array(X0, dtype=float)
     trying = fail1.copy()
     for g in GMIN_LADDER + (gmin,):
         if not trying.any():
@@ -979,7 +993,8 @@ def _operating_point_batch(program: _BatchProgram, system: BatchedMNASystem,
 
 def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
                           time: float = 0.0, max_iter: int = 120,
-                          batch: bool = True
+                          batch: bool = True,
+                          x0_guesses: Optional[Sequence] = None
                           ) -> List[Union[DCResult, ConvergenceError]]:
     """DC operating points for arbitrary lanes, batched where possible.
 
@@ -991,15 +1006,24 @@ def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
     re-run scalar — results per lane are bit-identical to an all-scalar
     sweep.  Failed lanes yield the :class:`ConvergenceError` the scalar
     call raises instead of a :class:`~repro.circuit.dc.DCResult`.
+
+    Args:
+        x0_guesses: optional per-lane warm Newton guesses (None entries
+            start cold); threaded to both the batched ladder and any
+            scalar fallback so the two paths see the same inputs.
     """
-    def scalar(c: Circuit):
+    circuits = list(circuits)
+    if x0_guesses is None:
+        x0_guesses = [None] * len(circuits)
+
+    def scalar(k: int):
         try:
-            return operating_point(c, gmin=gmin, time=time,
+            return operating_point(circuits[k], x0=x0_guesses[k],
+                                   gmin=gmin, time=time,
                                    max_iter=max_iter)
         except ConvergenceError as exc:
             return exc
 
-    circuits = list(circuits)
     results: List[Optional[Union[DCResult, ConvergenceError]]] = \
         [None] * len(circuits)
     groups: Dict[tuple, List[int]] = {}
@@ -1014,10 +1038,12 @@ def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
                 compiled = lane_circuits[0].compile()
                 system = _get_system(compiled, len(members))
                 program = _BatchProgram(lane_circuits, system, tran=False)
+                X0 = _stack_guesses([x0_guesses[k] for k in members],
+                                    compiled.size)
                 with np.errstate(all="ignore"):
                     X, errors = _operating_point_batch(
                         program, system, lane_circuits, gmin=gmin,
-                        time=time, max_iter=max_iter)
+                        time=time, max_iter=max_iter, X0=X0)
             except BatchUnsupported:
                 pass
             else:
@@ -1027,11 +1053,26 @@ def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
                         results[k] = DCResult(x=X[i], compiled=compiled)
                     else:
                         # scalar retry keeps the all-scalar contract
-                        results[k] = scalar(circuits[k])
+                        results[k] = scalar(k)
         if not solved:
             for k in members:
-                results[k] = scalar(circuits[k])
+                results[k] = scalar(k)
     return results
+
+
+def _stack_guesses(guesses: Sequence, nsize: int) -> Optional[np.ndarray]:
+    """Per-lane optional guesses -> a ``(B, n)`` stack or None.
+
+    Lanes without a guess (or with a stale, wrong-sized one) get a zero
+    row — exactly the cold start they would use anyway.
+    """
+    if all(g is None for g in guesses):
+        return None
+    X0 = np.zeros((len(guesses), nsize))
+    for k, g in enumerate(guesses):
+        if g is not None and len(g) == nsize:
+            X0[k] = g
+    return X0
 
 
 # -- system buffer cache ----------------------------------------------------
@@ -1069,7 +1110,9 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
                     method: str = "be",
                     x0s: Optional[np.ndarray] = None,
                     record_every: int = 1,
-                    fine_windows: Optional[Sequence] = None
+                    fine_windows: Optional[Sequence] = None,
+                    op_x0: Optional[np.ndarray] = None,
+                    guide: Optional[tuple] = None
                     ) -> List[LaneResult]:
     """Run B structurally identical circuits through one lockstep
     transient.
@@ -1079,6 +1122,17 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
     per-timepoint Newton ladder, same two-level step halving.  Lanes
     that exhaust the ladder get a :class:`ConvergenceError` entry (and
     the surviving lanes keep marching).
+
+    Args:
+        op_x0: optional ``(B, n)`` warm guess for the t=0 operating
+            point's plain-Newton stage (continuation ladders keep their
+            cold fallbacks).
+        guide: optional ``(times, G)`` warm-start guide where ``G`` is
+            a ``(B, len(times), n)`` reference trajectory recorded on
+            the same step schedule; each timepoint's first Newton stage
+            is seeded with the previous solution plus the per-lane
+            guide increment (a zero guide row leaves a lane on the
+            classic ``x_prev`` seed).
 
     Raises:
         ValueError: if the circuits' structures differ (they cannot
@@ -1108,11 +1162,16 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
     program = _BatchProgram(circuits, system, tran=True)
 
     lane_error: List[Optional[ConvergenceError]] = [None] * nlanes
+    if guide is not None:
+        guide_times, guide_stack = guide
+        if guide_stack.shape[0] != nlanes \
+                or guide_stack.shape[2] != compiled.size:
+            guide = None
     with np.errstate(all="ignore"):
         if x0s is None:
             program_dc = _BatchProgram(circuits, system, tran=False)
             X, op_errors = _operating_point_batch(program_dc, system,
-                                                  circuits)
+                                                  circuits, X0=op_x0)
             lane_error = list(op_errors)
         else:
             X = np.array(x0s, dtype=float)
@@ -1131,8 +1190,20 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
         step = 0
         while t < tstop - 1e-15 and alive.any():
             h = min(_step_at(t, dt, windows), tstop - t)
-            X_next, solved = _solve_timepoint_batch(
-                program, system, X, t, h, method, cap_currents, alive)
+            X_seed = None
+            if guide is not None and step + 1 < len(guide_times) \
+                    and guide_times[step] == t \
+                    and guide_times[step + 1] == t + h:
+                X_seed = X + (guide_stack[:, step + 1]
+                              - guide_stack[:, step])
+            if X_seed is None:
+                X_next, solved = _solve_timepoint_batch(
+                    program, system, X, t, h, method, cap_currents,
+                    alive)
+            else:
+                X_next, solved = _solve_timepoint_batch(
+                    program, system, X, t, h, method, cap_currents,
+                    alive, X_seed=X_seed)
             stuck = alive & ~solved
             if stuck.any():
                 # local step halving, two levels deep, batched over the
@@ -1187,7 +1258,8 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
 def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
                     method: str = "be", record_every: int = 1,
                     fine_windows: Optional[Sequence] = None,
-                    batch: bool = True) -> List[LaneResult]:
+                    batch: bool = True,
+                    guides: Optional[Sequence] = None) -> List[LaneResult]:
     """Transients for arbitrary lanes, batched where structure allows.
 
     Lanes are grouped by :func:`structure_signature`; each group of two
@@ -1201,18 +1273,29 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
     Args:
         batch: when False, every lane runs scalar (debug / comparison
             knob).
+        guides: optional per-lane ``(times, xs)`` warm-start guides
+            (None entries run cold) already aligned to each lane's
+            unknown ordering; ``xs[0]`` doubles as the t=0 operating
+            point's warm guess.  Threaded identically to the batched
+            kernel and the scalar fallback.
     """
     from .transient import transient
 
-    def scalar(circuit: Circuit) -> LaneResult:
+    circuits = list(circuits)
+    if guides is None:
+        guides = [None] * len(circuits)
+
+    def scalar(k: int) -> LaneResult:
+        g = guides[k]
         try:
-            return transient(circuit, tstop=tstop, dt=dt, method=method,
-                             record_every=record_every,
-                             fine_windows=fine_windows)
+            return transient(circuits[k], tstop=tstop, dt=dt,
+                             method=method, record_every=record_every,
+                             fine_windows=fine_windows,
+                             x0_guess=None if g is None else g[1][0],
+                             guide=g)
         except ConvergenceError as exc:
             return exc
 
-    circuits = list(circuits)
     results: List[Optional[LaneResult]] = [None] * len(circuits)
     groups: Dict[tuple, List[int]] = {}
     for k, c in enumerate(circuits):
@@ -1221,10 +1304,13 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
     for members in groups.values():
         if batch and len(members) > 1:
             try:
+                op_x0, guide = _stack_guides(
+                    [guides[k] for k in members],
+                    circuits[members[0]].compile().size)
                 outcomes = transient_batch(
                     [circuits[k] for k in members], tstop=tstop, dt=dt,
                     method=method, record_every=record_every,
-                    fine_windows=fine_windows)
+                    fine_windows=fine_windows, op_x0=op_x0, guide=guide)
             except BatchUnsupported:
                 outcomes = [None] * len(members)
             for k, outcome in zip(members, outcomes):
@@ -1234,8 +1320,36 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
                     # kernel could not finish this lane — scalar retry
                     # keeps the all-scalar contract (including which
                     # error, if any, the lane reports)
-                    results[k] = scalar(circuits[k])
+                    results[k] = scalar(k)
         else:
             for k in members:
-                results[k] = scalar(circuits[k])
+                results[k] = scalar(k)
     return results
+
+
+def _stack_guides(guides: Sequence, nsize: int):
+    """Per-lane optional ``(times, xs)`` guides -> batched form.
+
+    Returns ``(op_x0, guide)`` for :func:`transient_batch`.  Unguided
+    lanes get zero guide rows (a zero increment seeds with the classic
+    ``x_prev``) and a zero operating-point guess (the cold start).
+    Guides whose time axes disagree with the first guided lane are
+    dropped — schedules are deterministic, so this only filters stale
+    baselines.
+    """
+    usable = [(k, g) for k, g in enumerate(guides)
+              if g is not None and g[1].ndim == 2
+              and g[1].shape[1] == nsize]
+    if not usable:
+        return None, None
+    times = usable[0][1][0]
+    usable = [(k, g) for k, g in usable
+              if len(g[0]) == len(times) and np.array_equal(g[0], times)]
+    if not usable:
+        return None, None
+    op_x0 = np.zeros((len(guides), nsize))
+    G = np.zeros((len(guides), len(times), nsize))
+    for k, (times_k, xs) in usable:
+        op_x0[k] = xs[0]
+        G[k] = xs
+    return op_x0, (times, G)

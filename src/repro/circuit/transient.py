@@ -68,7 +68,9 @@ def supply_current(result, source_name: str):
 def transient(circuit: Circuit, tstop: float, dt: float,
               method: str = "be", x0: Optional[np.ndarray] = None,
               record_every: int = 1,
-              fine_windows: Optional[Sequence] = None) -> TransientResult:
+              fine_windows: Optional[Sequence] = None,
+              x0_guess: Optional[np.ndarray] = None,
+              guide: Optional[tuple] = None) -> TransientResult:
     """Run a transient analysis from a DC operating point at t=0.
 
     Args:
@@ -86,6 +88,17 @@ def transient(circuit: Circuit, tstop: float, dt: float,
             amplification 1/(1 - lambda*h) has magnitude < 1 for
             lambda*h > 2), which would freeze comparators at their
             metastable point.
+        x0_guess: optional warm Newton guess for the t=0 operating
+            point (e.g. the good-circuit solution of a faulty variant).
+            The full gmin/source stepping ladder stays as fallback, so
+            this only changes where the first plain Newton starts.
+        guide: optional ``(times, xs)`` reference trajectory aligned to
+            this circuit's unknown ordering and recorded on the same
+            ``tstop/dt/fine_windows`` schedule at ``record_every=1``.
+            Each timepoint's first Newton stage is seeded with the
+            previous solution plus the guide's known step increment; the
+            retry stage still restarts from the previous solution, so a
+            lane that drifts off the guide converges exactly as before.
 
     Raises:
         ConvergenceError: if a timepoint fails to converge even after
@@ -103,12 +116,16 @@ def transient(circuit: Circuit, tstop: float, dt: float,
     compiled = circuit.compile()
     system = MNASystem(compiled)
     if x0 is None:
-        op = operating_point(circuit, time=0.0)
+        op = operating_point(circuit, x0=x0_guess, time=0.0)
         x = op.x
     else:
         x = np.asarray(x0, dtype=float).copy()
         if len(x) != compiled.size:
             raise ValueError("x0 has the wrong size for this circuit")
+    if guide is not None:
+        guide_times, guide_xs = guide
+        if guide_xs.ndim != 2 or guide_xs.shape[1] != compiled.size:
+            guide = None
 
     caps: List[Capacitor] = [el for el in circuit.elements
                              if isinstance(el, Capacitor)]
@@ -120,8 +137,16 @@ def transient(circuit: Circuit, tstop: float, dt: float,
     step = 0
     while t < tstop - 1e-15:
         h = min(_step_at(t, dt, windows), tstop - t)
+        x_seed = None
+        if guide is not None and step + 1 < len(guide_times) \
+                and guide_times[step] == t \
+                and guide_times[step + 1] == t + h:
+            # seed with the guide's increment over this very step; the
+            # schedules are deterministic, so a mismatch simply means
+            # the guide no longer applies (and the seed is skipped)
+            x_seed = x + (guide_xs[step + 1] - guide_xs[step])
         x_next = _solve_timepoint(circuit, system, x, t, h, method,
-                                  cap_currents)
+                                  cap_currents, x_seed=x_seed)
         if x_next is None:
             # local step halving, two levels deep
             x_half = x
@@ -183,12 +208,19 @@ def _step_at(t: float, dt: float, windows) -> float:
     return h
 
 
-def _solve_timepoint(circuit, system, x_prev, t, h, method, cap_currents):
-    """Newton solve for one implicit timepoint; None on failure."""
+def _solve_timepoint(circuit, system, x_prev, t, h, method, cap_currents,
+                     x_seed=None):
+    """Newton solve for one implicit timepoint; None on failure.
+
+    ``x_seed`` optionally replaces ``x_prev`` as the first stage's
+    Newton start (warm-start guides); the retry stage always restarts
+    from ``x_prev``.
+    """
     ctx = StampContext(mode="tran", time=t + h, dt=h, x_prev=x_prev,
                        gmin=TIMEPOINT_STAGES[0][0], method=method,
                        cap_currents=cap_currents)
-    x = _newton(circuit, system, ctx, x_prev,
+    x = _newton(circuit, system, ctx,
+                x_prev if x_seed is None else x_seed,
                 max_iter=TIMEPOINT_STAGES[0][1])
     if x is None:
         # retry with a stronger gmin, then without a warm start

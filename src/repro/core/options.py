@@ -46,6 +46,18 @@ def add_engine_arguments(parser: argparse.ArgumentParser):
     group.add_argument("--corners", choices=CORNER_SETS, default=None,
                        help="good-space corner set "
                             "(default: reduced)")
+    group.add_argument("--cold-start", dest="warm_start",
+                       action="store_false",
+                       default=_ENGINE_DEFAULTS["warm_start"],
+                       help="disable baseline reuse and warm-start "
+                            "Newton continuation (results identical; "
+                            "exhaustive-mode reference)")
+    group.add_argument("--no-drop", dest="drop", action="store_false",
+                       default=_ENGINE_DEFAULTS["drop"],
+                       help="disable detection-driven fault dropping "
+                            "— run every stimulus for every class "
+                            "(results identical; exhaustive-mode "
+                            "reference)")
     return group
 
 
@@ -66,4 +78,7 @@ def engine_knobs(args: argparse.Namespace) -> Dict:
         "small_probe": getattr(args, "small_probe",
                                _ENGINE_DEFAULTS["small_probe"]),
         "corners": corners,
+        "warm_start": getattr(args, "warm_start",
+                              _ENGINE_DEFAULTS["warm_start"]),
+        "drop": getattr(args, "drop", _ENGINE_DEFAULTS["drop"]),
     }

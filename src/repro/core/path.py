@@ -59,6 +59,12 @@ class PathConfig:
         big_probe: comparator above/below input offset (volts).
         small_probe: comparator offset-detection probe (volts).
         corners: good-space corner set (None: the reduced corners).
+        warm_start: reuse the good-circuit baseline and warm-start
+            faulty Newton solves from it (results identical;
+            ``--cold-start`` disables).
+        drop: stop a class's stimulus schedule once its signature has
+            left the good space (results identical; ``--no-drop``
+            disables).
     """
 
     n_defects: int = 25000
@@ -75,6 +81,8 @@ class PathConfig:
     big_probe: float = 0.1
     small_probe: float = 8e-3
     corners: Optional[Tuple[Process, ...]] = None
+    warm_start: bool = True
+    drop: bool = True
 
     def to_dict(self) -> Dict:
         """Stable JSON-able form of the run's knobs.
@@ -96,6 +104,8 @@ class PathConfig:
             "dt": self.dt,
             "big_probe": self.big_probe,
             "small_probe": self.small_probe,
+            "warm_start": self.warm_start,
+            "drop": self.drop,
         }
 
     @classmethod
@@ -120,7 +130,9 @@ class PathConfig:
             dynamic_test=bool(data.get("dynamic_test", False)),
             dt=float(data.get("dt", 1e-9)),
             big_probe=float(data.get("big_probe", 0.1)),
-            small_probe=float(data.get("small_probe", 8e-3)))
+            small_probe=float(data.get("small_probe", 8e-3)),
+            warm_start=bool(data.get("warm_start", True)),
+            drop=bool(data.get("drop", True)))
 
 
 @dataclass(frozen=True)
@@ -290,20 +302,24 @@ class DefectOrientedTestPath:
     def analyze_ladder(self) -> MacroAnalysis:
         engine = LadderFaultEngine(
             process=self.config.process,
-            ivdd_window_halfwidth=self._ivdd_halfwidth())
+            ivdd_window_halfwidth=self._ivdd_halfwidth(),
+            warm_start=self.config.warm_start, drop=self.config.drop)
         return self._analyze_with_engine(
             "ladder", ladder_slice_layout(),
             256 // SEGMENTS_PER_COARSE, engine)
 
     def analyze_clockgen(self) -> MacroAnalysis:
-        engine = ClockgenFaultEngine(process=self.config.process)
+        engine = ClockgenFaultEngine(process=self.config.process,
+                                     warm_start=self.config.warm_start,
+                                     drop=self.config.drop)
         return self._analyze_with_engine("clockgen", clockgen_layout(),
                                          1, engine)
 
     def analyze_biasgen(self) -> MacroAnalysis:
         engine = BiasgenFaultEngine(
             process=self.config.process,
-            ivdd_window_halfwidth=self._ivdd_halfwidth())
+            ivdd_window_halfwidth=self._ivdd_halfwidth(),
+            warm_start=self.config.warm_start, drop=self.config.drop)
         cell = biasgen_layout(dft=self.config.dft.bias_line_reorder)
         return self._analyze_with_engine("biasgen", cell, 1, engine)
 

@@ -53,14 +53,19 @@ def iter_sprinkle(cell: LayoutCell, n_defects: int,
     while remaining > 0:
         n = min(batch, remaining)
         remaining -= n
+        # one batched draw per stream keeps the per-defect RNG order
+        # identical to the historical scalar loop for a given seed
         names = stats.sample_mechanisms(rng, n)
         xs = rng.uniform(box.x0, box.x1, n)
         ys = rng.uniform(box.y0, box.y1, n)
         sizes = stats.sizes.sample(rng, n)
-        for k in range(n):
-            mech = MECHANISMS[str(names[k])]
-            diameter = float(sizes[k]) if mech.sized \
-                else stats.pinhole_diameter
-            yield Defect(mechanism=mech,
-                         disk=Disk(float(xs[k]), float(ys[k]),
-                                   diameter / 2.0))
+        uniques, inverse = np.unique(np.asarray(names, dtype=str),
+                                     return_inverse=True)
+        mechs = [MECHANISMS[str(name)] for name in uniques]
+        sized = np.array([m.sized for m in mechs], dtype=bool)[inverse]
+        radii = np.where(sized, np.asarray(sizes, dtype=float),
+                         stats.pinhole_diameter) / 2.0
+        for mech_id, x, y, radius in zip(inverse.tolist(), xs.tolist(),
+                                         ys.tolist(), radii.tolist()):
+            yield Defect(mechanism=mechs[mech_id],
+                         disk=Disk(x, y, radius))

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Protocol, TYPE_CHECKING, runtime_checkable
 
+from .baseline import (BASELINE_VERSION, MacroBaseline, Trajectory,
+                       align_guide, align_x0)
 from .engine import (ComparatorFaultEngine, EngineConfig,
                      FaultClassResult)
 from .goodspace import (GoodSpace, N_COMPARATORS, Window,
@@ -57,6 +59,8 @@ class FaultEngine(Protocol):
 
 __all__ = [
     "FaultEngine",
+    "BASELINE_VERSION", "MacroBaseline", "Trajectory", "align_guide",
+    "align_x0",
     "ComparatorFaultEngine", "EngineConfig", "FaultClassResult",
     "GoodSpace", "N_COMPARATORS", "Window", "compile_good_space",
     "FLOAT_LEAK_RESISTANCE", "FaultModel", "ModelError", "fault_models",

@@ -1,0 +1,176 @@
+"""Good-circuit baselines: compute once, reuse everywhere.
+
+Every macro engine solves the *same* fault-free circuit before it can
+judge a single fault: the comparator compiles its good space over
+corners, the ladder solves its corner sweep, the clock and bias
+generators run their nominal transients.  A :class:`MacroBaseline`
+captures those results — the measurements that rebuild the good space
+*and* the solution trajectories that warm-start the faulty Newton
+solves — in one JSON-able blob, keyed per (macro, engine spec) in the
+campaign's content-addressed store.  A resumed or re-run campaign then
+adopts the baseline instead of re-simulating the fault-free circuit,
+and ships it to pool workers so each process skips its own good-space
+compile.
+
+Trajectories are stored with *named* columns (node and branch names),
+because a faulty circuit's unknown ordering differs from the good
+circuit's (fault models add nodes and elements).  :func:`align_guide`
+maps a stored trajectory onto any compiled circuit by name; unknowns
+the baseline does not know start from zero, which simply reproduces
+the cold-start seed for those entries.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: bump when the baseline payload layout changes
+BASELINE_VERSION = 1
+
+
+def _encode_array(a: np.ndarray) -> Dict:
+    """Loss-free JSON encoding of a float array (base64 of float64)."""
+    a = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+    return {"shape": list(a.shape),
+            "data": base64.b64encode(a.tobytes()).decode("ascii")}
+
+
+def _decode_array(payload: Dict) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    return np.frombuffer(raw, dtype=np.float64).reshape(
+        [int(n) for n in payload["shape"]]).copy()
+
+
+@dataclass
+class Trajectory:
+    """A solved waveform (or single operating point) with named columns.
+
+    Attributes:
+        times: timepoints, shape (nt,); ``[0.0]`` for a DC solution.
+        xs: solution matrix, shape (nt, n_unknowns).
+        node_cols: node name -> column index in ``xs``.
+        branch_cols: branch (source) name -> column index in ``xs``.
+    """
+
+    times: np.ndarray
+    xs: np.ndarray
+    node_cols: Dict[str, int]
+    branch_cols: Dict[str, int]
+
+    @classmethod
+    def from_result(cls, result) -> "Trajectory":
+        """Capture a TransientResult (times+xs) or DCResult (x)."""
+        compiled = result.compiled
+        if hasattr(result, "times"):
+            times = np.asarray(result.times, dtype=float)
+            xs = np.asarray(result.xs, dtype=float)
+        else:
+            times = np.zeros(1)
+            xs = np.asarray(result.x, dtype=float)[None, :]
+        return cls(times=times, xs=xs,
+                   node_cols=dict(compiled.node_index),
+                   branch_cols=dict(compiled.branch_index))
+
+    def to_dict(self) -> Dict:
+        return {
+            "times": _encode_array(self.times),
+            "xs": _encode_array(self.xs),
+            "node_cols": {k: int(v) for k, v in self.node_cols.items()},
+            "branch_cols": {k: int(v)
+                            for k, v in self.branch_cols.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Trajectory":
+        return cls(times=_decode_array(data["times"]),
+                   xs=_decode_array(data["xs"]),
+                   node_cols={str(k): int(v)
+                              for k, v in data["node_cols"].items()},
+                   branch_cols={str(k): int(v)
+                                for k, v in data["branch_cols"].items()})
+
+
+def align_guide(compiled, trajectory: Optional[Trajectory]
+                ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Map a stored trajectory onto a circuit's unknown ordering.
+
+    Returns ``(times, xs)`` with ``xs`` shaped ``(nt, compiled.size)``,
+    ready for the transient ``guide=`` parameter (row 0 doubles as the
+    t=0 operating-point warm guess).  Unknowns absent from the
+    trajectory (fault-model nodes, new branches) stay zero — for those
+    entries the guide's step increment is zero and the seed degrades to
+    the classic previous-solution start.
+    """
+    if trajectory is None:
+        return None
+    xs = np.zeros((trajectory.xs.shape[0], compiled.size))
+    for name, col in compiled.node_index.items():
+        src = trajectory.node_cols.get(name)
+        if src is not None:
+            xs[:, col] = trajectory.xs[:, src]
+    for name, col in compiled.branch_index.items():
+        src = trajectory.branch_cols.get(name)
+        if src is not None:
+            xs[:, col] = trajectory.xs[:, src]
+    return trajectory.times, xs
+
+
+def align_x0(compiled, trajectory: Optional[Trajectory]
+             ) -> Optional[np.ndarray]:
+    """First trajectory row aligned to a circuit (a DC warm guess)."""
+    guide = align_guide(compiled, trajectory)
+    if guide is None:
+        return None
+    return guide[1][0]
+
+
+@dataclass
+class MacroBaseline:
+    """One macro's fault-free simulation results, ready to reuse.
+
+    Attributes:
+        macro: macro name the baseline belongs to.
+        payload: engine-specific JSON-able data.  Each engine documents
+            its own layout in ``export_baseline``; trajectories inside
+            the payload are stored via :meth:`Trajectory.to_dict`.
+    """
+
+    macro: str
+    payload: Dict
+
+    def to_dict(self) -> Dict:
+        return {"baseline_version": BASELINE_VERSION,
+                "macro": self.macro, "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> Optional["MacroBaseline"]:
+        """None for unknown versions (forces a clean recompute)."""
+        if data.get("baseline_version") != BASELINE_VERSION:
+            return None
+        return cls(macro=str(data["macro"]), payload=data["payload"])
+
+
+def coerce_payload(baseline) -> Optional[Dict]:
+    """Whatever ``adopt_baseline`` was handed -> the payload dict.
+
+    Accepts a :class:`MacroBaseline`, its :meth:`MacroBaseline.to_dict`
+    wrapper (what the campaign store round-trips) or a bare payload
+    dict.  Returns None — adoption declined, engine recomputes — for
+    version-mismatched wrappers and anything unrecognisable.
+    """
+    if isinstance(baseline, MacroBaseline):
+        return baseline.payload
+    if isinstance(baseline, dict):
+        if "baseline_version" in baseline:
+            wrapped = MacroBaseline.from_dict(baseline)
+            if wrapped is None:
+                return None
+            payload = wrapped.payload
+        else:
+            payload = baseline
+        return payload if isinstance(payload, dict) else None
+    return None

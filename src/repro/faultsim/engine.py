@@ -33,6 +33,8 @@ from ..circuit.batch import transient_lanes
 from ..circuit.dc import ConvergenceError
 from ..circuit.transient import TransientResult, supply_current
 from ..defects.collapse import FaultClass
+from .baseline import (MacroBaseline, Trajectory, align_guide,
+                       coerce_payload)
 from .goodspace import GoodSpace, compile_good_space
 from .models import FaultModel, fault_models, inject
 from .noncat import NearMissShortFault, near_miss_model
@@ -62,6 +64,16 @@ class EngineConfig:
         batch: solve structurally identical runs through the batched
             kernel (False forces every run scalar; results are
             bit-identical either way).
+        warm_start: seed faulty Newton solves from the good-circuit
+            baseline trajectory (the full gmin/source stepping ladder
+            stays as fallback).  Detection records are identical either
+            way; False forces the historical cold start.
+        drop: stop a fault class's stimulus schedule once its boundary
+            signature has left the good space (skip the small offset
+            probes when the big probes already classify).  Verdicts are
+            identical either way — the skipped probes are exactly the
+            ones :func:`~repro.faultsim.signatures.classify_voltage`
+            never consults; False forces the exhaustive schedule.
     """
 
     dt: float = 1e-9
@@ -74,6 +86,8 @@ class EngineConfig:
     corners: Optional[Tuple[Process, ...]] = None
     dynamic_test: bool = False
     batch: bool = True
+    warm_start: bool = True
+    drop: bool = True
 
 
 @dataclass(frozen=True)
@@ -117,16 +131,45 @@ class ComparatorFaultEngine:
             self._corners = reduced_corners()
         self._good_space: Optional[GoodSpace] = None
         self._good_decisions: Dict[float, bool] = {}
+        #: good-circuit trajectories at the faulty-evaluation corner,
+        #: polarity -> Trajectory (the warm-start guides)
+        self._trajectories: Dict[str, Trajectory] = {}
+        #: per-corner fault-free measurements (the exportable baseline)
+        self._corner_measurements: Optional[
+            Dict[str, Dict[str, Measurement]]] = None
+        #: where the good space came from: "computed" or "adopted"
+        self.baseline_source = "computed"
+        #: transient lanes actually simulated (accounting)
+        self.runs_simulated = 0
+        #: small-probe lanes skipped by detection-driven dropping
+        self.probes_dropped = 0
 
     # -- measurement -------------------------------------------------------
 
-    def _measure_runs(self, runs: Sequence[_Run]) -> List[Measurement]:
-        """Measure a batch of runs through the batched kernel.
+    def _guide_for(self, circuit, offset: float, process: Process):
+        """Warm-start guide for one run, when the baseline covers it.
+
+        Guides only exist for the corner the faulty instances are
+        evaluated at; the big-probe trajectory of the matching polarity
+        also seeds the same-polarity small probe (the fault-free
+        waveforms barely differ between the two offsets).
+        """
+        if process.name != self.config.process.name:
+            return None
+        trajectory = self._trajectories.get(
+            "above" if offset > 0 else "below")
+        if trajectory is None:
+            return None
+        return align_guide(circuit.compile(), trajectory)
+
+    def _transients(self, runs: Sequence[_Run]):
+        """Run a batch of transients; returns (testbenches, outcomes).
 
         Builds one testbench per run; structurally identical lanes (the
         corner sweep, a class's model variants) stack into one batched
-        transient, the rest run scalar.  A lane that fails to converge
-        measures as unresolved, exactly as the scalar path reported it.
+        transient, the rest run scalar.  When ``config.warm_start`` and
+        a baseline trajectory exists, every lane's Newton solves are
+        seeded from the good-circuit solution.
         """
         tbs = []
         circuits = []
@@ -139,11 +182,29 @@ class ComparatorFaultEngine:
             tbs.append(tb)
             circuits.append(tb.circuit if model is None
                             else inject(tb.circuit, model))
+        guides = None
+        if self.config.warm_start and self._trajectories:
+            guides = [self._guide_for(circuit, offset, process)
+                      for circuit, (model, offset, process)
+                      in zip(circuits, runs)]
+            if not any(g is not None for g in guides):
+                guides = None
         windows = regeneration_windows(self.config.period, 1)
         outcomes = transient_lanes(circuits, tstop=self.config.period,
                                    dt=self.config.dt,
                                    fine_windows=windows,
-                                   batch=self.config.batch)
+                                   batch=self.config.batch,
+                                   guides=guides)
+        self.runs_simulated += len(runs)
+        return tbs, outcomes
+
+    def _measure_runs(self, runs: Sequence[_Run]) -> List[Measurement]:
+        """Measure a batch of runs through the batched kernel.
+
+        A lane that fails to converge measures as unresolved, exactly
+        as the scalar path reported it.
+        """
+        tbs, outcomes = self._transients(runs)
         measurements = []
         for (model, offset, process), tb, outcome in zip(runs, tbs,
                                                          outcomes):
@@ -217,23 +278,94 @@ class ComparatorFaultEngine:
 
         All ``len(corners) * 2`` fault-free runs share one circuit
         structure, so the whole sweep is a single batched transient.
+        When a baseline was adopted (:meth:`adopt_baseline`), no
+        simulation happens at all — the space is rebuilt from the
+        cached per-corner measurements.
         """
         if self._good_space is None:
-            runs: List[_Run] = []
-            for p in self._corners:
-                runs.append((None, +self.config.big_probe, p))
-                runs.append((None, -self.config.big_probe, p))
-            measured = self._measure_runs(runs)
-            per_corner: Dict[str, Dict[str, Measurement]] = {}
-            for k, p in enumerate(self._corners):
-                per_corner[p.name] = {"above": measured[2 * k],
-                                      "below": measured[2 * k + 1]}
+            if self._corner_measurements is None:
+                self._compute_baseline()
+            per_corner = self._corner_measurements
             name = self._corners[0].name
             if "typical" in per_corner:
                 name = "typical"
             self._good_space = compile_good_space(per_corner,
                                                   typical_name=name)
         return self._good_space
+
+    def _compute_baseline(self) -> None:
+        """Simulate the fault-free corner sweep, keeping trajectories."""
+        runs: List[_Run] = []
+        for p in self._corners:
+            runs.append((None, +self.config.big_probe, p))
+            runs.append((None, -self.config.big_probe, p))
+        tbs, outcomes = self._transients(runs)
+        per_corner: Dict[str, Dict[str, Measurement]] = {}
+        for k, p in enumerate(self._corners):
+            polarity_meas: Dict[str, Measurement] = {}
+            for j, pol in ((0, "above"), (1, "below")):
+                outcome = outcomes[2 * k + j]
+                if isinstance(outcome, ConvergenceError):
+                    polarity_meas[pol] = self._unresolved_measurement()
+                    continue
+                polarity_meas[pol] = self._measure(tbs[2 * k + j],
+                                                   outcome, p)
+                if p.name == self.config.process.name:
+                    self._trajectories[pol] = \
+                        Trajectory.from_result(outcome)
+            per_corner[p.name] = polarity_meas
+        self._corner_measurements = per_corner
+        self.baseline_source = "computed"
+
+    def export_baseline(self) -> MacroBaseline:
+        """The fault-free results as a shareable baseline blob.
+
+        Computes the good-space sweep first if it has not run yet.
+        """
+        self.good_space()
+        payload = {
+            "corners": {name: {pol: m.to_dict()
+                               for pol, m in meas.items()}
+                        for name, meas
+                        in self._corner_measurements.items()},
+            "process": self.config.process.name,
+            "trajectories": {pol: t.to_dict()
+                             for pol, t in self._trajectories.items()},
+        }
+        return MacroBaseline(macro="comparator", payload=payload)
+
+    def adopt_baseline(self, baseline) -> bool:
+        """Reuse a previously exported baseline instead of simulating.
+
+        Accepts a :class:`~repro.faultsim.baseline.MacroBaseline` or
+        its payload dict.  Returns False (and changes nothing) when the
+        baseline does not cover this engine's corner set or evaluation
+        process — a stale blob can never poison a run.
+        """
+        payload = coerce_payload(baseline)
+        if payload is None:
+            return False
+        try:
+            corners = {str(name): {pol: Measurement.from_dict(m)
+                                   for pol, m in meas.items()}
+                       for name, meas in payload["corners"].items()}
+            trajectories = {str(pol): Trajectory.from_dict(t)
+                            for pol, t
+                            in payload.get("trajectories", {}).items()}
+            process_name = payload.get("process")
+        except (KeyError, TypeError, ValueError):
+            return False
+        if set(corners) != {p.name for p in self._corners}:
+            return False
+        if any(set(meas) != {"above", "below"}
+               for meas in corners.values()):
+            return False
+        self._corner_measurements = corners
+        if process_name == self.config.process.name:
+            self._trajectories = trajectories
+        self._good_space = None
+        self.baseline_source = "adopted"
+        return True
 
     # -- fault simulation ---------------------------------------------------
 
@@ -262,14 +394,25 @@ class ComparatorFaultEngine:
                          self.config.process))
         measured = self._measure_runs(runs)
 
-        # second pass: offset probes for variants that behave correctly
-        # at the big probes (offset faults hide there)
-        need_small = []
-        for k, model in enumerate(models):
-            above, below = measured[2 * k], measured[2 * k + 1]
-            if above.resolved and below.resolved and \
-                    above.decision is True and below.decision is False:
-                need_small.append(k)
+        # second pass: offset probes.  The stimulus schedule is ordered
+        # by detectability — the big probes classify most faults — so
+        # with ``drop`` a variant whose boundary signature already left
+        # the good space (wrong/unresolved decisions) never sees the
+        # small probes; those are exactly the probes classify_voltage
+        # would ignore, so the verdict is unchanged.  Without ``drop``
+        # every variant runs the full schedule (offset faults hide at
+        # the big probes).
+        if self.config.drop:
+            need_small = []
+            for k, model in enumerate(models):
+                above, below = measured[2 * k], measured[2 * k + 1]
+                if above.resolved and below.resolved and \
+                        above.decision is True and \
+                        below.decision is False:
+                    need_small.append(k)
+            self.probes_dropped += 2 * (len(models) - len(need_small))
+        else:
+            need_small = list(range(len(models)))
         small_runs: List[_Run] = []
         for k in need_small:
             small_runs.append((models[k], +self.config.small_probe,
@@ -341,12 +484,21 @@ class ComparatorFaultEngine:
         voltage = propagate_comparator_fault(
             res.signature, fault_class.representative,
             at_speed=self.config.dynamic_test)
+        # which stimulus detects the class first, in schedule order:
+        # the current measurements ride on the big-probe runs (the
+        # cheapest stimulus), the missing-code test comes after
+        detected_by = None
+        if res.signature.mechanisms:
+            detected_by = "current"
+        elif voltage:
+            detected_by = "voltage"
         return DetectionRecord(
             count=fault_class.count, voltage_detected=voltage,
             mechanisms=res.signature.mechanisms,
             voltage_signature=res.signature.voltage,
             fault_type=fault_class.fault_type,
-            violated_keys=res.signature.violated_keys)
+            violated_keys=res.signature.violated_keys,
+            detected_by=detected_by)
 
     def simulate_class_legacy(self, fault_class: FaultClass
                               ) -> FaultClassResult:

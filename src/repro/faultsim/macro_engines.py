@@ -40,10 +40,22 @@ from ..macrotest.coverage import DetectionRecord
 from ..macrotest.propagate import (propagate_bank_behavior,
                                    propagate_clock_fault,
                                    propagate_ladder_fault)
+from .baseline import (MacroBaseline, Trajectory, align_guide,
+                       align_x0, coerce_payload)
 from .goodspace import FLOOR_IDDQ, FLOOR_IVREF
 from .models import fault_models, inject
 from .noncat import NearMissShortFault, near_miss_model
 from .signatures import CurrentMechanism
+
+
+def _detected_by(voltage: bool, mechanisms) -> Optional[str]:
+    """First detecting stimulus in schedule order (current first —
+    the quiescent measurements ride on runs already made)."""
+    if mechanisms:
+        return "current"
+    if voltage:
+        return "voltage"
+    return None
 
 
 def translate_fault(fault: Fault, net_map: Dict[str, str],
@@ -102,6 +114,11 @@ class LadderFaultEngine:
     Attributes:
         ivdd_window_halfwidth: chip-level IVdd acceptance half-width
             (from the comparator good space) for supply-loading faults.
+        warm_start: seed the faulty DC Newton solves from the good
+            ladder solution (gmin/source stepping stays as fallback).
+        drop: reuse the fault-free missing-code verdict for variants
+            whose tap vector is bit-identical to the good one (their
+            behavioral propagation is the same pure function call).
     """
 
     process: Process = field(default_factory=typical)
@@ -111,10 +128,16 @@ class LadderFaultEngine:
     iref_diff_floor: float = 200e-6
     #: solve structurally identical circuits through the batched kernel
     batch: bool = True
+    warm_start: bool = True
+    drop: bool = True
 
     def __post_init__(self) -> None:
         self._window: Optional[Tuple[float, float]] = None
         self._typ: Optional[Tuple[float, np.ndarray]] = None
+        self._guide: Optional[Trajectory] = None
+        self._good_voltage: Optional[bool] = None
+        self.baseline_source = "computed"
+        self.propagations_dropped = 0
 
     def _testbench(self, process: Process):
         tb = ladder_testbench(process)
@@ -134,15 +157,24 @@ class LadderFaultEngine:
             "taps": taps,
         }
 
-    def _solve_many(self, circuits):
+    def _solve_raw(self, circuits, warm: bool = False):
+        """Raw DC outcomes, optionally warm-started off the baseline."""
+        guesses = None
+        if warm and self.warm_start and self._guide is not None:
+            guesses = [align_x0(c.compile(), self._guide)
+                       for c in circuits]
+        return operating_point_lanes(circuits, batch=self.batch,
+                                     x0_guesses=guesses)
+
+    def _solve_many(self, circuits, warm: bool = False):
         """Solve several circuits, batching identical structures.
 
         Returns per-circuit dicts, or the lane's
         :class:`ConvergenceError` where the solve failed.
         """
-        outcomes = operating_point_lanes(circuits, batch=self.batch)
         return [out if isinstance(out, ConvergenceError)
-                else self._extract(out) for out in outcomes]
+                else self._extract(out)
+                for out in self._solve_raw(circuits, warm=warm)]
 
     def _solve(self, circuit):
         sol = self._solve_many([circuit])[0]
@@ -171,10 +203,12 @@ class LadderFaultEngine:
         if self._typ is None:
             circuits = [self._testbench(self.process)] + \
                 [self._testbench(p) for p in self.corners]
-            solved = self._solve_many(circuits)
-            for sol in solved:
-                if isinstance(sol, ConvergenceError):
-                    raise sol
+            raw = self._solve_raw(circuits)
+            for out in raw:
+                if isinstance(out, ConvergenceError):
+                    raise out
+            self._guide = Trajectory.from_result(raw[0])
+            solved = [self._extract(out) for out in raw]
             self._typ = solved[0]
             solutions = solved[1:]
             self._window = {}
@@ -183,6 +217,60 @@ class LadderFaultEngine:
                 self._window[key] = (min(values) - FLOOR_IVREF,
                                      max(values) + FLOOR_IVREF)
         return self._typ, self._window
+
+    def export_baseline(self) -> MacroBaseline:
+        """The fault-free sweep as a shareable baseline blob."""
+        typ, windows = self.good()
+        payload = {
+            "typ": {"ivrefp": typ["ivrefp"], "ivrefn": typ["ivrefn"],
+                    "ivdd": typ["ivdd"],
+                    "taps": [float(v) for v in typ["taps"]]},
+            "window": {key: [lo, hi]
+                       for key, (lo, hi) in windows.items()},
+            "guide": self._guide.to_dict() if self._guide else None,
+        }
+        return MacroBaseline(macro="ladder", payload=payload)
+
+    def adopt_baseline(self, baseline) -> bool:
+        """Reuse an exported baseline; False if it does not fit."""
+        payload = coerce_payload(baseline)
+        if payload is None:
+            return False
+        try:
+            typ = {"ivrefp": float(payload["typ"]["ivrefp"]),
+                   "ivrefn": float(payload["typ"]["ivrefn"]),
+                   "ivdd": float(payload["typ"]["ivdd"]),
+                   "taps": np.array([float(v)
+                                     for v in payload["typ"]["taps"]])}
+            window = {str(k): (float(v[0]), float(v[1]))
+                      for k, v in payload["window"].items()}
+            guide = (Trajectory.from_dict(payload["guide"])
+                     if payload.get("guide") else None)
+        except (KeyError, TypeError, ValueError):
+            return False
+        if set(window) != {"ivrefp", "ivrefn"} or \
+                len(typ["taps"]) != N_TAPS + 1:
+            return False
+        self._typ = typ
+        self._window = window
+        self._guide = guide
+        self.baseline_source = "adopted"
+        return True
+
+    def _propagate(self, taps: np.ndarray, typ: dict) -> bool:
+        """Missing-code verdict, dropping bit-identical-to-good taps.
+
+        :func:`propagate_ladder_fault` is a pure function of the tap
+        vector, so reusing the fault-free verdict for an identical
+        vector cannot change any record.
+        """
+        if self.drop and np.array_equal(taps, typ["taps"]):
+            if self._good_voltage is None:
+                self._good_voltage = propagate_ladder_fault(typ["taps"])
+            else:
+                self.propagations_dropped += 1
+            return self._good_voltage
+        return propagate_ladder_fault(taps)
 
     def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
         typ, windows = self.good()
@@ -194,7 +282,7 @@ class LadderFaultEngine:
             variants = fault_models(fault, process=self.process)
         solutions = self._solve_many(
             [inject(self._testbench(self.process), model)
-             for model in variants])
+             for model in variants], warm=True)
         records = []
         for sol in solutions:
             if isinstance(sol, ConvergenceError):
@@ -216,7 +304,7 @@ class LadderFaultEngine:
             if abs(sol["ivdd"] - typ["ivdd"]) > \
                     self.ivdd_window_halfwidth:
                 mechanisms.add(CurrentMechanism.IVDD)
-            voltage = propagate_ladder_fault(sol["taps"])
+            voltage = self._propagate(sol["taps"], typ)
             records.append((voltage, mechanisms))
         # worst case (least detectable) variant, as for the comparator
         records.sort(key=lambda r: (len(r[1]), r[0]))
@@ -224,7 +312,9 @@ class LadderFaultEngine:
         return DetectionRecord(count=fault_class.count,
                                voltage_detected=voltage,
                                mechanisms=frozenset(mechanisms),
-                               fault_type=fault_class.fault_type)
+                               fault_type=fault_class.fault_type,
+                               detected_by=_detected_by(voltage,
+                                                        mechanisms))
 
     def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
         return [self.simulate_class(fc) for fc in classes]
@@ -237,7 +327,16 @@ class LadderFaultEngine:
 
 @dataclass
 class ClockgenFaultEngine:
-    """Transient fault simulation of the clock generator macro."""
+    """Transient fault simulation of the clock generator macro.
+
+    Attributes:
+        warm_start: seed faulty transients from the good trajectory.
+        drop: memoise the chip-level missing-code propagation on the
+            (phase-alive, degraded) signature — once a signature is
+            known to stay inside (or leave) the good space, identical
+            signatures reuse the verdict instead of re-running the
+            behavioral ADC.
+    """
 
     process: Process = field(default_factory=typical)
     dt: float = 1e-9
@@ -245,9 +344,15 @@ class ClockgenFaultEngine:
     iddq_floor: float = FLOOR_IDDQ
     #: solve structurally identical circuits through the batched kernel
     batch: bool = True
+    warm_start: bool = True
+    drop: bool = True
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
+        self._guide: Optional[Trajectory] = None
+        self._propagate_memo: Dict[Tuple, bool] = {}
+        self.baseline_source = "computed"
+        self.propagations_dropped = 0
 
     def _extract(self, tr: TransientResult) -> dict:
         return {
@@ -258,13 +363,21 @@ class ClockgenFaultEngine:
                                          ("phi3", 0.17))},
         }
 
-    def _run_many(self, circuits):
+    def _run_raw(self, circuits, warm: bool = False):
+        guides = None
+        if warm and self.warm_start and self._guide is not None:
+            guides = [align_guide(c.compile(), self._guide)
+                      for c in circuits]
+        return transient_lanes(circuits, tstop=self.period,
+                               dt=self.dt, batch=self.batch,
+                               guides=guides)
+
+    def _run_many(self, circuits, warm: bool = False):
         """Transients for several circuits, batching identical
         structures (e.g. a class's conductance-only model variants)."""
-        outcomes = transient_lanes(circuits, tstop=self.period,
-                                   dt=self.dt, batch=self.batch)
         return [out if isinstance(out, ConvergenceError)
-                else self._extract(out) for out in outcomes]
+                else self._extract(out)
+                for out in self._run_raw(circuits, warm=warm)]
 
     def _run(self, circuit):
         sol = self._run_many([circuit])[0]
@@ -274,9 +387,66 @@ class ClockgenFaultEngine:
 
     def good(self) -> dict:
         if self._good is None:
-            self._good = self._run(clockgen_testbench(self.process,
-                                                      self.period))
+            out = self._run_raw([clockgen_testbench(self.process,
+                                                    self.period)])[0]
+            if isinstance(out, ConvergenceError):
+                raise out
+            self._guide = Trajectory.from_result(out)
+            self._good = self._extract(out)
         return self._good
+
+    def export_baseline(self) -> MacroBaseline:
+        """The fault-free run as a shareable baseline blob."""
+        good = self.good()
+        payload = {
+            "good": {"iddq": good["iddq"],
+                     "levels": {k: float(v)
+                                for k, v in good["levels"].items()},
+                     "lows": {k: float(v)
+                              for k, v in good["lows"].items()}},
+            "guide": self._guide.to_dict() if self._guide else None,
+        }
+        return MacroBaseline(macro="clockgen", payload=payload)
+
+    def adopt_baseline(self, baseline) -> bool:
+        """Reuse an exported baseline; False if it does not fit."""
+        payload = coerce_payload(baseline)
+        if payload is None:
+            return False
+        try:
+            good = {"iddq": float(payload["good"]["iddq"]),
+                    "levels": {str(k): float(v) for k, v
+                               in payload["good"]["levels"].items()},
+                    "lows": {str(k): float(v) for k, v
+                             in payload["good"]["lows"].items()}}
+            guide = (Trajectory.from_dict(payload["guide"])
+                     if payload.get("guide") else None)
+        except (KeyError, TypeError, ValueError):
+            return False
+        if set(good["levels"]) != set(CLOCK_PHASES) or \
+                set(good["lows"]) != set(CLOCK_PHASES):
+            return False
+        self._good = good
+        self._guide = guide
+        self.baseline_source = "adopted"
+        return True
+
+    def _propagate(self, alive: dict, degraded: bool) -> bool:
+        """Missing-code verdict, memoised per signature under drop.
+
+        :func:`propagate_clock_fault` is a pure function of the
+        signature, so the memo cannot change any record.
+        """
+        if not self.drop:
+            return propagate_clock_fault(alive, degraded)
+        key = (tuple(sorted(alive.items())), degraded)
+        verdict = self._propagate_memo.get(key)
+        if verdict is None:
+            verdict = propagate_clock_fault(alive, degraded)
+            self._propagate_memo[key] = verdict
+        else:
+            self.propagations_dropped += 1
+        return verdict
 
     def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
         good = self.good()
@@ -287,7 +457,7 @@ class ClockgenFaultEngine:
             variants = fault_models(fault, process=self.process)
         solutions = self._run_many(
             [inject(clockgen_testbench(self.process, self.period), model)
-             for model in variants])
+             for model in variants], warm=True)
         outcomes = []
         for sol in solutions:
             if isinstance(sol, ConvergenceError):
@@ -306,14 +476,16 @@ class ClockgenFaultEngine:
                 if alive[phase] and (abs(high - vdd) > 0.15 or
                                      abs(low) > 0.15):
                     degraded = True
-            voltage = propagate_clock_fault(alive, degraded)
+            voltage = self._propagate(alive, degraded)
             outcomes.append((voltage, mechanisms))
         outcomes.sort(key=lambda r: (len(r[1]), r[0]))
         voltage, mechanisms = outcomes[0]
         return DetectionRecord(count=fault_class.count,
                                voltage_detected=voltage,
                                mechanisms=frozenset(mechanisms),
-                               fault_type=fault_class.fault_type)
+                               fault_type=fault_class.fault_type,
+                               detected_by=_detected_by(voltage,
+                                                        mechanisms))
 
     def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
         return [self.simulate_class(fc) for fc in classes]
@@ -342,23 +514,38 @@ class BiasgenFaultEngine:
     dead_band: float = 0.02
     #: solve structurally identical circuits through the batched kernel
     batch: bool = True
+    #: seed faulty solves from the good bias point / comparator runs
+    warm_start: bool = True
+    #: skip the comparator-bank re-run for dead-band bias shifts
+    drop: bool = True
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
+        self._bias_guide: Optional[Trajectory] = None
+        self._comp_guides: Dict[str, Trajectory] = {}
+        self.baseline_source = "computed"
+        self.reruns_dropped = 0
 
-    def _solve_bias(self, circuit) -> dict:
-        out = operating_point_lanes([circuit], batch=self.batch)[0]
+    def _solve_bias(self, circuit, warm: bool = False) -> dict:
+        guesses = None
+        if warm and self.warm_start and self._bias_guide is not None:
+            guesses = [align_x0(circuit.compile(), self._bias_guide)]
+        out = operating_point_lanes([circuit], batch=self.batch,
+                                    x0_guesses=guesses)[0]
         if isinstance(out, ConvergenceError):
             raise out
         return {"vbn1": out.voltage("vbn1"), "vbn2": out.voltage("vbn2"),
                 "ivdd": -out.current("VDD")}
 
-    def _comparator_runs(self, vbn1: float, vbn2: float,
-                         vin_offsets: Sequence[float]) -> List[dict]:
-        """Re-run the comparator testbench at several input offsets with
+    def _comparator_raw(self, vbn1: float, vbn2: float,
+                        vin_offsets: Sequence[float],
+                        warm: bool = False):
+        """Raw comparator-bank transients at several input offsets with
         shifted bias lines — one batched transient (the lanes differ
         only in source values)."""
         circuits = []
+        guides = [] if warm and self.warm_start and self._comp_guides \
+            else None
         for off in vin_offsets:
             tb = build_testbench(process=self.process,
                                  vin=2.5 + off, vref=2.5,
@@ -366,22 +553,34 @@ class BiasgenFaultEngine:
             tb.circuit.element("VBN1S").value = vbn1
             tb.circuit.element("VBN2S").value = vbn2
             circuits.append(tb.circuit)
-        outcomes = transient_lanes(
+            if guides is not None:
+                trajectory = self._comp_guides.get(
+                    "above" if off > 0 else "below")
+                guides.append(align_guide(tb.circuit.compile(),
+                                          trajectory))
+        return transient_lanes(
             circuits, tstop=self.period, dt=self.dt,
             fine_windows=regeneration_windows(self.period, 1),
-            batch=self.batch)
+            batch=self.batch, guides=guides)
+
+    def _extract_comparator(self, tr: TransientResult) -> dict:
+        times = phase_measure_times(self.period, 0)
+        ivdd = supply_current(tr, "VDD")
+        samples = [float(ivdd[int(np.argmin(np.abs(tr.times - t)))])
+                   for t in times]
+        decision = tr.at_time("ffout", 0.97 * self.period) > \
+            self.process.vdd / 2.0
+        return {"ivdd": samples, "decision": bool(decision)}
+
+    def _comparator_runs(self, vbn1: float, vbn2: float,
+                         vin_offsets: Sequence[float],
+                         warm: bool = False) -> List[dict]:
         results = []
-        for tr in outcomes:
+        for tr in self._comparator_raw(vbn1, vbn2, vin_offsets,
+                                       warm=warm):
             if isinstance(tr, ConvergenceError):
                 raise tr
-            times = phase_measure_times(self.period, 0)
-            ivdd = supply_current(tr, "VDD")
-            samples = [float(ivdd[int(np.argmin(np.abs(tr.times - t)))])
-                       for t in times]
-            decision = tr.at_time("ffout", 0.97 * self.period) > \
-                self.process.vdd / 2.0
-            results.append({"ivdd": samples,
-                            "decision": bool(decision)})
+            results.append(self._extract_comparator(tr))
         return results
 
     def _comparator_run(self, vbn1: float, vbn2: float, vin_offset: float
@@ -390,12 +589,73 @@ class BiasgenFaultEngine:
 
     def good(self) -> dict:
         if self._good is None:
-            bias = self._solve_bias(biasgen_testbench(self.process))
-            above, below = self._comparator_runs(bias["vbn1"],
-                                                 bias["vbn2"],
-                                                 [0.1, -0.1])
-            self._good = {"bias": bias, "above": above, "below": below}
+            bias_circuit = biasgen_testbench(self.process)
+            guesses = None
+            if self.warm_start and self._bias_guide is not None:
+                guesses = [align_x0(bias_circuit.compile(),
+                                    self._bias_guide)]
+            out = operating_point_lanes([bias_circuit],
+                                        batch=self.batch,
+                                        x0_guesses=guesses)[0]
+            if isinstance(out, ConvergenceError):
+                raise out
+            self._bias_guide = Trajectory.from_result(out)
+            bias = {"vbn1": out.voltage("vbn1"),
+                    "vbn2": out.voltage("vbn2"),
+                    "ivdd": -out.current("VDD")}
+            raws = self._comparator_raw(bias["vbn1"], bias["vbn2"],
+                                        [0.1, -0.1])
+            results = []
+            for pol, tr in zip(("above", "below"), raws):
+                if isinstance(tr, ConvergenceError):
+                    raise tr
+                self._comp_guides[pol] = Trajectory.from_result(tr)
+                results.append(self._extract_comparator(tr))
+            self._good = {"bias": bias, "above": results[0],
+                          "below": results[1]}
         return self._good
+
+    def export_baseline(self) -> MacroBaseline:
+        """The fault-free solves as a shareable baseline blob."""
+        good = self.good()
+        payload = {
+            "bias": dict(good["bias"]),
+            "above": {"ivdd": list(good["above"]["ivdd"]),
+                      "decision": good["above"]["decision"]},
+            "below": {"ivdd": list(good["below"]["ivdd"]),
+                      "decision": good["below"]["decision"]},
+            "bias_guide": (self._bias_guide.to_dict()
+                           if self._bias_guide else None),
+            "comp_guides": {pol: t.to_dict()
+                            for pol, t in self._comp_guides.items()},
+        }
+        return MacroBaseline(macro="biasgen", payload=payload)
+
+    def adopt_baseline(self, baseline) -> bool:
+        """Reuse an exported baseline; False if it does not fit."""
+        payload = coerce_payload(baseline)
+        if payload is None:
+            return False
+        try:
+            bias = {k: float(payload["bias"][k])
+                    for k in ("vbn1", "vbn2", "ivdd")}
+            runs = {pol: {"ivdd": [float(v)
+                                   for v in payload[pol]["ivdd"]],
+                          "decision": bool(payload[pol]["decision"])}
+                    for pol in ("above", "below")}
+            bias_guide = (Trajectory.from_dict(payload["bias_guide"])
+                          if payload.get("bias_guide") else None)
+            comp_guides = {str(pol): Trajectory.from_dict(t)
+                           for pol, t
+                           in payload.get("comp_guides", {}).items()}
+        except (KeyError, TypeError, ValueError):
+            return False
+        self._good = {"bias": bias, "above": runs["above"],
+                      "below": runs["below"]}
+        self._bias_guide = bias_guide
+        self._comp_guides = comp_guides
+        self.baseline_source = "adopted"
+        return True
 
     def simulate_class(self, fault_class: FaultClass) -> DetectionRecord:
         good = self.good()
@@ -408,7 +668,7 @@ class BiasgenFaultEngine:
         for model in variants:
             tb = biasgen_testbench(self.process)
             try:
-                bias = self._solve_bias(inject(tb, model))
+                bias = self._solve_bias(inject(tb, model), warm=True)
             except ConvergenceError:
                 outcomes.append((True, {CurrentMechanism.IVDD}))
                 continue
@@ -416,14 +676,19 @@ class BiasgenFaultEngine:
             d_own = bias["ivdd"] - good["bias"]["ivdd"]
             shift = max(abs(bias["vbn1"] - good["bias"]["vbn1"]),
                         abs(bias["vbn2"] - good["bias"]["vbn2"]))
-            if shift < self.dead_band:
+            if self.drop and shift < self.dead_band:
+                # detection-driven drop: the bias lines stayed inside
+                # the dead band, so the bank re-run cannot move any
+                # decision; only the macro's own supply draw remains
+                self.reruns_dropped += 1
                 if abs(d_own) > self.ivdd_window_halfwidth:
                     mechanisms.add(CurrentMechanism.IVDD)
                 outcomes.append((False, mechanisms))
                 continue
             try:
                 above, below = self._comparator_runs(
-                    bias["vbn1"], bias["vbn2"], [0.1, -0.1])
+                    bias["vbn1"], bias["vbn2"], [0.1, -0.1],
+                    warm=True)
             except ConvergenceError:
                 outcomes.append((True, {CurrentMechanism.IVDD}))
                 continue
@@ -446,7 +711,9 @@ class BiasgenFaultEngine:
         return DetectionRecord(count=fault_class.count,
                                voltage_detected=voltage,
                                mechanisms=frozenset(mechanisms),
-                               fault_type=fault_class.fault_type)
+                               fault_type=fault_class.fault_type,
+                               detected_by=_detected_by(voltage,
+                                                        mechanisms))
 
     def run(self, classes: Sequence[FaultClass]) -> List[DetectionRecord]:
         return [self.simulate_class(fc) for fc in classes]
@@ -515,11 +782,13 @@ class DecoderFaultEngine:
                                         vectors[k]):
                     logic_det = True
                     break
+            mechanisms = frozenset({CurrentMechanism.IDDQ}) \
+                if iddq_det else frozenset()
             return DetectionRecord(
                 count=1, voltage_detected=logic_det,
-                mechanisms=frozenset({CurrentMechanism.IDDQ})
-                if iddq_det else frozenset(),
-                fault_type="short")
+                mechanisms=mechanisms,
+                fault_type="short",
+                detected_by=_detected_by(logic_det, mechanisms))
         if isinstance(fault, StuckAtFault):
             differing = [k for k, vals in enumerate(values)
                          if vals.get(fault.net) != fault.value]
@@ -530,7 +799,8 @@ class DecoderFaultEngine:
                     break
             return DetectionRecord(
                 count=1, voltage_detected=detected,
-                mechanisms=frozenset(), fault_type="open")
+                mechanisms=frozenset(), fault_type="open",
+                detected_by=_detected_by(detected, frozenset()))
         raise TypeError(f"unsupported decoder fault {fault!r}")
 
     def run(self) -> Tuple[List[DetectionRecord], List[DetectionRecord]]:

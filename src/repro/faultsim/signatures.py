@@ -70,6 +70,34 @@ class Measurement:
     clock_deviation: float
     resolved: bool = True
 
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form (the baseline-cache contract)."""
+        return {
+            "decision": self.decision,
+            "ivdd": list(self.ivdd),
+            "iddq": list(self.iddq),
+            "iin": list(self.iin),
+            "ivref": list(self.ivref),
+            "ibias": list(self.ibias),
+            "clock_deviation": self.clock_deviation,
+            "resolved": self.resolved,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Measurement":
+        """Inverse of :meth:`to_dict` (raises KeyError/TypeError on
+        malformed input)."""
+        def triple(key: str) -> Tuple[float, float, float]:
+            a, b, c = (float(v) for v in data[key])
+            return (a, b, c)
+
+        return cls(decision=bool(data["decision"]),
+                   ivdd=triple("ivdd"), iddq=triple("iddq"),
+                   iin=triple("iin"), ivref=triple("ivref"),
+                   ibias=triple("ibias"),
+                   clock_deviation=float(data["clock_deviation"]),
+                   resolved=bool(data.get("resolved", True)))
+
 
 @dataclass(frozen=True)
 class SignatureResult:

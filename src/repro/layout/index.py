@@ -81,3 +81,41 @@ class SpatialIndex:
     def bucket_count(self, layer: str) -> int:
         """Number of occupied buckets on a layer (diagnostics)."""
         return len(self._grid.get(layer, ()))
+
+
+class ShapeGrid:
+    """Layer-agnostic uniform grid over an arbitrary shape sequence.
+
+    Connectivity extraction needs candidate *pairs* across layers (cuts
+    connect conductors on different layers), so unlike
+    :class:`SpatialIndex` the grid is not partitioned by layer: two
+    shapes can only touch if their bounding boxes share a bucket, and
+    every intersecting pair shares at least one bucket (the overlap
+    region lies in a cell both bboxes cover).
+    """
+
+    def __init__(self, shapes: Sequence[Shape],
+                 bucket: float = DEFAULT_BUCKET) -> None:
+        if bucket <= 0:
+            raise ValueError("bucket size must be positive")
+        self.bucket = float(bucket)
+        self._grid: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        b = self.bucket
+        for idx, shape in enumerate(shapes):
+            rect = shape.rect
+            ix0, ix1 = int(rect.x0 // b), int(rect.x1 // b)
+            iy0, iy1 = int(rect.y0 // b), int(rect.y1 // b)
+            for ix in range(ix0, ix1 + 1):
+                for iy in range(iy0, iy1 + 1):
+                    self._grid[(ix, iy)].append(idx)
+
+    def candidate_groups(self) -> Iterable[List[int]]:
+        """Index groups that share a bucket (candidate-pair sources).
+
+        Buckets holding a single shape yield nothing; a pair spanning
+        several shared buckets appears in each of them (callers must be
+        idempotent, e.g. union-find merges).
+        """
+        for members in self._grid.values():
+            if len(members) > 1:
+                yield members

@@ -32,6 +32,11 @@ class DetectionRecord:
         fault_type: defect-simulator fault type label.
         violated_keys: fine-grained (quantity, phase, polarity)
             measurement violations, when the engine recorded them.
+        detected_by: first stimulus in the detectability-ordered
+            schedule that catches the class (``"current"`` — the
+            quiescent measurements on the boundary runs — before
+            ``"voltage"`` — the missing-code test); None when
+            undetected or when the engine does not track it.
     """
 
     count: int
@@ -40,6 +45,7 @@ class DetectionRecord:
     voltage_signature: Optional[VoltageSignature] = None
     fault_type: str = "short"
     violated_keys: FrozenSet[Tuple[str, str, str]] = frozenset()
+    detected_by: Optional[str] = None
 
     @property
     def current_detected(self) -> bool:
@@ -55,7 +61,7 @@ class DetectionRecord:
         Collections are sorted so equal records always encode to the
         same dictionary — the campaign store hashes this encoding.
         """
-        return {
+        data = {
             "count": self.count,
             "voltage_detected": self.voltage_detected,
             "mechanisms": sorted(m.value for m in self.mechanisms),
@@ -65,6 +71,11 @@ class DetectionRecord:
             "violated_keys": sorted(list(k)
                                     for k in self.violated_keys),
         }
+        # only encoded when tracked, so records predating the field
+        # round-trip to their historical encoding unchanged
+        if self.detected_by is not None:
+            data["detected_by"] = self.detected_by
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DetectionRecord":
@@ -84,7 +95,8 @@ class DetectionRecord:
                                if signature else None),
             fault_type=data.get("fault_type", "short"),
             violated_keys=frozenset(
-                tuple(k) for k in data.get("violated_keys", ())))
+                tuple(k) for k in data.get("violated_keys", ())),
+            detected_by=data.get("detected_by"))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,74 @@
+"""Vectorised ADC paths are bit-identical to their scalar twins.
+
+``convert_many`` / ``decode_many`` / ``boundary_decode_many`` replaced
+per-sample Python loops on the campaign's hot paths; these tests pin
+the contract that vectorisation changed the speed and nothing else.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.behavioral import (ClockBehavior, ComparatorBehavior,
+                                  DecoderBehavior)
+from repro.adc.decoder import boundary_decode, boundary_decode_many
+from repro.adc.flash import nominal_adc
+
+
+def ramp(n=300):
+    lo, hi = nominal_adc().full_scale()
+    span = hi - lo
+    return np.linspace(lo - 0.05 * span, hi + 0.05 * span, n)
+
+
+class TestBoundaryDecodeMany:
+    @given(st.lists(st.lists(st.booleans(), min_size=255,
+                             max_size=255), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_rowwise(self, rows):
+        levels = np.array(rows, dtype=bool)
+        expected = [boundary_decode(list(r)) for r in rows]
+        assert boundary_decode_many(levels).tolist() == expected
+
+    def test_short_rows_rejected(self):
+        short = np.zeros((2, 100), dtype=bool)
+        try:
+            boundary_decode_many(short)
+            raise AssertionError("short rows accepted")
+        except ValueError:
+            pass
+
+    def test_stuck_decoder_bits_match(self):
+        dec = DecoderBehavior(stuck_bits={3: True, 0: False})
+        levels = np.zeros((10, 255), dtype=bool)
+        levels[:, :50] = True
+        many = dec.decode_many(levels)
+        assert many.tolist() == [dec.decode(list(r)) for r in levels]
+
+
+class TestConvertMany:
+    def adcs(self):
+        yield nominal_adc()
+        yield nominal_adc().with_comparator(
+            100, ComparatorBehavior(stuck=True))
+        yield nominal_adc().with_comparator(
+            80, ComparatorBehavior(offset=0.05))
+        yield nominal_adc().with_comparator(
+            120, ComparatorBehavior(mixed_band=0.02))
+        yield nominal_adc().with_comparator(
+            60, ComparatorBehavior(clock_degraded=True))
+        yield nominal_adc().with_clocks(ClockBehavior(phi2_ok=False))
+        yield nominal_adc().with_clocks(ClockBehavior(degraded=True))
+
+    def test_matches_scalar_convert(self):
+        vins = ramp()
+        for adc in self.adcs():
+            for at_speed in (False, True):
+                many = adc.convert_many(vins, at_speed=at_speed)
+                scalar = [adc.convert(float(v), at_speed=at_speed)
+                          for v in vins]
+                assert many.tolist() == scalar, \
+                    f"divergence (at_speed={at_speed})"
+
+    def test_transfer_codes_monotonic_nominal(self):
+        codes = nominal_adc().transfer_codes(512)
+        assert np.all(np.diff(codes) >= 0)

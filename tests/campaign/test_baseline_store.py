@@ -1,0 +1,102 @@
+"""Baseline blobs in the store, and the likelihood dispatch order.
+
+The baseline cache is keyed by the *normalised* engine spec: the
+warm_start / drop performance knobs must not fragment it (a cold
+exhaustive campaign and an incremental one share the same fault-free
+circuit), while anything that changes the physics must.
+"""
+
+import dataclasses
+import json
+from types import SimpleNamespace
+
+from repro.campaign.plan import likelihood_order
+from repro.campaign.store import ResultsStore, baseline_key
+from repro.campaign.tasks import EngineSpec
+
+
+def spec(**kwargs) -> EngineSpec:
+    return EngineSpec(macro="ladder", ivdd_window_halfwidth=0.02,
+                      **kwargs)
+
+
+class TestBaselineKey:
+    def test_performance_knobs_share_a_key(self):
+        base = baseline_key(spec())
+        for knobs in ({"warm_start": False}, {"drop": False},
+                      {"warm_start": False, "drop": False}):
+            assert baseline_key(spec(**knobs)) == base
+
+    def test_physics_changes_split_the_key(self):
+        base = baseline_key(spec())
+        assert baseline_key(spec(dt=2e-9)) != base
+        assert baseline_key(dataclasses.replace(
+            spec(), macro="clockgen")) != base
+        assert baseline_key(dataclasses.replace(
+            spec(), ivdd_window_halfwidth=0.03)) != base
+
+    def test_dft_variant_splits_the_key(self):
+        """The engine registry is keyed by this digest, so a DfT
+        comparator must never look up the standard baseline."""
+        std = EngineSpec(macro="comparator")
+        dft = EngineSpec(macro="comparator", dft_flipflop=True)
+        assert baseline_key(std) != baseline_key(dft)
+
+    def test_version_splits_the_key(self):
+        assert baseline_key(spec(), version="a") != \
+            baseline_key(spec(), version="b")
+
+
+class TestBlobStore:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = baseline_key(spec())
+        assert store.get_blob(key) is None
+        assert (store.baseline_hits, store.baseline_misses) == (0, 1)
+        store.put_blob(key, {"macro": "ladder", "payload": {"x": 1.5}})
+        assert store.get_blob(key) == {"macro": "ladder",
+                                       "payload": {"x": 1.5}}
+        assert (store.baseline_hits, store.baseline_misses) == (1, 1)
+
+    def test_fresh_store_instance_reads_blob(self, tmp_path):
+        key = baseline_key(spec())
+        ResultsStore(tmp_path).put_blob(key, {"a": 1})
+        assert ResultsStore(tmp_path).get_blob(key) == {"a": 1}
+
+    def test_corrupt_blob_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = baseline_key(spec())
+        store.put_blob(key, {"a": 1})
+        path, = (tmp_path / "baselines").glob("*.json")
+        path.write_text("{not json")
+        assert store.get_blob(key) is None
+        assert store.baseline_misses == 1
+
+    def test_non_dict_blob_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = baseline_key(spec())
+        store.put_blob(key, {"a": 1})
+        path, = (tmp_path / "baselines").glob("*.json")
+        path.write_text(json.dumps([1, 2]))
+        assert store.get_blob(key) is None
+        assert store.baseline_misses == 1
+
+
+class TestLikelihoodOrder:
+    @staticmethod
+    def task(task_id, count):
+        return SimpleNamespace(task_id=task_id,
+                               fault_class=SimpleNamespace(count=count))
+
+    def test_heaviest_first_ties_by_task_id(self):
+        tasks = [self.task("ladder:short:2", 5),
+                 self.task("ladder:short:0", 9),
+                 self.task("ladder:short:1", 5)]
+        ordered = likelihood_order(tasks)
+        assert [t.task_id for t in ordered] == \
+            ["ladder:short:0", "ladder:short:1", "ladder:short:2"]
+
+    def test_input_not_mutated(self):
+        tasks = [self.task("b", 1), self.task("a", 2)]
+        likelihood_order(tasks)
+        assert [t.task_id for t in tasks] == ["b", "a"]

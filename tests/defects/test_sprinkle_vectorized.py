@@ -1,0 +1,66 @@
+"""The vectorised sprinkler: deterministic, well-typed, in-bounds.
+
+The inner defect loop was vectorised without touching the RNG draw
+order (one batched draw per stream per chunk), so a seed must keep
+producing the same defect sequence across runs, batch sizes must not
+matter for totals, and every generated value must be a plain Python
+float (pool workers pickle defects by the million).
+"""
+
+import numpy as np
+
+from repro.defects import sprinkle
+from repro.defects.sprinkle import EDGE_MARGIN, iter_sprinkle
+from repro.defects.statistics import DefectStatistics
+from repro.adc.comparator import comparator_layout
+
+
+def _key(defect):
+    return (defect.mechanism.name, defect.disk.cx, defect.disk.cy,
+            defect.disk.radius)
+
+
+class TestSprinkleDeterminism:
+    def test_same_seed_same_stream(self):
+        cell = comparator_layout()
+        a = sprinkle(cell, 500, seed=42)
+        b = sprinkle(cell, 500, seed=42)
+        assert [_key(d) for d in a] == [_key(d) for d in b]
+
+    def test_different_seed_differs(self):
+        cell = comparator_layout()
+        a = sprinkle(cell, 200, seed=1)
+        b = sprinkle(cell, 200, seed=2)
+        assert [_key(d) for d in a] != [_key(d) for d in b]
+
+    def test_prefix_stable_across_totals(self):
+        """Streaming more defects must not perturb the earlier ones
+        (chunked draws are per-chunk, so compare chunk-aligned runs)."""
+        cell = comparator_layout()
+        small = list(iter_sprinkle(cell, 4096, seed=7))
+        large = list(iter_sprinkle(cell, 8192, seed=7))
+        assert [_key(d) for d in small] == \
+            [_key(d) for d in large[:4096]]
+
+    def test_positions_within_expanded_bbox(self):
+        cell = comparator_layout()
+        box = cell.bbox().expanded(EDGE_MARGIN)
+        for d in sprinkle(cell, 300, seed=3):
+            assert box.x0 <= d.disk.cx <= box.x1
+            assert box.y0 <= d.disk.cy <= box.y1
+            assert d.disk.radius > 0
+
+    def test_plain_python_floats(self):
+        """Defects are pickled by the million; numpy scalars bloat the
+        stream and leak dtype into downstream arithmetic."""
+        for d in sprinkle(comparator_layout(), 50, seed=5):
+            assert type(d.disk.cx) is float
+            assert type(d.disk.cy) is float
+            assert type(d.disk.radius) is float
+
+    def test_mechanism_mix_follows_statistics(self):
+        stats = DefectStatistics()
+        defects = sprinkle(comparator_layout(), 2000, seed=11,
+                           stats=stats)
+        names = {d.mechanism.name for d in defects}
+        assert len(names) > 1  # several mechanisms actually drawn

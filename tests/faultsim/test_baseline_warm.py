@@ -1,0 +1,96 @@
+"""Adopted baselines reproduce cold-start verdicts on every engine.
+
+The incremental campaign computes each macro's fault-free baseline
+once, stores it, and adopts it into warm engines on later runs.  The
+scheme is only sound if a warm engine seeded with an adopted baseline
+emits *exactly* the DetectionRecords a cold engine computes from
+scratch — these tests pin that per macro, plus the refusal paths (a
+blob that does not fit must never be adopted).
+"""
+
+import pytest
+
+from repro.defects import ShortFault
+from repro.defects.collapse import FaultClass
+from repro.faultsim import ComparatorFaultEngine, EngineConfig
+from repro.faultsim.baseline import MacroBaseline
+from repro.faultsim.macro_engines import (BiasgenFaultEngine,
+                                          ClockgenFaultEngine,
+                                          DecoderFaultEngine,
+                                          LadderFaultEngine)
+
+
+def short_class(a, b, layer="metal1", r=0.2, count=5):
+    fault = ShortFault(nets=frozenset({a, b}), layer=layer,
+                       resistance=r)
+    return FaultClass(representative=fault, count=count)
+
+
+def comparator_engine(**knobs):
+    return ComparatorFaultEngine(EngineConfig(**knobs))
+
+
+#: macro -> (engine factory taking warm_start/drop, two fault classes:
+#: one clearly detected, one marginal/escaping)
+ENGINES = {
+    "comparator": (comparator_engine,
+                   [("lp", "ln"), ("vbn1", "vbn2")]),
+    "ladder": (lambda **kw: LadderFaultEngine(
+                   ivdd_window_halfwidth=20e-3, **kw),
+               [("tap4", "gnd"), ("tap4", "tap5")]),
+    "clockgen": (ClockgenFaultEngine,
+                 [("phi1", "gnd"), ("phi1", "phi3")]),
+    "biasgen": (lambda **kw: BiasgenFaultEngine(
+                    ivdd_window_halfwidth=20e-3, **kw),
+                [("vbn1", "gnd"), ("vbn1", "vbn2")]),
+}
+
+
+@pytest.mark.parametrize("macro", sorted(ENGINES))
+def test_warm_adopted_equals_cold(macro):
+    build, pairs = ENGINES[macro]
+    cold = build(warm_start=False, drop=False)
+    cold_records = [cold.simulate_class(short_class(a, b))
+                    for a, b in pairs]
+    blob = cold.export_baseline().to_dict()  # the store wire format
+
+    warm = build(warm_start=True, drop=True)
+    assert warm.adopt_baseline(blob), macro
+    assert warm.baseline_source == "adopted"
+    warm_records = [warm.simulate_class(short_class(a, b))
+                    for a, b in pairs]
+    assert warm_records == cold_records
+
+
+class TestAdoptRefusal:
+    def test_foreign_payload_refused(self):
+        blob = MacroBaseline(macro="ladder",
+                             payload={"nope": 1}).to_dict()
+        engine = ClockgenFaultEngine()
+        assert engine.adopt_baseline(blob) is False
+        assert engine.baseline_source == "computed"
+
+    def test_stale_version_refused(self):
+        blob = MacroBaseline(macro="clockgen",
+                             payload={"good": {}}).to_dict()
+        blob["baseline_version"] = -1
+        assert ClockgenFaultEngine().adopt_baseline(blob) is False
+
+    def test_comparator_refuses_corner_mismatch(self):
+        cold = comparator_engine(warm_start=False)
+        blob = cold.export_baseline().to_dict()
+        corners = blob["payload"]["corners"]
+        corners.pop(next(iter(corners)))
+        assert comparator_engine().adopt_baseline(blob) is False
+
+
+def test_decoder_records_detected_by():
+    engine = DecoderFaultEngine(n_bridge_sample=20, n_stuck_sample=10,
+                                seed=3)
+    bridges, stucks = engine.run()
+    assert any(r.detected for r in bridges + stucks)
+    for rec in bridges + stucks:
+        if rec.detected:
+            assert rec.detected_by in ("current", "voltage")
+        else:
+            assert rec.detected_by is None
