@@ -1,0 +1,189 @@
+"""Diagnosis benchmark: dictionary build caching + batch query rate.
+
+Two promises are measured on the fast-config comparator campaign (the
+``bench_incremental`` budget):
+
+1. **Build reuse** — the first ``build_dictionary`` against a fresh
+   store computes everything; the second is all cache hits (class
+   records *and* the compiled dictionary blob) and returns the
+   byte-identical dictionary.  The closed loop must hold: every
+   class's own signature ranks that class or its ambiguity group
+   top-1.
+2. **Query throughput** — one vectorized ``diagnose_batch`` over
+   >= 10k signatures must sustain at least :data:`MIN_QPS`
+   queries/second (the matcher is one NumPy distance expression, so
+   this floor is conservative by orders of magnitude).
+
+Numbers land machine-readable in
+``benchmarks/output/BENCH_diagnosis.json`` (``*_wall`` keys are
+tracked by ``scripts/bench_compare.py``).  Runs standalone
+(``python benchmarks/bench_diagnosis.py``) or under pytest with the
+other benchmarks.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.campaign import CampaignOptions, EventBus, MetricsCollector
+from repro.campaign.events import DictionaryBuilt
+from repro.core import PathConfig
+from repro.diagnosis import DictionaryMatcher, build_dictionary
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: batch-query throughput floor (queries/second)
+MIN_QPS = 10_000
+
+#: minimum batch size the throughput is measured over
+MIN_BATCH = 10_000
+
+#: the fast-config comparator campaign (the bench_incremental budget)
+N_DEFECTS = 4000
+MAX_CLASSES = 8
+
+
+def _config(n_defects=N_DEFECTS, max_classes=MAX_CLASSES) -> PathConfig:
+    return PathConfig(n_defects=n_defects, max_classes=max_classes,
+                      include_noncat=False, seed=1995)
+
+
+def _build(config, cache_dir):
+    bus = EventBus()
+    collector = MetricsCollector()
+    bus.subscribe(collector)
+    built = []
+    bus.subscribe(lambda e: built.append(e)
+                  if isinstance(e, DictionaryBuilt) else None)
+    started = time.perf_counter()
+    dictionary = build_dictionary(
+        config, CampaignOptions(jobs=1, cache_dir=cache_dir), bus=bus,
+        macros=["comparator"])
+    wall = time.perf_counter() - started
+    return dictionary, wall, collector.snapshot(), built[-1].source
+
+
+def _closed_loop(dictionary) -> int:
+    matcher = DictionaryMatcher(dictionary)
+    ok = 0
+    for entry, diagnosis in zip(dictionary.entries,
+                                matcher.diagnose_batch(
+                                    dictionary.matrix())):
+        top = diagnosis.top
+        if top is not None and (top.label == entry.label or
+                                entry.label in
+                                diagnosis.ambiguity_group):
+            ok += 1
+    return ok
+
+
+def _query_batch(dictionary, n_queries: int) -> np.ndarray:
+    """>= n_queries signature vectors cycled from the dictionary's own
+    entries plus the all-zero (passing) signature."""
+    base = np.vstack([dictionary.matrix(),
+                      np.zeros((1, len(dictionary.features)))])
+    reps = -(-n_queries // base.shape[0])  # ceil division
+    return np.tile(base, (reps, 1))[:n_queries]
+
+
+def run_bench(n_defects=N_DEFECTS, max_classes=MAX_CLASSES,
+              n_queries=MIN_BATCH) -> dict:
+    config = _config(n_defects, max_classes)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        _, cold_wall, cold_metrics, cold_source = _build(config,
+                                                         cache_dir)
+        dictionary, warm_wall, warm_metrics, warm_source = _build(
+            config, cache_dir)
+
+    closed_ok = _closed_loop(dictionary)
+
+    matcher = DictionaryMatcher(dictionary)
+    queries = _query_batch(dictionary, n_queries)
+    started = time.perf_counter()
+    diagnoses = matcher.diagnose_batch(queries)
+    query_wall = time.perf_counter() - started
+
+    return {
+        "workload": f"comparator dictionary ({len(dictionary)} "
+                    f"classes, {n_defects} defects); "
+                    f"{len(queries)} queries",
+        "classes": len(dictionary),
+        "closed_loop_ok": closed_ok,
+        "closed_loop_total": len(dictionary),
+        "build_cold_wall": cold_wall,
+        "build_warm_wall": warm_wall,
+        "cold_source": cold_source,
+        "warm_source": warm_source,
+        "warm_computed": warm_metrics.computed,
+        "warm_cache_hits": warm_metrics.cache_hits,
+        "cold_computed": cold_metrics.computed,
+        "n_queries": len(diagnoses),
+        "query_wall": query_wall,
+        "queries_per_sec": len(queries) / query_wall,
+        "min_queries_per_sec": MIN_QPS,
+    }
+
+
+def emit_diagnosis_json(payload: dict) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_diagnosis.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def _check(payload: dict) -> list:
+    """Acceptance assertions; returns failure messages."""
+    failures = []
+    if payload["warm_source"] != "cache":
+        failures.append("second build was not served from the "
+                        "dictionary cache")
+    if payload["warm_computed"] != 0:
+        failures.append(f"warm build recomputed "
+                        f"{payload['warm_computed']} classes")
+    if payload["closed_loop_ok"] != payload["closed_loop_total"]:
+        failures.append(
+            f"closed loop broken: {payload['closed_loop_ok']}/"
+            f"{payload['closed_loop_total']} classes self-match")
+    if payload["queries_per_sec"] < MIN_QPS:
+        failures.append(
+            f"batch query rate {payload['queries_per_sec']:.0f}/s "
+            f"below the {MIN_QPS}/s floor")
+    return failures
+
+
+def test_diagnosis_bench():
+    """Warm build all-cache-hits, closed loop 100%, >= 10k queries/s."""
+    payload = run_bench()
+    emit_diagnosis_json(payload)
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--defects", type=int, default=N_DEFECTS,
+                        help="class-discovery defect budget "
+                             "(default: %(default)d)")
+    parser.add_argument("--max-classes", type=int, default=MAX_CLASSES,
+                        help="class cap (default: %(default)d)")
+    parser.add_argument("--queries", type=int, default=MIN_BATCH,
+                        help="batch size for the throughput "
+                             "measurement (default: %(default)d)")
+    args = parser.parse_args()
+    payload = run_bench(n_defects=args.defects,
+                        max_classes=args.max_classes,
+                        n_queries=args.queries)
+    emit_diagnosis_json(payload)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

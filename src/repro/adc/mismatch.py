@@ -92,14 +92,17 @@ def comparator_offset(process: Optional[Process] = None,
 def offset_distribution(n_samples: int = 20,
                         process: Optional[Process] = None,
                         a_vt: float = A_VT, seed: int = 0,
-                        resolution: float = 2e-3) -> np.ndarray:
+                        resolution: float = 2e-3,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> np.ndarray:
     """Monte Carlo comparator offset distribution (volts).
 
     Each sample is one mismatched instance, bisected to *resolution*.
+    *seed* is ignored when an explicit *rng* is given.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     return np.array([comparator_offset(process, rng, a_vt,
                                        resolution=resolution)
                      for _ in range(n_samples)])

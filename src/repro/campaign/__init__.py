@@ -22,15 +22,18 @@ See ``docs/CAMPAIGNS.md`` for the operational guide.
 
 from .events import (CampaignEvent, CampaignFinished, CampaignMetrics,
                      CampaignStarted, ClassCompleted, ConsoleReporter,
-                     EventBus, MacroPlanned, MetricsCollector)
+                     DiagnosisMetrics, DiagnosisMetricsCollector,
+                     DictionaryBuilt, EventBus, MacroPlanned,
+                     MetricsCollector, QueryBatchServed)
 from .journal import CampaignJournal, JournalEntry
 from .plan import (ALL_MACROS, MacroPlan, discover_classes,
                    ivdd_halfwidth, likelihood_order, plan_macro,
                    validate_macros)
 from .runner import (CampaignOptions, CampaignResult, CampaignRunner,
                      DEFAULT_CACHE_DIR)
-from .store import (STORE_VERSION, ResultsStore, baseline_key,
-                    canonical, content_key)
+from .store import (STORE_VERSION, ResultsStore, StoredRecord,
+                    baseline_key, canonical, content_key,
+                    dictionary_key)
 from .tasks import (ANALOG_MACROS, ClassTask, EngineSpec, TaskOutcome,
                     adopt_baselines, build_engine, clear_engine_cache,
                     degraded_record, get_engine, run_task,
@@ -38,13 +41,16 @@ from .tasks import (ANALOG_MACROS, ClassTask, EngineSpec, TaskOutcome,
 
 __all__ = [
     "CampaignEvent", "CampaignFinished", "CampaignMetrics",
-    "CampaignStarted", "ClassCompleted", "ConsoleReporter", "EventBus",
-    "MacroPlanned", "MetricsCollector", "CampaignJournal",
+    "CampaignStarted", "ClassCompleted", "ConsoleReporter",
+    "DiagnosisMetrics", "DiagnosisMetricsCollector", "DictionaryBuilt",
+    "EventBus", "MacroPlanned", "MetricsCollector", "QueryBatchServed",
+    "CampaignJournal",
     "JournalEntry", "ALL_MACROS", "MacroPlan", "discover_classes",
     "ivdd_halfwidth", "likelihood_order", "plan_macro",
     "validate_macros", "CampaignOptions", "CampaignResult",
     "CampaignRunner", "DEFAULT_CACHE_DIR", "STORE_VERSION",
-    "ResultsStore", "baseline_key", "canonical", "content_key",
+    "ResultsStore", "StoredRecord", "baseline_key", "canonical",
+    "content_key", "dictionary_key",
     "ANALOG_MACROS", "ClassTask", "EngineSpec", "TaskOutcome",
     "adopt_baselines", "build_engine", "clear_engine_cache",
     "degraded_record", "get_engine", "run_task", "simulate_class",

@@ -95,6 +95,52 @@ class CampaignFinished(CampaignEvent):
     metrics: "CampaignMetrics"
 
 
+@dataclass(frozen=True)
+class DictionaryBuilt(CampaignEvent):
+    """A fault dictionary finished compiling (or loaded from cache).
+
+    Attributes:
+        classes: dictionary entries (detectable fault classes).
+        undetected: classes with all-zero signatures, excluded from
+            the dictionary but reported in its meta.
+        macros: macros contributing entries.
+        features: signature-vector width.
+        source: ``"computed"`` (compiled this run) or ``"cache"``
+            (served from the store's ``dictionaries/`` blobs).
+        wall: build wall time in seconds.
+    """
+
+    classes: int
+    undetected: int
+    macros: Tuple[str, ...]
+    features: int
+    source: str = "computed"
+    wall: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueryBatchServed(CampaignEvent):
+    """One diagnosis batch finished (matcher or HTTP server).
+
+    Attributes:
+        n_queries: signatures diagnosed in the batch.
+        wall: batch wall time in seconds.
+        matched: queries resolved to a single top candidate.
+        ambiguous: queries whose top candidate sits in an ambiguity
+            group.
+        unmatched: queries escaping the good space but matching no
+            dictionary entry.
+        passed: all-zero queries (inside the good space).
+    """
+
+    n_queries: int
+    wall: float = 0.0
+    matched: int = 0
+    ambiguous: int = 0
+    unmatched: int = 0
+    passed: int = 0
+
+
 class EventBus:
     """Thread-safe fan-out of campaign events to subscribers."""
 
@@ -285,6 +331,107 @@ class MetricsCollector:
                 weight_done=self._weight_done,
                 baseline_hits=self._baseline_hits,
                 baseline_misses=self._baseline_misses)
+
+
+@dataclass(frozen=True)
+class DiagnosisMetrics:
+    """Aggregated accounting of a diagnosis service.
+
+    Attributes:
+        batches: query batches served.
+        queries: signatures diagnosed.
+        matched / ambiguous / unmatched / passed: verdict counts.
+        wall_time: summed batch wall time in seconds.
+        max_batch_wall: slowest batch in seconds.
+        dictionary_classes: entries in the served dictionary.
+        dictionary_source: where the dictionary came from
+            (``"computed"`` / ``"cache"`` / ``""`` when untracked).
+    """
+
+    batches: int = 0
+    queries: int = 0
+    matched: int = 0
+    ambiguous: int = 0
+    unmatched: int = 0
+    passed: int = 0
+    wall_time: float = 0.0
+    max_batch_wall: float = 0.0
+    dictionary_classes: int = 0
+    dictionary_source: str = ""
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.queries / self.wall_time
+
+    @property
+    def ambiguity_rate(self) -> float:
+        """Fraction of failing queries landing in ambiguity groups."""
+        failing = self.matched + self.ambiguous + self.unmatched
+        if failing == 0:
+            return 0.0
+        return self.ambiguous / failing
+
+    def as_dict(self) -> Dict:
+        return {
+            "batches": self.batches,
+            "queries": self.queries,
+            "matched": self.matched,
+            "ambiguous": self.ambiguous,
+            "unmatched": self.unmatched,
+            "passed": self.passed,
+            "wall_time": self.wall_time,
+            "max_batch_wall": self.max_batch_wall,
+            "queries_per_second": self.queries_per_second,
+            "ambiguity_rate": self.ambiguity_rate,
+            "dictionary_classes": self.dictionary_classes,
+            "dictionary_source": self.dictionary_source,
+        }
+
+
+class DiagnosisMetricsCollector:
+    """EventBus subscriber folding diagnosis events into
+    :class:`DiagnosisMetrics` (the campaign pattern: typed events in,
+    one thread-safe snapshot out)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._queries = 0
+        self._matched = 0
+        self._ambiguous = 0
+        self._unmatched = 0
+        self._passed = 0
+        self._wall = 0.0
+        self._max_wall = 0.0
+        self._classes = 0
+        self._source = ""
+
+    def __call__(self, event: CampaignEvent) -> None:
+        with self._lock:
+            if isinstance(event, DictionaryBuilt):
+                self._classes = event.classes
+                self._source = event.source
+            elif isinstance(event, QueryBatchServed):
+                self._batches += 1
+                self._queries += event.n_queries
+                self._matched += event.matched
+                self._ambiguous += event.ambiguous
+                self._unmatched += event.unmatched
+                self._passed += event.passed
+                self._wall += event.wall
+                self._max_wall = max(self._max_wall, event.wall)
+
+    def snapshot(self) -> DiagnosisMetrics:
+        with self._lock:
+            return DiagnosisMetrics(
+                batches=self._batches, queries=self._queries,
+                matched=self._matched, ambiguous=self._ambiguous,
+                unmatched=self._unmatched, passed=self._passed,
+                wall_time=self._wall, max_batch_wall=self._max_wall,
+                dictionary_classes=self._classes,
+                dictionary_source=self._source)
 
 
 class ConsoleReporter:

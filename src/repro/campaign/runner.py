@@ -90,10 +90,20 @@ class CampaignOptions:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """A finished campaign: the path result plus its accounting."""
+    """A finished campaign: the path result plus its accounting.
+
+    Attributes:
+        path_result: the assembled per-macro analyses.
+        metrics: campaign accounting snapshot.
+        fingerprint: the campaign identity digest (see
+            :meth:`CampaignRunner.fingerprint`) — what dictionary
+            builds key their store blobs by.  Empty for results not
+            produced by a runner.
+    """
 
     path_result: PathResult
     metrics: "object"  # CampaignMetrics (kept loose for serialization)
+    fingerprint: str = ""
 
 
 @dataclass
@@ -343,7 +353,7 @@ class CampaignRunner:
         self.bus.emit(CampaignFinished(metrics=metrics))
         return CampaignResult(
             path_result=PathResult(config=self.config, macros=analyses),
-            metrics=metrics)
+            metrics=metrics, fingerprint=fingerprint)
 
     def _handle_outcome(self, pending: _Pending, outcome: TaskOutcome,
                         complete) -> bool:

@@ -23,8 +23,9 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 from ..core.serialize import (SerializeError, record_from_dict,
                               record_to_dict)
@@ -106,6 +107,43 @@ def baseline_key(spec: EngineSpec, version: str = STORE_VERSION) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def dictionary_key(fingerprint: str, dictionary_version: int,
+                   version: str = STORE_VERSION) -> str:
+    """SHA-256 digest identifying a compiled fault dictionary.
+
+    Keyed by the campaign fingerprint — the digest over every task's
+    content key — so a dictionary is reused exactly when every record
+    it was compiled from would be reused, and any spec / fault-model /
+    code-version change misses cleanly.  The dictionary format version
+    is part of the key so a format bump recompiles without clobbering
+    old blobs.
+    """
+    payload = {
+        "store_version": version,
+        "kind": "dictionary",
+        "dictionary_version": int(dictionary_version),
+        "campaign": fingerprint,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredRecord:
+    """One object streamed out of the store by :meth:`iter_records`.
+
+    Attributes:
+        key: the object's content key.
+        record: the detection record.
+        meta: the free-form metadata stored with it (the campaign
+            runner records ``task_id`` and ``macro`` here).
+    """
+
+    key: str
+    record: DetectionRecord
+    meta: Dict
+
+
 def _atomic_write_text(path: Path, text: str) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
@@ -140,6 +178,8 @@ class ResultsStore:
         self.misses = 0
         self.baseline_hits = 0
         self.baseline_misses = 0
+        self.dictionary_hits = 0
+        self.dictionary_misses = 0
 
     def key(self, fault_class: FaultClass, spec: EngineSpec) -> str:
         return content_key(fault_class, spec, version=self.version)
@@ -179,6 +219,41 @@ class ResultsStore:
         _atomic_write_text(self._path(key),
                            json.dumps(payload, sort_keys=True))
 
+    def iter_records(self) -> Iterator[StoredRecord]:
+        """Stream every stored record without re-keying or re-parsing
+        per class.
+
+        The dictionary build's bulk-read path: one filesystem walk in
+        key order (deterministic across runs), one JSON parse per
+        object.  Torn, corrupt or version-mismatched objects are
+        skipped with a warning — a damaged cache entry costs dictionary
+        coverage, never a crash — and do not touch the hit/miss
+        counters (this is a scan, not a lookup).
+        """
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("store_version") != self.version:
+                    warnings.warn(
+                        f"skipping {path.name}: store version "
+                        f"{payload.get('store_version')!r} != "
+                        f"{self.version!r}", stacklevel=2)
+                    continue
+                record = record_from_dict(payload["record"])
+                key = payload.get("key") or path.stem
+                meta = payload.get("meta") or {}
+                if not isinstance(meta, dict):
+                    raise SerializeError("meta is not a mapping")
+            except (OSError, json.JSONDecodeError, KeyError,
+                    AttributeError, SerializeError) as exc:
+                warnings.warn(f"skipping corrupt store object "
+                              f"{path.name}: {exc}", stacklevel=2)
+                continue
+            yield StoredRecord(key=key, record=record, meta=meta)
+
     # -- baseline blobs -----------------------------------------------------
 
     def _blob_path(self, key: str) -> Path:
@@ -204,6 +279,34 @@ class ResultsStore:
     def put_blob(self, key: str, payload: Dict) -> None:
         """Atomically persist an opaque JSON blob under a key."""
         _atomic_write_text(self._blob_path(key),
+                           json.dumps(payload, sort_keys=True))
+
+    # -- dictionary blobs ---------------------------------------------------
+
+    def _dictionary_path(self, key: str) -> Path:
+        return self.root / "dictionaries" / f"{key}.json"
+
+    def get_dictionary(self, key: str) -> Optional[Dict]:
+        """Load a compiled fault-dictionary payload by key.
+
+        Same contract as baselines: absent, torn or non-dict objects
+        are a miss (cost: a rebuild), never a crash.
+        """
+        try:
+            payload = json.loads(self._dictionary_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            self.dictionary_misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.dictionary_misses += 1
+            return None
+        self.dictionary_hits += 1
+        return payload
+
+    def put_dictionary(self, key: str, payload: Dict) -> None:
+        """Atomically persist a fault-dictionary payload under
+        ``dictionaries/<key>.json``."""
+        _atomic_write_text(self._dictionary_path(key),
                            json.dumps(payload, sort_keys=True))
 
     def __len__(self) -> int:

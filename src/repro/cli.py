@@ -9,6 +9,8 @@ Commands:
 * ``layout <macro>`` — ASCII rendering of a macro's layout.
 * ``cost`` — defect-oriented vs specification-oriented tester time.
 * ``quality`` — shipped-DPPM estimate for the simple test.
+* ``diagnose build|query|report|serve`` — fault-dictionary diagnosis
+  (see ``docs/DIAGNOSIS.md``).
 
 Budgets default to quick (minutes); ``--full`` uses paper-scale
 campaigns.  Execution is managed by the campaign runner: ``--jobs N``
@@ -120,6 +122,11 @@ def _run_campaign(args) -> int:
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["diagnose"]:
+        # the diagnose command owns its own subcommand tree
+        from .diagnosis.cli import main as diagnose_main
+        return diagnose_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)

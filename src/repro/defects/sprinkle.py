@@ -25,7 +25,8 @@ EDGE_MARGIN = 2.0
 
 def sprinkle(cell: LayoutCell, n_defects: int,
              stats: Optional[DefectStatistics] = None,
-             seed: int = 0) -> List[Defect]:
+             seed: int = 0,
+             rng: Optional[np.random.Generator] = None) -> List[Defect]:
     """Generate *n_defects* random defects over the cell.
 
     Deterministic for a given seed.
@@ -34,19 +35,24 @@ def sprinkle(cell: LayoutCell, n_defects: int,
         cell: target layout.
         n_defects: number of defects to throw.
         stats: defect statistics (defaults to the calibrated model).
-        seed: RNG seed.
+        seed: RNG seed (ignored when *rng* is given).
+        rng: explicit generator; pass one to share a stream across
+            calls instead of reseeding per call.
     """
-    return list(iter_sprinkle(cell, n_defects, stats=stats, seed=seed))
+    return list(iter_sprinkle(cell, n_defects, stats=stats, seed=seed,
+                              rng=rng))
 
 
 def iter_sprinkle(cell: LayoutCell, n_defects: int,
                   stats: Optional[DefectStatistics] = None,
-                  seed: int = 0, batch: int = 4096) -> Iterator[Defect]:
+                  seed: int = 0, batch: int = 4096,
+                  rng: Optional[np.random.Generator] = None
+                  ) -> Iterator[Defect]:
     """Streaming version of :func:`sprinkle` for large campaigns."""
     if n_defects < 0:
         raise ValueError("n_defects must be non-negative")
     stats = stats or DefectStatistics()
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     box = cell.bbox().expanded(EDGE_MARGIN)
 
     remaining = n_defects

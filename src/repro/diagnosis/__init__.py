@@ -1,0 +1,44 @@
+"""Fault-dictionary diagnosis: invert detection records to defects.
+
+The paper's boundary signatures (Tables 2/3) identify *which* defect
+class makes a device fail, not just that it fails.  This package
+compiles campaign results into queryable fault dictionaries and serves
+diagnosis over them:
+
+* :mod:`~repro.diagnosis.dictionary` — the versioned
+  :class:`FaultDictionary` (per-class signature vectors, tolerance
+  envelopes, priors);
+* :mod:`~repro.diagnosis.build` — compile from a live campaign
+  (store-cached under ``dictionaries/<key>.json``) or stream a
+  populated results store;
+* :mod:`~repro.diagnosis.match` — the vectorized batch
+  :class:`DictionaryMatcher` (Bayesian-ranked candidates, ambiguity
+  groups, escape verdicts);
+* :mod:`~repro.diagnosis.analytics` — distinguishability and expected
+  diagnostic resolution per test plan;
+* :mod:`~repro.diagnosis.server` — the stdlib HTTP JSON endpoint;
+* :mod:`~repro.diagnosis.cli` — ``python -m repro diagnose``.
+
+See ``docs/DIAGNOSIS.md`` for the format and the matching math.
+"""
+
+from .analytics import (ResolutionReport, distinguishability_matrix,
+                        expected_resolution, feature_mask)
+from .build import (build_dictionary, build_from_store,
+                    compile_dictionary, compile_from_campaign,
+                    labeled_records, tolerance_envelope)
+from .dictionary import (DICTIONARY_VERSION, DictionaryEntry,
+                         DictionaryError, FaultDictionary)
+from .match import (Candidate, Diagnosis, DictionaryMatcher,
+                    ESCAPE_THRESHOLD, EmptyDictionaryError)
+
+__all__ = [
+    "ResolutionReport", "distinguishability_matrix",
+    "expected_resolution", "feature_mask",
+    "build_dictionary", "build_from_store", "compile_dictionary",
+    "compile_from_campaign", "labeled_records", "tolerance_envelope",
+    "DICTIONARY_VERSION", "DictionaryEntry", "DictionaryError",
+    "FaultDictionary",
+    "Candidate", "Diagnosis", "DictionaryMatcher", "ESCAPE_THRESHOLD",
+    "EmptyDictionaryError",
+]

@@ -1,0 +1,252 @@
+"""Dictionary compilation: campaign results -> FaultDictionary.
+
+Two input paths share one compiler:
+
+* :func:`build_dictionary` runs (or cache-hits) a campaign through
+  :class:`~repro.campaign.runner.CampaignRunner` and compiles its
+  :class:`~repro.core.path.PathResult` — the second build from the
+  same campaign is all store hits, and the compiled dictionary itself
+  is cached in the store under ``dictionaries/<key>.json``, keyed by
+  the campaign fingerprint (so any spec / fault-model / code-version
+  change misses cleanly);
+* :func:`build_from_store` streams a populated store's records via
+  :meth:`~repro.campaign.store.ResultsStore.iter_records` — one walk,
+  no re-keying — labelling entries by the ``task_id`` metadata the
+  runner writes.
+
+Priors follow the paper's global scaling: a class's prior is its
+macro's area-and-yield weight times the class magnitude share, then
+normalised over the dictionary.  Tolerance envelopes come from the
+good-space corner spread: a feature whose acceptance window is
+dominated by process variation (window half-width far above the tester
+floor) is a less trustworthy diagnostic bit and is down-weighted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..campaign.events import DictionaryBuilt, EventBus
+from ..campaign.plan import comparator_spec
+from ..campaign.runner import (CampaignOptions, CampaignResult,
+                               CampaignRunner)
+from ..campaign.store import ResultsStore, dictionary_key
+from ..campaign.tasks import get_engine
+from ..core.path import PathConfig, PathResult
+from ..faultsim.goodspace import (FLOOR_IDDQ, FLOOR_IINPUT, FLOOR_IVDD,
+                                  FLOOR_IVREF)
+from ..faultsim.signatures import signature_feature_names
+from ..macrotest.coverage import DetectionRecord
+from .dictionary import (DICTIONARY_VERSION, DictionaryEntry,
+                         FaultDictionary)
+
+#: tester floor per measured quantity (the goodspace constants)
+_FLOORS = {"ivdd": FLOOR_IVDD, "iddq": FLOOR_IDDQ,
+           "iin": FLOOR_IINPUT, "ivref": FLOOR_IVREF}
+
+#: lower clamp on a feature's tolerance weight: even the widest
+#: process spread leaves a measurement some diagnostic value
+MIN_TOLERANCE = 0.05
+
+
+def tolerance_envelope(config: PathConfig) -> Tuple[float, ...]:
+    """Per-feature match weights from the good-space corner spread.
+
+    Voltage and coarse-mechanism features are exact digital verdicts
+    (weight 1.0).  Each fine-grained current feature is weighted by
+    ``floor / window_halfwidth`` clipped to [:data:`MIN_TOLERANCE`, 1]:
+    a window as tight as the tester floor is fully trusted, one blown
+    up by corner spread is nearly noise.  The comparator good space is
+    compiled once per process (the campaign planner's engine cache),
+    so this costs nothing after a build.
+    """
+    gs = get_engine(comparator_spec(config)).good_space()
+    weights = []
+    for name in signature_feature_names():
+        parts = name.split(":")
+        if parts[0] != "current":
+            weights.append(1.0)
+            continue
+        quantity, phase, pol = parts[1], parts[2], parts[3]
+        window = gs.windows[(quantity, phase, pol)]
+        halfwidth = (window.hi - window.lo) / 2.0
+        floor = _FLOORS[quantity]
+        if halfwidth <= floor:
+            weights.append(1.0)
+        else:
+            weights.append(max(MIN_TOLERANCE, floor / halfwidth))
+    return tuple(weights)
+
+
+def labeled_records(result: PathResult
+                    ) -> List[Tuple[str, str, float, DetectionRecord]]:
+    """Flatten a path result into (label, macro, weight-scale, record).
+
+    Labels are campaign task ids (``"<macro>:<kind>:<index>"``); the
+    weight scale is the macro's global area-and-yield weight divided by
+    its total fault count, so ``scale * record.count`` is the class's
+    unnormalised global probability.  The decoder's ``noncat_result``
+    aliases its ``result`` (one logic pass covers both views), so the
+    alias is skipped to avoid double-counting.
+    """
+    out: List[Tuple[str, str, float, DetectionRecord]] = []
+    for name, analysis in result.macros.items():
+        kinds = [("cat", analysis.result)]
+        if analysis.noncat_result is not None and \
+                analysis.noncat_result is not analysis.result:
+            kinds.append(("noncat", analysis.noncat_result))
+        for kind, macro_result in kinds:
+            if macro_result.total_faults == 0:
+                continue
+            scale = macro_result.weight / macro_result.total_faults
+            for index, record in enumerate(macro_result.records):
+                out.append((f"{name}:{kind}:{index}", name, scale,
+                            record))
+    return out
+
+
+def compile_dictionary(labeled: Sequence[Tuple[str, str, float,
+                                               DetectionRecord]],
+                       tolerance: Optional[Sequence[float]] = None,
+                       meta: Optional[Dict] = None) -> FaultDictionary:
+    """Compile labelled records into a dictionary (the pure core).
+
+    Classes with all-zero signatures are undetectable and become
+    ``meta["undetected"]`` labels instead of entries; priors are
+    normalised over the remaining entries.
+    """
+    features = signature_feature_names()
+    if tolerance is None:
+        tolerance = (1.0,) * len(features)
+    entries: List[DictionaryEntry] = []
+    undetected: List[str] = []
+    raw_priors: List[float] = []
+    for label, macro, scale, record in labeled:
+        vector = record.signature_vector()
+        if not vector.any():
+            undetected.append(label)
+            continue
+        entries.append(DictionaryEntry(
+            label=label, macro=macro,
+            vector=tuple(float(v) for v in vector),
+            prior=0.0, count=record.count,
+            fault_type=record.fault_type))
+        raw_priors.append(scale * record.count)
+    total = sum(raw_priors)
+    if total > 0:
+        entries = [dataclasses.replace(e, prior=p / total)
+                   for e, p in zip(entries, raw_priors)]
+    full_meta = dict(meta or {})
+    full_meta["undetected"] = sorted(undetected)
+    return FaultDictionary(features=features,
+                           tolerance=tuple(float(t) for t in tolerance),
+                           entries=tuple(entries), meta=full_meta)
+
+
+def compile_from_campaign(campaign: CampaignResult,
+                          tolerance: Optional[Sequence[float]] = None
+                          ) -> FaultDictionary:
+    """Compile a finished campaign's result into a dictionary."""
+    result = campaign.path_result
+    if tolerance is None:
+        tolerance = tolerance_envelope(result.config)
+    from ..campaign.store import STORE_VERSION
+    meta = {
+        "source": "campaign",
+        "fingerprint": campaign.fingerprint,
+        "store_version": STORE_VERSION,
+        "config": result.config.to_dict(),
+    }
+    return compile_dictionary(labeled_records(result),
+                              tolerance=tolerance, meta=meta)
+
+
+def build_dictionary(config: Optional[PathConfig] = None,
+                     options: Optional[CampaignOptions] = None,
+                     bus: Optional[EventBus] = None,
+                     macros: Optional[Sequence[str]] = None
+                     ) -> FaultDictionary:
+    """Run (or cache-hit) a campaign and compile its dictionary.
+
+    When the campaign has a store (``options.cache_dir``), the
+    compiled dictionary is persisted under ``dictionaries/<key>.json``
+    keyed by the campaign fingerprint, and a repeat build is served
+    from that blob without recompiling.  Emits
+    :class:`~repro.campaign.events.DictionaryBuilt` on the bus.
+    """
+    config = config or PathConfig()
+    options = options or CampaignOptions()
+    bus = bus or EventBus()
+    started = time.perf_counter()
+    runner = CampaignRunner(config, options, bus=bus)
+    campaign = runner.run(macros)
+
+    store: Optional[ResultsStore] = None
+    cache_dir = options.resolved_cache_dir()
+    if cache_dir is not None:
+        store = ResultsStore(cache_dir, version=options.store_version)
+    key = None
+    if store is not None and campaign.fingerprint:
+        key = dictionary_key(campaign.fingerprint, DICTIONARY_VERSION,
+                             version=options.store_version)
+        payload = store.get_dictionary(key)
+        if payload is not None:
+            try:
+                dictionary = FaultDictionary.from_dict(payload)
+            except Exception:
+                dictionary = None
+            if dictionary is not None:
+                bus.emit(DictionaryBuilt(
+                    classes=len(dictionary),
+                    undetected=len(dictionary.meta.get("undetected",
+                                                       ())),
+                    macros=dictionary.macros,
+                    features=len(dictionary.features),
+                    source="cache",
+                    wall=time.perf_counter() - started))
+                return dictionary
+
+    dictionary = compile_from_campaign(campaign)
+    if store is not None and key is not None:
+        store.put_dictionary(key, dictionary.to_dict())
+    bus.emit(DictionaryBuilt(
+        classes=len(dictionary),
+        undetected=len(dictionary.meta.get("undetected", ())),
+        macros=dictionary.macros,
+        features=len(dictionary.features), source="computed",
+        wall=time.perf_counter() - started))
+    return dictionary
+
+
+def build_from_store(store: ResultsStore,
+                     tolerance: Optional[Sequence[float]] = None,
+                     bus: Optional[EventBus] = None) -> FaultDictionary:
+    """Compile a dictionary by streaming a populated store.
+
+    No campaign run, no re-keying: one
+    :meth:`~repro.campaign.store.ResultsStore.iter_records` walk.
+    Records without ``task_id`` metadata fall back to their content
+    key as the label; priors are magnitude-proportional (the macro
+    area weights are not recoverable from the store alone).
+    """
+    started = time.perf_counter()
+    bus = bus or EventBus()
+    labeled = []
+    for stored in store.iter_records():
+        label = stored.meta.get("task_id") or stored.key
+        macro = stored.meta.get("macro") or label.split(":")[0]
+        labeled.append((label, macro, 1.0, stored.record))
+    meta = {"source": "store", "store_version": store.version}
+    dictionary = compile_dictionary(labeled, tolerance=tolerance,
+                                    meta=meta)
+    bus.emit(DictionaryBuilt(
+        classes=len(dictionary),
+        undetected=len(dictionary.meta.get("undetected", ())),
+        macros=dictionary.macros,
+        features=len(dictionary.features), source="computed",
+        wall=time.perf_counter() - started))
+    return dictionary

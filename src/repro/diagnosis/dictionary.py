@@ -1,0 +1,225 @@
+"""The versioned fault dictionary: class label -> signature vector.
+
+A :class:`FaultDictionary` is the compiled, queryable inverse of a
+campaign: one entry per *detectable* fault class, carrying the class's
+signature vector (see
+:func:`repro.faultsim.signatures.signature_feature_names` for the
+stable feature contract), its prior probability (the paper's
+area-and-yield-scaled defect likelihood) and enough bookkeeping to
+explain a match.  Classes whose signature is all zeros never enter the
+dictionary — they are undetectable by the measurement set and are
+reported in ``meta["undetected"]`` instead.
+
+Serialisation is deliberately byte-stable: :meth:`FaultDictionary.save`
+writes canonical JSON (sorted keys, ``repr``-faithful floats via the
+stdlib encoder), so two builds from the same seed produce identical
+files — the determinism contract the RNG plumbing is tested against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: bump when the dictionary payload layout changes (part of the store
+#: key, so a format bump recompiles without clobbering old blobs)
+DICTIONARY_VERSION = 1
+
+
+class DictionaryError(ValueError):
+    """Raised for malformed or incompatible dictionary payloads."""
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One fault class the dictionary can diagnose.
+
+    Attributes:
+        label: stable class identity — the campaign task id
+            (``"<macro>:<kind>:<index>"``).
+        macro: macro the class belongs to.
+        vector: the class's signature vector (aligned to the
+            dictionary's ``features``).
+        prior: prior probability of this class among all dictionary
+            classes (area-and-yield-weighted magnitude, normalised to
+            sum to 1 over the dictionary).
+        count: raw class magnitude within its macro campaign.
+        fault_type: defect-simulator fault type label.
+    """
+
+    label: str
+    macro: str
+    vector: Tuple[float, ...]
+    prior: float
+    count: int
+    fault_type: str = "short"
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "macro": self.macro,
+            "vector": list(self.vector),
+            "prior": self.prior,
+            "count": self.count,
+            "fault_type": self.fault_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DictionaryEntry":
+        return cls(label=str(data["label"]), macro=str(data["macro"]),
+                   vector=tuple(float(v) for v in data["vector"]),
+                   prior=float(data["prior"]),
+                   count=int(data["count"]),
+                   fault_type=str(data.get("fault_type", "short")))
+
+
+@dataclass
+class FaultDictionary:
+    """A compiled, versioned signature dictionary.
+
+    Attributes:
+        features: feature names, one per vector element (the stable
+            ordering contract).
+        tolerance: per-feature match weight in (0, 1] derived from the
+            good-space corner spread — features whose acceptance
+            window is dominated by process variation rather than the
+            tester floor carry less diagnostic weight.
+        entries: detectable classes, sorted by label (deterministic
+            encoding).
+        meta: provenance — campaign fingerprint, store version, config
+            summary, undetected class labels.
+    """
+
+    features: Tuple[str, ...]
+    tolerance: Tuple[float, ...]
+    entries: Tuple[DictionaryEntry, ...]
+    meta: Dict = field(default_factory=dict)
+    version: int = DICTIONARY_VERSION
+
+    def __post_init__(self) -> None:
+        if len(self.tolerance) != len(self.features):
+            raise DictionaryError(
+                f"tolerance width {len(self.tolerance)} != feature "
+                f"width {len(self.features)}")
+        for entry in self.entries:
+            if len(entry.vector) != len(self.features):
+                raise DictionaryError(
+                    f"entry {entry.label!r} vector width "
+                    f"{len(entry.vector)} != feature width "
+                    f"{len(self.features)}")
+        self.entries = tuple(sorted(self.entries,
+                                    key=lambda e: e.label))
+        self._matrix: Optional[np.ndarray] = None
+        self._groups: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(e.label for e in self.entries)
+
+    @property
+    def macros(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.macro for e in self.entries}))
+
+    def matrix(self) -> np.ndarray:
+        """Entry vectors stacked as an (n_entries, n_features) array
+        (cached; entry order)."""
+        if self._matrix is None:
+            if self.entries:
+                self._matrix = np.array([e.vector
+                                         for e in self.entries])
+            else:
+                self._matrix = np.zeros((0, len(self.features)))
+        return self._matrix
+
+    def priors(self) -> np.ndarray:
+        """Entry priors as an array (entry order)."""
+        return np.array([e.prior for e in self.entries])
+
+    def ambiguity_groups(self) -> Dict[str, Tuple[str, ...]]:
+        """label -> every label sharing its exact signature vector.
+
+        Classes with identical vectors are *indistinguishable* by the
+        measurement set: any match against one is a match against all
+        of them, so the matcher reports the whole group.  Every label
+        maps to a group containing at least itself.
+        """
+        if self._groups is None:
+            by_vector: Dict[Tuple[float, ...], List[str]] = {}
+            for entry in self.entries:
+                by_vector.setdefault(entry.vector, []).append(
+                    entry.label)
+            self._groups = {}
+            for labels in by_vector.values():
+                group = tuple(sorted(labels))
+                for label in group:
+                    self._groups[label] = group
+        return self._groups
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Stable JSON-able form (the ``dictionaries/`` blob
+        contract)."""
+        return {
+            "dictionary_version": self.version,
+            "features": list(self.features),
+            "tolerance": list(self.tolerance),
+            "entries": [e.to_dict() for e in self.entries],
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultDictionary":
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`DictionaryError` on malformed input or a
+        version mismatch (an old-format blob must recompile, never
+        half-load).
+        """
+        try:
+            version = int(data["dictionary_version"])
+            if version != DICTIONARY_VERSION:
+                raise DictionaryError(
+                    f"dictionary version {version} != "
+                    f"{DICTIONARY_VERSION}")
+            meta = data.get("meta") or {}
+            if not isinstance(meta, dict):
+                raise DictionaryError("meta is not a mapping")
+            return cls(
+                features=tuple(str(f) for f in data["features"]),
+                tolerance=tuple(float(t) for t in data["tolerance"]),
+                entries=tuple(DictionaryEntry.from_dict(e)
+                              for e in data["entries"]),
+                meta=meta, version=version)
+        except DictionaryError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DictionaryError(
+                f"bad dictionary payload: {exc}") from exc
+
+    def dumps(self) -> str:
+        """Canonical JSON encoding — byte-identical for equal
+        dictionaries."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultDictionary":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DictionaryError(
+                f"cannot read dictionary {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise DictionaryError(f"{path} is not a dictionary payload")
+        return cls.from_dict(payload)

@@ -1,0 +1,211 @@
+"""Batch diagnosis: signature vectors -> ranked candidate classes.
+
+The matcher computes one tolerance-weighted distance matrix for the
+whole batch — a single NumPy expression over (queries x entries), no
+per-class Python loop — then ranks candidates Bayesianly: the
+posterior is ``prior x likelihood`` with a Gaussian match likelihood
+``exp(-d^2 / 2 sigma^2)``.  Candidate *order* is the noise-floor limit
+(``sigma -> 0``) of that posterior: distance strictly first, posterior
+breaking ties within equal-distance groups — so an exact signature
+match always outranks a near miss regardless of priors, while priors
+order the members of an ambiguity group (the accidental-detection-
+index spirit: likelier classes first among indistinguishables).
+
+Verdicts:
+
+* ``"pass"`` — the all-zero query: inside the good space, nothing to
+  diagnose;
+* ``"matched"`` — a unique nearest class within the match threshold;
+* ``"ambiguous"`` — the nearest class shares its exact signature with
+  other classes (the dictionary's ambiguity group is reported whole);
+* ``"escape_unmatched"`` — the signature escapes the good space but
+  no dictionary entry comes close: a defect class the campaign never
+  produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..campaign.events import EventBus, QueryBatchServed
+from .dictionary import FaultDictionary
+
+#: normalised weighted distance above which a failing signature is
+#: declared unmatched (binary features make d^2 a weighted fraction of
+#: disagreeing features, so 0.3 ~ "less than a third disagree")
+ESCAPE_THRESHOLD = 0.3
+
+#: Gaussian likelihood width for the posterior (reporting only; the
+#: candidate order is the sigma -> 0 limit)
+SIGMA = 0.25
+
+#: distances are tie-grouped at this resolution before posterior
+#: tie-breaking
+_DISTANCE_DECIMALS = 9
+
+
+class EmptyDictionaryError(ValueError):
+    """Raised when a matcher is built over a dictionary with no
+    entries (the server maps this to 503)."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked candidate class for a query."""
+
+    label: str
+    macro: str
+    distance: float
+    posterior: float
+    prior: float
+
+    def to_dict(self) -> Dict:
+        return {"label": self.label, "macro": self.macro,
+                "distance": self.distance,
+                "posterior": self.posterior, "prior": self.prior}
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The matcher's verdict for one query signature."""
+
+    verdict: str
+    candidates: Tuple[Candidate, ...] = ()
+    ambiguity_group: Tuple[str, ...] = ()
+
+    @property
+    def top(self) -> Optional[Candidate]:
+        return self.candidates[0] if self.candidates else None
+
+    def to_dict(self) -> Dict:
+        return {"verdict": self.verdict,
+                "candidates": [c.to_dict() for c in self.candidates],
+                "ambiguity_group": list(self.ambiguity_group)}
+
+
+class DictionaryMatcher:
+    """Vectorized batch matcher over one loaded dictionary.
+
+    Precomputes the entry matrix, tolerance weights and priors once;
+    every :meth:`diagnose_batch` call is then one distance expression
+    plus per-query verdict assembly.
+    """
+
+    def __init__(self, dictionary: FaultDictionary,
+                 top_k: int = 5,
+                 escape_threshold: float = ESCAPE_THRESHOLD,
+                 bus: Optional[EventBus] = None) -> None:
+        if len(dictionary) == 0:
+            raise EmptyDictionaryError(
+                "dictionary has no detectable classes")
+        self.dictionary = dictionary
+        self.top_k = max(1, top_k)
+        self.escape_threshold = escape_threshold
+        self.bus = bus
+        self._V = dictionary.matrix()
+        self._w = np.array(dictionary.tolerance)
+        wsum = self._w.sum()
+        if wsum <= 0:
+            raise EmptyDictionaryError("tolerance weights sum to zero")
+        self._wnorm = self._w / wsum
+        self._priors = dictionary.priors()
+        if self._priors.sum() <= 0:
+            # degenerate store-built dictionaries: flat prior
+            self._priors = np.full(len(dictionary),
+                                   1.0 / len(dictionary))
+        # V-dependent pieces of the distance, computed once
+        self._Vw = self._V * self._wnorm
+        self._V2w = (self._V ** 2) @ self._wnorm
+        self._groups = dictionary.ambiguity_groups()
+        self._labels = dictionary.labels
+        self._macros = tuple(e.macro for e in dictionary.entries)
+
+    def distances(self, queries: np.ndarray) -> np.ndarray:
+        """Tolerance-weighted distances, (n_queries, n_entries).
+
+        ``d^2 = sum_f w_f (q_f - v_f)^2 / sum_f w_f`` — for binary
+        vectors this is the weighted fraction of disagreeing features,
+        so distances live in [0, 1].  One matrix expression, no
+        per-entry loop.
+        """
+        Q = np.atleast_2d(np.asarray(queries, dtype=float))
+        if Q.shape[1] != self._V.shape[1]:
+            raise ValueError(
+                f"query width {Q.shape[1]} != dictionary feature "
+                f"width {self._V.shape[1]}")
+        d2 = (Q ** 2) @ self._wnorm[:, None] + self._V2w[None, :] \
+            - 2.0 * Q @ self._Vw.T
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2)
+
+    def diagnose_batch(self, queries: np.ndarray) -> List[Diagnosis]:
+        """Diagnose a batch of signature vectors.
+
+        Accepts an (n_queries, n_features) array (or anything
+        array-like of that shape) and returns one
+        :class:`Diagnosis` per row, in order.  Emits a
+        :class:`~repro.campaign.events.QueryBatchServed` event when a
+        bus is attached.
+        """
+        started = time.perf_counter()
+        Q = np.atleast_2d(np.asarray(queries, dtype=float))
+        n = Q.shape[0]
+        dist = self.distances(Q)
+        # sigma -> 0 ranking: distance (tie-grouped) first, posterior
+        # breaking ties inside equal-distance groups
+        dist_r = np.round(dist, _DISTANCE_DECIMALS)
+        likelihood = np.exp(-0.5 * (dist / SIGMA) ** 2)
+        posterior = likelihood * self._priors[None, :]
+        norms = posterior.sum(axis=1, keepdims=True)
+        np.divide(posterior, norms, out=posterior, where=norms > 0)
+        failing = Q.any(axis=1)
+        k = min(self.top_k, dist.shape[1])
+
+        out: List[Diagnosis] = []
+        counts = {"matched": 0, "ambiguous": 0, "unmatched": 0,
+                  "passed": 0}
+        for i in range(n):
+            if not failing[i]:
+                counts["passed"] += 1
+                out.append(Diagnosis(verdict="pass"))
+                continue
+            order = np.lexsort((-posterior[i], dist_r[i]))[:k]
+            best = order[0]
+            if dist_r[i, best] > self.escape_threshold:
+                counts["unmatched"] += 1
+                out.append(Diagnosis(
+                    verdict="escape_unmatched",
+                    candidates=self._candidates(order, dist[i],
+                                                posterior[i])))
+                continue
+            group = self._groups[self._labels[best]]
+            verdict = "ambiguous" if len(group) > 1 else "matched"
+            counts[verdict] += 1
+            out.append(Diagnosis(
+                verdict=verdict,
+                candidates=self._candidates(order, dist[i],
+                                            posterior[i]),
+                ambiguity_group=group if len(group) > 1 else ()))
+        if self.bus is not None:
+            self.bus.emit(QueryBatchServed(
+                n_queries=n, wall=time.perf_counter() - started,
+                matched=counts["matched"],
+                ambiguous=counts["ambiguous"],
+                unmatched=counts["unmatched"],
+                passed=counts["passed"]))
+        return out
+
+    def diagnose(self, query: np.ndarray) -> Diagnosis:
+        """Single-signature convenience over :meth:`diagnose_batch`."""
+        return self.diagnose_batch(np.atleast_2d(query))[0]
+
+    def _candidates(self, order: np.ndarray, dist: np.ndarray,
+                    posterior: np.ndarray) -> Tuple[Candidate, ...]:
+        return tuple(Candidate(
+            label=self._labels[j], macro=self._macros[j],
+            distance=float(dist[j]), posterior=float(posterior[j]),
+            prior=float(self._priors[j])) for j in order)

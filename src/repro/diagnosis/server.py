@@ -1,0 +1,185 @@
+"""Stdlib HTTP endpoint serving batch diagnosis queries.
+
+The read-heavy half of the subsystem: one expensive dictionary load at
+startup, then cheap vectorized queries.  Pure ``http.server`` — no
+framework dependency — with JSON in and JSON out:
+
+* ``GET /health`` — liveness plus dictionary shape;
+* ``GET /metrics`` — the
+  :class:`~repro.campaign.events.DiagnosisMetrics` snapshot (request
+  latency, hit / ambiguity counters);
+* ``POST /diagnose`` — body ``{"queries": [[...], ...]}`` (signature
+  vectors) or ``{"records": [{...}, ...]}`` (DetectionRecord dicts,
+  vectorized server-side); responds ``{"diagnoses": [...]}`` in query
+  order.
+
+Error contract: malformed JSON, wrong shapes and unknown paths are
+400/404 with a JSON error body; serving an empty dictionary answers
+503 on ``/diagnose`` (the service is up but cannot diagnose).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..campaign.events import (DiagnosisMetricsCollector,
+                               DictionaryBuilt, EventBus)
+from ..core.serialize import SerializeError, record_from_dict
+from .dictionary import FaultDictionary
+from .match import DictionaryMatcher, EmptyDictionaryError
+
+
+class BadRequest(ValueError):
+    """Raised for malformed request bodies (mapped to 400)."""
+
+
+def _parse_queries(body: bytes, n_features: int) -> np.ndarray:
+    """Request body -> (n, n_features) query array.
+
+    Raises :class:`BadRequest` on anything malformed — bad JSON, the
+    wrong container shape, non-numeric elements, or a feature-width
+    mismatch.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BadRequest("body must be a JSON object")
+    queries = payload.get("queries")
+    records = payload.get("records")
+    if (queries is None) == (records is None):
+        raise BadRequest(
+            "body must carry exactly one of 'queries' or 'records'")
+    if records is not None:
+        if not isinstance(records, list) or not records:
+            raise BadRequest("'records' must be a non-empty list")
+        vectors = []
+        for k, data in enumerate(records):
+            if not isinstance(data, dict):
+                raise BadRequest(f"records[{k}] is not an object")
+            try:
+                vectors.append(
+                    record_from_dict(data).signature_vector())
+            except SerializeError as exc:
+                raise BadRequest(f"records[{k}]: {exc}") from exc
+        return np.array(vectors)
+    if not isinstance(queries, list) or not queries:
+        raise BadRequest("'queries' must be a non-empty list")
+    try:
+        array = np.array(queries, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(
+            f"'queries' must be numeric vectors: {exc}") from exc
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2 or array.shape[1] != n_features:
+        raise BadRequest(
+            f"'queries' must be vectors of width {n_features}, got "
+            f"shape {array.shape}")
+    return array
+
+
+class DiagnosisServer(ThreadingHTTPServer):
+    """HTTP server bound to one loaded dictionary.
+
+    The matcher is built once at construction (unless the dictionary
+    is empty, in which case ``/diagnose`` answers 503 while ``/health``
+    and ``/metrics`` stay up) and shared by all request threads — the
+    matcher's NumPy state is read-only after construction, and the
+    metrics collector locks internally.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 dictionary: FaultDictionary,
+                 top_k: int = 5,
+                 bus: Optional[EventBus] = None) -> None:
+        super().__init__(address, _Handler)
+        self.dictionary = dictionary
+        self.bus = bus or EventBus()
+        self.collector = DiagnosisMetricsCollector()
+        self.bus.subscribe(self.collector)
+        self.matcher: Optional[DictionaryMatcher] = None
+        try:
+            self.matcher = DictionaryMatcher(dictionary, top_k=top_k,
+                                             bus=self.bus)
+        except EmptyDictionaryError:
+            pass
+        self.bus.emit(DictionaryBuilt(
+            classes=len(dictionary),
+            undetected=len(dictionary.meta.get("undetected", ())),
+            macros=dictionary.macros,
+            features=len(dictionary.features), source="cache"))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: DiagnosisServer
+
+    #: quiet by default; the CLI flips this on with --verbose
+    verbose = False
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib contract
+        if self.path == "/health":
+            self._reply(200, {
+                "status": "ok",
+                "classes": len(self.server.dictionary),
+                "features": len(self.server.dictionary.features),
+                "macros": list(self.server.dictionary.macros)})
+        elif self.path == "/metrics":
+            self._reply(200, self.server.collector.snapshot().as_dict())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib contract
+        if self.path != "/diagnose":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        if self.server.matcher is None:
+            self._reply(503, {"error": "dictionary has no detectable "
+                                       "classes"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            queries = _parse_queries(
+                self.rfile.read(length),
+                len(self.server.dictionary.features))
+            diagnoses = self.server.matcher.diagnose_batch(queries)
+        except BadRequest as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(200, {"diagnoses": [d.to_dict()
+                                        for d in diagnoses]})
+
+
+def serve(dictionary: FaultDictionary, host: str = "127.0.0.1",
+          port: int = 8095, top_k: int = 5,
+          bus: Optional[EventBus] = None,
+          verbose: bool = False) -> DiagnosisServer:
+    """Build a bound (not yet serving) server; callers run
+    ``serve_forever()`` themselves — tests drive it from a thread,
+    the CLI blocks on it."""
+    server = DiagnosisServer((host, port), dictionary, top_k=top_k,
+                             bus=bus)
+    _Handler.verbose = verbose
+    return server

@@ -75,7 +75,9 @@ def generate_tests(netlist: LogicNetlist,
                    target_coverage: float = 1.0,
                    seed: int = 0,
                    seed_vectors: Optional[Sequence[Dict[str, bool]]]
-                   = None) -> TestSet:
+                   = None,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> TestSet:
     """Random-greedy ATPG with fault dropping.
 
     Args:
@@ -84,12 +86,13 @@ def generate_tests(netlist: LogicNetlist,
         seed_vectors: candidates tried first — e.g. a block's
             functional vectors, which random patterns often cannot
             reproduce (a thermometer decoder's monotone inputs).
+        rng: explicit generator; *seed* is ignored when given.
     """
     if not 0.0 < target_coverage <= 1.0:
         raise ValueError("target_coverage must be in (0, 1]")
     faults = list(faults if faults is not None
                   else all_stuck_at_faults(netlist))
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     inputs = list(netlist.primary_inputs)
     remaining: Set[StuckAtFault] = set(faults)
     selected: List[Dict[str, bool]] = []

@@ -27,8 +27,10 @@ from .noncat import (NearMissShortFault, derive_noncatastrophic,
                      near_miss_model)
 from .signatures import (CLOCK_DEVIATION_THRESHOLD, CurrentMechanism,
                          Measurement, OFFSET_THRESHOLD, PHASES,
-                         POLARITIES, SignatureResult, VoltageSignature,
-                         classify_voltage)
+                         POLARITIES, SIGNATURE_QUANTITIES,
+                         SignatureResult, VoltageSignature,
+                         classify_voltage, signature_feature_names,
+                         signature_vector)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..defects.collapse import FaultClass
@@ -67,5 +69,6 @@ __all__ = [
     "inject", "NearMissShortFault", "derive_noncatastrophic",
     "near_miss_model", "CLOCK_DEVIATION_THRESHOLD", "CurrentMechanism",
     "Measurement", "OFFSET_THRESHOLD", "PHASES", "POLARITIES",
-    "SignatureResult", "VoltageSignature", "classify_voltage",
+    "SIGNATURE_QUANTITIES", "SignatureResult", "VoltageSignature",
+    "classify_voltage", "signature_feature_names", "signature_vector",
 ]

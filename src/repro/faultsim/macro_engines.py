@@ -803,9 +803,13 @@ class DecoderFaultEngine:
                 detected_by=_detected_by(detected, frozenset()))
         raise TypeError(f"unsupported decoder fault {fault!r}")
 
-    def run(self) -> Tuple[List[DetectionRecord], List[DetectionRecord]]:
-        """Returns (bridge_records, stuck_records)."""
-        rng = np.random.default_rng(self.seed)
+    def run(self, rng: Optional[np.random.Generator] = None
+            ) -> Tuple[List[DetectionRecord], List[DetectionRecord]]:
+        """Returns (bridge_records, stuck_records).
+
+        ``self.seed`` is ignored when an explicit *rng* is given.
+        """
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
 
         bridges = neighbouring_bridges(self.netlist)
         if len(bridges) > self.n_bridge_sample:

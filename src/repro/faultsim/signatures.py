@@ -137,6 +137,104 @@ class SignatureResult:
         return (len(self.mechanisms), voltage_rank[self.voltage])
 
 
+# ---------------------------------------------------------------------------
+# signature vectorization (the fault-dictionary feature contract)
+# ---------------------------------------------------------------------------
+
+#: measured quantities in signature-vector order
+SIGNATURE_QUANTITIES = ("ivdd", "iddq", "iin", "ivref")
+
+#: voltage-signature categories that carry diagnostic information, in
+#: signature-vector order.  ``NONE`` ("no deviation") is deliberately
+#: absent: a record with no deviation anywhere must vectorize to the
+#: all-zeros vector, the matcher's "inside the good space" sentinel.
+SIGNATURE_VOLTAGE_ORDER = (
+    VoltageSignature.OUTPUT_STUCK_AT,
+    VoltageSignature.OFFSET,
+    VoltageSignature.MIXED,
+    VoltageSignature.CLOCK_VALUE,
+)
+
+#: current mechanisms in signature-vector order
+SIGNATURE_MECHANISM_ORDER = (
+    CurrentMechanism.IVDD,
+    CurrentMechanism.IDDQ,
+    CurrentMechanism.IINPUT,
+)
+
+
+def signature_feature_names() -> Tuple[str, ...]:
+    """The stable feature ordering every signature vector follows.
+
+    This tuple is the serialisation contract shared by dictionary
+    build and query (``repro.diagnosis``): element *k* of any
+    signature vector always means feature *k* of this list, across
+    store version bumps.  Layout, in order:
+
+    1. ``voltage:missing_codes`` — the macro-level missing-code
+       verdict (1 bit);
+    2. ``voltage:<signature>`` — one-hot over the deviating voltage
+       signatures in :data:`SIGNATURE_VOLTAGE_ORDER` (4 bits);
+    3. ``mechanism:<name>`` — coarse current mechanisms in
+       :data:`SIGNATURE_MECHANISM_ORDER` (3 bits);
+    4. ``current:<quantity>:<phase>:<polarity>`` — the fine-grained
+       good-space violations, quantity-major over
+       :data:`SIGNATURE_QUANTITIES` x :data:`PHASES` x
+       :data:`POLARITIES` (24 bits).
+
+    Extending the vector is append-only: new features go at the end
+    under a new dictionary version, never in the middle.
+    """
+    names: List[str] = ["voltage:missing_codes"]
+    names += [f"voltage:{sig.value}" for sig in SIGNATURE_VOLTAGE_ORDER]
+    names += [f"mechanism:{m.value}"
+              for m in SIGNATURE_MECHANISM_ORDER]
+    names += [f"current:{q}:{phase}:{pol}"
+              for q in SIGNATURE_QUANTITIES
+              for phase in PHASES
+              for pol in POLARITIES]
+    return tuple(names)
+
+
+#: cached feature list and index (the ordering is a constant)
+_FEATURE_NAMES = signature_feature_names()
+_VIOLATED_INDEX = {
+    (q, phase, pol): _FEATURE_NAMES.index(f"current:{q}:{phase}:{pol}")
+    for q in SIGNATURE_QUANTITIES
+    for phase in PHASES
+    for pol in POLARITIES}
+
+
+def signature_vector(voltage_detected: bool,
+                     voltage_signature: Optional[VoltageSignature],
+                     mechanisms: FrozenSet[CurrentMechanism],
+                     violated_keys: FrozenSet[Tuple[str, str, str]]
+                     ) -> np.ndarray:
+    """Vectorize one boundary signature into the stable feature order.
+
+    Returns a float64 0/1 vector aligned to
+    :func:`signature_feature_names`.  Violated keys outside the
+    canonical quantity/phase/polarity grid (bespoke test keys some
+    callers use) carry no feature and are ignored; an undetected
+    record vectorizes to all zeros.
+    """
+    vec = np.zeros(len(_FEATURE_NAMES))
+    if voltage_detected:
+        vec[0] = 1.0
+    if voltage_signature is not None and \
+            voltage_signature in SIGNATURE_VOLTAGE_ORDER:
+        vec[1 + SIGNATURE_VOLTAGE_ORDER.index(voltage_signature)] = 1.0
+    offset = 1 + len(SIGNATURE_VOLTAGE_ORDER)
+    for k, mech in enumerate(SIGNATURE_MECHANISM_ORDER):
+        if mech in mechanisms:
+            vec[offset + k] = 1.0
+    for key in violated_keys:
+        idx = _VIOLATED_INDEX.get(tuple(key))
+        if idx is not None:
+            vec[idx] = 1.0
+    return vec
+
+
 #: clock-line deviation beyond which the 'clock value' signature applies
 CLOCK_DEVIATION_THRESHOLD = 0.15
 #: the paper's offset threshold: one LSB of the 8-bit, 2-V-range ADC

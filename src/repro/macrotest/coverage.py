@@ -55,6 +55,20 @@ class DetectionRecord:
     def detected(self) -> bool:
         return self.voltage_detected or self.current_detected
 
+    def signature_vector(self):
+        """Numeric signature in the stable dictionary feature order.
+
+        Delegates to
+        :func:`repro.faultsim.signatures.signature_vector`; see
+        :func:`repro.faultsim.signatures.signature_feature_names` for
+        the documented ordering.  Returns a float64 0/1 NumPy vector;
+        an undetected record maps to all zeros.
+        """
+        from ..faultsim.signatures import signature_vector
+        return signature_vector(self.voltage_detected,
+                                self.voltage_signature,
+                                self.mechanisms, self.violated_keys)
+
     def to_dict(self) -> Dict:
         """Stable JSON-able form (the serialisation contract).
 

@@ -35,6 +35,9 @@ class TestPlan:
         coverage: weighted fault coverage the plan achieves.
         achievable: coverage with *every* candidate applied.
         cost: tester time in seconds.
+        resolution: expected diagnostic resolution of the selection
+            (see :func:`repro.diagnosis.expected_resolution`); None
+            when the plan was optimized without a dictionary.
     """
 
     __test__ = False  # not a pytest class, despite the name
@@ -43,6 +46,7 @@ class TestPlan:
     coverage: float
     achievable: float
     cost: float
+    resolution: Optional[float] = None
 
     def describe(self) -> str:
         lines = [f"{'measurement':34s} {'cumulative cost':>16s}"]
@@ -54,6 +58,9 @@ class TestPlan:
             lines.append(f"{label:34s} {1000 * cost:13.3f} ms")
         lines.append(f"coverage: {100 * self.coverage:.1f}% of "
                      f"{100 * self.achievable:.1f}% achievable")
+        if self.resolution is not None:
+            lines.append(f"diagnostic resolution: "
+                         f"{100 * self.resolution:.1f}%")
         return "\n".join(lines)
 
 
@@ -72,14 +79,24 @@ def _detections(record: DetectionRecord) -> Set[Measure]:
 
 
 def optimize_test_plan(result: MacroResult,
-                       min_coverage: Optional[float] = None
-                       ) -> TestPlan:
+                       min_coverage: Optional[float] = None,
+                       dictionary=None,
+                       resolution_weight: float = 0.0) -> TestPlan:
     """Greedy minimum-cost measurement selection for one macro.
 
     Args:
         result: macro result whose records carry ``violated_keys``.
         min_coverage: stop once this weighted coverage is reached
             (default: everything achievable).
+        dictionary: optional :class:`repro.diagnosis.FaultDictionary`;
+            when given, the returned plan carries the expected
+            diagnostic resolution of the selected measurements.
+        resolution_weight: trade-off knob; with a dictionary, each
+            greedy step scores ``coverage_gain + resolution_weight *
+            resolution_gain`` per second, and selection continues past
+            the coverage target while a measurement still improves
+            resolution.  0.0 (the default) reproduces the
+            coverage-only plan exactly.
     """
     weights: Dict[int, float] = {}
     detections: Dict[int, Set[Measure]] = {}
@@ -97,30 +114,59 @@ def optimize_test_plan(result: MacroResult,
     target = achievable if min_coverage is None \
         else min(min_coverage, achievable)
 
+    diagnose = dictionary is not None and resolution_weight > 0.0
+    if diagnose:
+        from ..diagnosis import expected_resolution
+
+        def resolution_of(measures: Sequence[Measure]) -> float:
+            return expected_resolution(
+                dictionary, measurements=measures).resolution
+
     chosen: List[Measure] = []
     covered: Set[int] = set()
     coverage = 0.0
+    resolution = resolution_of(chosen) if diagnose else 0.0
     remaining = set(candidates)
-    while coverage < target - 1e-12 and remaining:
+    while remaining:
+        covering = coverage < target - 1e-12
+
         def gain(measure: Measure) -> float:
             g = sum(weights[idx] for idx in weights
                     if idx not in covered and
                     measure in detections[idx])
+            if diagnose:
+                g += resolution_weight * \
+                    (resolution_of(chosen + [measure]) - resolution)
             return g / measurement_cost(measure)
 
         best = max(sorted(remaining), key=gain)
         newly = {idx for idx in weights
                  if idx not in covered and best in detections[idx]}
-        if not newly:
-            break
+        if covering:
+            if not newly and not (diagnose and gain(best) > 1e-12):
+                break
+        else:
+            # coverage target met: keep going only while a measurement
+            # still buys diagnostic resolution
+            if not diagnose or \
+                    resolution_of(chosen + [best]) <= resolution + 1e-12:
+                break
         remaining.discard(best)
         chosen.append(best)
         covered |= newly
         coverage = sum(weights[idx] for idx in covered)
+        if diagnose:
+            resolution = resolution_of(chosen)
 
     cost = sum(measurement_cost(m) for m in chosen)
+    final_resolution: Optional[float] = None
+    if dictionary is not None:
+        from ..diagnosis import expected_resolution
+        final_resolution = expected_resolution(
+            dictionary, measurements=chosen).resolution
     return TestPlan(measurements=tuple(chosen), coverage=coverage,
-                    achievable=achievable, cost=cost)
+                    achievable=achievable, cost=cost,
+                    resolution=final_resolution)
 
 
 def full_plan_cost() -> float:

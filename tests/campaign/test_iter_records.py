@@ -1,0 +1,126 @@
+"""Tests for the store's streaming bulk-read and dictionary blobs."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import (ResultsStore, STORE_VERSION,
+                                  dictionary_key)
+from repro.campaign.tasks import EngineSpec
+from repro.defects.collapse import FaultClass
+from repro.defects.faults import ShortFault
+from repro.faultsim.signatures import CurrentMechanism, VoltageSignature
+from repro.macrotest.coverage import DetectionRecord
+
+
+def short_class(nets=("a", "b"), resistance=0.5, count=3) -> FaultClass:
+    return FaultClass(
+        representative=ShortFault(nets=frozenset(nets), layer="metal1",
+                                  resistance=resistance),
+        count=count)
+
+
+def spec(**kwargs) -> EngineSpec:
+    return EngineSpec(macro="ladder", ivdd_window_halfwidth=0.02,
+                      **kwargs)
+
+
+def record(count=3) -> DetectionRecord:
+    return DetectionRecord(
+        count=count, voltage_detected=True,
+        mechanisms=frozenset({CurrentMechanism.IVDD}),
+        voltage_signature=VoltageSignature.OFFSET,
+        violated_keys=frozenset({("ivdd", "sampling", "above")}))
+
+
+def populate(store, n=4):
+    keys = []
+    for k in range(n):
+        fc = short_class(nets=("a", f"n{k}"))
+        key = store.key(fc, spec())
+        store.put(key, record(count=k + 1),
+                  meta={"task_id": f"ladder:cat:{k}", "macro": "ladder"})
+        keys.append(key)
+    return keys
+
+
+class TestIterRecords:
+    def test_streams_every_object_with_meta(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        keys = populate(store)
+        out = list(store.iter_records())
+        assert {s.key for s in out} == set(keys)
+        assert {s.meta["task_id"] for s in out} == \
+            {f"ladder:cat:{k}" for k in range(4)}
+        assert all(s.record.voltage_detected for s in out)
+
+    def test_deterministic_order(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        populate(store)
+        first = [s.key for s in store.iter_records()]
+        second = [s.key for s in store.iter_records()]
+        assert first == second == sorted(first)
+
+    def test_empty_store_yields_nothing(self, tmp_path):
+        assert list(ResultsStore(tmp_path).iter_records()) == []
+
+    def test_torn_object_skipped_with_warning(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        keys = populate(store)
+        store._path(keys[0]).write_text("{ torn json")
+        with pytest.warns(UserWarning, match="corrupt store object"):
+            out = list(store.iter_records())
+        assert {s.key for s in out} == set(keys[1:])
+
+    def test_malformed_record_skipped_with_warning(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        keys = populate(store)
+        payload = json.loads(store._path(keys[1]).read_text())
+        payload["record"]["mechanisms"] = ["teleport"]
+        store._path(keys[1]).write_text(json.dumps(payload))
+        with pytest.warns(UserWarning, match="corrupt store object"):
+            out = list(store.iter_records())
+        assert {s.key for s in out} == set(keys) - {keys[1]}
+
+    def test_version_mismatch_skipped_with_warning(self, tmp_path):
+        old = ResultsStore(tmp_path, version="ancient")
+        old.put(old.key(short_class(), spec()), record())
+        store = ResultsStore(tmp_path)
+        populate(store)
+        with pytest.warns(UserWarning, match="store version"):
+            out = list(store.iter_records())
+        assert len(out) == 4
+
+    def test_scan_does_not_touch_lookup_counters(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        populate(store)
+        list(store.iter_records())
+        assert store.hits == 0 and store.misses == 0
+
+
+class TestDictionaryBlobs:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = dictionary_key("f" * 64, 1)
+        assert store.get_dictionary(key) is None
+        assert store.dictionary_misses == 1
+        store.put_dictionary(key, {"entries": [], "version": 1})
+        assert store.get_dictionary(key) == {"entries": [],
+                                             "version": 1}
+        assert store.dictionary_hits == 1
+        assert (tmp_path / "dictionaries" / f"{key}.json").is_file()
+
+    def test_torn_dictionary_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = dictionary_key("f" * 64, 1)
+        store.put_dictionary(key, {"version": 1})
+        store._dictionary_path(key).write_text("[1, 2")
+        assert store.get_dictionary(key) is None
+
+    def test_key_varies_with_inputs(self):
+        base = dictionary_key("a" * 64, 1)
+        assert base != dictionary_key("b" * 64, 1)
+        assert base != dictionary_key("a" * 64, 2)
+        assert base != dictionary_key("a" * 64, 1,
+                                      version=STORE_VERSION + "-next")
+        assert base == dictionary_key("a" * 64, 1)

@@ -1,0 +1,109 @@
+"""Resolution analytics: masks, distinguishability, expected resolution."""
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import (DictionaryEntry, FaultDictionary,
+                             distinguishability_matrix,
+                             expected_resolution, feature_mask)
+from repro.faultsim import signature_feature_names
+from repro.testgen.optimize import MISSING_CODE
+
+FEATURES = signature_feature_names()
+N = len(FEATURES)
+
+
+def _vec(*hot):
+    v = [0.0] * N
+    for k in hot:
+        v[k] = 1.0
+    return tuple(v)
+
+
+def _entry(label, vector, prior):
+    return DictionaryEntry(label=label, macro="comparator",
+                           vector=vector, prior=prior, count=1)
+
+
+def _dictionary(entries):
+    return FaultDictionary(features=FEATURES,
+                           tolerance=(1.0,) * N,
+                           entries=tuple(entries))
+
+
+class TestFeatureMask:
+    def test_empty_selection_observes_nothing(self):
+        assert not feature_mask(FEATURES, []).any()
+
+    def test_missing_code_observes_all_voltage_features(self):
+        mask = feature_mask(FEATURES, [MISSING_CODE])
+        for k, name in enumerate(FEATURES):
+            assert mask[k] == name.startswith("voltage:")
+
+    def test_current_measurement_observes_its_feature_and_mechanism(self):
+        mask = feature_mask(FEATURES, [("iddq", "latching", "below")])
+        observed = {FEATURES[k] for k in np.flatnonzero(mask)}
+        assert observed == {"current:iddq:latching:below",
+                           "mechanism:iddq"}
+
+    def test_full_selection_observes_everything(self):
+        measures = [MISSING_CODE] + [
+            tuple(name.split(":")[1:]) for name in FEATURES
+            if name.startswith("current:")]
+        assert feature_mask(FEATURES, measures).all()
+
+
+class TestDistinguishabilityMatrix:
+    def test_symmetric_zero_diagonal(self):
+        d = _dictionary([_entry("a", _vec(0), 0.5),
+                         _entry("b", _vec(1), 0.5)])
+        m = distinguishability_matrix(d)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0, atol=1e-8)
+        assert m[0, 1] > 0.0
+
+    def test_all_false_mask_collapses_everything(self):
+        d = _dictionary([_entry("a", _vec(0), 0.5),
+                         _entry("b", _vec(1), 0.5)])
+        m = distinguishability_matrix(d, mask=np.zeros(N, dtype=bool))
+        assert np.allclose(m, 0.0)
+
+
+class TestExpectedResolution:
+    def test_unique_signatures_resolve_fully(self):
+        d = _dictionary([_entry("a", _vec(0), 0.6),
+                         _entry("b", _vec(1), 0.4)])
+        report = expected_resolution(d)
+        assert report.resolution == pytest.approx(1.0)
+        assert report.expected_group_size == pytest.approx(1.0)
+        assert report.n_groups == 2
+
+    def test_identical_signatures_halve_resolution(self):
+        d = _dictionary([_entry("a", _vec(3), 0.5),
+                         _entry("b", _vec(3), 0.5)])
+        report = expected_resolution(d)
+        assert report.resolution == pytest.approx(0.5)
+        assert report.expected_group_size == pytest.approx(2.0)
+        assert report.groups == (("a", "b"),)
+
+    def test_mask_degrades_resolution(self):
+        # distinguishable only by a current feature the missing-code
+        # test alone cannot observe
+        iddq = FEATURES.index("current:iddq:latching:below")
+        d = _dictionary([_entry("a", _vec(0, iddq), 0.5),
+                         _entry("b", _vec(0), 0.5)])
+        full = expected_resolution(d)
+        masked = expected_resolution(d, measurements=[MISSING_CODE])
+        assert full.resolution == pytest.approx(1.0)
+        assert masked.resolution == pytest.approx(0.5)
+
+    def test_empty_dictionary_reports_zero(self):
+        report = expected_resolution(_dictionary([]))
+        assert report.resolution == 0.0
+        assert report.n_groups == 0
+
+    def test_report_to_dict_round_trips(self):
+        d = _dictionary([_entry("a", _vec(0), 1.0)])
+        payload = expected_resolution(d).to_dict()
+        assert payload["resolution"] == 1.0
+        assert payload["groups"] == [["a"]]

@@ -1,0 +1,190 @@
+"""Dictionary compilation: priors, tolerances, caching, determinism.
+
+The campaign-backed tests run real (tiny) campaigns; budgets are kept
+small so the whole file stays in the seconds range.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.campaign import (CampaignOptions, EventBus, MetricsCollector)
+from repro.campaign.events import DictionaryBuilt
+from repro.campaign.store import ResultsStore
+from repro.core.path import PathConfig
+from repro.diagnosis import (DictionaryMatcher, FaultDictionary,
+                             build_dictionary, build_from_store,
+                             compile_dictionary, labeled_records,
+                             tolerance_envelope)
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+#: tiny single-macro campaign — enough classes for a real dictionary,
+#: fast enough for tier-1
+_CONFIG = PathConfig(n_defects=1200, max_classes=3, seed=7)
+
+
+def _record(count=5, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+class TestCompileDictionary:
+    def test_priors_normalise_over_detectable_entries(self):
+        labeled = [
+            ("m:cat:0", "m", 2.0, _record(
+                count=3, voltage=True,
+                sig=VoltageSignature.OUTPUT_STUCK_AT)),
+            ("m:cat:1", "m", 2.0, _record(
+                count=1, mechs=(CurrentMechanism.IDDQ,))),
+            ("m:cat:2", "m", 2.0, _record(count=10)),  # undetectable
+        ]
+        d = compile_dictionary(labeled)
+        assert d.labels == ("m:cat:0", "m:cat:1")
+        assert d.meta["undetected"] == ["m:cat:2"]
+        assert d.priors() == pytest.approx([0.75, 0.25])
+
+    def test_default_tolerance_is_all_ones(self):
+        d = compile_dictionary([("a", "m", 1.0, _record(
+            count=1, voltage=True))])
+        assert d.tolerance == (1.0,) * len(signature_feature_names())
+
+    def test_meta_is_preserved(self):
+        d = compile_dictionary([], meta={"source": "test"})
+        assert d.meta["source"] == "test"
+        assert d.meta["undetected"] == []
+
+
+class TestLabeledRecords:
+    def _analysis(self, cat, noncat):
+        return SimpleNamespace(result=cat, noncat_result=noncat)
+
+    def _macro_result(self, records, weight=0.5):
+        total = sum(r.count for r in records)
+        return SimpleNamespace(records=tuple(records),
+                               total_faults=total, weight=weight)
+
+    def test_labels_scale_and_order(self):
+        cat = self._macro_result([_record(count=4), _record(count=6)],
+                                 weight=0.5)
+        result = SimpleNamespace(macros={
+            "m": self._analysis(cat, None)})
+        labeled = labeled_records(result)
+        assert [l[0] for l in labeled] == ["m:cat:0", "m:cat:1"]
+        assert labeled[0][2] == pytest.approx(0.05)  # 0.5 / 10
+
+    def test_noncat_alias_is_skipped(self):
+        cat = self._macro_result([_record(count=4)])
+        aliased = SimpleNamespace(macros={
+            "m": self._analysis(cat, cat)})
+        distinct = SimpleNamespace(macros={
+            "m": self._analysis(
+                cat, self._macro_result([_record(count=2)]))})
+        assert [l[0] for l in labeled_records(aliased)] == ["m:cat:0"]
+        assert [l[0] for l in labeled_records(distinct)] == \
+            ["m:cat:0", "m:noncat:0"]
+
+    def test_empty_macro_result_is_skipped(self):
+        empty = self._macro_result([])
+        result = SimpleNamespace(macros={
+            "m": self._analysis(empty, None)})
+        assert labeled_records(result) == []
+
+
+class TestToleranceEnvelope:
+    def test_shape_and_bounds(self):
+        env = tolerance_envelope(_CONFIG)
+        features = signature_feature_names()
+        assert len(env) == len(features)
+        for name, weight in zip(features, env):
+            assert 0.05 <= weight <= 1.0
+            if not name.startswith("current:"):
+                assert weight == 1.0
+
+
+class TestBuildDictionary:
+    def test_second_build_is_all_cache_hits(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=str(tmp_path))
+        sources = []
+
+        def run():
+            bus = EventBus()
+            collector = MetricsCollector()
+            bus.subscribe(collector)
+            bus.subscribe(lambda e: sources.append(e.source)
+                          if isinstance(e, DictionaryBuilt) else None)
+            d = build_dictionary(_CONFIG, options, bus=bus,
+                                 macros=["ladder"])
+            return d, collector.snapshot()
+
+        first, m1 = run()
+        second, m2 = run()
+        assert sources == ["computed", "cache"]
+        assert first.dumps() == second.dumps()
+        assert m1.computed > 0
+        assert m2.computed == 0
+        assert m2.cache_hits == m1.completed  # every class reused
+        assert len(first) > 0
+        # the dictionary blob itself landed in the store
+        assert list((tmp_path / "dictionaries").glob("*.json"))
+
+    def test_spec_change_misses_cleanly(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=str(tmp_path))
+        build_dictionary(_CONFIG, options, macros=["ladder"])
+        sources = []
+        bus = EventBus()
+        bus.subscribe(lambda e: sources.append(e.source)
+                      if isinstance(e, DictionaryBuilt) else None)
+        changed = PathConfig(n_defects=1200, max_classes=3, seed=8)
+        build_dictionary(changed, options, bus=bus, macros=["ladder"])
+        assert sources == ["computed"]
+
+    def test_closed_loop_on_real_campaign(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=str(tmp_path))
+        d = build_dictionary(_CONFIG, options,
+                             macros=["ladder", "clockgen"])
+        matcher = DictionaryMatcher(d)
+        for entry, diagnosis in zip(d.entries,
+                                    matcher.diagnose_batch(d.matrix())):
+            top = diagnosis.top
+            assert top.label == entry.label or \
+                entry.label in diagnosis.ambiguity_group, entry.label
+
+    def test_meta_carries_provenance(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=str(tmp_path))
+        d = build_dictionary(_CONFIG, options, macros=["ladder"])
+        assert d.meta["source"] == "campaign"
+        assert d.meta["fingerprint"]
+        assert d.meta["config"]["n_defects"] == 1200
+
+
+class TestDeterminism:
+    def test_same_seed_builds_are_byte_identical(self, tmp_path):
+        """The RNG-plumbing contract: two cold builds from the same
+        seed serialize to the same bytes."""
+        dumps = []
+        for k in range(2):
+            options = CampaignOptions(
+                jobs=1, cache_dir=str(tmp_path / f"store{k}"))
+            d = build_dictionary(_CONFIG, options, macros=["ladder"])
+            dumps.append(d.dumps())
+        assert dumps[0] == dumps[1]
+
+
+class TestBuildFromStore:
+    def test_streaming_build_matches_campaign_classes(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=str(tmp_path))
+        via_campaign = build_dictionary(_CONFIG, options,
+                                        macros=["ladder"])
+        via_store = build_from_store(ResultsStore(str(tmp_path)))
+        # labels and signature vectors survive the round trip through
+        # the store; priors differ (area weights are campaign-side)
+        campaign_vectors = {e.label: e.vector
+                            for e in via_campaign.entries}
+        store_vectors = {e.label: e.vector for e in via_store.entries}
+        assert store_vectors == campaign_vectors
+        assert via_store.meta["source"] == "store"

@@ -1,0 +1,98 @@
+"""The ``python -m repro diagnose`` command surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.diagnosis import compile_dictionary
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+N = len(signature_feature_names())
+
+
+def _record(count=5, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+@pytest.fixture
+def dictionary_path(tmp_path):
+    labeled = [
+        ("comparator:cat:0", "comparator", 1.0, _record(
+            count=4, voltage=True,
+            sig=VoltageSignature.OUTPUT_STUCK_AT)),
+        ("comparator:cat:1", "comparator", 1.0, _record(
+            count=2, mechs=(CurrentMechanism.IDDQ,),
+            keys=[("iddq", "latching", "below")])),
+    ]
+    path = tmp_path / "dict.json"
+    compile_dictionary(labeled).save(path)
+    return str(path)
+
+
+class TestDispatch:
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            repro_main(["diagnose", "bogus"])
+
+
+class TestQuery:
+    def test_self_test_passes(self, dictionary_path, capsys):
+        code = repro_main(["diagnose", "query",
+                           "--dictionary", dictionary_path,
+                           "--self-test", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["classes"] == 2
+        assert payload["top1"] == 2
+        assert payload["failures"] == []
+
+    def test_query_file_json_output(self, dictionary_path, tmp_path,
+                                    capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps({"queries": [[0.0] * N]}))
+        code = repro_main(["diagnose", "query",
+                           "--dictionary", dictionary_path,
+                           "--input", str(queries), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["diagnoses"][0]["verdict"] == "pass"
+
+    def test_malformed_input_is_an_error(self, dictionary_path,
+                                         tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = repro_main(["diagnose", "query",
+                           "--dictionary", dictionary_path,
+                           "--input", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_dictionary_is_an_error(self, tmp_path, capsys):
+        code = repro_main(["diagnose", "query", "--dictionary",
+                           str(tmp_path / "nope.json"),
+                           "--self-test"])
+        assert code == 2
+
+
+class TestReport:
+    def test_report_plain(self, dictionary_path, capsys):
+        code = repro_main(["diagnose", "report",
+                           "--dictionary", dictionary_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "expected resolution" in out
+
+    def test_report_json(self, dictionary_path, capsys):
+        code = repro_main(["diagnose", "report",
+                           "--dictionary", dictionary_path, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["classes"] == 2
+        assert payload["resolution"] == pytest.approx(1.0)
+        assert payload["min_pair_distance"] > 0.0

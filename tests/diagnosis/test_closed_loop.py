@@ -1,0 +1,53 @@
+"""Closed-loop diagnosis on the fast-config comparator campaign.
+
+The acceptance contract: every dictionary class's own signature, fed
+back through the matcher, ranks that class — or its declared ambiguity
+group — top-1, for 100% of classes.
+"""
+
+import pytest
+
+from repro.campaign import CampaignOptions
+from repro.core.path import PathConfig
+from repro.diagnosis import DictionaryMatcher, build_dictionary
+
+#: the fast-config comparator campaign (the bench_incremental budget)
+CONFIG = PathConfig(n_defects=4000, max_classes=8,
+                    include_noncat=False, seed=1995)
+
+
+@pytest.fixture(scope="module")
+def dictionary(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("diagnosis-closed-loop")
+    return build_dictionary(CONFIG,
+                            CampaignOptions(jobs=1,
+                                            cache_dir=str(cache)),
+                            macros=["comparator"])
+
+
+class TestClosedLoop:
+    def test_dictionary_is_non_trivial(self, dictionary):
+        assert len(dictionary) >= 5
+        assert dictionary.macros == ("comparator",)
+
+    def test_every_class_ranks_itself_top1(self, dictionary):
+        matcher = DictionaryMatcher(dictionary)
+        diagnoses = matcher.diagnose_batch(dictionary.matrix())
+        failures = []
+        for entry, diagnosis in zip(dictionary.entries, diagnoses):
+            top = diagnosis.top
+            ok = top is not None and (
+                top.label == entry.label or
+                entry.label in diagnosis.ambiguity_group)
+            if not ok:
+                failures.append(
+                    (entry.label, top.label if top else None))
+        assert not failures, (
+            f"{len(failures)}/{len(dictionary)} classes failed the "
+            f"closed loop: {failures}")
+
+    def test_no_self_signature_escapes(self, dictionary):
+        matcher = DictionaryMatcher(dictionary)
+        verdicts = {d.verdict for d in
+                    matcher.diagnose_batch(dictionary.matrix())}
+        assert verdicts <= {"matched", "ambiguous"}

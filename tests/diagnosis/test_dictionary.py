@@ -1,0 +1,123 @@
+"""FaultDictionary: validation, ambiguity groups, byte-stable I/O."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import (DICTIONARY_VERSION, DictionaryEntry,
+                             DictionaryError, FaultDictionary)
+from repro.faultsim import signature_feature_names
+
+
+def _entry(label, vector, macro="comparator", prior=0.5, count=3):
+    return DictionaryEntry(label=label, macro=macro,
+                           vector=tuple(vector), prior=prior,
+                           count=count)
+
+
+def _vec(*hot):
+    v = [0.0] * len(signature_feature_names())
+    for k in hot:
+        v[k] = 1.0
+    return tuple(v)
+
+
+def _dictionary(entries, tolerance=None):
+    features = signature_feature_names()
+    if tolerance is None:
+        tolerance = (1.0,) * len(features)
+    return FaultDictionary(features=features, tolerance=tolerance,
+                           entries=tuple(entries))
+
+
+class TestValidation:
+    def test_tolerance_width_mismatch_raises(self):
+        features = signature_feature_names()
+        with pytest.raises(DictionaryError, match="tolerance width"):
+            FaultDictionary(features=features, tolerance=(1.0,),
+                            entries=())
+
+    def test_entry_width_mismatch_raises(self):
+        with pytest.raises(DictionaryError, match="vector width"):
+            _dictionary([_entry("a", (1.0, 0.0))])
+
+    def test_entries_sorted_by_label(self):
+        d = _dictionary([_entry("b", _vec(0)), _entry("a", _vec(1))])
+        assert d.labels == ("a", "b")
+
+    def test_len_and_macros(self):
+        d = _dictionary([_entry("a", _vec(0), macro="ladder"),
+                         _entry("b", _vec(1), macro="comparator")])
+        assert len(d) == 2
+        assert d.macros == ("comparator", "ladder")
+
+
+class TestMatrixAndGroups:
+    def test_matrix_follows_entry_order(self):
+        d = _dictionary([_entry("b", _vec(1)), _entry("a", _vec(0))])
+        m = d.matrix()
+        assert m.shape == (2, len(d.features))
+        assert m[0, 0] == 1.0  # entry "a" first after sorting
+        assert m[1, 1] == 1.0
+
+    def test_empty_dictionary_matrix_shape(self):
+        d = _dictionary([])
+        assert d.matrix().shape == (0, len(d.features))
+
+    def test_ambiguity_groups_identical_vectors(self):
+        d = _dictionary([_entry("a", _vec(0)), _entry("b", _vec(0)),
+                         _entry("c", _vec(1))])
+        groups = d.ambiguity_groups()
+        assert groups["a"] == ("a", "b")
+        assert groups["b"] == ("a", "b")
+        assert groups["c"] == ("c",)
+
+    def test_priors_in_entry_order(self):
+        d = _dictionary([_entry("b", _vec(1), prior=0.25),
+                         _entry("a", _vec(0), prior=0.75)])
+        assert np.allclose(d.priors(), [0.75, 0.25])
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        d = _dictionary([_entry("a", _vec(0, 5)),
+                         _entry("b", _vec(1))])
+        d.meta["undetected"] = ["z"]
+        back = FaultDictionary.from_dict(
+            json.loads(json.dumps(d.to_dict())))
+        assert back.dumps() == d.dumps()
+        assert back.labels == d.labels
+        assert back.meta == d.meta
+
+    def test_dumps_is_byte_stable(self):
+        build = lambda: _dictionary([_entry("b", _vec(1)),
+                                     _entry("a", _vec(0))])
+        assert build().dumps() == build().dumps()
+
+    def test_version_mismatch_raises(self):
+        payload = _dictionary([]).to_dict()
+        payload["dictionary_version"] = DICTIONARY_VERSION + 1
+        with pytest.raises(DictionaryError, match="version"):
+            FaultDictionary.from_dict(payload)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(DictionaryError, match="bad dictionary"):
+            FaultDictionary.from_dict({"dictionary_version":
+                                       DICTIONARY_VERSION})
+
+    def test_save_load_round_trip(self, tmp_path):
+        d = _dictionary([_entry("a", _vec(2))])
+        path = tmp_path / "dict.json"
+        d.save(path)
+        assert FaultDictionary.load(path).dumps() == d.dumps()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DictionaryError, match="cannot read"):
+            FaultDictionary.load(tmp_path / "nope.json")
+
+    def test_load_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DictionaryError, match="not a dictionary"):
+            FaultDictionary.load(path)

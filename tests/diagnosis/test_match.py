@@ -1,0 +1,157 @@
+"""DictionaryMatcher: distances, verdicts, ranking, events."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import DiagnosisMetricsCollector, EventBus
+from repro.diagnosis import (DictionaryEntry, DictionaryMatcher,
+                             EmptyDictionaryError, FaultDictionary)
+from repro.faultsim import signature_feature_names
+
+N = len(signature_feature_names())
+
+
+def _vec(*hot):
+    v = np.zeros(N)
+    v[list(hot)] = 1.0
+    return v
+
+
+def _entry(label, vector, prior, macro="comparator"):
+    return DictionaryEntry(label=label, macro=macro,
+                           vector=tuple(float(x) for x in vector),
+                           prior=prior, count=1)
+
+
+def _dictionary(entries):
+    return FaultDictionary(features=signature_feature_names(),
+                           tolerance=(1.0,) * N,
+                           entries=tuple(entries))
+
+
+@pytest.fixture
+def simple():
+    """Three distinguishable classes plus an ambiguous pair."""
+    return _dictionary([
+        _entry("a", _vec(0, 1), prior=0.4),
+        _entry("b", _vec(5), prior=0.3),
+        _entry("twin1", _vec(8, 9), prior=0.1),
+        _entry("twin2", _vec(8, 9), prior=0.2),
+    ])
+
+
+class TestConstruction:
+    def test_empty_dictionary_raises(self):
+        with pytest.raises(EmptyDictionaryError):
+            DictionaryMatcher(_dictionary([]))
+
+    def test_zero_tolerance_raises(self):
+        d = FaultDictionary(features=signature_feature_names(),
+                            tolerance=(0.0,) * N,
+                            entries=(_entry("a", _vec(0), 1.0),))
+        with pytest.raises(EmptyDictionaryError, match="tolerance"):
+            DictionaryMatcher(d)
+
+    def test_zero_priors_fall_back_to_flat(self, simple):
+        d = _dictionary([_entry("a", _vec(0), 0.0),
+                         _entry("b", _vec(1), 0.0)])
+        m = DictionaryMatcher(d)
+        assert m.diagnose(_vec(0)).top.label == "a"
+
+
+class TestDistances:
+    def test_self_distance_near_zero(self, simple):
+        m = DictionaryMatcher(simple)
+        d = m.distances(simple.matrix())
+        assert np.allclose(np.diag(d)[:2], 0.0, atol=1e-8)
+
+    def test_distances_bounded_for_binary_vectors(self, simple):
+        m = DictionaryMatcher(simple)
+        d = m.distances(np.vstack([_vec(), np.ones(N)]))
+        assert float(d.min()) >= 0.0
+        assert float(d.max()) <= 1.0 + 1e-12
+
+    def test_width_mismatch_raises(self, simple):
+        m = DictionaryMatcher(simple)
+        with pytest.raises(ValueError, match="width"):
+            m.distances(np.zeros((1, N + 1)))
+
+
+class TestVerdicts:
+    def test_all_zero_query_passes(self, simple):
+        m = DictionaryMatcher(simple)
+        diagnosis = m.diagnose(_vec())
+        assert diagnosis.verdict == "pass"
+        assert diagnosis.top is None
+
+    def test_exact_match_is_matched_top1(self, simple):
+        m = DictionaryMatcher(simple)
+        diagnosis = m.diagnose(_vec(0, 1))
+        assert diagnosis.verdict == "matched"
+        assert diagnosis.top.label == "a"
+        assert diagnosis.top.distance < 1e-8
+        assert diagnosis.ambiguity_group == ()
+
+    def test_exact_match_outranks_high_prior_neighbour(self):
+        # "near" shares 2 of 3 hot features with the query and holds
+        # almost all prior mass; the exact zero-distance match must
+        # still rank first (sigma -> 0 ordering).
+        d = _dictionary([_entry("exact", _vec(0, 1, 2), prior=0.01),
+                         _entry("near", _vec(0, 1, 3), prior=0.99)])
+        m = DictionaryMatcher(d)
+        assert m.diagnose(_vec(0, 1, 2)).top.label == "exact"
+
+    def test_ambiguous_pair_reports_group(self, simple):
+        m = DictionaryMatcher(simple)
+        diagnosis = m.diagnose(_vec(8, 9))
+        assert diagnosis.verdict == "ambiguous"
+        assert diagnosis.ambiguity_group == ("twin1", "twin2")
+        # priors order the group members: twin2 (0.2) > twin1 (0.1)
+        assert diagnosis.top.label == "twin2"
+
+    def test_far_query_is_escape_unmatched(self, simple):
+        m = DictionaryMatcher(simple)
+        diagnosis = m.diagnose(_vec(*range(16, 28)))
+        assert diagnosis.verdict == "escape_unmatched"
+        assert diagnosis.candidates  # still reports nearest classes
+
+    def test_batch_order_matches_input_order(self, simple):
+        m = DictionaryMatcher(simple)
+        out = m.diagnose_batch(np.vstack([_vec(5), _vec(), _vec(0, 1)]))
+        assert [d.verdict for d in out] == ["matched", "pass",
+                                            "matched"]
+        assert out[0].top.label == "b"
+        assert out[2].top.label == "a"
+
+    def test_top_k_truncates_candidates(self, simple):
+        m = DictionaryMatcher(simple, top_k=2)
+        assert len(m.diagnose(_vec(5)).candidates) == 2
+
+
+class TestClosedLoop:
+    def test_every_entry_self_matches(self, simple):
+        m = DictionaryMatcher(simple)
+        for entry, diagnosis in zip(
+                simple.entries, m.diagnose_batch(simple.matrix())):
+            top = diagnosis.top
+            assert top.label == entry.label or \
+                entry.label in diagnosis.ambiguity_group, entry.label
+
+
+class TestEvents:
+    def test_batch_event_counts(self, simple):
+        bus = EventBus()
+        collector = DiagnosisMetricsCollector()
+        bus.subscribe(collector)
+        m = DictionaryMatcher(simple, bus=bus)
+        m.diagnose_batch(np.vstack([
+            _vec(0, 1), _vec(8, 9), _vec(), _vec(*range(16, 28))]))
+        snap = collector.snapshot()
+        assert snap.batches == 1
+        assert snap.queries == 4
+        assert snap.matched == 1
+        assert snap.ambiguous == 1
+        assert snap.passed == 1
+        assert snap.unmatched == 1
+        assert snap.wall_time > 0.0
+        assert snap.queries_per_second > 0.0

@@ -1,0 +1,177 @@
+"""End-to-end server tests: build -> serve -> query over a socket."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.diagnosis import compile_dictionary
+from repro.diagnosis.server import serve
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+N = len(signature_feature_names())
+
+
+def _record(count=5, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+def _build_dictionary():
+    labeled = [
+        ("comparator:cat:0", "comparator", 1.0, _record(
+            count=4, voltage=True,
+            sig=VoltageSignature.OUTPUT_STUCK_AT,
+            mechs=(CurrentMechanism.IVDD,),
+            keys=[("ivdd", "sampling", "above")])),
+        ("comparator:cat:1", "comparator", 1.0, _record(
+            count=2, mechs=(CurrentMechanism.IDDQ,),
+            keys=[("iddq", "latching", "below")])),
+    ]
+    return compile_dictionary(labeled)
+
+
+@pytest.fixture
+def server():
+    """A live server on an ephemeral port; torn down after the test."""
+    srv = serve(_build_dictionary(), port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _url(srv, path):
+    host, port = srv.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(srv, path):
+    try:
+        with urllib.request.urlopen(_url(srv, path), timeout=5) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(srv, path, body: bytes):
+    request = urllib.request.Request(
+        _url(srv, path), data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=5) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndToEnd:
+    def test_health(self, server):
+        status, payload = _get(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["classes"] == 2
+        assert payload["features"] == N
+        assert payload["macros"] == ["comparator"]
+
+    def test_diagnose_query_vectors(self, server):
+        queries = [list(e.vector)
+                   for e in server.dictionary.entries]
+        status, payload = _post(
+            server, "/diagnose",
+            json.dumps({"queries": queries}).encode())
+        assert status == 200
+        diagnoses = payload["diagnoses"]
+        assert len(diagnoses) == 2
+        for entry, diagnosis in zip(server.dictionary.entries,
+                                    diagnoses):
+            assert diagnosis["verdict"] == "matched"
+            assert diagnosis["candidates"][0]["label"] == entry.label
+
+    def test_diagnose_record_dicts(self, server):
+        from repro.core.serialize import record_to_dict
+        record = _record(count=2,
+                         mechs=(CurrentMechanism.IDDQ,),
+                         keys=[("iddq", "latching", "below")])
+        status, payload = _post(
+            server, "/diagnose",
+            json.dumps({"records": [record_to_dict(record)]}).encode())
+        assert status == 200
+        top = payload["diagnoses"][0]["candidates"][0]
+        assert top["label"] == "comparator:cat:1"
+
+    def test_pass_verdict_for_zero_vector(self, server):
+        status, payload = _post(
+            server, "/diagnose",
+            json.dumps({"queries": [[0.0] * N]}).encode())
+        assert status == 200
+        assert payload["diagnoses"][0]["verdict"] == "pass"
+
+    def test_metrics_accumulate(self, server):
+        _post(server, "/diagnose",
+              json.dumps({"queries": [[0.0] * N]}).encode())
+        status, payload = _get(server, "/metrics")
+        assert status == 200
+        assert payload["batches"] == 1
+        assert payload["queries"] == 1
+        assert payload["passed"] == 1
+        assert payload["dictionary_classes"] == 2
+        assert payload["wall_time"] >= 0.0
+
+
+class TestErrorPaths:
+    def test_malformed_json_is_400(self, server):
+        status, payload = _post(server, "/diagnose", b"{not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_missing_keys_is_400(self, server):
+        status, payload = _post(server, "/diagnose",
+                                json.dumps({"nope": 1}).encode())
+        assert status == 400
+        assert "queries" in payload["error"]
+
+    def test_wrong_width_is_400(self, server):
+        status, payload = _post(
+            server, "/diagnose",
+            json.dumps({"queries": [[1.0, 2.0]]}).encode())
+        assert status == 400
+        assert "width" in payload["error"]
+
+    def test_bad_record_is_400(self, server):
+        status, payload = _post(
+            server, "/diagnose",
+            json.dumps({"records": [{"bogus": True}]}).encode())
+        assert status == 400
+        assert "records[0]" in payload["error"]
+
+    def test_unknown_paths_are_404(self, server):
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/nope", b"{}")[0] == 404
+
+
+class TestEmptyDictionary:
+    def test_diagnose_answers_503_health_stays_up(self):
+        srv = serve(compile_dictionary([]), port=0)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            status, payload = _post(
+                srv, "/diagnose",
+                json.dumps({"queries": [[0.0] * N]}).encode())
+            assert status == 503
+            assert "no detectable classes" in payload["error"]
+            assert _get(srv, "/health")[0] == 200
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)

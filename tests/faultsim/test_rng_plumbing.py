@@ -1,0 +1,82 @@
+"""Explicit-Generator plumbing: every Monte Carlo entry point accepts
+``numpy.random.Generator`` and matches its seed-based path exactly."""
+
+import numpy as np
+
+from repro.adc.comparator import comparator_layout
+from repro.adc.mismatch import offset_distribution
+from repro.defects.sprinkle import iter_sprinkle, sprinkle
+from repro.digital import LogicNetlist
+from repro.digital.atpg import generate_tests
+from repro.faultsim.macro_engines import DecoderFaultEngine
+
+
+def half_adder():
+    n = LogicNetlist("ha")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("gx", "XOR2", ["a", "b"], "sum")
+    n.add_gate("ga", "AND2", ["a", "b"], "carry")
+    n.add_output("sum")
+    n.add_output("carry")
+    return n
+
+
+def _defect_key(defect):
+    d = defect.disk
+    return (defect.mechanism.name, d.cx, d.cy, d.radius)
+
+
+class TestSprinkle:
+    def test_rng_matches_seed_path(self):
+        cell = comparator_layout()
+        via_seed = sprinkle(cell, 300, seed=11)
+        via_rng = sprinkle(cell, 300, rng=np.random.default_rng(11))
+        assert [_defect_key(d) for d in via_seed] == \
+            [_defect_key(d) for d in via_rng]
+
+    def test_iter_sprinkle_shares_a_stream(self):
+        # one generator across two calls continues the stream instead
+        # of replaying it
+        cell = comparator_layout()
+        rng = np.random.default_rng(3)
+        first = list(iter_sprinkle(cell, 50, rng=rng))
+        second = list(iter_sprinkle(cell, 50, rng=rng))
+        assert [_defect_key(d) for d in first] != \
+            [_defect_key(d) for d in second]
+
+    def test_explicit_rng_overrides_seed(self):
+        cell = comparator_layout()
+        a = sprinkle(cell, 100, seed=999,
+                     rng=np.random.default_rng(5))
+        b = sprinkle(cell, 100, seed=0, rng=np.random.default_rng(5))
+        assert [_defect_key(d) for d in a] == \
+            [_defect_key(d) for d in b]
+
+
+class TestAtpg:
+    def test_rng_matches_seed_path(self):
+        via_seed = generate_tests(half_adder(), seed=4)
+        via_rng = generate_tests(half_adder(),
+                                 rng=np.random.default_rng(4))
+        assert via_seed.vectors == via_rng.vectors
+        assert via_seed.coverage == via_rng.coverage
+
+
+class TestMismatch:
+    def test_offset_distribution_rng_matches_seed_path(self):
+        via_seed = offset_distribution(n_samples=2, seed=5,
+                                       resolution=8e-3)
+        via_rng = offset_distribution(n_samples=2,
+                                      rng=np.random.default_rng(5),
+                                      resolution=8e-3)
+        assert np.array_equal(via_seed, via_rng)
+
+
+class TestDecoderEngine:
+    def test_run_rng_matches_seed_path(self):
+        engine = DecoderFaultEngine(n_bridge_sample=15,
+                                    n_stuck_sample=10, seed=21)
+        via_seed = engine.run()
+        via_rng = engine.run(rng=np.random.default_rng(21))
+        assert via_seed == via_rng

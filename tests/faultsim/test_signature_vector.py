@@ -1,0 +1,118 @@
+"""Tests for the stable signature-vector feature contract."""
+
+import numpy as np
+
+from repro.core.serialize import record_from_dict, record_to_dict
+from repro.faultsim import (CurrentMechanism, PHASES, POLARITIES,
+                            SIGNATURE_QUANTITIES, VoltageSignature,
+                            signature_feature_names, signature_vector)
+from repro.macrotest import DetectionRecord
+
+NAMES = signature_feature_names()
+
+
+class TestFeatureOrdering:
+    def test_layout_is_the_documented_contract(self):
+        assert NAMES[0] == "voltage:missing_codes"
+        assert NAMES[1:5] == ("voltage:output_stuck_at",
+                              "voltage:offset", "voltage:mixed",
+                              "voltage:clock_value")
+        assert NAMES[5:8] == ("mechanism:ivdd", "mechanism:iddq",
+                              "mechanism:iinput")
+        assert len(NAMES) == 8 + len(SIGNATURE_QUANTITIES) * \
+            len(PHASES) * len(POLARITIES)
+
+    def test_current_block_is_quantity_major(self):
+        expected = tuple(f"current:{q}:{phase}:{pol}"
+                         for q in SIGNATURE_QUANTITIES
+                         for phase in PHASES
+                         for pol in POLARITIES)
+        assert NAMES[8:] == expected
+
+    def test_no_deviation_has_no_feature(self):
+        # all-zeros is the "inside good space" sentinel, so NONE must
+        # not occupy a one-hot slot
+        assert f"voltage:{VoltageSignature.NONE.value}" not in NAMES
+
+    def test_names_are_unique(self):
+        assert len(set(NAMES)) == len(NAMES)
+
+
+class TestVectorization:
+    def test_undetected_is_all_zeros(self):
+        vec = signature_vector(False, None, frozenset(), frozenset())
+        assert not vec.any()
+        assert vec.shape == (len(NAMES),)
+
+    def test_none_signature_is_all_zeros(self):
+        vec = signature_vector(False, VoltageSignature.NONE,
+                               frozenset(), frozenset())
+        assert not vec.any()
+
+    def test_features_land_on_their_named_slots(self):
+        vec = signature_vector(
+            True, VoltageSignature.OFFSET,
+            frozenset({CurrentMechanism.IDDQ}),
+            frozenset({("ivdd", "sampling", "above"),
+                       ("ivref", "latching", "below")}))
+        on = {NAMES[i] for i in np.flatnonzero(vec)}
+        assert on == {"voltage:missing_codes", "voltage:offset",
+                      "mechanism:iddq",
+                      "current:ivdd:sampling:above",
+                      "current:ivref:latching:below"}
+
+    def test_bespoke_violated_keys_ignored(self):
+        vec = signature_vector(
+            False, None, frozenset(),
+            frozenset({("missing_codes", "*", "*")}))
+        assert not vec.any()
+
+    def test_binary_valued(self):
+        vec = signature_vector(
+            True, VoltageSignature.MIXED,
+            frozenset(CurrentMechanism),
+            frozenset((q, p, s) for q in SIGNATURE_QUANTITIES
+                      for p in PHASES for s in POLARITIES))
+        assert set(np.unique(vec)) <= {0.0, 1.0}
+        assert vec.sum() == 1 + 1 + 3 + len(NAMES) - 8
+
+
+class TestDetectionRecordDelegation:
+    def test_record_matches_free_function(self):
+        rec = DetectionRecord(
+            count=4, voltage_detected=True,
+            mechanisms=frozenset({CurrentMechanism.IVDD}),
+            voltage_signature=VoltageSignature.OUTPUT_STUCK_AT,
+            violated_keys=frozenset({("iddq", "amplification",
+                                      "below")}))
+        expected = signature_vector(True,
+                                    VoltageSignature.OUTPUT_STUCK_AT,
+                                    rec.mechanisms, rec.violated_keys)
+        assert np.array_equal(rec.signature_vector(), expected)
+
+    def test_serialize_roundtrip_preserves_vector(self):
+        rec = DetectionRecord(
+            count=9, voltage_detected=True,
+            mechanisms=frozenset({CurrentMechanism.IDDQ,
+                                  CurrentMechanism.IINPUT}),
+            voltage_signature=VoltageSignature.CLOCK_VALUE,
+            fault_type="open",
+            violated_keys=frozenset({("iin", "sampling", "above"),
+                                     ("missing_codes", "*", "*")}),
+            detected_by="current")
+        restored = record_from_dict(record_to_dict(rec))
+        assert restored == rec
+        assert np.array_equal(restored.signature_vector(),
+                              rec.signature_vector())
+
+    def test_vector_stable_across_reencoding(self):
+        # encoding twice (the store round-trips payloads) cannot move
+        # features: the ordering is positional, not insertion-order
+        rec = DetectionRecord(
+            count=1, voltage_detected=False,
+            mechanisms=frozenset({CurrentMechanism.IVDD}),
+            violated_keys=frozenset({("ivdd", "latching", "above")}))
+        twice = record_from_dict(
+            record_to_dict(record_from_dict(record_to_dict(rec))))
+        assert np.array_equal(twice.signature_vector(),
+                              rec.signature_vector())

@@ -85,6 +85,50 @@ class TestOptimize:
         assert "coverage" in text
 
 
+class TestResolutionAware:
+    def _dictionary(self, records, labels=None):
+        from repro.diagnosis import compile_dictionary
+        labels = labels or [f"m:cat:{k}" for k in range(len(records))]
+        return compile_dictionary(
+            [(label, "m", 1.0, record)
+             for label, record in zip(labels, records)])
+
+    def test_no_dictionary_keeps_plan_unannotated(self):
+        m = macro([rec(10, keys=[IVDD_S])])
+        assert optimize_test_plan(m).resolution is None
+
+    def test_zero_weight_reproduces_coverage_plan(self):
+        records = [rec(10, voltage=True, keys=[IVDD_S]),
+                   rec(5, voltage=True, keys=[IDDQ_L])]
+        m = macro(records)
+        base = optimize_test_plan(m)
+        annotated = optimize_test_plan(m,
+                                       dictionary=self._dictionary(
+                                           records))
+        assert annotated.measurements == base.measurements
+        assert annotated.resolution is not None
+
+    def test_resolution_weight_buys_extra_measurements(self):
+        # both classes are covered by the missing-code test alone, but
+        # only their current signatures tell them apart
+        records = [rec(10, voltage=True, keys=[IVDD_S]),
+                   rec(10, voltage=True, keys=[IDDQ_L])]
+        m = macro(records)
+        d = self._dictionary(records)
+        base = optimize_test_plan(m, dictionary=d)
+        aware = optimize_test_plan(m, dictionary=d,
+                                   resolution_weight=1000.0)
+        assert aware.resolution > base.resolution
+        assert len(aware.measurements) >= len(base.measurements)
+        assert aware.coverage >= base.coverage
+
+    def test_describe_reports_resolution(self):
+        records = [rec(10, keys=[IVDD_S])]
+        plan = optimize_test_plan(macro(records),
+                                  dictionary=self._dictionary(records))
+        assert "diagnostic resolution" in plan.describe()
+
+
 class TestCosts:
     def test_measurement_costs(self):
         assert measurement_cost(IVDD_S) == pytest.approx(100e-6)
