@@ -9,7 +9,9 @@ base branch, then diffs the machine-readable outputs with this script:
 
 Every shared numeric metric is compared.  Keys ending in ``_wall`` or
 ``_time`` are wall-clock measurements (lower is better); keys named or
-ending in ``speedup`` are ratios (higher is better).  Other numeric
+ending in ``speedup`` or ``efficiency`` (e.g. the distributed
+benchmark's ``scaling_efficiency``) are ratios (higher is better).
+Other numeric
 keys are informational and only reported.  A tracked metric that moves
 more than ``--threshold`` (default 20%) in the bad direction fails the
 comparison with exit code 1; missing files or metrics are reported but
@@ -34,7 +36,8 @@ def _is_wall(key: str) -> bool:
 
 
 def _is_speedup(key: str) -> bool:
-    return key == "speedup" or key.endswith("_speedup")
+    return key == "speedup" or key.endswith("_speedup") or \
+        key == "efficiency" or key.endswith("_efficiency")
 
 
 def _numeric_items(payload: dict, prefix: str = "") -> dict:

@@ -15,7 +15,9 @@ managed campaign:
   live metrics (wall time, cache-hit rate, ETA);
 * :mod:`~repro.campaign.runner` — the
   :class:`~repro.campaign.runner.CampaignRunner` tying it together
-  over a process pool.
+  over a process pool;
+* :mod:`~repro.campaign.distributed` — the coordinator/worker fabric
+  sharding one campaign across hosts (see ``docs/DISTRIBUTED.md``).
 
 See ``docs/CAMPAIGNS.md`` for the operational guide.
 """
@@ -23,14 +25,17 @@ See ``docs/CAMPAIGNS.md`` for the operational guide.
 from .events import (CampaignEvent, CampaignFinished, CampaignMetrics,
                      CampaignStarted, ClassCompleted, ConsoleReporter,
                      DiagnosisMetrics, DiagnosisMetricsCollector,
-                     DictionaryBuilt, EventBus, MacroPlanned,
-                     MetricsCollector, QueryBatchServed)
+                     DictionaryBuilt, DistributedMetrics,
+                     DistributedMetricsCollector, EventBus,
+                     MacroPlanned, MetricsCollector, QueryBatchServed,
+                     ShardClaimed, ShardCompleted, ShardReclaimed,
+                     WorkerStats)
 from .journal import CampaignJournal, JournalEntry
 from .plan import (ALL_MACROS, MacroPlan, discover_classes,
                    ivdd_halfwidth, likelihood_order, plan_macro,
                    validate_macros)
 from .runner import (CampaignOptions, CampaignResult, CampaignRunner,
-                     DEFAULT_CACHE_DIR)
+                     DEFAULT_CACHE_DIR, PreparedCampaign)
 from .store import (STORE_VERSION, ResultsStore, StoredRecord,
                     baseline_key, canonical, content_key,
                     dictionary_key)
@@ -43,12 +48,15 @@ __all__ = [
     "CampaignEvent", "CampaignFinished", "CampaignMetrics",
     "CampaignStarted", "ClassCompleted", "ConsoleReporter",
     "DiagnosisMetrics", "DiagnosisMetricsCollector", "DictionaryBuilt",
+    "DistributedMetrics", "DistributedMetricsCollector",
     "EventBus", "MacroPlanned", "MetricsCollector", "QueryBatchServed",
+    "ShardClaimed", "ShardCompleted", "ShardReclaimed", "WorkerStats",
     "CampaignJournal",
     "JournalEntry", "ALL_MACROS", "MacroPlan", "discover_classes",
     "ivdd_halfwidth", "likelihood_order", "plan_macro",
     "validate_macros", "CampaignOptions", "CampaignResult",
-    "CampaignRunner", "DEFAULT_CACHE_DIR", "STORE_VERSION",
+    "CampaignRunner", "DEFAULT_CACHE_DIR", "PreparedCampaign",
+    "STORE_VERSION",
     "ResultsStore", "StoredRecord", "baseline_key", "canonical",
     "content_key", "dictionary_key",
     "ANALOG_MACROS", "ClassTask", "EngineSpec", "TaskOutcome",

@@ -1,0 +1,49 @@
+"""Distributed campaign fabric: coordinator/worker sharding.
+
+Scales a fault campaign past one host's process pool by splitting the
+planned fault classes into deterministic, content-keyed *shards* and
+leasing them to workers over a stdlib-HTTP protocol:
+
+* :mod:`~repro.campaign.distributed.partition` — the work
+  partitioner: likelihood-ordered, weight-balanced shards whose ids
+  are digests of their member content keys;
+* :mod:`~repro.campaign.distributed.protocol` — the wire format
+  (campaign descriptor, shard lease, report entries) shared by both
+  sides;
+* :mod:`~repro.campaign.distributed.coordinator` — the
+  :class:`~repro.campaign.distributed.coordinator.Coordinator`: plans
+  the campaign once, serves ``/claim`` / ``/report`` / ``/heartbeat``
+  / ``/health`` / ``/metrics`` / ``/campaign``, reclaims expired
+  leases, merges shard results into the crash-safe campaign journal
+  and assembles the final :class:`~repro.core.path.PathResult`;
+* :mod:`~repro.campaign.distributed.worker` — the
+  :class:`~repro.campaign.distributed.worker.Worker` loop: re-plans
+  the campaign from the shipped config (verified by fingerprint),
+  leases shards, runs them through the unchanged
+  :class:`~repro.campaign.runner.CampaignRunner` execution machinery
+  and streams per-class results back; plus
+  :class:`~repro.campaign.distributed.worker.LocalWorkerPool` for the
+  localhost multi-worker mode tests and CI exercise.
+
+The merge contract: a distributed campaign with the same config and
+seed produces detection records byte-identical to a single-host run —
+results are pure functions of (fault class, engine spec), and the
+coordinator assembles them in plan order regardless of which worker
+computed what, when, or how many times.
+
+See ``docs/DISTRIBUTED.md`` for the operational guide.
+"""
+
+from .coordinator import Coordinator, CoordinatorServer
+from .partition import Shard, partition_tasks, shard_id
+from .protocol import (PROTOCOL_VERSION, CampaignDescriptor,
+                       ProtocolError, ReportEntry, ShardLease)
+from .worker import LocalWorkerPool, Worker, WorkerError, run_worker
+
+__all__ = [
+    "Coordinator", "CoordinatorServer",
+    "Shard", "partition_tasks", "shard_id",
+    "PROTOCOL_VERSION", "CampaignDescriptor", "ProtocolError",
+    "ReportEntry", "ShardLease",
+    "LocalWorkerPool", "Worker", "WorkerError", "run_worker",
+]

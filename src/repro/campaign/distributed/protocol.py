@@ -1,0 +1,228 @@
+"""Wire format of the coordinator/worker protocol.
+
+Plain JSON over stdlib HTTP, mirroring the diagnosis server's style:
+typed payload classes with ``to_dict`` / ``from_dict``, strict
+decoding (a malformed payload raises :class:`ProtocolError`, which
+the HTTP layer maps to 400), and an explicit
+:data:`PROTOCOL_VERSION` so incompatible coordinator/worker pairs
+fail loudly instead of corrupting a campaign.
+
+Nothing in the protocol carries a worker-side timestamp: all lease
+and heartbeat timing lives on the coordinator's monotonic clock, so
+worker clock skew cannot expire (or immortalise) a lease.
+
+Endpoints (see :mod:`~repro.campaign.distributed.coordinator`):
+
+* ``GET /campaign`` — the :class:`CampaignDescriptor`: everything a
+  worker needs to rebuild the identical task list (config, macros,
+  store version) plus the fingerprint it must reproduce.
+* ``POST /claim`` — body ``{"worker": id}``; answers a
+  :class:`ShardLease` under ``"shard"`` (or ``null`` with ``"done"``
+  / ``"retry_after"`` when nothing is claimable right now).
+* ``POST /report`` — body ``{"worker", "shard_id", "entries":
+  [ReportEntry...]}``; idempotent per shard.
+* ``POST /heartbeat`` — body ``{"worker", "shard_id"}``; extends the
+  lease from the coordinator's clock.
+* ``GET /health`` / ``GET /metrics`` — liveness and the aggregated
+  dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.path import PathConfig
+from ...core.serialize import (SerializeError, record_from_dict,
+                               record_to_dict)
+from ...macrotest.coverage import DetectionRecord
+from .partition import Shard
+
+#: bump on any incompatible change to the wire format
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed or incompatible protocol payload (HTTP 400)."""
+
+
+def _require(data: Dict, key: str):
+    if not isinstance(data, dict) or key not in data:
+        raise ProtocolError(f"payload is missing {key!r}")
+    return data[key]
+
+
+@dataclass(frozen=True)
+class CampaignDescriptor:
+    """What a worker needs to join a campaign.
+
+    Attributes:
+        fingerprint: the coordinator's campaign fingerprint; a worker
+            that plans a different one (code or config drift) must
+            refuse to claim.
+        config: the :class:`~repro.core.path.PathConfig` knobs, in
+            ``to_dict`` form.
+        macros: validated macro list the coordinator planned.
+        store_version: results-store version tag (content keys match
+            only when this matches).
+        lease: shard lease duration in seconds.
+        protocol: wire-format version.
+    """
+
+    fingerprint: str
+    config: Dict
+    macros: Tuple[str, ...]
+    store_version: str
+    lease: float
+    protocol: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> Dict:
+        return {
+            "protocol": self.protocol,
+            "fingerprint": self.fingerprint,
+            "config": dict(self.config),
+            "macros": list(self.macros),
+            "store_version": self.store_version,
+            "lease": self.lease,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignDescriptor":
+        protocol = _require(data, "protocol")
+        if protocol != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {protocol!r} != "
+                f"{PROTOCOL_VERSION} (coordinator and worker are "
+                f"running different code)")
+        config = _require(data, "config")
+        if not isinstance(config, dict):
+            raise ProtocolError("'config' must be an object")
+        try:
+            PathConfig.from_dict(config)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad campaign config: {exc}") from exc
+        macros = _require(data, "macros")
+        if not isinstance(macros, list) or \
+                not all(isinstance(m, str) for m in macros):
+            raise ProtocolError("'macros' must be a list of names")
+        return cls(fingerprint=str(_require(data, "fingerprint")),
+                   config=config, macros=tuple(macros),
+                   store_version=str(_require(data, "store_version")),
+                   lease=float(_require(data, "lease")),
+                   protocol=int(protocol))
+
+    def path_config(self) -> PathConfig:
+        return PathConfig.from_dict(self.config)
+
+
+@dataclass(frozen=True)
+class ShardLease:
+    """One leased shard as it crosses the wire.
+
+    Attributes:
+        shard_id: the shard's content key.
+        index: dispatch position (heaviest shard first).
+        task_ids: member task ids (the worker selects these out of
+            its own re-planned task list).
+        weight: summed class magnitudes.
+        lease: lease duration in seconds (heartbeat before it runs
+            out).
+        retries: how many leases on this shard expired before this
+            one.
+    """
+
+    shard_id: str
+    index: int
+    task_ids: Tuple[str, ...]
+    weight: int
+    lease: float
+    retries: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "shard_id": self.shard_id,
+            "index": self.index,
+            "task_ids": list(self.task_ids),
+            "weight": self.weight,
+            "lease": self.lease,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShardLease":
+        task_ids = _require(data, "task_ids")
+        if not isinstance(task_ids, list) or not task_ids or \
+                not all(isinstance(t, str) for t in task_ids):
+            raise ProtocolError(
+                "'task_ids' must be a non-empty list of ids")
+        return cls(shard_id=str(_require(data, "shard_id")),
+                   index=int(data.get("index", 0)),
+                   task_ids=tuple(task_ids),
+                   weight=int(data.get("weight", 0)),
+                   lease=float(data.get("lease", 0.0)),
+                   retries=int(data.get("retries", 0)))
+
+    @classmethod
+    def from_shard(cls, shard: Shard, lease: float,
+                   retries: int = 0) -> "ShardLease":
+        return cls(shard_id=shard.id, index=shard.index,
+                   task_ids=shard.task_ids, weight=shard.weight,
+                   lease=lease, retries=retries)
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One completed fault class inside a ``/report`` body.
+
+    Attributes:
+        task_id: the class's campaign task id.
+        record: the detection record.
+        degraded: the class exhausted its retries on the worker and
+            carries a pessimistic record.
+        error: the attached error text for degraded entries.
+        wall: worker-side simulation seconds (informational — never
+            used for lease timing).
+        source: ``"remote"`` (computed on the worker) or ``"cache"``
+            (served from the worker's store).
+    """
+
+    task_id: str
+    record: DetectionRecord
+    degraded: bool = False
+    error: Optional[str] = None
+    wall: float = 0.0
+    source: str = "remote"
+
+    def to_dict(self) -> Dict:
+        return {
+            "task_id": self.task_id,
+            "record": record_to_dict(self.record),
+            "degraded": self.degraded,
+            "error": self.error,
+            "wall": self.wall,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ReportEntry":
+        try:
+            record = record_from_dict(_require(data, "record"))
+        except (SerializeError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"bad record for task "
+                f"{data.get('task_id')!r}: {exc}") from exc
+        error = data.get("error")
+        return cls(task_id=str(_require(data, "task_id")),
+                   record=record,
+                   degraded=bool(data.get("degraded", False)),
+                   error=str(error) if error is not None else None,
+                   wall=float(data.get("wall", 0.0)),
+                   source=str(data.get("source", "remote")))
+
+
+def decode_entries(data: Dict) -> List[ReportEntry]:
+    """Decode a ``/report`` body's entry list, strictly."""
+    entries = _require(data, "entries")
+    if not isinstance(entries, list):
+        raise ProtocolError("'entries' must be a list")
+    return [ReportEntry.from_dict(entry) for entry in entries]

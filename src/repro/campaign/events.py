@@ -9,16 +9,21 @@ ETA) that the CLI prints and the benchmarks persist as JSON.
 
 All subscriber dispatch happens under a lock, so reporters that write
 to a shared stream never interleave lines even when pool callbacks
-fire from multiple threads.
+fire from multiple threads.  A subscriber that raises is logged and
+skipped for that event — one sick reporter can never take the
+campaign loop down with it.
 """
 
 from __future__ import annotations
 
+import logging
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,65 @@ class CampaignFinished(CampaignEvent):
 
 
 @dataclass(frozen=True)
+class ShardClaimed(CampaignEvent):
+    """A worker leased one shard from the coordinator.
+
+    Attributes:
+        shard_id: the shard's content key.
+        worker: the claiming worker's id.
+        n_tasks: fault classes in the shard.
+        weight: summed class magnitudes in the shard.
+        retries: how many times the shard was reclaimed before this
+            claim (0 on first dispatch).
+    """
+
+    shard_id: str
+    worker: str
+    n_tasks: int
+    weight: int
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class ShardCompleted(CampaignEvent):
+    """A shard's results were merged into the campaign.
+
+    Attributes:
+        shard_id: the shard's content key.
+        worker: the reporting worker's id.
+        n_tasks: fault classes merged from the report.
+        weight: summed class magnitudes in the shard.
+        wall: coordinator-observed lease-to-report seconds.
+        duplicate: the shard was already done when this report
+            arrived (idempotent merge; nothing changed).
+    """
+
+    shard_id: str
+    worker: str
+    n_tasks: int
+    weight: int
+    wall: float = 0.0
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class ShardReclaimed(CampaignEvent):
+    """A shard's lease expired and it went back into the queue.
+
+    Attributes:
+        shard_id: the shard's content key.
+        worker: the worker that held the expired lease.
+        retries: reclaim count including this one.
+        lease: the lease duration that expired, in seconds.
+    """
+
+    shard_id: str
+    worker: str
+    retries: int
+    lease: float = 0.0
+
+
+@dataclass(frozen=True)
 class DictionaryBuilt(CampaignEvent):
     """A fault dictionary finished compiling (or loaded from cache).
 
@@ -142,7 +206,13 @@ class QueryBatchServed(CampaignEvent):
 
 
 class EventBus:
-    """Thread-safe fan-out of campaign events to subscribers."""
+    """Thread-safe fan-out of campaign events to subscribers.
+
+    Subscriber failures are isolated: a raising subscriber is logged
+    (with traceback) and the remaining subscribers still receive the
+    event.  Emitters — the campaign loop, the coordinator's request
+    threads — never see a subscriber's exception.
+    """
 
     def __init__(self) -> None:
         self._subscribers: List[Callable[[CampaignEvent], None]] = []
@@ -155,7 +225,12 @@ class EventBus:
     def emit(self, event: CampaignEvent) -> None:
         with self._lock:
             for fn in self._subscribers:
-                fn(event)
+                try:
+                    fn(event)
+                except Exception:
+                    logger.exception(
+                        "event subscriber %r failed on %s; skipping it "
+                        "for this event", fn, type(event).__name__)
 
 
 @dataclass(frozen=True)
@@ -434,6 +509,169 @@ class DiagnosisMetricsCollector:
                 dictionary_source=self._source)
 
 
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker accounting inside :class:`DistributedMetrics`.
+
+    Attributes:
+        worker: worker id.
+        shards: shards merged from this worker.
+        tasks: fault classes merged from this worker.
+        weight: summed class magnitudes merged from this worker.
+        wall: summed lease-to-report seconds of merged shards.
+    """
+
+    worker: str
+    shards: int = 0
+    tasks: int = 0
+    weight: int = 0
+    wall: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Merged fault classes per second of shard wall time."""
+        if self.wall <= 0:
+            return 0.0
+        return self.tasks / self.wall
+
+    def as_dict(self) -> Dict:
+        return {
+            "shards": self.shards,
+            "tasks": self.tasks,
+            "weight": self.weight,
+            "wall": self.wall,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass(frozen=True)
+class DistributedMetrics:
+    """Coordinator-side fan-in of a distributed campaign.
+
+    Attributes:
+        shards_total: shards the campaign was partitioned into.
+        shards_done: shards merged so far.
+        shards_leased: shards currently out on lease.
+        reclaims: expired leases (shards requeued).
+        duplicate_reports: idempotently ignored ``/report`` calls.
+        workers: per-worker stats keyed by worker id.
+        stragglers: shard ids leased for longer than the straggler
+            threshold (2x the median merged-shard wall) and not yet
+            reported.
+        eta: estimated remaining seconds from the active workers'
+            aggregate throughput (None before any merge or when
+            nothing remains).
+    """
+
+    shards_total: int = 0
+    shards_done: int = 0
+    shards_leased: int = 0
+    reclaims: int = 0
+    duplicate_reports: int = 0
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+    stragglers: Tuple[str, ...] = ()
+    eta: Optional[float] = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
+            "shards_leased": self.shards_leased,
+            "reclaims": self.reclaims,
+            "duplicate_reports": self.duplicate_reports,
+            "workers": {name: stats.as_dict()
+                        for name, stats in sorted(self.workers.items())},
+            "stragglers": list(self.stragglers),
+            "eta": self.eta,
+        }
+
+
+class DistributedMetricsCollector:
+    """EventBus subscriber folding shard events into
+    :class:`DistributedMetrics` — the coordinator's aggregated live
+    dashboard (per-worker throughput, reclaim counts, straggler
+    detection, weighted ETA).
+
+    All timing uses the injected clock (the coordinator's monotonic
+    clock); nothing a worker sends is trusted as a timestamp.
+    """
+
+    #: a leased shard is a straggler once it is out for more than
+    #: STRAGGLER_FACTOR x the median merged-shard wall
+    STRAGGLER_FACTOR = 2.0
+
+    def __init__(self, total_shards: int = 0, total_weight: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._total = total_shards
+        self._total_weight = total_weight
+        self._done = 0
+        self._reclaims = 0
+        self._duplicates = 0
+        self._weight_done = 0
+        self._wall_done = 0.0
+        self._shard_walls: List[float] = []
+        self._leased: Dict[str, float] = {}  # shard_id -> claim time
+        self._workers: Dict[str, WorkerStats] = {}
+
+    def set_totals(self, total_shards: int, total_weight: int) -> None:
+        with self._lock:
+            self._total = total_shards
+            self._total_weight = total_weight
+
+    def __call__(self, event: CampaignEvent) -> None:
+        with self._lock:
+            if isinstance(event, ShardClaimed):
+                self._leased[event.shard_id] = self._clock()
+            elif isinstance(event, ShardReclaimed):
+                self._reclaims += 1
+                self._leased.pop(event.shard_id, None)
+            elif isinstance(event, ShardCompleted):
+                if event.duplicate:
+                    self._duplicates += 1
+                    return
+                self._leased.pop(event.shard_id, None)
+                self._done += 1
+                self._weight_done += event.weight
+                self._wall_done += event.wall
+                self._shard_walls.append(event.wall)
+                stats = self._workers.get(event.worker) or \
+                    WorkerStats(worker=event.worker)
+                self._workers[event.worker] = WorkerStats(
+                    worker=event.worker, shards=stats.shards + 1,
+                    tasks=stats.tasks + event.n_tasks,
+                    weight=stats.weight + event.weight,
+                    wall=stats.wall + event.wall)
+
+    def snapshot(self) -> DistributedMetrics:
+        with self._lock:
+            now = self._clock()
+            stragglers: Tuple[str, ...] = ()
+            walls = sorted(self._shard_walls)
+            if walls:
+                median = walls[len(walls) // 2]
+                threshold = self.STRAGGLER_FACTOR * max(median, 1e-9)
+                stragglers = tuple(sorted(
+                    shard for shard, since in self._leased.items()
+                    if now - since > threshold))
+            eta: Optional[float] = None
+            remaining_w = self._total_weight - self._weight_done
+            active = max(1, len([w for w in self._workers.values()
+                                 if w.wall > 0]))
+            if self._weight_done > 0 and remaining_w > 0 and \
+                    self._wall_done > 0:
+                per_unit = self._wall_done / self._weight_done
+                eta = remaining_w * per_unit / active
+            return DistributedMetrics(
+                shards_total=self._total, shards_done=self._done,
+                shards_leased=len(self._leased),
+                reclaims=self._reclaims,
+                duplicate_reports=self._duplicates,
+                workers=dict(self._workers), stragglers=stragglers,
+                eta=eta)
+
+
 class ConsoleReporter:
     """Prints campaign progress, one whole line per write.
 
@@ -461,10 +699,12 @@ class ConsoleReporter:
             self._started = time.monotonic()
             resumed = (f", {event.resumed} resumed"
                        if event.resumed else "")
+            # jobs=0 is the coordinator's sentinel: the simulating
+            # processes are remote workers, not a local pool
             self._write(
                 f"campaign: {event.total_tasks} classes over "
-                f"{len(event.macros)} macros, jobs={event.jobs}"
-                f"{resumed}")
+                f"{len(event.macros)} macros, "
+                f"jobs={event.jobs or 'remote'}{resumed}")
         elif isinstance(event, ClassCompleted):
             notable = event.degraded or event.error
             if not notable and event.done % self._every != 0 and \
@@ -487,6 +727,17 @@ class ConsoleReporter:
                 f"  {event.macro}/{event.kind}: {event.done}/"
                 f"{event.total} classes ({elapsed:.0f}s{suffix})"
                 f"{flag}")
+        elif isinstance(event, ShardCompleted):
+            if event.duplicate:
+                return
+            self._write(
+                f"  shard {event.shard_id[:8]}: {event.n_tasks} "
+                f"classes merged from {event.worker} "
+                f"({event.wall:.1f}s)")
+        elif isinstance(event, ShardReclaimed):
+            self._write(
+                f"  shard {event.shard_id[:8]}: lease expired on "
+                f"{event.worker}, requeued (retry {event.retries})")
         elif isinstance(event, CampaignFinished):
             m = event.metrics
             baselines = ""

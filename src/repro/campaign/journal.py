@@ -89,6 +89,53 @@ class CampaignJournal:
             self._handle.close()
             self._handle = None
 
+    def compact(self) -> int:
+        """Rewrite the journal down to its live entries, atomically.
+
+        An append-only journal grows one line per completion — retried
+        or re-reported classes append again, and a long campaign's
+        journal can dwarf the results it checkpoints.  Compaction
+        keeps the header plus the *last* entry per task id (first-seen
+        task order preserved), dropping superseded and torn lines.
+        This is what makes shard journals cheap to ship over the wire.
+
+        Safe while open (the append handle is reopened on the new
+        file) and a crash mid-compaction leaves the original journal
+        intact (temp file + ``os.replace``).  Returns the number of
+        lines dropped; a journal without a valid header is left
+        untouched.
+        """
+        payloads = list(self._lines())
+        if not payloads:
+            return 0
+        header = payloads[0]
+        if header.get("journal_version") != JOURNAL_VERSION:
+            return 0
+        live: Dict[str, Dict] = {}
+        order = []
+        for payload in payloads[1:]:
+            task_id = payload.get("task_id")
+            if not task_id:
+                continue
+            if task_id not in live:
+                order.append(task_id)
+            live[task_id] = payload
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(live[task_id], sort_keys=True)
+                     for task_id in order)
+        try:
+            raw_lines = len(self.path.read_text().splitlines())
+        except OSError:
+            raw_lines = 0
+        was_open = self._handle is not None
+        if was_open:
+            self.close()
+        from .store import _atomic_write_text
+        _atomic_write_text(self.path, "\n".join(lines) + "\n")
+        if was_open:
+            self._handle = open(self.path, "a")
+        return max(0, raw_lines - len(lines))
+
     def __enter__(self) -> "CampaignJournal":
         return self
 

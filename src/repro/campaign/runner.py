@@ -113,6 +113,33 @@ class _Pending:
     first_error: Optional[str] = None
 
 
+@dataclass
+class PreparedCampaign:
+    """A planned campaign, ready to dispatch (or to shard).
+
+    Everything :meth:`CampaignRunner.run` needs before execution, and
+    everything the distributed coordinator/worker pair needs to agree
+    on the same work: the validated macro list, per-macro plans, the
+    ordered task list, the campaign fingerprint, the (optional) store
+    and the resolved good-circuit baselines.
+
+    Planning is deterministic in the config, so two hosts preparing
+    the same config produce the same fingerprint — the distributed
+    protocol's consistency check.
+    """
+
+    wanted: List[str]
+    plans: List[MacroPlan]
+    tasks: List[ClassTask]
+    fingerprint: str
+    store: Optional[ResultsStore]
+    baselines: Dict[str, Dict]
+
+    @property
+    def tasks_by_id(self) -> Dict[str, ClassTask]:
+        return {t.task_id: t for t in self.tasks}
+
+
 class CampaignRunner:
     """Executes a campaign described by a PathConfig."""
 
@@ -232,10 +259,20 @@ class CampaignRunner:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, macros: Optional[Sequence[str]] = None
-            ) -> CampaignResult:
+    def prepare(self, macros: Optional[Sequence[str]] = None,
+                jobs: Optional[int] = None) -> PreparedCampaign:
+        """Plan the campaign without executing anything.
+
+        The serial front half of :meth:`run` — validation, store
+        construction, baseline adoption, per-macro planning, task
+        derivation, fingerprinting — packaged so the distributed
+        coordinator (to shard the task list) and workers (to rebuild
+        the identical task list from the shipped config) share it with
+        the single-host path.
+        """
         wanted = validate_macros(macros)
-        jobs = self.options.resolved_jobs()
+        if jobs is None:
+            jobs = self.options.resolved_jobs()
         cache_dir = self.options.resolved_cache_dir()
 
         store: Optional[ResultsStore] = None
@@ -255,7 +292,20 @@ class CampaignRunner:
         if store is not None or jobs > 1:
             baselines = self._resolve_baselines(plans, store, baselines)
         tasks = self._tasks(plans)
-        fingerprint = self.fingerprint(tasks)
+        return PreparedCampaign(
+            wanted=wanted, plans=plans, tasks=tasks,
+            fingerprint=self.fingerprint(tasks), store=store,
+            baselines=baselines)
+
+    def run(self, macros: Optional[Sequence[str]] = None
+            ) -> CampaignResult:
+        jobs = self.options.resolved_jobs()
+        cache_dir = self.options.resolved_cache_dir()
+        prepared = self.prepare(macros, jobs=jobs)
+        wanted, plans = prepared.wanted, prepared.plans
+        tasks, store = prepared.tasks, prepared.store
+        baselines, fingerprint = prepared.baselines, \
+            prepared.fingerprint
 
         journal: Optional[CampaignJournal] = None
         if cache_dir is not None:
@@ -335,14 +385,9 @@ class CampaignRunner:
 
         # 3. dispatch, most-likely class first (results are assembled
         # by task id, so ordering never changes the output)
-        to_run = [_Pending(task=t) for t in
-                  likelihood_order([p.task for p in to_run])]
         try:
-            if to_run:
-                if jobs == 1:
-                    self._run_serial(to_run, complete)
-                else:
-                    self._run_pool(to_run, complete, jobs, baselines)
+            self.execute([p.task for p in to_run], complete,
+                         jobs=jobs, baselines=baselines)
             # 4. decoder runs whole in the parent (one logic pass)
             analyses = self._assemble(wanted, plans, results)
         finally:
@@ -354,6 +399,29 @@ class CampaignRunner:
         return CampaignResult(
             path_result=PathResult(config=self.config, macros=analyses),
             metrics=metrics, fingerprint=fingerprint)
+
+    def execute(self, tasks: Sequence[ClassTask], complete,
+                jobs: Optional[int] = None,
+                baselines: Optional[Dict[str, Dict]] = None) -> None:
+        """Run tasks through the retry/degrade contract.
+
+        The execution back half shared by :meth:`run` and the
+        distributed worker: tasks are dispatched most-likely class
+        first (serial in-process at ``jobs=1``, over a process pool
+        otherwise) and every completion — simulated, retried or
+        degraded — is delivered through ``complete(task, record,
+        source, wall=..., error=..., retried=...)``.
+        """
+        if not tasks:
+            return
+        if jobs is None:
+            jobs = self.options.resolved_jobs()
+        to_run = [_Pending(task=t)
+                  for t in likelihood_order(list(tasks))]
+        if jobs == 1:
+            self._run_serial(to_run, complete)
+        else:
+            self._run_pool(to_run, complete, jobs, baselines)
 
     def _handle_outcome(self, pending: _Pending, outcome: TaskOutcome,
                         complete) -> bool:

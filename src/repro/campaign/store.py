@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
@@ -145,6 +146,16 @@ class StoredRecord:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path``, multi-writer safe.
+
+    Each writer stages into its own ``mkstemp`` file (unique per
+    writer, so simultaneous writers never collide on the staging
+    name) and publishes with ``os.replace`` — last writer wins whole,
+    readers never observe a torn object.  The temp file is removed on
+    any failure, including the replace itself; only a writer killed
+    between ``mkstemp`` and cleanup can leave one behind, which
+    :func:`sweep_stale_tmp` reaps by age.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                prefix=path.name + ".", suffix=".tmp")
@@ -160,6 +171,37 @@ def _atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+#: a staging file older than this is presumed orphaned by a killed
+#: writer (no write legitimately stays in flight for ten minutes)
+STALE_TMP_AGE = 600.0
+
+
+def sweep_stale_tmp(root: Union[str, Path],
+                    max_age: float = STALE_TMP_AGE) -> int:
+    """Reap ``*.tmp`` staging files orphaned by killed writers.
+
+    Only files older than ``max_age`` seconds are removed, so a sweep
+    can never race an in-flight writer (whose staging file is seconds
+    old at most).  Returns the number of files removed.  Safe to call
+    concurrently — a file already reaped by another sweeper is simply
+    skipped.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    now = time.time()
+    removed = 0
+    for tmp in root.rglob("*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime < max_age:
+                continue
+            tmp.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
 
 
 class ResultsStore:
@@ -308,6 +350,15 @@ class ResultsStore:
         ``dictionaries/<key>.json``."""
         _atomic_write_text(self._dictionary_path(key),
                            json.dumps(payload, sort_keys=True))
+
+    def sweep_tmp(self, max_age: float = STALE_TMP_AGE) -> int:
+        """Reap staging files orphaned under this store's root.
+
+        Long-lived multi-writer deployments (several campaign workers
+        sharing one store) call this at startup; see
+        :func:`sweep_stale_tmp`.
+        """
+        return sweep_stale_tmp(self.root, max_age=max_age)
 
     def __len__(self) -> int:
         objects = self.root / "objects"

@@ -11,13 +11,19 @@ Commands:
 * ``quality`` — shipped-DPPM estimate for the simple test.
 * ``diagnose build|query|report|serve`` — fault-dictionary diagnosis
   (see ``docs/DIAGNOSIS.md``).
+* ``worker <url>`` — join a distributed campaign as a worker (see
+  ``docs/DISTRIBUTED.md``).
 
 Budgets default to quick (minutes); ``--full`` uses paper-scale
 campaigns.  Execution is managed by the campaign runner: ``--jobs N``
 fans fault-class simulations out over worker processes (default: all
 cores), ``--cache-dir`` enables the content-addressed results store so
 identical re-runs hit cache, and ``--resume`` continues an interrupted
-campaign from its journal instead of starting over.
+campaign from its journal instead of starting over.  ``campaign
+--coordinator`` shards the campaign over HTTP workers instead of a
+local pool: ``--workers N`` spawns localhost workers, or point
+``python -m repro worker <url>`` processes from other hosts at the
+printed URL.
 """
 
 from __future__ import annotations
@@ -86,20 +92,65 @@ def _run_path(args, dft=NO_DFT):
     return _runner(args, dft).run(macros=macros).path_result
 
 
+def _run_coordinator(args, dft):
+    """``campaign --coordinator``: serve shards, merge, assemble.
+
+    With ``--workers N`` a localhost pool of worker processes is
+    spawned against the coordinator; with ``--workers 0`` the URL is
+    printed and external ``python -m repro worker <url>`` processes
+    do the simulating.  Either way the merged result is byte-identical
+    to a single-host run of the same config and seed.
+    """
+    from .campaign.distributed import Coordinator, LocalWorkerPool
+    options = _options(args, default_cache=DEFAULT_CACHE_DIR)
+    bus = EventBus()
+    coordinator = Coordinator(
+        _config(args, dft), options, bus=bus,
+        shard_size=args.shard_size, lease=args.lease,
+        host=args.bind, port=args.port)
+    bus.subscribe(ConsoleReporter(every=10,
+                                  collector=coordinator.collector,
+                                  jobs=max(1, args.workers)))
+    url = coordinator.start()
+    print(f"coordinator serving at {url} "
+          f"(join with: python -m repro worker {url})",
+          file=sys.stderr)
+    pool = None
+    if args.workers > 0:
+        pool = LocalWorkerPool(url, args.workers, mode="process",
+                               jobs=1,
+                               cache_dir=options.resolved_cache_dir())
+        pool.start()
+    try:
+        campaign = coordinator.wait()
+    finally:
+        if pool is not None:
+            pool.join(timeout=10.0)
+        coordinator.stop()
+    return campaign, coordinator
+
+
 def _run_campaign(args) -> int:
     """The ``campaign`` command: full managed run + metrics report."""
     dft = FULL_DFT if args.dft else NO_DFT
-    runner = _runner(args, dft, default_cache=DEFAULT_CACHE_DIR)
-    campaign = runner.run()
+    coordinator = None
+    if args.coordinator:
+        campaign, coordinator = _run_coordinator(args, dft)
+    else:
+        runner = _runner(args, dft, default_cache=DEFAULT_CACHE_DIR)
+        campaign = runner.run()
     result, metrics = campaign.path_result, campaign.metrics
 
     if args.out:
         save_path_result(result, args.out)
         print(f"results saved to {args.out}", file=sys.stderr)
     if args.metrics_out:
+        payload = metrics.as_dict()
+        if coordinator is not None:
+            payload["distributed"] = \
+                coordinator.distributed.snapshot().as_dict()
         with open(args.metrics_out, "w") as handle:
-            json.dump(metrics.as_dict(), handle, indent=1,
-                      sort_keys=True)
+            json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"metrics saved to {args.metrics_out}", file=sys.stderr)
 
     cat = result.global_coverage()
@@ -121,12 +172,48 @@ def _run_campaign(args) -> int:
     return 0
 
 
+def _worker_main(argv: list) -> int:
+    """The ``worker`` command: join a distributed campaign."""
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Join a distributed campaign as a worker: "
+                    "re-plan from the coordinator's config, lease "
+                    "shards, simulate, report.")
+    parser.add_argument("url",
+                        help="coordinator base URL "
+                             "(http://host:port)")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker id (default: "
+                             "host-pid-serial)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width per shard "
+                             "(default 1: in-process serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="local results-store root; enables "
+                             "worker-side caching and the per-shard "
+                             "crash-safety journal")
+    args = parser.parse_args(argv)
+    from .campaign.distributed import WorkerError, run_worker
+    try:
+        stats = run_worker(args.url, worker_id=args.worker_id,
+                           jobs=args.jobs, cache_dir=args.cache_dir)
+    except WorkerError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(stats, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["diagnose"]:
         # the diagnose command owns its own subcommand tree
         from .diagnosis.cli import main as diagnose_main
         return diagnose_main(argv[1:])
+    if argv[:1] == ["worker"]:
+        # workers parse their own tree (a URL, not a PathConfig — the
+        # coordinator ships the campaign's config over the wire)
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -154,6 +241,20 @@ def main(argv: Optional[list] = None) -> int:
                              "its journal")
     parser.add_argument("--dft", action="store_true",
                         help="campaign command: apply full DfT")
+    parser.add_argument("--coordinator", action="store_true",
+                        help="campaign command: shard over HTTP "
+                             "workers instead of a local pool")
+    parser.add_argument("--bind", default="127.0.0.1",
+                        help="coordinator bind address")
+    parser.add_argument("--port", type=int, default=0,
+                        help="coordinator port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="coordinator: spawn N localhost worker "
+                             "processes (0 = external workers only)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="coordinator: fault classes per shard")
+    parser.add_argument("--lease", type=float, default=30.0,
+                        help="coordinator: shard lease seconds")
     parser.add_argument("--out", default=None,
                         help="campaign command: save results JSON here")
     parser.add_argument("--metrics-out", default=None,

@@ -26,6 +26,7 @@ from .analytics import (ResolutionReport, distinguishability_matrix,
                         expected_resolution, feature_mask)
 from .build import (build_dictionary, build_from_store,
                     compile_dictionary, compile_from_campaign,
+                    dictionary_for_campaign,
                     labeled_records, tolerance_envelope)
 from .dictionary import (DICTIONARY_VERSION, DictionaryEntry,
                          DictionaryError, FaultDictionary)
@@ -36,7 +37,8 @@ __all__ = [
     "ResolutionReport", "distinguishability_matrix",
     "expected_resolution", "feature_mask",
     "build_dictionary", "build_from_store", "compile_dictionary",
-    "compile_from_campaign", "labeled_records", "tolerance_envelope",
+    "compile_from_campaign", "dictionary_for_campaign",
+    "labeled_records", "tolerance_envelope",
     "DICTIONARY_VERSION", "DictionaryEntry", "DictionaryError",
     "FaultDictionary",
     "Candidate", "Diagnosis", "DictionaryMatcher", "ESCAPE_THRESHOLD",

@@ -165,25 +165,27 @@ def compile_from_campaign(campaign: CampaignResult,
                               tolerance=tolerance, meta=meta)
 
 
-def build_dictionary(config: Optional[PathConfig] = None,
-                     options: Optional[CampaignOptions] = None,
-                     bus: Optional[EventBus] = None,
-                     macros: Optional[Sequence[str]] = None
-                     ) -> FaultDictionary:
-    """Run (or cache-hit) a campaign and compile its dictionary.
+def dictionary_for_campaign(campaign: CampaignResult,
+                            options: Optional[CampaignOptions] = None,
+                            bus: Optional[EventBus] = None,
+                            started: Optional[float] = None
+                            ) -> FaultDictionary:
+    """Compile (or cache-hit) the dictionary of a finished campaign.
 
-    When the campaign has a store (``options.cache_dir``), the
-    compiled dictionary is persisted under ``dictionaries/<key>.json``
-    keyed by the campaign fingerprint, and a repeat build is served
-    from that blob without recompiling.  Emits
+    The post-campaign half of :func:`build_dictionary`, reusable for
+    campaign results produced elsewhere — notably a distributed
+    coordinator's merged :class:`~repro.campaign.runner.CampaignResult`,
+    which carries the same fingerprint as a single-host run and so
+    shares its cached dictionary blob.  When ``options.cache_dir``
+    names a store, the compiled dictionary is persisted under
+    ``dictionaries/<key>.json`` keyed by the campaign fingerprint and
+    repeat builds are served from that blob.  Emits
     :class:`~repro.campaign.events.DictionaryBuilt` on the bus.
     """
-    config = config or PathConfig()
     options = options or CampaignOptions()
     bus = bus or EventBus()
-    started = time.perf_counter()
-    runner = CampaignRunner(config, options, bus=bus)
-    campaign = runner.run(macros)
+    if started is None:
+        started = time.perf_counter()
 
     store: Optional[ResultsStore] = None
     cache_dir = options.resolved_cache_dir()
@@ -220,6 +222,28 @@ def build_dictionary(config: Optional[PathConfig] = None,
         features=len(dictionary.features), source="computed",
         wall=time.perf_counter() - started))
     return dictionary
+
+
+def build_dictionary(config: Optional[PathConfig] = None,
+                     options: Optional[CampaignOptions] = None,
+                     bus: Optional[EventBus] = None,
+                     macros: Optional[Sequence[str]] = None
+                     ) -> FaultDictionary:
+    """Run (or cache-hit) a campaign and compile its dictionary.
+
+    The campaign runs through
+    :class:`~repro.campaign.runner.CampaignRunner`; compilation and
+    dictionary-blob caching are delegated to
+    :func:`dictionary_for_campaign`.
+    """
+    config = config or PathConfig()
+    options = options or CampaignOptions()
+    bus = bus or EventBus()
+    started = time.perf_counter()
+    runner = CampaignRunner(config, options, bus=bus)
+    campaign = runner.run(macros)
+    return dictionary_for_campaign(campaign, options=options, bus=bus,
+                                   started=started)
 
 
 def build_from_store(store: ResultsStore,

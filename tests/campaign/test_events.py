@@ -3,6 +3,8 @@
 import io
 import threading
 
+import pytest
+
 from repro.campaign.events import (CampaignFinished, CampaignStarted,
                                    ClassCompleted, ConsoleReporter,
                                    EventBus, MetricsCollector)
@@ -138,3 +140,135 @@ class TestConsoleReporter:
         out = stream.getvalue()
         assert "2/2 classes" in out
         assert "1 cache hits" in out
+
+
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_kill_emit(self):
+        """Regression: one sick subscriber must never take the
+        campaign loop (or a coordinator request thread) down — the
+        exception is logged, later subscribers still run."""
+        bus = EventBus()
+        seen = []
+
+        def sick(event):
+            raise RuntimeError("reporter exploded")
+
+        bus.subscribe(sick)
+        bus.subscribe(seen.append)
+        event = completed()
+        bus.emit(event)  # must not raise
+        assert seen == [event]
+
+    def test_failure_logged_with_traceback(self, caplog):
+        import logging
+
+        bus = EventBus()
+        bus.subscribe(lambda e: 1 / 0)
+        with caplog.at_level(logging.ERROR,
+                             logger="repro.campaign.events"):
+            bus.emit(completed())
+        assert any("subscriber" in r.message for r in caplog.records)
+        assert any(r.exc_info for r in caplog.records)
+
+    def test_sick_subscriber_gets_later_events(self):
+        """Isolation is per event, not an unsubscribe: a subscriber
+        that failed once still sees the next event."""
+        bus = EventBus()
+        calls = []
+
+        def flaky(event):
+            calls.append(event)
+            if len(calls) == 1:
+                raise ValueError("only the first hurts")
+
+        bus.subscribe(flaky)
+        bus.emit(completed(done=1))
+        bus.emit(completed(done=2))
+        assert len(calls) == 2
+
+
+class TestDistributedMetricsCollector:
+    @staticmethod
+    def make(clock=None, shards=4, weight=40):
+        from repro.campaign.events import DistributedMetricsCollector
+        collector = DistributedMetricsCollector(
+            clock=clock or (lambda: 0.0))
+        collector.set_totals(shards, weight)
+        return collector
+
+    @staticmethod
+    def events():
+        from repro.campaign.events import (ShardClaimed,
+                                           ShardCompleted,
+                                           ShardReclaimed)
+        return ShardClaimed, ShardCompleted, ShardReclaimed
+
+    def test_folds_per_worker_throughput(self):
+        Claimed, Completed, _ = self.events()
+        collector = self.make()
+        collector(Claimed(shard_id="s1", worker="w1", n_tasks=4,
+                          weight=10))
+        collector(Completed(shard_id="s1", worker="w1", n_tasks=4,
+                            weight=10, wall=2.0))
+        collector(Claimed(shard_id="s2", worker="w1", n_tasks=2,
+                          weight=5))
+        collector(Completed(shard_id="s2", worker="w1", n_tasks=2,
+                            weight=5, wall=1.0))
+        snapshot = collector.snapshot()
+        stats = snapshot.workers["w1"]
+        assert stats.shards == 2 and stats.tasks == 6
+        assert stats.throughput == 6 / 3.0
+        assert snapshot.shards_done == 2
+
+    def test_duplicate_completion_not_double_counted(self):
+        _, Completed, _ = self.events()
+        collector = self.make()
+        collector(Completed(shard_id="s1", worker="w1", n_tasks=4,
+                            weight=10, wall=2.0))
+        collector(Completed(shard_id="s1", worker="w2", n_tasks=4,
+                            weight=10, duplicate=True))
+        snapshot = collector.snapshot()
+        assert snapshot.shards_done == 1
+        assert snapshot.duplicate_reports == 1
+        assert "w2" not in snapshot.workers
+
+    def test_reclaims_counted_and_lease_freed(self):
+        Claimed, _, Reclaimed = self.events()
+        collector = self.make()
+        collector(Claimed(shard_id="s1", worker="w1", n_tasks=4,
+                          weight=10))
+        collector(Reclaimed(shard_id="s1", worker="w1", retries=1))
+        snapshot = collector.snapshot()
+        assert snapshot.reclaims == 1
+        assert snapshot.shards_leased == 0
+
+    def test_straggler_detection_uses_coordinator_clock(self):
+        now = [100.0]
+        Claimed, Completed, _ = self.events()
+        collector = self.make(clock=lambda: now[0])
+        for k in range(3):
+            collector(Completed(shard_id=f"d{k}", worker="w1",
+                                n_tasks=2, weight=5, wall=1.0))
+        collector(Claimed(shard_id="slow", worker="w2", n_tasks=2,
+                          weight=5))
+        collector(Claimed(shard_id="quick", worker="w3", n_tasks=2,
+                          weight=5))
+        now[0] += 1.5  # under 2x median (2.0s): nobody straggles yet
+        assert collector.snapshot().stragglers == ()
+        now[0] += 1.0  # 2.5s out: both leased shards straggle
+        assert collector.snapshot().stragglers == ("quick", "slow")
+
+    def test_weighted_eta_from_active_workers(self):
+        _, Completed, _ = self.events()
+        collector = self.make(shards=4, weight=40)
+        collector(Completed(shard_id="s1", worker="w1", n_tasks=4,
+                            weight=10, wall=5.0))
+        collector(Completed(shard_id="s2", worker="w2", n_tasks=4,
+                            weight=10, wall=5.0))
+        snapshot = collector.snapshot()
+        # 20 weight left at 0.5 s/unit over 2 active workers
+        assert snapshot.eta == pytest.approx(5.0)
+
+    def test_as_dict_json_shaped(self):
+        import json
+        json.dumps(self.make().snapshot().as_dict())

@@ -124,3 +124,35 @@ class TestDictionaryBlobs:
         assert base != dictionary_key("a" * 64, 1,
                                       version=STORE_VERSION + "-next")
         assert base == dictionary_key("a" * 64, 1)
+
+
+class TestConcurrentWriterVisibility:
+    def test_inflight_tmp_stage_invisible_mid_iteration(self,
+                                                        tmp_path):
+        """A concurrent writer's staging file (``*.tmp``, possibly
+        half-written) must be invisible to a reader iterating the
+        store — publication is the atomic rename, nothing earlier."""
+        store = ResultsStore(tmp_path)
+        keys = populate(store)
+        stage = store._path(keys[0]).with_suffix(".json.tmp")
+        stage.write_text('{"version": "')  # torn mid-write
+        out = list(store.iter_records())  # no warning, no tmp record
+        assert {s.key for s in out} == set(keys)
+
+    def test_object_published_mid_iteration_all_or_nothing(self,
+                                                           tmp_path):
+        """An object that appears between directory scan and read is
+        either fully visible or absent — never torn: readers only ever
+        open published (renamed) files."""
+        store = ResultsStore(tmp_path)
+        populate(store)
+        seen = []
+        iterator = store.iter_records()
+        seen.append(next(iterator))
+        # a writer publishes a new object while the reader is mid-walk
+        fc = short_class(nets=("a", "late"))
+        store.put(store.key(fc, spec()), record(count=9),
+                  meta={"task_id": "ladder:cat:9", "macro": "ladder"})
+        rest = list(iterator)
+        for stored in seen + rest:
+            assert stored.record is not None  # every yield is whole

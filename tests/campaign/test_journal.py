@@ -90,3 +90,71 @@ class TestCrashTolerance:
         path.write_text('{"journal_version": 999, "fingerprint": '
                         '"fp1"}\n')
         assert CampaignJournal(path).load("fp1") == {}
+
+
+class TestCompact:
+    def test_keeps_last_entry_per_task(self, tmp_path):
+        """Superseded lines (a retried class re-appended) collapse to
+        the final entry, first-seen task order preserved."""
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0", degraded=True,
+                                 error="first attempt died"))
+            journal.append(entry("a:cat:1"))
+            journal.append(entry("a:cat:0"))  # retry succeeded
+            dropped = journal.compact()
+        assert dropped == 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + 2 live entries
+        loaded = CampaignJournal(path).load("fp1")
+        assert set(loaded) == {"a:cat:0", "a:cat:1"}
+        assert not loaded["a:cat:0"].degraded
+
+    def test_resume_after_compaction(self, tmp_path):
+        """The compacted journal still resumes: same fingerprint, all
+        live entries adopted, and appends keep working on the reopened
+        handle."""
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+            journal.append(entry("a:cat:0"))
+            journal.append(entry("a:cat:1"))
+            assert journal.compact() == 1
+            # the append handle survived the rewrite
+            journal.append(entry("a:cat:2"))
+        loaded = CampaignJournal(path).load("fp1")
+        assert set(loaded) == {"a:cat:0", "a:cat:1", "a:cat:2"}
+
+    def test_compact_drops_torn_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+        with open(path, "a") as handle:
+            handle.write('{"task_id": "a:cat:1", "rec')  # torn
+        journal = CampaignJournal(path)
+        assert journal.compact() == 1
+        assert set(CampaignJournal(path).load("fp1")) == {"a:cat:0"}
+
+    def test_compact_missing_file_is_noop(self, tmp_path):
+        assert CampaignJournal(tmp_path / "absent.jsonl").compact() == 0
+
+    def test_compact_bad_version_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        original = ('{"journal_version": 999, "fingerprint": "fp1"}\n'
+                    '{"task_id": "a:cat:0"}\n')
+        path.write_text(original)
+        assert CampaignJournal(path).compact() == 0
+        assert path.read_text() == original
+
+    def test_already_compact_drops_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.open("fp1")
+            journal.append(entry("a:cat:0"))
+            journal.append(entry("a:cat:1"))
+            assert journal.compact() == 0
+        assert set(CampaignJournal(path).load("fp1")) == \
+            {"a:cat:0", "a:cat:1"}

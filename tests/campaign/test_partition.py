@@ -1,0 +1,97 @@
+"""Tests for the distributed work partitioner."""
+
+from repro.campaign import CampaignOptions, CampaignRunner
+from repro.campaign.distributed import partition_tasks, shard_id
+from repro.campaign.distributed.partition import shards_by_id
+from repro.campaign.plan import likelihood_order
+
+from .test_runner import tiny_config
+
+
+def planned_tasks(**kwargs):
+    runner = CampaignRunner(tiny_config(**kwargs),
+                            CampaignOptions(jobs=1))
+    return runner.prepare(["clockgen"]).tasks
+
+
+class TestPartitionDeterminism:
+    def test_same_tasks_same_shards(self):
+        tasks = planned_tasks()
+        first = partition_tasks(tasks, shard_size=2)
+        second = partition_tasks(list(tasks), shard_size=2)
+        assert first == second
+
+    def test_ids_are_content_keys(self):
+        """A shard's id is a digest over its member (task id, store
+        key) pairs — identical work keys identically on any host."""
+        tasks = planned_tasks()
+        shards = partition_tasks(tasks, shard_size=2)
+        by_id = {t.task_id: t for t in tasks}
+        for shard in shards:
+            members = [by_id[tid] for tid in shard.task_ids]
+            assert shard.id == shard_id(members)
+
+    def test_config_change_changes_ids(self):
+        base = partition_tasks(planned_tasks(), shard_size=2)
+        changed = partition_tasks(planned_tasks(seed=12),
+                                  shard_size=2)
+        assert {s.id for s in base}.isdisjoint(
+            {s.id for s in changed})
+
+
+class TestPartitionShape:
+    def test_every_task_in_exactly_one_shard(self):
+        tasks = planned_tasks()
+        shards = partition_tasks(tasks, shard_size=2)
+        seen = [tid for s in shards for tid in s.task_ids]
+        assert sorted(seen) == sorted(t.task_id for t in tasks)
+
+    def test_empty_tasks_no_shards(self):
+        assert partition_tasks([]) == []
+
+    def test_n_shards_pins_count(self):
+        tasks = planned_tasks()
+        assert len(partition_tasks(tasks, n_shards=3)) == 3
+        # never more shards than tasks
+        assert len(partition_tasks(tasks, n_shards=99)) == len(tasks)
+
+    def test_weights_are_member_sums(self):
+        tasks = planned_tasks()
+        by_id = {t.task_id: t for t in tasks}
+        for shard in partition_tasks(tasks, shard_size=2):
+            assert shard.weight == sum(
+                by_id[tid].fault_class.count for tid in shard.task_ids)
+
+    def test_balanced_within_heaviest_class(self):
+        """Greedy LPT: no shard exceeds the lightest shard by more
+        than one task's worth of the heaviest class."""
+        tasks = planned_tasks()
+        shards = partition_tasks(tasks, n_shards=3)
+        loads = [s.weight for s in shards]
+        heaviest_class = max(t.fault_class.count for t in tasks)
+        assert max(loads) - min(loads) <= heaviest_class
+
+
+class TestDispatchOrder:
+    def test_shards_ordered_heaviest_first(self):
+        shards = partition_tasks(planned_tasks(), shard_size=2)
+        weights = [s.weight for s in shards]
+        assert weights == sorted(weights, reverse=True)
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_members_keep_likelihood_order(self):
+        """Within a shard, tasks run most-likely class first — the
+        single-host schedule, shard-locally."""
+        tasks = planned_tasks()
+        rank = {t.task_id: k for k, t
+                in enumerate(likelihood_order(tasks))}
+        for shard in partition_tasks(tasks, shard_size=3):
+            ranks = [rank[tid] for tid in shard.task_ids]
+            assert ranks == sorted(ranks)
+
+
+class TestHelpers:
+    def test_shards_by_id(self):
+        shards = partition_tasks(planned_tasks(), shard_size=2)
+        mapping = shards_by_id(shards)
+        assert all(mapping[s.id] is s for s in shards)

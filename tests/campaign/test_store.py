@@ -153,3 +153,80 @@ class TestResultsStore:
         old.put(old.key(short_class(), spec()), record())
         new = ResultsStore(tmp_path, version=STORE_VERSION + "-next")
         assert new.get(new.key(short_class(), spec())) is None
+
+
+class TestConcurrentWriters:
+    def test_parallel_puts_never_tear(self, tmp_path):
+        """The multi-writer contract: many threads publishing to the
+        same and different keys concurrently always leave every object
+        readable and complete (unique temp stage + atomic replace)."""
+        import threading
+
+        store = ResultsStore(tmp_path)
+        shared = store.key(short_class(), spec())
+        errors = []
+
+        def writer(k):
+            try:
+                own = store.key(short_class(nets=("a", f"w{k}")),
+                                spec())
+                for _ in range(25):
+                    store.put(shared, record())
+                    store.put(own, record(count=k + 1))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k,))
+                   for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.get(shared) == record()
+        for k in range(6):
+            own = store.key(short_class(nets=("a", f"w{k}")), spec())
+            assert store.get(own, count=k + 1) is not None
+        # no staging temp files left behind
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+
+class TestSweepStaleTmp:
+    def test_removes_only_stale_temps(self, tmp_path):
+        import os
+        import time
+
+        from repro.campaign.store import sweep_stale_tmp
+
+        store = ResultsStore(tmp_path)
+        store.put(store.key(short_class(), spec()), record())
+        objects = tmp_path / "objects"
+        stale = objects / "dead-writer.json.tmp"
+        fresh = objects / "live-writer.json.tmp"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = time.time() - 3600.0
+        os.utime(stale, (old, old))
+
+        removed = sweep_stale_tmp(tmp_path, max_age=600.0)
+        assert removed == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's stage is untouched
+        # the published object is untouched
+        assert store.get(store.key(short_class(), spec())) is not None
+
+    def test_store_method_delegates(self, tmp_path):
+        import os
+        import time
+
+        store = ResultsStore(tmp_path)
+        leftover = tmp_path / "objects" / "x.json.tmp"
+        leftover.parent.mkdir(parents=True, exist_ok=True)
+        leftover.write_text("{")
+        old = time.time() - 3600.0
+        os.utime(leftover, (old, old))
+        assert store.sweep_tmp(max_age=600.0) == 1
+
+    def test_missing_root_is_noop(self, tmp_path):
+        from repro.campaign.store import sweep_stale_tmp
+        assert sweep_stale_tmp(tmp_path / "absent") == 0
