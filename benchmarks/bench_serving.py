@@ -1,0 +1,348 @@
+"""Serving benchmark: multi-threaded load against the live v1 API.
+
+Three promises of the production serving layer are measured against a
+real :class:`~repro.diagnosis.server.DiagnosisServer` on an ephemeral
+port (synthetic comparator-style dictionary, no campaign needed):
+
+1. **Batching pays** — the same query volume pushed through
+   ``/v1/diagnose`` in blocks must sustain at least
+   :data:`MIN_BATCH_SPEEDUP` x the throughput of the one-query-per-
+   request path.  Blocks amortize both the HTTP round-trip and the
+   matcher dispatch (one NumPy distance expression per block).
+2. **Tail latency is bounded** — the per-request p99, measured under
+   :data:`N_CLIENTS` concurrent clients, must stay under
+   :data:`MAX_P99_MS` milliseconds.
+3. **Hot-reload is invisible** — while clients hammer the service,
+   the dictionary behind them is swapped repeatedly through
+   ``POST /v1/dictionaries/<name>/reload``; not a single request may
+   fail, and traffic must observe more than one dictionary
+   generation.
+
+Numbers land machine-readable in
+``benchmarks/output/BENCH_serving.json`` (``*_qps`` and latency
+percentile ``*_ms`` keys are tracked by ``scripts/bench_compare.py``;
+percentiles are lower-better).  Runs standalone
+(``python benchmarks/bench_serving.py``) or under pytest.
+"""
+
+import argparse
+import http.client
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.diagnosis import DictionaryRegistry, compile_dictionary
+from repro.diagnosis.server import serve
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: batched queries/sec must beat per-request queries/sec by this factor
+MIN_BATCH_SPEEDUP = 2.0
+
+#: per-request p99 latency ceiling (milliseconds) under concurrency
+MAX_P99_MS = 250.0
+
+#: concurrent client threads in every phase
+N_CLIENTS = 8
+
+#: total queries pushed through each throughput phase
+N_QUERIES = 4_000
+
+#: queries per request in the batched phase
+BATCH = 100
+
+#: dictionary swaps performed during the hot-reload phase
+N_RELOADS = 8
+
+N_FEATURES = len(signature_feature_names())
+
+
+def _record(count, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+def _dictionary(n_classes=12):
+    """A synthetic comparator-style dictionary (no campaign)."""
+    mechs = [CurrentMechanism.IVDD, CurrentMechanism.IDDQ,
+             CurrentMechanism.IINPUT]
+    labeled = [
+        (f"comparator:cat:{i}", "comparator", 1.0,
+         _record(count=i + 1, voltage=(i % 2 == 0),
+                 sig=VoltageSignature.OUTPUT_STUCK_AT
+                 if i % 2 == 0 else None,
+                 mechs=(mechs[i % 3],)))
+        for i in range(n_classes)]
+    return compile_dictionary(labeled)
+
+
+def _query_pool(dictionary, n):
+    """n query rows cycling the dictionary's own signatures plus the
+    all-zero (passing) vector."""
+    base = np.vstack([dictionary.matrix(),
+                      np.zeros((1, N_FEATURES))])
+    reps = -(-n // base.shape[0])
+    return np.tile(base, (reps, 1))[:n]
+
+
+class _Client:
+    """One keep-alive connection; reconnects if the server drops it."""
+
+    def __init__(self, host, port):
+        self.host, self.port = host, port
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def post(self, path, body):
+        for attempt in (0, 1):
+            try:
+                self.conn.request("POST", path, body=body, headers={
+                    "Content-Type": "application/json"})
+                response = self.conn.getresponse()
+                return response.status, response.read()
+            except (http.client.HTTPException, OSError):
+                self.conn.close()
+                self.conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=30)
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")
+
+    def close(self):
+        self.conn.close()
+
+
+def _run_clients(host, port, bodies):
+    """Split ``bodies`` across N_CLIENTS threads; returns
+    (wall, per-request latencies, failures)."""
+    shards = [bodies[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    latencies = [[] for _ in range(N_CLIENTS)]
+    failures = []
+    barrier = threading.Barrier(N_CLIENTS + 1)
+
+    def worker(i):
+        client = _Client(host, port)
+        barrier.wait()
+        try:
+            for body in shards[i]:
+                started = time.perf_counter()
+                status, payload = client.post("/v1/diagnose", body)
+                latencies[i].append(time.perf_counter() - started)
+                if status != 200:
+                    failures.append((status, payload[:200]))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    flat = [x for shard in latencies for x in shard]
+    return wall, flat, failures
+
+
+def _throughput_phase(host, port, queries, batch):
+    bodies = [
+        json.dumps({"queries": queries[i:i + batch].tolist()}
+                   ).encode()
+        for i in range(0, len(queries), batch)]
+    wall, latencies, failures = _run_clients(host, port, bodies)
+    lat_ms = np.asarray(latencies) * 1e3
+    return {
+        "requests": len(bodies),
+        "wall": wall,
+        "qps": len(queries) / wall,
+        "p50_ms": float(np.percentile(lat_ms, 50)),
+        "p99_ms": float(np.percentile(lat_ms, 99)),
+        "failures": len(failures),
+    }
+
+
+def _reload_phase(host, port, registry, tmp_dir):
+    """Swap the dictionary N_RELOADS times through the HTTP route
+    while clients hammer /v1/diagnose; returns phase stats."""
+    generations = {}
+    paths = []
+    for k in range(N_RELOADS):
+        n_classes = 10 + 1 + (k % 3)  # 11..13 classes, cycling
+        path = pathlib.Path(tmp_dir) / f"gen{k}.json"
+        _dictionary(n_classes).save(path)
+        paths.append(path)
+        generations[k + 2] = n_classes  # reload k lands version k+2
+
+    body = json.dumps(
+        {"queries": _query_pool(_dictionary(), 4).tolist()}).encode()
+    stop = threading.Event()
+    failures = []
+    versions = set()
+    counts = [0] * N_CLIENTS
+
+    def client(i):
+        c = _Client(host, port)
+        try:
+            while not stop.is_set():
+                status, raw = c.post("/v1/diagnose", body)
+                if status != 200:
+                    failures.append((status, raw[:200]))
+                    continue
+                versions.add(json.loads(raw)["version"])
+                counts[i] += 1
+        finally:
+            c.close()
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    admin = _Client(host, port)
+    reload_failures = 0
+    try:
+        for path in paths:
+            # let traffic flow between swaps
+            target = sum(counts) + N_CLIENTS
+            deadline = time.perf_counter() + 10.0
+            while sum(counts) < target and \
+                    time.perf_counter() < deadline:
+                time.sleep(0.005)
+            status, _ = admin.post(
+                "/v1/dictionaries/bench/reload",
+                json.dumps({"path": str(path)}).encode())
+            if status != 200:
+                reload_failures += 1
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        admin.close()
+    return {
+        "reloads": N_RELOADS,
+        "reload_failures": reload_failures,
+        "requests": sum(counts),
+        "failures": len(failures),
+        "versions_observed": len(versions),
+        "final_version": registry.get("bench").version,
+    }
+
+
+def run_bench(n_queries=N_QUERIES, batch=BATCH) -> dict:
+    registry = DictionaryRegistry()
+    registry.register("bench", dictionary=_dictionary())
+    server = serve(registry=registry, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+    queries = _query_pool(registry.get("bench").dictionary, n_queries)
+    try:
+        per_request = _throughput_phase(host, port, queries, 1)
+        batched = _throughput_phase(host, port, queries, batch)
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            reload_stats = _reload_phase(host, port, registry,
+                                         tmp_dir)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    return {
+        "workload": f"{n_queries} queries x {N_CLIENTS} clients; "
+                    f"batch={batch}; {N_RELOADS} hot-reloads under "
+                    f"load",
+        "n_queries": n_queries,
+        "n_clients": N_CLIENTS,
+        "batch": batch,
+        "per_request_qps": per_request["qps"],
+        "per_request_p50_ms": per_request["p50_ms"],
+        "per_request_p99_ms": per_request["p99_ms"],
+        "per_request_failures": per_request["failures"],
+        "batched_qps": batched["qps"],
+        "batched_p50_ms": batched["p50_ms"],
+        "batched_p99_ms": batched["p99_ms"],
+        "batched_failures": batched["failures"],
+        "batch_speedup": batched["qps"] / per_request["qps"],
+        "reload": reload_stats,
+        "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        "max_p99_ms": MAX_P99_MS,
+    }
+
+
+def emit_serving_json(payload: dict) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def _check(payload: dict) -> list:
+    """Acceptance assertions; returns failure messages."""
+    failures = []
+    if payload["per_request_failures"] or payload["batched_failures"]:
+        failures.append(
+            f"throughput phases saw failed requests "
+            f"({payload['per_request_failures']} per-request, "
+            f"{payload['batched_failures']} batched)")
+    if payload["batch_speedup"] < MIN_BATCH_SPEEDUP:
+        failures.append(
+            f"batched path only {payload['batch_speedup']:.2f}x the "
+            f"per-request path (floor {MIN_BATCH_SPEEDUP}x)")
+    if payload["per_request_p99_ms"] > MAX_P99_MS:
+        failures.append(
+            f"per-request p99 {payload['per_request_p99_ms']:.1f}ms "
+            f"above the {MAX_P99_MS:.0f}ms ceiling")
+    reload_stats = payload["reload"]
+    if reload_stats["failures"] or reload_stats["reload_failures"]:
+        failures.append(
+            f"hot-reload phase failed requests: "
+            f"{reload_stats['failures']} diagnose, "
+            f"{reload_stats['reload_failures']} reload")
+    if reload_stats["versions_observed"] < 2:
+        failures.append("traffic never observed a swapped dictionary "
+                        "generation")
+    if reload_stats["final_version"] != N_RELOADS + 1:
+        failures.append(
+            f"expected final version {N_RELOADS + 1}, got "
+            f"{reload_stats['final_version']}")
+    return failures
+
+
+def test_serving_bench():
+    """Batched >= 2x per-request, p99 bounded, reloads invisible."""
+    payload = run_bench()
+    emit_serving_json(payload)
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=N_QUERIES,
+                        help="queries per throughput phase "
+                             "(default: %(default)d)")
+    parser.add_argument("--batch", type=int, default=BATCH,
+                        help="queries per request in the batched "
+                             "phase (default: %(default)d)")
+    args = parser.parse_args()
+    payload = run_bench(n_queries=args.queries, batch=args.batch)
+    emit_serving_json(payload)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,13 @@ base branch, then diffs the machine-readable outputs with this script:
         pr/BENCH_kernel.json
 
 Every shared numeric metric is compared.  Keys ending in ``_wall`` or
-``_time`` are wall-clock measurements (lower is better); keys named or
+``_time`` are wall-clock measurements (lower is better), and so are
+latency percentiles — keys ending in ``_ms`` or whose last segment is
+``p50``/``p95``/``p99``-style (the serving benchmark's
+``per_request_p99_ms``).  Keys named or
 ending in ``speedup`` or ``efficiency`` (e.g. the distributed
-benchmark's ``scaling_efficiency``) are ratios (higher is better).
+benchmark's ``scaling_efficiency``) are ratios (higher is better), as
+are throughput keys ending in ``_qps``.
 Other numeric
 keys are informational and only reported.  A tracked metric that moves
 more than ``--threshold`` (default 20%) in the bad direction fails the
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -35,9 +40,20 @@ def _is_wall(key: str) -> bool:
         key == "wall"
 
 
+def _is_latency(key: str) -> bool:
+    """Latency percentiles are lower-better: ``*_ms`` keys and bare
+    ``pNN`` percentile names (``p50``, ``p99``, ``p99_9``)."""
+    if key.startswith("max_") or key.startswith("min_"):
+        return False  # floors/ceilings are constants, not samples
+    if key.endswith("_ms") or key.endswith("_latency"):
+        return True
+    return re.fullmatch(r"p\d+(?:_\d+)?", key) is not None
+
+
 def _is_speedup(key: str) -> bool:
     return key == "speedup" or key.endswith("_speedup") or \
-        key == "efficiency" or key.endswith("_efficiency")
+        key == "efficiency" or key.endswith("_efficiency") or \
+        key.endswith("_qps")
 
 
 def _numeric_items(payload: dict, prefix: str = "") -> dict:
@@ -67,8 +83,9 @@ def compare(base: dict, new: dict,
     new_items = _numeric_items(new)
     rows = []
     for key in sorted(set(base_items) & set(new_items)):
-        lower_better = _is_wall(key.rsplit(".", 1)[-1])
-        higher_better = _is_speedup(key.rsplit(".", 1)[-1])
+        leaf = key.rsplit(".", 1)[-1]
+        lower_better = _is_wall(leaf) or _is_latency(leaf)
+        higher_better = _is_speedup(leaf)
         if not (lower_better or higher_better):
             continue
         b, n = base_items[key], new_items[key]

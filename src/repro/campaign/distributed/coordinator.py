@@ -39,6 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...core.path import PathResult
+from ...core.router import error_envelope
 from ...macrotest.coverage import DetectionRecord
 from ..events import (CampaignFinished, CampaignStarted, ClassCompleted,
                       DistributedMetricsCollector, EventBus,
@@ -522,7 +523,10 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/campaign":
             self._reply(200, coordinator.descriptor().to_dict())
         else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            # same JSON error envelope as the diagnosis service:
+            # {"error": {"code", "message"}}
+            self._reply(404, error_envelope(
+                "not_found", f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib contract
         coordinator = self.server.coordinator
@@ -552,7 +556,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "'worker' and 'shard_id' are required")
                 self._reply(200, coordinator.heartbeat(worker, shard))
             else:
-                self._reply(404,
-                            {"error": f"unknown path {self.path!r}"})
+                self._reply(404, error_envelope(
+                    "not_found", f"unknown path {self.path!r}"))
         except ProtocolError as exc:
-            self._reply(400, {"error": str(exc)})
+            self._reply(400, error_envelope("bad_request", str(exc)))

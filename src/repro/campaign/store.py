@@ -26,7 +26,7 @@ import tempfile
 import time
 import warnings
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..core.serialize import (SerializeError, record_from_dict,
                               record_to_dict)
@@ -350,6 +350,44 @@ class ResultsStore:
         ``dictionaries/<key>.json``."""
         _atomic_write_text(self._dictionary_path(key),
                            json.dumps(payload, sort_keys=True))
+
+    def iter_dictionaries(self) -> Iterator[Tuple[str, Dict]]:
+        """Stream ``(key, payload)`` for every compiled dictionary
+        blob, newest first (by mtime; name-ordered within a tie).
+
+        The serving-side read path: a diagnosis registry pointed at a
+        store root picks the dictionary the campaign compiled most
+        recently.  Torn or non-dict blobs are skipped with a warning —
+        a damaged blob costs serving freshness, never a crash.
+        """
+        root = self.root / "dictionaries"
+        if not root.is_dir():
+            return
+        paths = []
+        for path in root.glob("*.json"):
+            try:
+                paths.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue
+        for _, _, path in sorted(paths, reverse=True):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                warnings.warn(f"skipping corrupt dictionary blob "
+                              f"{path.name}: {exc}", stacklevel=2)
+                continue
+            if not isinstance(payload, dict):
+                warnings.warn(f"skipping non-dict dictionary blob "
+                              f"{path.name}", stacklevel=2)
+                continue
+            yield path.stem, payload
+
+    def latest_dictionary(self) -> Optional[Dict]:
+        """The newest readable compiled-dictionary payload, or None
+        when the store has none."""
+        for _, payload in self.iter_dictionaries():
+            return payload
+        return None
 
     def sweep_tmp(self, max_age: float = STALE_TMP_AGE) -> int:
         """Reap staging files orphaned under this store's root.

@@ -16,10 +16,17 @@ diagnosis over them:
   groups, escape verdicts);
 * :mod:`~repro.diagnosis.analytics` — distinguishability and expected
   diagnostic resolution per test plan;
-* :mod:`~repro.diagnosis.server` — the stdlib HTTP JSON endpoint;
+* :mod:`~repro.diagnosis.registry` — the
+  :class:`DictionaryRegistry`: many named dictionaries behind one
+  service, atomic hot-reload, lazy sources, request coalescing;
+* :mod:`~repro.diagnosis.db` — the SQLite-indexed
+  :class:`DiagnosisDB` recording every served query and verdict;
+* :mod:`~repro.diagnosis.server` — the versioned (``/v1``) HTTP JSON
+  service;
 * :mod:`~repro.diagnosis.cli` — ``python -m repro diagnose``.
 
-See ``docs/DIAGNOSIS.md`` for the format and the matching math.
+See ``docs/DIAGNOSIS.md`` for the format, the matching math and the
+HTTP API reference.
 """
 
 from .analytics import (ResolutionReport, distinguishability_matrix,
@@ -28,10 +35,15 @@ from .build import (build_dictionary, build_from_store,
                     compile_dictionary, compile_from_campaign,
                     dictionary_for_campaign,
                     labeled_records, tolerance_envelope)
+from .db import SCHEMA_VERSION, DiagnosisDB, DiagnosisDBError
 from .dictionary import (DICTIONARY_VERSION, DictionaryEntry,
                          DictionaryError, FaultDictionary)
 from .match import (Candidate, Diagnosis, DictionaryMatcher,
                     ESCAPE_THRESHOLD, EmptyDictionaryError)
+from .registry import (DEFAULT_NAME, DictionaryRegistry,
+                       DictionarySnapshot, QueryBatcher,
+                       RegistryError, UnknownDictionaryError,
+                       load_dictionary_source)
 
 __all__ = [
     "ResolutionReport", "distinguishability_matrix",
@@ -43,4 +55,8 @@ __all__ = [
     "FaultDictionary",
     "Candidate", "Diagnosis", "DictionaryMatcher", "ESCAPE_THRESHOLD",
     "EmptyDictionaryError",
+    "SCHEMA_VERSION", "DiagnosisDB", "DiagnosisDBError",
+    "DEFAULT_NAME", "DictionaryRegistry", "DictionarySnapshot",
+    "QueryBatcher", "RegistryError", "UnknownDictionaryError",
+    "load_dictionary_source",
 ]

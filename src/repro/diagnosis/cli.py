@@ -9,8 +9,16 @@ Subcommands:
   dictionary; ``--self-test`` replays every dictionary entry's own
   signature (the closed-loop check) and reports top-1 accuracy.
 * ``report`` — resolution analytics: ambiguity groups, expected
-  diagnostic resolution, distinguishability summary.
-* ``serve`` — the HTTP endpoint (``repro.diagnosis.server``).
+  diagnostic resolution, distinguishability summary; with ``--db`` it
+  instead reports what a live service actually served (verdict mix,
+  per-dictionary resolution, most-diagnosed classes) from the SQLite
+  results backend.
+* ``serve`` — the versioned HTTP service (``repro.diagnosis.server``):
+  ``--dictionary NAME=PATH`` (repeatable; PATH is a dictionary JSON
+  file or a campaign store root) builds the registry, ``--db`` attaches
+  the persistent results backend.  The old single ``--dictionary PATH``
+  form still works, registered under the name ``default``, with a
+  deprecation warning.
 """
 
 from __future__ import annotations
@@ -18,8 +26,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..campaign.events import (DiagnosisMetricsCollector,
                                DictionaryBuilt, EventBus)
@@ -29,8 +38,11 @@ from ..core.path import PathConfig
 from ..testgen.dft import FULL_DFT, NO_DFT
 from .analytics import distinguishability_matrix, expected_resolution
 from .build import build_dictionary, build_from_store
+from .db import DiagnosisDB, DiagnosisDBError
 from .dictionary import DictionaryError, FaultDictionary
 from .match import DictionaryMatcher, EmptyDictionaryError
+from .registry import (DEFAULT_NAME, DictionaryRegistry,
+                       RegistryError)
 
 
 def _add_build(sub) -> None:
@@ -82,17 +94,39 @@ def _add_query(sub) -> None:
 
 def _add_report(sub) -> None:
     p = sub.add_parser("report", help="resolution analytics for a "
-                                      "dictionary")
-    p.add_argument("--dictionary", required=True,
+                                      "dictionary or a service's "
+                                      "results db")
+    p.add_argument("--dictionary", default=None,
                    help="dictionary JSON file")
+    p.add_argument("--db", default=None,
+                   help="diagnosis service SQLite results db: report "
+                        "served verdicts instead of dictionary "
+                        "analytics")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
 
 
 def _add_serve(sub) -> None:
-    p = sub.add_parser("serve", help="HTTP diagnosis endpoint")
-    p.add_argument("--dictionary", required=True,
-                   help="dictionary JSON file")
+    p = sub.add_parser("serve", help="versioned HTTP diagnosis "
+                                     "service")
+    p.add_argument("--dictionary", action="append", default=None,
+                   metavar="[NAME=]PATH", required=True,
+                   help="serve the dictionary at PATH under NAME "
+                        "(repeatable; PATH is a dictionary JSON file "
+                        "or a campaign store root).  Bare PATH is the "
+                        "deprecated single-dictionary form, "
+                        "registered as 'default'")
+    p.add_argument("--default", default=None, metavar="NAME",
+                   help="dictionary served when a request names none "
+                        "(default: the first --dictionary)")
+    p.add_argument("--db", default=None, metavar="PATH",
+                   help="attach the SQLite results backend at PATH "
+                        "(queries, verdicts and per-dictionary stats "
+                        "are recorded for /v1/metrics and 'report "
+                        "--db')")
+    p.add_argument("--lazy", action="store_true",
+                   help="load dictionaries on first use instead of "
+                        "at startup")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8095)
     p.add_argument("--top-k", type=int, default=5)
@@ -212,7 +246,48 @@ def _query(args) -> int:
     return 0
 
 
+def _report_db(args) -> int:
+    """``report --db``: what a live service actually served."""
+    try:
+        db = DiagnosisDB(args.db)
+    except DiagnosisDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = db.summary()
+        per_dictionary = db.per_dictionary()
+        top = db.top_classes(limit=10)
+    finally:
+        db.close()
+    if args.json:
+        print(json.dumps({"summary": summary,
+                          "per_dictionary": per_dictionary,
+                          "top_classes": top}, sort_keys=True))
+        return 0
+    print(f"served: {summary['queries']} queries in "
+          f"{summary['batches']} batches "
+          f"({summary['matched']} matched, "
+          f"{summary['ambiguous']} ambiguous, "
+          f"{summary['unmatched']} unmatched, "
+          f"{summary['passed']} passed)")
+    for row in per_dictionary:
+        print(f"  {row['dictionary']} v{row['version']}: "
+              f"{row['queries']} queries, resolution rate "
+              f"{100 * row['resolution_rate']:.1f}%")
+    if top:
+        print("most-diagnosed classes:")
+        for row in top:
+            print(f"  {row['hits']:6d}  {row['label']}")
+    return 0
+
+
 def _report(args) -> int:
+    if args.db is not None:
+        return _report_db(args)
+    if args.dictionary is None:
+        print("error: report needs --dictionary or --db",
+              file=sys.stderr)
+        return 2
     try:
         dictionary = _load_dictionary(args.dictionary)
     except DictionaryError as exc:
@@ -248,18 +323,80 @@ def _report(args) -> int:
     return 0
 
 
+def parse_dictionary_specs(values: Sequence[str]
+                           ) -> List[Tuple[str, str]]:
+    """``[NAME=]PATH`` flags -> ``(name, path)`` pairs.
+
+    A bare ``PATH`` is the deprecated pre-registry form: the first one
+    is registered under ``"default"`` (matching the old single-
+    dictionary server), later ones under their file stem, each with a
+    :class:`DeprecationWarning`.
+    """
+    specs: List[Tuple[str, str]] = []
+    taken = set()
+    for value in values:
+        if "=" in value:
+            name, path = value.split("=", 1)
+            name = name.strip()
+            if not name or not path:
+                raise RegistryError(
+                    f"--dictionary {value!r}: expected NAME=PATH")
+        else:
+            path = value
+            name = DEFAULT_NAME if DEFAULT_NAME not in taken \
+                else Path(value).stem
+            warnings.warn(
+                f"bare --dictionary {value!r} is deprecated; use "
+                f"--dictionary {name}={value}", DeprecationWarning,
+                stacklevel=2)
+        if name in taken:
+            raise RegistryError(
+                f"--dictionary name {name!r} given twice")
+        taken.add(name)
+        specs.append((name, path))
+    return specs
+
+
+def build_registry(values: Sequence[str], top_k: int = 5,
+                   default: Optional[str] = None,
+                   lazy: bool = False) -> DictionaryRegistry:
+    """Registry from CLI ``--dictionary`` flags (shared with tests
+    and benchmarks)."""
+    registry = DictionaryRegistry(top_k=top_k)
+    specs = parse_dictionary_specs(values)
+    for name, path in specs:
+        registry.register(name, source=path, lazy=lazy,
+                          default=(name == default))
+    if default is not None and default not in registry:
+        raise RegistryError(
+            f"--default {default!r} names no registered dictionary")
+    return registry
+
+
 def _serve(args) -> int:
     from .server import serve
     try:
-        dictionary = _load_dictionary(args.dictionary)
-    except DictionaryError as exc:
+        registry = build_registry(args.dictionary, top_k=args.top_k,
+                                  default=args.default,
+                                  lazy=args.lazy)
+    except (DictionaryError, RegistryError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    server = serve(dictionary, host=args.host, port=args.port,
-                   top_k=args.top_k, verbose=args.verbose)
+    db = None
+    if args.db is not None:
+        try:
+            db = DiagnosisDB(args.db)
+        except DiagnosisDBError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    server = serve(registry=registry, host=args.host, port=args.port,
+                   top_k=args.top_k, verbose=args.verbose, db=db)
     host, port = server.server_address[:2]
-    print(f"serving {len(dictionary)} classes on http://{host}:{port} "
-          f"(POST /diagnose, GET /health, GET /metrics)",
+    names = ", ".join(registry.names())
+    print(f"serving dictionaries [{names}] on http://{host}:{port} "
+          f"(POST /v1/diagnose, GET /v1/health, GET /v1/metrics, "
+          f"GET /v1/dictionaries"
+          + (f"; results db {args.db}" if args.db else "") + ")",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -267,6 +404,8 @@ def _serve(args) -> int:
         pass
     finally:
         server.server_close()
+        if db is not None:
+            db.close()
     return 0
 
 

@@ -1,0 +1,251 @@
+"""SQLite-indexed diagnosis results backend.
+
+Every diagnosis the service performs used to vanish with the HTTP
+response; analytics that wanted history had to re-parse whatever JSON
+blobs someone thought to keep.  This module gives the serving layer,
+the ``report`` CLI and ``/v1/metrics`` one shared, indexed store
+instead (the DAVOS ``Datamanager`` pattern: a small reflected data
+model that the simulator writes once and every reporting surface
+queries).
+
+Schema (``SCHEMA_VERSION`` 1):
+
+* ``batches`` — one row per recorded diagnose call: which dictionary
+  (name + reload generation) served it, how many queries, the wall
+  time, and the verdict counts;
+* ``verdicts`` — one row per query: the verdict, the top candidate
+  (label, macro, distance, posterior) when there is one; indexed by
+  verdict and by top label so "which defect classes do we actually
+  see in returns?" is one ``GROUP BY``, not a JSON crawl.
+
+Writes are serialized behind one connection + lock (the service's
+request threads all share the :class:`DiagnosisDB`); WAL mode keeps
+concurrent external readers (an analyst's ``sqlite3`` session, the
+``report`` CLI against a live service's file) from blocking them.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .match import Diagnosis
+
+#: bump when the table layout changes; a mismatched existing file is
+#: refused (never silently migrated)
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS batches (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    ts         REAL    NOT NULL,
+    dictionary TEXT    NOT NULL,
+    version    INTEGER NOT NULL,
+    n_queries  INTEGER NOT NULL,
+    wall       REAL    NOT NULL,
+    matched    INTEGER NOT NULL,
+    ambiguous  INTEGER NOT NULL,
+    unmatched  INTEGER NOT NULL,
+    passed     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_batches_dictionary
+    ON batches (dictionary);
+CREATE INDEX IF NOT EXISTS idx_batches_ts ON batches (ts);
+CREATE TABLE IF NOT EXISTS verdicts (
+    batch_id  INTEGER NOT NULL REFERENCES batches (id),
+    seq       INTEGER NOT NULL,
+    verdict   TEXT    NOT NULL,
+    top_label TEXT,
+    top_macro TEXT,
+    distance  REAL,
+    posterior REAL,
+    PRIMARY KEY (batch_id, seq)
+);
+CREATE INDEX IF NOT EXISTS idx_verdicts_verdict
+    ON verdicts (verdict);
+CREATE INDEX IF NOT EXISTS idx_verdicts_label
+    ON verdicts (top_label);
+"""
+
+
+class DiagnosisDBError(RuntimeError):
+    """Raised for an unusable results database (schema mismatch,
+    unreadable file)."""
+
+
+class DiagnosisDB:
+    """The service's persistent, queryable diagnosis log.
+
+    Thread-safe: one connection, writes serialized by a lock.  Use as
+    a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(str(self.path),
+                                         check_same_thread=False)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._check_schema()
+        except sqlite3.Error as exc:
+            raise DiagnosisDBError(
+                f"cannot open diagnosis db {self.path}: {exc}"
+                ) from exc
+
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES "
+                "('schema_version', ?)", (str(SCHEMA_VERSION),))
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise DiagnosisDBError(
+                f"diagnosis db {self.path} has schema version "
+                f"{row[0]}, this code wants {SCHEMA_VERSION}")
+
+    def __enter__(self) -> "DiagnosisDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- writes -------------------------------------------------------------
+
+    def record_batch(self, dictionary: str, version: int,
+                     diagnoses: Sequence[Diagnosis], wall: float,
+                     ts: Optional[float] = None) -> int:
+        """Record one served diagnose call; returns the batch id."""
+        counts = {"matched": 0, "ambiguous": 0,
+                  "escape_unmatched": 0, "pass": 0}
+        rows = []
+        for seq, diagnosis in enumerate(diagnoses):
+            counts[diagnosis.verdict] = \
+                counts.get(diagnosis.verdict, 0) + 1
+            top = diagnosis.top
+            rows.append((seq, diagnosis.verdict,
+                         top.label if top else None,
+                         top.macro if top else None,
+                         top.distance if top else None,
+                         top.posterior if top else None))
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO batches (ts, dictionary, version, "
+                "n_queries, wall, matched, ambiguous, unmatched, "
+                "passed) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (time.time() if ts is None else ts,
+                 dictionary, int(version), len(rows), float(wall),
+                 counts["matched"], counts["ambiguous"],
+                 counts["escape_unmatched"], counts["pass"]))
+            batch_id = cursor.lastrowid
+            self._conn.executemany(
+                "INSERT INTO verdicts (batch_id, seq, verdict, "
+                "top_label, top_macro, distance, posterior) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(batch_id,) + row for row in rows])
+        return batch_id
+
+    # -- reads --------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Service-lifetime totals (the ``/v1/metrics`` ``db``
+        block)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(n_queries), 0), "
+                "COALESCE(SUM(wall), 0.0), "
+                "COALESCE(SUM(matched), 0), "
+                "COALESCE(SUM(ambiguous), 0), "
+                "COALESCE(SUM(unmatched), 0), "
+                "COALESCE(SUM(passed), 0) FROM batches").fetchone()
+        batches, queries, wall, matched, ambiguous, unmatched, \
+            passed = row
+        return {
+            "batches": batches, "queries": queries,
+            "wall_time": wall, "matched": matched,
+            "ambiguous": ambiguous, "unmatched": unmatched,
+            "passed": passed,
+            "queries_per_second": queries / wall if wall > 0 else 0.0,
+        }
+
+    def per_dictionary(self) -> List[Dict]:
+        """Resolution stats per (dictionary, reload generation)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT dictionary, version, COUNT(*), "
+                "SUM(n_queries), SUM(wall), SUM(matched), "
+                "SUM(ambiguous), SUM(unmatched), SUM(passed) "
+                "FROM batches GROUP BY dictionary, version "
+                "ORDER BY dictionary, version").fetchall()
+        out = []
+        for (name, version, batches, queries, wall, matched,
+             ambiguous, unmatched, passed) in rows:
+            failing = matched + ambiguous + unmatched
+            out.append({
+                "dictionary": name, "version": version,
+                "batches": batches, "queries": queries,
+                "wall_time": wall, "matched": matched,
+                "ambiguous": ambiguous, "unmatched": unmatched,
+                "passed": passed,
+                "resolution_rate":
+                    matched / failing if failing else 0.0,
+            })
+        return out
+
+    def top_classes(self, limit: int = 10,
+                    dictionary: Optional[str] = None) -> List[Dict]:
+        """Most-diagnosed defect classes — the field-return Pareto."""
+        sql = ("SELECT v.top_label, v.top_macro, COUNT(*) AS hits, "
+               "AVG(v.distance) FROM verdicts v "
+               "JOIN batches b ON b.id = v.batch_id "
+               "WHERE v.top_label IS NOT NULL "
+               "AND v.verdict IN ('matched', 'ambiguous')")
+        args: tuple = ()
+        if dictionary is not None:
+            sql += " AND b.dictionary = ?"
+            args = (dictionary,)
+        sql += (" GROUP BY v.top_label, v.top_macro "
+                "ORDER BY hits DESC, v.top_label LIMIT ?")
+        with self._lock:
+            rows = self._conn.execute(sql, args + (int(limit),)
+                                      ).fetchall()
+        return [{"label": label, "macro": macro, "hits": hits,
+                 "mean_distance": mean_distance}
+                for label, macro, hits, mean_distance in rows]
+
+    def recent_batches(self, limit: int = 20) -> List[Dict]:
+        """The newest recorded batches, newest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, ts, dictionary, version, n_queries, "
+                "wall, matched, ambiguous, unmatched, passed "
+                "FROM batches ORDER BY id DESC LIMIT ?",
+                (int(limit),)).fetchall()
+        keys = ("id", "ts", "dictionary", "version", "n_queries",
+                "wall", "matched", "ambiguous", "unmatched", "passed")
+        return [dict(zip(keys, row)) for row in rows]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Global verdict histogram from the per-query table."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT verdict, COUNT(*) FROM verdicts "
+                "GROUP BY verdict").fetchall()
+        return {verdict: count for verdict, count in rows}

@@ -1,0 +1,451 @@
+"""Multi-dictionary serving state: named snapshots with atomic reload.
+
+One production diagnosis service fronts many fault dictionaries — one
+per macro, product or process corner — and must replace any of them
+while traffic is in flight (a campaign finishes, the dictionary
+recompiles, the service swaps it in without dropping a query).  The
+:class:`DictionaryRegistry` owns that lifecycle:
+
+* every *name* maps to an immutable :class:`DictionarySnapshot`
+  bundling the dictionary, its prebuilt vectorized
+  :class:`~repro.diagnosis.match.DictionaryMatcher` and a
+  :class:`QueryBatcher`;
+* lookups are read-mostly: :meth:`DictionaryRegistry.get` takes the
+  registry lock only long enough to fetch the snapshot reference —
+  everything the request then touches is immutable, so in-flight
+  readers are untouched by a concurrent swap;
+* :meth:`DictionaryRegistry.reload` is *build → validate → swap*: the
+  replacement dictionary is parsed and its matcher constructed
+  entirely outside the swap, and only a replacement that validates
+  (non-empty, well-formed, matcher builds) replaces the snapshot — a
+  bad reload leaves the old snapshot serving;
+* sources may be lazy: a dictionary registered by path (a dictionary
+  JSON file *or* a campaign store root, whose newest
+  ``dictionaries/<key>.json`` blob is used) is loaded on first use,
+  so a registry fronting dozens of products pays only for the ones
+  queried.
+
+The :class:`QueryBatcher` is the serving half of the vectorized
+matcher: concurrent requests are coalesced leader/follower-style into
+one large ``diagnose_batch`` block — the first thread to arrive while
+no block is running becomes the leader, drains everything queued
+behind it, runs one NumPy distance expression for the union and
+distributes the slices.  No linger timer, so an uncontended request
+pays zero added latency, while under load block sizes grow with
+concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..campaign.events import DictionaryBuilt, EventBus
+from ..campaign.store import ResultsStore
+from .dictionary import DictionaryError, FaultDictionary
+from .match import Diagnosis, DictionaryMatcher, EmptyDictionaryError
+
+#: the name the back-compat single-dictionary entry points register
+#: their dictionary under
+DEFAULT_NAME = "default"
+
+
+class RegistryError(ValueError):
+    """Raised for invalid registry operations (bad source, duplicate
+    or failed-validation reload)."""
+
+
+class UnknownDictionaryError(KeyError):
+    """Raised when a request names a dictionary the registry does not
+    serve (the HTTP layer maps this to 404)."""
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        self.name = name
+        self.known = tuple(sorted(known))
+        super().__init__(
+            f"unknown dictionary {name!r} (serving: "
+            f"{', '.join(self.known) or 'none'})")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0]
+
+
+class QueryBatcher:
+    """Coalesces concurrent diagnose calls into one matcher block.
+
+    Leader/follower batching without a linger timer: a thread whose
+    block is not already being computed becomes the leader, drains the
+    whole pending queue (its own queries included), runs a single
+    ``diagnose_batch`` over the stacked block and hands each waiter
+    its slice.  Threads arriving while a block is in flight queue up
+    and are drained by the next leader — so batch size adapts to
+    instantaneous concurrency and a lone request is never delayed.
+    """
+
+    def __init__(self, matcher: DictionaryMatcher) -> None:
+        self.matcher = matcher
+        self._cond = threading.Condition()
+        self._pending: List[_PendingQueries] = []
+        self._running = False
+        # stats (guarded by _cond): matcher blocks actually run,
+        # requests and queries that went through them, largest block
+        self.blocks = 0
+        self.requests = 0
+        self.queries = 0
+        self.max_block = 0
+
+    def diagnose(self, queries: np.ndarray) -> List[Diagnosis]:
+        """Diagnose ``queries``, possibly coalesced with concurrent
+        callers; returns this caller's diagnoses in query order."""
+        item = _PendingQueries(queries)
+        batch: Optional[List[_PendingQueries]] = None
+        with self._cond:
+            self._pending.append(item)
+            while batch is None:
+                if item.done.is_set():
+                    break
+                if not self._running:
+                    self._running = True
+                    batch, self._pending = self._pending, []
+                    break
+                self._cond.wait()
+        if batch is not None:
+            try:
+                self._execute(batch)
+            finally:
+                with self._cond:
+                    self._running = False
+                    self._cond.notify_all()
+        item.done.wait()
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _execute(self, batch: List[_PendingQueries]) -> None:
+        """Run one stacked block and distribute the slices (leader
+        only, outside the lock)."""
+        try:
+            if len(batch) == 1:
+                results = [self.matcher.diagnose_batch(
+                    batch[0].queries)]
+            else:
+                stacked = np.vstack([b.queries for b in batch])
+                flat = self.matcher.diagnose_batch(stacked)
+                results, offset = [], 0
+                for b in batch:
+                    n = b.queries.shape[0]
+                    results.append(flat[offset:offset + n])
+                    offset += n
+        except Exception as exc:  # matcher failure fails the block
+            for b in batch:
+                b.error = exc
+                b.done.set()
+            return
+        n_rows = sum(b.queries.shape[0] for b in batch)
+        with self._cond:
+            self.blocks += 1
+            self.requests += len(batch)
+            self.queries += n_rows
+            self.max_block = max(self.max_block, n_rows)
+        for b, result in zip(batch, results):
+            b.result = result
+            b.done.set()
+
+    def stats(self) -> Dict:
+        with self._cond:
+            return {"blocks": self.blocks, "requests": self.requests,
+                    "queries": self.queries,
+                    "max_block": self.max_block}
+
+
+class _PendingQueries:
+    __slots__ = ("queries", "result", "error", "done")
+
+    def __init__(self, queries: np.ndarray) -> None:
+        self.queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        self.result: List[Diagnosis] = []
+        self.error: Optional[Exception] = None
+        self.done = threading.Event()
+
+
+class DictionarySnapshot:
+    """One immutable serving generation of a named dictionary.
+
+    Everything a request needs — the dictionary, the matcher, the
+    batcher — is bound at construction; a hot-reload builds a whole
+    new snapshot and swaps the reference, so a request that already
+    holds this snapshot finishes against consistent state.
+
+    ``matcher`` and ``batcher`` are None exactly when the dictionary
+    has no detectable classes (the server answers 503 from that).
+    """
+
+    __slots__ = ("name", "version", "dictionary", "matcher",
+                 "batcher", "source", "loaded_at")
+
+    def __init__(self, name: str, version: int,
+                 dictionary: FaultDictionary,
+                 source: Optional[str] = None,
+                 top_k: int = 5,
+                 bus: Optional[EventBus] = None) -> None:
+        self.name = name
+        self.version = version
+        self.dictionary = dictionary
+        self.source = source
+        self.loaded_at = time.time()
+        self.matcher: Optional[DictionaryMatcher] = None
+        self.batcher: Optional[QueryBatcher] = None
+        try:
+            self.matcher = DictionaryMatcher(dictionary, top_k=top_k,
+                                             bus=bus)
+            self.batcher = QueryBatcher(self.matcher)
+        except EmptyDictionaryError:
+            pass
+
+    def describe(self) -> Dict:
+        """JSON-able summary (the ``/v1/dictionaries`` row)."""
+        d = self.dictionary
+        return {
+            "name": self.name,
+            "version": self.version,
+            "classes": len(d),
+            "features": len(d.features),
+            "macros": list(d.macros),
+            "undetected": len(d.meta.get("undetected", ())),
+            "source": self.source,
+            "loaded_at": self.loaded_at,
+            "empty": self.matcher is None,
+        }
+
+
+def load_dictionary_source(source: Union[str, Path]
+                           ) -> FaultDictionary:
+    """Load a dictionary from a *source path*.
+
+    A file is a dictionary JSON (``FaultDictionary.save`` output).  A
+    directory is a campaign store root: the newest blob under its
+    ``dictionaries/`` tree is served — the store-side cache the
+    campaign build already maintains doubles as the serving source, so
+    ``diagnose serve --dictionary adc=.repro-cache`` picks up each
+    recompiled dictionary on the next reload with no export step.
+    """
+    path = Path(source)
+    if path.is_dir():
+        store = ResultsStore(path)
+        payload = store.latest_dictionary()
+        if payload is None:
+            raise RegistryError(
+                f"store {path} has no compiled dictionaries")
+        return FaultDictionary.from_dict(payload)
+    return FaultDictionary.load(path)
+
+
+class _Slot:
+    __slots__ = ("snapshot", "source", "top_k", "versions")
+
+    def __init__(self, snapshot: Optional[DictionarySnapshot],
+                 source: Optional[str], top_k: int) -> None:
+        self.snapshot = snapshot
+        self.source = source
+        self.top_k = top_k
+        self.versions = snapshot.version if snapshot else 0
+
+
+class DictionaryRegistry:
+    """Named, versioned dictionaries behind one read-mostly lock."""
+
+    def __init__(self, top_k: int = 5,
+                 bus: Optional[EventBus] = None) -> None:
+        self.top_k = top_k
+        self.bus = bus
+        self._lock = threading.RLock()
+        self._slots: Dict[str, _Slot] = {}
+        self._default: Optional[str] = None
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str,
+                 dictionary: Optional[FaultDictionary] = None,
+                 source: Optional[Union[str, Path]] = None,
+                 lazy: bool = False,
+                 default: bool = False,
+                 top_k: Optional[int] = None) -> None:
+        """Serve ``dictionary`` (or the dictionary at ``source``)
+        under ``name``.
+
+        Exactly one of ``dictionary`` / ``source`` is required; with
+        ``lazy=True`` a ``source`` is not read until the first
+        request that needs it.  The first registration (or any with
+        ``default=True``) becomes the default dictionary requests get
+        when they don't name one.
+        """
+        if (dictionary is None) == (source is None):
+            raise RegistryError(
+                "register() needs exactly one of dictionary= or "
+                "source=")
+        if lazy and source is None:
+            raise RegistryError("lazy registration needs a source")
+        top_k = self.top_k if top_k is None else top_k
+        src = str(source) if source is not None else None
+        with self._lock:
+            if name in self._slots:
+                raise RegistryError(
+                    f"dictionary {name!r} is already registered "
+                    f"(reload() replaces it)")
+            snapshot = None
+            if not lazy:
+                if dictionary is None:
+                    dictionary = load_dictionary_source(src)
+                snapshot = self._snapshot(name, 1, dictionary, src,
+                                          top_k)
+            self._slots[name] = _Slot(snapshot, src, top_k)
+            if default or self._default is None:
+                self._default = name
+
+    def _snapshot(self, name: str, version: int,
+                  dictionary: FaultDictionary, source: Optional[str],
+                  top_k: int) -> DictionarySnapshot:
+        snapshot = DictionarySnapshot(name, version, dictionary,
+                                      source=source, top_k=top_k,
+                                      bus=self.bus)
+        if self.bus is not None:
+            self.bus.emit(DictionaryBuilt(
+                classes=len(dictionary),
+                undetected=len(dictionary.meta.get("undetected",
+                                                   ())),
+                macros=dictionary.macros,
+                features=len(dictionary.features),
+                source="registry"))
+        return snapshot
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def default_name(self) -> Optional[str]:
+        with self._lock:
+            return self._default
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._slots)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._slots
+
+    def get(self, name: Optional[str] = None) -> DictionarySnapshot:
+        """The current snapshot for ``name`` (default dictionary when
+        None), lazily loading a path-registered source on first use.
+
+        Raises :class:`UnknownDictionaryError` for names the registry
+        does not serve and :class:`RegistryError` when a lazy source
+        fails to load.
+        """
+        with self._lock:
+            if name is None:
+                name = self._default
+            slot = self._slots.get(name) if name is not None else None
+            if slot is None:
+                raise UnknownDictionaryError(
+                    name or "<default>", list(self._slots))
+            if slot.snapshot is not None:
+                return slot.snapshot
+            source, top_k = slot.source, slot.top_k
+        # lazy load outside the lock (disk + matcher build are the
+        # expensive part); publish under the lock, first loader wins
+        try:
+            dictionary = load_dictionary_source(source)
+        except (DictionaryError, RegistryError, OSError) as exc:
+            raise RegistryError(
+                f"lazy load of {name!r} from {source} failed: "
+                f"{exc}") from exc
+        with self._lock:
+            slot = self._slots[name]
+            if slot.snapshot is None:
+                slot.versions += 1
+                slot.snapshot = self._snapshot(
+                    name, slot.versions, dictionary, source, top_k)
+            return slot.snapshot
+
+    def describe(self) -> List[Dict]:
+        """One summary row per served dictionary (lazy entries that
+        were never loaded report ``loaded: False``)."""
+        with self._lock:
+            items = sorted(self._slots.items())
+            default = self._default
+        rows = []
+        for name, slot in items:
+            if slot.snapshot is not None:
+                row = slot.snapshot.describe()
+                row["loaded"] = True
+            else:
+                row = {"name": name, "source": slot.source,
+                       "loaded": False, "version": 0}
+            row["default"] = name == default
+            rows.append(row)
+        return rows
+
+    # -- hot reload ---------------------------------------------------------
+
+    def reload(self, name: str,
+               dictionary: Optional[FaultDictionary] = None,
+               source: Optional[Union[str, Path]] = None
+               ) -> DictionarySnapshot:
+        """Build → validate → swap a replacement for ``name``.
+
+        The replacement comes from ``dictionary``, from ``source`` (a
+        new path, remembered for future reloads), or from the slot's
+        registered source.  Parsing and matcher construction happen
+        entirely before the swap; any failure — unreadable file,
+        malformed payload, empty dictionary — raises and leaves the
+        old snapshot serving.  In-flight requests holding the old
+        snapshot finish against it; the next :meth:`get` sees the new
+        one.  Returns the new snapshot (its ``version`` is the slot's
+        reload generation).
+        """
+        with self._lock:
+            slot = self._slots.get(name)
+            if slot is None:
+                raise UnknownDictionaryError(name, list(self._slots))
+            if source is None and dictionary is None:
+                source = slot.source
+                if source is None:
+                    raise RegistryError(
+                        f"dictionary {name!r} has no source to "
+                        f"reload from")
+            top_k = slot.top_k
+            next_version = slot.versions + 1
+        src = str(source) if source is not None else None
+        try:
+            if dictionary is None:
+                dictionary = load_dictionary_source(src)
+            if len(dictionary) == 0:
+                raise RegistryError(
+                    "replacement dictionary has no detectable "
+                    "classes; keeping the current snapshot")
+            snapshot = self._snapshot(name, next_version, dictionary,
+                                      src or slot.source, top_k)
+            if snapshot.matcher is None:  # defensive; len()>0 above
+                raise RegistryError(
+                    "replacement dictionary failed matcher "
+                    "validation")
+        except (DictionaryError, OSError) as exc:
+            raise RegistryError(
+                f"reload of {name!r} failed validation: {exc}"
+                ) from exc
+        with self._lock:
+            slot = self._slots[name]
+            slot.versions = max(slot.versions, next_version)
+            snapshot.version = slot.versions
+            slot.snapshot = snapshot
+            if src is not None:
+                slot.source = src
+            return snapshot

@@ -1,55 +1,112 @@
-"""Stdlib HTTP endpoint serving batch diagnosis queries.
+"""The diagnosis service: versioned HTTP API over a dictionary registry.
 
-The read-heavy half of the subsystem: one expensive dictionary load at
-startup, then cheap vectorized queries.  Pure ``http.server`` — no
-framework dependency — with JSON in and JSON out:
+Pure ``http.server`` — no framework dependency — but production-shaped:
 
-* ``GET /health`` — liveness plus dictionary shape;
-* ``GET /metrics`` — the
-  :class:`~repro.campaign.events.DiagnosisMetrics` snapshot (request
-  latency, hit / ambiguity counters);
-* ``POST /diagnose`` — body ``{"queries": [[...], ...]}`` (signature
-  vectors) or ``{"records": [{...}, ...]}`` (DetectionRecord dicts,
-  vectorized server-side); responds ``{"diagnoses": [...]}`` in query
-  order.
+* **Versioned routes.**  ``/v1/health``, ``/v1/metrics``,
+  ``/v1/dictionaries``, ``/v1/dictionaries/<name>``,
+  ``POST /v1/dictionaries/<name>/reload`` and ``POST /v1/diagnose``,
+  dispatched through one :class:`~repro.core.router.Router` table.
+  The legacy unversioned names (``/diagnose``, ``/health``,
+  ``/metrics``) are deprecated aliases of the same handler entries —
+  byte-identical bodies by construction, plus a ``Deprecation``
+  response header.
+* **Uniform errors.**  Every failure is
+  ``{"error": {"code": ..., "message": ...}}``: malformed bodies 400,
+  unknown paths 404, a known path under the wrong verb 405 (with
+  ``Allow``), unknown dictionaries 404, an empty dictionary 503, a
+  failed reload 409.
+* **Registry serving.**  Requests are served from a
+  :class:`~repro.diagnosis.registry.DictionaryRegistry`: many named
+  dictionaries, atomic hot-reload (in-flight requests finish on the
+  snapshot they started with), lazy loading from dictionary files or
+  campaign store roots.
+* **Request batching.**  Concurrent ``/v1/diagnose`` requests are
+  coalesced by the snapshot's
+  :class:`~repro.diagnosis.registry.QueryBatcher` into large blocks
+  for the vectorized matcher — one NumPy distance expression serves
+  many requests.
+* **Persistent results.**  With a
+  :class:`~repro.diagnosis.db.DiagnosisDB` attached, every served
+  batch and per-query verdict lands in indexed SQLite tables shared
+  by ``/v1/metrics``, the ``report`` CLI and offline analytics.
 
-Error contract: malformed JSON, wrong shapes and unknown paths are
-400/404 with a JSON error body; serving an empty dictionary answers
-503 on ``/diagnose`` (the service is up but cannot diagnose).
+``POST /v1/diagnose`` body: ``{"queries": [[...], ...]}`` (signature
+vectors) or ``{"records": [{...}, ...]}`` (DetectionRecord dicts,
+vectorized server-side), optionally ``"dictionary": <name>`` to pick a
+registry entry (default: the registry's default).  Responds
+``{"diagnoses": [...], "dictionary": ..., "version": ...}`` in query
+order.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..campaign.events import (DiagnosisMetricsCollector,
                                DictionaryBuilt, EventBus)
+from ..core.router import (MethodNotAllowed, RouteNotFound, Router,
+                           error_envelope)
 from ..core.serialize import SerializeError, record_from_dict
+from .db import DiagnosisDB
 from .dictionary import FaultDictionary
-from .match import DictionaryMatcher, EmptyDictionaryError
+from .match import DictionaryMatcher
+from .registry import (DEFAULT_NAME, DictionaryRegistry, RegistryError,
+                       UnknownDictionaryError)
+
+#: where the deprecation policy for the unversioned aliases lives
+#: (sent in the ``Link`` header next to ``Deprecation``)
+DEPRECATION_DOC = "docs/DIAGNOSIS.md"
 
 
-class BadRequest(ValueError):
+class ApiError(Exception):
+    """An HTTP-mappable service error: status + envelope code +
+    message."""
+
+    status = 400
+    code = "bad_request"
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 code: Optional[str] = None) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        if code is not None:
+            self.code = code
+
+    def envelope(self) -> Dict:
+        return error_envelope(self.code, str(self))
+
+
+class BadRequest(ApiError, ValueError):
     """Raised for malformed request bodies (mapped to 400)."""
 
 
-def _parse_queries(body: bytes, n_features: int) -> np.ndarray:
-    """Request body -> (n, n_features) query array.
-
-    Raises :class:`BadRequest` on anything malformed — bad JSON, the
-    wrong container shape, non-numeric elements, or a feature-width
-    mismatch.
-    """
+def _parse_payload(body: Optional[bytes]) -> Dict:
+    """Request body bytes -> JSON object, or :class:`BadRequest`."""
     try:
-        payload = json.loads(body.decode("utf-8"))
+        payload = json.loads((body or b"").decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise BadRequest(f"body is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise BadRequest("body must be a JSON object")
+    return payload
+
+
+def _queries_from_payload(payload: Dict,
+                          n_features: int) -> np.ndarray:
+    """Parsed body -> (n, n_features) query array.
+
+    Raises :class:`BadRequest` on anything malformed — the wrong
+    container shape, non-numeric elements, or a feature-width
+    mismatch.
+    """
     queries = payload.get("queries")
     records = payload.get("records")
     if (queries is None) == (records is None):
@@ -84,42 +141,249 @@ def _parse_queries(body: bytes, n_features: int) -> np.ndarray:
     return array
 
 
-class DiagnosisServer(ThreadingHTTPServer):
-    """HTTP server bound to one loaded dictionary.
+def _parse_queries(body: bytes, n_features: int) -> np.ndarray:
+    """Request body -> query array (kept for the ``query`` CLI)."""
+    return _queries_from_payload(_parse_payload(body), n_features)
 
-    The matcher is built once at construction (unless the dictionary
-    is empty, in which case ``/diagnose`` answers 503 while ``/health``
-    and ``/metrics`` stay up) and shared by all request threads — the
-    matcher's NumPy state is read-only after construction, and the
-    metrics collector locks internally.
+
+class DiagnosisServer(ThreadingHTTPServer):
+    """HTTP service bound to one dictionary registry.
+
+    Request threads share the registry (read-mostly lock), the
+    per-snapshot batchers (internally synchronized), the metrics
+    collector and the optional SQLite backend (one locked
+    connection) — no per-request mutable state.
     """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int],
-                 dictionary: FaultDictionary,
+                 registry: Optional[DictionaryRegistry] = None,
+                 dictionary: Optional[FaultDictionary] = None,
                  top_k: int = 5,
-                 bus: Optional[EventBus] = None) -> None:
+                 bus: Optional[EventBus] = None,
+                 db: Optional[DiagnosisDB] = None) -> None:
+        if (registry is None) == (dictionary is None):
+            raise ValueError(
+                "DiagnosisServer needs exactly one of registry= or "
+                "dictionary= (dictionary= is the deprecated "
+                "single-dictionary form)")
         super().__init__(address, _Handler)
-        self.dictionary = dictionary
-        self.bus = bus or EventBus()
+        if registry is None:
+            warnings.warn(
+                "DiagnosisServer(dictionary=...) is deprecated; "
+                "build a DictionaryRegistry and pass registry=",
+                DeprecationWarning, stacklevel=2)
+            registry = DictionaryRegistry(top_k=top_k, bus=bus)
+            registry.register(DEFAULT_NAME, dictionary=dictionary)
+        self.registry = registry
+        self.bus = bus or registry.bus or EventBus()
+        self.db = db
         self.collector = DiagnosisMetricsCollector()
         self.bus.subscribe(self.collector)
-        self.matcher: Optional[DictionaryMatcher] = None
+        self.started = time.time()
+        self._counts_lock = threading.Lock()
+        self._route_counts: Dict[str, int] = {}
+        self._status_counts: Dict[str, int] = {}
+        self._adopt_bus()
+        self.router = self._build_router()
+
+    def _adopt_bus(self) -> None:
+        """Point the registry (and already-loaded matchers) at this
+        server's bus so query/build events feed the metrics
+        collector, and announce the loaded dictionaries."""
+        if self.registry.bus is None:
+            self.registry.bus = self.bus
+        for row in self.registry.describe():
+            if not row.get("loaded"):
+                continue
+            snapshot = self.registry.get(row["name"])
+            if snapshot.matcher is not None and \
+                    snapshot.matcher.bus is None:
+                snapshot.matcher.bus = self.bus
+            d = snapshot.dictionary
+            self.bus.emit(DictionaryBuilt(
+                classes=len(d),
+                undetected=len(d.meta.get("undetected", ())),
+                macros=d.macros, features=len(d.features),
+                source="registry"))
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/v1/health", self._h_health)
+        router.add("GET", "/v1/metrics", self._h_metrics)
+        router.add("GET", "/v1/dictionaries",
+                   self._h_list_dictionaries)
+        router.add("GET", "/v1/dictionaries/<name>",
+                   self._h_get_dictionary)
+        router.add("POST", "/v1/dictionaries/<name>/reload",
+                   self._h_reload)
+        router.add("POST", "/v1/diagnose", self._h_diagnose)
+        # deprecated unversioned aliases: same handler objects, so
+        # the bodies cannot drift from their /v1/ equivalents
+        router.alias("GET", "/health", "/v1/health")
+        router.alias("GET", "/metrics", "/v1/metrics")
+        router.alias("POST", "/diagnose", "/v1/diagnose")
+        return router
+
+    # -- legacy attribute surface ------------------------------------------
+
+    @property
+    def dictionary(self) -> FaultDictionary:
+        """The default dictionary (deprecated single-dictionary
+        view)."""
+        return self.registry.get().dictionary
+
+    @property
+    def matcher(self) -> Optional[DictionaryMatcher]:
+        """The default dictionary's matcher, or None when empty
+        (deprecated single-dictionary view)."""
+        return self.registry.get().matcher
+
+    # -- accounting ---------------------------------------------------------
+
+    def count_request(self, canonical: str, status: int) -> None:
+        with self._counts_lock:
+            self._route_counts[canonical] = \
+                self._route_counts.get(canonical, 0) + 1
+            key = str(status)
+            self._status_counts[key] = \
+                self._status_counts.get(key, 0) + 1
+
+    # -- handlers -----------------------------------------------------------
+
+    def _snapshot_for(self, name: Optional[str]):
         try:
-            self.matcher = DictionaryMatcher(dictionary, top_k=top_k,
-                                             bus=self.bus)
-        except EmptyDictionaryError:
-            pass
-        self.bus.emit(DictionaryBuilt(
-            classes=len(dictionary),
-            undetected=len(dictionary.meta.get("undetected", ())),
-            macros=dictionary.macros,
-            features=len(dictionary.features), source="cache"))
+            return self.registry.get(name)
+        except UnknownDictionaryError as exc:
+            raise ApiError(str(exc), status=404,
+                           code="unknown_dictionary") from exc
+        except RegistryError as exc:
+            raise ApiError(str(exc), status=503,
+                           code="dictionary_unavailable") from exc
+
+    def _h_health(self, body: Optional[bytes],
+                  params: Dict) -> Tuple[int, Dict]:
+        rows = self.registry.describe()
+        default = self.registry.default_name
+        payload = {
+            "status": "ok",
+            "default": default,
+            "dictionaries": rows,
+        }
+        # the pre-/v1 top-level shape, kept for old health checks:
+        # the default dictionary's geometry
+        row = next((r for r in rows if r["name"] == default), None)
+        payload["classes"] = row.get("classes", 0) if row else 0
+        payload["features"] = row.get("features", 0) if row else 0
+        payload["macros"] = row.get("macros", []) if row else []
+        return 200, payload
+
+    def _h_metrics(self, body: Optional[bytes],
+                   params: Dict) -> Tuple[int, Dict]:
+        payload = self.collector.snapshot().as_dict()
+        with self._counts_lock:
+            payload["requests"] = dict(sorted(
+                self._route_counts.items()))
+            payload["responses"] = dict(sorted(
+                self._status_counts.items()))
+        payload["uptime"] = time.time() - self.started
+        batchers = {}
+        for row in self.registry.describe():
+            if not row.get("loaded"):
+                continue
+            snapshot = self.registry.get(row["name"])
+            if snapshot.batcher is not None:
+                stats = snapshot.batcher.stats()
+                stats["version"] = snapshot.version
+                batchers[row["name"]] = stats
+        payload["batching"] = batchers
+        if self.db is not None:
+            payload["db"] = self.db.summary()
+            payload["db"]["per_dictionary"] = \
+                self.db.per_dictionary()
+        return 200, payload
+
+    def _h_list_dictionaries(self, body: Optional[bytes],
+                             params: Dict) -> Tuple[int, Dict]:
+        return 200, {"dictionaries": self.registry.describe(),
+                     "default": self.registry.default_name}
+
+    def _h_get_dictionary(self, body: Optional[bytes],
+                          params: Dict) -> Tuple[int, Dict]:
+        snapshot = self._snapshot_for(params["name"])
+        payload = snapshot.describe()
+        payload["loaded"] = True
+        payload["default"] = \
+            snapshot.name == self.registry.default_name
+        if self.db is not None:
+            payload["served"] = [
+                row for row in self.db.per_dictionary()
+                if row["dictionary"] == snapshot.name]
+        return 200, payload
+
+    def _h_reload(self, body: Optional[bytes],
+                  params: Dict) -> Tuple[int, Dict]:
+        name = params["name"]
+        payload = _parse_payload(body) if body else {}
+        source = payload.get("path")
+        if source is not None and not isinstance(source, str):
+            raise BadRequest("'path' must be a string")
+        try:
+            snapshot = self.registry.reload(name, source=source)
+        except UnknownDictionaryError as exc:
+            raise ApiError(str(exc), status=404,
+                           code="unknown_dictionary") from exc
+        except RegistryError as exc:
+            raise ApiError(str(exc), status=409,
+                           code="reload_failed") from exc
+        if snapshot.matcher is not None and \
+                snapshot.matcher.bus is None:
+            snapshot.matcher.bus = self.bus
+        return 200, {"reloaded": True, "name": snapshot.name,
+                     "version": snapshot.version,
+                     "classes": len(snapshot.dictionary)}
+
+    def _h_diagnose(self, body: Optional[bytes],
+                    params: Dict) -> Tuple[int, Dict]:
+        payload = _parse_payload(body)
+        name = payload.get("dictionary")
+        if name is not None and not isinstance(name, str):
+            raise BadRequest("'dictionary' must be a string")
+        snapshot = self._snapshot_for(name)
+        if snapshot.batcher is None:
+            raise ApiError("dictionary has no detectable classes",
+                           status=503, code="empty_dictionary")
+        queries = _queries_from_payload(
+            payload, len(snapshot.dictionary.features))
+        started = time.perf_counter()
+        try:
+            diagnoses = snapshot.batcher.diagnose(queries)
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        wall = time.perf_counter() - started
+        if self.db is not None:
+            self.db.record_batch(snapshot.name, snapshot.version,
+                                 diagnoses, wall)
+        return 200, {
+            "diagnoses": [d.to_dict() for d in diagnoses],
+            "dictionary": snapshot.name,
+            "version": snapshot.version,
+        }
 
 
 class _Handler(BaseHTTPRequestHandler):
     server: DiagnosisServer
+
+    #: keep-alive: every reply carries Content-Length, so persistent
+    #: connections are safe and load clients skip the per-request
+    #: TCP handshake
+    protocol_version = "HTTP/1.1"
+
+    #: small JSON replies on persistent connections otherwise sit in
+    #: the Nagle buffer waiting for the client's delayed ACK (~40ms
+    #: per request)
+    disable_nagle_algorithm = True
 
     #: quiet by default; the CLI flips this on with --verbose
     verbose = False
@@ -128,58 +392,94 @@ class _Handler(BaseHTTPRequestHandler):
         if self.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               deprecated: bool = False,
+               canonical: Optional[str] = None,
+               allow: Optional[Tuple[str, ...]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if deprecated:
+            self.send_header("Deprecation", "true")
+            if canonical:
+                self.send_header(
+                    "Link", f'<{canonical}>; '
+                            f'rel="successor-version", '
+                            f'<{DEPRECATION_DOC}>; '
+                            f'rel="deprecation"')
+        if allow:
+            self.send_header("Allow", ", ".join(allow))
         self.end_headers()
         self.wfile.write(body)
 
+    def _dispatch(self, method: str) -> None:
+        server = self.server
+        try:
+            route = server.router.resolve(method, self.path)
+        except RouteNotFound as exc:
+            # fixed key: unmatched paths are attacker-controlled and
+            # must not grow the counter map without bound
+            server.count_request("<unmatched>", 404)
+            self._reply(404, error_envelope("not_found", str(exc)))
+            return
+        except MethodNotAllowed as exc:
+            server.count_request(exc.path, 405)
+            self._reply(405, error_envelope("method_not_allowed",
+                                            str(exc)),
+                        allow=exc.allowed)
+            return
+        body: Optional[bytes] = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+        try:
+            status, payload = route.handler(body, route.params)
+        except ApiError as exc:
+            status, payload = exc.status, exc.envelope()
+        except Exception as exc:  # a handler bug must not leak HTML
+            status = 500
+            payload = error_envelope(
+                "internal", f"{type(exc).__name__}: {exc}")
+        server.count_request(route.canonical, status)
+        self._reply(status, payload, deprecated=route.deprecated,
+                    canonical=route.canonical)
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib contract
-        if self.path == "/health":
-            self._reply(200, {
-                "status": "ok",
-                "classes": len(self.server.dictionary),
-                "features": len(self.server.dictionary.features),
-                "macros": list(self.server.dictionary.macros)})
-        elif self.path == "/metrics":
-            self._reply(200, self.server.collector.snapshot().as_dict())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib contract
-        if self.path != "/diagnose":
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
-            return
-        if self.server.matcher is None:
-            self._reply(503, {"error": "dictionary has no detectable "
-                                       "classes"})
-            return
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-            queries = _parse_queries(
-                self.rfile.read(length),
-                len(self.server.dictionary.features))
-            diagnoses = self.server.matcher.diagnose_batch(queries)
-        except BadRequest as exc:
-            self._reply(400, {"error": str(exc)})
-            return
-        except ValueError as exc:
-            self._reply(400, {"error": str(exc)})
-            return
-        self._reply(200, {"diagnoses": [d.to_dict()
-                                        for d in diagnoses]})
+        self._dispatch("POST")
 
 
-def serve(dictionary: FaultDictionary, host: str = "127.0.0.1",
+def serve(dictionary: Optional[FaultDictionary] = None,
+          host: str = "127.0.0.1",
           port: int = 8095, top_k: int = 5,
           bus: Optional[EventBus] = None,
-          verbose: bool = False) -> DiagnosisServer:
+          verbose: bool = False,
+          registry: Optional[DictionaryRegistry] = None,
+          db: Optional[DiagnosisDB] = None) -> DiagnosisServer:
     """Build a bound (not yet serving) server; callers run
     ``serve_forever()`` themselves — tests drive it from a thread,
-    the CLI blocks on it."""
-    server = DiagnosisServer((host, port), dictionary, top_k=top_k,
-                             bus=bus)
+    the CLI blocks on it.
+
+    Pass ``registry=`` (many named dictionaries, hot-reload, lazy
+    sources).  The old ``serve(dictionary)`` single-dictionary form
+    still works but is deprecated: it wraps the dictionary in a
+    one-entry registry under the name ``"default"`` and warns.
+    """
+    if dictionary is not None:
+        if registry is not None:
+            raise ValueError(
+                "pass either registry= or the deprecated "
+                "dictionary=, not both")
+        warnings.warn(
+            "serve(dictionary) is deprecated; build a "
+            "DictionaryRegistry and pass registry=",
+            DeprecationWarning, stacklevel=2)
+        registry = DictionaryRegistry(top_k=top_k, bus=bus)
+        registry.register(DEFAULT_NAME, dictionary=dictionary)
+    server = DiagnosisServer((host, port), registry=registry,
+                             top_k=top_k, bus=bus, db=db)
     _Handler.verbose = verbose
     return server

@@ -1,0 +1,170 @@
+"""Unit tests for the SQLite diagnosis results backend."""
+
+import sqlite3
+import threading
+
+import numpy as np
+import pytest
+
+from repro.diagnosis import (DiagnosisDB, DiagnosisDBError,
+                             DictionaryMatcher, SCHEMA_VERSION,
+                             compile_dictionary)
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+N = len(signature_feature_names())
+
+
+def _record(count=5, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+def _dictionary():
+    labeled = [
+        ("comparator:cat:0", "comparator", 1.0, _record(
+            count=4, voltage=True,
+            sig=VoltageSignature.OUTPUT_STUCK_AT,
+            mechs=(CurrentMechanism.IVDD,))),
+        ("comparator:cat:1", "comparator", 1.0, _record(
+            count=2, mechs=(CurrentMechanism.IDDQ,),
+            keys=[("iddq", "latching", "below")])),
+    ]
+    return compile_dictionary(labeled)
+
+
+def _diagnoses(dictionary, queries):
+    return DictionaryMatcher(dictionary).diagnose_batch(
+        np.asarray(queries, dtype=float))
+
+
+@pytest.fixture
+def db(tmp_path):
+    handle = DiagnosisDB(tmp_path / "diag.sqlite")
+    yield handle
+    handle.close()
+
+
+class TestRecordAndSummarise:
+    def test_counts_verdicts(self, db):
+        dictionary = _dictionary()
+        queries = [list(e.vector) for e in dictionary.entries]
+        queries.append([0.0] * N)           # pass
+        queries.append([9.0] * N)           # escape
+        diagnoses = _diagnoses(dictionary, queries)
+        batch_id = db.record_batch("adc", 1, diagnoses, wall=0.25)
+        assert batch_id == 1
+        summary = db.summary()
+        assert summary["batches"] == 1
+        assert summary["queries"] == 4
+        assert summary["matched"] == 2
+        assert summary["passed"] == 1
+        assert summary["unmatched"] == 1
+        assert summary["wall_time"] == pytest.approx(0.25)
+        assert summary["queries_per_second"] == pytest.approx(16.0)
+
+    def test_per_dictionary_resolution(self, db):
+        dictionary = _dictionary()
+        matched = _diagnoses(dictionary,
+                             [list(dictionary.entries[0].vector)])
+        escaped = _diagnoses(dictionary, [[9.0] * N])
+        db.record_batch("adc", 1, matched, wall=0.1)
+        db.record_batch("adc", 2, matched + escaped, wall=0.1)
+        db.record_batch("dac", 1, escaped, wall=0.1)
+        rows = db.per_dictionary()
+        assert [(r["dictionary"], r["version"]) for r in rows] == \
+            [("adc", 1), ("adc", 2), ("dac", 1)]
+        assert rows[0]["resolution_rate"] == pytest.approx(1.0)
+        assert rows[1]["resolution_rate"] == pytest.approx(0.5)
+        assert rows[2]["resolution_rate"] == pytest.approx(0.0)
+
+    def test_top_classes(self, db):
+        dictionary = _dictionary()
+        first = list(dictionary.entries[0].vector)
+        second = list(dictionary.entries[1].vector)
+        db.record_batch("adc", 1, _diagnoses(
+            dictionary, [first, first, second]), wall=0.1)
+        db.record_batch("dac", 1, _diagnoses(
+            dictionary, [second]), wall=0.1)
+        top = db.top_classes()
+        assert top[0]["label"] == "comparator:cat:0"
+        assert top[0]["hits"] == 2
+        assert top[0]["macro"] == "comparator"
+        assert top[1]["hits"] == 2  # cat:1 across both dictionaries
+        only_adc = db.top_classes(dictionary="adc")
+        assert {r["label"]: r["hits"] for r in only_adc} == \
+            {"comparator:cat:0": 2, "comparator:cat:1": 1}
+        assert db.top_classes(limit=1) == top[:1]
+
+    def test_recent_batches_and_verdict_counts(self, db):
+        dictionary = _dictionary()
+        for i in range(3):
+            db.record_batch("adc", 1, _diagnoses(
+                dictionary, [[0.0] * N]), wall=0.01, ts=100.0 + i)
+        recent = db.recent_batches(limit=2)
+        assert [r["id"] for r in recent] == [3, 2]
+        assert recent[0]["ts"] == pytest.approx(102.0)
+        assert recent[0]["n_queries"] == 1
+        assert db.verdict_counts() == {"pass": 3}
+
+    def test_empty_db_summary(self, db):
+        assert db.summary()["batches"] == 0
+        assert db.summary()["queries_per_second"] == 0.0
+        assert db.per_dictionary() == []
+        assert db.top_classes() == []
+        assert db.verdict_counts() == {}
+
+
+class TestPersistenceAndSafety:
+    def test_reopen_sees_history(self, tmp_path):
+        path = tmp_path / "diag.sqlite"
+        dictionary = _dictionary()
+        with DiagnosisDB(path) as db:
+            db.record_batch("adc", 1, _diagnoses(
+                dictionary, [[0.0] * N]), wall=0.1)
+        with DiagnosisDB(path) as db:
+            assert db.summary()["batches"] == 1
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = tmp_path / "diag.sqlite"
+        DiagnosisDB(path).close()
+        conn = sqlite3.connect(str(path))
+        with conn:
+            conn.execute("UPDATE meta SET value = ? WHERE key = "
+                         "'schema_version'",
+                         (str(SCHEMA_VERSION + 1),))
+        conn.close()
+        with pytest.raises(DiagnosisDBError):
+            DiagnosisDB(path)
+
+    def test_unusable_path_raises(self, tmp_path):
+        garbage = tmp_path / "garbage.sqlite"
+        garbage.write_text("this is not a sqlite file, not at all")
+        with pytest.raises(DiagnosisDBError):
+            DiagnosisDB(garbage)
+
+    def test_concurrent_writers(self, tmp_path):
+        db = DiagnosisDB(tmp_path / "diag.sqlite")
+        dictionary = _dictionary()
+        diagnoses = _diagnoses(dictionary, [[0.0] * N])
+        n_threads, per_thread = 8, 10
+
+        def worker():
+            for _ in range(per_thread):
+                db.record_batch("adc", 1, diagnoses, wall=0.001)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        try:
+            summary = db.summary()
+            assert summary["batches"] == n_threads * per_thread
+            assert summary["queries"] == n_threads * per_thread
+        finally:
+            db.close()

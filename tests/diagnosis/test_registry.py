@@ -1,0 +1,278 @@
+"""Unit tests for the dictionary registry, snapshots and batching."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.campaign.events import DictionaryBuilt, EventBus
+from repro.campaign.store import ResultsStore
+from repro.diagnosis import (DictionaryMatcher, DictionaryRegistry,
+                             QueryBatcher, RegistryError,
+                             UnknownDictionaryError,
+                             compile_dictionary,
+                             load_dictionary_source)
+from repro.faultsim import (CurrentMechanism, VoltageSignature,
+                            signature_feature_names)
+from repro.macrotest.coverage import DetectionRecord
+
+N = len(signature_feature_names())
+
+
+def _record(count=5, voltage=False, sig=None, mechs=(), keys=()):
+    return DetectionRecord(count=count, voltage_detected=voltage,
+                           voltage_signature=sig,
+                           mechanisms=frozenset(mechs),
+                           violated_keys=frozenset(keys))
+
+
+def _dictionary(n_classes=2):
+    labeled = []
+    mechs = [CurrentMechanism.IVDD, CurrentMechanism.IDDQ,
+             CurrentMechanism.IINPUT]
+    for i in range(n_classes):
+        labeled.append((f"comparator:cat:{i}", "comparator", 1.0,
+                        _record(count=i + 1, voltage=(i % 2 == 0),
+                                sig=VoltageSignature.OUTPUT_STUCK_AT
+                                if i % 2 == 0 else None,
+                                mechs=(mechs[i % 3],))))
+    return compile_dictionary(labeled)
+
+
+class TestRegisterAndGet:
+    def test_first_registration_is_default(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary())
+        registry.register("dac", dictionary=_dictionary(3))
+        assert registry.default_name == "adc"
+        assert registry.get().name == "adc"
+        assert registry.get("dac").dictionary is not \
+            registry.get("adc").dictionary
+        assert registry.names() == ["adc", "dac"]
+        assert len(registry) == 2
+        assert "adc" in registry and "nope" not in registry
+
+    def test_default_flag_overrides_first(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary())
+        registry.register("dac", dictionary=_dictionary(),
+                          default=True)
+        assert registry.default_name == "dac"
+
+    def test_duplicate_name_rejected(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary())
+        with pytest.raises(RegistryError):
+            registry.register("adc", dictionary=_dictionary())
+
+    def test_needs_exactly_one_source(self):
+        registry = DictionaryRegistry()
+        with pytest.raises(RegistryError):
+            registry.register("adc")
+        with pytest.raises(RegistryError):
+            registry.register("adc", dictionary=_dictionary(),
+                              source="x.json")
+        with pytest.raises(RegistryError):
+            registry.register("adc", dictionary=_dictionary(),
+                              lazy=True)
+
+    def test_unknown_name_raises(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary())
+        with pytest.raises(UnknownDictionaryError) as excinfo:
+            registry.get("nope")
+        assert "adc" in str(excinfo.value)
+
+    def test_empty_registry_default_lookup_raises(self):
+        with pytest.raises(UnknownDictionaryError):
+            DictionaryRegistry().get()
+
+    def test_snapshot_is_fully_built(self):
+        registry = DictionaryRegistry(top_k=3)
+        registry.register("adc", dictionary=_dictionary())
+        snapshot = registry.get("adc")
+        assert snapshot.version == 1
+        assert snapshot.matcher is not None
+        assert snapshot.matcher.top_k == 3
+        assert isinstance(snapshot.batcher, QueryBatcher)
+        row = snapshot.describe()
+        assert row["name"] == "adc"
+        assert row["classes"] == 2
+        assert row["empty"] is False
+
+
+class TestSources:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "d.json"
+        _dictionary().save(path)
+        assert len(load_dictionary_source(path)) == 2
+        registry = DictionaryRegistry()
+        registry.register("adc", source=path)
+        assert registry.get("adc").source == str(path)
+
+    def test_load_from_store_uses_newest_blob(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        blob_dir = tmp_path / "dictionaries"
+        blob_dir.mkdir(parents=True, exist_ok=True)
+        old = _dictionary(2).to_dict()
+        new = _dictionary(3).to_dict()
+        (blob_dir / "old.json").write_text(json.dumps(old))
+        import os
+        import time
+        (blob_dir / "new.json").write_text(json.dumps(new))
+        past = time.time() - 60
+        os.utime(blob_dir / "old.json", (past, past))
+        assert len(load_dictionary_source(tmp_path)) == 3
+        payload = store.latest_dictionary()
+        assert len(payload["entries"]) == len(new["entries"]) == 3
+
+    def test_store_without_dictionaries_fails(self, tmp_path):
+        ResultsStore(tmp_path)
+        with pytest.raises(RegistryError):
+            load_dictionary_source(tmp_path)
+
+    def test_lazy_loads_on_first_get(self, tmp_path):
+        path = tmp_path / "d.json"
+        _dictionary().save(path)
+        registry = DictionaryRegistry()
+        registry.register("adc", source=path, lazy=True)
+        rows = registry.describe()
+        assert rows[0]["loaded"] is False
+        snapshot = registry.get("adc")
+        assert snapshot.version == 1
+        assert registry.describe()[0]["loaded"] is True
+        assert registry.get("adc") is snapshot  # cached
+
+    def test_lazy_bad_source_raises_registry_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        registry = DictionaryRegistry()
+        registry.register("adc", source=bad, lazy=True)
+        with pytest.raises(RegistryError):
+            registry.get("adc")
+
+
+class TestReload:
+    def test_swap_bumps_version_old_snapshot_untouched(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary(2))
+        old = registry.get("adc")
+        new = registry.reload("adc", dictionary=_dictionary(3))
+        assert new.version == 2
+        assert registry.get("adc") is new
+        # in-flight readers holding the old snapshot still see a
+        # complete, consistent generation
+        assert old.version == 1
+        assert len(old.dictionary) == 2
+        assert old.matcher is not None
+
+    def test_reload_from_new_source_is_remembered(self, tmp_path):
+        first = tmp_path / "v1.json"
+        second = tmp_path / "v2.json"
+        _dictionary(2).save(first)
+        _dictionary(3).save(second)
+        registry = DictionaryRegistry()
+        registry.register("adc", source=first)
+        registry.reload("adc", source=second)
+        assert len(registry.get("adc").dictionary) == 3
+        # a source-less reload now re-reads the *new* path
+        reloaded = registry.reload("adc")
+        assert reloaded.version == 3
+        assert reloaded.source == str(second)
+
+    def test_failed_reload_keeps_old_snapshot(self, tmp_path):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_dictionary(2))
+        before = registry.get("adc")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(RegistryError):
+            registry.reload("adc", source=str(bad))
+        with pytest.raises(RegistryError):
+            registry.reload("adc", dictionary=compile_dictionary([]))
+        with pytest.raises(RegistryError):
+            registry.reload("adc")  # no source registered
+        assert registry.get("adc") is before
+
+    def test_reload_unknown_name(self):
+        with pytest.raises(UnknownDictionaryError):
+            DictionaryRegistry().reload("nope",
+                                        dictionary=_dictionary())
+
+    def test_reload_emits_dictionary_built(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event)
+                      if isinstance(event, DictionaryBuilt) else None)
+        registry = DictionaryRegistry(bus=bus)
+        registry.register("adc", dictionary=_dictionary(2))
+        registry.reload("adc", dictionary=_dictionary(3))
+        assert len(seen) == 2
+        assert seen[-1].classes == 3
+        assert seen[-1].source == "registry"
+
+
+class TestQueryBatcher:
+    def test_single_caller_gets_plain_results(self):
+        matcher = DictionaryMatcher(_dictionary())
+        batcher = QueryBatcher(matcher)
+        queries = np.zeros((3, N))
+        diagnoses = batcher.diagnose(queries)
+        assert len(diagnoses) == 3
+        assert all(d.verdict == "pass" for d in diagnoses)
+        assert batcher.stats() == {"blocks": 1, "requests": 1,
+                                   "queries": 3, "max_block": 3}
+
+    def test_results_match_direct_matcher(self):
+        dictionary = _dictionary(4)
+        matcher = DictionaryMatcher(dictionary)
+        batcher = QueryBatcher(matcher)
+        queries = np.vstack([e.vector for e in dictionary.entries])
+        direct = matcher.diagnose_batch(queries)
+        batched = batcher.diagnose(queries)
+        assert [d.verdict for d in batched] == \
+            [d.verdict for d in direct]
+        assert [d.top.label for d in batched] == \
+            [d.top.label for d in direct]
+
+    def test_concurrent_callers_coalesce_and_stay_ordered(self):
+        dictionary = _dictionary(4)
+        batcher = QueryBatcher(DictionaryMatcher(dictionary))
+        vectors = [e.vector for e in dictionary.entries]
+        n_threads, per_thread = 8, 16
+        results = [None] * n_threads
+        start = threading.Barrier(n_threads)
+
+        def worker(i):
+            start.wait()
+            mine = np.vstack([vectors[(i + j) % len(vectors)]
+                              for j in range(per_thread)])
+            results[i] = (mine, batcher.diagnose(mine))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        stats = batcher.stats()
+        assert stats["requests"] == n_threads
+        assert stats["queries"] == n_threads * per_thread
+        # every caller got its own rows back, in its own order
+        for mine, diagnoses in results:
+            assert len(diagnoses) == per_thread
+            for row, diagnosis in zip(mine, diagnoses):
+                assert diagnosis.verdict == "matched"
+                expected = dictionary.entries[
+                    int(np.argmin([np.abs(e.vector - row).sum()
+                                   for e in dictionary.entries]))]
+                assert diagnosis.top.label == expected.label
+
+    def test_matcher_error_propagates_to_every_waiter(self):
+        matcher = DictionaryMatcher(_dictionary())
+        batcher = QueryBatcher(matcher)
+        with pytest.raises(ValueError):
+            batcher.diagnose(np.zeros((2, N + 7)))
+        # the batcher still works afterwards
+        assert len(batcher.diagnose(np.zeros((1, N)))) == 1

@@ -1,4 +1,9 @@
-"""End-to-end server tests: build -> serve -> query over a socket."""
+"""End-to-end service tests: registry -> serve -> query over a socket.
+
+Covers the v1 routes, the JSON error envelope, the deprecated
+unversioned aliases (byte-identical bodies, ``Deprecation`` header)
+and the reload endpoint.
+"""
 
 import json
 import threading
@@ -7,7 +12,8 @@ import urllib.request
 
 import pytest
 
-from repro.diagnosis import compile_dictionary
+from repro.diagnosis import (DiagnosisDB, DictionaryRegistry,
+                             compile_dictionary)
 from repro.diagnosis.server import serve
 from repro.faultsim import (CurrentMechanism, VoltageSignature,
                             signature_feature_names)
@@ -37,12 +43,37 @@ def _build_dictionary():
     return compile_dictionary(labeled)
 
 
+def _other_dictionary():
+    """A distinguishable second build (one extra class)."""
+    labeled = [
+        ("comparator:cat:0", "comparator", 1.0, _record(
+            count=4, voltage=True,
+            sig=VoltageSignature.OUTPUT_STUCK_AT)),
+        ("comparator:cat:1", "comparator", 1.0, _record(
+            count=2, mechs=(CurrentMechanism.IDDQ,),
+            keys=[("iddq", "latching", "below")])),
+        ("comparator:cat:2", "comparator", 1.0, _record(
+            count=1, mechs=(CurrentMechanism.IVDD,),
+            keys=[("ivdd", "amplification", "above")])),
+    ]
+    return compile_dictionary(labeled)
+
+
+def _start(registry=None, db=None, dictionary=None):
+    if registry is None and dictionary is None:
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_build_dictionary())
+    srv = serve(registry=registry, dictionary=dictionary, port=0,
+                db=db)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return srv, thread
+
+
 @pytest.fixture
 def server():
     """A live server on an ephemeral port; torn down after the test."""
-    srv = serve(_build_dictionary(), port=0)
-    thread = threading.Thread(target=srv.serve_forever, daemon=True)
-    thread.start()
+    srv, thread = _start()
     yield srv
     srv.shutdown()
     srv.server_close()
@@ -57,9 +88,9 @@ def _url(srv, path):
 def _get(srv, path):
     try:
         with urllib.request.urlopen(_url(srv, path), timeout=5) as r:
-            return r.status, json.loads(r.read())
+            return r.status, json.loads(r.read()), dict(r.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
 
 
 def _post(srv, path, body: bytes):
@@ -68,27 +99,31 @@ def _post(srv, path, body: bytes):
         headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=5) as r:
-            return r.status, json.loads(r.read())
+            return r.status, json.loads(r.read()), dict(r.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
 
 
 class TestEndToEnd:
     def test_health(self, server):
-        status, payload = _get(server, "/health")
+        status, payload, _ = _get(server, "/v1/health")
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["classes"] == 2
         assert payload["features"] == N
         assert payload["macros"] == ["comparator"]
+        assert payload["default"] == "adc"
+        assert payload["dictionaries"][0]["name"] == "adc"
 
     def test_diagnose_query_vectors(self, server):
         queries = [list(e.vector)
                    for e in server.dictionary.entries]
-        status, payload = _post(
-            server, "/diagnose",
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
             json.dumps({"queries": queries}).encode())
         assert status == 200
+        assert payload["dictionary"] == "adc"
+        assert payload["version"] == 1
         diagnoses = payload["diagnoses"]
         assert len(diagnoses) == 2
         for entry, diagnosis in zip(server.dictionary.entries,
@@ -101,76 +136,243 @@ class TestEndToEnd:
         record = _record(count=2,
                          mechs=(CurrentMechanism.IDDQ,),
                          keys=[("iddq", "latching", "below")])
-        status, payload = _post(
-            server, "/diagnose",
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
             json.dumps({"records": [record_to_dict(record)]}).encode())
         assert status == 200
         top = payload["diagnoses"][0]["candidates"][0]
         assert top["label"] == "comparator:cat:1"
 
-    def test_pass_verdict_for_zero_vector(self, server):
-        status, payload = _post(
-            server, "/diagnose",
-            json.dumps({"queries": [[0.0] * N]}).encode())
+    def test_diagnose_named_dictionary(self, server):
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
+            json.dumps({"queries": [[0.0] * N],
+                        "dictionary": "adc"}).encode())
         assert status == 200
         assert payload["diagnoses"][0]["verdict"] == "pass"
 
     def test_metrics_accumulate(self, server):
-        _post(server, "/diagnose",
+        _post(server, "/v1/diagnose",
               json.dumps({"queries": [[0.0] * N]}).encode())
-        status, payload = _get(server, "/metrics")
+        status, payload, _ = _get(server, "/v1/metrics")
         assert status == 200
         assert payload["batches"] == 1
         assert payload["queries"] == 1
         assert payload["passed"] == 1
         assert payload["dictionary_classes"] == 2
         assert payload["wall_time"] >= 0.0
+        assert payload["requests"]["/v1/diagnose"] == 1
+        assert payload["batching"]["adc"]["blocks"] == 1
+
+    def test_list_and_get_dictionaries(self, server):
+        status, payload, _ = _get(server, "/v1/dictionaries")
+        assert status == 200
+        assert [d["name"] for d in payload["dictionaries"]] == ["adc"]
+        status, payload, _ = _get(server, "/v1/dictionaries/adc")
+        assert status == 200
+        assert payload["classes"] == 2
+        assert payload["default"] is True
 
 
-class TestErrorPaths:
+class TestErrorEnvelope:
+    """Every failure is {"error": {"code", "message"}}."""
+
     def test_malformed_json_is_400(self, server):
-        status, payload = _post(server, "/diagnose", b"{not json")
+        status, payload, _ = _post(server, "/v1/diagnose",
+                                   b"{not json")
         assert status == 400
-        assert "JSON" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "JSON" in payload["error"]["message"]
 
     def test_missing_keys_is_400(self, server):
-        status, payload = _post(server, "/diagnose",
-                                json.dumps({"nope": 1}).encode())
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
+            json.dumps({"nope": 1}).encode())
         assert status == 400
-        assert "queries" in payload["error"]
+        assert "queries" in payload["error"]["message"]
 
     def test_wrong_width_is_400(self, server):
-        status, payload = _post(
-            server, "/diagnose",
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
             json.dumps({"queries": [[1.0, 2.0]]}).encode())
         assert status == 400
-        assert "width" in payload["error"]
+        assert "width" in payload["error"]["message"]
 
     def test_bad_record_is_400(self, server):
-        status, payload = _post(
-            server, "/diagnose",
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
             json.dumps({"records": [{"bogus": True}]}).encode())
         assert status == 400
-        assert "records[0]" in payload["error"]
+        assert "records[0]" in payload["error"]["message"]
 
     def test_unknown_paths_are_404(self, server):
-        assert _get(server, "/nope")[0] == 404
-        assert _post(server, "/nope", b"{}")[0] == 404
+        status, payload, _ = _get(server, "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        assert _post(server, "/v1/nope", b"{}")[0] == 404
+
+    def test_wrong_method_is_405_with_allow(self, server):
+        status, payload, headers = _get(server, "/v1/diagnose")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert headers.get("Allow") == "POST"
+        status, payload, _ = _post(server, "/v1/health", b"{}")
+        assert status == 405
+
+    def test_unknown_dictionary_is_404(self, server):
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
+            json.dumps({"queries": [[0.0] * N],
+                        "dictionary": "nope"}).encode())
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_dictionary"
+        assert "adc" in payload["error"]["message"]
 
 
-class TestEmptyDictionary:
-    def test_diagnose_answers_503_health_stays_up(self):
-        srv = serve(compile_dictionary([]), port=0)
+class TestLegacyAliases:
+    """The unversioned routes are deprecated aliases of /v1/."""
+
+    def test_bodies_are_byte_identical(self, server):
+        for legacy, v1 in (("/health", "/v1/health"),
+                           ("/metrics", "/v1/metrics")):
+            _, legacy_payload, _ = _get(server, legacy)
+            _, v1_payload, _ = _get(server, v1)
+            # the metrics payload carries counters that move between
+            # calls; compare the stable shape keys instead for it
+            if legacy == "/health":
+                assert legacy_payload == v1_payload
+            else:
+                assert set(legacy_payload) == set(v1_payload)
+        body = json.dumps(
+            {"queries": [list(e.vector)
+                         for e in server.dictionary.entries]}
+            ).encode()
+        _, legacy_payload, _ = _post(server, "/diagnose", body)
+        _, v1_payload, _ = _post(server, "/v1/diagnose", body)
+        assert json.dumps(legacy_payload, sort_keys=True) == \
+            json.dumps(v1_payload, sort_keys=True)
+
+    def test_legacy_routes_send_deprecation_header(self, server):
+        for path in ("/health", "/metrics"):
+            _, _, headers = _get(server, path)
+            assert headers.get("Deprecation") == "true"
+            assert "successor-version" in headers.get("Link", "")
+        _, _, headers = _post(
+            server, "/diagnose",
+            json.dumps({"queries": [[0.0] * N]}).encode())
+        assert headers.get("Deprecation") == "true"
+
+    def test_v1_routes_are_not_deprecated(self, server):
+        _, _, headers = _get(server, "/v1/health")
+        assert "Deprecation" not in headers
+
+    def test_legacy_errors_share_the_envelope(self, server):
+        status, payload, _ = _post(server, "/diagnose", b"{not json")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestReloadEndpoint:
+    def test_reload_from_path(self, server, tmp_path):
+        path = tmp_path / "next.json"
+        _other_dictionary().save(path)
+        status, payload, _ = _post(
+            server, "/v1/dictionaries/adc/reload",
+            json.dumps({"path": str(path)}).encode())
+        assert status == 200
+        assert payload == {"reloaded": True, "name": "adc",
+                           "version": 2, "classes": 3}
+        status, payload, _ = _get(server, "/v1/dictionaries/adc")
+        assert payload["version"] == 2
+        assert payload["classes"] == 3
+
+    def test_reload_unknown_name_is_404(self, server):
+        status, payload, _ = _post(
+            server, "/v1/dictionaries/nope/reload", b"")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_dictionary"
+
+    def test_failed_reload_is_409_and_keeps_serving(self, server,
+                                                    tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        status, payload, _ = _post(
+            server, "/v1/dictionaries/adc/reload",
+            json.dumps({"path": str(bad)}).encode())
+        assert status == 409
+        assert payload["error"]["code"] == "reload_failed"
+        # the old snapshot still serves
+        status, payload, _ = _post(
+            server, "/v1/diagnose",
+            json.dumps({"queries": [[0.0] * N]}).encode())
+        assert status == 200
+
+
+class TestResultsBackend:
+    def test_served_batches_land_in_sqlite(self, tmp_path):
+        db = DiagnosisDB(tmp_path / "diag.sqlite")
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_build_dictionary())
+        srv, thread = _start(registry=registry, db=db)
+        try:
+            entries = registry.get("adc").dictionary.entries
+            _post(srv, "/v1/diagnose", json.dumps(
+                {"queries": [list(entries[0].vector),
+                             [0.0] * N]}).encode())
+            status, payload, _ = _get(srv, "/v1/metrics")
+            assert payload["db"]["queries"] == 2
+            assert payload["db"]["per_dictionary"][0]["dictionary"] \
+                == "adc"
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+            db.close()
+        reopened = DiagnosisDB(tmp_path / "diag.sqlite")
+        try:
+            summary = reopened.summary()
+            assert summary["batches"] == 1
+            assert summary["queries"] == 2
+            assert summary["matched"] == 1
+            assert summary["passed"] == 1
+        finally:
+            reopened.close()
+
+
+class TestDeprecatedSingleDictionaryForm:
+    def test_serve_dictionary_warns_and_works(self):
+        with pytest.warns(DeprecationWarning):
+            srv = serve(_build_dictionary(), port=0)
         thread = threading.Thread(target=srv.serve_forever,
                                   daemon=True)
         thread.start()
         try:
-            status, payload = _post(
-                srv, "/diagnose",
+            status, payload, _ = _get(srv, "/v1/health")
+            assert status == 200
+            assert payload["default"] == "default"
+            assert payload["classes"] == 2
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5)
+
+
+class TestEmptyDictionary:
+    def test_diagnose_answers_503_health_stays_up(self):
+        with pytest.warns(DeprecationWarning):
+            srv = serve(compile_dictionary([]), port=0)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            status, payload, _ = _post(
+                srv, "/v1/diagnose",
                 json.dumps({"queries": [[0.0] * N]}).encode())
             assert status == 503
-            assert "no detectable classes" in payload["error"]
-            assert _get(srv, "/health")[0] == 200
+            assert payload["error"]["code"] == "empty_dictionary"
+            assert "no detectable classes" in \
+                payload["error"]["message"]
+            assert _get(srv, "/v1/health")[0] == 200
         finally:
             srv.shutdown()
             srv.server_close()
