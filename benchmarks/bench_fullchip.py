@@ -1,0 +1,158 @@
+"""Full-chip benchmark: sparse vs dense linear backend wall time.
+
+The sparse backend (:mod:`repro.circuit.backend`) exists for one
+reason — making a transient of the *entire stitched converter*
+(:mod:`repro.adc.fullchip`: every comparator, the dual ladder, the
+CMOS decoder) tractable — so this benchmark measures exactly that:
+
+* **Crossover leg** — a short start-up march of the chip at
+  :data:`CROSSOVER_BITS` (large enough that the dense ``O(n^3)``
+  factorisation dominates, small enough that the dense arm finishes
+  in seconds) through both backends.  Sparse must win by at least
+  :data:`MIN_SPEEDUP` and the two solution trajectories must agree
+  within Newton tolerance.
+* **Endurance leg** — the same march at the paper's full 8 bits
+  (~8700 MNA unknowns), sparse only; the dense arm would need a
+  ~600 MB matrix and minutes per Newton iterate.
+
+Numbers are persisted machine-readable to
+``benchmarks/output/BENCH_fullchip.json`` (keys follow the
+``*_wall`` / ``*_speedup`` conventions ``scripts/bench_compare.py``
+understands) so the performance trajectory is tracked across PRs.
+
+Without scipy the sparse backend degrades to dense and the comparison
+is meaningless, so the benchmark skips.  Runs standalone
+(``python benchmarks/bench_fullchip.py``) or under pytest with the
+other benchmarks.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.adc.fullchip import build_fullchip, fullchip_transient
+from repro.circuit import backend
+from repro.circuit.backend import HAVE_SPARSE
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: the acceptance floor at crossover size
+MIN_SPEEDUP = 5.0
+
+#: resolution of the dense-vs-sparse comparison leg
+CROSSOVER_BITS = 6
+
+#: resolution of the sparse-only endurance leg (the paper's chip)
+FULLCHIP_BITS = 8
+
+#: the march: a handful of start-up timepoints, enough Newton solves
+#: to amortise per-arm setup, small enough that the dense arm stays
+#: in seconds
+TSTOP = 5e-11
+DT = 1e-11
+
+#: solution agreement: the backends round differently inside the
+#: Newton tolerance ball, so trajectories agree to ~NEWTON_VTOL, not
+#: bitwise
+AGREE_ATOL = 1e-6
+
+
+def _march(chip, solver: str) -> dict:
+    backend.reset_timings()
+    backend.reset_matrix()
+    started = time.perf_counter()
+    result = fullchip_transient(chip, tstop=TSTOP, dt=DT,
+                                solver=solver)
+    wall = time.perf_counter() - started
+    return {
+        "wall": wall,
+        "phases": backend.snapshot_timings(),
+        "matrix": backend.snapshot_matrix(),
+        "xs": np.array(result.xs),
+    }
+
+
+def run_bench() -> dict:
+    chip = build_fullchip(n_bits=CROSSOVER_BITS)
+    sparse = _march(chip, "sparse")
+    dense = _march(chip, "dense")
+    big = build_fullchip(n_bits=FULLCHIP_BITS)
+    endurance = _march(big, "sparse")
+    return {
+        "workload": f"fullchip start-up march (tstop={TSTOP:g}, "
+                    f"dt={DT:g})",
+        "crossover_bits": CROSSOVER_BITS,
+        "crossover_matrix": sparse["matrix"],
+        "crossover_dense_wall": dense["wall"],
+        "crossover_sparse_wall": sparse["wall"],
+        "crossover_speedup": dense["wall"] / sparse["wall"],
+        "crossover_max_divergence": float(
+            np.max(np.abs(sparse["xs"] - dense["xs"]))),
+        "crossover_phases": {
+            "dense": dense["phases"],
+            "sparse": sparse["phases"],
+        },
+        "fullchip_bits": FULLCHIP_BITS,
+        "fullchip_matrix": endurance["matrix"],
+        "fullchip_sparse_wall": endurance["wall"],
+        "fullchip_phases": endurance["phases"],
+        "min_speedup": MIN_SPEEDUP,
+        "agree_atol": AGREE_ATOL,
+    }
+
+
+def emit_fullchip_json(payload: dict) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_fullchip.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def _check(payload: dict) -> list:
+    failures = []
+    if payload["crossover_speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"sparse speedup {payload['crossover_speedup']:.2f}x "
+            f"below the {MIN_SPEEDUP:.1f}x floor at crossover size")
+    if payload["crossover_max_divergence"] > AGREE_ATOL:
+        failures.append(
+            f"backends diverge by "
+            f"{payload['crossover_max_divergence']:.2e} "
+            f"(> {AGREE_ATOL:g}) on the crossover march")
+    if payload["fullchip_matrix"].get("backend") != "sparse":
+        failures.append("endurance leg did not run sparse")
+    return failures
+
+
+@pytest.mark.skipif(not HAVE_SPARSE, reason="scipy not installed")
+def test_fullchip_speedup():
+    """Sparse backend: >= MIN_SPEEDUP over dense at crossover size,
+    Newton-tolerance agreement, and a tractable full 8-bit march."""
+    payload = run_bench()
+    emit_fullchip_json(payload)
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args()
+    if not HAVE_SPARSE:
+        print("SKIP: scipy not installed, sparse backend unavailable",
+              file=sys.stderr)
+        return 0
+    payload = run_bench()
+    emit_fullchip_json(payload)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro.campaign import CampaignOptions, CampaignRunner
+from repro.circuit import backend
 from repro.core import PathConfig, save_path_result
 from repro.testgen import FULL_DFT, NO_DFT
 
@@ -97,6 +98,10 @@ def pytest_sessionfinish(session, exitstatus):
         "repro_full": bool(os.environ.get("REPRO_FULL")),
         "jobs": _bench_options().resolved_jobs(),
         "campaigns": _CAMPAIGN_STATS,
+        # which linear backend the session ran and the largest system
+        # it factored (backend, n, nnz, lane count) — distinguishes
+        # macro-scale from full-chip entries in the perf trajectory
+        "solver_matrix": backend.snapshot_matrix(),
     }
     (OUTPUT_DIR / "BENCH_campaign.json").write_text(
         json.dumps(payload, indent=1, sort_keys=True) + "\n")

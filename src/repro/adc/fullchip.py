@@ -1,0 +1,291 @@
+"""Full-chip flash-ADC netlist: comparator bank + ladder + decoder.
+
+The macro methodology simulates each cell against Thevenin models of
+its neighbours; this module builds the *actual* chip — every comparator
+instance, the full dual ladder and a transistor-level CMOS decoder —
+stitched flat through :mod:`repro.circuit.hierarchy`.  No behavioral
+substitution: the thermometer outputs really drive the gate transistors
+and the reference inputs really hang off the ladder taps.
+
+The resulting MNA system (about 7500 unknowns at 8 bits) is far past
+the dense solver's comfort zone; it exists to exercise (and benchmark)
+the sparse linear backend, and to sanity-check the macro decomposition
+against one monolithic transient.
+
+``n_bits`` scales the whole chip (comparator count, ladder taps,
+decoder width), which gives the benchmark a crossover-size dense arm
+without paying for a dense 8-bit factorisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuit.dc import ConvergenceError
+from ..circuit.batch import transient_batch
+from ..circuit.elements import Resistor, VoltageSource
+from ..circuit.hierarchy import Subcircuit, instantiate
+from ..circuit.mosfet import Mosfet
+from ..circuit.netlist import Circuit
+from ..circuit.transient import TransientResult
+from ..digital.netlist import LogicNetlist
+from .comparator import (BIAS_DRIVER_R, CLOCK_DRIVER_R, CLOCK_PERIOD,
+                         PORTS as COMPARATOR_PORTS, VBN1_NOMINAL,
+                         VBN2_NOMINAL, add_comparator_devices,
+                         comparator_clocks, regeneration_windows)
+from .decoder import boundary_decode, build_decoder
+from .ladder import (SEGMENTS_PER_COARSE, VREF_HIGH, VREF_LOW,
+                     build_ladder)
+from .process import Process, typical
+
+#: decoder gate sizing (minimum-ish logic devices)
+_GATE_WP = 4e-6
+_GATE_WN = 2e-6
+_GATE_L = 1e-6
+
+
+def comparator_subcircuit(process: Optional[Process] = None,
+                          dft: bool = False) -> Subcircuit:
+    """The comparator macro as a reusable hierarchy template.
+
+    ``vbn2`` is dropped from the electrical ports: it traverses the
+    cell as a layout track (which is why it matters for defect
+    statistics) but no fault-free device connects to it.
+    """
+    template = Circuit("comparator_dft" if dft else "comparator")
+    add_comparator_devices(template, process, dft=dft)
+    ports = [p for p in COMPARATOR_PORTS if p != "vbn2"]
+    return Subcircuit(name=template.title, ports=ports,
+                      circuit=template)
+
+
+class _GateBuilder:
+    """Expands a :class:`LogicNetlist` into CMOS transistors.
+
+    Each gate type maps to its static CMOS realisation (INV 2T, AND2 =
+    NAND2+INV, OR2 = NOR2+INV, BUF = 2 INV); series stacks get a
+    private internal node per gate instance.
+    """
+
+    def __init__(self, circuit: Circuit, process: Process,
+                 prefix: str = "dec.") -> None:
+        self.circuit = circuit
+        self.process = process
+        self.prefix = prefix
+
+    def _pmos(self, name: str, d: str, g: str, s: str) -> None:
+        self.circuit.add(Mosfet(self.prefix + name, d, g, s, "vdd",
+                                self.process.pmos, w=_GATE_WP,
+                                l=_GATE_L, polarity="p"))
+
+    def _nmos(self, name: str, d: str, g: str, s: str) -> None:
+        self.circuit.add(Mosfet(self.prefix + name, d, g, s, "gnd",
+                                self.process.nmos, w=_GATE_WN,
+                                l=_GATE_L, polarity="n"))
+
+    def inv(self, name: str, a: str, y: str) -> None:
+        self._pmos(f"{name}.P", y, a, "vdd")
+        self._nmos(f"{name}.N", y, a, "gnd")
+
+    def nand2(self, name: str, a: str, b: str, y: str) -> None:
+        mid = self.prefix + f"{name}.m"
+        self._pmos(f"{name}.PA", y, a, "vdd")
+        self._pmos(f"{name}.PB", y, b, "vdd")
+        self._nmos(f"{name}.NA", y, a, mid)
+        self._nmos(f"{name}.NB", mid, b, "gnd")
+
+    def nor2(self, name: str, a: str, b: str, y: str) -> None:
+        mid = self.prefix + f"{name}.m"
+        self._pmos(f"{name}.PA", mid, a, "vdd")
+        self._pmos(f"{name}.PB", y, b, mid)
+        self._nmos(f"{name}.NA", y, a, "gnd")
+        self._nmos(f"{name}.NB", y, b, "gnd")
+
+    def add_gate(self, name: str, gtype: str, inputs, output) -> None:
+        if gtype == "INV":
+            self.inv(name, inputs[0], output)
+        elif gtype == "BUF":
+            mid = self.prefix + f"{name}.b"
+            self.inv(f"{name}.i0", inputs[0], mid)
+            self.inv(f"{name}.i1", mid, output)
+        elif gtype == "AND2":
+            mid = self.prefix + f"{name}.y"
+            self.nand2(f"{name}.nd", inputs[0], inputs[1], mid)
+            self.inv(f"{name}.iv", mid, output)
+        elif gtype == "OR2":
+            mid = self.prefix + f"{name}.y"
+            self.nor2(f"{name}.nr", inputs[0], inputs[1], mid)
+            self.inv(f"{name}.iv", mid, output)
+        else:
+            raise ValueError(
+                f"no CMOS mapping for decoder gate type {gtype!r}")
+
+
+def add_decoder_devices(circuit: Circuit, netlist: LogicNetlist,
+                        process: Process, node_map) -> None:
+    """Expand a gate-level decoder into CMOS devices on *circuit*.
+
+    ``node_map(net)`` translates logic-net names to circuit nodes
+    (thermometer inputs onto comparator outputs, internals onto a
+    ``dec.`` namespace).
+    """
+    builder = _GateBuilder(circuit, process)
+    for gate_name in netlist.levelize():
+        gate = netlist.gates[gate_name]
+        builder.add_gate(gate_name, gate.gtype.name,
+                         [node_map(n) for n in gate.inputs],
+                         node_map(gate.output))
+
+
+@dataclass(frozen=True)
+class FullChip:
+    """The stitched chip plus the handles measurements need.
+
+    Attributes:
+        circuit: the flat netlist.
+        n_bits: ADC resolution this instance was built at.
+        n_taps: comparator / ladder-tap count (``2**n_bits``).
+        comparator_outputs: thermometer nodes ``ffout1..ffout<n>``.
+        decoder_outputs: binary output nodes (empty when the decoder
+            was left off).
+        supply_source: VDD source name (IVdd measurements).
+        reference_sources: the ladder terminal sources.
+    """
+
+    circuit: Circuit
+    n_bits: int
+    n_taps: int
+    comparator_outputs: Tuple[str, ...]
+    decoder_outputs: Tuple[str, ...]
+    supply_source: str = "VDD"
+    reference_sources: Tuple[str, str] = ("VREFP", "VREFN")
+
+
+def build_fullchip(process: Optional[Process] = None, n_bits: int = 8,
+                   vin: float = 2.5, period: float = CLOCK_PERIOD,
+                   dft: bool = False,
+                   with_decoder: bool = True) -> FullChip:
+    """Build the full flash converter at a given resolution.
+
+    ``2**n_bits`` comparator instances sample one shared input against
+    the dual ladder's taps (the top instance is the overrange
+    comparator); their flipflop outputs feed the CMOS decoder's
+    thermometer inputs.  Clock and bias distribution keep the macro
+    testbenches' Thevenin driver models, now shared by the whole bank.
+
+    ``n_bits`` must keep the ladder's coarse pitch
+    (:data:`~repro.adc.ladder.SEGMENTS_PER_COARSE`) an exact divisor,
+    i.e. ``n_bits >= 4``.
+    """
+    p = process or typical()
+    n_taps = 2 ** n_bits
+    if n_taps % SEGMENTS_PER_COARSE != 0:
+        raise ValueError("n_bits too small for the dual-ladder pitch")
+    chip = Circuit(f"fullchip{n_bits}")
+
+    # reference ladder with its terminal sources (ladder_testbench's
+    # naming, so reference-current measurements carry over)
+    for element in build_ladder(p, n_taps).elements:
+        chip.add(element)
+    chip.add(VoltageSource("VREFP", f"tap{n_taps}_t", "gnd", VREF_HIGH))
+    chip.add(Resistor("RTP", f"tap{n_taps}_t", f"tap{n_taps}", 1.0))
+    chip.add(VoltageSource("VREFN", "tap0_t", "gnd", VREF_LOW))
+    chip.add(Resistor("RTN", "tap0_t", "tap0", 1.0))
+
+    # shared supplies, input and distribution lines
+    chip.add(VoltageSource("VDD", "vdd", "gnd", p.vdd))
+    chip.add(VoltageSource("VIN", "vin", "gnd", vin))
+    phi1, phi2, phi3 = comparator_clocks(period, p.vdd)
+    for name, wave in (("phi1", phi1), ("phi2", phi2), ("phi3", phi3)):
+        chip.add(VoltageSource(f"V{name.upper()}", f"{name}_src", "gnd",
+                               wave))
+        chip.add(Resistor(f"R{name.upper()}", f"{name}_src", name,
+                          CLOCK_DRIVER_R))
+    scale = p.vdd / 5.0
+    chip.add(VoltageSource("VBN1S", "vbn1_src", "gnd",
+                           VBN1_NOMINAL * scale))
+    chip.add(Resistor("RBN1", "vbn1_src", "vbn1", BIAS_DRIVER_R))
+    chip.add(VoltageSource("VBN2S", "vbn2_src", "gnd",
+                           VBN2_NOMINAL * scale))
+    chip.add(Resistor("RBN2", "vbn2_src", "vbn2", BIAS_DRIVER_R))
+
+    # the comparator bank: instance k compares vin against tap k
+    template = comparator_subcircuit(p, dft=dft)
+    outputs = []
+    for k in range(1, n_taps + 1):
+        instantiate(chip, template, f"X{k}",
+                    ["vin", f"tap{k}", "phi1", "phi2", "phi3",
+                     "vbn1", "vdd", "gnd", f"ffout{k}"])
+        outputs.append(f"ffout{k}")
+
+    decoder_outputs: Tuple[str, ...] = ()
+    if with_decoder:
+        logic = build_decoder(n_bits)
+
+        def node_map(net: str) -> str:
+            if net.startswith("t") and net[1:].isdigit():
+                return f"ffout{int(net[1:])}"
+            if net.startswith("b") and net[1:].isdigit():
+                return net
+            return f"dec.{net}"
+
+        add_decoder_devices(chip, logic, p, node_map)
+        decoder_outputs = tuple(logic.primary_outputs)
+
+    return FullChip(circuit=chip, n_bits=n_bits, n_taps=n_taps,
+                    comparator_outputs=tuple(outputs),
+                    decoder_outputs=decoder_outputs)
+
+
+def fullchip_transient(chip: FullChip, tstop: float, dt: float = 1e-9,
+                       cycles_fine: int = 0, solver: str = "sparse",
+                       startup: bool = True) -> TransientResult:
+    """One transient of the whole chip through the batched kernel.
+
+    ``solver`` picks the linear backend; ``sparse`` is the only
+    tractable choice at 8 bits (the dense system is a ~600 MB matrix
+    with an O(n^3) factorisation per Newton iterate) but the dense
+    backends remain available for crossover-size validation.
+
+    ``startup`` (the default) marches from an all-zero state — the
+    supplies snap on at t=0 and the chip powers up over the march.
+    The alternative, a t=0 operating point, is ill-posed for this
+    circuit: every comparator latch is bistable at DC and the decoder
+    gates sit on metastable mid-rails, so the Newton continuation
+    ladder burns thousands of iterations resolving voltages the first
+    clock edge immediately overwrites.  Start-up is both the physical
+    power-on story and the well-conditioned one (the timestep's
+    companion conductances anchor every Newton solve).
+
+    Raises:
+        ConvergenceError: if the chip transient fails to converge.
+    """
+    windows = (regeneration_windows(CLOCK_PERIOD, cycles_fine)
+               if cycles_fine > 0 else None)
+    x0s = None
+    if startup:
+        x0s = np.zeros((1, chip.circuit.compile().size))
+    out = transient_batch([chip.circuit], tstop=tstop, dt=dt,
+                          x0s=x0s, fine_windows=windows,
+                          solver=solver)[0]
+    if isinstance(out, ConvergenceError):
+        raise out
+    return out
+
+
+def decode_at(chip: FullChip, result: TransientResult,
+              time: float) -> int:
+    """Read the converter's output code from the thermometer nodes.
+
+    Uses the behavioral boundary decode (the exact twin of the gate
+    netlist) over the comparator outputs sampled at *time* — a check
+    that is meaningful even when the chip was built without the CMOS
+    decoder plane.
+    """
+    vdd = 5.0
+    levels = [result.at_time(node, time) > vdd / 2.0
+              for node in chip.comparator_outputs]
+    return boundary_decode(levels, chip.n_bits)

@@ -260,6 +260,9 @@ class CampaignMetrics:
         weight_done: magnitude already completed (any source).
         baseline_hits: macro baselines served from the store.
         baseline_misses: macro baselines recomputed this run.
+        solver_phases: summed linear-solver phase seconds (assemble /
+            factor / solve / convergence_check) across computed
+            classes.
     """
 
     total_tasks: int = 0
@@ -278,6 +281,7 @@ class CampaignMetrics:
     weight_done: int = 0
     baseline_hits: int = 0
     baseline_misses: int = 0
+    solver_phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -312,6 +316,7 @@ class CampaignMetrics:
             "weight_fraction": self.weight_fraction,
             "baseline_hits": self.baseline_hits,
             "baseline_misses": self.baseline_misses,
+            "solver_phases": dict(self.solver_phases),
         }
 
 
@@ -338,6 +343,7 @@ class MetricsCollector:
         self._weight_computed = 0
         self._baseline_hits = 0
         self._baseline_misses = 0
+        self._solver_phases: Dict[str, float] = {}
 
     def __call__(self, event: CampaignEvent) -> None:
         with self._lock:
@@ -372,6 +378,13 @@ class MetricsCollector:
             self._baseline_hits += max(0, hits)
             self._baseline_misses += max(0, misses)
 
+    def add_solver_timings(self, phases: Dict[str, float]) -> None:
+        """Fold one task's per-phase solver seconds into the totals."""
+        with self._lock:
+            for phase, seconds in (phases or {}).items():
+                self._solver_phases[phase] = \
+                    self._solver_phases.get(phase, 0.0) + float(seconds)
+
     def snapshot(self, jobs: int = 1) -> CampaignMetrics:
         """Current metrics with wall time and ETA filled in.
 
@@ -405,7 +418,8 @@ class MetricsCollector:
                 total_weight=self._total_weight,
                 weight_done=self._weight_done,
                 baseline_hits=self._baseline_hits,
-                baseline_misses=self._baseline_misses)
+                baseline_misses=self._baseline_misses,
+                solver_phases=dict(self._solver_phases))
 
 
 @dataclass(frozen=True)

@@ -85,7 +85,8 @@ def comparator_spec(config: PathConfig) -> EngineSpec:
                       dt=config.dt, big_probe=config.big_probe,
                       small_probe=config.small_probe,
                       corners=config.corners,
-                      warm_start=config.warm_start, drop=config.drop)
+                      warm_start=config.warm_start, drop=config.drop,
+                      solver=config.solver)
 
 
 def ivdd_halfwidth(config: PathConfig) -> float:
@@ -121,14 +122,14 @@ def plan_macro(name: str, config: PathConfig) -> MacroPlan:
                           ivdd_window_halfwidth=ivdd_halfwidth(config),
                           corners=config.corners,
                           warm_start=config.warm_start,
-                          drop=config.drop)
+                          drop=config.drop, solver=config.solver)
     elif name == "clockgen":
         cell = clockgen_layout()
         instances = 1
         spec = EngineSpec(macro="clockgen", process=config.process,
                           dt=config.dt,
                           warm_start=config.warm_start,
-                          drop=config.drop)
+                          drop=config.drop, solver=config.solver)
     elif name == "biasgen":
         cell = biasgen_layout(dft=config.dft.bias_line_reorder)
         instances = 1
@@ -136,7 +137,7 @@ def plan_macro(name: str, config: PathConfig) -> MacroPlan:
                           dt=config.dt,
                           ivdd_window_halfwidth=ivdd_halfwidth(config),
                           warm_start=config.warm_start,
-                          drop=config.drop)
+                          drop=config.drop, solver=config.solver)
     else:
         raise ValueError(f"unknown analog macro {name!r}")
     classes = tuple(discover_classes(cell, config))

@@ -429,6 +429,8 @@ class CampaignRunner:
         pending.attempts += 1
         if outcome.convergence_failure:
             self.collector.add_convergence_failures(1)
+        if outcome.solver_phases:
+            self.collector.add_solver_timings(outcome.solver_phases)
         if outcome.ok:
             complete(pending.task, outcome.record, "computed",
                      wall=outcome.wall,

@@ -36,8 +36,9 @@ from .tasks import EngineSpec
 
 #: bump when a change to the simulation code invalidates old results
 #: ("2": batched transient kernel + EngineSpec dt/probe/corner knobs;
-#: "3": incremental engine — baselines, detected_by on records)
-STORE_VERSION = "3"
+#: "3": incremental engine — baselines, detected_by on records;
+#: "4": solver-backend knob on EngineSpec)
+STORE_VERSION = "4"
 
 
 def canonical(obj) -> object:
@@ -75,9 +76,15 @@ def _normalized_spec(spec: EngineSpec) -> EngineSpec:
     ``warm_start`` and ``drop`` change how fast a record is computed,
     never what it says, so campaigns run with different settings share
     cache entries (and an incremental run can adopt an exhaustive
-    run's results verbatim).
+    run's results verbatim).  The dense solver family
+    (``auto``/``dense``/``dense-batched``) is bit-identical by
+    construction and collapses to one key; ``sparse`` factorises
+    through different arithmetic (agreeing only within Newton
+    tolerance), so it keys separately.
     """
-    return dataclasses.replace(spec, warm_start=True, drop=True)
+    solver = spec.solver if spec.solver == "sparse" else "dense"
+    return dataclasses.replace(spec, warm_start=True, drop=True,
+                               solver=solver)
 
 
 def content_key(fault_class: FaultClass, spec: EngineSpec,

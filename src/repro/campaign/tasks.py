@@ -62,6 +62,10 @@ class EngineSpec:
         drop: stop a class's stimulus schedule once its signature has
             left the good space (results identical; performance knob
             only — excluded from content keys).
+        solver: linear backend (:data:`repro.circuit.backend.SOLVERS`).
+            ``auto``/``dense``/``dense-batched`` are bit-identical and
+            share content keys; ``sparse`` trades bit identity for
+            wall-clock and keys separately.
     """
 
     macro: str
@@ -75,6 +79,7 @@ class EngineSpec:
     corners: Optional[Tuple[Process, ...]] = None
     warm_start: bool = True
     drop: bool = True
+    solver: str = "auto"
 
 
 def build_engine(spec: EngineSpec):
@@ -89,23 +94,25 @@ def build_engine(spec: EngineSpec):
             dynamic_test=spec.dynamic_test, dt=spec.dt,
             big_probe=spec.big_probe, small_probe=spec.small_probe,
             corners=spec.corners, warm_start=spec.warm_start,
-            drop=spec.drop))
+            drop=spec.drop, solver=spec.solver))
     if spec.macro == "ladder":
         return LadderFaultEngine(
             process=spec.process,
             corners=list(spec.corners) if spec.corners else
             _default_corners(),
             ivdd_window_halfwidth=spec.ivdd_window_halfwidth,
-            warm_start=spec.warm_start, drop=spec.drop)
+            warm_start=spec.warm_start, drop=spec.drop,
+            solver=spec.solver)
     if spec.macro == "clockgen":
         return ClockgenFaultEngine(process=spec.process, dt=spec.dt,
                                    warm_start=spec.warm_start,
-                                   drop=spec.drop)
+                                   drop=spec.drop, solver=spec.solver)
     if spec.macro == "biasgen":
         return BiasgenFaultEngine(
             process=spec.process, dt=spec.dt,
             ivdd_window_halfwidth=spec.ivdd_window_halfwidth,
-            warm_start=spec.warm_start, drop=spec.drop)
+            warm_start=spec.warm_start, drop=spec.drop,
+            solver=spec.solver)
     raise ValueError(f"no engine for macro {spec.macro!r}")
 
 
@@ -221,6 +228,9 @@ class TaskOutcome:
         error: captured traceback text of a failed attempt.
         error_type: exception class name of a failed attempt.
         wall: attempt wall time in seconds.
+        solver_phases: per-phase solver wall time (assemble / factor /
+            solve / convergence_check seconds) accumulated during this
+            attempt, for the campaign metrics.
     """
 
     task_id: str
@@ -228,6 +238,7 @@ class TaskOutcome:
     error: Optional[str] = None
     error_type: Optional[str] = None
     wall: float = 0.0
+    solver_phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -240,7 +251,9 @@ class TaskOutcome:
 
 def run_task(task: ClassTask) -> TaskOutcome:
     """Execute one task, trapping any failure into the outcome."""
+    from ..circuit import backend as _backend
     started = time.perf_counter()
+    _backend.reset_timings()
     try:
         record = simulate_class(task.fault_class, task.spec)
     except BaseException as exc:  # noqa: BLE001 — the contract
@@ -249,9 +262,11 @@ def run_task(task: ClassTask) -> TaskOutcome:
         return TaskOutcome(task_id=task.task_id,
                            error=traceback.format_exc(),
                            error_type=type(exc).__name__,
-                           wall=time.perf_counter() - started)
+                           wall=time.perf_counter() - started,
+                           solver_phases=_backend.snapshot_timings())
     return TaskOutcome(task_id=task.task_id, record=record,
-                       wall=time.perf_counter() - started)
+                       wall=time.perf_counter() - started,
+                       solver_phases=_backend.snapshot_timings())
 
 
 def degraded_record(fault_class: FaultClass) -> DetectionRecord:

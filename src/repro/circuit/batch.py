@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .backend import (SparsePattern, phase_timer, record_matrix,
+                      resolve_solver)
 from .dc import (ConvergenceError, DCResult, GMIN_LADDER, MAX_NEWTON_STEP,
                  NEWTON_VTOL, SOURCE_GMIN_LADDER, SOURCE_STEPS,
                  operating_point)
@@ -52,8 +54,9 @@ from .netlist import Circuit
 from .transient import TIMEPOINT_STAGES, TransientResult, _step_at
 
 __all__ = ["BatchUnsupported", "BatchedMNASystem", "LaneResult",
-           "clear_kernel_cache", "operating_point_lanes",
-           "structure_signature", "transient_batch", "transient_lanes"]
+           "SparseBatchedMNASystem", "clear_kernel_cache",
+           "operating_point_lanes", "structure_signature",
+           "transient_batch", "transient_lanes"]
 
 #: what one lane of a batched run yields: waveforms, or the error that
 #: lane would have raised
@@ -92,12 +95,31 @@ class BatchedMNASystem:
     the program against.
     """
 
+    #: which linear backend this system solves through
+    kind = "dense"
+
     def __init__(self, compiled, nlanes: int) -> None:
         self.compiled = compiled
         self.n = compiled.size
         self.nlanes = nlanes
         self.G = np.zeros((nlanes, self.n, self.n))
         self.b = np.zeros((nlanes, self.n))
+        self._eye: Optional[np.ndarray] = None
+        record_matrix("dense-batched", self.n, self.n * self.n, nlanes)
+
+    def solve_stack(self, program, active: np.ndarray):
+        """Solve the active lanes; ``(X_new, ok)`` like ``_solve_stack``.
+
+        ``program`` is unused on the dense path (assembly already wrote
+        ``self.G``/``self.b``); the sparse system needs it for the
+        pattern-order data.  The identity used to neutralise inactive
+        lanes is cached — it is only materialised once some lane has
+        converged or died, so a single-lane solve never allocates it.
+        """
+        if self._eye is None and not active.all():
+            self._eye = np.eye(self.n)
+        with phase_timer("solve"):
+            return _solve_stack(self.G, self.b, active, self._eye)
 
     # -- index helpers -----------------------------------------------------
 
@@ -173,6 +195,56 @@ class BatchedMNASystem:
                     self.G[:, row, cn] -= contrib
                 else:
                     self.G[mask, row, cn] -= _masked(contrib, mask)
+
+
+class SparseBatchedMNASystem(BatchedMNASystem):
+    """Sparse counterpart of :class:`BatchedMNASystem`.
+
+    Holds no dense ``(B, n, n)`` stack — at full-chip size one lane's
+    dense matrix alone is hundreds of megabytes.  The compiled program
+    scatters each lane's contributions onto its fixed
+    :class:`~repro.circuit.backend.SparsePattern` (stored on the
+    program, since transient and DC programs of one batch have
+    different patterns) and :meth:`solve_stack` factors each active
+    lane with SuperLU, falling back to a dense per-lane solve exactly
+    like ``_solve_stack`` when a factorisation is singular or
+    ill-conditioned.
+
+    The index helpers (``indices``/``branch``/``voltage``) are
+    inherited; the dense stamping helpers are unreachable (nothing
+    assembles a sparse system element by element).
+    """
+
+    kind = "sparse"
+
+    def __init__(self, compiled, nlanes: int) -> None:
+        self.compiled = compiled
+        self.n = compiled.size
+        self.nlanes = nlanes
+        self.b = np.zeros((nlanes, self.n))
+        self._eye = None
+
+    def solve_stack(self, program, active: np.ndarray):
+        pattern = program.pattern
+        data = program.data
+        X_new = np.zeros_like(self.b)
+        ok = np.zeros(self.nlanes, dtype=bool)
+        for k in np.flatnonzero(active):
+            x, good = pattern.solve_lane(data[k], self.b[k])
+            if not good:
+                # per-lane dense fallback: same contract as
+                # _solve_stack's LinAlgError retry loop
+                try:
+                    with phase_timer("solve"):
+                        x = np.linalg.solve(pattern.densify(data[k]),
+                                            self.b[k])
+                except np.linalg.LinAlgError:
+                    continue
+                if not np.all(np.isfinite(x)):
+                    continue
+            X_new[k] = x
+            ok[k] = True
+        return X_new, ok
 
 
 # -- reference slot assembly -------------------------------------------------
@@ -590,6 +662,9 @@ class _MosfetGroup:
         self.FS = np.empty((ndev, _MOS_DYN_G), dtype=np.intp)
         self.FNb = np.empty((ndev, 2), dtype=np.intp)
         self.FSb = np.empty((ndev, 2), dtype=np.intp)
+        #: pattern-position twins of FN/FS (sparse programs only)
+        self.PN: Optional[np.ndarray] = None
+        self.PS: Optional[np.ndarray] = None
         self._ndev = ndev
         self._pairs = pairs
         gs = np.asarray(self.g_starts, dtype=np.intp)
@@ -621,6 +696,16 @@ class _MosfetGroup:
                              ns if ns >= 0 else dump_b]
             self.FSb[dev] = [ns if ns >= 0 else dump_b,
                              nd if nd >= 0 else dump_b]
+
+    def bind_pattern(self, pattern) -> None:
+        """Precompute the pattern positions of both swap orientations.
+
+        Lets :meth:`refresh` keep the program's position table current
+        with the same ``np.where`` that rewrites the slot indices — no
+        per-iterate ``searchsorted`` on the sparse path.
+        """
+        self.PN = pattern.positions(self.FN)
+        self.PS = pattern.positions(self.FS)
 
     def refresh(self, prog, X, ctx) -> None:
         vd = self.g_d(X)
@@ -658,8 +743,12 @@ class _MosfetGroup:
         V[..., 11] = gmb
         B = len(V)
         prog.VG[:, self.cols_dyn] = V.reshape(B, -1)
+        choose = swapped[..., None]
         prog.IG[:, self.cols_dyn] = np.where(
-            swapped[..., None], self.FS, self.FN).reshape(B, -1)
+            choose, self.FS, self.FN).reshape(B, -1)
+        if prog.POS is not None:
+            prog.POS[:, self.cols_dyn] = np.where(
+                choose, self.PS, self.PN).reshape(B, -1)
         prog.VG[:, self.cols_gmin] = ctx.gmin
 
         Vb = self._vb
@@ -790,37 +879,95 @@ class _BatchProgram:
             if value is not None:
                 self.VB[:, col] = value
 
+        self.pattern: Optional[SparsePattern] = None
+        self.data: Optional[np.ndarray] = None
+        #: pattern positions of every IG slot, maintained incrementally
+        #: by the MOSFET refresh (sparse programs only)
+        self.POS: Optional[np.ndarray] = None
+        if system.kind == "sparse":
+            self._bind_sparse(builder)
+
+    def _bind_sparse(self, builder: _ProgramBuilder) -> None:
+        """Compute the fixed sparsity pattern of this program.
+
+        The slot union is static: the builder's template covers every
+        static and ground-redirected index, and each MOSFET's two
+        swap orientations (``FN``/``FS``) are folded in up front, so
+        the pattern — and the fill-reducing ordering derived from it —
+        is computed exactly once per program and reused by every lane,
+        Newton iteration and timepoint.
+        """
+        candidates = [np.asarray(builder.g_idx, dtype=np.intp)]
+        for grp in self.groups:
+            if isinstance(grp, _MosfetGroup):
+                candidates.append(grp.FN.ravel())
+                candidates.append(grp.FS.ravel())
+        pattern = SparsePattern(self.n, np.concatenate(candidates)
+                                if candidates else np.empty(0, np.intp),
+                                builder.dump_g)
+        # defensive: every slot the program can emit must hit the
+        # pattern (or the dump sentinel), else scatter would silently
+        # mis-bin contributions
+        pos0 = pattern.positions(self.IG[0])
+        if not np.array_equal(pattern.lookup[pos0], self.IG[0]):
+            raise BatchUnsupported("sparse pattern missed program slots")
+        self.pattern = pattern
+        self.data = np.zeros((self.nlanes, pattern.nnz))
+        self.POS = pattern.positions(self.IG)
+        for grp in self.groups:
+            if isinstance(grp, _MosfetGroup):
+                grp.bind_pattern(pattern)
+        record_matrix("sparse", self.n, pattern.nnz, self.nlanes)
+
     def assemble(self, system: BatchedMNASystem, X: np.ndarray,
                  ctx: StampContext) -> None:
-        for grp in self.groups:
-            grp.refresh(self, X, ctx)
-        NN = self.NN
-        n = self.n
-        IG, VG, IB, VB = self.IG, self.VG, self.IB, self.VB
-        Gflat = system.G.reshape(self.nlanes, NN)
-        b = system.b
-        for k in range(self.nlanes):
-            # bincount accumulates duplicate indices sequentially in
-            # list order, which is exactly the scalar stamping order —
-            # every entry is the same floating-point sum the scalar
-            # assembly produces
-            Gflat[k] = np.bincount(IG[k], weights=VG[k],
-                                   minlength=NN + 1)[:NN]
-            b[k] = np.bincount(IB[k], weights=VB[k], minlength=n + 1)[:n]
+        with phase_timer("assemble"):
+            for grp in self.groups:
+                grp.refresh(self, X, ctx)
+            NN = self.NN
+            n = self.n
+            IG, VG, IB, VB = self.IG, self.VG, self.IB, self.VB
+            b = system.b
+            if system.kind == "sparse":
+                pattern = self.pattern
+                data = self.data
+                # POS tracks IG incrementally (the MOSFET refresh is
+                # the only writer of dynamic slots), so assembly needs
+                # no per-iterate searchsorted
+                pos = self.POS
+                for k in range(self.nlanes):
+                    # same ordered bincount accumulation as the dense
+                    # path, scattered onto the pattern instead of the
+                    # full matrix — shared-slot sums stay bit-identical
+                    data[k] = pattern.scatter(pos[k], VG[k])
+                    b[k] = np.bincount(IB[k], weights=VB[k],
+                                       minlength=n + 1)[:n]
+                return
+            Gflat = system.G.reshape(self.nlanes, NN)
+            for k in range(self.nlanes):
+                # bincount accumulates duplicate indices sequentially
+                # in list order, which is exactly the scalar stamping
+                # order — every entry is the same floating-point sum
+                # the scalar assembly produces
+                Gflat[k] = np.bincount(IG[k], weights=VG[k],
+                                       minlength=NN + 1)[:NN]
+                b[k] = np.bincount(IB[k], weights=VB[k],
+                                   minlength=n + 1)[:n]
 
 
 # -- batched Newton ---------------------------------------------------------
 
 
 def _solve_stack(G: np.ndarray, b: np.ndarray, active: np.ndarray,
-                 eye: np.ndarray):
+                 eye: Optional[np.ndarray]):
     """Solve the active lanes of a stacked system.
 
     Inactive lanes are neutralised to the identity so a converged (or
     dead) lane's garbage iterate can never poison the batched
     factorisation.  If the batch solve still fails (one active lane
     exactly singular), each active lane is solved separately — the same
-    LAPACK routine, so per-lane results are unchanged.
+    LAPACK routine, so per-lane results are unchanged.  ``eye`` may be
+    None only when every lane is active (nothing to neutralise).
     """
     for k in np.flatnonzero(~active):
         G[k] = eye
@@ -854,26 +1001,26 @@ def _newton_batch(program: _BatchProgram, system: BatchedMNASystem,
     X = X0.copy()
     active = active0.copy()
     converged = np.zeros(len(X), dtype=bool)
-    eye = np.eye(system.n)
     for _ in range(max_iter):
         if not active.any():
             break
         program.assemble(system, X, ctx)
-        X_new, ok = _solve_stack(system.G, system.b, active, eye)
+        X_new, ok = system.solve_stack(program, active)
         ok &= np.isfinite(X_new).all(axis=1)
         active &= ok  # lanes with a dead solve fail out immediately
         if not active.any():
             break
-        delta = X_new - X
-        biggest = np.max(np.abs(delta), axis=1)
-        scale = np.full(len(X), damping)
-        over = active & (biggest > MAX_NEWTON_STEP)
-        scale[over] = np.minimum(scale[over],
-                                 MAX_NEWTON_STEP / biggest[over])
-        X[active] = X[active] + scale[active, None] * delta[active]
-        done = active & (biggest * scale < vtol)
-        converged |= done
-        active &= ~done
+        with phase_timer("convergence_check"):
+            delta = X_new - X
+            biggest = np.max(np.abs(delta), axis=1)
+            scale = np.full(len(X), damping)
+            over = active & (biggest > MAX_NEWTON_STEP)
+            scale[over] = np.minimum(scale[over],
+                                     MAX_NEWTON_STEP / biggest[over])
+            X[active] = X[active] + scale[active, None] * delta[active]
+            done = active & (biggest * scale < vtol)
+            converged |= done
+            active &= ~done
     failed = active0 & ~converged
     return X, converged, failed
 
@@ -991,10 +1138,29 @@ def _operating_point_batch(program: _BatchProgram, system: BatchedMNASystem,
     return X_out, errors
 
 
+def _batch_group(batch: bool, solver: str, nmembers: int) -> bool:
+    """Shared group-size policy of the ``*_lanes`` entry points.
+
+    ``dense`` forces the scalar path (the seed behavior, lane by
+    lane); ``dense-batched`` (what ``auto`` resolves to) batches
+    groups of two or more, as the kernel always has; ``sparse``
+    batches every group *including singletons* — a single full-chip
+    lane is exactly where the sparse backend pays.
+    """
+    if not batch:
+        return False
+    if solver == "dense":
+        return False
+    if solver == "sparse":
+        return nmembers >= 1
+    return nmembers > 1
+
+
 def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
                           time: float = 0.0, max_iter: int = 120,
                           batch: bool = True,
-                          x0_guesses: Optional[Sequence] = None
+                          x0_guesses: Optional[Sequence] = None,
+                          solver: str = "auto"
                           ) -> List[Union[DCResult, ConvergenceError]]:
     """DC operating points for arbitrary lanes, batched where possible.
 
@@ -1011,10 +1177,16 @@ def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
         x0_guesses: optional per-lane warm Newton guesses (None entries
             start cold); threaded to both the batched ladder and any
             scalar fallback so the two paths see the same inputs.
+        solver: linear backend (see
+            :data:`~repro.circuit.backend.SOLVERS`).  ``dense`` forces
+            the scalar path, ``sparse`` batches every group including
+            singletons; failed sparse lanes still retry scalar dense.
     """
     circuits = list(circuits)
     if x0_guesses is None:
         x0_guesses = [None] * len(circuits)
+    resolved = resolve_solver(solver)
+    kind = "sparse" if resolved == "sparse" else "dense"
 
     def scalar(k: int):
         try:
@@ -1033,10 +1205,10 @@ def operating_point_lanes(circuits: Sequence[Circuit], gmin: float = 1e-12,
     for members in groups.values():
         lane_circuits = [circuits[k] for k in members]
         solved = False
-        if batch and len(members) > 1:
+        if _batch_group(batch, resolved, len(members)):
             try:
                 compiled = lane_circuits[0].compile()
-                system = _get_system(compiled, len(members))
+                system = _get_system(compiled, len(members), kind)
                 program = _BatchProgram(lane_circuits, system, tran=False)
                 X0 = _stack_guesses([x0_guesses[k] for k in members],
                                     compiled.size)
@@ -1077,19 +1249,22 @@ def _stack_guesses(guesses: Sequence, nsize: int) -> Optional[np.ndarray]:
 
 # -- system buffer cache ----------------------------------------------------
 
-#: per-process reuse of the (B, n, n) stacks across calls — fault
+#: per-process reuse of the system buffers across calls — fault
 #: campaigns solve thousands of same-shaped batches, and reallocating
 #: the stack each time is measurable.  Cleared alongside the campaign
 #: engine cache (see ``repro.campaign.tasks.clear_engine_cache``).
-_SYSTEM_CACHE: Dict[Tuple[int, int], BatchedMNASystem] = {}
+_SYSTEM_CACHE: Dict[Tuple[int, int, str], BatchedMNASystem] = {}
 _SYSTEM_CACHE_MAX = 16
 
 
-def _get_system(compiled, nlanes: int) -> BatchedMNASystem:
-    key = (compiled.size, nlanes)
+def _get_system(compiled, nlanes: int,
+                kind: str = "dense") -> BatchedMNASystem:
+    key = (compiled.size, nlanes, kind)
     system = _SYSTEM_CACHE.get(key)
     if system is None:
-        system = BatchedMNASystem(compiled, nlanes)
+        cls = SparseBatchedMNASystem if kind == "sparse" \
+            else BatchedMNASystem
+        system = cls(compiled, nlanes)
         if len(_SYSTEM_CACHE) >= _SYSTEM_CACHE_MAX:
             _SYSTEM_CACHE.pop(next(iter(_SYSTEM_CACHE)))
         _SYSTEM_CACHE[key] = system
@@ -1112,7 +1287,8 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
                     record_every: int = 1,
                     fine_windows: Optional[Sequence] = None,
                     op_x0: Optional[np.ndarray] = None,
-                    guide: Optional[tuple] = None
+                    guide: Optional[tuple] = None,
+                    solver: str = "auto"
                     ) -> List[LaneResult]:
     """Run B structurally identical circuits through one lockstep
     transient.
@@ -1133,6 +1309,9 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
             is seeded with the previous solution plus the per-lane
             guide increment (a zero guide row leaves a lane on the
             classic ``x_prev`` seed).
+        solver: linear backend; ``sparse`` skips the dense stack
+            entirely (full-chip netlists) with per-lane dense
+            fallback on singular factorisations.
 
     Raises:
         ValueError: if the circuits' structures differ (they cannot
@@ -1158,7 +1337,8 @@ def transient_batch(circuits: Sequence[Circuit], tstop: float, dt: float,
 
     nlanes = len(circuits)
     compiled = circuits[0].compile()
-    system = _get_system(compiled, nlanes)
+    kind = "sparse" if resolve_solver(solver) == "sparse" else "dense"
+    system = _get_system(compiled, nlanes, kind)
     program = _BatchProgram(circuits, system, tran=True)
 
     lane_error: List[Optional[ConvergenceError]] = [None] * nlanes
@@ -1259,7 +1439,8 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
                     method: str = "be", record_every: int = 1,
                     fine_windows: Optional[Sequence] = None,
                     batch: bool = True,
-                    guides: Optional[Sequence] = None) -> List[LaneResult]:
+                    guides: Optional[Sequence] = None,
+                    solver: str = "auto") -> List[LaneResult]:
     """Transients for arbitrary lanes, batched where structure allows.
 
     Lanes are grouped by :func:`structure_signature`; each group of two
@@ -1278,12 +1459,17 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
             unknown ordering; ``xs[0]`` doubles as the t=0 operating
             point's warm guess.  Threaded identically to the batched
             kernel and the scalar fallback.
+        solver: linear backend.  ``dense`` forces the scalar path,
+            ``sparse`` batches every group including singletons;
+            lanes the sparse kernel gives up on still retry through
+            the scalar dense path.
     """
     from .transient import transient
 
     circuits = list(circuits)
     if guides is None:
         guides = [None] * len(circuits)
+    resolved = resolve_solver(solver)
 
     def scalar(k: int) -> LaneResult:
         g = guides[k]
@@ -1302,7 +1488,7 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
         groups.setdefault(structure_signature(c), []).append(k)
 
     for members in groups.values():
-        if batch and len(members) > 1:
+        if _batch_group(batch, resolved, len(members)):
             try:
                 op_x0, guide = _stack_guides(
                     [guides[k] for k in members],
@@ -1310,7 +1496,8 @@ def transient_lanes(circuits: Sequence[Circuit], tstop: float, dt: float,
                 outcomes = transient_batch(
                     [circuits[k] for k in members], tstop=tstop, dt=dt,
                     method=method, record_every=record_every,
-                    fine_windows=fine_windows, op_x0=op_x0, guide=guide)
+                    fine_windows=fine_windows, op_x0=op_x0, guide=guide,
+                    solver=resolved)
             except BatchUnsupported:
                 outcomes = [None] * len(members)
             for k, outcome in zip(members, outcomes):

@@ -13,6 +13,20 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .backend import phase_timer, scalar_backend
+
+
+class SingularSystemError(np.linalg.LinAlgError):
+    """Singular MNA system, annotated with the suspect unknowns.
+
+    Subclasses ``numpy.linalg.LinAlgError`` so every Newton
+    continuation ladder that catches the bare LAPACK error (the scalar
+    ``dc._newton``, the batched kernel's per-lane retry) keeps working
+    unchanged — but a failure that escapes all the way into a campaign
+    failure record now names the offending nodes/branches instead of
+    just saying "Singular matrix".
+    """
+
 
 @dataclass
 class StampContext:
@@ -48,7 +62,8 @@ class MNASystem:
     across Newton iterations via :meth:`reset`.
     """
 
-    def __init__(self, compiled, dtype=float) -> None:
+    def __init__(self, compiled, dtype=float,
+                 solver: str = "auto") -> None:
         self.compiled = compiled
         self.n = compiled.size
         self.dtype = dtype
@@ -58,6 +73,7 @@ class MNASystem:
             self.C = np.zeros((self.n, self.n), dtype=float)
         else:
             self.C = None
+        self.backend = scalar_backend(solver)
 
     # -- index helpers -----------------------------------------------------
 
@@ -140,9 +156,10 @@ class MNASystem:
     def assemble(self, circuit, x: Optional[np.ndarray],
                  ctx: StampContext) -> None:
         """Stamp every element for the given iterate and context."""
-        self.reset()
-        for el in circuit.elements:
-            el.stamp(self, x, ctx)
+        with phase_timer("assemble"):
+            self.reset()
+            for el in circuit.elements:
+                el.stamp(self, x, ctx)
 
     def assemble_ac(self, circuit, x_op: np.ndarray, omega: float,
                     ctx: StampContext) -> None:
@@ -153,6 +170,42 @@ class MNASystem:
         self.G += 1j * omega * self.C
 
     def solve(self) -> np.ndarray:
-        """Solve ``G x = b``; raises ``numpy.linalg.LinAlgError`` if
-        singular."""
-        return np.linalg.solve(self.G, self.b)
+        """Solve ``G x = b`` through the configured backend.
+
+        Raises :class:`SingularSystemError` (a
+        ``numpy.linalg.LinAlgError``) on singular systems, annotated
+        with the node/branch names whose matrix rows vanished.
+        """
+        try:
+            return self.backend.solve(self.G, self.b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularSystemError(
+                self._describe_singular()) from exc
+
+    def _describe_singular(self) -> str:
+        """Human-readable diagnosis of a singular assembled matrix.
+
+        Names the unknowns whose rows are (numerically) all zero —
+        typically a floating node behind an open-circuit fault or a
+        degenerate source loop — so campaign failure records point at
+        circuit topology instead of at LAPACK.
+        """
+        names: Dict[int, str] = {
+            idx: f"node {name!r}"
+            for name, idx in self.compiled.node_index.items()}
+        names.update(
+            (idx, f"branch {name!r}")
+            for name, idx in self.compiled.branch_index.items())
+        msg = f"singular MNA system ({self.n} unknowns)"
+        if not self.n:
+            return msg
+        row_peak = np.abs(self.G).max(axis=1)
+        floor = float(row_peak.max()) * 1e-15
+        suspects = [names.get(int(i), f"unknown {int(i)}")
+                    for i in np.flatnonzero(row_peak <= floor)]
+        if suspects:
+            shown = ", ".join(suspects[:8])
+            if len(suspects) > 8:
+                shown += f", ... ({len(suspects)} total)"
+            msg += f"; vanished rows: {shown}"
+        return msg

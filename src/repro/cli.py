@@ -9,6 +9,10 @@ Commands:
 * ``layout <macro>`` — ASCII rendering of a macro's layout.
 * ``cost`` — defect-oriented vs specification-oriented tester time.
 * ``quality`` — shipped-DPPM estimate for the simple test.
+* ``fullchip`` — transient of the entire stitched converter (every
+  comparator, the dual ladder, the CMOS decoder) through the sparse
+  linear backend; prints matrix shape, per-phase timings and the
+  decoded output code (see ``docs/ENGINE.md``).
 * ``diagnose build|query|report|serve`` — fault-dictionary diagnosis
   (see ``docs/DIAGNOSIS.md``).
 * ``worker <url>`` — join a distributed campaign as a worker (see
@@ -172,6 +176,53 @@ def _run_campaign(args) -> int:
     return 0
 
 
+def _run_fullchip(args) -> int:
+    """The ``fullchip`` command: one start-up transient of the chip.
+
+    The march exercises the sparse backend at full-chip size (or any
+    ``--solver`` for crossover comparisons) and reports the matrix
+    shape, the per-phase solver timings and the converter's decoded
+    output code at the end of the march.
+    """
+    import time
+
+    from .adc.fullchip import (build_fullchip, decode_at,
+                               fullchip_transient)
+    from .circuit import backend
+
+    # at chip size "auto" means sparse (the macro engines' dense
+    # default is an O(n^3)-per-iterate wall here); an explicit choice
+    # is honoured for crossover comparisons
+    solver = "sparse" if args.solver == "auto" else args.solver
+    chip = build_fullchip(n_bits=args.n_bits, vin=args.vin)
+    compiled = chip.circuit.compile()
+    print(f"fullchip: {chip.n_taps} comparators, "
+          f"{len(chip.circuit.elements)} elements, "
+          f"{compiled.size} unknowns", file=sys.stderr)
+    backend.reset_timings()
+    backend.reset_matrix()
+    started = time.perf_counter()
+    result = fullchip_transient(chip, tstop=args.tstop, dt=args.step,
+                                solver=solver)
+    wall = time.perf_counter() - started
+    info = backend.snapshot_matrix()
+    lines = [
+        f"fullchip {args.n_bits}-bit transient "
+        f"(vin={args.vin:g} V, tstop={args.tstop:g} s, "
+        f"dt={args.step:g} s)",
+        f"  backend:  {info.get('backend', solver)} "
+        f"n={info.get('n', compiled.size)} "
+        f"nnz={info.get('nnz', '?')}",
+        f"  wall:     {wall:.2f}s",
+    ]
+    for phase, seconds in sorted(backend.snapshot_timings().items()):
+        lines.append(f"  {phase + ':':<19}{seconds:.2f}s")
+    lines.append(f"  code at {result.times[-1]:g}s: "
+                 f"{decode_at(chip, result, result.times[-1])}")
+    print("\n".join(lines))
+    return 0
+
+
 def _worker_main(argv: list) -> int:
     """The ``worker`` command: join a distributed campaign."""
     parser = argparse.ArgumentParser(
@@ -218,7 +269,8 @@ def main(argv: Optional[list] = None) -> int:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("command",
-                        choices=_PATH_COMMANDS + ("layout", "cost"))
+                        choices=_PATH_COMMANDS
+                        + ("layout", "cost", "fullchip"))
     parser.add_argument("macro", nargs="?", default="comparator",
                         choices=_MACRO_LAYOUTS,
                         help="macro for the 'layout' command")
@@ -259,6 +311,20 @@ def main(argv: Optional[list] = None) -> int:
                         help="campaign command: save results JSON here")
     parser.add_argument("--metrics-out", default=None,
                         help="campaign command: save metrics JSON here")
+    parser.add_argument("--n-bits", type=int, default=8,
+                        help="fullchip command: converter resolution "
+                             "(2**n comparators; default %(default)s)")
+    parser.add_argument("--vin", type=float, default=2.5,
+                        help="fullchip command: input voltage "
+                             "(default %(default)g V)")
+    parser.add_argument("--tstop", type=float, default=5e-10,
+                        help="fullchip command: march length in "
+                             "seconds (default %(default)g)")
+    parser.add_argument("--step", type=float, default=1e-11,
+                        help="fullchip command: timestep in seconds "
+                             "(the start-up march wants a finer step "
+                             "than the macro engines' --dt; default "
+                             "%(default)g)")
     add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -282,6 +348,9 @@ def main(argv: Optional[list] = None) -> int:
                  "clockgen": clockgen_layout}
         print(render_cell(cells[args.macro]()))
         return 0
+
+    if args.command == "fullchip":
+        return _run_fullchip(args)
 
     if args.command == "campaign":
         return _run_campaign(args)

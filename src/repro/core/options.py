@@ -18,6 +18,7 @@ from dataclasses import fields
 from typing import Dict
 
 from ..adc.process import CORNER_SETS
+from ..circuit.backend import SOLVERS
 from ..faultsim.engine import EngineConfig
 
 _ENGINE_DEFAULTS = {f.name: f.default for f in fields(EngineConfig)}
@@ -58,6 +59,13 @@ def add_engine_arguments(parser: argparse.ArgumentParser):
                             "— run every stimulus for every class "
                             "(results identical; exhaustive-mode "
                             "reference)")
+    group.add_argument("--solver", choices=SOLVERS,
+                       default=_ENGINE_DEFAULTS["solver"],
+                       help="linear-solve backend: auto/dense/"
+                            "dense-batched are bit-identical; sparse "
+                            "factorises through SuperLU (needs scipy) "
+                            "and scales to full-chip systems "
+                            "(default: %(default)s)")
     return group
 
 
@@ -81,4 +89,5 @@ def engine_knobs(args: argparse.Namespace) -> Dict:
         "warm_start": getattr(args, "warm_start",
                               _ENGINE_DEFAULTS["warm_start"]),
         "drop": getattr(args, "drop", _ENGINE_DEFAULTS["drop"]),
+        "solver": getattr(args, "solver", _ENGINE_DEFAULTS["solver"]),
     }

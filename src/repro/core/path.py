@@ -65,6 +65,10 @@ class PathConfig:
         drop: stop a class's stimulus schedule once its signature has
             left the good space (results identical; ``--no-drop``
             disables).
+        solver: linear backend for the analog solves
+            (:data:`repro.circuit.backend.SOLVERS`; ``--solver``).
+            The dense family is bit-identical; ``sparse`` agrees
+            within Newton tolerance and scales to full-chip systems.
     """
 
     n_defects: int = 25000
@@ -83,6 +87,7 @@ class PathConfig:
     corners: Optional[Tuple[Process, ...]] = None
     warm_start: bool = True
     drop: bool = True
+    solver: str = "auto"
 
     def to_dict(self) -> Dict:
         """Stable JSON-able form of the run's knobs.
@@ -106,6 +111,7 @@ class PathConfig:
             "small_probe": self.small_probe,
             "warm_start": self.warm_start,
             "drop": self.drop,
+            "solver": self.solver,
         }
 
     @classmethod
@@ -132,7 +138,8 @@ class PathConfig:
             big_probe=float(data.get("big_probe", 0.1)),
             small_probe=float(data.get("small_probe", 8e-3)),
             warm_start=bool(data.get("warm_start", True)),
-            drop=bool(data.get("drop", True)))
+            drop=bool(data.get("drop", True)),
+            solver=str(data.get("solver", "auto")))
 
 
 @dataclass(frozen=True)
@@ -303,7 +310,8 @@ class DefectOrientedTestPath:
         engine = LadderFaultEngine(
             process=self.config.process,
             ivdd_window_halfwidth=self._ivdd_halfwidth(),
-            warm_start=self.config.warm_start, drop=self.config.drop)
+            warm_start=self.config.warm_start, drop=self.config.drop,
+            solver=self.config.solver)
         return self._analyze_with_engine(
             "ladder", ladder_slice_layout(),
             256 // SEGMENTS_PER_COARSE, engine)
@@ -311,7 +319,8 @@ class DefectOrientedTestPath:
     def analyze_clockgen(self) -> MacroAnalysis:
         engine = ClockgenFaultEngine(process=self.config.process,
                                      warm_start=self.config.warm_start,
-                                     drop=self.config.drop)
+                                     drop=self.config.drop,
+                                     solver=self.config.solver)
         return self._analyze_with_engine("clockgen", clockgen_layout(),
                                          1, engine)
 
@@ -319,7 +328,8 @@ class DefectOrientedTestPath:
         engine = BiasgenFaultEngine(
             process=self.config.process,
             ivdd_window_halfwidth=self._ivdd_halfwidth(),
-            warm_start=self.config.warm_start, drop=self.config.drop)
+            warm_start=self.config.warm_start, drop=self.config.drop,
+            solver=self.config.solver)
         cell = biasgen_layout(dft=self.config.dft.bias_line_reorder)
         return self._analyze_with_engine("biasgen", cell, 1, engine)
 

@@ -74,6 +74,11 @@ class EngineConfig:
             identical either way — the skipped probes are exactly the
             ones :func:`~repro.faultsim.signatures.classify_voltage`
             never consults; False forces the exhaustive schedule.
+        solver: linear backend for the kernel (see
+            :data:`~repro.circuit.backend.SOLVERS`).  ``auto`` keeps
+            the bit-identical dense path; ``sparse`` trades bit
+            identity for full-chip-scale wall-clock (results agree
+            within Newton tolerance, with per-lane dense fallback).
     """
 
     dt: float = 1e-9
@@ -88,6 +93,7 @@ class EngineConfig:
     batch: bool = True
     warm_start: bool = True
     drop: bool = True
+    solver: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -194,7 +200,8 @@ class ComparatorFaultEngine:
                                    dt=self.config.dt,
                                    fine_windows=windows,
                                    batch=self.config.batch,
-                                   guides=guides)
+                                   guides=guides,
+                                   solver=self.config.solver)
         self.runs_simulated += len(runs)
         return tbs, outcomes
 

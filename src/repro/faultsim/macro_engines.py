@@ -130,6 +130,9 @@ class LadderFaultEngine:
     batch: bool = True
     warm_start: bool = True
     drop: bool = True
+    #: linear backend for the batched solves (see
+    #: :func:`repro.circuit.backend.resolve_solver`)
+    solver: str = "auto"
 
     def __post_init__(self) -> None:
         self._window: Optional[Tuple[float, float]] = None
@@ -164,7 +167,8 @@ class LadderFaultEngine:
             guesses = [align_x0(c.compile(), self._guide)
                        for c in circuits]
         return operating_point_lanes(circuits, batch=self.batch,
-                                     x0_guesses=guesses)
+                                     x0_guesses=guesses,
+                                     solver=self.solver)
 
     def _solve_many(self, circuits, warm: bool = False):
         """Solve several circuits, batching identical structures.
@@ -346,6 +350,9 @@ class ClockgenFaultEngine:
     batch: bool = True
     warm_start: bool = True
     drop: bool = True
+    #: linear backend for the batched solves (see
+    #: :func:`repro.circuit.backend.resolve_solver`)
+    solver: str = "auto"
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
@@ -370,7 +377,7 @@ class ClockgenFaultEngine:
                       for c in circuits]
         return transient_lanes(circuits, tstop=self.period,
                                dt=self.dt, batch=self.batch,
-                               guides=guides)
+                               guides=guides, solver=self.solver)
 
     def _run_many(self, circuits, warm: bool = False):
         """Transients for several circuits, batching identical
@@ -518,6 +525,9 @@ class BiasgenFaultEngine:
     warm_start: bool = True
     #: skip the comparator-bank re-run for dead-band bias shifts
     drop: bool = True
+    #: linear backend for the batched solves (see
+    #: :func:`repro.circuit.backend.resolve_solver`)
+    solver: str = "auto"
 
     def __post_init__(self) -> None:
         self._good: Optional[dict] = None
@@ -531,7 +541,8 @@ class BiasgenFaultEngine:
         if warm and self.warm_start and self._bias_guide is not None:
             guesses = [align_x0(circuit.compile(), self._bias_guide)]
         out = operating_point_lanes([circuit], batch=self.batch,
-                                    x0_guesses=guesses)[0]
+                                    x0_guesses=guesses,
+                                    solver=self.solver)[0]
         if isinstance(out, ConvergenceError):
             raise out
         return {"vbn1": out.voltage("vbn1"), "vbn2": out.voltage("vbn2"),
@@ -561,7 +572,7 @@ class BiasgenFaultEngine:
         return transient_lanes(
             circuits, tstop=self.period, dt=self.dt,
             fine_windows=regeneration_windows(self.period, 1),
-            batch=self.batch, guides=guides)
+            batch=self.batch, guides=guides, solver=self.solver)
 
     def _extract_comparator(self, tr: TransientResult) -> dict:
         times = phase_measure_times(self.period, 0)
@@ -596,7 +607,8 @@ class BiasgenFaultEngine:
                                     self._bias_guide)]
             out = operating_point_lanes([bias_circuit],
                                         batch=self.batch,
-                                        x0_guesses=guesses)[0]
+                                        x0_guesses=guesses,
+                                        solver=self.solver)[0]
             if isinstance(out, ConvergenceError):
                 raise out
             self._bias_guide = Trajectory.from_result(out)
