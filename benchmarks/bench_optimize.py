@@ -1,0 +1,257 @@
+"""Evolutionary test-plan optimization benchmark: three gates.
+
+One comparator workload (6000 defects, 12 classes per kind, noncat
+classes included so the DfT advisor actually has escapes to diagnose)
+drives a small seeded NSGA-II search, and three promises are gated:
+
+1. **Dominance** — the evolved Pareto front dominates the fixed-menu
+   advisor plan (recommended DfT genes + greedy schedule) on >= 2 of
+   {test time, DfT area, expected resolution} at equal-or-better
+   coverage: some front member is at-least-as-good on two of those
+   axes and strictly better on at least one, never giving up
+   coverage.  (Whether some member weakly dominates the advisor plan
+   outright is reported too, but not gated: the 4-objective Pareto
+   front routinely outgrows the population, so crowding truncation
+   may drop any individual seed point.)
+2. **Store economy** — warm generations are scored from the
+   content-addressed store and the per-campaign memo:
+   ``warm_reuse_speedup`` (generation-0 fresh simulations over the
+   warm-generation mean) must be >= :data:`MIN_WARM_REUSE`.
+3. **Determinism** — a second run with the same ``--seed`` (fresh
+   journal namespace, so nothing is adopted) produces a byte-identical
+   canonical front JSON.
+
+Numbers land machine-readable in
+``benchmarks/output/BENCH_optimize.json`` (``*_wall`` and
+``*_speedup`` keys are tracked by ``scripts/bench_compare.py``).
+Runs standalone (``python benchmarks/bench_optimize.py``) or under
+pytest with the other benchmarks.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.campaign import CampaignOptions, EventBus
+from repro.core import PathConfig
+from repro.optimize import (EvolutionarySearch, MutationRates,
+                            OptimizeMetricsCollector, SearchConfig,
+                            fixed_menu_genomes)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: generation-0-to-warm-mean fresh-simulation ratio floor
+MIN_WARM_REUSE = 5.0
+
+#: axes beaten (>= as-good with >= 1 strict) floor for the dominance
+#: gate
+MIN_DOMINATED_AXES = 2
+
+#: the workload: enough defects/classes that the advisor diagnoses
+#: real escapes and recommends DfT genes
+N_DEFECTS = 6000
+MAX_CLASSES = 12
+
+#: search shape: small but multi-generation; campaign-gene mutation
+#: is kept low so warm generations stay in the schedule-only regime
+#: the store serves for free
+POPULATION = 10
+GENERATIONS = 4
+SEARCH_SEED = 7
+CAMPAIGN_MUTATION = 0.03
+
+_EPS = 1e-12
+
+
+def _config(n_defects=N_DEFECTS, max_classes=MAX_CLASSES) -> PathConfig:
+    return PathConfig(n_defects=n_defects, max_classes=max_classes,
+                      include_noncat=True, seed=1995)
+
+
+def _search(config, cache_dir, run_id, seed, population, generations):
+    bus = EventBus()
+    collector = OptimizeMetricsCollector()
+    bus.subscribe(collector)
+    search = EvolutionarySearch(
+        config,
+        SearchConfig(population=population, generations=generations,
+                     seed=seed,
+                     rates=MutationRates(campaign=CAMPAIGN_MUTATION),
+                     run_id=run_id),
+        CampaignOptions(jobs=1, cache_dir=cache_dir), bus=bus)
+    started = time.perf_counter()
+    result = search.run()
+    wall = time.perf_counter() - started
+    return search, result, collector.snapshot(), wall
+
+
+def _advisor_plan(search):
+    """The fixed-menu advisor plan (recommended DfT genes + greedy
+    schedule) scored through the *same* evaluator as the front."""
+    menu = fixed_menu_genomes(search.evaluator.base_result(),
+                              search.macros)
+    with_dft = [g for g in menu
+                if g.flipflop_redesign or g.bias_line_reorder or
+                g.dynamic_test]
+    # the advisor's shippable plan is the greedy-schedule variant;
+    # without escapes the menu has no DfT entry and the greedy plan
+    # itself is the baseline
+    baseline = min(with_dft, key=lambda g: len(g.schedule)) \
+        if with_dft else menu[0]
+    return search.evaluator.evaluate(baseline)
+
+
+def _dominance(front, baseline) -> dict:
+    """How thoroughly the front beats the baseline plan."""
+    b = baseline.objectives
+    best_axes, best_strict = 0, 0
+    weakly_dominated = False
+    for e in front:
+        o = e.objectives
+        if o.coverage < b.coverage - _EPS:
+            continue
+        as_good = [o.test_time <= b.test_time + _EPS,
+                   o.dft_area <= b.dft_area + _EPS,
+                   o.resolution >= b.resolution - _EPS]
+        strict = [o.test_time < b.test_time - _EPS,
+                  o.dft_area < b.dft_area - _EPS,
+                  o.resolution > b.resolution + _EPS]
+        # a member counts only when strictly better somewhere; it
+        # then "dominates" every axis it is at least as good on
+        n_as_good, n_strict = sum(as_good), sum(strict)
+        if n_strict > 0 and (n_as_good, n_strict) > \
+                (best_axes, best_strict):
+            best_axes, best_strict = n_as_good, n_strict
+        if all(as_good):
+            weakly_dominated = True
+    return {"dominated_axes": best_axes,
+            "strict_axes": best_strict,
+            "weakly_dominated": weakly_dominated}
+
+
+def run_bench(n_defects=N_DEFECTS, max_classes=MAX_CLASSES,
+              population=POPULATION, generations=GENERATIONS,
+              seed=SEARCH_SEED) -> dict:
+    config = _config(n_defects, max_classes)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        search, result, metrics, search_wall = _search(
+            config, cache_dir, "bench-a", seed, population,
+            generations)
+        baseline = _advisor_plan(search)
+        dominance = _dominance(result.front, baseline)
+
+        # determinism: same seed, fresh journal namespace (nothing
+        # adopted), warm store (campaigns all hits)
+        started = time.perf_counter()
+        _, again, _, _ = _search(config, cache_dir, "bench-b", seed,
+                                 population, generations)
+        rerun_wall = time.perf_counter() - started
+
+    warm = metrics.generations[1:]
+    mean_warm_fresh = sum(g.fresh_simulations for g in warm) / \
+        max(1, len(warm))
+
+    return {
+        "workload": f"comparator campaign ({n_defects} defects, "
+                    f"{max_classes} classes/kind, noncat); population "
+                    f"{population}, {generations} generations, "
+                    f"seed {seed}",
+        "front_size": len(result.front),
+        "generations": len(metrics.generations),
+        "candidates": metrics.candidates,
+        "gen0_fresh_simulations":
+            metrics.generations[0].fresh_simulations,
+        "mean_warm_fresh_simulations": mean_warm_fresh,
+        "warm_reuse_speedup": metrics.warm_reuse_speedup,
+        "min_warm_reuse_speedup": MIN_WARM_REUSE,
+        "store_hits": metrics.store_hits,
+        "hypervolume_trajectory": list(metrics.hypervolume_trajectory),
+        "final_hypervolume": metrics.hypervolume_trajectory[-1],
+        "baseline_coverage": baseline.objectives.coverage,
+        "baseline_test_time": baseline.objectives.test_time,
+        "baseline_dft_area": baseline.objectives.dft_area,
+        "baseline_resolution": baseline.objectives.resolution,
+        "baseline_genome": baseline.genome.describe(),
+        "dominated_axes": dominance["dominated_axes"],
+        "strict_axes": dominance["strict_axes"],
+        "weakly_dominated": dominance["weakly_dominated"],
+        "min_dominated_axes": MIN_DOMINATED_AXES,
+        "fronts_identical": result.front_json() == again.front_json(),
+        "search_wall": search_wall,
+        "rerun_wall": rerun_wall,
+    }
+
+
+def emit_optimize_json(payload: dict) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_optimize.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def _check(payload: dict) -> list:
+    """Acceptance assertions; returns failure messages."""
+    failures = []
+    if payload["dominated_axes"] < MIN_DOMINATED_AXES or \
+            payload["strict_axes"] < 1:
+        failures.append(
+            f"front dominates the advisor plan on only "
+            f"{payload['dominated_axes']} axes "
+            f"({payload['strict_axes']} strictly) at equal-or-better "
+            f"coverage; needs >= {MIN_DOMINATED_AXES} with >= 1 "
+            f"strict")
+    if payload["warm_reuse_speedup"] < MIN_WARM_REUSE:
+        failures.append(
+            f"warm-reuse speedup {payload['warm_reuse_speedup']:.2f}x "
+            f"below the {MIN_WARM_REUSE}x floor (gen0 "
+            f"{payload['gen0_fresh_simulations']} fresh vs "
+            f"{payload['mean_warm_fresh_simulations']:.1f} mean warm)")
+    if not payload["fronts_identical"]:
+        failures.append("two same-seed runs produced different "
+                        "fronts")
+    return failures
+
+
+def test_optimize_bench():
+    """Front beats the advisor plan, warm generations >= 5x cheaper,
+    same-seed fronts byte-identical."""
+    payload = run_bench()
+    emit_optimize_json(payload)
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--defects", type=int, default=N_DEFECTS,
+                        help="defect budget (default: %(default)d)")
+    parser.add_argument("--max-classes", type=int,
+                        default=MAX_CLASSES,
+                        help="class cap per kind "
+                             "(default: %(default)d)")
+    parser.add_argument("--population", type=int, default=POPULATION,
+                        help="population size (default: %(default)d)")
+    parser.add_argument("--generations", type=int,
+                        default=GENERATIONS,
+                        help="breeding generations "
+                             "(default: %(default)d)")
+    parser.add_argument("--seed", type=int, default=SEARCH_SEED,
+                        help="search seed (default: %(default)d)")
+    args = parser.parse_args()
+    payload = run_bench(n_defects=args.defects,
+                        max_classes=args.max_classes,
+                        population=args.population,
+                        generations=args.generations,
+                        seed=args.seed)
+    emit_optimize_json(payload)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,11 +23,13 @@ See ``docs/CAMPAIGNS.md`` for the operational guide.
 """
 
 from .events import (CampaignEvent, CampaignFinished, CampaignMetrics,
-                     CampaignStarted, ClassCompleted, ConsoleReporter,
+                     CampaignStarted, CandidateEvaluated,
+                     ClassCompleted, ConsoleReporter,
                      DiagnosisMetrics, DiagnosisMetricsCollector,
                      DictionaryBuilt, DistributedMetrics,
                      DistributedMetricsCollector, EventBus,
-                     MacroPlanned, MetricsCollector, QueryBatchServed,
+                     GenerationCompleted, MacroPlanned,
+                     MetricsCollector, QueryBatchServed,
                      ShardClaimed, ShardCompleted, ShardReclaimed,
                      WorkerStats)
 from .journal import CampaignJournal, JournalEntry
@@ -46,7 +48,8 @@ from .tasks import (ANALOG_MACROS, ClassTask, EngineSpec, TaskOutcome,
 
 __all__ = [
     "CampaignEvent", "CampaignFinished", "CampaignMetrics",
-    "CampaignStarted", "ClassCompleted", "ConsoleReporter",
+    "CampaignStarted", "CandidateEvaluated", "ClassCompleted",
+    "ConsoleReporter", "GenerationCompleted",
     "DiagnosisMetrics", "DiagnosisMetricsCollector", "DictionaryBuilt",
     "DistributedMetrics", "DistributedMetricsCollector",
     "EventBus", "MacroPlanned", "MetricsCollector", "QueryBatchServed",

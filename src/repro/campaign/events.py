@@ -205,6 +205,56 @@ class QueryBatchServed(CampaignEvent):
     passed: int = 0
 
 
+@dataclass(frozen=True)
+class CandidateEvaluated(CampaignEvent):
+    """One optimizer candidate finished scoring (from any source).
+
+    Attributes:
+        generation: generation the candidate belongs to.
+        key: the genome's content digest.
+        source: ``"computed"`` (fresh campaign + scoring),
+            ``"memo"`` (campaign shared with an earlier candidate of
+            this run) or ``"journal"`` (adopted from the run journal).
+        fresh_simulations: fault classes actually simulated for this
+            candidate (0 when every class hit the store).
+        store_hits: fault classes served from the results store.
+        wall: evaluation wall time in seconds.
+        objectives: the scored objective values keyed by name.
+    """
+
+    generation: int
+    key: str
+    source: str
+    fresh_simulations: int = 0
+    store_hits: int = 0
+    wall: float = 0.0
+    objectives: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GenerationCompleted(CampaignEvent):
+    """One optimizer generation finished (evaluated + selected).
+
+    Attributes:
+        generation: 0-based generation index.
+        evaluated: candidates scored this generation.
+        fresh_simulations: fault classes simulated this generation.
+        store_hits: fault classes served from the results store.
+        front_size: size of the current non-dominated front.
+        hypervolume: dominated hypervolume of the current front
+            (minimization, against the run's reference point).
+        wall: generation wall time in seconds.
+    """
+
+    generation: int
+    evaluated: int
+    fresh_simulations: int = 0
+    store_hits: int = 0
+    front_size: int = 0
+    hypervolume: float = 0.0
+    wall: float = 0.0
+
+
 class EventBus:
     """Thread-safe fan-out of campaign events to subscribers.
 

@@ -396,6 +396,56 @@ class ResultsStore:
             return payload
         return None
 
+    # -- generic JSON blobs (journals, optimizer state, ...) ---------------
+
+    def _json_path(self, key: str) -> Path:
+        parts = Path(key).parts
+        if not parts or Path(key).is_absolute() or ".." in parts:
+            raise ValueError(f"invalid store key {key!r}: must be a "
+                             f"relative path without '..'")
+        return self.root.joinpath(*parts[:-1], parts[-1] + ".json")
+
+    def get_json(self, key: str) -> Optional[Dict]:
+        """Load a free-form JSON blob by relative key.
+
+        Keys are relative paths (``optimize/<run>/gen-00001``); the
+        blob lives at ``<root>/<key>.json``.  Absent, torn or non-dict
+        blobs are a miss (None), never a crash — the contract shared
+        with baselines and dictionaries.
+        """
+        try:
+            payload = json.loads(self._json_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put_json(self, key: str, payload: Dict) -> None:
+        """Atomically persist a free-form JSON blob under
+        ``<root>/<key>.json``."""
+        _atomic_write_text(self._json_path(key),
+                           json.dumps(payload, sort_keys=True))
+
+    def iter_keys(self, prefix: str = "") -> Iterator[str]:
+        """Enumerate stored object keys without loading payloads.
+
+        Yields every ``*.json`` object under the root as a
+        ``/``-separated relative key (suffix stripped), sorted, so
+        callers — the optimizer's generation journal enumerating its
+        cached candidate evaluations — see a deterministic order.
+        ``prefix`` restricts the walk: ``iter_keys("optimize/abc/")``
+        lists one run's blobs, ``iter_keys("objects/")`` the detection
+        records.  Nothing is parsed, so a torn blob still lists (it
+        reads as a miss on ``get_json``).
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*.json")):
+            key = path.relative_to(self.root).with_suffix("").as_posix()
+            if key.startswith(prefix):
+                yield key
+
     def sweep_tmp(self, max_age: float = STALE_TMP_AGE) -> int:
         """Reap staging files orphaned under this store's root.
 

@@ -17,6 +17,9 @@ Commands:
   (see ``docs/DIAGNOSIS.md``).
 * ``worker <url>`` — join a distributed campaign as a worker (see
   ``docs/DISTRIBUTED.md``).
+* ``optimize run|resume|report`` — evolutionary DfT/test-plan search
+  producing Pareto fronts over coverage, test time, DfT area and
+  diagnostic resolution (see ``docs/OPTIMIZE.md``).
 
 Budgets default to quick (minutes); ``--full`` uses paper-scale
 campaigns.  Execution is managed by the campaign runner: ``--jobs N``
@@ -265,6 +268,10 @@ def main(argv: Optional[list] = None) -> int:
         # workers parse their own tree (a URL, not a PathConfig — the
         # coordinator ships the campaign's config over the wire)
         return _worker_main(argv[1:])
+    if argv[:1] == ["optimize"]:
+        # the optimize command owns its own subcommand tree
+        from .optimize.cli import main as optimize_main
+        return optimize_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)

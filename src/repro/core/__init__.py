@@ -1,7 +1,9 @@
 """The paper's primary contribution: the defect-oriented test path."""
 
-from .advisor import (EscapeDiagnosis, classify_escape,
-                      diagnose_escapes, recommendations, render_advice)
+from .advisor import (CATEGORY_GENES, EscapeDiagnosis,
+                      classify_escape, diagnose_escapes,
+                      recommendations, recommended_gene_flags,
+                      render_advice)
 from .path import (DefectOrientedTestPath, MacroAnalysis, PathConfig,
                    PathResult, fast_config)
 from .options import add_engine_arguments, engine_knobs
@@ -26,6 +28,6 @@ __all__ = [
     "quality_report", "SerializeError", "load_macro_results",
     "load_path_result", "save_macro_results", "save_path_result",
     "EscapeDiagnosis",
-    "classify_escape", "diagnose_escapes", "recommendations",
-    "render_advice", "add_engine_arguments", "engine_knobs",
+    "CATEGORY_GENES", "classify_escape", "diagnose_escapes",
+    "recommendations", "recommended_gene_flags", "render_advice", "add_engine_arguments", "engine_knobs",
 ]

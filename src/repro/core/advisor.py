@@ -37,6 +37,16 @@ RECOMMENDATIONS: Dict[str, str] = {
         "no structural explanation found: simulate with finer stimuli",
 }
 
+#: escape category -> the optimizer campaign genes that counter it
+#: (see repro.optimize: the advisor's fixed menu seeds generation 0)
+CATEGORY_GENES: Dict[str, Tuple[str, ...]] = {
+    "similar_signal_bridge": ("bias_line_reorder",),
+    "masked_supply_current": ("flipflop_redesign",),
+    "dynamic_only": ("dynamic_test",),
+    "parametric": (),
+    "unknown": (),
+}
+
 #: net pairs that nominally carry almost identical signals
 SIMILAR_SIGNAL_PAIRS = (frozenset({"vbn1", "vbn2"}),)
 
@@ -123,6 +133,25 @@ def recommendations(diagnoses: Sequence[EscapeDiagnosis],
             RECOMMENDATIONS[category])
            for category, count in weights.most_common()]
     return out
+
+
+def recommended_gene_flags(diagnoses: Sequence[EscapeDiagnosis]
+                           ) -> Dict[str, bool]:
+    """The advisor's recommendations as optimizer campaign genes.
+
+    Maps every diagnosed escape category through
+    :data:`CATEGORY_GENES` and returns which genes
+    (``flipflop_redesign`` / ``bias_line_reorder`` /
+    ``dynamic_test``) the fixed menu would switch on — the
+    generation-0 seed of :mod:`repro.optimize` (the search is then
+    free to drop a recommendation the objectives don't justify).
+    """
+    flags = {"flipflop_redesign": False, "bias_line_reorder": False,
+             "dynamic_test": False}
+    for diagnosis in diagnoses:
+        for gene in CATEGORY_GENES.get(diagnosis.category, ()):
+            flags[gene] = True
+    return flags
 
 
 def render_advice(classes: Sequence[FaultClass],

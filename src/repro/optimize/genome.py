@@ -1,0 +1,180 @@
+"""The test-plan/DfT genome and its mapping onto campaign configs.
+
+A :class:`PlanGenome` is everything a shippable test programme decides:
+which DfT measures the design adopts, whether the at-speed dynamic
+test runs, the comparator probe amplitudes, which corner set the spec
+limits guardband for, and the ordered stimulus schedule (measurement
+inclusion *and* ordering — ordering changes the expected
+stop-on-first-fail test time, Pomeranz & Reddy's observation).
+
+Genomes split into two gene groups with very different evaluation
+costs:
+
+* **campaign genes** (DfT bits, dynamic test, probes, corners) change
+  the simulated fault universe — a new campaign, so a new set of
+  content-addressed store keys.  Candidates sharing campaign genes
+  share one campaign; repeats are pure cache hits.
+* **schedule genes** (the ordered measurement tuple) are scored from
+  the campaign's existing detection records and the compiled
+  dictionary — no simulation at all.
+
+The mutation operators keep campaign-gene churn low for exactly this
+reason (see :mod:`repro.optimize.operators`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Tuple
+
+from .measures import MISSING_CODE, Measure, all_measurements
+
+#: probe palettes the search may pick from (volts); the defaults sit
+#: mid-palette so generation 0 can move either way
+BIG_PROBE_PALETTE = (0.05, 0.1, 0.2)
+SMALL_PROBE_PALETTE = (4e-3, 8e-3, 16e-3)
+
+#: corner sets a candidate may guardband for.  ``reduced`` is encoded
+#: as PathConfig's default (corners=None) so its store keys are shared
+#: with every non-optimizer campaign; ``full`` is excluded from the
+#: search palette (27 corners per good-space sweep) but accepted on
+#: deserialization.
+CORNER_PALETTE = ("reduced", "typical")
+_CORNER_NAMES = ("reduced", "typical", "full")
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanGenome:
+    """One candidate test programme.
+
+    Attributes:
+        flipflop_redesign: adopt the leakage-free flipflop DfT.
+        bias_line_reorder: adopt the separated bias-line routing DfT.
+        dynamic_test: run the at-speed missing-code test.
+        big_probe: comparator above/below input offset (volts).
+        small_probe: comparator offset-detection probe (volts).
+        corners: named corner set the spec limits guardband for.
+        schedule: ordered measurement tuple (inclusion + ordering).
+    """
+
+    flipflop_redesign: bool = False
+    bias_line_reorder: bool = False
+    dynamic_test: bool = False
+    big_probe: float = 0.1
+    small_probe: float = 8e-3
+    corners: str = "reduced"
+    schedule: Tuple[Measure, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.corners not in _CORNER_NAMES:
+            raise ValueError(f"unknown corner set {self.corners!r}")
+        if not self.schedule:
+            raise ValueError("genome schedule must not be empty")
+        universe = set(all_measurements())
+        seen = set()
+        for measure in self.schedule:
+            if measure not in universe:
+                raise ValueError(f"unknown measurement {measure!r}")
+            if measure in seen:
+                raise ValueError(f"duplicate measurement {measure!r}")
+            seen.add(measure)
+
+    # -- identity ----------------------------------------------------------
+
+    def campaign_genes(self) -> Dict:
+        """The genes that change what gets simulated."""
+        return {
+            "flipflop_redesign": self.flipflop_redesign,
+            "bias_line_reorder": self.bias_line_reorder,
+            "dynamic_test": self.dynamic_test,
+            "big_probe": repr(self.big_probe),
+            "small_probe": repr(self.small_probe),
+            "corners": self.corners,
+        }
+
+    def campaign_key(self) -> str:
+        """Digest over the campaign genes alone — candidates sharing
+        it share one campaign (and its store entries)."""
+        blob = json.dumps(self.campaign_genes(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def key(self) -> str:
+        """Digest identifying the whole genome."""
+        payload = {"campaign": self.campaign_genes(),
+                   "schedule": [list(m) for m in self.schedule]}
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "flipflop_redesign": self.flipflop_redesign,
+            "bias_line_reorder": self.bias_line_reorder,
+            "dynamic_test": self.dynamic_test,
+            "big_probe": self.big_probe,
+            "small_probe": self.small_probe,
+            "corners": self.corners,
+            "schedule": [list(m) for m in self.schedule],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PlanGenome":
+        return cls(
+            flipflop_redesign=bool(data.get("flipflop_redesign",
+                                            False)),
+            bias_line_reorder=bool(data.get("bias_line_reorder",
+                                            False)),
+            dynamic_test=bool(data.get("dynamic_test", False)),
+            big_probe=float(data.get("big_probe", 0.1)),
+            small_probe=float(data.get("small_probe", 8e-3)),
+            corners=str(data.get("corners", "reduced")),
+            schedule=tuple(tuple(m) for m in data["schedule"]))
+
+    # -- compilation -------------------------------------------------------
+
+    def path_config(self, base) -> "object":
+        """Compile the campaign genes onto a base
+        :class:`~repro.core.path.PathConfig`.
+
+        Only deltas are applied, so candidates with default campaign
+        genes share content keys — and so store entries — with plain
+        (non-optimizer) campaigns of the same base config.
+        """
+        # lazy: repro.core.path imports repro.testgen, which the
+        # measurement re-exports already touch — keep the module
+        # import graph acyclic
+        from ..adc.process import corner_set
+        from ..testgen.dft import DfTConfig
+
+        corners = None if self.corners == "reduced" \
+            else tuple(corner_set(self.corners))
+        return dataclasses.replace(
+            base,
+            dft=DfTConfig(flipflop_redesign=self.flipflop_redesign,
+                          bias_line_reorder=self.bias_line_reorder),
+            dynamic_test=self.dynamic_test,
+            big_probe=self.big_probe,
+            small_probe=self.small_probe,
+            corners=corners)
+
+    def describe(self) -> str:
+        """One-line human summary of the genome."""
+        genes = []
+        if self.flipflop_redesign:
+            genes.append("ff-redesign")
+        if self.bias_line_reorder:
+            genes.append("bias-reorder")
+        if self.dynamic_test:
+            genes.append("dynamic")
+        dft = "+".join(genes) if genes else "no-dft"
+        named = ["missing-code" if m == MISSING_CODE
+                 else f"{m[0]}/{m[1][:3]}/{m[2][0]}"
+                 for m in self.schedule]
+        return (f"{dft} corners={self.corners} "
+                f"probes={self.big_probe:g}/{self.small_probe:g} "
+                f"schedule[{len(self.schedule)}]: " + " ".join(named))

@@ -1,0 +1,107 @@
+"""Crash-safe generation journal in the results store.
+
+A search run owns the ``optimize/<run_id>/`` namespace of the
+content-addressed store (:meth:`ResultsStore.put_json` /
+:meth:`ResultsStore.get_json`):
+
+* ``meta`` — the run's identity (base config, search knobs, macros);
+  a resume refuses to continue a run whose identity changed.
+* ``eval-<genome key>`` — every scored candidate, written the moment
+  scoring finishes.  A search killed mid-generation re-derives the
+  same offspring (the per-generation RNG is a pure function of
+  (seed, generation)) and adopts these instead of re-scoring.
+* ``gen-NNNNN`` — one record per *completed* generation: surviving
+  population keys, front keys, hypervolume, fresh-simulation count.
+
+Everything is enumerable without loading payloads via
+:meth:`ResultsStore.iter_keys` — how ``optimize report`` lists a
+run's progress and how a resume finds the last completed generation.
+A search without a cache dir journals nothing (pure in-memory run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..campaign import ResultsStore
+from .evaluate import CandidateEvaluation
+
+
+class GenerationJournal:
+    """One run's journal inside a results store (or a no-op without
+    one)."""
+
+    def __init__(self, store: Optional[ResultsStore],
+                 run_id: str) -> None:
+        self.store = store
+        self.run_id = run_id
+        self.prefix = f"optimize/{run_id}"
+
+    # -- meta --------------------------------------------------------------
+
+    def load_meta(self) -> Optional[Dict]:
+        if self.store is None:
+            return None
+        return self.store.get_json(f"{self.prefix}/meta")
+
+    def save_meta(self, meta: Dict) -> None:
+        if self.store is not None:
+            self.store.put_json(f"{self.prefix}/meta", meta)
+
+    # -- candidate evaluations ---------------------------------------------
+
+    def record_evaluation(self,
+                          evaluation: CandidateEvaluation) -> None:
+        if self.store is not None:
+            self.store.put_json(
+                f"{self.prefix}/eval-{evaluation.genome.key()}",
+                evaluation.to_dict())
+
+    def load_evaluation(self, genome_key: str
+                        ) -> Optional[CandidateEvaluation]:
+        if self.store is None:
+            return None
+        payload = self.store.get_json(
+            f"{self.prefix}/eval-{genome_key}")
+        if payload is None:
+            return None
+        try:
+            return CandidateEvaluation.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # torn/stale blob: costs a re-score, never a crash
+
+    def evaluation_keys(self) -> List[str]:
+        """Genome keys of every journaled evaluation (payloads not
+        loaded — :meth:`ResultsStore.iter_keys` enumeration)."""
+        if self.store is None:
+            return []
+        prefix = f"{self.prefix}/eval-"
+        return [key[len(prefix):]
+                for key in self.store.iter_keys(prefix)]
+
+    # -- completed generations ---------------------------------------------
+
+    def record_generation(self, generation: int,
+                          payload: Dict) -> None:
+        if self.store is not None:
+            self.store.put_json(
+                f"{self.prefix}/gen-{generation:05d}", payload)
+
+    def load_generation(self, generation: int) -> Optional[Dict]:
+        if self.store is None:
+            return None
+        return self.store.get_json(
+            f"{self.prefix}/gen-{generation:05d}")
+
+    def completed_generations(self) -> List[int]:
+        """Indices of journaled generations, ascending."""
+        if self.store is None:
+            return []
+        prefix = f"{self.prefix}/gen-"
+        out = []
+        for key in self.store.iter_keys(prefix):
+            try:
+                out.append(int(key[len(prefix):]))
+            except ValueError:
+                continue
+        return sorted(out)

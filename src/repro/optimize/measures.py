@@ -1,0 +1,69 @@
+"""The optimizer's measurement universe and cost/area models.
+
+Re-exports the measurement vocabulary owned by
+:mod:`repro.testgen.optimize` (the deprecation shim keeps the types
+where legacy callers import them) and adds what the search needs on
+top: the full candidate universe in a canonical order, and the DfT
+area-overhead model.
+
+Area model: the redesigned flipflop and the re-ordered bias lines are
+*design* changes, and their silicon cost cannot be read off the macro
+layouts — the leakage-free flipflop actually synthesises slightly
+smaller here, and the bias re-order is area-neutral by construction.
+What the paper's designers paid was redesign margin: wider guard
+spacing for the separated bias tracks and a conservatively sized
+leakage-free pull path, replicated per comparator.  The constants
+below model that as a fraction of the affected cells' measured areas
+(values in ``docs/OPTIMIZE.md``); they make DfT a real objective the
+search must justify with coverage or resolution, instead of a free
+gene.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..faultsim.signatures import (PHASES, POLARITIES,
+                                   SIGNATURE_QUANTITIES)
+from ..testgen.optimize import (MISSING_CODE, Measure, TestPlan,
+                                full_plan_cost, measurement_cost)
+
+#: comparator instances in the flash converter (2^8 levels)
+N_COMPARATORS = 256
+
+#: modelled DfT area overheads in um^2 (see docs/OPTIMIZE.md):
+#: 4% redesign margin on every comparator cell for the leakage-free
+#: flipflop, 2% of the comparator column plus the biasgen for the
+#: extra track spacing of the re-ordered bias lines
+FLIPFLOP_REDESIGN_AREA = 0.04 * 39851.0 * N_COMPARATORS
+BIAS_REORDER_AREA = 0.02 * (39851.0 * N_COMPARATORS + 3856.0)
+
+
+def dft_area_overhead(flipflop_redesign: bool,
+                      bias_line_reorder: bool) -> float:
+    """Modelled silicon cost (um^2) of the selected DfT measures."""
+    area = 0.0
+    if flipflop_redesign:
+        area += FLIPFLOP_REDESIGN_AREA
+    if bias_line_reorder:
+        area += BIAS_REORDER_AREA
+    return area
+
+
+def all_measurements() -> Tuple[Measure, ...]:
+    """Every candidate measurement, canonically ordered.
+
+    The missing-code test first, then the 24 current measurements in
+    (quantity, phase, polarity) declaration order — the order the
+    signature vector uses, so genome serializations stay stable.
+    """
+    current = tuple((q, p, lvl) for q in SIGNATURE_QUANTITIES
+                    for p in PHASES for lvl in POLARITIES)
+    return (MISSING_CODE,) + current
+
+
+__all__ = [
+    "MISSING_CODE", "Measure", "TestPlan", "all_measurements",
+    "dft_area_overhead", "full_plan_cost", "measurement_cost",
+    "BIAS_REORDER_AREA", "FLIPFLOP_REDESIGN_AREA", "N_COMPARATORS",
+]

@@ -1,0 +1,141 @@
+"""Search metrics: per-generation hypervolume and cache accounting.
+
+The event-bus pattern every subsystem here uses: the search emits
+typed events (:class:`~repro.campaign.events.CandidateEvaluated`,
+:class:`~repro.campaign.events.GenerationCompleted`), the collector
+folds them into one thread-safe snapshot, and ``--metrics-out``
+serialises the snapshot.  The headline number is
+:attr:`OptimizeMetrics.warm_reuse_speedup` — generation 0's fresh
+simulations over the warm-generation mean, the store-economy ratio
+``bench_optimize.py`` gates at >= 5x.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..campaign.events import (CampaignEvent, CandidateEvaluated,
+                               GenerationCompleted)
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """One generation's accounting (mirrors
+    :class:`~repro.campaign.events.GenerationCompleted`)."""
+
+    generation: int
+    evaluated: int
+    fresh_simulations: int
+    store_hits: int
+    front_size: int
+    hypervolume: float
+    wall: float
+
+    def as_dict(self) -> Dict:
+        return {"generation": self.generation,
+                "evaluated": self.evaluated,
+                "fresh_simulations": self.fresh_simulations,
+                "store_hits": self.store_hits,
+                "front_size": self.front_size,
+                "hypervolume": self.hypervolume,
+                "wall": self.wall}
+
+
+@dataclass(frozen=True)
+class OptimizeMetrics:
+    """Aggregated accounting of one evolutionary search."""
+
+    candidates: int = 0
+    computed: int = 0
+    memo_hits: int = 0
+    journal_hits: int = 0
+    fresh_simulations: int = 0
+    store_hits: int = 0
+    wall_time: float = 0.0
+    generations: Tuple[GenerationStats, ...] = ()
+
+    @property
+    def warm_reuse_speedup(self) -> float:
+        """Generation-0 fresh simulations over the warm-generation
+        mean; 0.0 until a warm generation exists.  A warm generation
+        that needed *zero* fresh simulations counts as the full
+        gen-0 figure (pure reuse — no meaningful ratio exists)."""
+        if len(self.generations) < 2:
+            return 0.0
+        cold = self.generations[0].fresh_simulations
+        warm = [g.fresh_simulations for g in self.generations[1:]]
+        mean_warm = sum(warm) / len(warm)
+        if cold <= 0:
+            return 0.0
+        if mean_warm <= 0:
+            return float(cold)
+        return cold / mean_warm
+
+    @property
+    def hypervolume_trajectory(self) -> Tuple[float, ...]:
+        return tuple(g.hypervolume for g in self.generations)
+
+    def as_dict(self) -> Dict:
+        return {
+            "candidates": self.candidates,
+            "computed": self.computed,
+            "memo_hits": self.memo_hits,
+            "journal_hits": self.journal_hits,
+            "fresh_simulations": self.fresh_simulations,
+            "store_hits": self.store_hits,
+            "wall_time": self.wall_time,
+            "warm_reuse_speedup": self.warm_reuse_speedup,
+            "hypervolume_trajectory":
+                list(self.hypervolume_trajectory),
+            "generations": [g.as_dict() for g in self.generations],
+        }
+
+
+class OptimizeMetricsCollector:
+    """EventBus subscriber folding optimizer events into
+    :class:`OptimizeMetrics`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._candidates = 0
+        self._computed = 0
+        self._memo = 0
+        self._journal = 0
+        self._fresh = 0
+        self._store_hits = 0
+        self._wall = 0.0
+        self._generations: List[GenerationStats] = []
+
+    def __call__(self, event: CampaignEvent) -> None:
+        with self._lock:
+            if isinstance(event, CandidateEvaluated):
+                self._candidates += 1
+                self._fresh += event.fresh_simulations
+                self._store_hits += event.store_hits
+                self._wall += event.wall
+                if event.source == "computed":
+                    self._computed += 1
+                elif event.source == "journal":
+                    self._journal += 1
+                else:
+                    self._memo += 1
+            elif isinstance(event, GenerationCompleted):
+                self._generations.append(GenerationStats(
+                    generation=event.generation,
+                    evaluated=event.evaluated,
+                    fresh_simulations=event.fresh_simulations,
+                    store_hits=event.store_hits,
+                    front_size=event.front_size,
+                    hypervolume=event.hypervolume,
+                    wall=event.wall))
+
+    def snapshot(self) -> OptimizeMetrics:
+        with self._lock:
+            return OptimizeMetrics(
+                candidates=self._candidates, computed=self._computed,
+                memo_hits=self._memo, journal_hits=self._journal,
+                fresh_simulations=self._fresh,
+                store_hits=self._store_hits, wall_time=self._wall,
+                generations=tuple(self._generations))

@@ -1,0 +1,168 @@
+"""Seeded variation operators over :class:`PlanGenome`.
+
+Every stochastic routine takes an explicit
+:class:`numpy.random.Generator` — the PR 4 RNG contract: no module
+state, no global seeding, so two searches started from the same seed
+draw the identical variate stream and produce byte-identical fronts.
+:func:`generation_rng` derives each generation's generator from
+``(seed, generation)`` via a :class:`numpy.random.SeedSequence`, which
+is what lets a resumed run re-enter generation *g* with the exact
+stream the interrupted run used.
+
+Campaign genes (DfT bits, dynamic test, probes, corners) mutate an
+order of magnitude less often than schedule genes: flipping one
+re-simulates a whole campaign, while re-ordering the schedule is
+scored from cached records for free.  The low churn is what makes
+warm generations mostly cache hits — the property
+``bench_optimize.py`` gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .genome import (BIG_PROBE_PALETTE, CORNER_PALETTE, PlanGenome,
+                     SMALL_PROBE_PALETTE)
+from .measures import Measure, all_measurements
+
+
+@dataclasses.dataclass(frozen=True)
+class MutationRates:
+    """Per-gene-group mutation probabilities.
+
+    Attributes:
+        campaign: probability that *one* campaign gene mutates (one
+            draw decides, then one gene is picked — so a mutation
+            changes at most one campaign gene and the candidate's
+            campaign key moves to a single neighbour).
+        schedule_toggle: probability of adding or removing one
+            measurement.
+        schedule_swap: probability of swapping two schedule positions.
+    """
+
+    campaign: float = 0.15
+    schedule_toggle: float = 0.6
+    schedule_swap: float = 0.6
+
+
+def generation_rng(seed: int, generation: int) -> np.random.Generator:
+    """The deterministic RNG of one (run seed, generation) pair."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed),
+                               spawn_key=(int(generation),)))
+
+
+def _choice(rng: np.random.Generator, items: Sequence) -> object:
+    return items[int(rng.integers(len(items)))]
+
+
+def _step_palette(rng: np.random.Generator, palette: Sequence[float],
+                  current: float) -> float:
+    """Move one step up or down a palette (clamped at the ends)."""
+    values = list(palette)
+    if current in values:
+        idx = values.index(current)
+    else:  # off-palette base value: jump to the nearest entry
+        idx = int(np.argmin([abs(v - current) for v in values]))
+    step = -1 if rng.random() < 0.5 else 1
+    return values[max(0, min(len(values) - 1, idx + step))]
+
+
+def _mutate_campaign(genome: PlanGenome,
+                     rng: np.random.Generator) -> PlanGenome:
+    gene = _choice(rng, ("flipflop_redesign", "bias_line_reorder",
+                         "dynamic_test", "big_probe", "small_probe",
+                         "corners"))
+    if gene == "flipflop_redesign":
+        return dataclasses.replace(
+            genome, flipflop_redesign=not genome.flipflop_redesign)
+    if gene == "bias_line_reorder":
+        return dataclasses.replace(
+            genome, bias_line_reorder=not genome.bias_line_reorder)
+    if gene == "dynamic_test":
+        return dataclasses.replace(
+            genome, dynamic_test=not genome.dynamic_test)
+    if gene == "big_probe":
+        return dataclasses.replace(
+            genome, big_probe=_step_palette(rng, BIG_PROBE_PALETTE,
+                                            genome.big_probe))
+    if gene == "small_probe":
+        return dataclasses.replace(
+            genome, small_probe=_step_palette(rng, SMALL_PROBE_PALETTE,
+                                              genome.small_probe))
+    others = [c for c in CORNER_PALETTE if c != genome.corners]
+    return dataclasses.replace(genome,
+                               corners=str(_choice(rng, others)))
+
+
+def _mutate_schedule(schedule: Tuple[Measure, ...],
+                     rng: np.random.Generator,
+                     rates: MutationRates) -> Tuple[Measure, ...]:
+    out: List[Measure] = list(schedule)
+    if rng.random() < rates.schedule_toggle:
+        missing = [m for m in all_measurements() if m not in out]
+        drop = len(out) > 1 and (not missing or rng.random() < 0.5)
+        if drop:
+            out.pop(int(rng.integers(len(out))))
+        elif missing:
+            measure = _choice(rng, missing)
+            out.insert(int(rng.integers(len(out) + 1)), measure)
+    if len(out) > 1 and rng.random() < rates.schedule_swap:
+        i = int(rng.integers(len(out)))
+        j = int(rng.integers(len(out)))
+        out[i], out[j] = out[j], out[i]
+    return tuple(out)
+
+
+def mutate(genome: PlanGenome, rng: np.random.Generator,
+           rates: MutationRates = MutationRates()) -> PlanGenome:
+    """One mutation step; always returns a valid genome."""
+    if rng.random() < rates.campaign:
+        genome = _mutate_campaign(genome, rng)
+    return dataclasses.replace(
+        genome, schedule=_mutate_schedule(genome.schedule, rng, rates))
+
+
+def crossover(a: PlanGenome, b: PlanGenome,
+              rng: np.random.Generator) -> PlanGenome:
+    """Uniform crossover on campaign genes, order-preserving merge on
+    schedules.
+
+    The child's schedule walks parent A's schedule then parent B's:
+    a measurement both parents run is kept, one that a single parent
+    runs survives a coin flip — relative order within each parent is
+    preserved, so good orderings are inherited, not shredded.
+    """
+    pick = lambda x, y: x if rng.random() < 0.5 else y  # noqa: E731
+    child: List[Measure] = []
+    in_a, in_b = set(a.schedule), set(b.schedule)
+    for measure in tuple(a.schedule) + tuple(b.schedule):
+        if measure in child:
+            continue
+        if measure in in_a and measure in in_b:
+            child.append(measure)
+        elif rng.random() < 0.5:
+            child.append(measure)
+    if not child:  # both coin flips emptied the union: keep A's lead
+        child = [a.schedule[0]]
+    return PlanGenome(
+        flipflop_redesign=pick(a, b).flipflop_redesign,
+        bias_line_reorder=pick(a, b).bias_line_reorder,
+        dynamic_test=pick(a, b).dynamic_test,
+        big_probe=pick(a, b).big_probe,
+        small_probe=pick(a, b).small_probe,
+        corners=pick(a, b).corners,
+        schedule=tuple(child))
+
+
+def tournament(rng: np.random.Generator, ranks: np.ndarray,
+               crowding: np.ndarray) -> int:
+    """Binary tournament by (rank, crowding, index)."""
+    n = len(ranks)
+    i = int(rng.integers(n))
+    j = int(rng.integers(n))
+    key = lambda k: (ranks[k], -crowding[k], k)  # noqa: E731
+    return i if key(i) <= key(j) else j

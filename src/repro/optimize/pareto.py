@@ -1,0 +1,173 @@
+"""NSGA-II primitives: non-dominated sorting, crowding, hypervolume.
+
+Everything here operates on *minimization* objective vectors — plain
+tuples/arrays of floats where smaller is better.  Callers negate
+maximized quantities (coverage, resolution) before ranking; see
+:meth:`repro.optimize.evaluate.ObjectiveVector.minimize`.
+
+All routines are deterministic: fronts list member indices in
+ascending order, crowding ties break toward the lower index, and the
+hypervolume recursion slices points in sorted order.  Two processes
+ranking the same population therefore produce byte-identical
+selections — the property the optimizer's same-seed reproducibility
+contract rests on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (minimization):
+    no worse everywhere and strictly better somewhere."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("objective vectors must have equal length")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_sort(points: Sequence[Sequence[float]]
+                       ) -> List[List[int]]:
+    """Deb's fast non-dominated sort.
+
+    Returns fronts of point indices: ``fronts[0]`` is the Pareto
+    front, ``fronts[1]`` the front once ``fronts[0]`` is removed, and
+    so on.  Indices within a front are ascending.
+    """
+    P = np.asarray(points, dtype=float)
+    n = len(P)
+    if n == 0:
+        return []
+    # pairwise domination matrix: dom[i, j] = i dominates j
+    le = np.all(P[:, None, :] <= P[None, :, :], axis=2)
+    lt = np.any(P[:, None, :] < P[None, :, :], axis=2)
+    dom = le & lt
+    dominated_count = dom.sum(axis=0)
+    fronts: List[List[int]] = []
+    remaining = np.ones(n, dtype=bool)
+    while remaining.any():
+        current = np.flatnonzero(remaining & (dominated_count == 0))
+        if current.size == 0:  # defensive: ties cannot starve
+            current = np.flatnonzero(remaining)
+        fronts.append([int(i) for i in current])
+        remaining[current] = False
+        dominated_count = dominated_count - \
+            dom[current].sum(axis=0)
+    return fronts
+
+
+def crowding_distance(points: Sequence[Sequence[float]],
+                      front: Sequence[int]) -> np.ndarray:
+    """Crowding distance of each front member (same order as
+    ``front``).
+
+    Boundary points per objective get ``inf``; interior points sum the
+    normalised gaps to their neighbours.  Objectives with zero range
+    contribute nothing (every member is a tie there).
+    """
+    P = np.asarray(points, dtype=float)
+    idx = np.asarray(list(front), dtype=int)
+    m = len(idx)
+    if m == 0:
+        return np.zeros(0)
+    distance = np.zeros(m)
+    if m <= 2:
+        distance[:] = np.inf
+        return distance
+    for obj in range(P.shape[1]):
+        values = P[idx, obj]
+        # stable sort => equal values keep ascending-index order,
+        # making boundary assignment deterministic under ties
+        order = np.argsort(values, kind="stable")
+        spread = values[order[-1]] - values[order[0]]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if spread <= 0:
+            continue
+        gaps = (values[order[2:]] - values[order[:-2]]) / spread
+        interior = order[1:-1]
+        finite = ~np.isinf(distance[interior])
+        distance[interior[finite]] += gaps[finite]
+    return distance
+
+
+def nsga_rank(points: Sequence[Sequence[float]]
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-point (front rank, crowding distance) arrays."""
+    n = len(points)
+    ranks = np.zeros(n, dtype=int)
+    crowding = np.zeros(n)
+    for rank, front in enumerate(non_dominated_sort(points)):
+        ranks[front] = rank
+        crowding[front] = crowding_distance(points, front)
+    return ranks, crowding
+
+
+def nsga_select(points: Sequence[Sequence[float]],
+                k: int) -> List[int]:
+    """Elitist NSGA-II environmental selection: the ``k`` indices
+    surviving by (front rank, crowding distance, index).
+
+    Whole fronts are taken in rank order; the front that overflows
+    ``k`` is truncated by descending crowding distance with the lower
+    index winning exact ties — fully deterministic.
+    """
+    n = len(points)
+    if k >= n:
+        return list(range(n))
+    ranks, crowding = nsga_rank(points)
+    order = sorted(range(n), key=lambda i: (ranks[i], -crowding[i], i))
+    return sorted(order[:k])
+
+
+def hypervolume(points: Sequence[Sequence[float]],
+                reference: Sequence[float]) -> float:
+    """Dominated hypervolume (minimization) against ``reference``.
+
+    Recursive dimension-sweep (HSO): exact for the optimizer's 4-D
+    fronts, deterministic, O(n log n) per slice.  Points not strictly
+    better than the reference in every objective contribute nothing.
+    A growing value across generations means the front is advancing.
+    """
+    ref = np.asarray(reference, dtype=float)
+    P = np.asarray(points, dtype=float)
+    if P.size == 0:
+        return 0.0
+    if P.ndim != 2 or P.shape[1] != ref.shape[0]:
+        raise ValueError("points and reference dimensions disagree")
+    P = P[np.all(P < ref, axis=1)]
+    if len(P) == 0:
+        return 0.0
+    # keep only the non-dominated subset — dominated points change
+    # nothing and the recursion gets cheaper
+    fronts = non_dominated_sort(P)
+    P = P[fronts[0]]
+    # plain-float tuples: the result must be JSON-able (the journal
+    # stores it) and independent of numpy scalar types
+    return float(_hv(sorted(tuple(row) for row in P.tolist()),
+                     tuple(ref.tolist())))
+
+
+def _hv(points: List[Tuple[float, ...]], ref: Tuple[float, ...]
+        ) -> float:
+    if not points:
+        return 0.0
+    if len(ref) == 1:
+        return ref[0] - min(p[0] for p in points)
+    # sweep the first objective: between consecutive distinct values,
+    # the dominated area in the remaining objectives is the (d-1)-dim
+    # hypervolume of the points already passed
+    volume = 0.0
+    active: List[Tuple[float, ...]] = []
+    ordered = sorted(points)
+    for i, point in enumerate(ordered):
+        upper = ordered[i + 1][0] if i + 1 < len(ordered) else ref[0]
+        active.append(point[1:])
+        width = upper - point[0]
+        if width > 0:
+            volume += width * _hv(active, ref[1:])
+    return volume

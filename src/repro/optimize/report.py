@@ -1,0 +1,78 @@
+"""Decision support: render Pareto fronts and run histories.
+
+The front table is the deliverable the paper's section 4 produced by
+hand — which DfT measures and which test schedule to ship — except
+here every row is a non-dominated candidate with its measured
+trade-offs, and the knee point is marked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .evaluate import CandidateEvaluation
+
+
+def _knee_index(front: Sequence[CandidateEvaluation]) -> int:
+    """The knee: smallest normalised distance to the ideal point."""
+    points = np.array([e.objectives.minimize() for e in front],
+                      dtype=float)
+    lo = points.min(axis=0)
+    span = points.max(axis=0) - lo
+    span[span <= 0] = 1.0
+    normalised = (points - lo) / span
+    return int(np.argmin(np.linalg.norm(normalised, axis=1)))
+
+
+def render_front(front: Sequence[CandidateEvaluation]) -> str:
+    """Human-readable Pareto front, knee point marked with ``*``."""
+    if not front:
+        return "empty front"
+    knee = _knee_index(front)
+    lines = [f"  {'':2s}{'key':18s} {'coverage':>9s} {'time':>10s} "
+             f"{'area':>12s} {'resolution':>11s}  genes"]
+    for idx, evaluation in enumerate(front):
+        o = evaluation.objectives
+        g = evaluation.genome
+        genes = []
+        if g.flipflop_redesign:
+            genes.append("ff")
+        if g.bias_line_reorder:
+            genes.append("bias")
+        if g.dynamic_test:
+            genes.append("dyn")
+        mark = "* " if idx == knee else "  "
+        lines.append(
+            f"  {mark}{g.key():18s} {100 * o.coverage:8.2f}% "
+            f"{1e3 * o.test_time:8.3f}ms {o.dft_area:10.0f}um2 "
+            f"{100 * o.resolution:10.2f}%  "
+            f"{'+'.join(genes) or 'no-dft'}"
+            f"[{len(g.schedule)} meas]")
+    lines.append(f"  ({len(front)} non-dominated candidates; "
+                 f"* = knee point)")
+    return "\n".join(lines)
+
+
+def render_history(generations: Sequence[Dict]) -> str:
+    """Per-generation progress table from journal payloads."""
+    if not generations:
+        return "no completed generations"
+    lines = [f"  {'gen':>4s} {'evaluated':>10s} {'fresh sims':>11s} "
+             f"{'store hits':>11s} {'front':>6s} {'hypervolume':>12s}"]
+    for payload in generations:
+        lines.append(
+            f"  {payload.get('generation', 0):4d} "
+            f"{payload.get('evaluated', 0):10d} "
+            f"{payload.get('fresh_simulations', 0):11d} "
+            f"{payload.get('store_hits', 0):11d} "
+            f"{len(payload.get('front', ())):6d} "
+            f"{payload.get('hypervolume', 0.0):12.6g}")
+    return "\n".join(lines)
+
+
+def describe_candidates(front: Sequence[CandidateEvaluation]
+                        ) -> List[str]:
+    """One :meth:`PlanGenome.describe` line per front member."""
+    return [e.genome.describe() for e in front]

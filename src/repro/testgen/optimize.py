@@ -3,19 +3,22 @@
 "The overlap between different detection mechanisms gives room for the
 optimization of the test method and fault detection."
 
-Given the per-fault-class measurement violations recorded by the fault
-engine, choose the cheapest subset of candidate measurements — the
-missing-code test plus any of the 24 individual current measurements
-(4 quantities × 3 phases × 2 input levels) — that preserves the
-achievable coverage.  Greedy weighted set cover: at each step take the
-measurement with the best newly-covered-fault-probability per second of
-tester time.
+This module now owns only the measurement *vocabulary* — the candidate
+set, the :class:`TestPlan` result type and the tester-time cost model.
+The selection logic lives in :mod:`repro.optimize`: the greedy
+weighted set cover moved to
+:func:`repro.optimize.seeding.greedy_test_plan`, where it seeds
+generation 0 of the evolutionary search
+(``python -m repro optimize``).  :func:`optimize_test_plan` remains as
+a deprecated shim delegating there — same signature, same return
+type, bit-identical plans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
 
 from ..macrotest.coverage import DetectionRecord, MacroResult
 from .stimuli import (CURRENT_MEASUREMENT_SETTLE, MissingCodeStimulus)
@@ -81,92 +84,29 @@ def _detections(record: DetectionRecord) -> Set[Measure]:
 def optimize_test_plan(result: MacroResult,
                        min_coverage: Optional[float] = None,
                        dictionary=None,
-                       resolution_weight: float = 0.0) -> TestPlan:
-    """Greedy minimum-cost measurement selection for one macro.
+                       resolution_weight: float = 0.0,
+                       rng=None) -> TestPlan:
+    """Deprecated: use :mod:`repro.optimize`.
 
-    Args:
-        result: macro result whose records carry ``violated_keys``.
-        min_coverage: stop once this weighted coverage is reached
-            (default: everything achievable).
-        dictionary: optional :class:`repro.diagnosis.FaultDictionary`;
-            when given, the returned plan carries the expected
-            diagnostic resolution of the selected measurements.
-        resolution_weight: trade-off knob; with a dictionary, each
-            greedy step scores ``coverage_gain + resolution_weight *
-            resolution_gain`` per second, and selection continues past
-            the coverage target while a measurement still improves
-            resolution.  0.0 (the default) reproduces the
-            coverage-only plan exactly.
+    Delegates to :func:`repro.optimize.seeding.greedy_test_plan` —
+    the identical greedy weighted set cover, now the generation-0
+    seed of the evolutionary search.  Same signature (plus the
+    optional explicit ``rng`` every plan producer now accepts), same
+    :class:`TestPlan` return, bit-identical selections.
     """
-    weights: Dict[int, float] = {}
-    detections: Dict[int, Set[Measure]] = {}
-    total = result.total_faults
-    if total == 0:
-        raise ValueError("macro has no faults to cover")
-    for idx, record in enumerate(result.records):
-        weights[idx] = record.count / total
-        detections[idx] = _detections(record)
-
-    candidates: Set[Measure] = set()
-    for dets in detections.values():
-        candidates |= dets
-    achievable = sum(w for idx, w in weights.items() if detections[idx])
-    target = achievable if min_coverage is None \
-        else min(min_coverage, achievable)
-
-    diagnose = dictionary is not None and resolution_weight > 0.0
-    if diagnose:
-        from ..diagnosis import expected_resolution
-
-        def resolution_of(measures: Sequence[Measure]) -> float:
-            return expected_resolution(
-                dictionary, measurements=measures).resolution
-
-    chosen: List[Measure] = []
-    covered: Set[int] = set()
-    coverage = 0.0
-    resolution = resolution_of(chosen) if diagnose else 0.0
-    remaining = set(candidates)
-    while remaining:
-        covering = coverage < target - 1e-12
-
-        def gain(measure: Measure) -> float:
-            g = sum(weights[idx] for idx in weights
-                    if idx not in covered and
-                    measure in detections[idx])
-            if diagnose:
-                g += resolution_weight * \
-                    (resolution_of(chosen + [measure]) - resolution)
-            return g / measurement_cost(measure)
-
-        best = max(sorted(remaining), key=gain)
-        newly = {idx for idx in weights
-                 if idx not in covered and best in detections[idx]}
-        if covering:
-            if not newly and not (diagnose and gain(best) > 1e-12):
-                break
-        else:
-            # coverage target met: keep going only while a measurement
-            # still buys diagnostic resolution
-            if not diagnose or \
-                    resolution_of(chosen + [best]) <= resolution + 1e-12:
-                break
-        remaining.discard(best)
-        chosen.append(best)
-        covered |= newly
-        coverage = sum(weights[idx] for idx in covered)
-        if diagnose:
-            resolution = resolution_of(chosen)
-
-    cost = sum(measurement_cost(m) for m in chosen)
-    final_resolution: Optional[float] = None
-    if dictionary is not None:
-        from ..diagnosis import expected_resolution
-        final_resolution = expected_resolution(
-            dictionary, measurements=chosen).resolution
-    return TestPlan(measurements=tuple(chosen), coverage=coverage,
-                    achievable=achievable, cost=cost,
-                    resolution=final_resolution)
+    warnings.warn(
+        "optimize_test_plan() moved to repro.optimize: call "
+        "repro.optimize.greedy_test_plan() for the fixed-menu plan, "
+        "or run the evolutionary search (python -m repro optimize) "
+        "for Pareto-optimal plans",
+        DeprecationWarning, stacklevel=2)
+    # lazy import: repro.optimize re-exports this module's types, so
+    # a module-level import here would be circular
+    from ..optimize.seeding import greedy_test_plan
+    return greedy_test_plan(result, min_coverage=min_coverage,
+                            dictionary=dictionary,
+                            resolution_weight=resolution_weight,
+                            rng=rng)
 
 
 def full_plan_cost() -> float:

@@ -230,3 +230,64 @@ class TestSweepStaleTmp:
     def test_missing_root_is_noop(self, tmp_path):
         from repro.campaign.store import sweep_stale_tmp
         assert sweep_stale_tmp(tmp_path / "absent") == 0
+
+
+class TestJsonNamespace:
+    """The generic JSON namespace (put_json/get_json/iter_keys) the
+    optimizer's generation journal lives in."""
+
+    def test_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.put_json("optimize/run1/meta", {"seed": 7})
+        assert store.get_json("optimize/run1/meta") == {"seed": 7}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultsStore(tmp_path).get_json("absent/key") is None
+
+    def test_corrupt_blob_is_miss_not_crash(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.put_json("ns/torn", {"ok": True})
+        path = tmp_path / "ns" / "torn.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get_json("ns/torn") is None
+
+    def test_non_dict_payload_is_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = tmp_path / "ns" / "list.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("[1, 2]", encoding="utf-8")
+        assert store.get_json("ns/list") is None
+
+    def test_overwrite(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.put_json("k", {"v": 1})
+        store.put_json("k", {"v": 2})
+        assert store.get_json("k") == {"v": 2}
+
+    def test_traversal_rejected(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        for bad in ("../escape", "/abs/path", "a/../../b", ""):
+            with pytest.raises(ValueError):
+                store.put_json(bad, {})
+
+    def test_dotted_keys_survive(self, tmp_path):
+        """Keys containing dots must not be mangled by suffix
+        handling."""
+        store = ResultsStore(tmp_path)
+        store.put_json("runs/v1.2/gen-00001", {"g": 1})
+        assert store.get_json("runs/v1.2/gen-00001") == {"g": 1}
+        assert "runs/v1.2/gen-00001" in store.iter_keys("runs/")
+
+    def test_iter_keys_prefix_and_order(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        for key in ("opt/b/gen-00002", "opt/a/meta", "opt/b/gen-00001",
+                    "other/x"):
+            store.put_json(key, {})
+        assert list(store.iter_keys("opt/")) == \
+            ["opt/a/meta", "opt/b/gen-00001", "opt/b/gen-00002"]
+        assert list(store.iter_keys("opt/b/gen-")) == \
+            ["opt/b/gen-00001", "opt/b/gen-00002"]
+
+    def test_iter_keys_empty_store(self, tmp_path):
+        assert list(ResultsStore(tmp_path).iter_keys()) == []
+        assert list(ResultsStore(tmp_path / "absent").iter_keys()) == []

@@ -1,0 +1,107 @@
+"""Campaign-backed evaluation: objectives, memoization, store reuse.
+
+One tiny comparator campaign (hundreds of defects, a handful of
+classes) is shared by the whole module — evaluation itself is cheap,
+the campaign is the only expensive part.
+"""
+
+import pytest
+
+from repro.campaign import CampaignOptions
+from repro.core.path import PathConfig
+from repro.optimize import (MISSING_CODE, CampaignEvaluator,
+                            ObjectiveVector, PlanGenome,
+                            all_measurements, dft_area_overhead,
+                            full_plan_cost, schedule_objectives)
+
+IVDD_S = ("ivdd", "sampling", "above")
+
+CONFIG = PathConfig(n_defects=600, max_classes=3,
+                    include_noncat=False)
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return CampaignEvaluator(CONFIG, CampaignOptions(jobs=1))
+
+
+class TestObjectives:
+    def test_full_schedule(self, evaluator):
+        e = evaluator.evaluate(PlanGenome(schedule=all_measurements()))
+        o = e.objectives
+        assert 0.0 < o.coverage <= 1.0
+        assert 0.0 < o.test_time <= full_plan_cost()
+        assert o.dft_area == 0.0
+        assert 0.0 <= o.resolution <= 1.0
+        assert e.source == "computed"
+        assert e.fresh_simulations > 0
+        assert e.fingerprint
+
+    def test_schedule_variant_is_memo(self, evaluator):
+        evaluator.evaluate(PlanGenome(schedule=all_measurements()))
+        e = evaluator.evaluate(PlanGenome(schedule=(MISSING_CODE,)))
+        assert e.source == "memo"
+        assert e.fresh_simulations == 0
+        assert e.store_hits == 0
+
+    def test_shorter_schedule_cheaper(self, evaluator):
+        full = evaluator.evaluate(
+            PlanGenome(schedule=all_measurements()))
+        short = evaluator.evaluate(PlanGenome(schedule=(MISSING_CODE,)))
+        assert short.objectives.test_time < full.objectives.test_time
+        assert short.objectives.coverage <= full.objectives.coverage
+
+    def test_dft_area_follows_genes(self, evaluator):
+        e = evaluator.evaluate(PlanGenome(
+            flipflop_redesign=True, schedule=(MISSING_CODE,)))
+        assert e.objectives.dft_area == \
+            pytest.approx(dft_area_overhead(True, False))
+
+    def test_deterministic_scores(self, evaluator):
+        g = PlanGenome(schedule=(MISSING_CODE, IVDD_S))
+        a = evaluator.evaluate(g).objectives
+        b = evaluator.evaluate(g).objectives
+        assert a == b
+
+
+class TestStoreReuse:
+    def test_warm_store_needs_no_fresh_simulation(self, tmp_path):
+        options = CampaignOptions(jobs=1, cache_dir=tmp_path)
+        g = PlanGenome(schedule=(MISSING_CODE,))
+        cold = CampaignEvaluator(CONFIG, options).evaluate(g)
+        warm = CampaignEvaluator(CONFIG, options).evaluate(g)
+        assert cold.fresh_simulations > 0
+        assert warm.fresh_simulations == 0
+        assert warm.store_hits > 0
+        assert warm.objectives == cold.objectives
+
+
+class TestScheduleObjectives:
+    TABLE = ((0.5, frozenset({MISSING_CODE})),
+             (0.3, frozenset({IVDD_S})),
+             (0.2, frozenset()))
+
+    def test_coverage_sums_detected_weight(self):
+        coverage, _ = schedule_objectives((MISSING_CODE, IVDD_S),
+                                          self.TABLE)
+        assert coverage == pytest.approx(0.8)
+
+    def test_ordering_changes_expected_time(self):
+        _, t1 = schedule_objectives((MISSING_CODE, IVDD_S),
+                                    self.TABLE)
+        _, t2 = schedule_objectives((IVDD_S, MISSING_CODE),
+                                    self.TABLE)
+        assert t1 != t2
+
+    def test_zero_yield_loss_time_is_full_schedule(self):
+        from repro.optimize import measurement_cost
+        schedule = (MISSING_CODE, IVDD_S)
+        _, t = schedule_objectives(schedule, self.TABLE,
+                                   yield_loss=0.0)
+        assert t == pytest.approx(sum(measurement_cost(m)
+                                      for m in schedule))
+
+    def test_minimize_negates_maximized_axes(self):
+        o = ObjectiveVector(coverage=0.9, test_time=1e-3,
+                            dft_area=5.0, resolution=0.4)
+        assert o.minimize() == (-0.9, 1e-3, 5.0, -0.4)

@@ -1,0 +1,82 @@
+"""PlanGenome validation, identity keys and PathConfig compilation."""
+
+import pytest
+
+from repro.adc.process import corner_set
+from repro.core.path import PathConfig
+from repro.optimize import MISSING_CODE, PlanGenome, all_measurements
+
+IVDD_S = ("ivdd", "sampling", "above")
+IDDQ_L = ("iddq", "latching", "below")
+
+
+class TestValidation:
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            PlanGenome(schedule=())
+
+    def test_unknown_measurement_rejected(self):
+        with pytest.raises(ValueError, match="unknown measurement"):
+            PlanGenome(schedule=(("bogus", "x", "y"),))
+
+    def test_duplicate_measurement_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PlanGenome(schedule=(IVDD_S, IVDD_S))
+
+    def test_unknown_corner_set_rejected(self):
+        with pytest.raises(ValueError, match="corner"):
+            PlanGenome(corners="nominal", schedule=(MISSING_CODE,))
+
+    def test_universe_size(self):
+        # the missing-code pseudo-measurement + 4 quantities x 3
+        # phases x 2 polarities of current measurements
+        assert len(all_measurements()) == 25
+        assert all_measurements()[0] == MISSING_CODE
+
+
+class TestIdentity:
+    def test_schedule_changes_key_not_campaign_key(self):
+        a = PlanGenome(schedule=(MISSING_CODE, IVDD_S))
+        b = PlanGenome(schedule=(IVDD_S, MISSING_CODE))
+        assert a.key() != b.key()
+        assert a.campaign_key() == b.campaign_key()
+
+    def test_campaign_gene_changes_both_keys(self):
+        a = PlanGenome(schedule=(MISSING_CODE,))
+        b = PlanGenome(flipflop_redesign=True,
+                       schedule=(MISSING_CODE,))
+        assert a.key() != b.key()
+        assert a.campaign_key() != b.campaign_key()
+
+    def test_roundtrip(self):
+        g = PlanGenome(bias_line_reorder=True, dynamic_test=True,
+                       big_probe=0.05, corners="typical",
+                       schedule=(IDDQ_L, MISSING_CODE))
+        back = PlanGenome.from_dict(g.to_dict())
+        assert back == g
+        assert back.key() == g.key()
+
+
+class TestCompilation:
+    def test_default_genes_leave_base_config_alone(self):
+        """A default-gene genome must share store keys with plain
+        campaigns: the compiled config equals the base config."""
+        base = PathConfig(n_defects=500, max_classes=4, seed=3)
+        compiled = PlanGenome(schedule=(MISSING_CODE,)) \
+            .path_config(base)
+        assert compiled == base
+
+    def test_deltas_applied(self):
+        base = PathConfig(n_defects=500)
+        g = PlanGenome(flipflop_redesign=True, dynamic_test=True,
+                       big_probe=0.2, small_probe=4e-3,
+                       corners="typical", schedule=(MISSING_CODE,))
+        compiled = g.path_config(base)
+        assert compiled.dft.flipflop_redesign
+        assert not compiled.dft.bias_line_reorder
+        assert compiled.dynamic_test
+        assert compiled.big_probe == 0.2
+        assert compiled.small_probe == 4e-3
+        assert compiled.corners == tuple(corner_set("typical"))
+        # untouched knobs survive
+        assert compiled.n_defects == 500

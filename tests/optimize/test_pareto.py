@@ -1,0 +1,142 @@
+"""NSGA-II primitive tests: sorting, crowding, selection, hypervolume."""
+
+import numpy as np
+import pytest
+
+from repro.optimize import (crowding_distance, dominates, hypervolume,
+                            non_dominated_sort, nsga_rank, nsga_select)
+
+# hand-built minimization points:
+#   0 (0,3) | 1 (3,0) | 4 (1,1)  -> Pareto front
+#   2 (2,2)                      -> dominated only by 4
+#   3 (4,4)                      -> dominated by everything
+POINTS = [(0.0, 3.0), (3.0, 0.0), (2.0, 2.0), (4.0, 4.0), (1.0, 1.0)]
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_partial_tie(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_incomparable(self):
+        assert not dominates((0.0, 3.0), (3.0, 0.0))
+        assert not dominates((3.0, 0.0), (0.0, 3.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestNonDominatedSort:
+    def test_hand_built_fronts(self):
+        assert non_dominated_sort(POINTS) == [[0, 1, 4], [2], [3]]
+
+    def test_empty(self):
+        assert non_dominated_sort([]) == []
+
+    def test_all_identical_single_front(self):
+        fronts = non_dominated_sort([(1.0, 1.0)] * 4)
+        assert fronts == [[0, 1, 2, 3]]
+
+    def test_indices_ascending_within_front(self):
+        for front in non_dominated_sort(POINTS):
+            assert front == sorted(front)
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        front = [0, 1, 4]
+        d = crowding_distance(POINTS, front)
+        # 0 and 1 are the extremes of both objectives; 4 is interior
+        assert np.isinf(d[0]) and np.isinf(d[1])
+        assert np.isfinite(d[2])
+
+    def test_small_front_all_infinite(self):
+        assert np.all(np.isinf(crowding_distance(POINTS, [0, 1])))
+
+    def test_empty_front(self):
+        assert crowding_distance(POINTS, []).shape == (0,)
+
+    def test_tied_values_deterministic(self):
+        """Exact objective ties: the stable sort must hand the inf
+        boundary to the lower index, every run."""
+        pts = [(0.0, 2.0), (0.0, 2.0), (0.0, 2.0), (1.0, 0.0)]
+        front = [0, 1, 2, 3]
+        d1 = crowding_distance(pts, front)
+        d2 = crowding_distance(pts, front)
+        assert np.array_equal(d1, d2)
+        # index 0 gets the boundary inf among the tied trio
+        assert np.isinf(d1[0])
+
+    def test_zero_range_objective_ignored(self):
+        """An objective where the whole front ties contributes
+        nothing (no divide-by-zero, no NaN)."""
+        pts = [(5.0, 0.0), (5.0, 1.0), (5.0, 2.0), (5.0, 3.0)]
+        d = crowding_distance(pts, [0, 1, 2, 3])
+        assert np.all(np.isfinite(d[1:3]))
+        assert not np.any(np.isnan(d))
+
+
+class TestSelection:
+    def test_rank_matches_fronts(self):
+        ranks, _ = nsga_rank(POINTS)
+        assert list(ranks) == [0, 0, 1, 2, 0]
+
+    def test_select_prefers_lower_fronts(self):
+        assert nsga_select(POINTS, 3) == [0, 1, 4]
+
+    def test_select_truncates_by_crowding(self):
+        # 4 is the interior (finite-crowding) front member: first out
+        assert nsga_select(POINTS, 2) == [0, 1]
+
+    def test_select_everything_when_k_large(self):
+        assert nsga_select(POINTS, 99) == [0, 1, 2, 3, 4]
+
+    def test_select_is_sorted_and_deterministic(self):
+        for k in range(1, 5):
+            sel = nsga_select(POINTS, k)
+            assert sel == sorted(sel)
+            assert sel == nsga_select(POINTS, k)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([(0.0, 0.0)], (1.0, 1.0)) == \
+            pytest.approx(1.0)
+
+    def test_two_point_front(self):
+        # sweep: [0, .8) dominated height .1, [.8, 1) height 1
+        hv = hypervolume([(0.0, 0.9), (0.8, 0.0)], (1.0, 1.0))
+        assert hv == pytest.approx(0.8 * 0.1 + 0.2 * 1.0)
+
+    def test_dominated_point_adds_nothing(self):
+        lone = hypervolume([(0.2, 0.2)], (1.0, 1.0))
+        both = hypervolume([(0.2, 0.2), (0.5, 0.5)], (1.0, 1.0))
+        assert both == pytest.approx(lone)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume([(2.0, 2.0)], (1.0, 1.0)) == 0.0
+
+    def test_empty(self):
+        assert hypervolume([], (1.0, 1.0)) == 0.0
+
+    def test_result_is_plain_float(self):
+        """The journal JSON-serialises this — numpy scalars would
+        crash json.dumps."""
+        hv = hypervolume(np.array([[0.0, 0.0]]), np.array([1.0, 1.0]))
+        assert type(hv) is float
+
+    def test_three_dimensional(self):
+        hv = hypervolume([(0.0, 0.0, 0.5), (0.5, 0.5, 0.0)],
+                         (1.0, 1.0, 1.0))
+        # box1 = 1*1*.5, box2 = .5*.5*1, overlap = .5*.5*.5
+        assert hv == pytest.approx(0.5 + 0.25 - 0.125)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            hypervolume([(0.0, 0.0)], (1.0, 1.0, 1.0))

@@ -1,0 +1,206 @@
+"""Search-loop tests with a stub evaluator: same-seed byte-identical
+fronts, journaling, mid-generation crash resume."""
+
+import pytest
+
+from repro.campaign import CampaignOptions, EventBus
+from repro.optimize import (MISSING_CODE, CandidateEvaluation,
+                            EvolutionarySearch, ObjectiveVector,
+                            OptimizeMetricsCollector, PlanGenome,
+                            SearchConfig, all_measurements,
+                            measurement_cost)
+
+IVDD_S = ("ivdd", "sampling", "above")
+IDDQ_L = ("iddq", "latching", "below")
+IIN_A = ("iin", "amplification", "above")
+
+SEEDS = [
+    PlanGenome(schedule=(MISSING_CODE,)),
+    PlanGenome(schedule=(IVDD_S, MISSING_CODE)),
+    PlanGenome(flipflop_redesign=True,
+               schedule=(MISSING_CODE, IDDQ_L)),
+    PlanGenome(schedule=(IIN_A,)),
+]
+
+
+class StubEvaluator:
+    """Scores genomes analytically — a pure function of the genome, so
+    journal adoption reproduces exactly what scoring would compute."""
+
+    def __init__(self, bus=None, fail_after=None):
+        self.bus = bus or EventBus()
+        self.calls = 0
+        self.fail_after = fail_after
+
+    def evaluate(self, genome, generation=0):
+        from repro.campaign import CandidateEvaluated
+        self.calls += 1
+        if self.fail_after is not None and \
+                self.calls > self.fail_after:
+            raise RuntimeError("simulated crash")
+        n = len(genome.schedule)
+        coverage = min(1.0, 0.15 * n +
+                       (0.1 if genome.flipflop_redesign else 0.0) +
+                       (0.05 if genome.dynamic_test else 0.0))
+        time = sum(measurement_cost(m) for m in genome.schedule)
+        area = (40000.0 if genome.flipflop_redesign else 0.0) + \
+            (20000.0 if genome.bias_line_reorder else 0.0)
+        resolution = min(1.0, 0.1 + 0.03 * n)
+        evaluation = CandidateEvaluation(
+            genome=genome,
+            objectives=ObjectiveVector(coverage, time, area,
+                                       resolution),
+            source="computed", fresh_simulations=1, store_hits=0)
+        self.bus.emit(CandidateEvaluated(
+            generation=generation, key=genome.key(),
+            source="computed", fresh_simulations=1,
+            objectives=evaluation.objectives.to_dict()))
+        return evaluation
+
+
+def run_search(tmp_path=None, seed=7, generations=3, population=8,
+               fail_after=None, resume=False, bus=None):
+    options = CampaignOptions(
+        cache_dir=None if tmp_path is None else tmp_path)
+    search = EvolutionarySearch(
+        search=SearchConfig(population=population,
+                            generations=generations, seed=seed),
+        options=options,
+        evaluator=StubEvaluator(bus=bus, fail_after=fail_after),
+        seed_genomes=SEEDS, bus=bus)
+    return search, search.run(resume=resume)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_fronts(self):
+        _, a = run_search(seed=11)
+        _, b = run_search(seed=11)
+        assert a.front_json() == b.front_json()
+        assert [e.genome.key() for e in a.population] == \
+            [e.genome.key() for e in b.population]
+
+    def test_different_seed_diverges(self):
+        _, a = run_search(seed=11)
+        _, b = run_search(seed=12)
+        # populations explore different genomes (fronts could
+        # coincide at tiny sizes, the populations must not)
+        assert [e.genome.key() for e in a.population] != \
+            [e.genome.key() for e in b.population]
+
+    def test_front_is_mutually_non_dominated(self):
+        from repro.optimize import dominates
+        _, result = run_search(seed=3)
+        pts = [e.objectives.minimize() for e in result.front]
+        for i, p in enumerate(pts):
+            for j, q in enumerate(pts):
+                if i != j:
+                    assert not dominates(p, q)
+
+    def test_generation_count(self):
+        _, result = run_search(generations=3)
+        assert len(result.generations) == 4  # gen 0 + 3 breeding
+        assert [g["generation"] for g in result.generations] == \
+            [0, 1, 2, 3]
+
+
+class TestJournal:
+    def test_journaled_equals_memoryless(self, tmp_path):
+        _, plain = run_search()
+        _, journaled = run_search(tmp_path=tmp_path)
+        assert plain.front_json() == journaled.front_json()
+
+    def test_finished_run_replays_without_scoring(self, tmp_path):
+        _, first = run_search(tmp_path=tmp_path)
+        search, replay = run_search(tmp_path=tmp_path, resume=True)
+        assert replay.front_json() == first.front_json()
+        assert search.evaluator.calls == 0
+
+    def test_resume_refuses_changed_identity(self, tmp_path):
+        run_search(tmp_path=tmp_path, seed=7)
+        options = CampaignOptions(cache_dir=tmp_path)
+        other = EvolutionarySearch(
+            search=SearchConfig(population=8, generations=3, seed=8,
+                                run_id=EvolutionarySearch(
+                                    search=SearchConfig(
+                                        population=8, generations=3,
+                                        seed=7),
+                                    options=options,
+                                    evaluator=StubEvaluator(),
+                                    seed_genomes=SEEDS).run_id()),
+            options=options, evaluator=StubEvaluator(),
+            seed_genomes=SEEDS)
+        with pytest.raises(ValueError, match="identity"):
+            other.run(resume=True)
+
+
+class TestCrashResume:
+    def test_mid_generation_crash_resumes_to_identical_front(
+            self, tmp_path):
+        # uninterrupted reference
+        _, reference = run_search(seed=21)
+        # crash partway through a warm generation...
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_search(tmp_path=tmp_path, seed=21, fail_after=13)
+        # ...and resume: identical front, and the journaled
+        # evaluations were adopted instead of re-scored
+        search, resumed = run_search(tmp_path=tmp_path, seed=21,
+                                     resume=True)
+        assert resumed.front_json() == reference.front_json()
+        assert search.evaluator.calls < sum(
+            g["evaluated"] for g in reference.generations)
+
+    def test_crash_in_generation_zero(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            run_search(tmp_path=tmp_path, seed=5, fail_after=3)
+        search, resumed = run_search(tmp_path=tmp_path, seed=5,
+                                     resume=True)
+        _, reference = run_search(seed=5)
+        assert resumed.front_json() == reference.front_json()
+        assert search.evaluator.calls < sum(
+            g["evaluated"] for g in reference.generations)
+
+
+class TestMetrics:
+    def test_collector_folds_events(self, tmp_path):
+        bus = EventBus()
+        collector = OptimizeMetricsCollector()
+        bus.subscribe(collector)
+        _, result = run_search(tmp_path=tmp_path, bus=bus)
+        metrics = collector.snapshot()
+        assert metrics.candidates == sum(
+            g["evaluated"] for g in result.generations)
+        assert len(metrics.generations) == len(result.generations)
+        assert metrics.hypervolume_trajectory == tuple(
+            g["hypervolume"] for g in result.generations)
+        # within one journaled run, a re-bred duplicate genome is
+        # adopted from the journal rather than re-scored
+        payload = metrics.as_dict()
+        assert payload["computed"] + payload["journal_hits"] == \
+            metrics.candidates
+        assert payload["computed"] > 0
+
+    def test_journal_hits_counted_on_replay(self, tmp_path):
+        run_search(tmp_path=tmp_path)
+        bus = EventBus()
+        collector = OptimizeMetricsCollector()
+        bus.subscribe(collector)
+        run_search(tmp_path=tmp_path, resume=True, bus=bus)
+        metrics = collector.snapshot()
+        assert metrics.computed == 0
+        assert metrics.journal_hits == metrics.candidates > 0
+
+
+class TestSeedPopulationShape:
+    def test_population_size_and_uniqueness(self):
+        from repro.optimize import generation_rng, seed_population
+        from repro.optimize.operators import MutationRates
+        pop = seed_population(SEEDS, 10, generation_rng(1, 0),
+                              MutationRates())
+        assert len(pop) == 10
+        keys = [g.key() for g in pop]
+        assert len(set(keys)) == len(keys)
+        # the fixed menu leads the population
+        assert pop[:len(SEEDS)] == SEEDS
+
+    def test_universe_constant(self):
+        assert len(all_measurements()) == 25

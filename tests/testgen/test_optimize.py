@@ -153,3 +153,43 @@ class TestOnRealEngine:
         assert plan.coverage == pytest.approx(breakdown.total, abs=1e-9)
         assert plan.cost < full_plan_cost()
         assert 1 <= len(plan.measurements) <= 25
+
+class TestDeprecationShim:
+    """optimize_test_plan() now delegates to the evolutionary
+    package's generation-0 greedy — same signature, same plans."""
+
+    def test_emits_deprecation_warning(self):
+        m = macro([rec(10, keys=[IVDD_S])])
+        with pytest.warns(DeprecationWarning,
+                          match="repro.optimize"):
+            optimize_test_plan(m)
+
+    def test_plan_identical_to_greedy(self):
+        import warnings
+
+        from repro.optimize import greedy_test_plan
+
+        m = macro([rec(10, voltage=True, keys=[IVDD_S]),
+                   rec(7, keys=[IDDQ_S]),
+                   rec(3, keys=[IDDQ_L]),
+                   rec(2)])
+        direct = greedy_test_plan(m, min_coverage=0.9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = optimize_test_plan(m, min_coverage=0.9)
+        assert isinstance(shimmed, TestPlan)
+        assert shimmed == direct
+
+    def test_explicit_rng_accepted(self):
+        """Every plan producer takes an explicit numpy Generator (the
+        greedy is deterministic, so it changes nothing)."""
+        import warnings
+
+        import numpy as np
+
+        m = macro([rec(10, keys=[IVDD_S])])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            a = optimize_test_plan(m)
+            b = optimize_test_plan(m, rng=np.random.default_rng(5))
+        assert a == b
