@@ -17,6 +17,15 @@ port (synthetic comparator-style dictionary, no campaign needed):
    ``POST /v1/dictionaries/<name>/reload``; not a single request may
    fail, and traffic must observe more than one dictionary
    generation.
+4. **Processes scale past the GIL** — the same batched workload
+   against a :class:`~repro.diagnosis.fleet.DiagnosisFleet` of
+   :data:`MULTIPROC_PROCS` workers sharing one port must sustain at
+   least :data:`MIN_MULTIPROC_SPEEDUP` x the single-process batched
+   throughput, and :data:`N_RELOADS` fleet-wide hot-reloads under
+   load must fail zero requests and leave every worker at the same
+   version.  Like ``bench_distributed.py``, the speedup floor is only
+   enforced where it can physically hold (``floor_enforced`` is false
+   below 4 cores and the numbers are informational).
 
 Numbers land machine-readable in
 ``benchmarks/output/BENCH_serving.json`` (``*_qps`` and latency
@@ -28,6 +37,7 @@ percentiles are lower-better).  Runs standalone
 import argparse
 import http.client
 import json
+import os
 import pathlib
 import sys
 import tempfile
@@ -37,6 +47,7 @@ import time
 import numpy as np
 
 from repro.diagnosis import DictionaryRegistry, compile_dictionary
+from repro.diagnosis.fleet import DiagnosisFleet
 from repro.diagnosis.server import serve
 from repro.faultsim import (CurrentMechanism, VoltageSignature,
                             signature_feature_names)
@@ -61,6 +72,13 @@ BATCH = 100
 
 #: dictionary swaps performed during the hot-reload phase
 N_RELOADS = 8
+
+#: worker processes in the multi-process leg
+MULTIPROC_PROCS = 4
+
+#: fleet throughput must beat single-process batched by this factor
+#: (enforced only when the host has >= MULTIPROC_PROCS cores)
+MIN_MULTIPROC_SPEEDUP = 2.0
 
 N_FEATURES = len(signature_feature_names())
 
@@ -238,7 +256,91 @@ def _reload_phase(host, port, registry, tmp_dir):
     }
 
 
-def run_bench(n_queries=N_QUERIES, batch=BATCH) -> dict:
+def _fleet_reload_phase(host, port, fleet, tmp_dir):
+    """N_RELOADS fleet-wide swaps while clients hammer the shared
+    port: zero failed requests, and every worker must settle on the
+    same final version."""
+    paths = []
+    for k in range(N_RELOADS):
+        path = pathlib.Path(tmp_dir) / f"fleet-gen{k}.json"
+        _dictionary(10 + 1 + (k % 3)).save(path)
+        paths.append(path)
+
+    body = json.dumps(
+        {"queries": _query_pool(_dictionary(), 4).tolist()}).encode()
+    stop = threading.Event()
+    failures = []
+    versions = set()
+    counts = [0] * N_CLIENTS
+
+    def client(i):
+        c = _Client(host, port)
+        try:
+            while not stop.is_set():
+                status, raw = c.post("/v1/diagnose", body)
+                if status != 200:
+                    failures.append((status, raw[:200]))
+                    continue
+                versions.add(json.loads(raw)["version"])
+                counts[i] += 1
+        finally:
+            c.close()
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    admin = _Client(host, port)
+    reload_failures = 0
+    try:
+        for path in paths:
+            target = sum(counts) + N_CLIENTS
+            deadline = time.perf_counter() + 10.0
+            while sum(counts) < target and \
+                    time.perf_counter() < deadline:
+                time.sleep(0.005)
+            status, _ = admin.post(
+                "/v1/dictionaries/bench/reload",
+                json.dumps({"path": str(path)}).encode())
+            if status != 200:
+                reload_failures += 1
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        admin.close()
+    worker_versions = fleet.versions("bench")
+    return {
+        "reloads": N_RELOADS,
+        "reload_failures": reload_failures,
+        "requests": sum(counts),
+        "failures": len(failures),
+        "versions_observed": len(versions),
+        "worker_versions": worker_versions,
+        "final_version": max(worker_versions, default=0),
+        "coherent": len(set(worker_versions)) == 1,
+    }
+
+
+def _multiproc_phase(queries, batch, procs, tmp_dir):
+    """The batched workload plus the reload hammer against a
+    pre-fork fleet of ``procs`` workers on one shared port."""
+    path = pathlib.Path(tmp_dir) / "fleet-bench.json"
+    _dictionary().save(path)
+    fleet = DiagnosisFleet([("bench", str(path))], procs=procs)
+    host, port = fleet.start()
+    try:
+        throughput = _throughput_phase(host, port, queries, batch)
+        reload_stats = _fleet_reload_phase(host, port, fleet,
+                                           tmp_dir)
+    finally:
+        fleet.stop(graceful=True)
+    throughput["reload"] = reload_stats
+    return throughput
+
+
+def run_bench(n_queries=N_QUERIES, batch=BATCH,
+              procs=MULTIPROC_PROCS) -> dict:
     registry = DictionaryRegistry()
     registry.register("bench", dictionary=_dictionary())
     server = serve(registry=registry, port=0)
@@ -258,10 +360,14 @@ def run_bench(n_queries=N_QUERIES, batch=BATCH) -> dict:
         server.server_close()
         thread.join(timeout=10)
 
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        multiproc = _multiproc_phase(queries, batch, procs, tmp_dir)
+
+    cpus = os.cpu_count() or 1
     return {
         "workload": f"{n_queries} queries x {N_CLIENTS} clients; "
                     f"batch={batch}; {N_RELOADS} hot-reloads under "
-                    f"load",
+                    f"load; fleet of {procs} worker processes",
         "n_queries": n_queries,
         "n_clients": N_CLIENTS,
         "batch": batch,
@@ -275,7 +381,17 @@ def run_bench(n_queries=N_QUERIES, batch=BATCH) -> dict:
         "batched_failures": batched["failures"],
         "batch_speedup": batched["qps"] / per_request["qps"],
         "reload": reload_stats,
+        "multiproc_qps": multiproc["qps"],
+        "multiproc_p50_ms": multiproc["p50_ms"],
+        "multiproc_p99_ms": multiproc["p99_ms"],
+        "multiproc_failures": multiproc["failures"],
+        "multiproc_speedup": multiproc["qps"] / batched["qps"],
+        "multiproc_reload": multiproc["reload"],
+        "procs": procs,
+        "cpu_count": cpus,
+        "floor_enforced": cpus >= procs,
         "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        "min_multiproc_speedup": MIN_MULTIPROC_SPEEDUP,
         "max_p99_ms": MAX_P99_MS,
     }
 
@@ -315,11 +431,42 @@ def _check(payload: dict) -> list:
         failures.append(
             f"expected final version {N_RELOADS + 1}, got "
             f"{reload_stats['final_version']}")
+    # multi-process leg: correctness always, speedup where it can hold
+    if payload["multiproc_failures"]:
+        failures.append(
+            f"fleet throughput phase saw "
+            f"{payload['multiproc_failures']} failed requests")
+    fleet_reload = payload["multiproc_reload"]
+    if fleet_reload["failures"] or fleet_reload["reload_failures"]:
+        failures.append(
+            f"fleet hot-reload phase failed requests: "
+            f"{fleet_reload['failures']} diagnose, "
+            f"{fleet_reload['reload_failures']} reload")
+    if not fleet_reload["coherent"]:
+        failures.append(
+            f"fleet workers disagree on the final version: "
+            f"{fleet_reload['worker_versions']}")
+    if fleet_reload["final_version"] != N_RELOADS + 1:
+        failures.append(
+            f"expected fleet final version {N_RELOADS + 1}, got "
+            f"{fleet_reload['final_version']}")
+    if payload["floor_enforced"]:
+        if payload["multiproc_speedup"] < MIN_MULTIPROC_SPEEDUP:
+            failures.append(
+                f"fleet of {payload['procs']} only "
+                f"{payload['multiproc_speedup']:.2f}x the single-"
+                f"process batched path (floor "
+                f"{MIN_MULTIPROC_SPEEDUP}x)")
+        if payload["multiproc_p99_ms"] > MAX_P99_MS:
+            failures.append(
+                f"fleet p99 {payload['multiproc_p99_ms']:.1f}ms "
+                f"above the {MAX_P99_MS:.0f}ms ceiling")
     return failures
 
 
 def test_serving_bench():
-    """Batched >= 2x per-request, p99 bounded, reloads invisible."""
+    """Batched >= 2x per-request, p99 bounded, reloads invisible,
+    fleet >= 2x batched where the cores exist."""
     payload = run_bench()
     emit_serving_json(payload)
     failures = _check(payload)
@@ -334,13 +481,23 @@ def main() -> int:
     parser.add_argument("--batch", type=int, default=BATCH,
                         help="queries per request in the batched "
                              "phase (default: %(default)d)")
+    parser.add_argument("--procs", type=int,
+                        default=MULTIPROC_PROCS,
+                        help="fleet worker processes in the multi-"
+                             "process leg (default: %(default)d)")
     args = parser.parse_args()
-    payload = run_bench(n_queries=args.queries, batch=args.batch)
+    payload = run_bench(n_queries=args.queries, batch=args.batch,
+                        procs=args.procs)
     emit_serving_json(payload)
     print(json.dumps(payload, indent=1, sort_keys=True))
     failures = _check(payload)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
+    if not payload["floor_enforced"]:
+        print(f"note: {payload['cpu_count']} cores < "
+              f"{payload['procs']} fleet workers; multi-process "
+              f"speedup floor not enforced on this host",
+              file=sys.stderr)
     return 1 if failures else 0
 
 

@@ -13,8 +13,10 @@ latency percentiles — keys ending in ``_ms`` or whose last segment is
 ``p50``/``p95``/``p99``-style (the serving benchmark's
 ``per_request_p99_ms``).  Keys named or
 ending in ``speedup`` or ``efficiency`` (e.g. the distributed
-benchmark's ``scaling_efficiency``) are ratios (higher is better), as
-are throughput keys ending in ``_qps``.
+benchmark's ``scaling_efficiency``, the serving benchmark's
+``multiproc_speedup``) are ratios (higher is better), as
+are throughput keys ending in ``_qps`` (``batched_qps``,
+``multiproc_qps``).
 Other numeric
 keys are informational and only reported.  A tracked metric that moves
 more than ``--threshold`` (default 20%) in the bad direction fails the

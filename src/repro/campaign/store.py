@@ -184,6 +184,11 @@ def _atomic_write_text(path: Path, text: str) -> None:
 #: writer (no write legitimately stays in flight for ten minutes)
 STALE_TMP_AGE = 600.0
 
+#: an mtime further in the future than this is clock skew (an NFS
+#: server's clock, a stepped local clock), not a writer from the
+#: future; such files are never reaped
+FUTURE_MTIME_TOLERANCE = 30.0
+
 
 def sweep_stale_tmp(root: Union[str, Path],
                     max_age: float = STALE_TMP_AGE) -> int:
@@ -191,9 +196,15 @@ def sweep_stale_tmp(root: Union[str, Path],
 
     Only files older than ``max_age`` seconds are removed, so a sweep
     can never race an in-flight writer (whose staging file is seconds
-    old at most).  Returns the number of files removed.  Safe to call
-    concurrently — a file already reaped by another sweeper is simply
-    skipped.
+    old at most).  Age is computed defensively against clock trouble:
+    a backwards wall-clock step (or NFS mtime skew across hosts
+    sharing the store) must never make a seconds-old staging file
+    look ancient, so negative ages clamp to zero and a file whose
+    mtime sits beyond :data:`FUTURE_MTIME_TOLERANCE` in the future is
+    skipped outright — it survives until the clocks agree it is
+    genuinely old.  Returns the number of files removed.  Safe to
+    call concurrently — a file already reaped by another sweeper is
+    simply skipped.
     """
     root = Path(root)
     if not root.is_dir():
@@ -202,7 +213,11 @@ def sweep_stale_tmp(root: Union[str, Path],
     removed = 0
     for tmp in root.rglob("*.tmp"):
         try:
-            if now - tmp.stat().st_mtime < max_age:
+            mtime = tmp.stat().st_mtime
+            if mtime > now + FUTURE_MTIME_TOLERANCE:
+                continue
+            age = max(0.0, now - mtime)
+            if age < max_age:
                 continue
             tmp.unlink()
             removed += 1

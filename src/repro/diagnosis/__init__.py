@@ -23,6 +23,9 @@ diagnosis over them:
   :class:`DiagnosisDB` recording every served query and verdict;
 * :mod:`~repro.diagnosis.server` — the versioned (``/v1``) HTTP JSON
   service;
+* :mod:`~repro.diagnosis.fleet` — the pre-fork multi-process
+  :class:`DiagnosisFleet` (``serve --procs N``): one shared port,
+  crash restart, graceful drain, coordinated fleet-wide hot-reload;
 * :mod:`~repro.diagnosis.cli` — ``python -m repro diagnose``.
 
 See ``docs/DIAGNOSIS.md`` for the format, the matching math and the
@@ -36,6 +39,7 @@ from .build import (build_dictionary, build_from_store,
                     dictionary_for_campaign,
                     labeled_records, tolerance_envelope)
 from .db import SCHEMA_VERSION, DiagnosisDB, DiagnosisDBError
+from .fleet import DiagnosisFleet, FleetError
 from .dictionary import (DICTIONARY_VERSION, DictionaryEntry,
                          DictionaryError, FaultDictionary)
 from .match import (Candidate, Diagnosis, DictionaryMatcher,
@@ -56,6 +60,7 @@ __all__ = [
     "Candidate", "Diagnosis", "DictionaryMatcher", "ESCAPE_THRESHOLD",
     "EmptyDictionaryError",
     "SCHEMA_VERSION", "DiagnosisDB", "DiagnosisDBError",
+    "DiagnosisFleet", "FleetError",
     "DEFAULT_NAME", "DictionaryRegistry", "DictionarySnapshot",
     "QueryBatcher", "RegistryError", "UnknownDictionaryError",
     "load_dictionary_source",

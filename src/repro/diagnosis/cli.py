@@ -130,6 +130,13 @@ def _add_serve(sub) -> None:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8095)
     p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--procs", default="1", metavar="N",
+                   help="worker processes sharing the port (default "
+                        "1: single-process in-line serving; 'auto' "
+                        "uses all cores).  N>1 runs the pre-fork "
+                        "fleet supervisor (repro.diagnosis.fleet): "
+                        "crash restart, graceful drain, coordinated "
+                        "hot-reload")
     p.add_argument("--verbose", action="store_true",
                    help="log every request to stderr")
 
@@ -373,8 +380,53 @@ def build_registry(values: Sequence[str], top_k: int = 5,
     return registry
 
 
+def parse_procs(value: str) -> int:
+    """``--procs`` flag -> worker count (``auto`` = all cores)."""
+    import os
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        procs = int(value)
+    except ValueError:
+        raise RegistryError(
+            f"--procs {value!r}: expected an integer or 'auto'")
+    if procs < 1:
+        raise RegistryError(f"--procs must be >= 1, got {procs}")
+    return procs
+
+
+def _serve_fleet(args, procs: int) -> int:
+    """``serve --procs N`` for N>1: the pre-fork fleet."""
+    from .fleet import DiagnosisFleet, FleetError
+    try:
+        fleet = DiagnosisFleet(
+            args.dictionary, procs=procs, host=args.host,
+            port=args.port, top_k=args.top_k, default=args.default,
+            lazy=args.lazy, db_path=args.db, verbose=args.verbose)
+        host, port = fleet.start()
+    except (DictionaryError, RegistryError, FleetError,
+            OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = ", ".join(name for name, _ in fleet.specs)
+    mode = "SO_REUSEPORT" if fleet.reuseport else "shared listener"
+    print(f"serving dictionaries [{names}] on http://{host}:{port} "
+          f"with {procs} worker processes ({mode})"
+          + (f"; results db {args.db}" if args.db else ""),
+          file=sys.stderr)
+    fleet.run_forever()
+    return 0
+
+
 def _serve(args) -> int:
     from .server import serve
+    try:
+        procs = parse_procs(args.procs)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if procs > 1:
+        return _serve_fleet(args, procs)
     try:
         registry = build_registry(args.dictionary, top_k=args.top_k,
                                   default=args.default,

@@ -18,14 +18,20 @@ Schema (``SCHEMA_VERSION`` 1):
   verdict and by top label so "which defect classes do we actually
   see in returns?" is one ``GROUP BY``, not a JSON crawl.
 
-Writes are serialized behind one connection + lock (the service's
-request threads all share the :class:`DiagnosisDB`); WAL mode keeps
-concurrent external readers (an analyst's ``sqlite3`` session, the
-``report`` CLI against a live service's file) from blocking them.
+Connections are per thread (and per process — a forked serving
+worker never reuses its parent's handle): SQLite serializes writers
+itself, and ``PRAGMA busy_timeout`` makes a writer that meets the
+write lock wait instead of failing with ``database is locked``.  That
+is what lets every keep-alive handler thread — and every process of a
+multi-process serving fleet — share one results file: no
+Python-level lock serializes unrelated inserts, WAL mode keeps
+readers (an analyst's ``sqlite3`` session, the ``report`` CLI against
+a live service's file) off the writers' backs.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 import time
@@ -37,6 +43,10 @@ from .match import Diagnosis
 #: bump when the table layout changes; a mismatched existing file is
 #: refused (never silently migrated)
 SCHEMA_VERSION = 1
+
+#: how long a writer waits on SQLite's write lock before giving up
+#: (milliseconds); generous because fleet workers share one WAL file
+BUSY_TIMEOUT_MS = 10_000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -83,39 +93,81 @@ class DiagnosisDBError(RuntimeError):
 class DiagnosisDB:
     """The service's persistent, queryable diagnosis log.
 
-    Thread-safe: one connection, writes serialized by a lock.  Use as
-    a context manager or call :meth:`close`.
+    Thread-safe and multi-process-safe: each thread gets its own
+    connection (created on first use, with ``busy_timeout`` set so
+    concurrent writers queue on SQLite's write lock instead of
+    erroring), and a connection is never carried across a fork — a
+    worker process inheriting this object lazily opens fresh handles.
+    Use as a context manager or call :meth:`close`.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[sqlite3.Connection] = []
+        self._closed = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            self._conn = sqlite3.connect(str(self.path),
-                                         check_same_thread=False)
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            with self._conn:
-                self._conn.executescript(_SCHEMA)
-                self._check_schema()
+            conn = self._connection()
+            conn.executescript(_SCHEMA)
+            self._check_schema(conn)
+            conn.commit()
         except sqlite3.Error as exc:
             raise DiagnosisDBError(
                 f"cannot open diagnosis db {self.path}: {exc}"
                 ) from exc
 
-    def _check_schema(self) -> None:
-        row = self._conn.execute(
-            "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-        if row is None:
-            self._conn.execute(
-                "INSERT INTO meta (key, value) VALUES "
-                "('schema_version', ?)", (str(SCHEMA_VERSION),))
-        elif int(row[0]) != SCHEMA_VERSION:
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection in this process, opened on first
+        use.
+
+        The pid guard matters for the serving fleet: a pre-forked
+        worker inherits the supervisor's ``DiagnosisDB`` object, and
+        sharing the parent's SQLite handle across the fork corrupts
+        its internal state — the child must open its own.
+        """
+        pid = os.getpid()
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid",
+                                        None) == pid:
+            return conn
+        if self._closed:
             raise DiagnosisDBError(
-                f"diagnosis db {self.path} has schema version "
-                f"{row[0]}, this code wants {SCHEMA_VERSION}")
+                f"diagnosis db {self.path} is closed")
+        # autocommit mode: transactions are explicit (BEGIN
+        # IMMEDIATE), so a write never deadlocks upgrading a
+        # deferred read lock.  check_same_thread=False only so
+        # close() can reap every thread's connection; queries stay
+        # on the opening thread via the thread-local.
+        conn = sqlite3.connect(str(self.path),
+                               isolation_level=None,
+                               check_same_thread=False)
+        conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        self._local.conn = conn
+        self._local.pid = pid
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    def _check_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES "
+                    "('schema_version', ?)", (str(SCHEMA_VERSION),))
+            elif int(row[0]) != SCHEMA_VERSION:
+                raise DiagnosisDBError(
+                    f"diagnosis db {self.path} has schema version "
+                    f"{row[0]}, this code wants {SCHEMA_VERSION}")
+        finally:
+            conn.execute("COMMIT")
 
     def __enter__(self) -> "DiagnosisDB":
         return self
@@ -124,8 +176,15 @@ class DiagnosisDB:
         self.close()
 
     def close(self) -> None:
-        with self._lock:
-            self._conn.close()
+        self._closed = True
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # a thread's conn may already be
+                pass               # dead; closing is best-effort
+        self._local = threading.local()
 
     # -- writes -------------------------------------------------------------
 
@@ -145,8 +204,10 @@ class DiagnosisDB:
                          top.macro if top else None,
                          top.distance if top else None,
                          top.posterior if top else None))
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
                 "INSERT INTO batches (ts, dictionary, version, "
                 "n_queries, wall, matched, ambiguous, unmatched, "
                 "passed) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -155,11 +216,15 @@ class DiagnosisDB:
                  counts["matched"], counts["ambiguous"],
                  counts["escape_unmatched"], counts["pass"]))
             batch_id = cursor.lastrowid
-            self._conn.executemany(
+            conn.executemany(
                 "INSERT INTO verdicts (batch_id, seq, verdict, "
                 "top_label, top_macro, distance, posterior) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?)",
                 [(batch_id,) + row for row in rows])
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
         return batch_id
 
     # -- reads --------------------------------------------------------------
@@ -167,14 +232,13 @@ class DiagnosisDB:
     def summary(self) -> Dict:
         """Service-lifetime totals (the ``/v1/metrics`` ``db``
         block)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT COUNT(*), COALESCE(SUM(n_queries), 0), "
-                "COALESCE(SUM(wall), 0.0), "
-                "COALESCE(SUM(matched), 0), "
-                "COALESCE(SUM(ambiguous), 0), "
-                "COALESCE(SUM(unmatched), 0), "
-                "COALESCE(SUM(passed), 0) FROM batches").fetchone()
+        row = self._connection().execute(
+            "SELECT COUNT(*), COALESCE(SUM(n_queries), 0), "
+            "COALESCE(SUM(wall), 0.0), "
+            "COALESCE(SUM(matched), 0), "
+            "COALESCE(SUM(ambiguous), 0), "
+            "COALESCE(SUM(unmatched), 0), "
+            "COALESCE(SUM(passed), 0) FROM batches").fetchone()
         batches, queries, wall, matched, ambiguous, unmatched, \
             passed = row
         return {
@@ -187,13 +251,12 @@ class DiagnosisDB:
 
     def per_dictionary(self) -> List[Dict]:
         """Resolution stats per (dictionary, reload generation)."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT dictionary, version, COUNT(*), "
-                "SUM(n_queries), SUM(wall), SUM(matched), "
-                "SUM(ambiguous), SUM(unmatched), SUM(passed) "
-                "FROM batches GROUP BY dictionary, version "
-                "ORDER BY dictionary, version").fetchall()
+        rows = self._connection().execute(
+            "SELECT dictionary, version, COUNT(*), "
+            "SUM(n_queries), SUM(wall), SUM(matched), "
+            "SUM(ambiguous), SUM(unmatched), SUM(passed) "
+            "FROM batches GROUP BY dictionary, version "
+            "ORDER BY dictionary, version").fetchall()
         out = []
         for (name, version, batches, queries, wall, matched,
              ambiguous, unmatched, passed) in rows:
@@ -223,29 +286,26 @@ class DiagnosisDB:
             args = (dictionary,)
         sql += (" GROUP BY v.top_label, v.top_macro "
                 "ORDER BY hits DESC, v.top_label LIMIT ?")
-        with self._lock:
-            rows = self._conn.execute(sql, args + (int(limit),)
-                                      ).fetchall()
+        rows = self._connection().execute(
+            sql, args + (int(limit),)).fetchall()
         return [{"label": label, "macro": macro, "hits": hits,
                  "mean_distance": mean_distance}
                 for label, macro, hits, mean_distance in rows]
 
     def recent_batches(self, limit: int = 20) -> List[Dict]:
         """The newest recorded batches, newest first."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT id, ts, dictionary, version, n_queries, "
-                "wall, matched, ambiguous, unmatched, passed "
-                "FROM batches ORDER BY id DESC LIMIT ?",
-                (int(limit),)).fetchall()
+        rows = self._connection().execute(
+            "SELECT id, ts, dictionary, version, n_queries, "
+            "wall, matched, ambiguous, unmatched, passed "
+            "FROM batches ORDER BY id DESC LIMIT ?",
+            (int(limit),)).fetchall()
         keys = ("id", "ts", "dictionary", "version", "n_queries",
                 "wall", "matched", "ambiguous", "unmatched", "passed")
         return [dict(zip(keys, row)) for row in rows]
 
     def verdict_counts(self) -> Dict[str, int]:
         """Global verdict histogram from the per-query table."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT verdict, COUNT(*) FROM verdicts "
-                "GROUP BY verdict").fetchall()
+        rows = self._connection().execute(
+            "SELECT verdict, COUNT(*) FROM verdicts "
+            "GROUP BY verdict").fetchall()
         return {verdict: count for verdict, count in rows}

@@ -185,7 +185,8 @@ class DictionarySnapshot:
     """
 
     __slots__ = ("name", "version", "dictionary", "matcher",
-                 "batcher", "source", "loaded_at")
+                 "batcher", "source", "loaded_at",
+                 "_loaded_monotonic")
 
     def __init__(self, name: str, version: int,
                  dictionary: FaultDictionary,
@@ -196,7 +197,11 @@ class DictionarySnapshot:
         self.version = version
         self.dictionary = dictionary
         self.source = source
+        # wall stamp for display; age is measured on the monotonic
+        # clock so an NTP step cannot make a snapshot look ageless
+        # or prehistoric
         self.loaded_at = time.time()
+        self._loaded_monotonic = time.monotonic()
         self.matcher: Optional[DictionaryMatcher] = None
         self.batcher: Optional[QueryBatcher] = None
         try:
@@ -220,6 +225,11 @@ class DictionarySnapshot:
             "loaded_at": self.loaded_at,
             "empty": self.matcher is None,
         }
+
+    def age(self) -> float:
+        """Seconds since this snapshot was built (monotonic, so an
+        NTP step cannot make it negative or jump)."""
+        return time.monotonic() - self._loaded_monotonic
 
 
 def load_dictionary_source(source: Union[str, Path]

@@ -151,8 +151,15 @@ class DiagnosisServer(ThreadingHTTPServer):
 
     Request threads share the registry (read-mostly lock), the
     per-snapshot batchers (internally synchronized), the metrics
-    collector and the optional SQLite backend (one locked
-    connection) — no per-request mutable state.
+    collector and the optional SQLite backend (per-thread
+    connections) — no per-request mutable state.
+
+    As a fleet worker (``repro.diagnosis.fleet``), ``controller`` is
+    set: ``/v1/metrics`` and ``POST /v1/dictionaries/<name>/reload``
+    are forwarded to the supervisor so they act fleet-wide, while
+    :meth:`local_metrics` / :meth:`local_reload` remain the
+    single-process operations the supervisor's control channel drives
+    on each worker.
     """
 
     daemon_threads = True
@@ -162,13 +169,15 @@ class DiagnosisServer(ThreadingHTTPServer):
                  dictionary: Optional[FaultDictionary] = None,
                  top_k: int = 5,
                  bus: Optional[EventBus] = None,
-                 db: Optional[DiagnosisDB] = None) -> None:
+                 db: Optional[DiagnosisDB] = None,
+                 bind_and_activate: bool = True) -> None:
         if (registry is None) == (dictionary is None):
             raise ValueError(
                 "DiagnosisServer needs exactly one of registry= or "
                 "dictionary= (dictionary= is the deprecated "
                 "single-dictionary form)")
-        super().__init__(address, _Handler)
+        super().__init__(address, _Handler,
+                         bind_and_activate=bind_and_activate)
         if registry is None:
             warnings.warn(
                 "DiagnosisServer(dictionary=...) is deprecated; "
@@ -181,12 +190,38 @@ class DiagnosisServer(ThreadingHTTPServer):
         self.db = db
         self.collector = DiagnosisMetricsCollector()
         self.bus.subscribe(self.collector)
-        self.started = time.time()
+        # uptime is measured on the monotonic clock (immune to NTP
+        # steps); started/started_at is the wall-clock birth stamp
+        self._started_monotonic = time.monotonic()
+        self.started_at = time.time()
+        self.started = self.started_at  # legacy alias
+        #: fleet hook: when set, metrics and reload requests act
+        #: fleet-wide through the supervisor's control channel
+        self.controller: Optional["FleetController"] = None
+        self.draining = False
         self._counts_lock = threading.Lock()
         self._route_counts: Dict[str, int] = {}
         self._status_counts: Dict[str, int] = {}
+        self._active_lock = threading.Lock()
+        self._active_connections = 0
         self._adopt_bus()
         self.router = self._build_router()
+
+    def adopt_socket(self, sock) -> None:
+        """Serve on ``sock`` instead of a self-bound socket (the
+        fleet's shared listener).  Construct with
+        ``bind_and_activate=False``; ``sock`` must already be bound,
+        and is put into listening state here if it is not yet."""
+        self.socket.close()
+        self.socket = sock
+        self.server_address = sock.getsockname()
+        host, port = self.server_address[:2]
+        self.server_name = host
+        self.server_port = port
+        sock.listen(self.request_queue_size)
+
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_monotonic
 
     def _adopt_bus(self) -> None:
         """Point the registry (and already-loaded matchers) at this
@@ -250,6 +285,40 @@ class DiagnosisServer(ThreadingHTTPServer):
             self._status_counts[key] = \
                 self._status_counts.get(key, 0) + 1
 
+    def connection_opened(self) -> None:
+        with self._active_lock:
+            self._active_connections += 1
+
+    def connection_closed(self) -> None:
+        with self._active_lock:
+            self._active_connections -= 1
+
+    @property
+    def active_connections(self) -> int:
+        with self._active_lock:
+            return self._active_connections
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight
+        keep-alive requests, then return.
+
+        ``draining`` makes every handler close its connection after
+        the reply it is currently producing (``Connection: close``),
+        so persistent clients fall off as soon as their in-flight
+        request completes instead of holding the worker open.
+        Returns True when every connection drained inside
+        ``timeout``, False if stragglers (e.g. an idle keep-alive
+        peer that never sends another request) were abandoned.
+        """
+        self.draining = True
+        self.shutdown()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.active_connections == 0:
+                return True
+            time.sleep(0.01)
+        return self.active_connections == 0
+
     # -- handlers -----------------------------------------------------------
 
     def _snapshot_for(self, name: Optional[str]):
@@ -281,13 +350,22 @@ class DiagnosisServer(ThreadingHTTPServer):
 
     def _h_metrics(self, body: Optional[bytes],
                    params: Dict) -> Tuple[int, Dict]:
+        if self.controller is not None:
+            return 200, self.controller.metrics()
+        return 200, self.local_metrics()
+
+    def local_metrics(self) -> Dict:
+        """This process's metrics payload (the whole ``/v1/metrics``
+        body when serving standalone; one worker's contribution when
+        the fleet supervisor aggregates)."""
         payload = self.collector.snapshot().as_dict()
         with self._counts_lock:
             payload["requests"] = dict(sorted(
                 self._route_counts.items()))
             payload["responses"] = dict(sorted(
                 self._status_counts.items()))
-        payload["uptime"] = time.time() - self.started
+        payload["uptime"] = self.uptime()
+        payload["started_at"] = self.started_at
         batchers = {}
         for row in self.registry.describe():
             if not row.get("loaded"):
@@ -296,13 +374,14 @@ class DiagnosisServer(ThreadingHTTPServer):
             if snapshot.batcher is not None:
                 stats = snapshot.batcher.stats()
                 stats["version"] = snapshot.version
+                stats["age"] = snapshot.age()
                 batchers[row["name"]] = stats
         payload["batching"] = batchers
         if self.db is not None:
             payload["db"] = self.db.summary()
             payload["db"]["per_dictionary"] = \
                 self.db.per_dictionary()
-        return 200, payload
+        return payload
 
     def _h_list_dictionaries(self, body: Optional[bytes],
                              params: Dict) -> Tuple[int, Dict]:
@@ -329,6 +408,16 @@ class DiagnosisServer(ThreadingHTTPServer):
         source = payload.get("path")
         if source is not None and not isinstance(source, str):
             raise BadRequest("'path' must be a string")
+        if self.controller is not None:
+            # fleet worker: the supervisor drives build→validate→
+            # swap on every worker, so no client ever sees a torn
+            # fleet
+            return 200, self.controller.reload(name, source)
+        return 200, self.local_reload(name, source)
+
+    def local_reload(self, name: str,
+                     source: Optional[str] = None) -> Dict:
+        """Build → validate → swap on this process's registry."""
         try:
             snapshot = self.registry.reload(name, source=source)
         except UnknownDictionaryError as exc:
@@ -340,9 +429,9 @@ class DiagnosisServer(ThreadingHTTPServer):
         if snapshot.matcher is not None and \
                 snapshot.matcher.bus is None:
             snapshot.matcher.bus = self.bus
-        return 200, {"reloaded": True, "name": snapshot.name,
-                     "version": snapshot.version,
-                     "classes": len(snapshot.dictionary)}
+        return {"reloaded": True, "name": snapshot.name,
+                "version": snapshot.version,
+                "classes": len(snapshot.dictionary)}
 
     def _h_diagnose(self, body: Optional[bytes],
                     params: Dict) -> Tuple[int, Dict]:
@@ -392,6 +481,15 @@ class _Handler(BaseHTTPRequestHandler):
         if self.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
+    def handle(self) -> None:
+        # count live connections so a draining worker knows when its
+        # in-flight keep-alive requests have finished
+        self.server.connection_opened()
+        try:
+            BaseHTTPRequestHandler.handle(self)
+        finally:
+            self.server.connection_closed()
+
     def _reply(self, status: int, payload: dict,
                deprecated: bool = False,
                canonical: Optional[str] = None,
@@ -400,6 +498,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.server.draining:
+            # finish this request, then release the connection so
+            # the drain completes instead of waiting out keep-alive
+            self.send_header("Connection", "close")
+            self.close_connection = True
         if deprecated:
             self.send_header("Deprecation", "true")
             if canonical:
@@ -458,7 +561,8 @@ def serve(dictionary: Optional[FaultDictionary] = None,
           bus: Optional[EventBus] = None,
           verbose: bool = False,
           registry: Optional[DictionaryRegistry] = None,
-          db: Optional[DiagnosisDB] = None) -> DiagnosisServer:
+          db: Optional[DiagnosisDB] = None,
+          bind_and_activate: bool = True) -> DiagnosisServer:
     """Build a bound (not yet serving) server; callers run
     ``serve_forever()`` themselves — tests drive it from a thread,
     the CLI blocks on it.
@@ -480,6 +584,7 @@ def serve(dictionary: Optional[FaultDictionary] = None,
         registry = DictionaryRegistry(top_k=top_k, bus=bus)
         registry.register(DEFAULT_NAME, dictionary=dictionary)
     server = DiagnosisServer((host, port), registry=registry,
-                             top_k=top_k, bus=bus, db=db)
+                             top_k=top_k, bus=bus, db=db,
+                             bind_and_activate=bind_and_activate)
     _Handler.verbose = verbose
     return server

@@ -231,6 +231,48 @@ class TestSweepStaleTmp:
         from repro.campaign.store import sweep_stale_tmp
         assert sweep_stale_tmp(tmp_path / "absent") == 0
 
+    def test_skewed_mtime_survives_sweep(self, tmp_path):
+        """Regression: a freshly-touched staging file whose mtime is
+        skewed (NFS server clock ahead, or a backwards local clock
+        step) must never be reaped mid-write.  The old sweep compared
+        raw ``now - mtime`` so a backwards step could make a
+        seconds-old file look older than the stale age."""
+        import os
+        import time
+
+        from repro.campaign.store import sweep_stale_tmp
+
+        objects = tmp_path / "objects"
+        objects.mkdir(parents=True)
+        now = time.time()
+
+        # a live writer's stage whose mtime sits far in the future
+        # (equivalently: our clock just stepped backwards past its
+        # birth) — raw age is hugely negative, naive abs() or a
+        # wrapped unsigned subtraction would call it ancient
+        skewed = objects / "live-skewed.json.tmp"
+        skewed.write_text("{")
+        future = now + 7200.0
+        os.utime(skewed, (future, future))
+
+        # a stage just inside the future tolerance (small NFS skew)
+        nearby = objects / "live-nearby.json.tmp"
+        nearby.write_text("{")
+        near_future = now + 5.0
+        os.utime(nearby, (near_future, near_future))
+
+        # a genuinely orphaned stage is still reaped
+        stale = objects / "dead-writer.json.tmp"
+        stale.write_text("{")
+        old = now - 3600.0
+        os.utime(stale, (old, old))
+
+        removed = sweep_stale_tmp(tmp_path, max_age=600.0)
+        assert removed == 1
+        assert skewed.exists()
+        assert nearby.exists()
+        assert not stale.exists()
+
 
 class TestJsonNamespace:
     """The generic JSON namespace (put_json/get_json/iter_keys) the

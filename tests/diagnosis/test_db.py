@@ -168,3 +168,68 @@ class TestPersistenceAndSafety:
             assert summary["queries"] == n_threads * per_thread
         finally:
             db.close()
+
+    def test_concurrent_multi_connection_writers(self, tmp_path):
+        """Regression: several DiagnosisDB handles on one WAL file
+        (the multi-process fleet shape — each worker opens its own)
+        write concurrently from many threads without 'database is
+        locked'.  The old single shared connection had no
+        busy_timeout, so a second handle meeting the write lock
+        errored instead of waiting."""
+        path = tmp_path / "diag.sqlite"
+        dictionary = _dictionary()
+        diagnoses = _diagnoses(dictionary, [[0.0] * N])
+        n_handles, n_threads, per_thread = 3, 4, 8
+        handles = [DiagnosisDB(path) for _ in range(n_handles)]
+        errors = []
+
+        def worker(db):
+            try:
+                for _ in range(per_thread):
+                    db.record_batch("adc", 1, diagnoses, wall=0.001)
+            except Exception as exc:  # noqa: BLE001 — record all
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(db,))
+                   for db in handles for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        try:
+            assert errors == []
+            total = n_handles * n_threads * per_thread
+            assert handles[0].summary()["batches"] == total
+            # every batch's verdict rows landed atomically with it
+            assert handles[-1].verdict_counts() == {"pass": total}
+        finally:
+            for db in handles:
+                db.close()
+
+    def test_writes_use_per_thread_connections(self, tmp_path):
+        """Each thread gets its own connection; none are shared."""
+        db = DiagnosisDB(tmp_path / "diag.sqlite")
+        dictionary = _dictionary()
+        diagnoses = _diagnoses(dictionary, [[0.0] * N])
+        seen = []
+
+        def worker():
+            db.record_batch("adc", 1, diagnoses, wall=0.001)
+            seen.append(id(db._connection()))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        try:
+            assert len(set(seen)) == 3
+            assert id(db._connection()) not in seen
+        finally:
+            db.close()
+
+    def test_closed_db_refuses_new_connections(self, tmp_path):
+        db = DiagnosisDB(tmp_path / "diag.sqlite")
+        db.close()
+        with pytest.raises(DiagnosisDBError):
+            db.summary()

@@ -1,0 +1,351 @@
+"""The pre-fork fleet: shared port, supervision, coherent reloads.
+
+Process-level integration tests for ``repro.diagnosis.fleet``: a
+killed worker is restarted without the shared port ever refusing
+service, a graceful stop drains in-flight keep-alive requests with
+zero 5xx, and a fleet-wide hot-reload under multi-process client load
+leaves every worker at the same version.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.diagnosis.cli import parse_procs
+from repro.diagnosis.fleet import (DiagnosisFleet, FleetError,
+                                   aggregate_metrics,
+                                   reuseport_available)
+from repro.diagnosis.registry import RegistryError
+from repro.faultsim import signature_feature_names
+
+from .test_hot_reload import GENERATIONS, _generation
+
+N = len(signature_feature_names())
+PROCS = 2
+
+
+def _request(address, path, body=None, timeout=20):
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    path = tmp_path / "adc.json"
+    _generation(GENERATIONS[1]).save(path)
+    fleet = DiagnosisFleet([("adc", str(path))], procs=PROCS,
+                           db_path=str(tmp_path / "results.db"))
+    fleet.start()
+    yield fleet, tmp_path
+    fleet.stop(graceful=False)
+
+
+def _wait_for_restart(fleet, dead_pid, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pids = fleet.worker_pids()
+        if len(pids) == PROCS and dead_pid not in pids:
+            return pids
+        time.sleep(0.05)
+    raise AssertionError(
+        f"worker {dead_pid} was not replaced: {fleet.worker_pids()}")
+
+
+class TestFleetServing:
+    def test_all_workers_share_one_port(self, fleet):
+        fleet, _ = fleet
+        body = json.dumps({"queries": [[0.0] * N]}).encode()
+        for _ in range(10):
+            status, payload = _request(fleet.address,
+                                       "/v1/diagnose", body)
+            assert status == 200
+            assert payload["dictionary"] == "adc"
+        assert len(fleet.worker_pids()) == PROCS
+
+    def test_metrics_aggregate_across_workers(self, fleet):
+        fleet, _ = fleet
+        body = json.dumps({"queries": [[0.0] * N]}).encode()
+        for _ in range(6):
+            _request(fleet.address, "/v1/diagnose", body)
+        status, payload = _request(fleet.address, "/v1/metrics")
+        assert status == 200
+        block = payload["fleet"]
+        assert block["procs"] == PROCS
+        assert block["workers"] == PROCS
+        assert len(block["per_worker"]) == PROCS
+        # the sum over workers sees every request exactly once
+        assert payload["requests"]["/v1/diagnose"] == 6
+        assert payload["queries"] == 6
+        assert payload["uptime"] >= 0.0
+
+
+class TestCrashRestart:
+    def test_killed_worker_is_replaced_port_kept(self, fleet):
+        fleet, _ = fleet
+        body = json.dumps({"queries": [[0.0] * N]}).encode()
+        victim = fleet.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+
+        # the shared port keeps answering throughout: the surviving
+        # worker holds it while the supervisor restarts the dead
+        # one.  A connection the kernel had routed to the killed
+        # worker's socket at the instant of death gets a transient
+        # RST — that's SO_REUSEPORT semantics, not the service — so
+        # connection-level errors are retried, but any served
+        # request must succeed.
+        served = 0
+        resets = 0
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                status, _payload = _request(fleet.address,
+                                            "/v1/diagnose", body)
+            except (urllib.error.URLError, ConnectionError,
+                    OSError):
+                resets += 1
+                time.sleep(0.05)
+                continue
+            assert status == 200
+            served += 1
+            if len(fleet.worker_pids()) == PROCS and \
+                    victim not in fleet.worker_pids():
+                break
+            time.sleep(0.05)
+        pids = _wait_for_restart(fleet, victim)
+        assert served > 0
+        assert victim not in pids
+        # and the replacement serves too
+        status, _payload = _request(fleet.address,
+                                    "/v1/diagnose", body)
+        assert status == 200
+
+    def test_restarted_worker_replays_reload_history(self, fleet):
+        fleet, tmp_path = fleet
+        next_path = tmp_path / "adc-v2.json"
+        _generation(GENERATIONS[2]).save(next_path)
+        status, payload = _request(
+            fleet.address, "/v1/dictionaries/adc/reload",
+            json.dumps({"path": str(next_path)}).encode())
+        assert status == 200
+        assert payload["version"] == 2
+        assert fleet.versions("adc") == [2] * PROCS
+
+        victim = fleet.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        _wait_for_restart(fleet, victim)
+        # the replacement rejoined at the fleet's version, not v1
+        assert fleet.versions("adc") == [2] * PROCS
+
+
+class TestGracefulDrain:
+    def test_stop_drains_in_flight_requests_zero_5xx(self, fleet):
+        fleet, _ = fleet
+        body = json.dumps({"queries": [[0.0] * N]}).encode()
+        stop = threading.Event()
+        failures = []
+        completed = [0] * 4
+
+        def client(i):
+            while not stop.is_set():
+                try:
+                    status, payload = _request(
+                        fleet.address, "/v1/diagnose", body)
+                except (urllib.error.URLError, ConnectionError,
+                        OSError):
+                    # the port going away after the drain is the
+                    # expected end of service, not a failure
+                    return
+                if status >= 500:
+                    failures.append((status, payload))
+                else:
+                    completed[i] += 1
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 10.0
+        while sum(completed) < 20 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        fleet.stop(graceful=True)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert sum(completed) >= 20
+        assert not failures, failures[:5]
+        # every worker exited after the drain — none were killed
+        assert fleet.worker_pids() == []
+
+    def test_sigterm_drains_one_worker_then_restarts(self, fleet):
+        fleet, _ = fleet
+        victim = fleet.worker_pids()[0]
+        os.kill(victim, signal.SIGTERM)
+        pids = _wait_for_restart(fleet, victim)
+        assert victim not in pids
+        body = json.dumps({"queries": [[0.0] * N]}).encode()
+        status, _payload = _request(fleet.address,
+                                    "/v1/diagnose", body)
+        assert status == 200
+
+
+class TestFleetHotReload:
+    def test_reload_under_load_is_coherent(self, fleet):
+        """The multi-process version of the hot-reload hammer: 8
+        clients against a 2-worker fleet while the dictionary behind
+        them is reloaded fleet-wide N times.  Zero failed requests,
+        no torn generations, and a final version every worker
+        agrees on."""
+        fleet, tmp_path = fleet
+        n_reloads = 4
+        for generation in range(2, n_reloads + 2):
+            path = tmp_path / f"adc-gen{generation}.json"
+            _generation(GENERATIONS[generation]).save(path)
+
+        body = json.dumps(
+            {"queries": [[0.0] * N, [0.0] * N]}).encode()
+        stop = threading.Event()
+        failures = []
+        requests_done = [0] * 8
+
+        def client(i):
+            while not stop.is_set():
+                status, payload = _request(fleet.address,
+                                           "/v1/diagnose", body)
+                if status != 200:
+                    failures.append((status, payload))
+                    continue
+                version = payload["version"]
+                expected = GENERATIONS.get(version)
+                if expected is None:
+                    failures.append(("unknown version", payload))
+                elif len(payload["diagnoses"]) != 2:
+                    failures.append(("wrong count", payload))
+                requests_done[i] += 1
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        try:
+            for generation in range(2, n_reloads + 2):
+                baseline = sum(requests_done)
+                for _ in range(1000):
+                    if sum(requests_done) >= baseline + 8:
+                        break
+                    time.sleep(0.01)
+                path = tmp_path / f"adc-gen{generation}.json"
+                status, payload = _request(
+                    fleet.address, "/v1/dictionaries/adc/reload",
+                    json.dumps({"path": str(path)}).encode())
+                assert status == 200, payload
+                assert payload["version"] == generation
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+
+        assert not failures, failures[:5]
+        assert sum(requests_done) > 0
+        # coherence: every worker settled on the final version
+        final = n_reloads + 1
+        assert fleet.versions("adc") == [final] * PROCS
+        status, payload = _request(fleet.address,
+                                   "/v1/diagnose", body)
+        assert payload["version"] == final
+
+    def test_failed_reload_leaves_fleet_untouched(self, fleet):
+        fleet, tmp_path = fleet
+        bad = tmp_path / "torn.json"
+        bad.write_text("{ not json")
+        status, payload = _request(
+            fleet.address, "/v1/dictionaries/adc/reload",
+            json.dumps({"path": str(bad)}).encode())
+        assert status == 409
+        assert payload["error"]["code"] == "reload_failed"
+        assert fleet.versions("adc") == [1] * PROCS
+
+    def test_unknown_dictionary_reload_404(self, fleet):
+        fleet, _ = fleet
+        status, payload = _request(
+            fleet.address, "/v1/dictionaries/absent/reload",
+            json.dumps({}).encode())
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_dictionary"
+
+
+class TestFleetConstruction:
+    def test_rejects_zero_procs(self):
+        with pytest.raises(FleetError):
+            DiagnosisFleet([("adc", "x.json")], procs=0)
+
+    def test_rejects_empty_dictionaries(self):
+        with pytest.raises(FleetError):
+            DiagnosisFleet([], procs=2)
+
+    def test_rejects_unknown_default(self):
+        with pytest.raises(RegistryError):
+            DiagnosisFleet([("adc", "x.json")], procs=2,
+                           default="dac")
+
+    def test_accepts_cli_spec_strings(self):
+        fleet = DiagnosisFleet(["adc=/tmp/x.json"], procs=2)
+        assert fleet.specs == [("adc", "/tmp/x.json")]
+        assert fleet.default == "adc"
+
+    def test_reuseport_probe_is_a_bool(self):
+        assert isinstance(reuseport_available(), bool)
+
+
+class TestParseProcs:
+    def test_integer(self):
+        assert parse_procs("3") == 3
+
+    def test_auto_is_cpu_count(self):
+        assert parse_procs("auto") == (os.cpu_count() or 1)
+
+    def test_rejects_garbage_and_nonpositive(self):
+        for bad in ("zero", "", "0", "-2"):
+            with pytest.raises(RegistryError):
+                parse_procs(bad)
+
+
+class TestAggregateMetrics:
+    def test_counters_sum_watermarks_max(self):
+        a = {"queries": 3, "responses": {"200": 3},
+             "batching": {"adc": {"max_block": 5, "version": 2,
+                                  "batches": 2}},
+             "uptime": 10.0}
+        b = {"queries": 4, "responses": {"200": 3, "404": 1},
+             "batching": {"adc": {"max_block": 9, "version": 2,
+                                  "batches": 1}},
+             "uptime": 99.0}
+        out = aggregate_metrics([a, b])
+        assert out["queries"] == 7
+        assert out["responses"] == {"200": 6, "404": 1}
+        assert out["batching"]["adc"]["max_block"] == 9
+        assert out["batching"]["adc"]["version"] == 2
+        assert out["batching"]["adc"]["batches"] == 3
+        # per-process observation, not a counter: never summed
+        assert out["uptime"] == 10.0
+
+    def test_shared_db_block_not_multiplied(self):
+        a = {"queries": 1, "db": {"queries": 50, "batches": 5}}
+        b = {"queries": 1, "db": {"queries": 50, "batches": 5}}
+        out = aggregate_metrics([a, b])
+        assert out["db"] == {"queries": 50, "batches": 5}
+
+    def test_empty_input(self):
+        assert aggregate_metrics([]) == {}

@@ -377,3 +377,54 @@ class TestEmptyDictionary:
             srv.shutdown()
             srv.server_close()
             thread.join(timeout=5)
+
+
+class TestMonotonicClocks:
+    """Regression: uptime and snapshot age survive wall-clock steps.
+
+    ``/v1/metrics`` used to compute uptime as ``time.time() -
+    started``, so an NTP step made it jump or go negative; it now
+    runs on the monotonic clock, with the wall-clock birth stamp
+    reported separately as ``started_at``.
+    """
+
+    def test_uptime_ignores_wall_clock_step(self, server,
+                                            monkeypatch):
+        import time as time_module
+
+        from repro.diagnosis import server as server_module
+
+        before = server.local_metrics()
+        assert before["uptime"] >= 0.0
+        # step the wall clock an hour backwards
+        real_time = time_module.time
+        monkeypatch.setattr(server_module.time, "time",
+                            lambda: real_time() - 3600.0)
+        after = server.local_metrics()
+        assert after["uptime"] >= before["uptime"] >= 0.0
+        assert after["uptime"] < 600.0  # not an hour-sized jump
+        # the wall-clock stamp is separate and untouched by uptime
+        assert after["started_at"] == server.started_at
+
+    def test_metrics_route_reports_sane_uptime(self, server):
+        status, payload, _ = _get(server, "/v1/metrics")
+        assert status == 200
+        assert 0.0 <= payload["uptime"] < 600.0
+        assert payload["started_at"] > 0
+
+    def test_snapshot_age_is_monotonic(self, server, monkeypatch):
+        import time as time_module
+
+        from repro.diagnosis import registry as registry_module
+
+        snapshot = server.registry.get("adc")
+        age = snapshot.age()
+        assert age >= 0.0
+        real_time = time_module.time
+        monkeypatch.setattr(registry_module.time, "time",
+                            lambda: real_time() - 3600.0)
+        assert snapshot.age() >= age >= 0.0
+        assert snapshot.age() < 600.0
+        # metrics report the age per served dictionary
+        status, payload, _ = _get(server, "/v1/metrics")
+        assert payload["batching"]["adc"]["age"] >= 0.0
