@@ -35,8 +35,9 @@ import os
 import sqlite3
 import threading
 import time
+import weakref
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .match import Diagnosis
 
@@ -105,7 +106,12 @@ class DiagnosisDB:
         self.path = Path(path)
         self._local = threading.local()
         self._conns_lock = threading.Lock()
-        self._conns: List[sqlite3.Connection] = []
+        #: (owner pid, weakref to owner thread, connection) — pruned
+        #: on every open so a thread-per-connection HTTP server does
+        #: not accumulate one fd per client connection it ever served
+        self._conns: List[Tuple[
+            int, "weakref.ref[threading.Thread]",
+            sqlite3.Connection]] = []
         self._closed = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
@@ -149,8 +155,37 @@ class DiagnosisDB:
         self._local.conn = conn
         self._local.pid = pid
         with self._conns_lock:
-            self._conns.append(conn)
+            self._reap_locked(pid)
+            self._conns.append(
+                (pid, weakref.ref(threading.current_thread()), conn))
         return conn
+
+    def _reap_locked(self, pid: int) -> None:
+        """Release connections whose owning thread has exited.
+
+        A ThreadingHTTPServer spawns one handler thread per client
+        connection; without this, every client that ever touched the
+        DB would pin an open SQLite handle (fd + WAL mmap) until
+        :meth:`close`, and a long-running worker under connection
+        churn would exhaust its fd limit.  Entries from another pid
+        are the pre-fork parent's — its handles are not ours to
+        flush, so they are dropped unclosed (the child never used
+        them; the parent still holds its own copies).
+        """
+        live = []
+        for entry in self._conns:
+            owner_pid, thread_ref, conn = entry
+            if owner_pid != pid:
+                continue
+            thread = thread_ref()
+            if thread is not None and thread.is_alive():
+                live.append(entry)
+                continue
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._conns = live
 
     def _check_schema(self, conn: sqlite3.Connection) -> None:
         conn.execute("BEGIN IMMEDIATE")
@@ -177,9 +212,12 @@ class DiagnosisDB:
 
     def close(self) -> None:
         self._closed = True
+        pid = os.getpid()
         with self._conns_lock:
             conns, self._conns = self._conns, []
-        for conn in conns:
+        for owner_pid, _thread_ref, conn in conns:
+            if owner_pid != pid:  # the pre-fork parent's handle;
+                continue          # not ours to close
             try:
                 conn.close()
             except sqlite3.Error:  # a thread's conn may already be

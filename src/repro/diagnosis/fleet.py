@@ -44,7 +44,10 @@ The control channel is a pair of pipes per worker: a *command* pipe
 the supervisor drives (reload / metrics / describe / drain / ping)
 and a *forward* pipe the worker drives (fleet-wide reload and metrics
 requests originating from its HTTP handlers).  Each pipe carries
-strictly request→reply traffic under a lock, so no framing is needed.
+strictly request→reply traffic under a lock; forward-pipe requests
+are tagged with an id the supervisor echoes, so a late answer to a
+call the worker already timed out is discarded rather than being
+mistaken for the next call's reply.
 """
 
 from __future__ import annotations
@@ -137,16 +140,29 @@ class _WorkerController:
         self._conn = conn
         self._lock = threading.Lock()
         self._timeout = timeout
+        self._next_id = 0
 
     def _call(self, request: Dict) -> Dict:
         with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
             try:
-                self._conn.send(request)
-                if not self._conn.poll(self._timeout):
-                    raise ApiError(
-                        "fleet supervisor did not answer",
-                        status=503, code="fleet_unavailable")
-                reply = self._conn.recv()
+                self._conn.send({**request, "id": request_id})
+                deadline = time.monotonic() + self._timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or \
+                            not self._conn.poll(remaining):
+                        raise ApiError(
+                            "fleet supervisor did not answer",
+                            status=503, code="fleet_unavailable")
+                    reply = self._conn.recv()
+                    # a late answer to an earlier call that timed
+                    # out client-side may still sit in the pipe;
+                    # matching ids keeps the channel from going
+                    # permanently off-by-one
+                    if reply.get("id") == request_id:
+                        break
             except (EOFError, OSError) as exc:
                 raise ApiError(
                     f"fleet control channel broken: {exc}",
@@ -235,11 +251,23 @@ def _worker_control_loop(runtime: _WorkerRuntime, cmd_conn) -> None:
 
 
 def _worker_main(config: WorkerConfig, cmd_conn, fwd_conn,
-                 listener: Optional[socket.socket]) -> int:
+                 listener: Optional[socket.socket],
+                 close_conns: Sequence = ()) -> int:
     """Entry point of one fleet worker process."""
     # the supervisor owns lifecycle; a terminal Ctrl-C must not kill
     # workers before they drain
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # under fork this child inherited every control-channel fd the
+    # supervisor holds: its own channel's parent ends and every
+    # earlier sibling's.  Any copy left open here would keep the
+    # EOF-based "supervisor is gone; drain and die" path in
+    # _worker_control_loop from ever firing on a SIGKILLed
+    # supervisor — the fleet would run orphaned, holding the port.
+    for conn in close_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
     try:
         registry = DictionaryRegistry(top_k=config.top_k)
         for name, path in config.dictionaries:
@@ -321,15 +349,22 @@ _MAX_KEYS = frozenset({"max_batch_wall", "max_block", "version",
 #: metric leaves that are per-process observations, not counters —
 #: the supervisor substitutes fleet-level values for the top-level
 #: ones and keeps the first worker's elsewhere
-_FIRST_KEYS = frozenset({"uptime", "started_at", "age",
-                         "queries_per_second", "resolution_rate",
-                         "wall"})
+_FIRST_KEYS = frozenset({"uptime", "started_at", "age"})
+
+#: derived rate/ratio leaves: dropped during the merge (summing or
+#: keeping one worker's rate next to fleet-summed counters yields
+#: mutually inconsistent numbers) and recomputed from the summed
+#: counters afterwards
+_RATE_KEYS = frozenset({"queries_per_second", "ambiguity_rate",
+                        "resolution_rate"})
 
 
 def _merge_numeric(dst: Dict, src: Dict) -> None:
     for key, value in src.items():
         if isinstance(value, dict):
             _merge_numeric(dst.setdefault(key, {}), value)
+        elif key in _RATE_KEYS:
+            continue  # recomputed by _recompute_rates after the fold
         elif isinstance(value, bool) or not isinstance(
                 value, (int, float)):
             dst.setdefault(key, value)
@@ -341,17 +376,41 @@ def _merge_numeric(dst: Dict, src: Dict) -> None:
             dst[key] = dst.get(key, 0) + value
 
 
+def _recompute_rates(node: Dict) -> None:
+    """Restore the rate leaves from the fleet-summed counters (wall
+    time is cumulative work, so fleet qps is summed queries over
+    summed wall — not one worker's local rate)."""
+    for value in node.values():
+        if isinstance(value, dict):
+            _recompute_rates(value)
+    queries = node.get("queries")
+    wall = node.get("wall_time")
+    if isinstance(queries, (int, float)) and \
+            isinstance(wall, (int, float)):
+        node["queries_per_second"] = \
+            queries / wall if wall > 0 else 0.0
+    if all(isinstance(node.get(k), (int, float))
+           for k in ("matched", "ambiguous", "unmatched")):
+        failing = (node["matched"] + node["ambiguous"] +
+                   node["unmatched"])
+        node["ambiguity_rate"] = \
+            node["ambiguous"] / failing if failing else 0.0
+
+
 def aggregate_metrics(payloads: Sequence[Dict]) -> Dict:
     """Fold per-worker ``local_metrics`` payloads into one fleet
-    view: counters sum, high-water marks take the max, and the
-    ``db`` block (one shared SQLite file — already fleet-wide) comes
-    from the most recent reader instead of being multiplied."""
+    view: counters (including cumulative wall time) sum, high-water
+    marks take the max, rates are recomputed from the summed
+    counters, and the ``db`` block (one shared SQLite file — already
+    fleet-wide) comes from the most recent reader instead of being
+    multiplied."""
     aggregate: Dict = {}
     db_block = None
     for payload in payloads:
         payload = dict(payload)
         db_block = payload.pop("db", db_block)
         _merge_numeric(aggregate, payload)
+    _recompute_rates(aggregate)
     if db_block is not None:
         aggregate["db"] = db_block
     return aggregate
@@ -480,9 +539,23 @@ class DiagnosisFleet:
         cmd_parent, cmd_child = self._ctx.Pipe()
         fwd_parent, fwd_child = self._ctx.Pipe()
         listener = self._listener if not self.reuseport else None
+        # forked children inherit the supervisor-side pipe ends — the
+        # new channel's and every live sibling's.  Hand the child its
+        # inherited copies to close, so the only holder of a worker's
+        # parent ends is the supervisor and EOF fires the moment it
+        # dies.  (The spawn context re-pickles only what is passed,
+        # so there is nothing stray to close there.)
+        close_conns: List = []
+        if self._ctx.get_start_method() == "fork":
+            close_conns = [cmd_parent, fwd_parent]
+            with self._workers_lock:
+                for other in self._workers:
+                    close_conns.extend(
+                        (other.cmd_conn, other.fwd_conn))
         process = self._ctx.Process(
             target=_worker_main,
-            args=(config, cmd_child, fwd_child, listener),
+            args=(config, cmd_child, fwd_child, listener,
+                  close_conns),
             name=f"diagnosis-fleet-{index}", daemon=True)
         process.start()
         cmd_child.close()
@@ -737,6 +810,9 @@ class DiagnosisFleet:
                 reply = {"ok": False, "status": 500,
                          "code": "internal",
                          "message": f"{type(exc).__name__}: {exc}"}
+            # echo the request id so the worker's controller can
+            # discard replies to calls it has already timed out
+            reply["id"] = msg.get("id")
             try:
                 worker.fwd_conn.send(reply)
             except (BrokenPipeError, OSError):

@@ -199,6 +199,12 @@ class DiagnosisServer(ThreadingHTTPServer):
         #: fleet-wide through the supervisor's control channel
         self.controller: Optional["FleetController"] = None
         self.draining = False
+        # drain() may only call shutdown() once serve_forever() has
+        # started — BaseServer.shutdown() otherwise blocks forever on
+        # an event that only serve_forever() sets.  The mutex makes
+        # the drain-vs-serve_forever startup race deterministic.
+        self._serve_mutex = threading.Lock()
+        self._serving = threading.Event()
         self._counts_lock = threading.Lock()
         self._route_counts: Dict[str, int] = {}
         self._status_counts: Dict[str, int] = {}
@@ -222,6 +228,15 @@ class DiagnosisServer(ThreadingHTTPServer):
 
     def uptime(self) -> float:
         return time.monotonic() - self._started_monotonic
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        with self._serve_mutex:
+            if self.draining:
+                # a drain landed in the startup window (e.g. SIGTERM
+                # before the accept loop began); never start serving
+                return
+            self._serving.set()
+        super().serve_forever(poll_interval)
 
     def _adopt_bus(self) -> None:
         """Point the registry (and already-loaded matchers) at this
@@ -309,9 +324,17 @@ class DiagnosisServer(ThreadingHTTPServer):
         Returns True when every connection drained inside
         ``timeout``, False if stragglers (e.g. an idle keep-alive
         peer that never sends another request) were abandoned.
+
+        Safe to call before :meth:`serve_forever` has started: the
+        accept loop is then prevented from ever starting instead of
+        being shut down (``shutdown()`` on a never-started server
+        blocks forever).
         """
-        self.draining = True
-        self.shutdown()
+        with self._serve_mutex:
+            self.draining = True
+            serving = self._serving.is_set()
+        if serving:
+            self.shutdown()
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             if self.active_connections == 0:

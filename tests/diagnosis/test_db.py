@@ -215,7 +215,9 @@ class TestPersistenceAndSafety:
 
         def worker():
             db.record_batch("adc", 1, diagnoses, wall=0.001)
-            seen.append(id(db._connection()))
+            # hold the object (not just its id): a reaped connection
+            # would be freed and its address reused
+            seen.append(db._connection())
 
         threads = [threading.Thread(target=worker) for _ in range(3)]
         for t in threads:
@@ -223,8 +225,8 @@ class TestPersistenceAndSafety:
         for t in threads:
             t.join(timeout=30)
         try:
-            assert len(set(seen)) == 3
-            assert id(db._connection()) not in seen
+            assert len({id(conn) for conn in seen}) == 3
+            assert db._connection() not in seen
         finally:
             db.close()
 
@@ -233,3 +235,33 @@ class TestPersistenceAndSafety:
         db.close()
         with pytest.raises(DiagnosisDBError):
             db.summary()
+
+    def test_dead_thread_connections_are_reaped(self, tmp_path):
+        """Regression: a ThreadingHTTPServer spawns one handler
+        thread per client connection, so connections owned by
+        finished threads must be released as new ones open — not
+        accumulate (one leaked fd per client ever served) until
+        close()."""
+        db = DiagnosisDB(tmp_path / "diag.sqlite")
+        dictionary = _dictionary()
+        diagnoses = _diagnoses(dictionary, [[0.0] * N])
+
+        def worker():
+            db.record_batch("adc", 1, diagnoses, wall=0.001)
+
+        try:
+            for _ in range(16):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join(timeout=30)
+            # one more thread: opening its connection prunes every
+            # dead thread's entry
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join(timeout=30)
+            # at most the constructing thread's and the last
+            # worker's connections remain registered
+            assert len(db._conns) <= 2
+            assert db.summary()["batches"] == 17
+        finally:
+            db.close()

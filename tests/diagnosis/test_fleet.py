@@ -8,6 +8,7 @@ leaves every worker at the same version.
 """
 
 import json
+import multiprocessing
 import os
 import signal
 import threading
@@ -19,9 +20,11 @@ import pytest
 
 from repro.diagnosis.cli import parse_procs
 from repro.diagnosis.fleet import (DiagnosisFleet, FleetError,
+                                   _WorkerController,
                                    aggregate_metrics,
                                    reuseport_available)
 from repro.diagnosis.registry import RegistryError
+from repro.diagnosis.server import ApiError
 from repro.faultsim import signature_feature_names
 
 from .test_hot_reload import GENERATIONS, _generation
@@ -286,6 +289,58 @@ class TestFleetHotReload:
         assert payload["error"]["code"] == "unknown_dictionary"
 
 
+class TestControlChannelIntegrity:
+    def test_late_reply_is_discarded_not_misdelivered(self):
+        """Regression: a forwarded call that times out must not
+        leave its late reply in the pipe to be delivered as the
+        answer to the *next* call (permanent off-by-one — a reload
+        returning a metrics payload)."""
+        supervisor_end, worker_end = multiprocessing.Pipe()
+        controller = _WorkerController(worker_end, timeout=0.2)
+
+        # the supervisor never answers the first call in time
+        with pytest.raises(ApiError):
+            controller.metrics()
+        first = supervisor_end.recv()
+        # ... but its reply lands later, ahead of the next exchange
+        supervisor_end.send({"ok": True, "id": first["id"],
+                             "payload": {"which": "first"}})
+
+        def answer_second():
+            second = supervisor_end.recv()
+            supervisor_end.send({"ok": True, "id": second["id"],
+                                 "payload": {"which": "second"}})
+
+        t = threading.Thread(target=answer_second, daemon=True)
+        t.start()
+        assert controller.metrics() == {"which": "second"}
+        t.join(timeout=5)
+
+    def test_workers_exit_when_supervisor_ends_close(self, fleet):
+        """Regression: forked workers inherit each other's
+        supervisor-side pipe ends; unless each child closes the
+        copies, EOF never fires and a SIGKILLed supervisor leaves
+        the whole fleet running orphaned on the port."""
+        fleet, _ = fleet
+        # stop the monitor so dead workers are not restarted
+        fleet._stopping.set()
+        fleet._monitor.join(timeout=10)
+        with fleet._workers_lock:
+            workers = list(fleet._workers)
+        # emulate supervisor death: drop every supervisor-side end
+        for worker in workers:
+            worker.close()
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if all(not w.process.is_alive() for w in workers):
+                break
+            time.sleep(0.05)
+        alive = [w.pid for w in workers if w.process.is_alive()]
+        assert not alive, (
+            f"workers {alive} survived the control channel closing "
+            f"— they must hold only their own pipe ends")
+
+
 class TestFleetConstruction:
     def test_rejects_zero_procs(self):
         with pytest.raises(FleetError):
@@ -340,6 +395,25 @@ class TestAggregateMetrics:
         assert out["batching"]["adc"]["batches"] == 3
         # per-process observation, not a counter: never summed
         assert out["uptime"] == 10.0
+
+    def test_wall_sums_and_rates_recomputed(self):
+        """Regression: cumulative wall time sums across workers and
+        rate fields are recomputed from the summed counters — not
+        one worker's local rate next to fleet-summed counts."""
+        a = {"queries": 100, "wall_time": 1.0,
+             "queries_per_second": 100.0,
+             "matched": 60, "ambiguous": 20, "unmatched": 20,
+             "ambiguity_rate": 0.2}
+        b = {"queries": 300, "wall_time": 3.0,
+             "queries_per_second": 100.0,
+             "matched": 100, "ambiguous": 100, "unmatched": 100,
+             "ambiguity_rate": 1.0 / 3.0}
+        out = aggregate_metrics([a, b])
+        assert out["wall_time"] == pytest.approx(4.0)
+        assert out["queries"] == 400
+        # consistent by construction: counts / wall == rate
+        assert out["queries_per_second"] == pytest.approx(400 / 4.0)
+        assert out["ambiguity_rate"] == pytest.approx(120 / 400)
 
     def test_shared_db_block_not_multiplied(self):
         a = {"queries": 1, "db": {"queries": 50, "batches": 5}}

@@ -428,3 +428,46 @@ class TestMonotonicClocks:
         # metrics report the age per served dictionary
         status, payload, _ = _get(server, "/v1/metrics")
         assert payload["batching"]["adc"]["age"] >= 0.0
+
+
+class TestDrainBeforeServe:
+    def test_drain_before_serve_forever_does_not_hang(self):
+        """Regression: drain() used to call shutdown()
+        unconditionally, which blocks forever when serve_forever()
+        has not started yet — a SIGTERM landing in a fleet worker's
+        startup window hung the draining thread."""
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_build_dictionary())
+        srv = serve(registry=registry, port=0)
+        try:
+            done = threading.Event()
+            results = []
+
+            def call():
+                results.append(srv.drain(timeout=1.0))
+                done.set()
+
+            threading.Thread(target=call, daemon=True).start()
+            assert done.wait(5.0), \
+                "drain() hung before serve_forever() started"
+            assert results == [True]
+            # a serve_forever() racing in after the drain must not
+            # start accepting — it returns immediately
+            t = threading.Thread(target=srv.serve_forever,
+                                 daemon=True)
+            t.start()
+            t.join(timeout=5.0)
+            assert not t.is_alive()
+        finally:
+            srv.server_close()
+
+    def test_drain_still_stops_a_serving_server(self):
+        registry = DictionaryRegistry()
+        registry.register("adc", dictionary=_build_dictionary())
+        srv, thread = _start(registry=registry)
+        try:
+            assert srv.drain(timeout=5.0) is True
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        finally:
+            srv.server_close()
